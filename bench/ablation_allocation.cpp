@@ -1,0 +1,67 @@
+// Ablation: best-fit vs worst-fit machine selection.
+//
+// The paper's motivating scenario (§1.1) hinges on which machines a
+// matched job occupies: J1 placed on the big-memory machine blocks J2.
+// The allocator's fit policy decides exactly that. Best fit preserves
+// large machines for jobs that need them; worst fit burns them first.
+// This ablation quantifies the choice with and without estimation.
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resmatch;
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  exp::print_banner("Ablation: best-fit vs worst-fit allocation",
+                    "Yom-Tov & Aridor 2006, §1.1 scenario");
+
+  trace::Workload workload = args.workload();
+  const std::size_t pool = args.jobs == 0 ? 512 : 64;
+  const std::size_t machines = 2 * pool;
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
+  workload = trace::sort_by_submit(
+      trace::scale_to_load(std::move(workload), machines, 1.0));
+
+  util::ConsoleTable table({"allocation", "estimator", "util", "slowdown",
+                            "res-fail%"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!args.csv.empty()) {
+    csv = std::make_unique<util::CsvWriter>(args.csv);
+    csv->header({"allocation", "estimator", "util", "slowdown",
+                 "resource_fail_frac"});
+  }
+
+  struct Arm {
+    sim::AllocationPolicy policy;
+    const char* label;
+  };
+  for (const Arm arm : {Arm{sim::AllocationPolicy::kBestFit, "best-fit"},
+                        Arm{sim::AllocationPolicy::kWorstFit, "worst-fit"}}) {
+    for (const char* estimator : {"none", "successive-approximation"}) {
+      exp::RunSpec spec;
+      spec.estimator = estimator;
+      spec.sim.allocation = arm.policy;
+      const auto result = exp::run_once(workload, cluster, spec);
+      table.add_row({arm.label, estimator,
+                     util::format("%.3f", result.utilization),
+                     util::format("%.2f", result.mean_slowdown),
+                     util::format("%.3f",
+                                  100.0 * result.resource_failure_fraction())});
+      if (csv) {
+        csv->row({std::string(arm.label), std::string(estimator),
+                  util::format_number(result.utilization, 6),
+                  util::format_number(result.mean_slowdown, 6),
+                  util::format_number(result.resource_failure_fraction(), 6)});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: under estimation, best fit should dominate — estimated\n"
+      "jobs fill small machines, keeping 32 MiB nodes free for jobs whose\n"
+      "groups have not yet converged.\n");
+  return 0;
+}

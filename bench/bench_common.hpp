@@ -1,0 +1,43 @@
+// Shared command-line conventions for the bench binaries.
+//
+// Every experiment binary accepts:
+//   --jobs=N   trace size (default: a fast reduced scale; 0 = full ~122k)
+//   --seed=S   workload seed
+//   --csv=PATH optional CSV dump of the printed series
+// Full paper scale is the default for the figure benches unless
+// --jobs overrides it; reduced scale keeps CI fast.
+#pragma once
+
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+
+namespace resmatch::exp {
+
+struct BenchArgs {
+  std::size_t jobs = 0;  ///< 0 = full paper scale
+  std::uint64_t seed = 42;
+  std::string csv;
+
+  static BenchArgs parse(int argc, const char* const* argv,
+                         std::size_t default_jobs) {
+    util::CliArgs cli(argc, argv);
+    BenchArgs out;
+    out.jobs = static_cast<std::size_t>(
+        cli.get("jobs", static_cast<std::int64_t>(default_jobs)));
+    out.seed = static_cast<std::uint64_t>(
+        cli.get("seed", static_cast<std::int64_t>(42)));
+    out.csv = cli.get("csv", std::string{});
+    for (const auto& key : cli.unused()) {
+      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    return out;
+  }
+
+  [[nodiscard]] trace::Workload workload() const {
+    return standard_workload(seed, jobs);
+  }
+};
+
+}  // namespace resmatch::exp

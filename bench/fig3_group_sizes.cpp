@@ -1,0 +1,53 @@
+// Figure 3: distribution of jobs according to similarity-group size under
+// the (user id, application number, requested memory) key.
+//
+// Paper reference points: 9,885 disjoint groups over 122,055 jobs; many
+// small groups; groups of >= 10 jobs are ~19.4% of groups yet cover ~83%
+// of jobs (footnote 2).
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+#include "trace/analysis.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resmatch;
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  exp::print_banner("Figure 3: jobs by similarity-group size",
+                    "Yom-Tov & Aridor 2006, Figure 3 and footnote 2");
+
+  const trace::Workload workload = args.workload();
+  const auto groups = trace::profile_groups(workload);
+  const auto dist = trace::group_size_distribution(groups, 10);
+
+  util::ConsoleTable table({"group size", "jobs in groups of this size",
+                            "fraction of all jobs"});
+  for (const auto& [size, jobs] : dist.jobs_by_size) {
+    table.add_row({util::format("%lld", size), util::format("%zu", jobs),
+                   util::format("%.5f", static_cast<double>(jobs) /
+                                            static_cast<double>(dist.job_count))});
+  }
+  table.print();
+
+  std::printf("\nsimilarity groups:        %zu   (paper: 9,885)\n",
+              dist.group_count);
+  std::printf("jobs:                     %zu   (paper: 122,055)\n",
+              dist.job_count);
+  std::printf("groups with >= 10 jobs:   %.1f%%   (paper: 19.4%%)\n",
+              100.0 * dist.fraction_groups_ge_threshold);
+  std::printf("jobs covered by those:    %.1f%%   (paper: 83%%)\n",
+              100.0 * dist.fraction_jobs_ge_threshold);
+
+  if (!args.csv.empty()) {
+    util::CsvWriter csv(args.csv);
+    csv.header({"group_size", "jobs"});
+    for (const auto& [size, jobs] : dist.jobs_by_size) {
+      csv.row(std::vector<double>{static_cast<double>(size),
+                                  static_cast<double>(jobs)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 4: possible gain from resource estimation versus group
+// similarity, one point per similarity group with >= 10 jobs.
+//
+// x-axis: similarity range (max used / min used within the group);
+// y-axis: potential gain (requested / max used).
+// Paper reference points: most groups sit at the low end of the range
+// axis, and groups with gain above one order of magnitude are also very
+// similar — the qualitative green light for estimation.
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+#include "trace/analysis.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resmatch;
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  exp::print_banner("Figure 4: potential gain vs group similarity",
+                    "Yom-Tov & Aridor 2006, Figure 4");
+
+  const trace::Workload workload = args.workload();
+  const auto groups = trace::profile_groups(workload);
+  const auto scatter = trace::group_quality_scatter(groups, 10);
+
+  // Summarize the scatter as a 2D count table (ranges x gain decades),
+  // which is what the eye takes from the paper's plot.
+  const double range_edges[] = {1.0, 1.25, 1.5, 2.0, 4.0, 1e9};
+  const double gain_edges[] = {1.0, 2.0, 10.0, 1e9};
+  const char* range_names[] = {"[1,1.25)", "[1.25,1.5)", "[1.5,2)", "[2,4)",
+                               ">=4"};
+  const char* gain_names[] = {"gain [1,2)", "gain [2,10)", "gain >=10"};
+  std::size_t counts[5][3] = {};
+  for (const auto& p : scatter) {
+    std::size_t r = 0, g = 0;
+    while (r < 4 && p.similarity_range >= range_edges[r + 1]) ++r;
+    while (g < 2 && p.potential_gain >= gain_edges[g + 1]) ++g;
+    ++counts[r][g];
+  }
+  util::ConsoleTable table({"similarity range", gain_names[0], gain_names[1],
+                            gain_names[2]});
+  for (std::size_t r = 0; r < 5; ++r) {
+    table.add_row({range_names[r], util::format("%zu", counts[r][0]),
+                   util::format("%zu", counts[r][1]),
+                   util::format("%zu", counts[r][2])});
+  }
+  table.print();
+
+  std::size_t tight = 0, high_gain_similar = 0;
+  for (const auto& p : scatter) {
+    if (p.similarity_range <= 1.5) ++tight;
+    if (p.potential_gain >= 10.0 && p.similarity_range < 2.0) {
+      ++high_gain_similar;
+    }
+  }
+  std::printf("\ngroups plotted (>= 10 jobs): %zu\n", scatter.size());
+  std::printf("at similarity range <= 1.5:  %.1f%%   (paper: 'a large fraction')\n",
+              scatter.empty() ? 0.0 : 100.0 * tight / scatter.size());
+  std::printf("gain >= 10x and range < 2:   %zu groups   (paper: such groups exist)\n",
+              high_gain_similar);
+
+  if (!args.csv.empty()) {
+    util::CsvWriter csv(args.csv);
+    csv.header({"similarity_range", "potential_gain", "group_size"});
+    for (const auto& p : scatter) {
+      csv.row(std::vector<double>{p.similarity_range, p.potential_gain,
+                                  static_cast<double>(p.size)});
+    }
+  }
+  return 0;
+}

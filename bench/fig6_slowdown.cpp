@@ -1,0 +1,50 @@
+// Figure 6: the ratio between slowdown without resource estimation and
+// slowdown with resource estimation, across offered loads, on the
+// 512 x 32 MiB + 512 x 24 MiB cluster.
+//
+// Paper reference points: the ratio never drops below 1 (estimation never
+// hurts) and peaks dramatically around 60% load, where the queue is short
+// enough that freeing resources translates directly into less waiting.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resmatch;
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  exp::print_banner("Figure 6: slowdown ratio (no estimation / estimation)",
+                    "Yom-Tov & Aridor 2006, Figure 6");
+
+  const trace::Workload workload = args.workload();
+  const std::size_t pool = args.jobs == 0 ? 512 : 64;
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
+
+  exp::RunSpec spec;
+  const std::vector<double> loads = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  const auto sweep = exp::load_sweep(workload, cluster, loads, spec);
+
+  util::ConsoleTable table({"load", "slowdown(none)", "slowdown(est)",
+                            "ratio none/est", "wait(none) s", "wait(est) s"});
+  double peak_ratio = 0.0, peak_load = 0.0;
+  for (const auto& p : sweep) {
+    table.add_numeric_row({p.load, p.without_estimation.mean_slowdown,
+                   p.with_estimation.mean_slowdown, p.slowdown_ratio(),
+                   p.without_estimation.mean_wait,
+                   p.with_estimation.mean_wait});
+    if (p.slowdown_ratio() > peak_ratio) {
+      peak_ratio = p.slowdown_ratio();
+      peak_load = p.load;
+    }
+  }
+  table.print();
+
+  std::printf("\npeak slowdown ratio: %.2fx at load %.0f%%   (paper: peak near 60%%)\n",
+              peak_ratio, 100.0 * peak_load);
+  double min_ratio = 1e9;
+  for (const auto& p : sweep) min_ratio = std::min(min_ratio, p.slowdown_ratio());
+  std::printf("minimum ratio:       %.2f   (paper: never below 1)\n", min_ratio);
+
+  exp::write_load_sweep_csv(args.csv, sweep);
+  return 0;
+}

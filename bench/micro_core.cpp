@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: estimator
+// estimate/feedback cycles, cluster allocation, ClassAd evaluation, event
+// queue churn, and synthetic trace generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/factory.hpp"
+#include "match/classad.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/cm5_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace resmatch;
+
+trace::JobRecord bench_job(std::uint64_t i) {
+  trace::JobRecord j;
+  j.id = i;
+  j.user = static_cast<UserId>(i % 200);
+  j.app = static_cast<AppId>(i % 17);
+  j.requested_mem_mib = 32.0;
+  j.used_mem_mib = 5.0;
+  j.nodes = 32;
+  j.runtime = 100;
+  return j;
+}
+
+void BM_SuccessiveApproxCycle(benchmark::State& state) {
+  auto est = core::make_estimator("successive-approximation");
+  est->set_ladder(core::CapacityLadder({1, 2, 4, 8, 16, 32}));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto job = bench_job(i++ % 1000);
+    const MiB grant = est->estimate(job, {});
+    core::Feedback fb;
+    fb.success = grant >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    est->feedback(job, fb);
+    benchmark::DoNotOptimize(grant);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SuccessiveApproxCycle);
+
+void BM_RlEstimatorCycle(benchmark::State& state) {
+  auto est = core::make_estimator("reinforcement-learning");
+  est->set_ladder(core::CapacityLadder({1, 2, 4, 8, 16, 32}));
+  core::SystemState sys;
+  sys.busy_fraction = 0.5;
+  sys.queue_length = 8;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto job = bench_job(i++);
+    const MiB grant = est->estimate(job, sys);
+    core::Feedback fb;
+    fb.success = grant >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    est->feedback(job, fb);
+    benchmark::DoNotOptimize(grant);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RlEstimatorCycle);
+
+void BM_ClusterAllocateRelease(benchmark::State& state) {
+  sim::Cluster cluster(sim::cm5_heterogeneous(24.0));
+  for (auto _ : state) {
+    auto alloc = cluster.allocate(32, 24.0);
+    benchmark::DoNotOptimize(alloc);
+    if (alloc) cluster.release(*alloc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterAllocateRelease);
+
+void BM_ClassAdMatch(benchmark::State& state) {
+  match::ClassAd job, machine;
+  job.set("req_memory", 16.0);
+  job.set_expr("requirements", "other.memory >= my.req_memory");
+  job.set_expr("rank", "other.memory - my.req_memory");
+  machine.set("memory", 32.0);
+  machine.set_expr("requirements", "other.req_memory <= 64");
+  for (auto _ : state) {
+    const auto result = match::match_ads(job, machine);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassAdMatch);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue<std::size_t> queue;
+  util::Rng rng(1);
+  for (std::size_t i = 0; i < 1024; ++i) queue.push(rng.uniform(), i);
+  for (auto _ : state) {
+    const auto event = queue.pop();
+    queue.push(event.time + rng.uniform(), event.payload);
+    benchmark::DoNotOptimize(event.payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto workload = trace::generate_cm5_small(7, jobs);
+    benchmark::DoNotOptimize(workload.jobs.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

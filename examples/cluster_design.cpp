@@ -1,0 +1,57 @@
+// Cluster design: the paper's §3.2 "advantageous outcome".
+//
+// "Given the distribution of requested and actual resource capacities,
+// possibly derived from a scheduler log, and a resource estimation
+// algorithm, it is possible to design a cluster ... to maximize the number
+// of jobs for which estimation is advantageous."
+//
+// This example takes a workload, fixes half the machines at 32 MiB, and
+// searches the second pool's memory size for the best achieved utilization
+// under estimation — i.e., it uses the simulator as a cluster-procurement
+// tool, exactly the workflow the paper sketches.
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace resmatch;
+
+  // Workload derived "from a scheduler log": here the calibrated CM5
+  // model; swap in trace::read_swf_file() for a real log.
+  trace::Workload workload = trace::generate_cm5_small(/*seed=*/3, 10000);
+  workload = trace::drop_wide_jobs(std::move(workload), 128);
+
+  exp::RunSpec spec;  // the paper's estimator and policy
+  const std::vector<MiB> candidates = {8, 12, 16, 20, 24, 28, 32};
+  const auto sweep =
+      exp::cluster_sweep(workload, candidates, /*load=*/1.0, spec,
+                         /*pool_size=*/64);
+
+  util::ConsoleTable table({"2nd pool MiB", "util (est)", "util (none)",
+                            "gain", "benefiting nodes"});
+  double best_util = 0.0;
+  MiB best_mib = 0.0;
+  for (const auto& point : sweep) {
+    table.add_row(
+        {util::format("%g", point.second_pool_mib),
+         util::format("%.3f", point.with_estimation.utilization),
+         util::format("%.3f", point.without_estimation.utilization),
+         util::format("%.3f", point.utilization_ratio()),
+         util::format("%zu", point.with_estimation.benefiting_nodes)});
+    if (point.with_estimation.utilization > best_util) {
+      best_util = point.with_estimation.utilization;
+      best_mib = point.second_pool_mib;
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nRecommended second-pool memory for this workload: %g MiB\n"
+      "(highest achieved utilization %.3f under estimation).\n\n"
+      "Note the paper's two no-gain regions: pools too small for the\n"
+      "alpha=2 descent to reach, and the homogeneous 32 MiB cluster.\n",
+      best_mib, best_util);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Elastic cluster: estimation under machine churn.
+//
+// The paper's opening sentence about heterogeneous clusters and grids:
+// "machines can dynamically join and leave the systems at any time"
+// (§1.1). This example runs the Figure 5 scenario on a cluster whose
+// 24 MiB pool is withdrawn for the middle third of the trace — a
+// maintenance window — and shows three things:
+//   * accounting stays honest (utilization is measured against the
+//     time-integrated machine count, not a fixed denominator);
+//   * busy machines drain gracefully rather than killing jobs;
+//   * the estimator's advantage survives the churn, because similarity
+//     groups keep their learned capacities across the outage.
+#include <cstdio>
+
+#include "core/factory.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/transforms.hpp"
+
+int main() {
+  using namespace resmatch;
+
+  trace::Workload workload = trace::generate_cm5_small(/*seed=*/8, 10000);
+  workload = trace::drop_wide_jobs(std::move(workload), 128);
+  workload = trace::sort_by_submit(
+      trace::scale_to_load(std::move(workload), 128, 0.9));
+
+  const Seconds third = workload.span() / 3.0;
+  const std::vector<sim::AvailabilityEvent> maintenance = {
+      {third, 24.0, -64},       // the whole 24 MiB pool leaves
+      {2.0 * third, 24.0, 64},  // and returns an epoch later
+  };
+
+  auto run = [&](const std::string& estimator) {
+    auto est = core::make_estimator(estimator);
+    auto pol = sched::make_policy("fcfs");
+    sim::SimulationConfig cfg;
+    cfg.availability = maintenance;
+    return sim::simulate(workload, sim::cm5_heterogeneous(24.0, 64), *est,
+                         *pol, cfg);
+  };
+
+  const auto with_est = run("successive-approximation");
+  const auto without = run("none");
+
+  std::printf("maintenance window: 24 MiB pool offline for the middle third\n\n");
+  std::printf("                          %-12s %-12s\n", "with est.",
+              "without");
+  std::printf("utilization (vs real capacity) %-8.3f %-8.3f\n",
+              with_est.utilization, without.utilization);
+  std::printf("mean slowdown             %-12.2f %-12.2f\n",
+              with_est.mean_slowdown, without.mean_slowdown);
+  std::printf("completed                 %-12zu %-12zu\n", with_est.completed,
+              without.completed);
+  std::printf("stranded/unschedulable    %-12zu %-12zu\n",
+              with_est.dropped_unschedulable, without.dropped_unschedulable);
+  std::printf("\nutilization advantage of estimation: %+.1f%%\n",
+              100.0 * (with_est.utilization / without.utilization - 1.0));
+  std::printf(
+      "\nDuring the outage every job must fit a 32 MiB machine either way;\n"
+      "the estimator's groups retain their learned capacities, so its\n"
+      "advantage resumes the moment the small pool returns.\n");
+  return 0;
+}

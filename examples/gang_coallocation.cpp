@@ -1,0 +1,89 @@
+// Gang co-allocation: one-to-many matching with aggregate constraints.
+//
+// The paper's related work (§1.2) covers resource-selection frameworks
+// that co-match one job with MULTIPLE resources under global constraints
+// (Liu et al.) and Condor's gangmatching (Raman et al.). This example
+// co-allocates a three-role pipeline job — a coordinator, two workers,
+// and a license-holding visualizer — across a small machine zoo, with two
+// aggregate constraints: total memory across the gang, and all machines
+// in the same grid domain.
+#include <cstdio>
+
+#include "match/gangmatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace resmatch;
+
+  // The machine zoo: two grid domains with mixed capability.
+  struct MachineSpec {
+    const char* name;
+    double memory;
+    const char* domain;
+    bool viz_license;
+  };
+  const MachineSpec specs[] = {
+      {"east-big", 64, "east", false},  {"east-mid", 32, "east", true},
+      {"east-sml", 16, "east", false},  {"west-big", 64, "west", true},
+      {"west-mid", 32, "west", false},  {"west-sm1", 16, "west", false},
+      {"west-sm2", 16, "west", false},  {"west-tin", 8, "west", false},
+  };
+  std::vector<match::ClassAd> machines;
+  for (const auto& spec : specs) {
+    match::ClassAd ad;
+    ad.set("name", spec.name);
+    ad.set("memory", spec.memory);
+    ad.set("domain", spec.domain);
+    ad.set("viz_license", spec.viz_license);
+    machines.push_back(std::move(ad));
+  }
+
+  // The gang: coordinator (32 MiB), two workers (16 MiB), visualizer
+  // (needs the license). Everyone prefers the smallest adequate machine.
+  auto member = [](double req_memory, bool needs_license) {
+    match::ClassAd ad;
+    ad.set("req_memory", req_memory);
+    ad.set("needs_license", needs_license);
+    ad.set_expr("requirements",
+                "other.memory >= my.req_memory && "
+                "(!my.needs_license || other.viz_license == true)");
+    ad.set_expr("rank", "0 - other.memory");
+    return ad;
+  };
+  const std::vector<match::ClassAd> gang = {
+      member(32, false),  // coordinator
+      member(16, false),  // worker 1
+      member(16, false),  // worker 2
+      member(16, true),   // visualizer
+  };
+  const char* roles[] = {"coordinator", "worker-1", "worker-2", "visualizer"};
+
+  match::GangMatchOptions options;
+  options.aggregate = [&](const std::vector<std::size_t>& assignment) {
+    return match::all_equal(machines, "domain")(assignment) &&
+           match::total_at_least(machines, "memory", 120.0)(assignment);
+  };
+
+  const auto result = match::gang_match(gang, machines, options);
+  if (!result.matched) {
+    std::printf("no co-allocation satisfies the gang (steps: %zu)\n",
+                result.steps);
+    return 1;
+  }
+
+  util::ConsoleTable table({"role", "machine", "memory", "domain"});
+  for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+    const auto& m = machines[result.assignment[i]];
+    table.add_row({roles[i], m.evaluate("name").as_string(),
+                   util::format("%.0f MiB", m.evaluate("memory").as_number()),
+                   m.evaluate("domain").as_string()});
+  }
+  table.print();
+  std::printf(
+      "\nsearch steps: %zu (exact backtracking; greedy smallest-fit picks\n"
+      "were revised wherever the same-domain and >=120 MiB totals forced\n"
+      "bigger machines)\n",
+      result.steps);
+  return 0;
+}

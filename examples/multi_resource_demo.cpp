@@ -1,0 +1,60 @@
+// Multi-resource estimation (paper §2.3, closing discussion).
+//
+// Algorithm 1 handles one resource; estimating several at once makes
+// failure attribution ambiguous ("it would be difficult to know which of
+// these resources causes the algorithm to terminate"). The library's
+// MultiResourceEstimator resolves that by probing a single coordinate per
+// cycle, round-robin — this demo shows it converging on a job class that
+// over-requests memory 4x, disk 8x, and licenses 2x simultaneously.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "core/multi_resource.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace resmatch;
+
+  const std::vector<std::string> names = {"memory MiB", "disk GiB",
+                                          "licenses"};
+  const std::vector<double> requested = {32.0, 80.0, 8.0};
+  const std::vector<double> actual = {8.0, 10.0, 4.0};
+
+  core::MultiResourceEstimator estimator(names.size(), {/*alpha=*/2.0,
+                                                        /*beta=*/0.0});
+  const GroupId group = 1;
+
+  util::ConsoleTable table({"cycle", "memory MiB", "disk GiB", "licenses",
+                            "outcome"});
+  for (int cycle = 1; cycle <= 18; ++cycle) {
+    const auto estimate = estimator.estimate(group, requested);
+    // Implicit feedback: the run succeeds iff every coordinate covers the
+    // actual need.
+    bool success = true;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      if (estimate[i] + 1e-9 < actual[i]) success = false;
+    }
+    estimator.feedback(group, success);
+    table.add_row({util::format("%d", cycle),
+                   util::format("%g", estimate[0]),
+                   util::format("%g", estimate[1]),
+                   util::format("%g", estimate[2]),
+                   success ? "success" : "failure (probed coordinate blamed)"});
+  }
+  table.print();
+
+  const auto final_estimate = estimator.last_good(group);
+  std::printf("\nconverged allocation vs request vs actual:\n");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %-11s granted %-7g requested %-7g actual %g\n",
+                names[i].c_str(), (*final_estimate)[i], requested[i],
+                actual[i]);
+  }
+  std::printf(
+      "\nEach failure blamed exactly one coordinate (the probed one), so\n"
+      "the other resources kept converging — the paper's ambiguity problem\n"
+      "solved by serializing the probes.\n");
+  return 0;
+}

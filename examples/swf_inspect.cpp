@@ -1,0 +1,77 @@
+// swf_inspect: characterize a workload trace before simulating it.
+//
+// Reads a Standard Workload Format file (or generates the calibrated
+// synthetic CM5 trace when no file is given) and prints the profile a
+// capacity planner wants before trusting any simulation: population,
+// demand, over-provisioning structure, and similarity-group quality —
+// i.e., whether the paper's estimation approach has anything to work with
+// on THIS trace.
+//
+// Usage:
+//   swf_inspect                          # synthetic CM5, full scale
+//   swf_inspect --file=mylog.swf         # a real SWF trace
+//   swf_inspect --jobs=5000 --seed=9     # reduced synthetic
+#include <cstdio>
+
+#include "trace/analysis.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/report.hpp"
+#include "trace/swf.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resmatch;
+  try {
+    util::CliArgs cli(argc, argv);
+    const std::string file = cli.get("file", std::string{});
+    const auto jobs =
+        static_cast<std::size_t>(cli.get("jobs", std::int64_t{0}));
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get("seed", std::int64_t{42}));
+
+    trace::Workload workload;
+    if (!file.empty()) {
+      auto result = trace::read_swf_file(file);
+      if (!result) {
+        std::fprintf(stderr, "error: %s\n", result.error().c_str());
+        return 1;
+      }
+      workload = std::move(result).value().workload;
+      std::printf("loaded %zu jobs from %s (%zu lines skipped)\n\n",
+                  workload.jobs.size(), file.c_str(),
+                  result.value().skipped);
+    } else if (jobs != 0) {
+      workload = trace::generate_cm5_small(seed, jobs);
+    } else {
+      trace::Cm5ModelConfig cfg;
+      cfg.seed = seed;
+      workload = trace::generate_cm5(cfg);
+    }
+
+    const auto profile = trace::profile_workload(workload);
+    std::fputs(trace::render_profile(profile, workload.name).c_str(), stdout);
+
+    // The estimation-readiness verdict, in the paper's terms.
+    std::printf("\nEstimation readiness:\n");
+    const bool overprovisioned = profile.overprovision_ge2_fraction > 0.1;
+    const bool grouped = profile.large_group_job_coverage > 0.5;
+    std::printf("  %-55s %s\n",
+                "significant over-provisioning (>10% of jobs at 2x)",
+                overprovisioned ? "yes" : "no");
+    std::printf("  %-55s %s\n",
+                "similarity groups cover most jobs (>50% in big groups)",
+                grouped ? "yes" : "no");
+    if (overprovisioned && grouped) {
+      std::printf(
+          "  => good candidate: resource estimation should reclaim capacity\n");
+    } else {
+      std::printf(
+          "  => weak candidate: estimation will have little to exploit\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+#include "core/capacity_ladder.hpp"
+
+#include <algorithm>
+
+namespace resmatch::core {
+
+namespace {
+/// Capacities within this relative tolerance are the same rung; protects
+/// against floating-point noise when ladders are built from computed MiB.
+constexpr double kRelTolerance = 1e-9;
+}  // namespace
+
+CapacityLadder::CapacityLadder(std::vector<MiB> capacities)
+    : rungs_(std::move(capacities)) {
+  std::sort(rungs_.begin(), rungs_.end());
+  rungs_.erase(std::unique(rungs_.begin(), rungs_.end(),
+                           [](MiB a, MiB b) {
+                             return b - a <= kRelTolerance * std::max(1.0, b);
+                           }),
+               rungs_.end());
+}
+
+MiB CapacityLadder::round_up(MiB value) const noexcept {
+  const auto it = std::lower_bound(rungs_.begin(), rungs_.end(),
+                                   value - kRelTolerance);
+  if (it == rungs_.end()) return value;
+  return *it;
+}
+
+std::optional<MiB> CapacityLadder::next_above(MiB value) const noexcept {
+  const auto it = std::upper_bound(rungs_.begin(), rungs_.end(),
+                                   value + kRelTolerance * std::max(1.0, value));
+  if (it == rungs_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<MiB> CapacityLadder::next_below(MiB value) const noexcept {
+  const auto it = std::lower_bound(
+      rungs_.begin(), rungs_.end(),
+      value - kRelTolerance * std::max(1.0, value));
+  if (it == rungs_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+std::optional<MiB> CapacityLadder::round_down(MiB value) const noexcept {
+  const auto it = std::upper_bound(rungs_.begin(), rungs_.end(),
+                                   value + kRelTolerance);
+  if (it == rungs_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+}  // namespace resmatch::core

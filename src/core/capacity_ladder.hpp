@@ -1,0 +1,54 @@
+// The cluster's capacity ladder.
+//
+// Algorithm 1, line 6: the estimated capacity is rounded to the lowest
+// machine capacity present in the cluster that is greater than or equal to
+// the estimate, because a cluster only offers discrete capacity levels.
+// The ladder is the sorted set of distinct capacities; it is handed to
+// estimators when the target cluster is known.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::core {
+
+class CapacityLadder {
+ public:
+  CapacityLadder() = default;
+
+  /// Build from any capacity list; duplicates collapse, order normalizes.
+  explicit CapacityLadder(std::vector<MiB> capacities);
+
+  /// Smallest capacity >= value. When the value exceeds every rung (or the
+  /// ladder is empty), returns `value` unchanged: the job then simply waits
+  /// for resources that do not exist, exactly as the raw request would.
+  [[nodiscard]] MiB round_up(MiB value) const noexcept;
+
+  /// Largest capacity <= value, if any.
+  [[nodiscard]] std::optional<MiB> round_down(MiB value) const noexcept;
+
+  /// Smallest capacity strictly greater than value, if any.
+  [[nodiscard]] std::optional<MiB> next_above(MiB value) const noexcept;
+
+  /// Largest capacity strictly less than value, if any.
+  [[nodiscard]] std::optional<MiB> next_below(MiB value) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return rungs_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rungs_.size(); }
+  [[nodiscard]] const std::vector<MiB>& rungs() const noexcept {
+    return rungs_;
+  }
+  [[nodiscard]] MiB max() const noexcept {
+    return rungs_.empty() ? 0.0 : rungs_.back();
+  }
+  [[nodiscard]] MiB min() const noexcept {
+    return rungs_.empty() ? 0.0 : rungs_.front();
+  }
+
+ private:
+  std::vector<MiB> rungs_;  // ascending, distinct
+};
+
+}  // namespace resmatch::core

@@ -1,0 +1,5 @@
+#include "core/estimator.hpp"
+
+// The interface is header-only today; this translation unit anchors the
+// vtable so the library has a home for future shared estimator logic.
+namespace resmatch::core {}

@@ -1,0 +1,116 @@
+// The resource-estimator interface (paper §1.3, Figure 2).
+//
+// The estimator sits between job submission and resource allocation: it
+// rewrites the job's requested capacity into an (ideally smaller) effective
+// request, and learns from per-execution feedback. It is deliberately
+// independent of the scheduling policy and the allocation scheme — any
+// Estimator composes with any sched::SchedulingPolicy.
+//
+// Feedback comes in two flavours (paper §2.1):
+//   * implicit — only whether the job completed successfully;
+//   * explicit — additionally the actual resources the job used, and
+//     whether a failure was actually caused by insufficient resources
+//     (ruling out the false positives that plague implicit feedback).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/capacity_ladder.hpp"
+#include "trace/job_record.hpp"
+
+namespace resmatch::core {
+
+/// Cluster-wide conditions at estimation time; consumed by estimators that
+/// learn global policies (the RL quadrant of Table 1). Group-based
+/// estimators ignore it.
+struct SystemState {
+  Seconds now = 0.0;
+  double busy_fraction = 0.0;   ///< busy machines / total machines
+  std::size_t queue_length = 0;
+};
+
+/// Outcome of one execution attempt, reported back to the estimator.
+struct Feedback {
+  bool success = false;
+  /// Memory capacity the job was granted per node (the estimator's own
+  /// rounded output, echoed back).
+  MiB granted_mib = 0.0;
+  /// Explicit feedback only: the actual peak memory used per node.
+  std::optional<MiB> used_mib;
+  /// Explicit feedback only: whether a failure was due to insufficient
+  /// resources (as opposed to program/machine faults). Under implicit
+  /// feedback this is unknown and estimators must assume the worst.
+  std::optional<bool> resource_failure;
+};
+
+/// Base class for all resource estimators.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Stable identifier for reports ("successive-approximation", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Effective per-node memory request for this execution attempt.
+  /// Implementations round to the capacity ladder where their algorithm
+  /// calls for it. The returned value is also the capacity the job will be
+  /// *granted*. Estimate COMMITS internal state (a probe slot, an RL
+  /// action): call it exactly once per attempt, when the job is actually
+  /// dispatched, and pair it with feedback() or cancel().
+  [[nodiscard]] virtual MiB estimate(const trace::JobRecord& job,
+                                     const SystemState& state) = 0;
+
+  /// What estimate() would currently return, WITHOUT committing anything.
+  /// Schedulers use previews for queue ordering and fit checks; previews
+  /// may go stale and need not match the later committed estimate exactly.
+  [[nodiscard]] virtual MiB preview(const trace::JobRecord& job,
+                                    const SystemState& state) const = 0;
+
+  /// Undo the state committed by the most recent estimate() for `job`
+  /// when the attempt never ran (e.g., the grant no longer fits the
+  /// cluster). Default: nothing to undo.
+  virtual void cancel(const trace::JobRecord& job, MiB granted) {
+    (void)job;
+    (void)granted;
+  }
+
+  /// Report the outcome of the most recent attempt of `job`.
+  virtual void feedback(const trace::JobRecord& job, const Feedback& fb) = 0;
+
+  /// Install the target cluster's capacity ladder. Called once before
+  /// simulation; default retains it for subclasses.
+  virtual void set_ladder(CapacityLadder ladder) { ladder_ = std::move(ladder); }
+
+  [[nodiscard]] const CapacityLadder& ladder() const noexcept {
+    return ladder_;
+  }
+
+ protected:
+  CapacityLadder ladder_;
+};
+
+/// Baseline: pass the user's request through untouched (the "without
+/// estimation" arm of every experiment).
+class NoEstimator final : public Estimator {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const SystemState& /*state*/) override {
+    // Round up so the grant names an actual machine capacity; with request
+    // >= usage this never changes which machines qualify.
+    return ladder_.round_up(job.requested_mem_mib);
+  }
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const SystemState& /*state*/) const override {
+    return ladder_.round_up(job.requested_mem_mib);
+  }
+
+  void feedback(const trace::JobRecord& /*job*/,
+                const Feedback& /*fb*/) override {}
+};
+
+}  // namespace resmatch::core

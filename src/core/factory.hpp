@@ -1,0 +1,44 @@
+// Estimator factory: builds any of the Table 1 estimators by name, with a
+// single options bag. Keeps bench/example command lines uniform
+// ("--estimator=successive-approximation --alpha=2 --beta=0").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/last_instance.hpp"
+#include "core/regression_estimator.hpp"
+#include "core/rl_estimator.hpp"
+#include "core/successive_approximation.hpp"
+
+namespace resmatch::core {
+
+/// Union of the per-estimator knobs; each estimator reads the fields it
+/// understands. Defaults are the paper's settings where the paper names
+/// one (α = 2, β = 0 in §3.1).
+struct EstimatorOptions {
+  double alpha = 2.0;
+  double beta = 0.0;
+  std::size_t window = 1;
+  double margin = 1.0;
+  double regression_margin = 1.25;
+  std::size_t min_observations = 100;
+  std::uint64_t seed = 1234;
+  bool record_trajectories = false;
+};
+
+/// Known estimator names, in the paper's Table 1 order plus baselines.
+[[nodiscard]] std::vector<std::string> estimator_names();
+
+/// Build by name: "none", "successive-approximation", "last-instance",
+/// "regression-ridge", "regression-knn", "reinforcement-learning".
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Estimator> make_estimator(
+    const std::string& name, const EstimatorOptions& options = {});
+
+/// Whether an estimator (by name) requires explicit feedback to learn.
+[[nodiscard]] bool requires_explicit_feedback(const std::string& name);
+
+}  // namespace resmatch::core

@@ -1,0 +1,111 @@
+#include "core/key_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::core {
+
+std::vector<KeyMask> enumerate_key_masks(
+    const std::vector<KeyAttribute>& attributes) {
+  std::vector<KeyMask> out;
+  const std::size_t n = attributes.size();
+  for (KeyMask subset = 1; subset < (1u << n); ++subset) {
+    KeyMask mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (subset & (1u << i)) mask |= static_cast<KeyMask>(attributes[i]);
+    }
+    out.push_back(mask);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string describe_key(KeyMask mask) {
+  std::string out;
+  auto append = [&](KeyAttribute attr, const char* name) {
+    if (mask & static_cast<KeyMask>(attr)) {
+      if (!out.empty()) out += "+";
+      out += name;
+    }
+  };
+  append(KeyAttribute::kUser, "user");
+  append(KeyAttribute::kApp, "app");
+  append(KeyAttribute::kRequestedMemory, "req_mem");
+  append(KeyAttribute::kNodes, "nodes");
+  append(KeyAttribute::kRuntimeBucket, "runtime_decade");
+  return out.empty() ? "(empty)" : out;
+}
+
+std::uint64_t key_hash(KeyMask mask, const trace::JobRecord& job) noexcept {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  auto fold = [&](std::uint64_t value) { h = util::mix64(h ^ value); };
+  if (mask & static_cast<KeyMask>(KeyAttribute::kUser)) fold(job.user);
+  if (mask & static_cast<KeyMask>(KeyAttribute::kApp)) {
+    fold(static_cast<std::uint64_t>(job.app) + 0x9E37ULL);
+  }
+  if (mask & static_cast<KeyMask>(KeyAttribute::kRequestedMemory)) {
+    fold(static_cast<std::uint64_t>(
+        std::llround(job.requested_mem_mib * 1024.0)));
+  }
+  if (mask & static_cast<KeyMask>(KeyAttribute::kNodes)) fold(job.nodes);
+  if (mask & static_cast<KeyMask>(KeyAttribute::kRuntimeBucket)) {
+    const double t = std::max(job.requested_time, 1.0);
+    fold(static_cast<std::uint64_t>(std::floor(std::log10(t))) + 0xABCDULL);
+  }
+  return h;
+}
+
+KeyQuality evaluate_key(const trace::Workload& workload, KeyMask mask,
+                        const KeySearchConfig& config) {
+  KeyQuality q;
+  q.mask = mask;
+  const auto groups = trace::profile_groups(
+      workload,
+      [mask](const trace::JobRecord& job) { return key_hash(mask, job); });
+  q.group_count = groups.size();
+
+  std::size_t total_jobs = 0;
+  std::size_t covered_jobs = 0;
+  std::size_t tight_jobs = 0;
+  double log_gain_sum = 0.0;
+  for (const auto& g : groups) {
+    total_jobs += g.size;
+    if (g.size < config.large_group_threshold) continue;
+    covered_jobs += g.size;
+    if (g.similarity_range() <= config.tight_range) tight_jobs += g.size;
+    log_gain_sum +=
+        static_cast<double>(g.size) * std::log2(std::max(1.0, g.potential_gain()));
+  }
+  if (total_jobs > 0) {
+    q.coverage =
+        static_cast<double>(covered_jobs) / static_cast<double>(total_jobs);
+  }
+  if (covered_jobs > 0) {
+    q.tightness =
+        static_cast<double>(tight_jobs) / static_cast<double>(covered_jobs);
+    q.mean_log2_gain = log_gain_sum / static_cast<double>(covered_jobs);
+  }
+  q.score = q.coverage * q.tightness * q.mean_log2_gain;
+  return q;
+}
+
+std::vector<KeyQuality> search_keys(const trace::Workload& workload,
+                                    const std::vector<KeyMask>& candidates,
+                                    const KeySearchConfig& config) {
+  std::vector<KeyQuality> out;
+  out.reserve(candidates.size());
+  for (const KeyMask mask : candidates) {
+    out.push_back(evaluate_key(workload, mask, config));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const KeyQuality& a, const KeyQuality& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace resmatch::core

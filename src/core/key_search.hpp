@@ -1,0 +1,82 @@
+// Offline similarity-key selection (paper §2.2).
+//
+// "There is no formal method to determine the best set of job request
+// parameters for job similarity. In practice, it is made through
+// trial-and-error search and measurements ... done offline, using traces
+// of explicit feedback from previous job submissions, as part of the
+// training (customization) phase of the estimator."
+//
+// This module performs that trial-and-error systematically: it enumerates
+// candidate key-attribute subsets, partitions a historical trace under
+// each, computes the paper's own quality measurements (Figures 3 and 4 —
+// job coverage by large groups, tightness of within-group usage, and
+// achievable gain), and ranks the candidates by a composite score.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::core {
+
+/// Attributes a similarity key may include. `kRuntimeBucket` quantizes
+/// the user's runtime estimate into decades, giving a coarse proxy for
+/// "same computation" when ids are missing.
+enum class KeyAttribute : unsigned {
+  kUser = 1u << 0,
+  kApp = 1u << 1,
+  kRequestedMemory = 1u << 2,
+  kNodes = 1u << 3,
+  kRuntimeBucket = 1u << 4,
+};
+
+/// A candidate key is a bitmask of attributes.
+using KeyMask = unsigned;
+
+/// All non-empty subsets of the given attributes.
+[[nodiscard]] std::vector<KeyMask> enumerate_key_masks(
+    const std::vector<KeyAttribute>& attributes);
+
+/// Human-readable rendering, e.g. "user+app+req_mem".
+[[nodiscard]] std::string describe_key(KeyMask mask);
+
+/// Hash a job under a key mask (usable as a trace::GroupKeyFn).
+[[nodiscard]] std::uint64_t key_hash(KeyMask mask,
+                                     const trace::JobRecord& job) noexcept;
+
+/// The paper's quality measurements for one candidate key, plus a
+/// composite score.
+struct KeyQuality {
+  KeyMask mask = 0;
+  std::size_t group_count = 0;
+  /// Fraction of jobs in groups of >= 10 submissions (Figure 3's concern:
+  /// only large groups amortize the learning).
+  double coverage = 0.0;
+  /// Job-weighted fraction of groups with similarity range <= 1.5
+  /// (Figure 4's x-axis: tight groups estimate safely).
+  double tightness = 0.0;
+  /// Job-weighted mean of log2(potential gain) over covered jobs
+  /// (Figure 4's y-axis: how much capacity estimation could reclaim).
+  double mean_log2_gain = 0.0;
+  /// coverage * tightness * mean_log2_gain — all three must be good.
+  double score = 0.0;
+};
+
+struct KeySearchConfig {
+  std::size_t large_group_threshold = 10;
+  double tight_range = 1.5;
+};
+
+/// Evaluate one candidate key against a trace.
+[[nodiscard]] KeyQuality evaluate_key(const trace::Workload& workload,
+                                      KeyMask mask,
+                                      const KeySearchConfig& config = {});
+
+/// Evaluate all candidates and return them ranked by score, best first.
+[[nodiscard]] std::vector<KeyQuality> search_keys(
+    const trace::Workload& workload, const std::vector<KeyMask>& candidates,
+    const KeySearchConfig& config = {});
+
+}  // namespace resmatch::core

@@ -1,0 +1,62 @@
+// Last-instance identification (paper Table 1: explicit feedback +
+// similarity groups).
+//
+// With explicit feedback "resource estimation can be performed by simply
+// using the actual resources used by the previous job submission as the
+// estimated resources for the next job submission in the same similarity
+// group" (paper §2.3). This implementation generalizes that single-sample
+// rule with a sliding window (estimate = max of the last `window` observed
+// usages) and a multiplicative safety margin; window = 1, margin = 1
+// recovers the paper's rule exactly.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/similarity.hpp"
+
+namespace resmatch::core {
+
+struct LastInstanceConfig {
+  std::size_t window = 1;   ///< how many recent usages to take the max over
+  double margin = 1.0;      ///< multiplicative headroom on the estimate
+};
+
+class LastInstanceEstimator final : public Estimator {
+ public:
+  explicit LastInstanceEstimator(LastInstanceConfig config = {},
+                                 SimilarityKeyFn key_fn = default_similarity_key);
+
+  [[nodiscard]] std::string name() const override { return "last-instance"; }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const SystemState& state) override;
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const SystemState& state) const override;
+
+  void feedback(const trace::JobRecord& job, const Feedback& fb) override;
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return index_.group_count();
+  }
+
+ private:
+  struct GroupState {
+    std::deque<MiB> recent_usage;  ///< up to `window` most recent usages
+    bool poisoned = false;  ///< a resource failure reverts to the request
+  };
+
+  GroupState& state_for(const trace::JobRecord& job);
+
+  /// Pure estimation from a group's (possibly empty) history.
+  [[nodiscard]] MiB estimate_from(const GroupState& g,
+                                  const trace::JobRecord& job) const;
+
+  LastInstanceConfig config_;
+  SimilarityIndex index_;
+  std::vector<GroupState> groups_;
+};
+
+}  // namespace resmatch::core

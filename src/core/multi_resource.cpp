@@ -1,0 +1,63 @@
+#include "core/multi_resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace resmatch::core {
+
+MultiResourceEstimator::MultiResourceEstimator(std::size_t dimensions,
+                                               MultiResourceConfig config)
+    : dims_(dimensions), config_(config) {
+  assert(dimensions >= 1);
+  assert(config.alpha > 1.0);
+  assert(config.beta >= 0.0 && config.beta < 1.0);
+}
+
+std::vector<double> MultiResourceEstimator::estimate(
+    GroupId group, const std::vector<double>& requested) {
+  assert(requested.size() == dims_);
+  auto [it, inserted] = groups_.try_emplace(group);
+  GroupState& g = it->second;
+  if (inserted) {
+    g.estimate = requested;
+    g.last_good = requested;
+    g.alpha.assign(dims_, config_.alpha);
+  }
+  // Probe exactly one coordinate below its last-good value; all others
+  // stay at last-good so a failure has a single possible culprit.
+  std::vector<double> out = g.last_good;
+  const std::size_t k = g.probe % dims_;
+  if (g.alpha[k] > 1.0) {
+    out[k] = g.last_good[k] / g.alpha[k];
+  }
+  g.estimate = out;
+  g.awaiting_feedback = true;
+  return out;
+}
+
+void MultiResourceEstimator::feedback(GroupId group, bool success) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  GroupState& g = it->second;
+  if (!g.awaiting_feedback) return;
+  g.awaiting_feedback = false;
+
+  const std::size_t k = g.probe % dims_;
+  if (success) {
+    // The probed value worked; adopt it and move to the next coordinate.
+    g.last_good = g.estimate;
+  } else {
+    // Blame is unambiguous: only coordinate k was below last-good.
+    g.alpha[k] = std::max(1.0, config_.beta * g.alpha[k]);
+  }
+  g.probe = (g.probe + 1) % dims_;
+}
+
+std::optional<std::vector<double>> MultiResourceEstimator::last_good(
+    GroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  return it->second.last_good;
+}
+
+}  // namespace resmatch::core

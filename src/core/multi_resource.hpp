@@ -1,0 +1,69 @@
+// Multi-resource generalization of Algorithm 1 (paper §2.3, last
+// paragraph).
+//
+// The paper notes that lowering several resources simultaneously makes it
+// impossible to tell which one caused a failure, and points to
+// multidimensional optimization as the remedy. This implementation takes
+// the simplest sound approach: per estimation cycle only ONE resource
+// coordinate is probed below its last-good value (round-robin across
+// coordinates), so a failure unambiguously blames the probed coordinate.
+// Each coordinate keeps its own learning rate α_k with the same
+// restore-and-damp rule as the scalar algorithm.
+//
+// The class is deliberately independent of JobRecord so it can estimate
+// any resource vector (memory, disk, licenses, ...); the memory-only
+// experiments wrap it when needed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::core {
+
+struct MultiResourceConfig {
+  double alpha = 2.0;  ///< initial per-coordinate learning rate (> 1)
+  double beta = 0.0;   ///< failure damping, in [0, 1)
+};
+
+class MultiResourceEstimator {
+ public:
+  explicit MultiResourceEstimator(std::size_t dimensions,
+                                  MultiResourceConfig config = {});
+
+  /// Effective resource vector for the next submission of group `group`.
+  /// `requested` initializes the group on first sight; its size must equal
+  /// `dimensions()`. Exactly one coordinate is below its last-good value.
+  [[nodiscard]] std::vector<double> estimate(
+      GroupId group, const std::vector<double>& requested);
+
+  /// Implicit feedback for the group's most recent estimate.
+  void feedback(GroupId group, bool success);
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return groups_.size();
+  }
+
+  /// Last-good vector of a group, if it exists.
+  [[nodiscard]] std::optional<std::vector<double>> last_good(
+      GroupId group) const;
+
+ private:
+  struct GroupState {
+    std::vector<double> estimate;    ///< per-coordinate E
+    std::vector<double> last_good;
+    std::vector<double> alpha;       ///< per-coordinate α
+    std::size_t probe = 0;           ///< coordinate probed this cycle
+    bool awaiting_feedback = false;
+  };
+
+  std::size_t dims_;
+  MultiResourceConfig config_;
+  std::unordered_map<GroupId, GroupState> groups_;
+};
+
+}  // namespace resmatch::core

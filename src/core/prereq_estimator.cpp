@@ -1,0 +1,68 @@
+#include "core/prereq_estimator.hpp"
+
+#include <cassert>
+
+namespace resmatch::core {
+
+std::vector<bool> PrerequisiteEstimator::estimate(GroupId group,
+                                                  std::size_t count) {
+  auto [it, inserted] = groups_.try_emplace(group);
+  GroupState& g = it->second;
+  if (inserted) {
+    g.status.assign(count, Status::kUnknown);
+  }
+  assert(g.status.size() == count);
+
+  // Require everything not proven droppable...
+  std::vector<bool> require(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    require[i] = g.status[i] != Status::kDroppable;
+  }
+  // ...except one unknown prerequisite we probe this cycle.
+  g.probing = false;
+  for (std::size_t step = 0; step < count; ++step) {
+    const std::size_t candidate = (g.probe + step) % count;
+    if (g.status[candidate] == Status::kUnknown) {
+      g.probe = candidate;
+      g.probing = true;
+      require[candidate] = false;
+      break;
+    }
+  }
+  g.awaiting_feedback = true;
+  return require;
+}
+
+void PrerequisiteEstimator::feedback(GroupId group, bool success) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  GroupState& g = it->second;
+  if (!g.awaiting_feedback) return;
+  g.awaiting_feedback = false;
+  if (!g.probing) return;  // nothing was dropped; outcome teaches nothing
+
+  g.status[g.probe] = success ? Status::kDroppable : Status::kRequired;
+  g.probe = (g.probe + 1) % g.status.size();
+  g.probing = false;
+}
+
+PrerequisiteEstimator::Status PrerequisiteEstimator::status(
+    GroupId group, std::size_t prereq) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || prereq >= it->second.status.size()) {
+    return Status::kUnknown;
+  }
+  return it->second.status[prereq];
+}
+
+std::size_t PrerequisiteEstimator::droppable_count(GroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  std::size_t count = 0;
+  for (const Status s : it->second.status) {
+    if (s == Status::kDroppable) ++count;
+  }
+  return count;
+}
+
+}  // namespace resmatch::core

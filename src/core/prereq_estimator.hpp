@@ -1,0 +1,57 @@
+// Prerequisite-package estimation (paper §1.3).
+//
+// The paper's over-provisioning problem covers non-numeric resources too:
+// jobs may list prerequisite software packages they never actually use,
+// and estimation can learn to "ignore some software packages that are
+// defined as prerequisites". This estimator treats each prerequisite as a
+// boolean resource and, with implicit feedback only, probes dropping one
+// not-yet-classified prerequisite per cycle:
+//
+//   success while package p was dropped  -> p is droppable
+//   failure while package p was dropped  -> p is required
+//
+// Once all packages are classified, the estimate is exactly the required
+// set. Used together with match::ClassAd machine ads in the matchmaking
+// example: fewer required packages means more machines qualify.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::core {
+
+class PrerequisiteEstimator {
+ public:
+  PrerequisiteEstimator() = default;
+
+  /// Which of the `count` requested prerequisites to actually require on
+  /// this submission. Index i of the result corresponds to prerequisite i
+  /// of the group's fixed request list.
+  [[nodiscard]] std::vector<bool> estimate(GroupId group, std::size_t count);
+
+  /// Implicit feedback for the group's most recent estimate.
+  void feedback(GroupId group, bool success);
+
+  /// Classification of a prerequisite: unknown until probed.
+  enum class Status { kUnknown, kRequired, kDroppable };
+
+  [[nodiscard]] Status status(GroupId group, std::size_t prereq) const;
+
+  /// Number of prerequisites proven droppable so far for a group.
+  [[nodiscard]] std::size_t droppable_count(GroupId group) const;
+
+ private:
+  struct GroupState {
+    std::vector<Status> status;
+    std::size_t probe = 0;      ///< prerequisite dropped in the last estimate
+    bool probing = false;       ///< whether the last estimate dropped one
+    bool awaiting_feedback = false;
+  };
+
+  std::unordered_map<GroupId, GroupState> groups_;
+};
+
+}  // namespace resmatch::core

@@ -1,0 +1,77 @@
+#include "core/regression_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resmatch::core {
+
+RegressionEstimator::RegressionEstimator(RegressionConfig config)
+    : config_(config),
+      ridge_(ml::kJobFeatureCount, config.lambda),
+      knn_(config.knn_k) {}
+
+MiB RegressionEstimator::estimate(const trace::JobRecord& job,
+                                  const SystemState& state) {
+  // Prediction is stateless; the model itself advances only in feedback().
+  return preview(job, state);
+}
+
+double RegressionEstimator::predict_target(
+    const std::vector<double>& features, double request_target) const {
+  if (config_.model == RegressionModel::kRidge) {
+    return ridge_.predict(features);
+  }
+  return knn_.predict(features, request_target);
+}
+
+MiB RegressionEstimator::preview(const trace::JobRecord& job,
+                                 const SystemState& /*state*/) const {
+  if (observed_ < config_.min_observations ||
+      (config_.model == RegressionModel::kRidge && !model_ready_) ||
+      burned_keys_.count(default_similarity_key(job)) > 0) {
+    return ladder_.round_up(job.requested_mem_mib);
+  }
+  const auto features = ml::job_features(job);
+  const double request_target =
+      std::log2(std::max(job.requested_mem_mib, 1e-3));
+  const double predicted_target = predict_target(features, request_target);
+  const MiB predicted =
+      ml::target_to_mib(predicted_target) * config_.margin;
+  // A request is a safe upper bound; never estimate above it.
+  const MiB target = std::clamp(predicted, 0.0, job.requested_mem_mib);
+  return ladder_.round_up(target);
+}
+
+void RegressionEstimator::feedback(const trace::JobRecord& job,
+                                   const Feedback& fb) {
+  // An under-provisioned class is never trusted to the model again; its
+  // later submissions pass the request through (safety memoization).
+  if (!fb.success && fb.resource_failure.value_or(false)) {
+    burned_keys_.insert(default_similarity_key(job));
+  }
+  // Regression modeling requires explicit feedback; without a usage
+  // observation there is nothing to learn from.
+  if (!fb.used_mib) return;
+  trace::JobRecord labeled = job;
+  labeled.used_mem_mib = *fb.used_mib;
+  const auto features = ml::job_features(labeled);
+  const double target = ml::usage_target(labeled);
+  if (config_.model == RegressionModel::kRidge) {
+    ridge_.add(features, target);
+    ++since_refit_;
+    // Refit periodically (O(d^3), d tiny): estimates stay const and the
+    // model is at most refit_interval observations behind. No fit happens
+    // before min_observations — an immature model would poison the
+    // residual calibration with garbage mispredictions.
+    const bool warm = observed_ + 1 >= config_.min_observations;
+    if (warm && (!model_ready_ || since_refit_ >= config_.refit_interval)) {
+      model_ready_ = ridge_.fit();
+      since_refit_ = 0;
+    }
+  } else {
+    knn_.add(features, target);
+  }
+  ++observed_;
+}
+
+}  // namespace resmatch::core

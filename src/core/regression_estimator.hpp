@@ -1,0 +1,84 @@
+// Regression modeling (paper Table 1: explicit feedback, no similarity
+// groups).
+//
+// Learns a mapping from request-file parameters to actual usage (paper §4):
+// features are request-time attributes only, the target is log2 of actual
+// per-node memory. Until enough observations accumulate the estimator
+// passes requests through unchanged, then predicts usage, applies a safety
+// margin, clamps to the request (a request is a safe upper bound by the
+// paper's assumption), and rounds to the cluster ladder.
+//
+// Two interchangeable models: online ridge regression (the paper's linear
+// regression example — "divide each requested capacity by 2" is exactly a
+// weight it can learn in log space) and k-NN (a nonparametric variant for
+// workloads where the mapping is not linear even in log space).
+//
+// Safety: a global model can systematically under-predict a particular
+// job class, which would fail that class's jobs forever. The estimator
+// therefore memoizes resource failures per job key (explicit feedback
+// names the cause): once a class has been under-provisioned once, its
+// later submissions pass the user request through. This is a safety net,
+// not group-based learning — usage prediction stays global.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/estimator.hpp"
+#include "core/similarity.hpp"
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+#include "stats/regression.hpp"
+
+namespace resmatch::core {
+
+enum class RegressionModel { kRidge, kKnn };
+
+struct RegressionConfig {
+  RegressionModel model = RegressionModel::kRidge;
+  /// Pass requests through until this many labeled observations are seen.
+  std::size_t min_observations = 100;
+  /// Multiplicative headroom over the predicted usage.
+  double margin = 1.25;
+  /// Ridge damping (kRidge only).
+  double lambda = 1e-3;
+  /// Refit the ridge model after this many new observations (kRidge only).
+  std::size_t refit_interval = 64;
+  /// Neighbours (kKnn only).
+  std::size_t knn_k = 8;
+};
+
+class RegressionEstimator final : public Estimator {
+ public:
+  explicit RegressionEstimator(RegressionConfig config = {});
+
+  [[nodiscard]] std::string name() const override {
+    return config_.model == RegressionModel::kRidge ? "regression-ridge"
+                                                    : "regression-knn";
+  }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const SystemState& state) override;
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const SystemState& state) const override;
+
+  void feedback(const trace::JobRecord& job, const Feedback& fb) override;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return observed_; }
+
+ private:
+  RegressionConfig config_;
+  stats::RidgeRegression ridge_;
+  ml::KnnRegressor knn_;
+  std::size_t observed_ = 0;
+  std::size_t since_refit_ = 0;
+  bool model_ready_ = false;
+  /// Job keys whose estimates under-provisioned once: permanent pass-through.
+  std::unordered_set<std::uint64_t> burned_keys_;
+
+  [[nodiscard]] double predict_target(const std::vector<double>& features,
+                                      double request_target) const;
+};
+
+}  // namespace resmatch::core

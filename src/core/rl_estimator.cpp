@@ -1,0 +1,90 @@
+#include "core/rl_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resmatch::core {
+
+namespace {
+
+ml::StateSpace make_space(const RlEstimatorConfig& cfg) {
+  std::vector<ml::Discretizer> dims;
+  dims.emplace_back(0.0, 1.0, cfg.load_buckets);
+  // Queue length on a log scale: 2^0 .. 2^10 jobs.
+  dims.emplace_back(0.0, 10.0, cfg.queue_buckets);
+  // log2 of requested memory, 0..5 covers 1..32 MiB (clamped outside).
+  dims.emplace_back(0.0, 5.0, cfg.memory_buckets);
+  return ml::StateSpace(std::move(dims));
+}
+
+}  // namespace
+
+RlEstimator::RlEstimator(RlEstimatorConfig config)
+    : config_(std::move(config)),
+      space_(make_space(config_)),
+      agent_(space_.state_count(), config_.scale_factors.size(),
+             config_.agent, config_.seed) {}
+
+std::size_t RlEstimator::state_index(const trace::JobRecord& job,
+                                     const SystemState& state) const {
+  return space_.index({
+      state.busy_fraction,
+      std::log2(static_cast<double>(state.queue_length) + 1.0),
+      std::log2(std::max(job.requested_mem_mib, 1.0)),
+  });
+}
+
+MiB RlEstimator::estimate(const trace::JobRecord& job,
+                          const SystemState& state) {
+  const std::size_t s = state_index(job, state);
+  const std::size_t a = agent_.select_action(s);
+  const double factor = config_.scale_factors[a];
+  pending_[job.id] = {s, a, job.requested_mem_mib};
+  return ladder_.round_up(job.requested_mem_mib * factor);
+}
+
+MiB RlEstimator::preview(const trace::JobRecord& job,
+                         const SystemState& state) const {
+  const std::size_t s = state_index(job, state);
+  const double factor = config_.scale_factors[agent_.best_action(s)];
+  return ladder_.round_up(job.requested_mem_mib * factor);
+}
+
+void RlEstimator::cancel(const trace::JobRecord& job, MiB /*granted*/) {
+  pending_.erase(job.id);
+}
+
+void RlEstimator::feedback(const trace::JobRecord& job, const Feedback& fb) {
+  const auto it = pending_.find(job.id);
+  if (it == pending_.end()) return;  // feedback without a decision: ignore
+  const PendingDecision decision = it->second;
+  pending_.erase(it);
+
+  double reward = 0.0;
+  if (fb.success) {
+    // Reward the saved fraction of the request. Explicit feedback could
+    // sharpen this with true usage, but the saved capacity is what the
+    // cluster actually reclaims.
+    const double saved =
+        decision.requested > 0.0
+            ? std::clamp(1.0 - fb.granted_mib / decision.requested, 0.0, 1.0)
+            : 0.0;
+    reward = saved;
+  } else {
+    const bool resource = fb.resource_failure.value_or(true);
+    // Non-resource failures (known only with explicit feedback) carry no
+    // signal about the scaling decision.
+    if (!resource) return;
+    reward = -config_.failure_penalty;
+  }
+  // One-shot episode: terminal transition.
+  agent_.update(decision.state, decision.action, reward, agent_.states());
+}
+
+double RlEstimator::greedy_factor(const trace::JobRecord& job,
+                                  const SystemState& state) const {
+  const std::size_t s = state_index(job, state);
+  return config_.scale_factors[agent_.best_action(s)];
+}
+
+}  // namespace resmatch::core

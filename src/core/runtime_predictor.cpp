@@ -1,0 +1,49 @@
+#include "core/runtime_predictor.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace resmatch::core {
+
+RuntimePredictor::RuntimePredictor(RuntimePredictorConfig config,
+                                   SimilarityKeyFn key_fn)
+    : config_(config), index_(std::move(key_fn)) {
+  assert(config_.window >= 1);
+  assert(config_.inflation >= 1.0);
+}
+
+Seconds RuntimePredictor::predict(const trace::JobRecord& job) const {
+  const auto gid = index_.find(job);
+  if (gid && *gid < groups_.size() && !groups_[*gid].recent.empty()) {
+    const auto& recent = groups_[*gid].recent;
+    const Seconds mean =
+        std::accumulate(recent.begin(), recent.end(), 0.0) /
+        static_cast<double>(recent.size());
+    return mean * config_.inflation;
+  }
+  // No history: the user's estimate, like a scheduler without prediction.
+  return job.requested_time > 0.0 ? job.requested_time : job.runtime;
+}
+
+void RuntimePredictor::observe(const trace::JobRecord& job,
+                               Seconds actual_runtime) {
+  const GroupId gid = index_.group_of(job);
+  if (gid >= groups_.size()) groups_.resize(gid + 1);
+  auto& recent = groups_[gid].recent;
+  recent.push_back(actual_runtime);
+  while (recent.size() > config_.window) recent.pop_front();
+}
+
+void RuntimePredictor::record_accuracy(Seconds predicted,
+                                       Seconds actual) noexcept {
+  ++scored_;
+  if (predicted + 1e-9 < actual) ++under_;
+}
+
+double RuntimePredictor::underprediction_fraction() const noexcept {
+  return scored_ == 0
+             ? 0.0
+             : static_cast<double>(under_) / static_cast<double>(scored_);
+}
+
+}  // namespace resmatch::core

@@ -1,0 +1,75 @@
+// Learned job-runtime prediction (related work [18]: Tsafrir, Etsion &
+// Feitelson, "Backfilling using runtime predictions rather than user
+// estimates").
+//
+// The paper positions its memory estimator as "very similar in spirit" to
+// replacing user runtime estimates with learned predictions for
+// backfilling. This module implements that companion idea with Tsafrir's
+// core recipe: predict a job's runtime as the average of the last two
+// runtimes observed in its similarity group, falling back to the user
+// estimate while history is short. The simulator can feed these
+// predictions to EASY backfilling in place of user estimates
+// (SimulationConfig::runtime_predictor), and the
+// ablation_runtime_prediction bench crosses this with memory estimation.
+//
+// Under-prediction handling follows Tsafrir as well: when a job outlives
+// its prediction the scheduler's reservation math is simply wrong for a
+// while — predictions are advisory, jobs are never killed for exceeding
+// them.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "trace/job_record.hpp"
+
+namespace resmatch::core {
+
+struct RuntimePredictorConfig {
+  /// How many recent runtimes to average (Tsafrir uses 2).
+  std::size_t window = 2;
+  /// Multiplicative headroom on the prediction; modest inflation reduces
+  /// reservation violations at little backfilling cost.
+  double inflation = 1.0;
+};
+
+class RuntimePredictor {
+ public:
+  explicit RuntimePredictor(RuntimePredictorConfig config = {},
+                            SimilarityKeyFn key_fn = default_similarity_key);
+
+  /// Predicted runtime for this submission: the window average of the
+  /// group's recent actual runtimes (inflated), or the user's estimate
+  /// (or actual-runtime field when no estimate exists) while the group
+  /// has no history.
+  [[nodiscard]] Seconds predict(const trace::JobRecord& job) const;
+
+  /// Record a finished execution's actual runtime.
+  void observe(const trace::JobRecord& job, Seconds actual_runtime);
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return index_.group_count();
+  }
+
+  /// Fraction of predictions that under-estimated (diagnostics; callers
+  /// compare against actuals via record_accuracy).
+  void record_accuracy(Seconds predicted, Seconds actual) noexcept;
+  [[nodiscard]] double underprediction_fraction() const noexcept;
+  [[nodiscard]] std::size_t predictions_scored() const noexcept {
+    return scored_;
+  }
+
+ private:
+  struct GroupState {
+    std::deque<Seconds> recent;
+  };
+
+  RuntimePredictorConfig config_;
+  SimilarityIndex index_;
+  std::vector<GroupState> groups_;
+  std::size_t scored_ = 0;
+  std::size_t under_ = 0;
+};
+
+}  // namespace resmatch::core

@@ -1,0 +1,29 @@
+#include "core/similarity.hpp"
+
+#include "trace/analysis.hpp"
+
+namespace resmatch::core {
+
+std::uint64_t default_similarity_key(const trace::JobRecord& job) noexcept {
+  return trace::default_group_key(job);
+}
+
+SimilarityIndex::SimilarityIndex(SimilarityKeyFn key_fn)
+    : key_fn_(std::move(key_fn)) {}
+
+GroupId SimilarityIndex::group_of(const trace::JobRecord& job) {
+  const std::uint64_t key = key_fn_(job);
+  const auto [it, inserted] =
+      ids_.try_emplace(key, static_cast<GroupId>(ids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+std::optional<GroupId> SimilarityIndex::find(
+    const trace::JobRecord& job) const {
+  const auto it = ids_.find(key_fn_(job));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace resmatch::core

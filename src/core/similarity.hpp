@@ -1,0 +1,49 @@
+// Online similarity-group identification (paper §2.2).
+//
+// A similarity group is a disjoint set of job submissions expected to use
+// a similar amount of resources. The paper's key for the LANL CM5 trace —
+// lacking explicit job IDs — is the (user id, application number,
+// requested memory) triple; SimilarityIndex assigns dense group ids to
+// keys as they first appear, which is the online counterpart of the
+// offline analysis in trace/analysis.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::core {
+
+/// Hash key identifying a similarity group.
+using SimilarityKeyFn = std::function<std::uint64_t(const trace::JobRecord&)>;
+
+/// The paper's default key (user, app, requested memory). Defined in
+/// trace/analysis.cpp; re-exported here so estimators need only this header.
+[[nodiscard]] std::uint64_t default_similarity_key(
+    const trace::JobRecord& job) noexcept;
+
+/// Assigns dense GroupIds to similarity keys on first sight. Estimators
+/// index their per-group state vectors with the returned ids.
+class SimilarityIndex {
+ public:
+  explicit SimilarityIndex(SimilarityKeyFn key_fn = default_similarity_key);
+
+  /// Group id for a job, creating a new group when the key is unseen.
+  [[nodiscard]] GroupId group_of(const trace::JobRecord& job);
+
+  /// Group id if the key is already known.
+  [[nodiscard]] std::optional<GroupId> find(const trace::JobRecord& job) const;
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return ids_.size();
+  }
+
+ private:
+  SimilarityKeyFn key_fn_;
+  std::unordered_map<std::uint64_t, GroupId> ids_;
+};
+
+}  // namespace resmatch::core

@@ -1,0 +1,160 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace resmatch::exp {
+
+sim::SimulationConfig RunSpec::effective_sim_config() const {
+  sim::SimulationConfig cfg = sim;
+  if (core::requires_explicit_feedback(estimator)) {
+    cfg.explicit_feedback = true;
+  }
+  return cfg;
+}
+
+sim::SimulationResult run_once(const trace::Workload& workload,
+                               const sim::ClusterSpec& cluster,
+                               const RunSpec& spec) {
+  auto estimator = core::make_estimator(spec.estimator, spec.options);
+  auto policy = sched::make_policy(spec.policy);
+  sim::SimulationConfig config = spec.effective_sim_config();
+  core::RuntimePredictor predictor;
+  if (spec.use_runtime_prediction) config.runtime_predictor = &predictor;
+  return sim::simulate(workload, cluster, *estimator, *policy, config);
+}
+
+std::vector<LoadPoint> load_sweep(const trace::Workload& workload,
+                                  const sim::ClusterSpec& cluster,
+                                  const std::vector<double>& loads,
+                                  const RunSpec& spec) {
+  std::size_t machines = 0;
+  for (const auto& pool : cluster) machines += pool.count;
+
+  std::vector<LoadPoint> out;
+  out.reserve(loads.size());
+  RunSpec baseline = spec;
+  baseline.estimator = "none";
+  for (const double load : loads) {
+    trace::Workload scaled = trace::sort_by_submit(
+        trace::scale_to_load(workload, machines, load));
+    LoadPoint point;
+    point.load = load;
+    point.with_estimation = run_once(scaled, cluster, spec);
+    point.without_estimation = run_once(scaled, cluster, baseline);
+    RM_LOG(kInfo) << "load " << load << ": util "
+                  << point.with_estimation.utilization << " vs "
+                  << point.without_estimation.utilization;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+double saturation_utilization(const std::vector<LoadPoint>& sweep,
+                              bool with_estimation) {
+  double best = 0.0;
+  for (const auto& point : sweep) {
+    const double u = with_estimation ? point.with_estimation.utilization
+                                     : point.without_estimation.utilization;
+    best = std::max(best, u);
+  }
+  return best;
+}
+
+SaturationKnee find_saturation_knee(const std::vector<LoadPoint>& sweep,
+                                    bool with_estimation,
+                                    double tracking_tolerance) {
+  SaturationKnee knee;
+  knee.utilization = saturation_utilization(sweep, with_estimation);
+  for (const auto& point : sweep) {
+    const double util = with_estimation
+                            ? point.with_estimation.utilization
+                            : point.without_estimation.utilization;
+    if (point.load > 0.0 && util < tracking_tolerance * point.load) {
+      knee.found = true;
+      knee.load = point.load;
+      return knee;
+    }
+  }
+  return knee;
+}
+
+std::vector<ClusterPoint> cluster_sweep(const trace::Workload& workload,
+                                        const std::vector<MiB>& second_pool_sizes,
+                                        double load, const RunSpec& spec,
+                                        std::size_t pool_size) {
+  std::vector<ClusterPoint> out;
+  out.reserve(second_pool_sizes.size());
+  RunSpec baseline = spec;
+  baseline.estimator = "none";
+  for (const MiB mib : second_pool_sizes) {
+    const sim::ClusterSpec cluster = sim::cm5_heterogeneous(mib, pool_size);
+    trace::Workload scaled = trace::sort_by_submit(
+        trace::scale_to_load(workload, 2 * pool_size, load));
+    ClusterPoint point;
+    point.second_pool_mib = mib;
+    point.with_estimation = run_once(scaled, cluster, spec);
+    point.without_estimation = run_once(scaled, cluster, baseline);
+    RM_LOG(kInfo) << "second pool " << mib << " MiB: ratio "
+                  << point.utilization_ratio();
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::size_t warm_start(core::Estimator& estimator,
+                       const trace::Workload& history) {
+  std::size_t observed = 0;
+  for (const auto& job : history.jobs) {
+    // Historical records carry actual usage: replay them as completed
+    // executions with explicit feedback. The grant is the estimator's own
+    // output so group state advances exactly as it would have live.
+    const MiB grant = estimator.estimate(job, {});
+    core::Feedback fb;
+    fb.success = grant + 1e-9 >= job.used_mem_mib &&
+                 job.status != trace::JobStatus::kFailed;
+    fb.granted_mib = grant;
+    fb.used_mib = job.used_mem_mib;
+    fb.resource_failure =
+        !fb.success && job.status != trace::JobStatus::kFailed;
+    estimator.feedback(job, fb);
+    ++observed;
+  }
+  return observed;
+}
+
+WarmStartResult run_warmstart(const trace::Workload& workload,
+                              const sim::ClusterSpec& cluster,
+                              const RunSpec& spec, double train_fraction) {
+  auto split = trace::split_by_time(workload, train_fraction);
+  WarmStartResult result;
+  result.training_jobs = split.train.jobs.size();
+
+  auto policy_cold = sched::make_policy(spec.policy);
+  auto cold = core::make_estimator(spec.estimator, spec.options);
+  result.cold = sim::simulate(split.test, cluster, *cold, *policy_cold,
+                              spec.effective_sim_config());
+
+  auto policy_warm = sched::make_policy(spec.policy);
+  auto warm = core::make_estimator(spec.estimator, spec.options);
+  // Give the warm estimator the cluster's ladder before training so its
+  // group state forms on the real capacity rungs.
+  sim::Cluster shape(cluster);
+  warm->set_ladder(shape.ladder());
+  warm_start(*warm, split.train);
+  result.warm = sim::simulate(split.test, cluster, *warm, *policy_warm,
+                              spec.effective_sim_config());
+  return result;
+}
+
+trace::Workload standard_workload(std::uint64_t seed, std::size_t jobs) {
+  if (jobs == 0) {
+    trace::Cm5ModelConfig cfg;
+    cfg.seed = seed;
+    return trace::sort_by_submit(trace::generate_cm5(cfg));
+  }
+  return trace::sort_by_submit(trace::generate_cm5_small(seed, jobs));
+}
+
+}  // namespace resmatch::exp

@@ -1,0 +1,126 @@
+// Experiment drivers shared by the bench binaries.
+//
+// Each of the paper's figures is a composition of the same three moves:
+// build a workload, build a cluster, sweep a parameter while running the
+// simulator with and without estimation. These helpers encode the moves
+// once so each bench binary is a thin declaration of its sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/transforms.hpp"
+
+namespace resmatch::exp {
+
+/// Everything needed to run one simulation.
+struct RunSpec {
+  std::string estimator = "successive-approximation";
+  std::string policy = "fcfs";
+  core::EstimatorOptions options;
+  sim::SimulationConfig sim;
+  /// Attach a fresh Tsafrir-style runtime predictor to the run (feeds
+  /// backfilling reservations with learned runtimes).
+  bool use_runtime_prediction = false;
+
+  /// Explicit feedback is forced on for estimators that need it.
+  [[nodiscard]] sim::SimulationConfig effective_sim_config() const;
+};
+
+/// Run one simulation with fresh estimator/policy instances.
+[[nodiscard]] sim::SimulationResult run_once(const trace::Workload& workload,
+                                             const sim::ClusterSpec& cluster,
+                                             const RunSpec& spec);
+
+/// One row of a load sweep: the same workload rescaled to `load`, run with
+/// and without estimation.
+struct LoadPoint {
+  double load = 0.0;
+  sim::SimulationResult with_estimation;
+  sim::SimulationResult without_estimation;
+
+  [[nodiscard]] double utilization_ratio() const noexcept {
+    return without_estimation.utilization > 0.0
+               ? with_estimation.utilization / without_estimation.utilization
+               : 0.0;
+  }
+  [[nodiscard]] double slowdown_ratio() const noexcept {
+    // Paper Figure 6 plots slowdown(no est) / slowdown(est): > 1 is a win.
+    return with_estimation.mean_slowdown > 0.0
+               ? without_estimation.mean_slowdown /
+                     with_estimation.mean_slowdown
+               : 0.0;
+  }
+};
+
+/// Figures 5 and 6: sweep offered load on a fixed cluster.
+[[nodiscard]] std::vector<LoadPoint> load_sweep(
+    const trace::Workload& workload, const sim::ClusterSpec& cluster,
+    const std::vector<double>& loads, const RunSpec& spec);
+
+/// Saturation utilization: the maximum achieved utilization across a sweep
+/// (the paper compares utilizations "at the saturation points where the
+/// linear growth of utilization stops").
+[[nodiscard]] double saturation_utilization(
+    const std::vector<LoadPoint>& sweep, bool with_estimation);
+
+/// The saturation knee itself: the first offered load whose achieved
+/// utilization falls below `tracking_tolerance` of the offered load —
+/// i.e., where "the linear growth of utilization stops" (paper footnote 4).
+struct SaturationKnee {
+  bool found = false;       ///< false when the sweep never saturates
+  double load = 0.0;        ///< offered load at the knee
+  double utilization = 0.0; ///< plateau utilization (max over the sweep)
+};
+
+[[nodiscard]] SaturationKnee find_saturation_knee(
+    const std::vector<LoadPoint>& sweep, bool with_estimation,
+    double tracking_tolerance = 0.95);
+
+/// Figure 8: sweep the second pool's memory size on a fixed offered load.
+struct ClusterPoint {
+  MiB second_pool_mib = 0.0;
+  sim::SimulationResult with_estimation;
+  sim::SimulationResult without_estimation;
+
+  [[nodiscard]] double utilization_ratio() const noexcept {
+    return without_estimation.utilization > 0.0
+               ? with_estimation.utilization / without_estimation.utilization
+               : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<ClusterPoint> cluster_sweep(
+    const trace::Workload& workload, const std::vector<MiB>& second_pool_sizes,
+    double load, const RunSpec& spec, std::size_t pool_size = 512);
+
+/// Standard workloads for experiments. `jobs == 0` means the full
+/// paper-scale trace (~122k jobs); smaller values generate proportionally
+/// scaled traces for quick runs.
+[[nodiscard]] trace::Workload standard_workload(std::uint64_t seed,
+                                                std::size_t jobs = 0);
+
+/// The paper's §2.2 offline training phase: replay a historical trace's
+/// explicit feedback through the estimator (no cluster involved — every
+/// training job is treated as having run at its own usage), so it enters
+/// live operation warm. Returns the number of training observations.
+std::size_t warm_start(core::Estimator& estimator,
+                       const trace::Workload& history);
+
+/// Cold vs warm comparison on a chronological split of one trace.
+struct WarmStartResult {
+  sim::SimulationResult cold;  ///< estimator starts empty on the test trace
+  sim::SimulationResult warm;  ///< estimator pre-trained on the train trace
+  std::size_t training_jobs = 0;
+};
+
+[[nodiscard]] WarmStartResult run_warmstart(const trace::Workload& workload,
+                                            const sim::ClusterSpec& cluster,
+                                            const RunSpec& spec,
+                                            double train_fraction = 0.3);
+
+}  // namespace resmatch::exp

@@ -1,0 +1,79 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace resmatch::exp {
+
+util::ConsoleTable load_sweep_table(const std::vector<LoadPoint>& sweep) {
+  util::ConsoleTable table({"load", "util(est)", "util(none)", "util ratio",
+                            "slowdown(est)", "slowdown(none)",
+                            "slowdown ratio", "lowered%", "res-fail%"});
+  for (const auto& p : sweep) {
+    table.add_numeric_row({p.load, p.with_estimation.utilization,
+                   p.without_estimation.utilization, p.utilization_ratio(),
+                   p.with_estimation.mean_slowdown,
+                   p.without_estimation.mean_slowdown, p.slowdown_ratio(),
+                   100.0 * p.with_estimation.lowered_fraction(),
+                   100.0 * p.with_estimation.resource_failure_fraction()});
+  }
+  return table;
+}
+
+util::ConsoleTable cluster_sweep_table(const std::vector<ClusterPoint>& sweep) {
+  util::ConsoleTable table({"2nd pool MiB", "util(est)", "util(none)",
+                            "util ratio", "benefit jobs", "benefit nodes",
+                            "res-fail%"});
+  for (const auto& p : sweep) {
+    table.add_numeric_row(
+        {p.second_pool_mib, p.with_estimation.utilization,
+         p.without_estimation.utilization, p.utilization_ratio(),
+         static_cast<double>(p.with_estimation.benefiting_jobs),
+         static_cast<double>(p.with_estimation.benefiting_nodes),
+         100.0 * p.with_estimation.resource_failure_fraction()});
+  }
+  return table;
+}
+
+void write_load_sweep_csv(const std::string& path,
+                          const std::vector<LoadPoint>& sweep) {
+  if (path.empty()) return;
+  util::CsvWriter csv(path);
+  csv.header({"load", "util_est", "util_none", "util_ratio", "slowdown_est",
+              "slowdown_none", "slowdown_ratio", "lowered_frac",
+              "resource_fail_frac"});
+  for (const auto& p : sweep) {
+    csv.row(std::vector<double>{
+        p.load, p.with_estimation.utilization,
+        p.without_estimation.utilization, p.utilization_ratio(),
+        p.with_estimation.mean_slowdown, p.without_estimation.mean_slowdown,
+        p.slowdown_ratio(), p.with_estimation.lowered_fraction(),
+        p.with_estimation.resource_failure_fraction()});
+  }
+}
+
+void write_cluster_sweep_csv(const std::string& path,
+                             const std::vector<ClusterPoint>& sweep) {
+  if (path.empty()) return;
+  util::CsvWriter csv(path);
+  csv.header({"second_pool_mib", "util_est", "util_none", "util_ratio",
+              "benefit_jobs", "benefit_nodes", "resource_fail_frac"});
+  for (const auto& p : sweep) {
+    csv.row(std::vector<double>{
+        p.second_pool_mib, p.with_estimation.utilization,
+        p.without_estimation.utilization, p.utilization_ratio(),
+        static_cast<double>(p.with_estimation.benefiting_jobs),
+        static_cast<double>(p.with_estimation.benefiting_nodes),
+        p.with_estimation.resource_failure_fraction()});
+  }
+}
+
+void print_banner(const std::string& experiment,
+                  const std::string& paper_reference) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("reproduces: %s\n\n", paper_reference.c_str());
+}
+
+}  // namespace resmatch::exp

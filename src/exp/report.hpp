@@ -1,0 +1,34 @@
+// Reporting helpers for the bench binaries: consistent console tables and
+// optional CSV dumps of the same rows (for external plotting).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace resmatch::exp {
+
+/// Render a load sweep as the paper's Figure 5/6 series.
+[[nodiscard]] util::ConsoleTable load_sweep_table(
+    const std::vector<LoadPoint>& sweep);
+
+/// Render a cluster sweep as the paper's Figure 8 series.
+[[nodiscard]] util::ConsoleTable cluster_sweep_table(
+    const std::vector<ClusterPoint>& sweep);
+
+/// Write a load sweep as CSV (no-op when path is empty).
+void write_load_sweep_csv(const std::string& path,
+                          const std::vector<LoadPoint>& sweep);
+
+/// Write a cluster sweep as CSV (no-op when path is empty).
+void write_cluster_sweep_csv(const std::string& path,
+                             const std::vector<ClusterPoint>& sweep);
+
+/// Standard banner naming the experiment and its provenance.
+void print_banner(const std::string& experiment,
+                  const std::string& paper_reference);
+
+}  // namespace resmatch::exp

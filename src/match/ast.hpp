@@ -1,0 +1,54 @@
+// Expression AST for the ClassAd-lite language.
+//
+// Nodes are immutable and shared; an ad's attribute expressions can be
+// evaluated concurrently against many candidate ads without copying.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "match/lexer.hpp"
+#include "match/value.hpp"
+
+namespace resmatch::match {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kLiteral,   ///< constant Value
+  kAttrRef,   ///< bare / my. / other. attribute reference
+  kUnary,     ///< ! or unary -
+  kBinary,    ///< arithmetic, comparison, boolean
+  kTernary,   ///< cond ? a : b
+  kCall,      ///< builtin function call
+};
+
+/// Which ad an attribute reference resolves against.
+enum class Scope {
+  kBare,   ///< self first, then the other ad (Condor lookup order)
+  kSelf,   ///< my.attr
+  kOther,  ///< other.attr / target.attr
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  Value literal;            ///< kLiteral
+  std::string name;         ///< kAttrRef: attribute; kCall: function name
+  Scope scope = Scope::kBare;  ///< kAttrRef
+  TokenKind op = TokenKind::kEnd;  ///< kUnary / kBinary operator
+  std::vector<ExprPtr> children;   ///< operands / call arguments
+
+  static ExprPtr make_literal(Value v);
+  static ExprPtr make_attr(std::string attr_name, Scope attr_scope);
+  static ExprPtr make_unary(TokenKind op, ExprPtr operand);
+  static ExprPtr make_binary(TokenKind op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_ternary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+  static ExprPtr make_call(std::string fn, std::vector<ExprPtr> args);
+};
+
+/// Render an expression back to (normalized) source text.
+[[nodiscard]] std::string to_string(const Expr& expr);
+
+}  // namespace resmatch::match

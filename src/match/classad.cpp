@@ -1,0 +1,295 @@
+#include "match/classad.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resmatch::match {
+
+namespace {
+
+/// Evaluation context threaded through the recursion. The depth limit
+/// bounds attribute-chain recursion (including mutual references between
+/// the two ads), turning cycles into UNDEFINED.
+struct EvalContext {
+  const ClassAd* self = nullptr;
+  const ClassAd* other = nullptr;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+};
+
+Value eval(const Expr& expr, EvalContext ctx);
+
+Value eval_attr(const Expr& expr, EvalContext ctx) {
+  if (ctx.depth >= EvalContext::kMaxDepth) return Undefined{};
+  ++ctx.depth;
+  auto lookup = [&](const ClassAd* ad, const ClassAd* counterpart) -> std::optional<Value> {
+    if (!ad) return std::nullopt;
+    const ExprPtr* found = ad->find(expr.name);
+    if (!found) return std::nullopt;
+    EvalContext inner = ctx;
+    inner.self = ad;
+    inner.other = counterpart;
+    return eval(**found, inner);
+  };
+  switch (expr.scope) {
+    case Scope::kSelf: {
+      auto v = lookup(ctx.self, ctx.other);
+      return v ? *v : Value(Undefined{});
+    }
+    case Scope::kOther: {
+      auto v = lookup(ctx.other, ctx.self);
+      return v ? *v : Value(Undefined{});
+    }
+    case Scope::kBare: {
+      // Condor lookup order: the referencing ad first, then the target.
+      if (auto v = lookup(ctx.self, ctx.other)) return *v;
+      if (auto v = lookup(ctx.other, ctx.self)) return *v;
+      return Undefined{};
+    }
+  }
+  return Undefined{};
+}
+
+Value eval_unary(const Expr& expr, EvalContext ctx) {
+  const Value v = eval(*expr.children[0], ctx);
+  if (expr.op == TokenKind::kNot) {
+    if (v.is_bool()) return !v.as_bool();
+    return Undefined{};
+  }
+  // Unary minus.
+  if (v.is_number()) return -v.as_number();
+  return Undefined{};
+}
+
+Value eval_binary(const Expr& expr, EvalContext ctx) {
+  const TokenKind op = expr.op;
+
+  // Lazy boolean operators: false/true can dominate an UNDEFINED side.
+  if (op == TokenKind::kAndAnd || op == TokenKind::kOrOr) {
+    const Value lhs = eval(*expr.children[0], ctx);
+    if (lhs.is_bool()) {
+      if (op == TokenKind::kAndAnd && !lhs.as_bool()) return false;
+      if (op == TokenKind::kOrOr && lhs.as_bool()) return true;
+    } else if (!lhs.is_undefined()) {
+      return Undefined{};  // non-boolean operand is a type error
+    }
+    const Value rhs = eval(*expr.children[1], ctx);
+    if (rhs.is_bool()) {
+      if (op == TokenKind::kAndAnd && !rhs.as_bool()) return false;
+      if (op == TokenKind::kOrOr && rhs.as_bool()) return true;
+      // rhs is the neutral element; result hinges on lhs.
+      if (lhs.is_bool()) return lhs.as_bool();
+    }
+    return Undefined{};
+  }
+
+  const Value lhs = eval(*expr.children[0], ctx);
+  const Value rhs = eval(*expr.children[1], ctx);
+  if (lhs.is_undefined() || rhs.is_undefined()) return Undefined{};
+
+  // Equality works within any single type.
+  if (op == TokenKind::kEqEq || op == TokenKind::kNotEq) {
+    const bool eq = lhs.equals(rhs);
+    // Cross-type comparison is a type error, not `false`.
+    const bool same_type = (lhs.is_bool() && rhs.is_bool()) ||
+                           (lhs.is_number() && rhs.is_number()) ||
+                           (lhs.is_string() && rhs.is_string());
+    if (!same_type) return Undefined{};
+    return op == TokenKind::kEqEq ? eq : !eq;
+  }
+
+  // Relational: numbers or strings (lexicographic).
+  if (op == TokenKind::kLess || op == TokenKind::kLessEq ||
+      op == TokenKind::kGreater || op == TokenKind::kGreaterEq) {
+    int cmp = 0;
+    if (lhs.is_number() && rhs.is_number()) {
+      cmp = lhs.as_number() < rhs.as_number()
+                ? -1
+                : (lhs.as_number() > rhs.as_number() ? 1 : 0);
+    } else if (lhs.is_string() && rhs.is_string()) {
+      cmp = lhs.as_string().compare(rhs.as_string());
+    } else {
+      return Undefined{};
+    }
+    switch (op) {
+      case TokenKind::kLess: return cmp < 0;
+      case TokenKind::kLessEq: return cmp <= 0;
+      case TokenKind::kGreater: return cmp > 0;
+      default: return cmp >= 0;
+    }
+  }
+
+  // Arithmetic: numbers only, except '+' which concatenates strings.
+  if (op == TokenKind::kPlus && lhs.is_string() && rhs.is_string()) {
+    return lhs.as_string() + rhs.as_string();
+  }
+  if (!lhs.is_number() || !rhs.is_number()) return Undefined{};
+  const double a = lhs.as_number();
+  const double b = rhs.as_number();
+  // NaN is a domain error (inf - inf, 0 * inf, ...): surface it as
+  // UNDEFINED so downstream logic keeps ClassAd tri-state semantics.
+  auto numeric = [](double r) {
+    return std::isnan(r) ? Value(Undefined{}) : Value(r);
+  };
+  switch (op) {
+    case TokenKind::kPlus: return numeric(a + b);
+    case TokenKind::kMinus: return numeric(a - b);
+    case TokenKind::kStar: return numeric(a * b);
+    case TokenKind::kSlash:
+      return b == 0.0 ? Value(Undefined{}) : numeric(a / b);
+    case TokenKind::kPercent:
+      return b == 0.0 ? Value(Undefined{}) : numeric(std::fmod(a, b));
+    default: return Undefined{};
+  }
+}
+
+Value eval_call(const Expr& expr, EvalContext ctx) {
+  std::vector<Value> args;
+  args.reserve(expr.children.size());
+  for (const auto& child : expr.children) args.push_back(eval(*child, ctx));
+
+  auto numeric = [](double r) {
+    return std::isnan(r) ? Value(Undefined{}) : Value(r);
+  };
+  auto num2 = [&](double (*fn)(double, double)) -> Value {
+    if (args.size() != 2 || !args[0].is_number() || !args[1].is_number()) {
+      return Undefined{};
+    }
+    return numeric(fn(args[0].as_number(), args[1].as_number()));
+  };
+  auto num1 = [&](double (*fn)(double)) -> Value {
+    if (args.size() != 1 || !args[0].is_number()) return Undefined{};
+    return numeric(fn(args[0].as_number()));
+  };
+
+  const std::string& fn = expr.name;
+  if (fn == "min") return num2([](double a, double b) { return std::min(a, b); });
+  if (fn == "max") return num2([](double a, double b) { return std::max(a, b); });
+  if (fn == "pow") return num2([](double a, double b) { return std::pow(a, b); });
+  if (fn == "floor") return num1([](double a) { return std::floor(a); });
+  if (fn == "ceil") return num1([](double a) { return std::ceil(a); });
+  if (fn == "abs") return num1([](double a) { return std::fabs(a); });
+  if (fn == "isUndefined") {
+    if (args.size() != 1) return Undefined{};
+    return args[0].is_undefined();
+  }
+  if (fn == "ifThenElse") {
+    if (args.size() != 3 || !args[0].is_bool()) return Undefined{};
+    return args[0].as_bool() ? args[1] : args[2];
+  }
+  return Undefined{};  // unknown function
+}
+
+Value eval(const Expr& expr, EvalContext ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: return expr.literal;
+    case ExprKind::kAttrRef: return eval_attr(expr, ctx);
+    case ExprKind::kUnary: return eval_unary(expr, ctx);
+    case ExprKind::kBinary: return eval_binary(expr, ctx);
+    case ExprKind::kTernary: {
+      const Value cond = eval(*expr.children[0], ctx);
+      if (!cond.is_bool()) return Undefined{};
+      return eval(*expr.children[cond.as_bool() ? 1 : 2], ctx);
+    }
+    case ExprKind::kCall: return eval_call(expr, ctx);
+  }
+  return Undefined{};
+}
+
+}  // namespace
+
+void ClassAd::set(const std::string& name, Value value) {
+  attrs_[name] = Expr::make_literal(std::move(value));
+}
+
+bool ClassAd::set_expr(const std::string& name, std::string_view source) {
+  auto parsed = parse_expression(source);
+  if (!parsed) return false;
+  attrs_[name] = std::move(parsed).value();
+  return true;
+}
+
+void ClassAd::set_expr(const std::string& name, ExprPtr expr) {
+  attrs_[name] = std::move(expr);
+}
+
+bool ClassAd::has(const std::string& name) const {
+  return attrs_.count(name) > 0;
+}
+
+const ExprPtr* ClassAd::find(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+Value ClassAd::evaluate(const std::string& name, const ClassAd* other) const {
+  const ExprPtr* expr = find(name);
+  if (!expr) return Undefined{};
+  EvalContext ctx;
+  ctx.self = this;
+  ctx.other = other;
+  return eval(**expr, ctx);
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& [name, expr] : attrs_) {
+    (void)expr;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string ClassAd::to_string() const {
+  std::string out = "[ ";
+  for (const auto& [name, expr] : attrs_) {
+    out += name + " = " + match::to_string(*expr) + "; ";
+  }
+  out += "]";
+  return out;
+}
+
+Value evaluate(const Expr& expr, const ClassAd* self, const ClassAd* other) {
+  EvalContext ctx;
+  ctx.self = self;
+  ctx.other = other;
+  return eval(expr, ctx);
+}
+
+MatchResult match_ads(const ClassAd& a, const ClassAd& b) {
+  MatchResult result;
+  auto requirement_ok = [](const ClassAd& self, const ClassAd& other) {
+    if (!self.has("requirements")) return true;
+    const Value v = self.evaluate("requirements", &other);
+    return v.is_bool() && v.as_bool();
+  };
+  result.matched = requirement_ok(a, b) && requirement_ok(b, a);
+  if (result.matched) {
+    const Value ra = a.evaluate("rank", &b);
+    const Value rb = b.evaluate("rank", &a);
+    result.rank_a = ra.is_number() ? ra.as_number() : 0.0;
+    result.rank_b = rb.is_number() ? rb.as_number() : 0.0;
+  }
+  return result;
+}
+
+std::vector<std::size_t> rank_matches(const ClassAd& request,
+                                      const std::vector<ClassAd>& candidates) {
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const MatchResult m = match_ads(request, candidates[i]);
+    if (m.matched) ranked.emplace_back(m.rank_a, i);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<std::size_t> out;
+  out.reserve(ranked.size());
+  for (const auto& [rank, idx] : ranked) {
+    (void)rank;
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace resmatch::match

@@ -1,0 +1,82 @@
+// ClassAd-lite: attribute sets with computed expressions and two-sided
+// matchmaking, modeled on Condor's matchmaker (Raman, Livny & Solomon,
+// HPDC'98) which the paper builds its resource-matching context on.
+//
+// A ClassAd maps attribute names to expressions (constants included).
+// Matching is symmetric: ads A and B match when A.requirements evaluates
+// to true against B and B.requirements evaluates to true against A.
+// `rank` orders acceptable candidates.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "match/ast.hpp"
+#include "match/parser.hpp"
+#include "util/expected.hpp"
+
+namespace resmatch::match {
+
+/// Attribute set. Attribute names are case-sensitive; by convention
+/// `requirements` and `rank` drive matching.
+class ClassAd {
+ public:
+  ClassAd() = default;
+
+  /// Set a constant attribute.
+  void set(const std::string& name, Value value);
+
+  /// Set a computed attribute from expression source. Returns false (and
+  /// leaves the ad unchanged) when the source does not parse.
+  bool set_expr(const std::string& name, std::string_view source);
+
+  /// Set a pre-parsed expression.
+  void set_expr(const std::string& name, ExprPtr expr);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const ExprPtr* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+
+  /// Evaluate attribute `name` with `other` as the counterpart ad (may be
+  /// null for standalone evaluation). Missing attributes yield UNDEFINED.
+  [[nodiscard]] Value evaluate(const std::string& name,
+                               const ClassAd* other = nullptr) const;
+
+  /// Attribute names, sorted (deterministic serialization order).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Render as "[ name = expr; ... ]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, ExprPtr> attrs_;
+};
+
+/// Evaluate an arbitrary expression with self/other ads in scope.
+/// Depth-limited: runaway self-referential attribute chains evaluate to
+/// UNDEFINED instead of recursing forever.
+[[nodiscard]] Value evaluate(const Expr& expr, const ClassAd* self,
+                             const ClassAd* other);
+
+/// Result of a two-sided match attempt.
+struct MatchResult {
+  bool matched = false;
+  /// Ranks as evaluated (0 when `rank` is absent or non-numeric).
+  double rank_a = 0.0;  ///< a's rank of b
+  double rank_b = 0.0;  ///< b's rank of a
+};
+
+/// Symmetric match per Condor semantics: both `requirements` must
+/// evaluate to boolean true (UNDEFINED and non-boolean values reject).
+/// An ad without `requirements` accepts anything.
+[[nodiscard]] MatchResult match_ads(const ClassAd& a, const ClassAd& b);
+
+/// Among `candidates`, return indices of those matching `request`, sorted
+/// by the request's rank of the candidate, descending (ties keep input
+/// order). The one-to-one matchmaking primitive.
+[[nodiscard]] std::vector<std::size_t> rank_matches(
+    const ClassAd& request, const std::vector<ClassAd>& candidates);
+
+}  // namespace resmatch::match

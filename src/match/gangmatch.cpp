@@ -1,0 +1,99 @@
+#include "match/gangmatch.hpp"
+
+#include <algorithm>
+
+namespace resmatch::match {
+
+namespace {
+
+/// Depth-first search state.
+struct Search {
+  const std::vector<ClassAd>& members;
+  const std::vector<ClassAd>& machines;
+  const GangMatchOptions& options;
+  std::vector<std::vector<std::size_t>> candidates;  // per member, ranked
+  std::vector<bool> used;
+  std::vector<std::size_t> assignment;
+  std::size_t steps = 0;
+  bool exhausted = false;
+
+  bool solve(std::size_t member) {
+    if (member == members.size()) {
+      return !options.aggregate || options.aggregate(assignment);
+    }
+    for (const std::size_t machine : candidates[member]) {
+      if (used[machine]) continue;
+      if (++steps > options.max_steps) {
+        exhausted = true;
+        return false;
+      }
+      used[machine] = true;
+      assignment.push_back(machine);
+      const bool prefix_ok =
+          !options.prefix_ok || options.prefix_ok(assignment);
+      if (prefix_ok && solve(member + 1)) return true;
+      assignment.pop_back();
+      used[machine] = false;
+      if (exhausted) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+GangMatchResult gang_match(const std::vector<ClassAd>& members,
+                           const std::vector<ClassAd>& machines,
+                           const GangMatchOptions& options) {
+  GangMatchResult result;
+  if (members.empty()) {
+    result.matched = !options.aggregate || options.aggregate({});
+    return result;
+  }
+  if (members.size() > machines.size()) return result;
+
+  Search search{members, machines, options, {}, {}, {}, 0, false};
+  search.candidates.reserve(members.size());
+  for (const auto& member : members) {
+    auto ranked = rank_matches(member, machines);
+    if (ranked.empty()) return result;  // some member matches nothing
+    search.candidates.push_back(std::move(ranked));
+  }
+  search.used.assign(machines.size(), false);
+  search.assignment.reserve(members.size());
+
+  result.matched = search.solve(0);
+  result.budget_exhausted = search.exhausted;
+  result.steps = search.steps;
+  if (result.matched) result.assignment = search.assignment;
+  return result;
+}
+
+AggregateConstraint total_at_least(const std::vector<ClassAd>& machines,
+                                   const std::string& attribute,
+                                   double minimum) {
+  return [&machines, attribute, minimum](
+             const std::vector<std::size_t>& assignment) {
+    double total = 0.0;
+    for (const std::size_t index : assignment) {
+      const Value v = machines[index].evaluate(attribute);
+      if (!v.is_number()) return false;
+      total += v.as_number();
+    }
+    return total >= minimum;
+  };
+}
+
+AggregateConstraint all_equal(const std::vector<ClassAd>& machines,
+                              const std::string& attribute) {
+  return [&machines, attribute](const std::vector<std::size_t>& assignment) {
+    for (std::size_t i = 1; i < assignment.size(); ++i) {
+      const Value a = machines[assignment[0]].evaluate(attribute);
+      const Value b = machines[assignment[i]].evaluate(attribute);
+      if (a.is_undefined() || !a.equals(b)) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace resmatch::match

@@ -1,0 +1,64 @@
+// Gang matching: one-to-many co-allocation of a set of ads.
+//
+// The paper's context (§1.2) includes resource selection frameworks that
+// co-match a job with MULTIPLE heterogeneous resources under global and
+// aggregation constraints (Liu et al. HPDC'02) and Condor's gangmatching
+// (Raman et al. HPDC'03). This module provides that primitive on top of
+// ClassAd-lite: find an injective assignment of gang members to machines
+// such that every pairwise requirements check passes and user-supplied
+// aggregate constraints (total memory, same grid domain, ...) hold.
+//
+// The search is exact backtracking over members in order, trying machines
+// in the member's rank order. Gangs are small (a job's handful of roles),
+// so exactness is affordable; a step budget guards pathological inputs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "match/classad.hpp"
+
+namespace resmatch::match {
+
+/// Aggregate predicate over a full assignment: receives the chosen
+/// machine index for each gang member (in member order).
+using AggregateConstraint =
+    std::function<bool(const std::vector<std::size_t>& machine_indices)>;
+
+struct GangMatchOptions {
+  /// Optional prefix pruner: called on partial assignments; returning
+  /// false abandons the branch. Must be monotone (false stays false as
+  /// the assignment grows) for the search to remain exact.
+  std::function<bool(const std::vector<std::size_t>& partial)> prefix_ok;
+  /// Final aggregate check on complete assignments.
+  AggregateConstraint aggregate;
+  /// Backtracking step budget (candidate trials) before giving up.
+  std::size_t max_steps = 100000;
+};
+
+struct GangMatchResult {
+  bool matched = false;
+  bool budget_exhausted = false;
+  /// machine index per gang member, valid when matched.
+  std::vector<std::size_t> assignment;
+  std::size_t steps = 0;
+};
+
+/// Co-match `members` against `machines` (each machine used at most once).
+[[nodiscard]] GangMatchResult gang_match(const std::vector<ClassAd>& members,
+                                         const std::vector<ClassAd>& machines,
+                                         const GangMatchOptions& options = {});
+
+/// Aggregate helper: sum of a numeric machine attribute over the
+/// assignment must reach `minimum` (e.g., total memory across the gang).
+[[nodiscard]] AggregateConstraint total_at_least(
+    const std::vector<ClassAd>& machines, const std::string& attribute,
+    double minimum);
+
+/// Aggregate helper: a machine attribute must be identical across the
+/// whole assignment (e.g., all machines in the same grid domain).
+[[nodiscard]] AggregateConstraint all_equal(
+    const std::vector<ClassAd>& machines, const std::string& attribute);
+
+}  // namespace resmatch::match

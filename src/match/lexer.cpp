@@ -1,0 +1,177 @@
+#include "match/lexer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace resmatch::match {
+
+const char* token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+util::Expected<std::vector<Token>> tokenize(std::string_view src) {
+  using Result = util::Expected<std::vector<Token>>;
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+
+  auto push = [&](TokenKind kind, std::size_t at, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t end = i;
+      while (end < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[end])) ||
+              src[end] == '.' || src[end] == 'e' || src[end] == 'E' ||
+              ((src[end] == '+' || src[end] == '-') && end > i &&
+               (src[end - 1] == 'e' || src[end - 1] == 'E')))) {
+        ++end;
+      }
+      const auto parsed = util::parse_double(src.substr(i, end - i));
+      if (!parsed) {
+        return Result::failure(
+            util::format("malformed number at offset %zu", i));
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.number = *parsed;
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[end])) ||
+              src[end] == '_')) {
+        ++end;
+      }
+      push(TokenKind::kIdentifier, start,
+           std::string(src.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += src[i++];
+      }
+      if (!closed) {
+        return Result::failure(
+            util::format("unterminated string at offset %zu", start));
+      }
+      push(TokenKind::kString, start, std::move(text));
+      continue;
+    }
+
+    auto two = [&](char next) {
+      return i + 1 < src.size() && src[i + 1] == next;
+    };
+    switch (c) {
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '?': push(TokenKind::kQuestion, start); ++i; break;
+      case ':': push(TokenKind::kColon, start); ++i; break;
+      case '<':
+        if (two('=')) { push(TokenKind::kLessEq, start); i += 2; }
+        else { push(TokenKind::kLess, start); ++i; }
+        break;
+      case '>':
+        if (two('=')) { push(TokenKind::kGreaterEq, start); i += 2; }
+        else { push(TokenKind::kGreater, start); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(TokenKind::kEqEq, start); i += 2; }
+        else {
+          return Result::failure(
+              util::format("unexpected '=' at offset %zu (use ==)", start));
+        }
+        break;
+      case '!':
+        if (two('=')) { push(TokenKind::kNotEq, start); i += 2; }
+        else { push(TokenKind::kNot, start); ++i; }
+        break;
+      case '&':
+        if (two('&')) { push(TokenKind::kAndAnd, start); i += 2; }
+        else {
+          return Result::failure(
+              util::format("unexpected '&' at offset %zu (use &&)", start));
+        }
+        break;
+      case '|':
+        if (two('|')) { push(TokenKind::kOrOr, start); i += 2; }
+        else {
+          return Result::failure(
+              util::format("unexpected '|' at offset %zu (use ||)", start));
+        }
+        break;
+      default:
+        return Result::failure(
+            util::format("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenKind::kEnd, src.size());
+  return tokens;
+}
+
+}  // namespace resmatch::match

@@ -1,0 +1,54 @@
+// Tokenizer for the ClassAd-lite expression language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace resmatch::match {
+
+enum class TokenKind {
+  kNumber,
+  kString,
+  kIdentifier,  // includes keywords true/false/undefined, resolved in parser
+  kDot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqEq,
+  kNotEq,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kLParen,
+  kRParen,
+  kComma,
+  kQuestion,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< identifier name or string contents
+  double number = 0.0;   ///< for kNumber
+  std::size_t offset = 0;  ///< byte offset in the source, for diagnostics
+};
+
+/// Tokenize a full expression. Returns an error with position info on any
+/// unrecognized character or unterminated string.
+[[nodiscard]] util::Expected<std::vector<Token>> tokenize(
+    std::string_view source);
+
+/// Name of a token kind, for error messages.
+[[nodiscard]] const char* token_kind_name(TokenKind kind) noexcept;
+
+}  // namespace resmatch::match

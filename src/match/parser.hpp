@@ -1,0 +1,29 @@
+// Recursive-descent parser for ClassAd-lite expressions.
+//
+// Grammar (lowest to highest precedence):
+//   ternary    := or ('?' ternary ':' ternary)?
+//   or         := and ('||' and)*
+//   and        := equality ('&&' equality)*
+//   equality   := relational (('==' | '!=') relational)*
+//   relational := additive (('<' | '<=' | '>' | '>=') additive)*
+//   additive   := multiplicative (('+' | '-') multiplicative)*
+//   multiplicative := unary (('*' | '/' | '%') unary)*
+//   unary      := ('!' | '-') unary | primary
+//   primary    := NUMBER | STRING | 'true' | 'false' | 'undefined'
+//               | IDENT '(' args ')'           -- builtin call
+//               | ('my' | 'other' | 'target') '.' IDENT
+//               | IDENT
+//               | '(' ternary ')'
+#pragma once
+
+#include <string_view>
+
+#include "match/ast.hpp"
+#include "util/expected.hpp"
+
+namespace resmatch::match {
+
+/// Parse a complete expression; trailing tokens are an error.
+[[nodiscard]] util::Expected<ExprPtr> parse_expression(std::string_view source);
+
+}  // namespace resmatch::match

@@ -1,0 +1,28 @@
+#include "match/value.hpp"
+
+#include "util/strings.hpp"
+
+namespace resmatch::match {
+
+bool Value::equals(const Value& other) const noexcept {
+  if (is_undefined() || other.is_undefined()) {
+    return is_undefined() && other.is_undefined();
+  }
+  if (is_bool() && other.is_bool()) return as_bool() == other.as_bool();
+  if (is_number() && other.is_number()) {
+    return as_number() == other.as_number();
+  }
+  if (is_string() && other.is_string()) {
+    return as_string() == other.as_string();
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  if (is_undefined()) return "undefined";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_number()) return util::format_number(as_number(), 6);
+  return "\"" + as_string() + "\"";
+}
+
+}  // namespace resmatch::match

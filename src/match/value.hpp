@@ -1,0 +1,64 @@
+// Values of the ClassAd-lite expression language.
+//
+// The matchmaking substrate follows Condor's ClassAd semantics in
+// miniature: values are booleans, numbers, strings, or UNDEFINED, and
+// UNDEFINED propagates through strict operators while the lazy boolean
+// operators can absorb it (`true || undefined` is true). That tri-state
+// logic is what lets a job requirement mention an attribute a machine
+// simply doesn't define.
+#pragma once
+
+#include <string>
+#include <variant>
+
+namespace resmatch::match {
+
+/// The UNDEFINED value (attribute not present / type error).
+struct Undefined {
+  bool operator==(const Undefined&) const = default;
+};
+
+/// A ClassAd-lite runtime value.
+class Value {
+ public:
+  Value() : v_(Undefined{}) {}
+  /*implicit*/ Value(bool b) : v_(b) {}
+  /*implicit*/ Value(double d) : v_(d) {}
+  /*implicit*/ Value(int d) : v_(static_cast<double>(d)) {}
+  /*implicit*/ Value(std::string s) : v_(std::move(s)) {}
+  /*implicit*/ Value(const char* s) : v_(std::string(s)) {}
+  /*implicit*/ Value(Undefined u) : v_(u) {}
+
+  [[nodiscard]] bool is_undefined() const noexcept {
+    return std::holds_alternative<Undefined>(v_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  /// Checked accessors; behaviour is undefined if the type is wrong
+  /// (callers test first).
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+
+  /// Strict equality: UNDEFINED is equal only to UNDEFINED; bool/number/
+  /// string compare within their own type, cross-type is false.
+  [[nodiscard]] bool equals(const Value& other) const noexcept;
+
+  /// Render for diagnostics ("undefined", "true", "42", "\"abc\"").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<Undefined, bool, double, std::string> v_;
+};
+
+}  // namespace resmatch::match

@@ -1,0 +1,39 @@
+#include "ml/discretizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace resmatch::ml {
+
+Discretizer::Discretizer(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets) {
+  assert(hi > lo && buckets > 0);
+}
+
+std::size_t Discretizer::bucket(double x) const noexcept {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return buckets_ - 1;
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto b = static_cast<std::size_t>(t * static_cast<double>(buckets_));
+  return std::min(b, buckets_ - 1);
+}
+
+double Discretizer::midpoint(std::size_t bucket_index) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_);
+  return lo_ + width * (static_cast<double>(bucket_index) + 0.5);
+}
+
+StateSpace::StateSpace(std::vector<Discretizer> dims) : dims_(std::move(dims)) {
+  for (const auto& d : dims_) count_ *= d.buckets();
+}
+
+std::size_t StateSpace::index(const std::vector<double>& values) const {
+  assert(values.size() == dims_.size());
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    idx = idx * dims_[i].buckets() + dims_[i].bucket(values[i]);
+  }
+  return idx;
+}
+
+}  // namespace resmatch::ml

@@ -1,0 +1,46 @@
+// Uniform discretization of continuous signals into bucket indices, used
+// to build the tabular state space of the reinforcement-learning estimator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resmatch::ml {
+
+/// Maps [lo, hi] onto {0, ..., buckets-1}, clamping outside values.
+class Discretizer {
+ public:
+  Discretizer(double lo, double hi, std::size_t buckets);
+
+  [[nodiscard]] std::size_t bucket(double x) const noexcept;
+  [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+
+  /// Representative (midpoint) value of a bucket.
+  [[nodiscard]] double midpoint(std::size_t bucket_index) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::size_t buckets_;
+};
+
+/// Composes several discretizers into a single flat state index
+/// (row-major). State count is the product of the bucket counts.
+class StateSpace {
+ public:
+  explicit StateSpace(std::vector<Discretizer> dims);
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return count_; }
+
+  /// Flatten one observation (values.size() must equal dimension count).
+  [[nodiscard]] std::size_t index(const std::vector<double>& values) const;
+
+  [[nodiscard]] std::size_t dimensions() const noexcept {
+    return dims_.size();
+  }
+
+ private:
+  std::vector<Discretizer> dims_;
+  std::size_t count_ = 1;
+};
+
+}  // namespace resmatch::ml

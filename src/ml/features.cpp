@@ -1,0 +1,33 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace resmatch::ml {
+
+namespace {
+/// Stable hash of an id into [0, 1). Gives categorical ids a numeric
+/// embedding without maintaining a dictionary.
+double hash_bucket(std::uint64_t id) {
+  return static_cast<double>(util::mix64(id) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+std::vector<double> job_features(const trace::JobRecord& job) {
+  return {
+      std::log2(std::max(job.requested_mem_mib, 1e-3)),
+      std::log2(static_cast<double>(std::max<std::uint32_t>(job.nodes, 1))),
+      std::log10(std::max(job.requested_time, 0.0) + 1.0),
+      hash_bucket(job.user),
+      hash_bucket(static_cast<std::uint64_t>(job.app) + 0x9E37ULL),
+  };
+}
+
+double usage_target(const trace::JobRecord& job) {
+  return std::log2(std::max(job.used_mem_mib, 1e-3));
+}
+
+double target_to_mib(double target) { return std::exp2(target); }
+
+}  // namespace resmatch::ml

@@ -1,0 +1,33 @@
+// Feature extraction from job records for the learning-based estimators.
+//
+// The regression estimator in the paper's Table 1 learns a mapping from
+// "request file parameters" to actual resource usage; these are those
+// parameters, normalized so one fixed feature scale works across traces.
+#pragma once
+
+#include <vector>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::ml {
+
+/// Number of features produced by job_features().
+inline constexpr std::size_t kJobFeatureCount = 5;
+
+/// Map a job request to a numeric feature vector:
+///   [ log2(requested memory MiB), log2(nodes), log10(requested time + 1),
+///     user-id hash bucket in [0,1), app-id hash bucket in [0,1) ]
+/// Only request-time information is used (usage is the target, never a
+/// feature).
+[[nodiscard]] std::vector<double> job_features(const trace::JobRecord& job);
+
+/// Regression target: log2 of the actual per-node memory used. Learning in
+/// log space keeps the multi-order-of-magnitude usage range well scaled
+/// and makes the model multiplicative, matching the paper's "divide the
+/// request by k" intuition.
+[[nodiscard]] double usage_target(const trace::JobRecord& job);
+
+/// Inverse of usage_target: recover MiB from a predicted target.
+[[nodiscard]] double target_to_mib(double target);
+
+}  // namespace resmatch::ml

@@ -1,0 +1,50 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace resmatch::ml {
+
+KnnRegressor::KnnRegressor(std::size_t k, std::size_t max_points)
+    : k_(std::max<std::size_t>(k, 1)), max_points_(std::max<std::size_t>(max_points, 1)) {}
+
+void KnnRegressor::add(std::vector<double> features, double target) {
+  if (points_.size() < max_points_) {
+    points_.push_back({std::move(features), target});
+    return;
+  }
+  points_[next_slot_] = {std::move(features), target};
+  next_slot_ = (next_slot_ + 1) % max_points_;
+}
+
+double KnnRegressor::predict(const std::vector<double>& features,
+                             double fallback) const {
+  if (points_.empty()) return fallback;
+
+  // Collect squared distances; brute force is fine at the estimator's call
+  // rates (thousands of predictions over tens of thousands of points).
+  std::vector<std::pair<double, double>> dist_y;
+  dist_y.reserve(points_.size());
+  for (const auto& p : points_) {
+    assert(p.x.size() == features.size());
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      const double d = p.x[i] - features[i];
+      d2 += d * d;
+    }
+    dist_y.emplace_back(d2, p.y);
+  }
+  const std::size_t k = std::min(k_, dist_y.size());
+  std::partial_sort(dist_y.begin(), dist_y.begin() + static_cast<long>(k),
+                    dist_y.end());
+  double weight_sum = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (dist_y[i].first + 1e-9);
+    weight_sum += w;
+    acc += w * dist_y[i].second;
+  }
+  return acc / weight_sum;
+}
+
+}  // namespace resmatch::ml

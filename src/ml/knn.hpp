@@ -1,0 +1,41 @@
+// k-nearest-neighbour regressor.
+//
+// A nonparametric alternative to the ridge model for the explicit-feedback,
+// no-similarity-groups quadrant of the paper's Table 1: predict a job's
+// usage from the most similar previously observed requests, without
+// requiring exact key matches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resmatch::ml {
+
+class KnnRegressor {
+ public:
+  /// `k` = neighbours consulted; `max_points` bounds memory (oldest points
+  /// are evicted ring-buffer style once exceeded).
+  explicit KnnRegressor(std::size_t k = 8, std::size_t max_points = 50000);
+
+  void add(std::vector<double> features, double target);
+
+  /// Distance-weighted mean of the k nearest targets; `fallback` when no
+  /// points have been observed yet.
+  [[nodiscard]] double predict(const std::vector<double>& features,
+                               double fallback) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Point {
+    std::vector<double> x;
+    double y = 0.0;
+  };
+
+  std::size_t k_;
+  std::size_t max_points_;
+  std::size_t next_slot_ = 0;
+  std::vector<Point> points_;
+};
+
+}  // namespace resmatch::ml

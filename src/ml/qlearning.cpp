@@ -1,0 +1,57 @@
+#include "ml/qlearning.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace resmatch::ml {
+
+QLearningAgent::QLearningAgent(std::size_t states, std::size_t actions,
+                               QLearningConfig config, std::uint64_t seed)
+    : states_(states),
+      actions_(actions),
+      config_(config),
+      epsilon_(config.epsilon),
+      q_(states * actions, config.initial_q),
+      rng_(seed) {
+  assert(states > 0 && actions > 0);
+}
+
+std::size_t QLearningAgent::select_action(std::size_t state) {
+  assert(state < states_);
+  if (rng_.bernoulli(epsilon_)) {
+    return static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(actions_) - 1));
+  }
+  return best_action(state);
+}
+
+std::size_t QLearningAgent::best_action(std::size_t state) const {
+  assert(state < states_);
+  const double* row = &q_[state * actions_];
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (row[a] > row[best]) best = a;
+  }
+  return best;
+}
+
+void QLearningAgent::update(std::size_t state, std::size_t action,
+                            double reward, std::size_t next_state) {
+  assert(state < states_ && action < actions_);
+  double bootstrap = 0.0;
+  if (config_.discount > 0.0 && next_state < states_) {
+    bootstrap =
+        config_.discount * q_[next_state * actions_ + best_action(next_state)];
+  }
+  double& q = q_[state * actions_ + action];
+  q += config_.learning_rate * (reward + bootstrap - q);
+  epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
+  ++updates_;
+}
+
+double QLearningAgent::q_value(std::size_t state, std::size_t action) const {
+  assert(state < states_ && action < actions_);
+  return q_[state * actions_ + action];
+}
+
+}  // namespace resmatch::ml

@@ -1,0 +1,57 @@
+// Tabular Q-learning with epsilon-greedy exploration.
+//
+// Backs the reinforcement-learning quadrant of the paper's Table 1: the
+// agent learns a *global* request-scaling policy by trial and error, with
+// the reward signal derived from job success and saved resources (see
+// core::RlEstimator for the environment wiring).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace resmatch::ml {
+
+struct QLearningConfig {
+  double learning_rate = 0.1;   ///< step size for the TD update
+  double discount = 0.0;        ///< one-shot episodes by default
+  double epsilon = 0.1;         ///< exploration probability
+  double epsilon_decay = 0.9999;  ///< multiplicative decay per update
+  double epsilon_min = 0.01;
+  double initial_q = 0.0;       ///< optimistic init > 0 encourages trying
+};
+
+class QLearningAgent {
+ public:
+  QLearningAgent(std::size_t states, std::size_t actions,
+                 QLearningConfig config, std::uint64_t seed);
+
+  /// Epsilon-greedy action selection.
+  [[nodiscard]] std::size_t select_action(std::size_t state);
+
+  /// Greedy action (evaluation mode, no exploration).
+  [[nodiscard]] std::size_t best_action(std::size_t state) const;
+
+  /// TD(0) update; pass `next_state == states()` for terminal transitions
+  /// (bootstrapped value 0).
+  void update(std::size_t state, std::size_t action, double reward,
+              std::size_t next_state);
+
+  [[nodiscard]] double q_value(std::size_t state, std::size_t action) const;
+  [[nodiscard]] std::size_t states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t actions() const noexcept { return actions_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+
+ private:
+  std::size_t states_;
+  std::size_t actions_;
+  QLearningConfig config_;
+  double epsilon_;
+  std::vector<double> q_;  // states x actions, row-major
+  util::Rng rng_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace resmatch::ml

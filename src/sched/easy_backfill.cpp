@@ -1,0 +1,81 @@
+#include "sched/easy_backfill.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace resmatch::sched {
+
+EasyBackfillPolicy::Reservation EasyBackfillPolicy::compute_reservation(
+    const QueuedJob& head, const ClusterView& cluster,
+    const std::vector<RunningJobInfo>& running, Seconds now) {
+  Reservation r;
+  const MiB cap = head.effective_request;
+  std::size_t available = cluster.eligible_free(cap);
+  if (available >= head.nodes) {
+    // Head can start immediately; everything free beyond its need is spare.
+    r.shadow_time = now;
+    r.extra_nodes = available - head.nodes;
+    return r;
+  }
+  // Walk running jobs in completion order, crediting the head-eligible
+  // machines they release. Conservative: a running job's machines count as
+  // head-eligible when its granted capacity class reaches the head's
+  // requirement (grants are capacity rungs, so this matches pool identity).
+  std::vector<const RunningJobInfo*> by_end;
+  by_end.reserve(running.size());
+  for (const auto& job : running) by_end.push_back(&job);
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJobInfo* a, const RunningJobInfo* b) {
+              return a->expected_end < b->expected_end;
+            });
+  for (const RunningJobInfo* job : by_end) {
+    if (job->granted >= cap) available += job->nodes;
+    if (available >= head.nodes) {
+      r.shadow_time = std::max(job->expected_end, now);
+      r.extra_nodes = available - head.nodes;
+      return r;
+    }
+  }
+  // Even draining everything is not enough (the head needs machines the
+  // cluster lacks at this capacity); no reservation can be honoured, so
+  // allow unrestricted backfilling.
+  r.shadow_time = std::numeric_limits<double>::infinity();
+  r.extra_nodes = std::numeric_limits<std::size_t>::max();
+  return r;
+}
+
+std::optional<std::size_t> EasyBackfillPolicy::pick_next(
+    const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+    const std::vector<RunningJobInfo>& running, Seconds now) {
+  if (queue.empty()) return std::nullopt;
+  if (fits_now(queue.front(), cluster)) return 0;
+
+  const QueuedJob& head = queue.front();
+  const Reservation res = compute_reservation(head, cluster, running, now);
+
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const QueuedJob& candidate = queue[i];
+    if (!fits_now(candidate, cluster)) continue;
+
+    // (a) Finishes before the head's reservation.
+    const Seconds expected_end = now + candidate.requested_time;
+    if (expected_end <= res.shadow_time) return i;
+
+    // (b) Cannot touch head-eligible machines: enough machines strictly
+    // below the head's capacity class are free to host it entirely.
+    const std::size_t below_class_free =
+        cluster.eligible_free(candidate.effective_request) -
+        cluster.eligible_free(head.effective_request);
+    if (candidate.effective_request < head.effective_request &&
+        below_class_free >= candidate.nodes) {
+      return i;
+    }
+
+    // (c) Extra-nodes rule: head-eligible spare capacity at the shadow
+    // time absorbs the candidate even if it runs long.
+    if (candidate.nodes <= res.extra_nodes) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace resmatch::sched

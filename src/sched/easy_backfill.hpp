@@ -1,0 +1,45 @@
+// EASY backfilling, adapted to heterogeneous capacity pools.
+//
+// Classic EASY: the queue head gets a reservation at the earliest time
+// enough machines will be free (the shadow time, computed from running
+// jobs' expected completions); a lower-priority job may jump ahead only if
+// doing so cannot delay that reservation.
+//
+// Heterogeneity adaptation: machine eligibility depends on a job's
+// effective per-node request, so the shadow computation counts only
+// machines whose capacity covers the HEAD job's request, and a backfill
+// candidate is safe when either
+//   (a) its expected termination (user estimate) precedes the shadow time,
+//   (b) it does not touch head-eligible machines at all (its per-node
+//       request can be satisfied exclusively by machines below the head's
+//       capacity class — checked conservatively via pool counts), or
+//   (c) even after it takes machines, the head-eligible free count at the
+//       shadow time still covers the head job ("extra nodes" rule).
+// All three checks are conservative with respect to the actual allocator,
+// so a backfilled job can never postpone the head beyond its reservation.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace resmatch::sched {
+
+class EasyBackfillPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "easy-backfill"; }
+
+  [[nodiscard]] std::optional<std::size_t> pick_next(
+      const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+      const std::vector<RunningJobInfo>& running, Seconds now) override;
+
+ private:
+  struct Reservation {
+    Seconds shadow_time = 0.0;   ///< earliest time the head job can start
+    std::size_t extra_nodes = 0; ///< head-eligible nodes spare at shadow time
+  };
+
+  [[nodiscard]] static Reservation compute_reservation(
+      const QueuedJob& head, const ClusterView& cluster,
+      const std::vector<RunningJobInfo>& running, Seconds now);
+};
+
+}  // namespace resmatch::sched

@@ -1,0 +1,22 @@
+#include "sched/factory.hpp"
+
+#include <stdexcept>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sjf.hpp"
+
+namespace resmatch::sched {
+
+std::vector<std::string> policy_names() {
+  return {"fcfs", "sjf", "easy-backfill"};
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name) {
+  if (name == "fcfs") return std::make_unique<FcfsPolicy>();
+  if (name == "sjf") return std::make_unique<SjfPolicy>();
+  if (name == "easy-backfill") return std::make_unique<EasyBackfillPolicy>();
+  throw std::invalid_argument("unknown scheduling policy: " + name);
+}
+
+}  // namespace resmatch::sched

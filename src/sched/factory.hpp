@@ -1,0 +1,19 @@
+// Policy factory, mirroring core::make_estimator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/policy.hpp"
+
+namespace resmatch::sched {
+
+[[nodiscard]] std::vector<std::string> policy_names();
+
+/// Build by name: "fcfs", "sjf", "easy-backfill". Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_policy(
+    const std::string& name);
+
+}  // namespace resmatch::sched

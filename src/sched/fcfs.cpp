@@ -1,0 +1,13 @@
+#include "sched/fcfs.hpp"
+
+namespace resmatch::sched {
+
+std::optional<std::size_t> FcfsPolicy::pick_next(
+    const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+    const std::vector<RunningJobInfo>& /*running*/, Seconds /*now*/) {
+  if (queue.empty()) return std::nullopt;
+  if (fits_now(queue.front(), cluster)) return 0;
+  return std::nullopt;  // head blocks the queue
+}
+
+}  // namespace resmatch::sched

@@ -1,0 +1,22 @@
+// First-come-first-served: the paper's simulation policy (§3.1).
+//
+// Strict, non-bypassing FCFS: only the head of the queue is eligible; if
+// it does not fit, everything behind it waits. Failed jobs re-enter at the
+// head (the simulator maintains that ordering), matching the paper's
+// "once it fails, the job returns to the head of the queue".
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace resmatch::sched {
+
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fcfs"; }
+
+  [[nodiscard]] std::optional<std::size_t> pick_next(
+      const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+      const std::vector<RunningJobInfo>& running, Seconds now) override;
+};
+
+}  // namespace resmatch::sched

@@ -1,0 +1,9 @@
+#include "sched/policy.hpp"
+
+namespace resmatch::sched {
+
+bool fits_now(const QueuedJob& job, const ClusterView& cluster) {
+  return cluster.eligible_free(job.effective_request) >= job.nodes;
+}
+
+}  // namespace resmatch::sched

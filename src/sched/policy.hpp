@@ -1,0 +1,77 @@
+// Scheduling-policy interface.
+//
+// The paper stresses that the estimator "is independent and can be
+// integrated with different scheduling policies (e.g., FCFS,
+// shortest-job-first, backfilling)" (§1.3). This layer realizes that
+// separation: a policy only decides WHICH queued job to try next; the
+// estimator has already rewritten each job's effective request, and the
+// simulator owns actual placement.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::sched {
+
+/// A job waiting in the scheduler queue. `effective_request` is the
+/// estimator's (rounded) per-node memory request for the current attempt.
+struct QueuedJob {
+  std::size_t trace_index = 0;   ///< index into the workload
+  JobId id = 0;
+  std::uint32_t nodes = 1;
+  MiB effective_request = 0.0;
+  Seconds enqueue_time = 0.0;
+  Seconds requested_time = 0.0;  ///< user runtime estimate (backfill input)
+  std::uint32_t attempts = 0;    ///< prior failed executions
+};
+
+/// A job currently executing, as visible to policies (backfilling needs
+/// expected completion times to compute the head job's reservation).
+struct RunningJobInfo {
+  Seconds expected_end = 0.0;  ///< start + user runtime estimate
+  std::uint32_t nodes = 1;
+  MiB granted = 0.0;           ///< per-node capacity the job runs with
+};
+
+/// Read-only cluster capacity queries available to policies.
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+
+  /// Machines currently free with capacity >= min_capacity.
+  [[nodiscard]] virtual std::size_t eligible_free(MiB min_capacity) const = 0;
+
+  /// All machines (free or busy) with capacity >= min_capacity.
+  [[nodiscard]] virtual std::size_t eligible_total(MiB min_capacity) const = 0;
+
+  /// Total machine count.
+  [[nodiscard]] virtual std::size_t machine_count() const = 0;
+};
+
+/// Decides the next queued job to attempt. The simulator calls pick_next
+/// repeatedly at each scheduling point, starting the returned job if it
+/// truly fits, until the policy returns nullopt.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Index into `queue` of the next job to start, or nullopt to wait.
+  /// Implementations must only return jobs that fit right now
+  /// (cluster.eligible_free(job.effective_request) >= job.nodes); the
+  /// simulator treats a non-fitting pick as a policy bug.
+  [[nodiscard]] virtual std::optional<std::size_t> pick_next(
+      const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+      const std::vector<RunningJobInfo>& running, Seconds now) = 0;
+};
+
+/// True when the job can start immediately.
+[[nodiscard]] bool fits_now(const QueuedJob& job, const ClusterView& cluster);
+
+}  // namespace resmatch::sched

@@ -1,0 +1,18 @@
+#include "sched/sjf.hpp"
+
+namespace resmatch::sched {
+
+std::optional<std::size_t> SjfPolicy::pick_next(
+    const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+    const std::vector<RunningJobInfo>& /*running*/, Seconds /*now*/) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (!fits_now(queue[i], cluster)) continue;
+    if (!best || queue[i].requested_time < queue[*best].requested_time) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace resmatch::sched

@@ -1,0 +1,21 @@
+// Shortest-job-first (by the user's runtime estimate).
+//
+// One of the alternative policies the paper names in §1.3. Picks the
+// fitting queued job with the smallest requested runtime; ties break
+// toward the earlier arrival to bound unfairness.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace resmatch::sched {
+
+class SjfPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "sjf"; }
+
+  [[nodiscard]] std::optional<std::size_t> pick_next(
+      const std::deque<QueuedJob>& queue, const ClusterView& cluster,
+      const std::vector<RunningJobInfo>& running, Seconds now) override;
+};
+
+}  // namespace resmatch::sched

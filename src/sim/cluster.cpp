@@ -1,0 +1,178 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace resmatch::sim {
+
+ClusterSpec cm5_heterogeneous(MiB second_pool_mib, std::size_t pool_size) {
+  return {{32.0, pool_size}, {second_pool_mib, pool_size}};
+}
+
+Cluster::Cluster(ClusterSpec spec, AllocationPolicy policy)
+    : spec_(std::move(spec)), policy_(policy) {
+  // Merge same-capacity pools and sort ascending so eligibility queries
+  // are suffix sums.
+  std::vector<PoolSpec> sorted = spec_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PoolSpec& a, const PoolSpec& b) {
+              return a.capacity < b.capacity;
+            });
+  for (const auto& p : sorted) {
+    if (p.count == 0) continue;
+    if (p.capacity <= 0.0) {
+      throw std::invalid_argument("pool capacity must be positive");
+    }
+    if (!pools_.empty() && pools_.back().capacity == p.capacity) {
+      pools_.back().total += p.count;
+      pools_.back().free += p.count;
+    } else {
+      pools_.push_back({p.capacity, p.count, p.count});
+    }
+    machines_ += p.count;
+  }
+  if (pools_.empty()) {
+    throw std::invalid_argument("cluster must have at least one machine");
+  }
+}
+
+core::CapacityLadder Cluster::ladder() const {
+  std::vector<MiB> rungs;
+  rungs.reserve(pools_.size());
+  for (const auto& p : pools_) rungs.push_back(p.capacity);
+  return core::CapacityLadder(std::move(rungs));
+}
+
+std::size_t Cluster::eligible_free(MiB min_capacity) const {
+  std::size_t count = 0;
+  for (const auto& p : pools_) {
+    if (p.capacity >= min_capacity) count += p.free;
+  }
+  return count;
+}
+
+std::size_t Cluster::eligible_total(MiB min_capacity) const {
+  std::size_t count = 0;
+  for (const auto& p : pools_) {
+    if (p.capacity >= min_capacity) count += p.total;
+  }
+  return count;
+}
+
+std::size_t Cluster::machine_count() const { return machines_; }
+
+double Cluster::busy_fraction() const noexcept {
+  if (machines_ == 0) return busy_ > 0 ? 1.0 : 0.0;
+  // Draining machines can push busy above the committed machine count
+  // for a while; clamp — "fully busy" is the honest reading.
+  return std::min(1.0, static_cast<double>(busy_) /
+                           static_cast<double>(machines_));
+}
+
+Cluster::Pool* Cluster::find_pool(MiB capacity) {
+  for (auto& pool : pools_) {
+    if (std::fabs(pool.capacity - capacity) < 1e-9) return &pool;
+  }
+  return nullptr;
+}
+
+void Cluster::add_machines(MiB capacity, std::size_t count) {
+  Pool* pool = find_pool(capacity);
+  if (!pool) {
+    throw std::invalid_argument(
+        "add_machines: unknown capacity class (the ladder is fixed)");
+  }
+  pool->total += count;
+  pool->free += count;
+  machines_ += count;
+}
+
+void Cluster::remove_machines(MiB capacity, std::size_t count) {
+  Pool* pool = find_pool(capacity);
+  if (!pool) {
+    throw std::invalid_argument("remove_machines: unknown capacity class");
+  }
+  const std::size_t removed = std::min(count, pool->total);
+  pool->total -= removed;
+  machines_ -= removed;
+  const std::size_t from_free = std::min(pool->free, removed);
+  pool->free -= from_free;
+  // The rest are busy: they leave as their jobs finish.
+  pool->draining += removed - from_free;
+}
+
+std::size_t Cluster::draining_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& pool : pools_) total += pool.draining;
+  return total;
+}
+
+std::vector<Cluster::PoolSnapshot> Cluster::snapshot() const {
+  std::vector<PoolSnapshot> out;
+  out.reserve(pools_.size());
+  for (const auto& pool : pools_) {
+    PoolSnapshot snap;
+    snap.capacity = pool.capacity;
+    snap.total = pool.total;
+    snap.draining = pool.draining;
+    // Busy = owned-but-not-free plus drained machines still finishing.
+    snap.busy = pool.total - pool.free + pool.draining;
+    out.push_back(snap);
+  }
+  return out;
+}
+
+std::optional<Allocation> Cluster::allocate(std::uint32_t nodes,
+                                            MiB min_capacity) {
+  if (nodes == 0) return std::nullopt;
+  if (eligible_free(min_capacity) < nodes) return std::nullopt;
+
+  Allocation out;
+  out.nodes = nodes;
+  out.min_capacity = 0.0;
+  std::size_t remaining = nodes;
+
+  auto take_from = [&](std::size_t pool_index) {
+    Pool& p = pools_[pool_index];
+    if (p.capacity < min_capacity || p.free == 0) return;
+    const std::size_t take = std::min(p.free, remaining);
+    if (take == 0) return;
+    p.free -= take;
+    remaining -= take;
+    out.pool_counts.emplace_back(pool_index, take);
+    out.min_capacity = out.min_capacity == 0.0
+                           ? p.capacity
+                           : std::min(out.min_capacity, p.capacity);
+  };
+
+  if (policy_ == AllocationPolicy::kBestFit) {
+    for (std::size_t i = 0; i < pools_.size() && remaining > 0; ++i) {
+      take_from(i);
+    }
+  } else {
+    for (std::size_t i = pools_.size(); i-- > 0 && remaining > 0;) {
+      take_from(i);
+    }
+  }
+  assert(remaining == 0);
+  busy_ += nodes;
+  return out;
+}
+
+void Cluster::release(const Allocation& allocation) {
+  for (const auto& [pool_index, count] : allocation.pool_counts) {
+    assert(pool_index < pools_.size());
+    Pool& p = pools_[pool_index];
+    // Machines owed to a removal depart instead of becoming free.
+    const std::size_t departing = std::min(p.draining, count);
+    p.draining -= departing;
+    p.free += count - departing;
+    assert(p.free <= p.total);
+  }
+  assert(busy_ >= allocation.nodes);
+  busy_ -= allocation.nodes;
+}
+
+}  // namespace resmatch::sim

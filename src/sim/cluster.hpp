@@ -1,0 +1,130 @@
+// Heterogeneous cluster model.
+//
+// Machines are grouped into pools of identical per-node memory capacity
+// (the paper's clusters are two pools: 512 machines with 32 MiB and 512
+// with a smaller size). Space sharing, no preemption: a machine runs one
+// job process at a time. Because machines within a pool are
+// indistinguishable, allocation bookkeeping is per-pool counters — O(#pools)
+// per operation regardless of machine count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "sched/policy.hpp"
+#include "util/types.hpp"
+
+namespace resmatch::sim {
+
+/// One homogeneous pool in a cluster specification.
+struct PoolSpec {
+  MiB capacity = 0.0;
+  std::size_t count = 0;
+};
+
+using ClusterSpec = std::vector<PoolSpec>;
+
+/// The paper's experimental cluster (§3): 512 machines with 32 MiB plus
+/// 512 machines with `second_pool_mib` (24 MiB in Figures 5-6, swept
+/// 1..32 MiB in Figure 8).
+[[nodiscard]] ClusterSpec cm5_heterogeneous(MiB second_pool_mib,
+                                            std::size_t pool_size = 512);
+
+/// Which machines the allocator prefers among those that qualify.
+enum class AllocationPolicy {
+  kBestFit,   ///< smallest adequate capacity first (preserves big machines)
+  kWorstFit,  ///< largest capacity first
+};
+
+/// A successful placement: machine counts taken from each pool.
+struct Allocation {
+  /// (pool index, machines taken) pairs; empty means "not allocated".
+  std::vector<std::pair<std::size_t, std::size_t>> pool_counts;
+  MiB min_capacity = 0.0;  ///< smallest machine capacity in the allocation
+  std::uint32_t nodes = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return !pool_counts.empty(); }
+};
+
+class Cluster final : public sched::ClusterView {
+ public:
+  explicit Cluster(ClusterSpec spec,
+                   AllocationPolicy policy = AllocationPolicy::kBestFit);
+
+  /// Capacity rungs for Algorithm 1's rounding step.
+  [[nodiscard]] core::CapacityLadder ladder() const;
+
+  // sched::ClusterView:
+  [[nodiscard]] std::size_t eligible_free(MiB min_capacity) const override;
+  [[nodiscard]] std::size_t eligible_total(MiB min_capacity) const override;
+  [[nodiscard]] std::size_t machine_count() const override;
+
+  [[nodiscard]] std::size_t busy_count() const noexcept { return busy_; }
+  [[nodiscard]] double busy_fraction() const noexcept;
+
+  /// Take `nodes` machines, each with capacity >= min_capacity, following
+  /// the fit policy. All-or-nothing; nullopt when not enough machines.
+  [[nodiscard]] std::optional<Allocation> allocate(std::uint32_t nodes,
+                                                   MiB min_capacity);
+
+  /// Return an allocation's machines. Must match a prior allocate().
+  /// Machines owed to a pending removal leave the cluster instead of
+  /// becoming free again.
+  void release(const Allocation& allocation);
+
+  // --- dynamic availability (paper §1: machines join and leave) ----------
+
+  /// Add `count` machines of an EXISTING capacity class (the capacity
+  /// ladder is fixed for the cluster's lifetime so estimators stay
+  /// consistent). Throws std::invalid_argument for unknown capacities.
+  void add_machines(MiB capacity, std::size_t count);
+
+  /// Remove `count` machines of a capacity class. Free machines leave
+  /// immediately; busy ones drain — they depart as their jobs release
+  /// them. Totals (and thus schedulability) drop immediately. Throws for
+  /// unknown capacities; removing more than the class holds clamps to
+  /// "remove them all".
+  void remove_machines(MiB capacity, std::size_t count);
+
+  /// Machines that have been removed but are still running jobs.
+  [[nodiscard]] std::size_t draining_count() const noexcept;
+
+  /// Point-in-time view of one capacity class.
+  struct PoolSnapshot {
+    MiB capacity = 0.0;
+    std::size_t total = 0;     ///< machines that will remain after drains
+    std::size_t busy = 0;      ///< includes draining machines running jobs
+    std::size_t draining = 0;  ///< removed machines still running jobs
+
+    /// Machines physically present right now.
+    [[nodiscard]] std::size_t present() const noexcept {
+      return total + draining;
+    }
+  };
+
+  /// Snapshot of all capacity classes, ascending by capacity.
+  [[nodiscard]] std::vector<PoolSnapshot> snapshot() const;
+
+  [[nodiscard]] const std::vector<PoolSpec>& spec() const noexcept {
+    return spec_;
+  }
+
+ private:
+  struct Pool {
+    MiB capacity = 0.0;
+    std::size_t total = 0;     ///< machines that will remain after drains
+    std::size_t free = 0;
+    std::size_t draining = 0;  ///< busy machines owed to a removal
+  };
+
+  Pool* find_pool(MiB capacity);
+
+  ClusterSpec spec_;
+  std::vector<Pool> pools_;  // ascending capacity
+  AllocationPolicy policy_;
+  std::size_t machines_ = 0;
+  std::size_t busy_ = 0;
+};
+
+}  // namespace resmatch::sim

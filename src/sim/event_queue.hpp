@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue.
+//
+// A binary min-heap ordered by (time, insertion sequence): events at equal
+// times pop in insertion order, which makes whole simulations bit-for-bit
+// reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Seconds time = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  void push(Seconds time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace resmatch::sim

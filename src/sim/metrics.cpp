@@ -1,0 +1,17 @@
+#include "sim/metrics.hpp"
+
+#include "util/strings.hpp"
+
+namespace resmatch::sim {
+
+std::string summarize(const SimulationResult& r) {
+  return util::format(
+      "%s/%s: load=%.2f util=%.3f slowdown=%.2f (bounded %.2f) wait=%.0fs "
+      "completed=%zu/%zu lowered=%.1f%% res-fail=%.3f%% benefit-nodes=%zu",
+      r.estimator_name.c_str(), r.policy_name.c_str(), r.offered_load,
+      r.utilization, r.mean_slowdown, r.mean_bounded_slowdown, r.mean_wait,
+      r.completed, r.submitted, 100.0 * r.lowered_fraction(),
+      100.0 * r.resource_failure_fraction(), r.benefiting_nodes);
+}
+
+}  // namespace resmatch::sim

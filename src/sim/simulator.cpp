@@ -1,0 +1,418 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/timeseries.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::sim {
+
+namespace {
+
+enum class EventKind { kArrival, kJobEnd, kAvailability };
+
+struct EventPayload {
+  EventKind kind = EventKind::kArrival;
+  /// Trace index (arrival), running slot (end), or availability index.
+  std::size_t index = 0;
+};
+
+/// Why an execution attempt ends.
+enum class Outcome { kSuccess, kResourceFailure, kIntrinsicFailure };
+
+struct RunningRecord {
+  std::size_t trace_index = 0;
+  Allocation allocation;
+  MiB granted = 0.0;
+  Seconds start = 0.0;
+  Seconds expected_end = 0.0;  ///< per the user's runtime estimate
+  Outcome outcome = Outcome::kSuccess;
+  bool active = false;
+};
+
+}  // namespace
+
+SimulationResult simulate(const trace::Workload& workload,
+                          const ClusterSpec& cluster_spec,
+                          core::Estimator& estimator,
+                          sched::SchedulingPolicy& policy,
+                          const SimulationConfig& config) {
+  const auto& jobs = workload.jobs;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].submit < jobs[i - 1].submit) {
+      throw std::invalid_argument(
+          "simulate: workload must be sorted by submit time");
+    }
+  }
+
+  Cluster cluster(cluster_spec, config.allocation);
+  estimator.set_ladder(cluster.ladder());
+  util::Rng rng(config.seed);
+
+  SimulationResult result;
+  result.estimator_name = estimator.name();
+  result.policy_name = policy.name();
+  result.submitted = jobs.size();
+  result.offered_load = workload.offered_load(cluster.machine_count());
+
+  EventQueue<EventPayload> events;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    events.push(jobs[i].submit, {EventKind::kArrival, i});
+  }
+  // While capacity additions are still pending, "does not fit the current
+  // cluster" is not "can never run": unschedulable-drop decisions wait.
+  std::size_t pending_capacity_adds = 0;
+  for (std::size_t i = 0; i < config.availability.size(); ++i) {
+    events.push(config.availability[i].time, {EventKind::kAvailability, i});
+    if (config.availability[i].delta > 0) ++pending_capacity_adds;
+  }
+
+  std::deque<sched::QueuedJob> queue;
+  std::vector<RunningRecord> running;   // slot-allocated
+  std::vector<std::size_t> free_slots;
+  std::vector<std::uint32_t> attempts(jobs.size(), 0);
+
+  // Aggregates.
+  double productive_node_seconds = 0.0;
+  double wasted_node_seconds = 0.0;
+  stats::Summary wait_stats, slowdown_stats, bounded_stats;
+  stats::PercentileTracker slowdown_pct;
+  Seconds first_submit = jobs.empty() ? 0.0 : jobs.front().submit;
+  Seconds last_event = first_submit;
+  // Time-integrated machine count: with dynamic availability the
+  // utilization denominator is this integral, not machines x makespan.
+  double capacity_integral = 0.0;
+  Seconds capacity_since = first_submit;
+
+  // Per-pool busy/capacity integrals, keyed by the initial pool order.
+  struct PoolIntegral {
+    MiB capacity = 0.0;
+    double busy_node_seconds = 0.0;
+    double capacity_node_seconds = 0.0;
+  };
+  std::vector<PoolIntegral> pool_integrals;
+  for (const auto& snap : cluster.snapshot()) {
+    pool_integrals.push_back({snap.capacity, 0.0, 0.0});
+  }
+  Seconds pool_since = first_submit;
+  auto integrate_pools = [&](Seconds now) {
+    const Seconds dt = now - pool_since;
+    if (dt <= 0.0) return;
+    const auto snaps = cluster.snapshot();
+    for (std::size_t i = 0; i < snaps.size() && i < pool_integrals.size();
+         ++i) {
+      pool_integrals[i].busy_node_seconds +=
+          static_cast<double>(snaps[i].busy) * dt;
+      pool_integrals[i].capacity_node_seconds +=
+          static_cast<double>(snaps[i].present()) * dt;
+    }
+    pool_since = now;
+  };
+
+  // What the raw (un-estimated) request needs, for "lowered" accounting.
+  const core::CapacityLadder ladder = cluster.ladder();
+
+  auto system_state = [&]() {
+    core::SystemState state;
+    state.now = last_event;
+    state.busy_fraction = cluster.busy_fraction();
+    state.queue_length = queue.size();
+    return state;
+  };
+
+  auto make_queued = [&](std::size_t trace_index) {
+    const trace::JobRecord& record = jobs[trace_index];
+    sched::QueuedJob q;
+    q.trace_index = trace_index;
+    q.id = record.id;
+    q.nodes = record.nodes;
+    // A side-effect-free preview: the committed estimate happens at
+    // dispatch (paper Figure 2 places estimation before allocation, and a
+    // queued job's group keeps learning while it waits).
+    q.effective_request = estimator.preview(record, system_state());
+    q.enqueue_time = last_event;
+    // Runtime input for reservation math: the learned prediction when a
+    // predictor is attached, otherwise the user's estimate.
+    q.requested_time =
+        config.runtime_predictor
+            ? config.runtime_predictor->predict(record)
+            : (record.requested_time > 0.0 ? record.requested_time
+                                           : record.runtime);
+    q.attempts = attempts[trace_index];
+    return q;
+  };
+
+  auto start_job = [&](const sched::QueuedJob& q, Seconds now) -> bool {
+    const trace::JobRecord& record = jobs[q.trace_index];
+    // Commit the estimate now; the preview the policy saw may be stale.
+    const MiB grant = estimator.estimate(record, system_state());
+    auto allocation = cluster.allocate(q.nodes, grant);
+    if (!allocation) {
+      // The fresh estimate outgrew the preview (group escalation, RL
+      // exploration) and no longer fits; undo the commitment.
+      estimator.cancel(record, grant);
+      return false;
+    }
+
+    RunningRecord run;
+    run.trace_index = q.trace_index;
+    run.allocation = *allocation;
+    run.granted = grant;
+    run.start = now;
+    run.expected_end = now + q.requested_time;
+    run.active = true;
+
+    // Decide the attempt's fate up front (the trace knows the truth).
+    Seconds end;
+    if (record.status == trace::JobStatus::kFailed) {
+      // Intrinsic (non-resource) failure: the false-positive source for
+      // implicit feedback discussed in paper §2.1.
+      run.outcome = Outcome::kIntrinsicFailure;
+      end = now + rng.uniform() * record.runtime;
+    } else if (record.used_mem_mib > run.granted + 1e-9) {
+      run.outcome = Outcome::kResourceFailure;
+      end = now + rng.uniform() * record.runtime;
+    } else {
+      run.outcome = Outcome::kSuccess;
+      end = now + record.runtime;
+    }
+
+    ++result.attempts;
+    ++attempts[q.trace_index];
+    if (run.granted + 1e-9 < ladder.round_up(record.requested_mem_mib)) {
+      ++result.lowered_starts;
+    }
+
+    std::size_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      running[slot] = std::move(run);
+    } else {
+      slot = running.size();
+      running.push_back(std::move(run));
+    }
+    events.push(end, {EventKind::kJobEnd, slot});
+    return true;
+  };
+
+  auto schedule = [&](Seconds now) {
+    // Bounds repeated estimate-then-cancel churn from estimators whose
+    // committed grant keeps exceeding the preview (randomized policies).
+    int failed_starts = 0;
+    for (;;) {
+      // Keep the head's preview fresh: strict FCFS blocks on the head, so
+      // a stale (too-high) preview would idle machines the head's group
+      // has since learned it does not need.
+      if (!queue.empty()) {
+        const auto& head_record = jobs[queue.front().trace_index];
+        queue.front().effective_request =
+            estimator.preview(head_record, system_state());
+        // A head whose refreshed requirement outgrew the whole cluster
+        // would block strict FCFS forever; reject it like any other
+        // unschedulable job (unless machines may still join).
+        if (pending_capacity_adds == 0 &&
+            cluster.eligible_total(queue.front().effective_request) <
+                queue.front().nodes) {
+          ++result.dropped_unschedulable;
+          queue.pop_front();
+          continue;
+        }
+      }
+      // Policies that look at running jobs (backfilling) get a fresh view
+      // each iteration; the set changes as picks start jobs.
+      std::vector<sched::RunningJobInfo> infos;
+      infos.reserve(running.size());
+      for (const auto& run : running) {
+        if (!run.active) continue;
+        infos.push_back({run.expected_end, jobs[run.trace_index].nodes,
+                         run.granted});
+      }
+      const auto pick = policy.pick_next(queue, cluster, infos, now);
+      if (!pick) return;
+      assert(*pick < queue.size());
+      if (!start_job(queue[*pick], now)) {
+        // Fresh estimate no longer fits: refresh this entry's preview so
+        // the policy re-decides with current knowledge.
+        const auto& record = jobs[queue[*pick].trace_index];
+        queue[*pick].effective_request =
+            estimator.preview(record, system_state());
+        if (++failed_starts > 64) return;
+        continue;
+      }
+      queue.erase(queue.begin() + static_cast<long>(*pick));
+    }
+  };
+
+  auto enqueue = [&](std::size_t trace_index, bool retry) {
+    sched::QueuedJob q = make_queued(trace_index);
+    // A job the cluster can never host (even empty) would block FCFS
+    // forever; reject it up front, as a real scheduler would. With
+    // capacity additions still scheduled, hold the job instead.
+    if (pending_capacity_adds == 0 &&
+        cluster.eligible_total(q.effective_request) < q.nodes) {
+      ++result.dropped_unschedulable;
+      RM_LOG(kDebug) << "dropping unschedulable job " << q.id;
+      return;
+    }
+    if (retry) {
+      // Paper §3.1: a failed job returns to the head of the queue.
+      queue.push_front(std::move(q));
+    } else {
+      queue.push_back(std::move(q));
+    }
+  };
+
+  while (!events.empty()) {
+    const auto event = events.pop();
+    last_event = std::max(last_event, event.time);
+    const Seconds now = event.time;
+    integrate_pools(now);  // charge the elapsed interval to the old state
+
+    switch (event.payload.kind) {
+      case EventKind::kArrival: {
+        enqueue(event.payload.index, /*retry=*/false);
+        break;
+      }
+      case EventKind::kAvailability: {
+        const AvailabilityEvent& change =
+            config.availability[event.payload.index];
+        // Events scheduled before the first arrival apply immediately but
+        // contribute no (negative) capacity time.
+        const Seconds effective = std::max(now, capacity_since);
+        capacity_integral += static_cast<double>(cluster.machine_count()) *
+                             (effective - capacity_since);
+        capacity_since = effective;
+        if (change.delta >= 0) {
+          cluster.add_machines(change.capacity,
+                               static_cast<std::size_t>(change.delta));
+          if (pending_capacity_adds > 0) --pending_capacity_adds;
+        } else {
+          cluster.remove_machines(change.capacity,
+                                  static_cast<std::size_t>(-change.delta));
+        }
+        break;
+      }
+      case EventKind::kJobEnd: {
+        RunningRecord& run = running[event.payload.index];
+        assert(run.active);
+        run.active = false;
+        cluster.release(run.allocation);
+        free_slots.push_back(event.payload.index);
+        const trace::JobRecord& record = jobs[run.trace_index];
+
+        // Feedback to the estimator.
+        core::Feedback fb;
+        fb.success = run.outcome == Outcome::kSuccess;
+        fb.granted_mib = run.granted;
+        if (config.explicit_feedback) {
+          fb.used_mib = record.used_mem_mib;
+          fb.resource_failure = run.outcome == Outcome::kResourceFailure;
+        }
+        estimator.feedback(record, fb);
+
+        if (config.runtime_predictor &&
+            run.outcome == Outcome::kSuccess) {
+          config.runtime_predictor->observe(record, record.runtime);
+          config.runtime_predictor->record_accuracy(
+              run.expected_end - run.start, record.runtime);
+        }
+
+        switch (run.outcome) {
+          case Outcome::kSuccess: {
+            ++result.completed;
+            productive_node_seconds += record.work();
+            const Seconds response = now - record.submit;
+            const Seconds wait = response - record.runtime;
+            wait_stats.add(wait);
+            const double slowdown = response / record.runtime;
+            slowdown_stats.add(slowdown);
+            slowdown_pct.add(slowdown);
+            bounded_stats.add(std::max(
+                1.0, response /
+                         std::max(record.runtime, config.bounded_slowdown_tau)));
+            if (cluster.eligible_total(run.granted) >
+                cluster.eligible_total(
+                    ladder.round_up(record.requested_mem_mib))) {
+              ++result.benefiting_jobs;
+              result.benefiting_nodes += record.nodes;
+            }
+            break;
+          }
+          case Outcome::kResourceFailure: {
+            ++result.resource_failures;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * (now - run.start);
+            if (attempts[run.trace_index] >= config.max_attempts_per_job) {
+              ++result.dropped_attempt_cap;
+              RM_LOG(kWarn) << "job " << record.id
+                            << " dropped after attempt cap";
+            } else {
+              enqueue(run.trace_index, /*retry=*/true);
+            }
+            break;
+          }
+          case Outcome::kIntrinsicFailure: {
+            ++result.intrinsic_failed;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * (now - run.start);
+            // Non-resource failures are not resubmitted: rerunning a
+            // faulty program would fail again regardless of resources.
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    // Batch same-time events before scheduling so simultaneous arrivals
+    // and completions see one consistent state.
+    if (!events.empty() && events.top().time == now) continue;
+    schedule(now);
+    if (config.timeseries) {
+      std::size_t active = 0;
+      for (const auto& run : running) active += run.active ? 1 : 0;
+      config.timeseries->observe(now, cluster.busy_fraction(), queue.size(),
+                                 active);
+    }
+  }
+
+  // Jobs stranded in the queue when events ran out (possible only under
+  // dynamic availability: the capacity they waited for never sufficed).
+  result.dropped_unschedulable += queue.size();
+
+  result.makespan = last_event - first_submit;
+  integrate_pools(last_event);
+  for (const auto& pool : pool_integrals) {
+    result.pool_utilization.push_back(
+        {pool.capacity, pool.capacity_node_seconds > 0.0
+                            ? pool.busy_node_seconds /
+                                  pool.capacity_node_seconds
+                            : 0.0});
+  }
+  capacity_integral += static_cast<double>(cluster.machine_count()) *
+                       (last_event - capacity_since);
+  const double capacity_node_seconds = capacity_integral;
+  if (capacity_node_seconds > 0.0) {
+    result.utilization = productive_node_seconds / capacity_node_seconds;
+    result.wasted_fraction = wasted_node_seconds / capacity_node_seconds;
+  }
+  result.mean_wait = wait_stats.mean();
+  result.mean_slowdown = slowdown_stats.mean();
+  result.mean_bounded_slowdown = bounded_stats.mean();
+  result.p95_slowdown = slowdown_pct.percentile(95.0);
+  if (result.makespan > 0.0) {
+    result.throughput_per_hour =
+        static_cast<double>(result.completed) / (result.makespan / 3600.0);
+  }
+  return result;
+}
+
+}  // namespace resmatch::sim

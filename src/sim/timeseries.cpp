@@ -1,0 +1,32 @@
+#include "sim/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace resmatch::sim {
+
+TimeSeries::TimeSeries(Seconds interval) : interval_(interval) {
+  assert(interval > 0.0);
+}
+
+void TimeSeries::observe(Seconds now, double busy_fraction,
+                         std::size_t queue_length, std::size_t running_jobs) {
+  if (now < next_sample_) return;
+  points_.push_back({now, busy_fraction, queue_length, running_jobs});
+  next_sample_ = now + interval_;
+}
+
+double TimeSeries::mean_busy_fraction() const noexcept {
+  if (points_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& p : points_) total += p.busy_fraction;
+  return total / static_cast<double>(points_.size());
+}
+
+std::size_t TimeSeries::max_queue_length() const noexcept {
+  std::size_t best = 0;
+  for (const auto& p : points_) best = std::max(best, p.queue_length);
+  return best;
+}
+
+}  // namespace resmatch::sim

@@ -1,0 +1,49 @@
+// Time-series instrumentation for simulation runs.
+//
+// The paper reads its Figure 5 comparison "at the saturation points where
+// the linear growth of utilization stops" (footnote 4, citing
+// Frachtenberg & Feitelson's evaluation-pitfalls paper). Detecting that
+// knee honestly requires seeing the system's trajectory, not just end-of-
+// run aggregates; this collector samples cluster occupancy and queue
+// depth as the simulation advances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::sim {
+
+struct TimeSeriesPoint {
+  Seconds time = 0.0;
+  double busy_fraction = 0.0;   ///< busy machines / machines
+  std::size_t queue_length = 0;
+  std::size_t running_jobs = 0;
+};
+
+/// Samples at most one point per `interval` of simulated time. Attach via
+/// SimulationConfig::timeseries; the simulator calls observe() at every
+/// event, the collector down-samples.
+class TimeSeries {
+ public:
+  explicit TimeSeries(Seconds interval);
+
+  void observe(Seconds now, double busy_fraction, std::size_t queue_length,
+               std::size_t running_jobs);
+
+  [[nodiscard]] const std::vector<TimeSeriesPoint>& points() const noexcept {
+    return points_;
+  }
+
+  [[nodiscard]] double mean_busy_fraction() const noexcept;
+  [[nodiscard]] std::size_t max_queue_length() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  Seconds interval_;
+  Seconds next_sample_ = 0.0;
+  std::vector<TimeSeriesPoint> points_;
+};
+
+}  // namespace resmatch::sim

@@ -1,0 +1,98 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace resmatch::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void LinearHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::vector<HistogramBin> LinearHistogram::bins() const {
+  std::vector<HistogramBin> out(counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = {lo_ + width * static_cast<double>(i),
+              lo_ + width * static_cast<double>(i + 1), counts_[i]};
+  }
+  return out;
+}
+
+double LinearHistogram::fraction_at_least(double threshold) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t count = overflow_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lower = lo_ + width * static_cast<double>(i);
+    if (lower >= threshold) count += counts_[i];
+  }
+  // Overflowed observations were folded into the last bin's count as well;
+  // avoid double counting when the last bin already qualifies.
+  const double last_lower =
+      lo_ + width * static_cast<double>(counts_.size() - 1);
+  if (last_lower >= threshold) count -= overflow_;
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double lo, double base, std::size_t bins)
+    : lo_(lo), base_(base), counts_(bins, 0) {
+  assert(lo > 0.0 && base > 1.0 && bins > 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+    return;
+  }
+  const double idx_f = std::log(x / lo_) / std::log(base_);
+  auto idx = static_cast<std::size_t>(idx_f);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::vector<HistogramBin> out(counts_.size());
+  double edge = lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = {edge, edge * base_, counts_[i]};
+    edge *= base_;
+  }
+  return out;
+}
+
+void IntegerFrequency::add(long long value) noexcept {
+  raw_.push_back(value);
+  ++total_;
+}
+
+std::vector<std::pair<long long, std::size_t>> IntegerFrequency::items()
+    const {
+  std::map<long long, std::size_t> freq;
+  for (long long v : raw_) ++freq[v];
+  return {freq.begin(), freq.end()};
+}
+
+}  // namespace resmatch::stats

@@ -1,0 +1,77 @@
+// Fixed-bin histograms (linear and logarithmic), used for the paper's
+// Figure 1 (over-provisioning ratio histogram, log-scaled y) and Figure 3
+// (group-size distribution).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace resmatch::stats {
+
+/// One rendered histogram bin.
+struct HistogramBin {
+  double lower = 0.0;   ///< inclusive lower edge
+  double upper = 0.0;   ///< exclusive upper edge (inclusive for last bin)
+  std::size_t count = 0;
+};
+
+/// Histogram over [lo, hi) with equal-width bins. Values outside the range
+/// are clamped into the first/last bin and counted in under/overflow too,
+/// so no observation is silently dropped.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Fraction of all observations with value >= threshold (computed from
+  /// bin edges; threshold should align with an edge for exactness).
+  [[nodiscard]] double fraction_at_least(double threshold) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Histogram with logarithmically spaced bin edges starting at `lo > 0`,
+/// each bin spanning a factor of `base`.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double base, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_, base_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact integer-valued frequency map rendered as (value, count) pairs in
+/// ascending order; used for group-size distributions where bin edges would
+/// blur the small sizes that dominate.
+class IntegerFrequency {
+ public:
+  void add(long long value) noexcept;
+  [[nodiscard]] std::vector<std::pair<long long, std::size_t>> items() const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<std::pair<long long, std::size_t>> sorted_cache_;
+  std::vector<long long> raw_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace resmatch::stats

@@ -1,0 +1,27 @@
+// Exact percentiles over collected samples.
+#pragma once
+
+#include <vector>
+
+namespace resmatch::stats {
+
+/// Collects samples and answers percentile queries by sorting on demand.
+/// Simulation runs collect at most a few hundred thousand samples, so the
+/// O(n log n) sort on first query is cheap and exact.
+class PercentileTracker {
+ public:
+  void add(double x);
+  void reserve(std::size_t n);
+
+  /// Percentile in [0, 100] using linear interpolation between order
+  /// statistics. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace resmatch::stats

@@ -1,0 +1,111 @@
+#include "stats/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace resmatch::stats {
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  fit.n = xs.size();
+  if (fit.n < 2) return fit;
+
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(fit.n);
+  mean_y /= static_cast<double>(fit.n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+RidgeRegression::RidgeRegression(std::size_t dims, double lambda)
+    : dims_(dims + 1),  // +1 bias column
+      lambda_(lambda),
+      xtx_(dims_ * dims_, 0.0),
+      xty_(dims_, 0.0),
+      weights_(dims_, 0.0) {}
+
+void RidgeRegression::add(const std::vector<double>& x, double y) {
+  assert(x.size() + 1 == dims_);
+  // Augmented feature vector with trailing bias 1.
+  auto feature = [&](std::size_t i) {
+    return i + 1 == dims_ ? 1.0 : x[i];
+  };
+  for (std::size_t i = 0; i < dims_; ++i) {
+    for (std::size_t j = 0; j < dims_; ++j) {
+      xtx_[i * dims_ + j] += feature(i) * feature(j);
+    }
+    xty_[i] += feature(i) * y;
+  }
+  ++n_;
+}
+
+bool RidgeRegression::fit() {
+  if (n_ == 0) return false;
+  // Copy moments and add ridge damping on the diagonal (bias included; the
+  // damping is tiny enough not to bias the intercept materially).
+  std::vector<double> a = xtx_;
+  std::vector<double> b = xty_;
+  for (std::size_t i = 0; i < dims_; ++i) a[i * dims_ + i] += lambda_;
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < dims_; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dims_; ++r) {
+      if (std::fabs(a[r * dims_ + col]) > std::fabs(a[pivot * dims_ + col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot * dims_ + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < dims_; ++c) {
+        std::swap(a[pivot * dims_ + c], a[col * dims_ + c]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < dims_; ++r) {
+      const double factor = a[r * dims_ + col] / a[col * dims_ + col];
+      for (std::size_t c = col; c < dims_; ++c) {
+        a[r * dims_ + c] -= factor * a[col * dims_ + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  for (std::size_t i = dims_; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < dims_; ++c) {
+      acc -= a[i * dims_ + c] * weights_[c];
+    }
+    weights_[i] = acc / a[i * dims_ + i];
+  }
+  return true;
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  assert(x.size() + 1 == dims_);
+  double y = weights_[dims_ - 1];  // bias
+  for (std::size_t i = 0; i + 1 < dims_; ++i) y += weights_[i] * x[i];
+  return y;
+}
+
+}  // namespace resmatch::stats

@@ -1,0 +1,61 @@
+// Ordinary least squares, simple (y = a + b x) and multiple, with R².
+//
+// The paper reports two regression fits we must reproduce: the log-linear
+// fit over the over-provisioning histogram (Figure 1, R² = 0.69) and the
+// node-count vs utilization-gain fit (Section 3.2, R² = 0.991). The multiple
+// regression backs the explicit-feedback RegressionEstimator (Table 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resmatch::stats {
+
+/// Result of a simple linear fit y ≈ intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Fit y against x with ordinary least squares. Requires xs.size() ==
+/// ys.size() and at least two distinct x values; otherwise returns a
+/// degenerate fit with n recorded and slope 0.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Multiple linear regression via the normal equations with ridge damping.
+/// Solves (XᵀX + λI) w = Xᵀy by Gaussian elimination with partial pivoting.
+/// Dimensions are small (handful of job-record features), so the O(d³)
+/// solve is negligible.
+class RidgeRegression {
+ public:
+  /// `dims` = feature count (a bias term is appended internally).
+  explicit RidgeRegression(std::size_t dims, double lambda = 1e-6);
+
+  /// Accumulate one observation.
+  void add(const std::vector<double>& x, double y);
+
+  /// Recompute weights from accumulated moments. Returns false when the
+  /// system is singular even after damping (e.g., no observations).
+  bool fit();
+
+  /// Predict for a feature vector (uses last fitted weights).
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::size_t dims_;   // including bias
+  double lambda_;
+  std::vector<double> xtx_;  // (dims x dims), row-major
+  std::vector<double> xty_;
+  std::vector<double> weights_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace resmatch::stats

@@ -1,0 +1,86 @@
+// Trace analysis: the measurements behind the paper's Figures 1, 3 and 4.
+//
+// Grouping here is deliberately decoupled from core::SimilarityIndex (the
+// online structure used during scheduling): analysis is the *offline*
+// trial-and-error phase the paper describes in §2.2, where candidate
+// similarity keys are evaluated against a historical trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "trace/job_record.hpp"
+
+namespace resmatch::trace {
+
+/// Maps a job to its similarity-group key. The default is the paper's
+/// (user id, application number, requested memory) triple.
+using GroupKeyFn = std::function<std::uint64_t(const JobRecord&)>;
+
+/// The paper's similarity key, hashed into 64 bits collision-checked by
+/// construction (user and app are < 2^24, memory is quantized to KiB).
+[[nodiscard]] std::uint64_t default_group_key(const JobRecord& job) noexcept;
+
+/// Figure 1: histogram of requested/used memory ratio across jobs.
+struct OverprovisionAnalysis {
+  stats::LinearHistogram histogram;    ///< ratio binned [1, max_ratio)
+  double fraction_ge2 = 0.0;           ///< paper: ~32.8%
+  stats::LinearFit log_fit;            ///< log10(% jobs) vs ratio; paper R²≈0.69
+  double max_ratio_seen = 0.0;
+};
+
+[[nodiscard]] OverprovisionAnalysis analyze_overprovisioning(
+    const Workload& workload, double bin_width = 2.0, double max_ratio = 130.0);
+
+/// Aggregate description of one similarity group as measured on a trace.
+struct GroupProfile {
+  std::uint64_t key = 0;
+  std::size_t size = 0;
+  MiB requested_mib = 0.0;   ///< identical across the group by construction
+  MiB max_used_mib = 0.0;
+  MiB min_used_mib = 0.0;
+
+  /// Figure 4 x-axis: similarity range (max used / min used).
+  [[nodiscard]] double similarity_range() const noexcept {
+    return min_used_mib > 0.0 ? max_used_mib / min_used_mib : 1.0;
+  }
+  /// Figure 4 y-axis: potential gain (requested / max used).
+  [[nodiscard]] double potential_gain() const noexcept {
+    return max_used_mib > 0.0 ? requested_mib / max_used_mib : 1.0;
+  }
+};
+
+/// Partition a trace into similarity groups under `key`.
+[[nodiscard]] std::vector<GroupProfile> profile_groups(
+    const Workload& workload, const GroupKeyFn& key = default_group_key);
+
+/// Figure 3: jobs binned by the size of the group they belong to.
+struct GroupSizeDistribution {
+  /// (group size, number of jobs in groups of that size).
+  std::vector<std::pair<long long, std::size_t>> jobs_by_size;
+  std::size_t group_count = 0;
+  std::size_t job_count = 0;
+  /// Paper footnote 2: groups of ≥`threshold` jobs as a fraction of all
+  /// groups, and the jobs they cover as a fraction of all jobs.
+  double fraction_groups_ge_threshold = 0.0;
+  double fraction_jobs_ge_threshold = 0.0;
+};
+
+[[nodiscard]] GroupSizeDistribution group_size_distribution(
+    const std::vector<GroupProfile>& groups, std::size_t threshold = 10);
+
+/// Figure 4: scatter of (similarity range, potential gain) for groups with
+/// at least `min_size` jobs.
+struct GroupQualityPoint {
+  double similarity_range = 1.0;
+  double potential_gain = 1.0;
+  std::size_t size = 0;
+};
+
+[[nodiscard]] std::vector<GroupQualityPoint> group_quality_scatter(
+    const std::vector<GroupProfile>& groups, std::size_t min_size = 10);
+
+}  // namespace resmatch::trace

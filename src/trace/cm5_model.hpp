@@ -1,0 +1,111 @@
+// Calibrated synthetic stand-in for the LANL CM5 workload trace.
+//
+// The paper's experiments consume the real LANL CM5 log from the Parallel
+// Workloads Archive (122,055 jobs over ~2 years on a 1024-node CM-5 with
+// 32 MiB per node). That file is not redistributable here, so this module
+// generates a synthetic trace with the same schema and — crucially — the
+// same published statistics the paper's results depend on:
+//
+//   * ~122k jobs after dropping the six 1024-node jobs (paper §3.1);
+//   * ~9,885 similarity groups under the (user, app, requested-memory)
+//     key (paper §2.2), with a heavy-tailed size distribution in which
+//     roughly 19.4% of groups have ≥10 jobs yet cover ~83% of all jobs
+//     (paper Figure 3 and footnote 2);
+//   * an over-provisioning ratio (requested/used memory) histogram with
+//     ~32.8% of jobs at ratio ≥2 and a roughly log-linear decay out to two
+//     orders of magnitude (paper Figure 1, R² ≈ 0.69);
+//   * tight within-group usage ranges for most groups, with the large-gain
+//     groups also being highly similar (paper Figure 4);
+//   * CM5 partition sizes (powers of two, 32..512 nodes) and a 32 MiB
+//     per-node request ceiling.
+//
+// Every knob is exposed in Cm5ModelConfig so tests can generate small
+// traces quickly and ablations can distort individual properties.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::trace {
+
+/// Tunable parameters of the synthetic CM5 workload model. Defaults are
+/// the calibration that reproduces the paper's published statistics.
+struct Cm5ModelConfig {
+  std::uint64_t seed = 42;
+
+  // --- population -------------------------------------------------------
+  std::size_t job_count = 122049;   ///< 122,055 minus six 1024-node jobs
+  std::size_t group_count = 9885;   ///< paper §2.2
+  std::size_t user_count = 213;     ///< LANL CM5 user population
+
+  // --- group size distribution (discrete power law) ----------------------
+  double group_size_exponent = 1.6;  ///< P(size=k) ∝ k^-γ
+  std::size_t group_size_max = 500;
+
+  // --- over-provisioning ratio (requested / max used, per group) ---------
+  /// Probability that a group draws from the heavy over-provisioning tail
+  /// (ratio >= 2). Within-group usage spread pushes additional jobs past
+  /// 2x, so this is calibrated BELOW the paper's 32.8% job-level figure;
+  /// the realized job fraction lands at ~32.8% (asserted in tests).
+  double frac_ratio_ge2 = 0.243;
+  double pareto_alpha = 0.9;       ///< tail shape beyond ratio 2
+  double max_ratio = 130.0;        ///< "two orders of magnitude"
+  /// Minimum modest-branch ratio for full-node (32 MiB) requests: keeps
+  /// their usage below 32/full_node_min_ratio ≈ 23.7 MiB, so the paper's
+  /// first probe point (the 24 MiB pool) rarely under-provisions.
+  double full_node_min_ratio = 1.35;
+
+  // --- within-group similarity range (max used / min used) ---------------
+  /// Fraction of groups whose members use EXACTLY the same memory —
+  /// repeated submissions of the same deterministic program. These groups
+  /// are the reason the paper's estimator almost never fails (§3.2).
+  double identical_usage_fraction = 0.55;
+  double tight_range_mean = 0.12;   ///< remaining groups: 1 + Exp(mean)
+  double loose_group_fraction = 0.10;
+  double loose_range_mean = 1.5;
+  double range_cap = 10.0;
+
+  // --- per-node requested memory (MiB) and CM5 partitions ----------------
+  // Weighted toward full-node (32 MiB) requests, as on the real CM5 where
+  // requesting the whole node's memory was the lazy default.
+  std::vector<double> request_mib_values = {32, 24, 16, 12, 8, 4, 2, 1};
+  std::vector<double> request_mib_weights = {0.55, 0.06, 0.12, 0.05,
+                                             0.10, 0.07, 0.03, 0.02};
+  std::vector<double> partition_sizes = {32, 64, 128, 256, 512};
+  std::vector<double> partition_weights = {0.42, 0.27, 0.16, 0.10, 0.05};
+
+  // --- runtimes (log-normal, seconds) -------------------------------------
+  double runtime_log_mean = 6.4;    ///< exp(6.4) ≈ 600 s group median
+  double runtime_log_sigma = 1.0;
+  double runtime_jitter_sigma = 0.3;  ///< within-group runtime variation
+  Seconds runtime_min = 10.0;
+  Seconds runtime_max = 86400.0;
+
+  // --- arrivals ------------------------------------------------------------
+  /// Poisson arrivals; span chosen so offered load on `nominal_machines`
+  /// is roughly `nominal_load` (experiments rescale exactly afterwards).
+  std::size_t nominal_machines = 1024;
+  double nominal_load = 0.7;
+
+  // --- fault injection ------------------------------------------------------
+  /// Fraction of jobs that fail for reasons unrelated to resources (faulty
+  /// program/machine). These produce the implicit-feedback false positives
+  /// discussed in paper §2.1. 0 reproduces the paper's clean setup.
+  double intrinsic_failure_fraction = 0.0;
+
+  /// Fraction of groups whose (user, app) pair is shared with another
+  /// group that differs only in requested memory — exercises the third
+  /// component of the similarity key.
+  double shared_app_fraction = 0.25;
+};
+
+/// Deterministically generate a synthetic workload from the config.
+[[nodiscard]] Workload generate_cm5(const Cm5ModelConfig& config);
+
+/// Convenience: a small trace for unit tests (a few thousand jobs),
+/// preserving the calibration's distributional shape.
+[[nodiscard]] Workload generate_cm5_small(std::uint64_t seed,
+                                          std::size_t job_count = 4000);
+
+}  // namespace resmatch::trace

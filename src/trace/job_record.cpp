@@ -1,0 +1,43 @@
+#include "trace/job_record.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace resmatch::trace {
+
+bool is_simulatable(const JobRecord& job) noexcept {
+  return job.submit >= 0.0 && job.runtime > 0.0 && job.nodes >= 1 &&
+         job.requested_mem_mib > 0.0 && job.used_mem_mib > 0.0 &&
+         job.used_mem_mib <= job.requested_mem_mib + 1e-9;
+}
+
+std::string to_string(const JobRecord& job) {
+  return util::format(
+      "job %llu: submit=%.0fs run=%.0fs nodes=%u req=%.2fMiB used=%.2fMiB "
+      "user=%u app=%u",
+      static_cast<unsigned long long>(job.id), job.submit, job.runtime,
+      job.nodes, job.requested_mem_mib, job.used_mem_mib, job.user, job.app);
+}
+
+double Workload::total_work() const noexcept {
+  double total = 0.0;
+  for (const auto& job : jobs) total += job.work();
+  return total;
+}
+
+Seconds Workload::span() const noexcept {
+  if (jobs.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(
+      jobs.begin(), jobs.end(),
+      [](const JobRecord& a, const JobRecord& b) { return a.submit < b.submit; });
+  return hi->submit - lo->submit;
+}
+
+double Workload::offered_load(std::size_t machines) const noexcept {
+  const Seconds s = span();
+  if (s <= 0.0 || machines == 0) return 0.0;
+  return total_work() / (static_cast<double>(machines) * s);
+}
+
+}  // namespace resmatch::trace

@@ -1,0 +1,77 @@
+// Job trace records.
+//
+// The schema mirrors the Standard Workload Format (SWF) used by the
+// Parallel Workloads Archive — the source of the paper's LANL CM5 trace —
+// restricted to the fields the experiments consume, plus the actual
+// per-node memory usage that makes the over-provisioning study possible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace resmatch::trace {
+
+/// Completion status recorded in a trace (SWF convention).
+enum class JobStatus : int {
+  kFailed = 0,
+  kCompleted = 1,
+  kCancelled = 5,
+  kUnknown = -1,
+};
+
+/// One job submission as recorded in a workload trace.
+///
+/// Memory quantities are per node, in MiB (the CM5 has 32 MiB per node).
+/// `used_mem_mib` is what the job actually consumed at peak — the field
+/// whose divergence from `requested_mem_mib` the paper studies.
+struct JobRecord {
+  JobId id = 0;
+  Seconds submit = 0.0;          ///< arrival time relative to trace start
+  Seconds runtime = 0.0;         ///< actual execution time
+  Seconds requested_time = 0.0;  ///< user's runtime estimate (unused by the
+                                 ///< estimator; kept for SWF fidelity)
+  std::uint32_t nodes = 1;       ///< machines required (CM5 partition size)
+  MiB requested_mem_mib = 0.0;   ///< user-requested memory per node
+  MiB used_mem_mib = 0.0;        ///< actual peak memory per node
+  UserId user = 0;
+  AppId app = 0;
+  JobStatus status = JobStatus::kCompleted;
+
+  /// Node-seconds of work this job demands.
+  [[nodiscard]] double work() const noexcept {
+    return static_cast<double>(nodes) * runtime;
+  }
+
+  /// Requested-over-used memory ratio; the paper's over-provisioning
+  /// measure (Figure 1). Returns 1 when usage is unknown or zero.
+  [[nodiscard]] double overprovision_ratio() const noexcept {
+    if (used_mem_mib <= 0.0 || requested_mem_mib <= 0.0) return 1.0;
+    return requested_mem_mib / used_mem_mib;
+  }
+};
+
+/// Structural validity for simulation input: non-negative times, at least
+/// one node, known memory fields, and usage not exceeding request (the
+/// paper's standing assumption, §1.3).
+[[nodiscard]] bool is_simulatable(const JobRecord& job) noexcept;
+
+/// Human-readable one-line description (diagnostics and logs).
+[[nodiscard]] std::string to_string(const JobRecord& job);
+
+/// A whole trace plus its provenance.
+struct Workload {
+  std::vector<JobRecord> jobs;
+  std::string name;
+
+  /// Total node-seconds demanded.
+  [[nodiscard]] double total_work() const noexcept;
+  /// Time between first submit and last submit.
+  [[nodiscard]] Seconds span() const noexcept;
+  /// Offered load against a cluster of `machines` nodes: demanded
+  /// node-seconds over available node-seconds within the submit span.
+  [[nodiscard]] double offered_load(std::size_t machines) const noexcept;
+};
+
+}  // namespace resmatch::trace

@@ -1,0 +1,93 @@
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+#include "trace/analysis.hpp"
+#include "util/strings.hpp"
+
+namespace resmatch::trace {
+
+WorkloadProfile profile_workload(const Workload& workload) {
+  WorkloadProfile p;
+  p.jobs = workload.jobs.size();
+  if (p.jobs == 0) return p;
+
+  std::set<UserId> users;
+  std::set<std::pair<UserId, AppId>> apps;
+  stats::Summary runtime, nodes, req_mem, used_mem;
+  stats::PercentileTracker runtime_pct;
+  std::size_t failed = 0, ge2 = 0;
+  p.nodes_min = workload.jobs.front().nodes;
+  for (const auto& job : workload.jobs) {
+    users.insert(job.user);
+    apps.insert({job.user, job.app});
+    runtime.add(job.runtime);
+    runtime_pct.add(job.runtime);
+    nodes.add(job.nodes);
+    req_mem.add(job.requested_mem_mib);
+    used_mem.add(job.used_mem_mib);
+    p.nodes_min = std::min(p.nodes_min, job.nodes);
+    p.nodes_max = std::max(p.nodes_max, job.nodes);
+    p.total_node_seconds += job.work();
+    if (job.status == JobStatus::kFailed) ++failed;
+    const double ratio = job.overprovision_ratio();
+    if (ratio >= 2.0) ++ge2;
+    p.overprovision_max = std::max(p.overprovision_max, ratio);
+  }
+  p.users = users.size();
+  p.apps = apps.size();
+  p.span = workload.span();
+  p.runtime_mean = runtime.mean();
+  p.runtime_p50 = runtime_pct.median();
+  p.runtime_p95 = runtime_pct.percentile(95.0);
+  p.nodes_mean = nodes.mean();
+  p.requested_mem_mean = req_mem.mean();
+  p.used_mem_mean = used_mem.mean();
+  p.overprovision_ge2_fraction =
+      static_cast<double>(ge2) / static_cast<double>(p.jobs);
+  p.failed_fraction = static_cast<double>(failed) / static_cast<double>(p.jobs);
+
+  const auto groups = profile_groups(workload);
+  p.similarity_groups = groups.size();
+  const auto dist = group_size_distribution(groups, 10);
+  p.large_group_job_coverage = dist.fraction_jobs_ge_threshold;
+  return p;
+}
+
+std::string render_profile(const WorkloadProfile& p, const std::string& name) {
+  std::string out = "Workload profile: " + name + "\n";
+  auto line = [&](const char* label, const std::string& value) {
+    out += util::format("  %-34s %s\n", label, value.c_str());
+  };
+  line("jobs", util::format("%zu", p.jobs));
+  line("users / (user,app) pairs",
+       util::format("%zu / %zu", p.users, p.apps));
+  line("span", util::format("%.1f days", p.span / 86400.0));
+  line("total demand",
+       util::format("%.3g node-seconds", p.total_node_seconds));
+  line("runtime mean / p50 / p95",
+       util::format("%.0fs / %.0fs / %.0fs", p.runtime_mean, p.runtime_p50,
+                    p.runtime_p95));
+  line("nodes min / mean / max",
+       util::format("%u / %.1f / %u", p.nodes_min, p.nodes_mean,
+                    p.nodes_max));
+  line("memory requested / used (mean)",
+       util::format("%.2f / %.2f MiB per node", p.requested_mem_mean,
+                    p.used_mem_mean));
+  line("over-provisioned >= 2x",
+       util::format("%.1f%% of jobs", 100.0 * p.overprovision_ge2_fraction));
+  line("worst over-provisioning",
+       util::format("%.1fx", p.overprovision_max));
+  line("similarity groups (user,app,mem)",
+       util::format("%zu", p.similarity_groups));
+  line("jobs in groups of >= 10",
+       util::format("%.1f%%", 100.0 * p.large_group_job_coverage));
+  line("trace-recorded failures",
+       util::format("%.2f%% of jobs", 100.0 * p.failed_fraction));
+  return out;
+}
+
+}  // namespace resmatch::trace

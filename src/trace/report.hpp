@@ -1,0 +1,54 @@
+// Workload characterization reports.
+//
+// A textual profile of a trace in the style of the Parallel Workloads
+// Archive summaries: population, load, runtime/memory distributions, and
+// the paper's similarity-group statistics. Used by the swf_inspect example
+// and handy when validating a new trace before simulation.
+#pragma once
+
+#include <string>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::trace {
+
+/// Aggregate profile of a workload.
+struct WorkloadProfile {
+  std::size_t jobs = 0;
+  std::size_t users = 0;
+  std::size_t apps = 0;
+  Seconds span = 0.0;
+  double total_node_seconds = 0.0;
+
+  // Runtime distribution (seconds).
+  double runtime_mean = 0.0;
+  double runtime_p50 = 0.0;
+  double runtime_p95 = 0.0;
+
+  // Width distribution (nodes).
+  std::uint32_t nodes_min = 0;
+  std::uint32_t nodes_max = 0;
+  double nodes_mean = 0.0;
+
+  // Memory (per node, MiB).
+  double requested_mem_mean = 0.0;
+  double used_mem_mean = 0.0;
+  double overprovision_ge2_fraction = 0.0;
+  double overprovision_max = 0.0;
+
+  // Similarity structure under the paper's key.
+  std::size_t similarity_groups = 0;
+  double large_group_job_coverage = 0.0;  ///< jobs in groups >= 10
+
+  // Trace-recorded failures.
+  double failed_fraction = 0.0;
+};
+
+/// Compute the profile (single pass plus the group scan).
+[[nodiscard]] WorkloadProfile profile_workload(const Workload& workload);
+
+/// Render the profile as an aligned, labeled report.
+[[nodiscard]] std::string render_profile(const WorkloadProfile& profile,
+                                         const std::string& name);
+
+}  // namespace resmatch::trace

@@ -1,0 +1,56 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF is the Parallel Workloads Archive format the LANL CM5 trace ships in:
+// one job per line, 18 whitespace-separated integer fields, ';' comments,
+// -1 for unknown. Memory fields are kilobytes per processor in SWF; we
+// convert to MiB per node on read and back on write.
+//
+// Field map (1-based, per the PWA definition):
+//   1 job number        7 used memory (KB/proc)   13 group number
+//   2 submit time       8 requested processors    14 application number
+//   3 wait time         9 requested time          15 queue number
+//   4 run time         10 requested memory        16 partition number
+//   5 allocated procs  11 status                  17 preceding job
+//   6 avg cpu time     12 user number             18 think time
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/job_record.hpp"
+#include "util/expected.hpp"
+
+namespace resmatch::trace {
+
+/// Read a workload from an SWF stream. Jobs that are structurally broken
+/// (negative runtime, zero processors) are skipped and counted; a trace
+/// where *every* line fails to parse is an error.
+struct SwfReadResult {
+  Workload workload;
+  std::size_t skipped = 0;  ///< structurally unusable lines
+};
+
+[[nodiscard]] util::Expected<SwfReadResult> read_swf(std::istream& in,
+                                                     std::string name);
+[[nodiscard]] util::Expected<SwfReadResult> read_swf_file(
+    const std::string& path);
+
+/// Write a workload as SWF. Unknown fields are emitted as -1.
+void write_swf(std::ostream& out, const Workload& workload);
+void write_swf_file(const std::string& path, const Workload& workload);
+
+/// Parse one SWF job line (no comment handling). Exposed for tests.
+[[nodiscard]] util::Expected<JobRecord> parse_swf_line(std::string_view line);
+
+/// Render one job as an SWF line (18 fields, no newline).
+[[nodiscard]] std::string format_swf_line(const JobRecord& job);
+
+/// KB-per-processor <-> MiB-per-node conversions used at the SWF boundary.
+[[nodiscard]] constexpr double kb_to_mib(double kb) noexcept {
+  return kb / 1024.0;
+}
+[[nodiscard]] constexpr double mib_to_kb(double mib) noexcept {
+  return mib * 1024.0;
+}
+
+}  // namespace resmatch::trace

@@ -1,0 +1,68 @@
+#include "trace/transforms.hpp"
+
+#include <algorithm>
+
+namespace resmatch::trace {
+
+Workload scale_arrivals(Workload workload, double factor) {
+  for (auto& job : workload.jobs) job.submit *= factor;
+  return workload;
+}
+
+Workload scale_to_load(Workload workload, std::size_t machines,
+                       double target_load) {
+  const double current = workload.offered_load(machines);
+  if (current <= 0.0 || target_load <= 0.0) return workload;
+  // load ∝ 1/span ∝ 1/factor, so factor = current / target.
+  return scale_arrivals(std::move(workload), current / target_load);
+}
+
+Workload filter(Workload workload,
+                const std::function<bool(const JobRecord&)>& keep) {
+  auto& jobs = workload.jobs;
+  jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                            [&](const JobRecord& j) { return !keep(j); }),
+             jobs.end());
+  return workload;
+}
+
+Workload drop_wide_jobs(Workload workload, std::uint32_t max_nodes) {
+  return filter(std::move(workload), [max_nodes](const JobRecord& j) {
+    return j.nodes <= max_nodes;
+  });
+}
+
+Workload truncate(Workload workload, std::size_t n) {
+  workload = sort_by_submit(std::move(workload));
+  if (workload.jobs.size() > n) workload.jobs.resize(n);
+  return workload;
+}
+
+TrainTestSplit split_by_time(Workload workload, double fraction) {
+  workload = sort_by_submit(std::move(workload));
+  TrainTestSplit split;
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(workload.jobs.size()) *
+      std::clamp(fraction, 0.0, 1.0));
+  split.train.name = workload.name + "-train";
+  split.test.name = workload.name + "-test";
+  split.train.jobs.assign(workload.jobs.begin(),
+                          workload.jobs.begin() + static_cast<long>(cut));
+  split.test.jobs.assign(workload.jobs.begin() + static_cast<long>(cut),
+                         workload.jobs.end());
+  // Rebase the test trace so simulations start at time zero.
+  if (!split.test.jobs.empty()) {
+    const Seconds base = split.test.jobs.front().submit;
+    for (auto& job : split.test.jobs) job.submit -= base;
+  }
+  return split;
+}
+
+Workload sort_by_submit(Workload workload) {
+  std::stable_sort(
+      workload.jobs.begin(), workload.jobs.end(),
+      [](const JobRecord& a, const JobRecord& b) { return a.submit < b.submit; });
+  return workload;
+}
+
+}  // namespace resmatch::trace

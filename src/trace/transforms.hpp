@@ -1,0 +1,51 @@
+// Workload transforms: load scaling, filtering, truncation.
+//
+// The paper sweeps offered load by replaying the same trace faster or
+// slower (the standard Feitelson methodology); these helpers implement
+// that and the trace surgery the paper describes (removing the six
+// full-1024-node CM5 jobs so the heterogeneous cluster can host the rest).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/job_record.hpp"
+
+namespace resmatch::trace {
+
+/// Multiply all submit times by `factor` (>1 stretches = lower load,
+/// <1 compresses = higher load). Runtimes are untouched.
+[[nodiscard]] Workload scale_arrivals(Workload workload, double factor);
+
+/// Rescale arrivals so the offered load against `machines` nodes equals
+/// `target_load`. No-op on empty traces or zero demand.
+[[nodiscard]] Workload scale_to_load(Workload workload, std::size_t machines,
+                                     double target_load);
+
+/// Keep only jobs satisfying the predicate; ids are preserved.
+[[nodiscard]] Workload filter(Workload workload,
+                              const std::function<bool(const JobRecord&)>& keep);
+
+/// Drop jobs requiring more than `max_nodes` machines (the paper removes
+/// the six 1024-node CM5 jobs this way).
+[[nodiscard]] Workload drop_wide_jobs(Workload workload,
+                                      std::uint32_t max_nodes);
+
+/// Keep the first `n` jobs in submit order.
+[[nodiscard]] Workload truncate(Workload workload, std::size_t n);
+
+/// Sort by submit time (stable), which simulators require.
+[[nodiscard]] Workload sort_by_submit(Workload workload);
+
+/// Split chronologically: the first `fraction` of jobs (by submit order)
+/// become the training trace, the rest the evaluation trace. This is the
+/// paper's §2.2 offline customization split — historical submissions with
+/// explicit feedback train the estimator before it goes live.
+struct TrainTestSplit {
+  Workload train;
+  Workload test;
+};
+[[nodiscard]] TrainTestSplit split_by_time(Workload workload,
+                                           double fraction);
+
+}  // namespace resmatch::trace

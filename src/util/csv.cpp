@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace resmatch::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_ || rows_ > 0) {
+    throw std::logic_error("CsvWriter: header after rows");
+  }
+  write_fields(columns);
+  header_written_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) text.push_back(format_number(v, 6));
+  row(text);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace resmatch::util

@@ -1,0 +1,58 @@
+// Minimal Expected<T> for C++20 (std::expected is C++23).
+//
+// Used at library boundaries that can fail for data-dependent reasons
+// (parsers, file readers). Internal logic errors use assertions instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace resmatch::util {
+
+/// Result-or-error. Holds either a value of type T or an error message.
+/// Intentionally tiny: no monadic combinators, just checked access.
+template <typename T>
+class Expected {
+ public:
+  /*implicit*/ Expected(T value) : value_(std::move(value)) {}
+
+  /// Construct the error state. Named constructor avoids ambiguity when
+  /// T is itself convertible from std::string.
+  static Expected failure(std::string message) {
+    Expected e{ErrorTag{}};
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!has_value());
+    return error_;
+  }
+
+ private:
+  struct ErrorTag {};
+  explicit Expected(ErrorTag) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace resmatch::util

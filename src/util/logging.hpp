@@ -1,0 +1,46 @@
+// Leveled logging to stderr.
+//
+// The simulator is single-threaded and deterministic; logging exists for
+// experiment narration and debugging, not telemetry, so a tiny printf-style
+// logger is all that is warranted. Level filtering is a runtime global.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace resmatch::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Defaults to kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line at the given level (no trailing newline needed).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-builder so call sites can write RM_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace resmatch::util
+
+#define RM_LOG(level) \
+  ::resmatch::util::detail::LogLine(::resmatch::util::LogLevel::level)

@@ -1,0 +1,37 @@
+// Small string utilities used by parsers and report writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resmatch::util {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Split on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Parse helpers returning nullopt on any syntax error or trailing junk.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s) noexcept;
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Render a double with the fewest digits that round-trip visually for
+/// reports (up to `precision` decimals, trailing zeros trimmed).
+[[nodiscard]] std::string format_number(double v, int precision = 4);
+
+}  // namespace resmatch::util

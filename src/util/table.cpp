@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace resmatch::util {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> fields) {
+  fields.resize(columns_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void ConsoleTable::add_numeric_row(const std::vector<double>& fields, int precision) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) text.push_back(format_number(v, precision));
+  add_row(std::move(text));
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out += row[c];
+      if (c + 1 < columns_.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(columns_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void ConsoleTable::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace resmatch::util

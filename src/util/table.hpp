@@ -1,0 +1,35 @@
+// Aligned console tables for experiment reports.
+//
+// Bench binaries reproduce the paper's tables/figures as text; this helper
+// keeps columns aligned and consistent across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace resmatch::util {
+
+/// Collects rows and renders a monospace table with a header rule.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience for numeric rows (formatted with format_number).
+  void add_numeric_row(const std::vector<double>& fields, int precision = 4);
+
+  /// Render the full table (header, rule, rows) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace resmatch::util

@@ -1,0 +1,42 @@
+// Core vocabulary types shared across the resmatch library.
+//
+// All quantities carry explicit units in their names (seconds, MiB) rather
+// than wrapper classes; identifiers use dedicated integral types so that a
+// JobId cannot be silently passed where a UserId is expected.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace resmatch {
+
+/// Simulated wall-clock time and durations, in seconds.
+using Seconds = double;
+
+/// Memory capacity, in mebibytes. The CM5 context makes MiB the natural
+/// unit (32 MiB per node); fractional values appear mid-estimation.
+using MiB = double;
+
+/// Strongly-typed identifiers. Distinct enum-class-over-integer wrappers
+/// would be heavier than needed; distinct typedefs plus naming discipline
+/// keep call sites readable while staying zero-cost.
+using JobId = std::uint64_t;
+using UserId = std::uint32_t;
+using AppId = std::uint32_t;
+using MachineId = std::uint32_t;
+using GroupId = std::uint64_t;
+
+/// Sentinel for "no such id".
+inline constexpr std::uint64_t kInvalidId64 =
+    std::numeric_limits<std::uint64_t>::max();
+inline constexpr std::uint32_t kInvalidId32 =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// A value meaning "unknown / not recorded" in trace fields, mirroring the
+/// Standard Workload Format convention of -1.
+inline constexpr double kUnknown = -1.0;
+
+/// True if a trace field holds a real value (SWF uses -1 for unknown).
+[[nodiscard]] constexpr bool is_known(double v) noexcept { return v >= 0.0; }
+
+}  // namespace resmatch

@@ -1,0 +1,189 @@
+// Tests for the bracketing estimator — the robust-search extension the
+// paper defers to Anderson & Ferris (§2.3).
+#include <gtest/gtest.h>
+
+#include "core/bracketing.hpp"
+#include "core/successive_approximation.hpp"
+
+namespace resmatch::core {
+namespace {
+
+trace::JobRecord make_job(MiB req, MiB used, UserId user = 1) {
+  trace::JobRecord j;
+  j.id = 1;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.user = user;
+  j.app = 1;
+  j.nodes = 32;
+  j.runtime = 100;
+  return j;
+}
+
+MiB cycle(Estimator& est, const trace::JobRecord& job) {
+  const MiB grant = est.estimate(job, {});
+  Feedback fb;
+  fb.success = grant + 1e-9 >= job.used_mem_mib;
+  fb.granted_mib = grant;
+  est.feedback(job, fb);
+  return grant;
+}
+
+TEST(Bracketing, FirstSubmissionUsesRequest) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(32, 5), {}), 32.0);
+}
+
+TEST(Bracketing, ConvergesToTightCapacity) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.2);
+  for (int i = 0; i < 12; ++i) (void)cycle(est, job);
+  // 5.2 MiB usage needs the 8 MiB rung; the bracket must settle there.
+  EXPECT_DOUBLE_EQ(cycle(est, job), 8.0);
+  ASSERT_TRUE(est.group_capacity(job).has_value());
+  EXPECT_LE(*est.group_capacity(job), 8.0);
+}
+
+TEST(Bracketing, LogarithmicProbeCount) {
+  // The bisection must finish in O(log ladder) probes: count distinct
+  // grants before stabilization on a 12-rung ladder.
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder(
+      {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
+  const auto job = make_job(512.0, 3.0);
+  std::vector<MiB> grants;
+  for (int i = 0; i < 16; ++i) grants.push_back(cycle(est, job));
+  // Once stable, all remaining grants equal the last one.
+  const MiB final_grant = grants.back();
+  EXPECT_DOUBLE_EQ(final_grant, 4.0);
+  std::size_t settle = grants.size();
+  while (settle > 0 && grants[settle - 1] == final_grant) --settle;
+  EXPECT_LE(settle, 6u);  // ~log2(12 rungs) + seed probes
+}
+
+TEST(Bracketing, RecoversFromWithinGroupVariance) {
+  // Two members with different usage: convergence must end at a capacity
+  // safe for BOTH (Algorithm 1's documented failure mode, §2.3).
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto small = make_job(32.0, 5.0);
+  const auto big = make_job(32.0, 14.0);  // same group (same user/app/req)
+  for (int i = 0; i < 20; ++i) {
+    (void)cycle(est, i % 2 ? small : big);
+  }
+  // Steady state: both succeed, so the grant covers 14 MiB.
+  const MiB grant_small = cycle(est, small);
+  const MiB grant_big = cycle(est, big);
+  EXPECT_GE(grant_big, 14.0);
+  EXPECT_LE(grant_big, 16.0);
+  EXPECT_EQ(grant_small, grant_big);  // one capacity per group
+}
+
+TEST(Bracketing, NeverCoarserThanSuccessiveApproxUnderVariance) {
+  // Head-to-head on the variance scenario: bracketing's converged grant
+  // is never coarser than what Algorithm 1 (with safe-grant escalation)
+  // settles on, and both end at a capacity safe for the bigger member.
+  SuccessiveApproximationEstimator sa;
+  BracketingEstimator br;
+  for (Estimator* est : {static_cast<Estimator*>(&sa),
+                         static_cast<Estimator*>(&br)}) {
+    est->set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  }
+  const auto small = make_job(32.0, 5.0);
+  const auto big = make_job(32.0, 14.0);
+  for (int i = 0; i < 24; ++i) {
+    (void)cycle(sa, i % 2 ? small : big);
+    (void)cycle(br, i % 2 ? small : big);
+  }
+  const MiB sa_grant = cycle(sa, big);
+  const MiB br_grant = cycle(br, big);
+  EXPECT_LE(br_grant, 16.0);
+  // Algorithm 1 ends at whatever its single-level restore + escalation
+  // leaves; it must be safe but is strictly coarser than the bracket.
+  EXPECT_GE(sa_grant, br_grant);
+}
+
+TEST(Bracketing, ProbesSerialized) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  // First dispatch grants the request (no bracket info yet, hi = 32).
+  const MiB g1 = est.estimate(job, {});
+  EXPECT_DOUBLE_EQ(g1, 32.0);
+  Feedback ok;
+  ok.success = true;
+  ok.granted_mib = g1;
+  est.feedback(job, ok);
+  // Next dispatch probes below; a concurrent one must get the safe 32...
+  const MiB probe = est.estimate(job, {});
+  EXPECT_LT(probe, 32.0);
+  const MiB concurrent = est.estimate(job, {});
+  EXPECT_DOUBLE_EQ(concurrent, 32.0);
+  // ...until the probe's outcome arrives.
+  Feedback probe_ok;
+  probe_ok.success = true;
+  probe_ok.granted_mib = probe;
+  est.feedback(job, probe_ok);
+  EXPECT_LE(est.estimate(job, {}), probe);
+}
+
+TEST(Bracketing, CancelReleasesProbeSlot) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  (void)cycle(est, job);  // establish hi = 32 success
+  const MiB probe = est.estimate(job, {});
+  ASSERT_LT(probe, 32.0);
+  est.cancel(job, probe);
+  // Slot released: the next dispatch may probe again.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), probe);
+}
+
+TEST(Bracketing, PreviewHasNoSideEffects) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  EXPECT_DOUBLE_EQ(est.preview(job, {}), 32.0);
+  EXPECT_EQ(est.group_count(), 0u);  // preview creates no group
+  (void)cycle(est, job);
+  const MiB before = est.preview(job, {});
+  EXPECT_DOUBLE_EQ(est.preview(job, {}), before);  // idempotent
+}
+
+TEST(Bracketing, FalsePositiveWidensNotCorrupts) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  for (int i = 0; i < 10; ++i) (void)cycle(est, job);
+  const MiB settled = cycle(est, job);
+  EXPECT_DOUBLE_EQ(settled, 8.0);
+  // Inject an intrinsic failure at the settled capacity.
+  const MiB grant = est.estimate(job, {});
+  Feedback fail;
+  fail.success = false;
+  fail.granted_mib = grant;
+  est.feedback(job, fail);
+  // The bracket widened one rung (to 16) rather than resetting to the
+  // request; the job keeps running on modest grants.
+  for (int i = 0; i < 10; ++i) (void)cycle(est, job);
+  EXPECT_LE(cycle(est, job), 16.0);
+}
+
+TEST(Bracketing, GroupsIndependent) {
+  BracketingEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto a = make_job(32.0, 5.0, /*user=*/1);
+  const auto b = make_job(32.0, 30.0, /*user=*/2);
+  for (int i = 0; i < 10; ++i) {
+    (void)cycle(est, a);
+    (void)cycle(est, b);
+  }
+  EXPECT_LE(cycle(est, a), 8.0);
+  EXPECT_DOUBLE_EQ(cycle(est, b), 32.0);
+  EXPECT_EQ(est.group_count(), 2u);
+}
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,197 @@
+// Edge-case tests for estimator mechanics added on top of the paper's
+// Algorithm 1: probe serialization, safe-grant escalation, regression
+// failure memoization, and preview/estimate coherence.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/regression_estimator.hpp"
+#include "core/successive_approximation.hpp"
+
+namespace resmatch::core {
+namespace {
+
+trace::JobRecord make_job(MiB req, MiB used, UserId user = 1, AppId app = 1,
+                          JobId id = 1) {
+  trace::JobRecord j;
+  j.id = id;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.user = user;
+  j.app = app;
+  j.nodes = 8;
+  j.runtime = 100;
+  j.requested_time = 150;
+  return j;
+}
+
+Feedback result_of(MiB grant, bool success, bool explicit_fb = false,
+                   MiB used = 0.0) {
+  Feedback fb;
+  fb.success = success;
+  fb.granted_mib = grant;
+  if (explicit_fb) {
+    fb.used_mib = used;
+    fb.resource_failure = !success;
+  }
+  return fb;
+}
+
+// --- probe serialization ----------------------------------------------------
+
+TEST(ProbeSerialization, ConcurrentSubmissionsGetSafeCapacity) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({4, 8, 16, 24, 32}));
+  const auto job = make_job(32, 5);
+
+  // First dispatch+success establishes last_good = 32, E = 16.
+  const MiB g1 = est.estimate(job, {});
+  est.feedback(job, result_of(g1, true));
+
+  // Second dispatch takes the probe slot at 16...
+  const MiB probe = est.estimate(job, {});
+  EXPECT_DOUBLE_EQ(probe, 16.0);
+  // ...so three more concurrent dispatches all get the proven 32.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(est.estimate(job, {}), 32.0);
+  }
+  // Probe fails: the group restores; in-flight safe grants then succeed
+  // without corrupting state.
+  est.feedback(job, result_of(probe, false));
+  for (int i = 0; i < 3; ++i) {
+    est.feedback(job, result_of(32.0, true));
+  }
+  // Frozen (beta = 0) at the proven capacity.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 32.0);
+}
+
+TEST(ProbeSerialization, SlotFreedBySafeFeedbackOnlyWhenGrantsMatch) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({4, 8, 16, 24, 32}));
+  const auto job = make_job(32, 5);
+  const MiB g1 = est.estimate(job, {});
+  est.feedback(job, result_of(g1, true));
+  const MiB probe = est.estimate(job, {});  // 16, slot taken
+  ASSERT_DOUBLE_EQ(probe, 16.0);
+  // Safe-grant feedback (32) must NOT free the probe slot.
+  est.feedback(job, result_of(32.0, true));
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 32.0);  // still serialized
+  // The probe's own feedback frees it.
+  est.feedback(job, result_of(probe, true));
+  EXPECT_LT(est.estimate(job, {}), 16.0 + 1e-9);
+}
+
+// --- safe-grant escalation ---------------------------------------------------
+
+TEST(Escalation, FailureAtProvenCapacityClimbsOneRung) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({4, 8, 16, 24, 32}));
+  // Two members share the group: the probe succeeds on the 5 MiB member,
+  // dragging the learned capacity to 8; the 14 MiB member then fails AT
+  // the proven capacity and must escalate (8 -> 16), not loop.
+  const auto small = make_job(32, 5);
+  const auto big = make_job(32, 14);
+  est.feedback(small, result_of(est.estimate(small, {}), true));  // 32 ok
+  const MiB probe = est.estimate(small, {});
+  ASSERT_DOUBLE_EQ(probe, 16.0);
+  est.feedback(small, result_of(probe, true));  // 16 proven
+  const MiB probe2 = est.estimate(small, {});
+  ASSERT_DOUBLE_EQ(probe2, 8.0);
+  est.feedback(small, result_of(probe2, true));  // 8 proven (for small!)
+
+  // Big member probes 4 and fails — an ordinary probe failure that
+  // restores the learned capacity (8)...
+  const MiB g4 = est.estimate(big, {});
+  ASSERT_DOUBLE_EQ(g4, 4.0);
+  est.feedback(big, result_of(g4, false));
+  // ...but 8 is only safe for the small member: big fails AT the proven
+  // capacity, which must escalate one rung instead of looping.
+  const MiB g8 = est.estimate(big, {});
+  ASSERT_DOUBLE_EQ(g8, 8.0);
+  est.feedback(big, result_of(g8, false));
+  const MiB g16 = est.estimate(big, {});
+  EXPECT_DOUBLE_EQ(g16, 16.0);  // escalated one rung
+  est.feedback(big, result_of(g16, true));
+  // And 16 now serves both members.
+  EXPECT_DOUBLE_EQ(est.estimate(big, {}), 16.0);
+}
+
+TEST(Escalation, CapsAtRequest) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({4, 8, 16, 24, 32}));
+  const auto job = make_job(8, 7);  // request 8, tiny job
+  est.feedback(job, result_of(est.estimate(job, {}), true));
+  // Intrinsic failure at the proven capacity: escalation may not exceed
+  // the request's own rounding.
+  est.feedback(job, result_of(8.0, false));
+  EXPECT_LE(est.estimate(job, {}), 8.0 + 1e-9);
+}
+
+// --- regression failure memoization -----------------------------------------
+
+TEST(RegressionMemoization, BurnedClassPassesRequestThrough) {
+  RegressionConfig cfg;
+  cfg.min_observations = 10;
+  cfg.margin = 1.0;  // razor-thin: under-predictions will happen
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+
+  // Train on a lean class so the model predicts low usage globally.
+  for (int i = 0; i < 40; ++i) {
+    const auto lean = make_job(32, 2, /*user=*/1, /*app=*/1);
+    est.feedback(lean, result_of(est.estimate(lean, {}), true, true, 2.0));
+  }
+  // A heavy class arrives: the model under-predicts, the job fails once.
+  const auto heavy = make_job(32, 30, /*user=*/9, /*app=*/9);
+  const MiB g = est.estimate(heavy, {});
+  ASSERT_LT(g, 30.0);  // under-provisioned
+  est.feedback(heavy, result_of(g, false, true, 30.0));
+  // From now on the heavy class is never trusted to the model.
+  EXPECT_DOUBLE_EQ(est.estimate(heavy, {}), 32.0);
+  // The lean class keeps its savings.
+  EXPECT_LT(est.estimate(make_job(32, 2, 1, 1), {}), 32.0);
+}
+
+TEST(RegressionMemoization, RequiresResourceFailureCause) {
+  RegressionConfig cfg;
+  cfg.min_observations = 5;
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  for (int i = 0; i < 10; ++i) {
+    const auto job = make_job(32, 2);
+    est.feedback(job, result_of(est.estimate(job, {}), true, true, 2.0));
+  }
+  // An intrinsic (non-resource) failure must NOT burn the class.
+  const auto job = make_job(32, 2);
+  Feedback fb;
+  fb.success = false;
+  fb.granted_mib = est.estimate(job, {});
+  fb.used_mib = 2.0;
+  fb.resource_failure = false;
+  est.feedback(job, fb);
+  EXPECT_LT(est.estimate(job, {}), 32.0);  // still trusting the model
+}
+
+// --- preview/estimate coherence ----------------------------------------------
+
+TEST(PreviewCoherence, DeterministicEstimatorsPreviewTheirNextGrant) {
+  for (const char* name :
+       {"none", "successive-approximation", "bracketing", "last-instance"}) {
+    auto est = make_estimator(name);
+    est->set_ladder(CapacityLadder({4, 8, 16, 24, 32}));
+    const auto job = make_job(32, 5);
+    for (int cycle = 0; cycle < 6; ++cycle) {
+      const MiB previewed = est->preview(job, {});
+      const MiB granted = est->estimate(job, {});
+      ASSERT_DOUBLE_EQ(previewed, granted) << name << " cycle " << cycle;
+      Feedback fb;
+      fb.success = granted + 1e-9 >= job.used_mem_mib;
+      fb.granted_mib = granted;
+      fb.used_mib = job.used_mem_mib;
+      fb.resource_failure = !fb.success;
+      est->feedback(job, fb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resmatch::core

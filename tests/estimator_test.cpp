@@ -1,0 +1,457 @@
+// Tests for the Table 1 estimators, including a step-by-step replay of the
+// paper's Figure 7 trajectory for Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factory.hpp"
+#include "core/last_instance.hpp"
+#include "core/regression_estimator.hpp"
+#include "core/rl_estimator.hpp"
+#include "core/successive_approximation.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::core {
+namespace {
+
+trace::JobRecord make_job(MiB req, MiB used, UserId user = 1, AppId app = 1,
+                          JobId id = 1) {
+  trace::JobRecord j;
+  j.id = id;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.user = user;
+  j.app = app;
+  j.nodes = 32;
+  j.runtime = 100;
+  j.requested_time = 200;
+  return j;
+}
+
+/// Drive one submission cycle against ground-truth usage with memory-limit
+/// semantics (success iff grant >= used); returns the grant.
+MiB submit_cycle(Estimator& est, const trace::JobRecord& job,
+                 bool explicit_feedback = false) {
+  const MiB grant = est.estimate(job, SystemState{});
+  Feedback fb;
+  fb.success = grant + 1e-9 >= job.used_mem_mib;
+  fb.granted_mib = grant;
+  if (explicit_feedback) {
+    fb.used_mib = job.used_mem_mib;
+    fb.resource_failure = !fb.success;
+  }
+  est.feedback(job, fb);
+  return grant;
+}
+
+// --- NoEstimator -----------------------------------------------------------
+
+TEST(NoEstimator, PassesRequestThrough) {
+  NoEstimator est;
+  est.set_ladder(CapacityLadder({8.0, 24.0, 32.0}));
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(32, 5), {}), 32.0);
+  // Rounds to an actual capacity.
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(20, 5), {}), 24.0);
+}
+
+// --- SuccessiveApproximationEstimator ---------------------------------------
+
+TEST(SuccessiveApprox, Figure7Trajectory) {
+  // Paper Figure 7: request 32 MiB, actual usage slightly above 5 MiB,
+  // alpha = 2, beta = 0, power-of-two capacity ladder. The grant sequence
+  // is 32, 16, 8, 4 (fails: 4 < 5.2), then 8 forever.
+  SuccessiveApproxConfig cfg;
+  cfg.alpha = 2.0;
+  cfg.beta = 0.0;
+  cfg.record_trajectories = true;
+  SuccessiveApproximationEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+
+  const auto job = make_job(32.0, 5.2);
+  std::vector<MiB> grants;
+  for (int i = 0; i < 7; ++i) grants.push_back(submit_cycle(est, job));
+
+  const std::vector<MiB> expected = {32, 16, 8, 4, 8, 8, 8};
+  ASSERT_EQ(grants.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grants[i], expected[i]) << "cycle " << i;
+  }
+  EXPECT_EQ(est.trajectory(job), grants);
+  EXPECT_EQ(est.total_failures(), 1u);
+  EXPECT_EQ(est.total_successes(), 6u);
+}
+
+TEST(SuccessiveApprox, PaperSection23LadderStall) {
+  // Paper §2.3: request 32, usage 4, machines {32, 24, 4}, alpha = 2:
+  // grants go 32 -> 24 (E = 16 rounds up) -> ... the estimate ping-pongs
+  // E = 24/2 = 12 -> E' = 24, never reaching the 4 MiB machines. This is
+  // the documented alpha-too-low phenomenon.
+  SuccessiveApproxConfig cfg;
+  cfg.alpha = 2.0;
+  SuccessiveApproximationEstimator est(cfg);
+  est.set_ladder(CapacityLadder({4, 24, 32}));
+  const auto job = make_job(32.0, 4.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 32.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 24.0);  // E = 16 -> rounds to 24
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 24.0);  // E = 12 -> rounds to 24
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 24.0);  // stuck, as the paper says
+}
+
+TEST(SuccessiveApprox, HigherAlphaReachesSmallMachines) {
+  // Same scenario with alpha = 10 (paper §2.3): 32 -> 4 in one step.
+  SuccessiveApproxConfig cfg;
+  cfg.alpha = 10.0;
+  SuccessiveApproximationEstimator est(cfg);
+  est.set_ladder(CapacityLadder({4, 24, 32}));
+  const auto job = make_job(32.0, 4.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 32.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 4.0);  // E = 3.2 -> rounds to 4
+}
+
+TEST(SuccessiveApprox, BetaEnablesFinerDescent) {
+  // With beta = 0.5 a failure halves alpha instead of freezing: after
+  // failing at 4 the estimator retries at 8/sqrt-ish granularity.
+  SuccessiveApproxConfig cfg;
+  cfg.alpha = 4.0;
+  cfg.beta = 0.5;
+  SuccessiveApproximationEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.2);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 32.0);  // E -> 8
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);   // E -> 2
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 2.0);   // fails, alpha -> 2, E -> 8
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);   // E -> 4
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 4.0);   // fails, alpha -> 1, E -> 8
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);   // frozen at 8 (alpha = 1)
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);
+}
+
+TEST(SuccessiveApprox, GroupsLearnIndependently) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto a = make_job(32.0, 5.2, /*user=*/1);
+  const auto b = make_job(32.0, 20.0, /*user=*/2);
+  (void)submit_cycle(est, a);
+  (void)submit_cycle(est, a);
+  // Group b starts fresh despite a's progress.
+  EXPECT_DOUBLE_EQ(submit_cycle(est, b), 32.0);
+  EXPECT_EQ(est.group_count(), 2u);
+}
+
+TEST(SuccessiveApprox, NeverEstimatesBelowFrozenFloor) {
+  // Once alpha hits 1 (beta = 0, one failure) the estimate is pinned; no
+  // amount of further successes lowers it.
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.2);
+  for (int i = 0; i < 20; ++i) (void)submit_cycle(est, job);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);
+}
+
+TEST(SuccessiveApprox, EmptyLadderUsesRawEstimates) {
+  // Without a ladder (standalone mode) the estimate halves freely: the
+  // Figure 7 sequence without rounding.
+  SuccessiveApproximationEstimator est;
+  const auto job = make_job(32.0, 5.2);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 32.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 16.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 4.0);   // fails
+  EXPECT_DOUBLE_EQ(submit_cycle(est, job), 8.0);   // restored
+}
+
+TEST(SuccessiveApprox, GroupEstimateIntrospection) {
+  SuccessiveApproximationEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.2);
+  EXPECT_FALSE(est.group_estimate(job).has_value());
+  (void)submit_cycle(est, job);
+  ASSERT_TRUE(est.group_estimate(job).has_value());
+  EXPECT_DOUBLE_EQ(*est.group_estimate(job), 16.0);
+}
+
+TEST(SuccessiveApprox, RejectsInvalidParameters) {
+#ifndef NDEBUG
+  SuccessiveApproxConfig bad;
+  bad.alpha = 0.5;  // must be > 1
+  EXPECT_DEATH(SuccessiveApproximationEstimator{bad}, "alpha");
+#else
+  GTEST_SKIP() << "assertions disabled in release build";
+#endif
+}
+
+// --- LastInstanceEstimator ---------------------------------------------------
+
+TEST(LastInstance, FirstSubmissionUsesRequest) {
+  LastInstanceEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(32, 5), {}), 32.0);
+}
+
+TEST(LastInstance, SecondSubmissionUsesObservedUsage) {
+  LastInstanceEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  (void)submit_cycle(est, job, /*explicit_feedback=*/true);
+  // 5 MiB usage rounds up to the 8 MiB rung.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 8.0);
+}
+
+TEST(LastInstance, TracksDriftingUsage) {
+  LastInstanceEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  auto job = make_job(32.0, 5.0);
+  (void)submit_cycle(est, job, true);
+  job.used_mem_mib = 13.0;  // usage grew
+  (void)submit_cycle(est, job, true);  // grant 8 < 13: resource failure
+  // The failed run still reported its usage; the estimator clears the bar.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 16.0);
+}
+
+TEST(LastInstance, WindowTakesMaxOfRecent) {
+  LastInstanceConfig cfg;
+  cfg.window = 3;
+  LastInstanceEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  auto job = make_job(32.0, 3.0);
+  (void)submit_cycle(est, job, true);
+  job.used_mem_mib = 7.0;
+  (void)submit_cycle(est, job, true);
+  job.used_mem_mib = 2.0;
+  (void)submit_cycle(est, job, true);
+  // Window holds {3, 7, 2}; max 7 rounds to 8.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 8.0);
+}
+
+TEST(LastInstance, MarginAddsHeadroom) {
+  LastInstanceConfig cfg;
+  cfg.margin = 1.5;
+  LastInstanceEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 6, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  (void)submit_cycle(est, job, true);
+  // 5 * 1.5 = 7.5 -> rounds to 8.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 8.0);
+}
+
+TEST(LastInstance, EstimateNeverExceedsRequest) {
+  LastInstanceConfig cfg;
+  cfg.margin = 4.0;
+  LastInstanceEstimator est(cfg);
+  est.set_ladder(CapacityLadder({8, 16, 32}));
+  const auto job = make_job(16.0, 12.0);
+  (void)submit_cycle(est, job, true);
+  // 12 * 4 = 48 clamps to the 16 MiB request.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 16.0);
+}
+
+TEST(LastInstance, NonResourceFailureKeepsHistory) {
+  LastInstanceEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  (void)submit_cycle(est, job, true);
+  Feedback fb;
+  fb.success = false;
+  fb.granted_mib = 8.0;
+  fb.used_mib = 5.0;
+  fb.resource_failure = false;  // program crash, not our fault
+  est.feedback(job, fb);
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 8.0);  // history intact
+}
+
+TEST(LastInstance, ResourceFailureWithoutUsagePoisonsGroup) {
+  LastInstanceEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  (void)submit_cycle(est, job, true);
+  Feedback fb;
+  fb.success = false;
+  fb.granted_mib = 8.0;
+  fb.resource_failure = true;  // no usage report available
+  est.feedback(job, fb);
+  // Conservative reset: back to the full request.
+  EXPECT_DOUBLE_EQ(est.estimate(job, {}), 32.0);
+}
+
+// --- RegressionEstimator -----------------------------------------------------
+
+TEST(Regression, PassThroughBeforeMinObservations) {
+  RegressionConfig cfg;
+  cfg.min_observations = 10;
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(32, 4), {}), 32.0);
+}
+
+TEST(Regression, LearnsGlobalHalvingRule) {
+  // Every user requests 4x what they use; the paper's example says the
+  // model should learn to divide requests accordingly.
+  RegressionConfig cfg;
+  cfg.min_observations = 50;
+  cfg.margin = 1.1;
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double req = std::exp2(rng.uniform_int(2, 5));  // 4..32 MiB
+    auto job = make_job(req, req / 4.0, /*user=*/1, /*app=*/1,
+                        /*id=*/static_cast<JobId>(i));
+    (void)submit_cycle(est, job, /*explicit_feedback=*/true);
+  }
+  // A fresh 32 MiB request should now be estimated near 8 MiB.
+  const MiB grant = est.estimate(make_job(32, 8), {});
+  EXPECT_LE(grant, 16.0);
+  EXPECT_GE(grant, 8.0);
+  EXPECT_EQ(est.observations(), 200u);
+}
+
+TEST(Regression, EstimateClampedToRequest) {
+  RegressionConfig cfg;
+  cfg.min_observations = 5;
+  cfg.margin = 10.0;  // absurd headroom
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  for (int i = 0; i < 20; ++i) {
+    (void)submit_cycle(est, make_job(32, 30), true);
+  }
+  EXPECT_LE(est.estimate(make_job(32, 30), {}), 32.0);
+}
+
+TEST(Regression, IgnoresFeedbackWithoutUsage) {
+  RegressionEstimator est;
+  Feedback fb;
+  fb.success = true;
+  fb.granted_mib = 32.0;
+  est.feedback(make_job(32, 8), fb);  // implicit feedback: nothing to learn
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(Regression, KnnVariantLearnsPerUserPattern) {
+  RegressionConfig cfg;
+  cfg.model = RegressionModel::kKnn;
+  cfg.min_observations = 30;
+  cfg.margin = 1.1;
+  RegressionEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  // User 1 uses 1/8 of requests; user 2 uses everything.
+  for (int i = 0; i < 60; ++i) {
+    (void)submit_cycle(est, make_job(32, 4, /*user=*/1), true);
+    (void)submit_cycle(est, make_job(32, 31, /*user=*/2), true);
+  }
+  const MiB lean = est.estimate(make_job(32, 4, 1), {});
+  const MiB heavy = est.estimate(make_job(32, 31, 2), {});
+  EXPECT_LT(lean, heavy);
+  EXPECT_LE(lean, 8.0);
+  EXPECT_DOUBLE_EQ(heavy, 32.0);
+}
+
+// --- RlEstimator ------------------------------------------------------------
+
+TEST(Rl, ConvergesTowardGlobalScalingPolicy) {
+  // All jobs use half their request: the agent should learn that scaling
+  // by 0.5 (or lower-but-safe 0.75) beats 1.0, per the paper's §4 example.
+  RlEstimatorConfig cfg;
+  cfg.agent.epsilon = 0.3;
+  cfg.agent.epsilon_decay = 0.999;
+  cfg.agent.learning_rate = 0.15;
+  cfg.seed = 11;
+  RlEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  SystemState state;
+  state.busy_fraction = 0.5;
+  state.queue_length = 4;
+
+  for (int i = 0; i < 4000; ++i) {
+    auto job = make_job(32.0, 16.0, 1, 1, static_cast<JobId>(i));
+    const MiB grant = est.estimate(job, state);
+    Feedback fb;
+    fb.success = grant + 1e-9 >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    est.feedback(job, fb);
+  }
+  const double factor = est.greedy_factor(make_job(32.0, 16.0), state);
+  EXPECT_GE(factor, 0.5);   // never learned to under-provision
+  EXPECT_LT(factor, 1.0);   // learned that full requests waste capacity
+}
+
+TEST(Rl, LearnsNotToCutWhenUsageIsFull) {
+  RlEstimatorConfig cfg;
+  cfg.agent.epsilon = 0.3;
+  cfg.agent.epsilon_decay = 0.999;
+  cfg.seed = 13;
+  RlEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  SystemState state;
+  for (int i = 0; i < 4000; ++i) {
+    auto job = make_job(32.0, 31.0, 1, 1, static_cast<JobId>(i));
+    const MiB grant = est.estimate(job, state);
+    Feedback fb;
+    fb.success = grant + 1e-9 >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    est.feedback(job, fb);
+  }
+  EXPECT_DOUBLE_EQ(est.greedy_factor(make_job(32.0, 31.0), state), 1.0);
+}
+
+TEST(Rl, FeedbackWithoutPendingDecisionIsIgnored) {
+  RlEstimator est;
+  Feedback fb;
+  fb.success = true;
+  fb.granted_mib = 16.0;
+  est.feedback(make_job(32, 8), fb);  // no crash
+  EXPECT_EQ(est.agent().updates(), 0u);
+}
+
+TEST(Rl, NonResourceFailureDoesNotPenalize) {
+  RlEstimator est;
+  est.set_ladder(CapacityLadder({32}));
+  auto job = make_job(32, 8);
+  (void)est.estimate(job, {});
+  Feedback fb;
+  fb.success = false;
+  fb.granted_mib = 32.0;
+  fb.resource_failure = false;  // explicit feedback absolves the decision
+  est.feedback(job, fb);
+  EXPECT_EQ(est.agent().updates(), 0u);
+}
+
+// --- Factory -----------------------------------------------------------------
+
+TEST(Factory, BuildsEveryAdvertisedEstimator) {
+  for (const auto& name : estimator_names()) {
+    const auto est = make_estimator(name);
+    ASSERT_NE(est, nullptr);
+    EXPECT_EQ(est->name(), name == "none" ? "none" : est->name());
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_estimator("magic"), std::invalid_argument);
+}
+
+TEST(Factory, ExplicitFeedbackRequirements) {
+  EXPECT_FALSE(requires_explicit_feedback("none"));
+  EXPECT_FALSE(requires_explicit_feedback("successive-approximation"));
+  EXPECT_FALSE(requires_explicit_feedback("reinforcement-learning"));
+  EXPECT_TRUE(requires_explicit_feedback("last-instance"));
+  EXPECT_TRUE(requires_explicit_feedback("regression-ridge"));
+  EXPECT_TRUE(requires_explicit_feedback("regression-knn"));
+}
+
+TEST(Factory, OptionsAreForwarded) {
+  EstimatorOptions options;
+  options.alpha = 4.0;
+  auto est = make_estimator("successive-approximation", options);
+  est->set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  EXPECT_DOUBLE_EQ(est->estimate(job, {}), 32.0);
+  Feedback fb;
+  fb.success = true;
+  fb.granted_mib = 32.0;
+  est->feedback(job, fb);
+  // alpha = 4: next estimate is 8, not 16.
+  EXPECT_DOUBLE_EQ(est->estimate(job, {}), 8.0);
+}
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,190 @@
+// Tests for the experiment-driver layer (exp): run specs, sweeps, report
+// rendering and CSV output — the scaffolding every bench binary trusts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+
+namespace resmatch::exp {
+namespace {
+
+const trace::Workload& small_trace() {
+  static const trace::Workload w = [] {
+    trace::Workload base = trace::generate_cm5_small(31, 1500);
+    base = trace::drop_wide_jobs(std::move(base), 64);
+    return trace::sort_by_submit(
+        trace::scale_to_load(std::move(base), 96, 0.8));
+  }();
+  return w;
+}
+
+sim::ClusterSpec small_cluster() { return {{32.0, 48}, {24.0, 48}}; }
+
+TEST(RunSpecTest, ForcesExplicitFeedbackWhereRequired) {
+  RunSpec spec;
+  spec.estimator = "last-instance";
+  spec.sim.explicit_feedback = false;
+  EXPECT_TRUE(spec.effective_sim_config().explicit_feedback);
+
+  spec.estimator = "successive-approximation";
+  EXPECT_FALSE(spec.effective_sim_config().explicit_feedback);
+
+  // Explicit feedback stays on when the caller asked for it.
+  spec.sim.explicit_feedback = true;
+  EXPECT_TRUE(spec.effective_sim_config().explicit_feedback);
+}
+
+TEST(RunOnceTest, ProducesNamedResult) {
+  RunSpec spec;
+  const auto result = run_once(small_trace(), small_cluster(), spec);
+  EXPECT_EQ(result.estimator_name, "successive-approximation");
+  EXPECT_EQ(result.policy_name, "fcfs");
+  EXPECT_EQ(result.submitted, small_trace().jobs.size());
+}
+
+TEST(RunOnceTest, RuntimePredictionFlagAttachesPredictor) {
+  RunSpec spec;
+  spec.policy = "easy-backfill";
+  spec.use_runtime_prediction = true;
+  const auto result = run_once(small_trace(), small_cluster(), spec);
+  // No crash, jobs accounted for — the predictor lived through the run.
+  EXPECT_EQ(result.completed + result.intrinsic_failed +
+                result.dropped_unschedulable + result.dropped_attempt_cap,
+            result.submitted);
+}
+
+TEST(LoadSweepTest, RescalesEachPointToItsLoad) {
+  RunSpec spec;
+  const auto sweep =
+      load_sweep(small_trace(), small_cluster(), {0.4, 0.8}, spec);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_NEAR(sweep[0].with_estimation.offered_load, 0.4, 0.02);
+  EXPECT_NEAR(sweep[1].with_estimation.offered_load, 0.8, 0.02);
+  // Both arms ran on the same rescaled trace.
+  EXPECT_EQ(sweep[0].with_estimation.submitted,
+            sweep[0].without_estimation.submitted);
+}
+
+TEST(LoadSweepTest, RatiosAreConsistentWithMembers) {
+  RunSpec spec;
+  const auto sweep = load_sweep(small_trace(), small_cluster(), {0.8}, spec);
+  const auto& p = sweep[0];
+  EXPECT_NEAR(p.utilization_ratio(),
+              p.with_estimation.utilization / p.without_estimation.utilization,
+              1e-12);
+  EXPECT_NEAR(p.slowdown_ratio(),
+              p.without_estimation.mean_slowdown /
+                  p.with_estimation.mean_slowdown,
+              1e-12);
+}
+
+TEST(ClusterSweepTest, BuildsRequestedPools) {
+  RunSpec spec;
+  const auto sweep =
+      cluster_sweep(small_trace(), {8.0, 24.0}, 0.8, spec, /*pool_size=*/48);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep[0].second_pool_mib, 8.0);
+  EXPECT_DOUBLE_EQ(sweep[1].second_pool_mib, 24.0);
+}
+
+TEST(ReportTest, TablesRenderAllRows) {
+  RunSpec spec;
+  const auto sweep =
+      load_sweep(small_trace(), small_cluster(), {0.5, 0.9}, spec);
+  EXPECT_EQ(load_sweep_table(sweep).row_count(), 2u);
+  const auto csweep = cluster_sweep(small_trace(), {24.0}, 0.8, spec, 48);
+  EXPECT_EQ(cluster_sweep_table(csweep).row_count(), 1u);
+}
+
+TEST(ReportTest, CsvFilesWritten) {
+  RunSpec spec;
+  const auto sweep = load_sweep(small_trace(), small_cluster(), {0.7}, spec);
+  const std::string path = "/tmp/resmatch_exp_test_load.csv";
+  write_load_sweep_csv(path, sweep);
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(header.find("util_ratio"), std::string::npos);
+
+  const auto csweep = cluster_sweep(small_trace(), {24.0}, 0.7, spec, 48);
+  const std::string cpath = "/tmp/resmatch_exp_test_cluster.csv";
+  write_cluster_sweep_csv(cpath, csweep);
+  std::ifstream cin_file(cpath);
+  ASSERT_TRUE(std::getline(cin_file, header));
+  EXPECT_NE(header.find("second_pool_mib"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyCsvPathIsNoOp) {
+  write_load_sweep_csv("", {});
+  write_cluster_sweep_csv("", {});
+  SUCCEED();
+}
+
+TEST(WarmStartTest, ReplaysHistoryThroughEstimator) {
+  auto est = core::make_estimator("last-instance");
+  est->set_ladder(core::CapacityLadder({4, 8, 16, 24, 32}));
+  trace::Workload history;
+  trace::JobRecord j;
+  j.id = 1;
+  j.user = 1;
+  j.app = 1;
+  j.requested_mem_mib = 32;
+  j.used_mem_mib = 5;
+  j.nodes = 4;
+  j.runtime = 100;
+  history.jobs = {j, j, j};
+  EXPECT_EQ(warm_start(*est, history), 3u);
+  // The group now estimates from observed usage, not the request.
+  EXPECT_DOUBLE_EQ(est->estimate(j, {}), 8.0);
+}
+
+TEST(WarmStartTest, WarmNeverLowersFewerRequestsThanCold) {
+  RunSpec spec;
+  spec.estimator = "last-instance";
+  const auto result =
+      run_warmstart(small_trace(), small_cluster(), spec, 0.3);
+  EXPECT_GT(result.training_jobs, 0u);
+  EXPECT_GE(result.warm.lowered_fraction(),
+            result.cold.lowered_fraction() * 0.99);
+  // Both arms account for every test job.
+  EXPECT_EQ(result.warm.submitted, result.cold.submitted);
+}
+
+TEST(SplitByTimeTest, ChronologicalAndRebased) {
+  trace::Workload w = trace::generate_cm5_small(9, 1000);
+  const auto split = trace::split_by_time(std::move(w), 0.25);
+  EXPECT_EQ(split.train.jobs.size(), 250u);
+  EXPECT_EQ(split.test.jobs.size(), 750u);
+  EXPECT_DOUBLE_EQ(split.test.jobs.front().submit, 0.0);
+  // Training jobs all precede (original-time) test jobs; after rebasing
+  // we can only check internal order.
+  for (std::size_t i = 1; i < split.test.jobs.size(); ++i) {
+    ASSERT_GE(split.test.jobs[i].submit, split.test.jobs[i - 1].submit);
+  }
+}
+
+TEST(SplitByTimeTest, DegenerateFractions) {
+  trace::Workload w = trace::generate_cm5_small(9, 100);
+  const auto all_train = trace::split_by_time(w, 1.0);
+  EXPECT_EQ(all_train.train.jobs.size(), 100u);
+  EXPECT_TRUE(all_train.test.jobs.empty());
+  const auto all_test = trace::split_by_time(w, 0.0);
+  EXPECT_TRUE(all_test.train.jobs.empty());
+  EXPECT_EQ(all_test.test.jobs.size(), 100u);
+}
+
+TEST(StandardWorkloadTest, FullScaleIsPaperSized) {
+  // Only construct the config path, not the full trace (slow): the small
+  // path must be exact, deterministic, and sorted.
+  const auto w = standard_workload(7, 1200);
+  EXPECT_EQ(w.jobs.size(), 1200u);
+  for (std::size_t i = 1; i < w.jobs.size(); ++i) {
+    ASSERT_GE(w.jobs[i].submit, w.jobs[i - 1].submit);
+  }
+}
+
+}  // namespace
+}  // namespace resmatch::exp

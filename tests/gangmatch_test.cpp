@@ -1,0 +1,155 @@
+// Tests for gang matching: one-to-many co-allocation with aggregate
+// constraints (the Liu et al. / gangmatching primitive from the paper's
+// related work).
+#include <gtest/gtest.h>
+
+#include "match/gangmatch.hpp"
+
+namespace resmatch::match {
+namespace {
+
+ClassAd machine(double memory, const std::string& domain = "a") {
+  ClassAd ad;
+  ad.set("memory", memory);
+  ad.set("domain", domain);
+  return ad;
+}
+
+ClassAd member(double req_memory) {
+  ClassAd ad;
+  ad.set("req_memory", req_memory);
+  ad.set_expr("requirements", "other.memory >= my.req_memory");
+  ad.set_expr("rank", "other.memory");
+  return ad;
+}
+
+TEST(GangMatch, EmptyGangMatchesTrivially) {
+  const auto result = gang_match({}, {machine(32)});
+  EXPECT_TRUE(result.matched);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(GangMatch, SimpleInjectiveAssignment) {
+  const std::vector<ClassAd> machines = {machine(8), machine(16), machine(32)};
+  const std::vector<ClassAd> gang = {member(16), member(8)};
+  const auto result = gang_match(gang, machines);
+  ASSERT_TRUE(result.matched);
+  ASSERT_EQ(result.assignment.size(), 2u);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(GangMatch, MoreMembersThanMachinesFails) {
+  const auto result =
+      gang_match({member(8), member(8)}, {machine(32)});
+  EXPECT_FALSE(result.matched);
+}
+
+TEST(GangMatch, UnmatchableMemberFailsFast) {
+  const auto result =
+      gang_match({member(64)}, {machine(32), machine(16)});
+  EXPECT_FALSE(result.matched);
+  EXPECT_EQ(result.steps, 0u);  // pruned before any search
+}
+
+TEST(GangMatch, BacktracksWhenGreedyCollides) {
+  // Both members prefer the 32 MiB machine (rank = memory); the second
+  // member only fits there. The search must back off the first member's
+  // greedy pick.
+  const std::vector<ClassAd> machines = {machine(8), machine(32)};
+  const std::vector<ClassAd> gang = {member(8), member(32)};
+  const auto result = gang_match(gang, machines);
+  ASSERT_TRUE(result.matched);
+  EXPECT_EQ(result.assignment[0], 0u);  // 8 MiB machine
+  EXPECT_EQ(result.assignment[1], 1u);  // 32 MiB machine
+}
+
+TEST(GangMatch, TotalAtLeastAggregate) {
+  const std::vector<ClassAd> machines = {machine(8), machine(16), machine(32)};
+  GangMatchOptions options;
+  options.aggregate = total_at_least(machines, "memory", 40.0);
+  const auto result = gang_match({member(1), member(1)}, machines, options);
+  ASSERT_TRUE(result.matched);
+  double total = 0.0;
+  for (const auto idx : result.assignment) {
+    total += machines[idx].evaluate("memory").as_number();
+  }
+  EXPECT_GE(total, 40.0);
+}
+
+TEST(GangMatch, TotalAtLeastCanBeUnsatisfiable) {
+  const std::vector<ClassAd> machines = {machine(8), machine(16)};
+  GangMatchOptions options;
+  options.aggregate = total_at_least(machines, "memory", 100.0);
+  EXPECT_FALSE(gang_match({member(1), member(1)}, machines, options).matched);
+}
+
+TEST(GangMatch, AllEqualDomainAggregate) {
+  const std::vector<ClassAd> machines = {
+      machine(32, "east"), machine(32, "west"), machine(16, "west")};
+  GangMatchOptions options;
+  options.aggregate = all_equal(machines, "domain");
+  const auto result = gang_match({member(8), member(8)}, machines, options);
+  ASSERT_TRUE(result.matched);
+  const auto d0 =
+      machines[result.assignment[0]].evaluate("domain").as_string();
+  const auto d1 =
+      machines[result.assignment[1]].evaluate("domain").as_string();
+  EXPECT_EQ(d0, d1);
+  EXPECT_EQ(d0, "west");  // the only domain with two machines
+}
+
+TEST(GangMatch, AllEqualRejectsMissingAttribute) {
+  std::vector<ClassAd> machines = {machine(32), machine(32)};
+  machines[1] = ClassAd{};  // no domain, no memory
+  machines[1].set("memory", 32.0);
+  GangMatchOptions options;
+  options.aggregate = all_equal(machines, "domain");
+  // Assignments touching the attribute-less machine are rejected, but a
+  // single-member gang on machine 0 succeeds trivially (no pair to
+  // compare) — all_equal of one element holds.
+  const auto result = gang_match({member(8)}, machines, options);
+  EXPECT_TRUE(result.matched);
+  const auto pair = gang_match({member(8), member(8)}, machines, options);
+  EXPECT_FALSE(pair.matched);
+}
+
+TEST(GangMatch, PrefixPrunerCutsSearch) {
+  // Prune any branch whose first member is machine 1: the pruner must be
+  // respected and the final assignment must avoid it.
+  const std::vector<ClassAd> machines = {machine(16), machine(32),
+                                         machine(16)};
+  GangMatchOptions options;
+  options.prefix_ok = [](const std::vector<std::size_t>& partial) {
+    return partial.front() != 1;
+  };
+  const auto result = gang_match({member(8), member(8)}, machines, options);
+  ASSERT_TRUE(result.matched);
+  EXPECT_NE(result.assignment[0], 1u);
+}
+
+TEST(GangMatch, StepBudgetReportsExhaustion) {
+  // A large unsatisfiable instance with a tiny budget.
+  std::vector<ClassAd> machines;
+  for (int i = 0; i < 10; ++i) machines.push_back(machine(32));
+  std::vector<ClassAd> gang;
+  for (int i = 0; i < 8; ++i) gang.push_back(member(8));
+  GangMatchOptions options;
+  options.aggregate = total_at_least(machines, "memory", 1e9);  // impossible
+  options.max_steps = 50;
+  const auto result = gang_match(gang, machines, options);
+  EXPECT_FALSE(result.matched);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(GangMatch, RanksGuideFirstSolution) {
+  // With no constraints forcing otherwise, each member takes its highest-
+  // ranked machine that is still free.
+  const std::vector<ClassAd> machines = {machine(8), machine(16), machine(32)};
+  const auto result = gang_match({member(1), member(1)}, machines);
+  ASSERT_TRUE(result.matched);
+  EXPECT_EQ(result.assignment[0], 2u);  // 32 first (highest rank)
+  EXPECT_EQ(result.assignment[1], 1u);  // then 16
+}
+
+}  // namespace
+}  // namespace resmatch::match

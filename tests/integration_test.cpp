@@ -1,0 +1,221 @@
+// End-to-end integration tests: the paper's headline claims reproduced at
+// reduced scale (a few thousand jobs, a 128-machine two-pool cluster).
+// These are the same pipelines the bench binaries run at full scale.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "trace/analysis.hpp"
+
+namespace resmatch::exp {
+namespace {
+
+/// Reduced-scale paper scenario: same distributional shape as the full
+/// trace, partitions scaled from 32..512 nodes to 4..32 so a 128-machine
+/// cluster plays the role of the 1024-node CM5.
+trace::Workload small_paper_trace(std::uint64_t seed,
+                                  std::size_t jobs = 4000) {
+  trace::Cm5ModelConfig cfg;
+  cfg.seed = seed;
+  cfg.job_count = jobs;
+  cfg.group_count = std::max<std::size_t>(1, jobs / 12);
+  cfg.user_count = 12;
+  cfg.partition_sizes = {4, 8, 16, 32};
+  cfg.partition_weights = {0.42, 0.27, 0.21, 0.10};
+  cfg.nominal_machines = 128;
+  return trace::sort_by_submit(trace::generate_cm5(cfg));
+}
+
+const trace::Workload& shared_trace() {
+  static const trace::Workload w = small_paper_trace(2026);
+  return w;
+}
+
+/// The paper's Figure 5/6 cluster, scaled: 64 x 32 MiB + 64 x 24 MiB.
+sim::ClusterSpec paper_cluster() { return sim::cm5_heterogeneous(24.0, 64); }
+
+TEST(Integration, Figure5_EstimationImprovesSaturationUtilization) {
+  RunSpec spec;  // successive-approximation, fcfs, alpha=2, beta=0
+  const auto sweep = load_sweep(shared_trace(), paper_cluster(),
+                                {0.5, 0.9, 1.2}, spec);
+  const double with_est = saturation_utilization(sweep, true);
+  const double without = saturation_utilization(sweep, false);
+  ASSERT_GT(without, 0.0);
+  // Paper: +58% at saturation. At this reduced scale (smaller partitions
+  // pack the two pools better, so the baseline saturates higher) the gain
+  // compresses; the full-scale bench reproduces the paper's ratio.
+  EXPECT_GT(with_est / without, 1.10);
+}
+
+TEST(Integration, Figure6_SlowdownNeverMeaningfullyWorse) {
+  RunSpec spec;
+  const auto sweep =
+      load_sweep(shared_trace(), paper_cluster(), {0.4, 0.7, 1.0}, spec);
+  for (const auto& point : sweep) {
+    // Paper: "resource estimation never causes slowdown to increase".
+    // Allow a small tolerance for retry noise at reduced scale.
+    EXPECT_GT(point.slowdown_ratio(), 0.9) << "load " << point.load;
+  }
+  // And at some load the improvement is material.
+  double best = 0.0;
+  for (const auto& point : sweep) best = std::max(best, point.slowdown_ratio());
+  EXPECT_GT(best, 1.2);
+}
+
+TEST(Integration, Section32_EstimatorIsConservative) {
+  // Paper §3.2: at most ~0.01% of executions fail from under-estimation,
+  // while 15-40% of jobs are submitted with lowered requests.
+  RunSpec spec;
+  trace::Workload scaled = trace::sort_by_submit(
+      trace::scale_to_load(shared_trace(), 128, 0.9));
+  const auto result = run_once(scaled, paper_cluster(), spec);
+  EXPECT_LE(result.resource_failure_fraction(), 0.01);
+  EXPECT_GE(result.lowered_fraction(), 0.10);
+  EXPECT_LE(result.lowered_fraction(), 0.60);
+  EXPECT_EQ(result.dropped_unschedulable, 0u);
+}
+
+TEST(Integration, Figure8_GainBandMatchesPaperShape) {
+  RunSpec spec;
+  const auto sweep = cluster_sweep(shared_trace(), {8.0, 24.0, 32.0}, 1.0,
+                                   spec, /*pool_size=*/64);
+  ASSERT_EQ(sweep.size(), 3u);
+  // 8 MiB second pool: the alpha = 2 ladder stalls at 16 -> rounds to 32,
+  // so the small pool stays unreachable: no meaningful gain.
+  EXPECT_LT(sweep[0].utilization_ratio(), 1.1);
+  // 24 MiB: the paper's sweet spot.
+  EXPECT_GT(sweep[1].utilization_ratio(), 1.15);
+  // 32 MiB: homogeneous cluster, nothing to gain.
+  EXPECT_NEAR(sweep[2].utilization_ratio(), 1.0, 0.05);
+  // The gain correlates with benefiting node counts (paper's R²=0.991
+  // observation): the 24 MiB point must dominate.
+  EXPECT_GT(sweep[1].with_estimation.benefiting_nodes,
+            sweep[0].with_estimation.benefiting_nodes);
+}
+
+TEST(Integration, Table1_AllQuadrantsRunAndNeverLoseJobs) {
+  trace::Workload scaled = trace::sort_by_submit(
+      trace::scale_to_load(shared_trace(), 128, 0.8));
+  for (const auto& name : core::estimator_names()) {
+    RunSpec spec;
+    spec.estimator = name;
+    const auto result = run_once(scaled, paper_cluster(), spec);
+    EXPECT_EQ(result.completed + result.intrinsic_failed +
+                  result.dropped_unschedulable + result.dropped_attempt_cap,
+              result.submitted)
+        << name;
+    EXPECT_EQ(result.dropped_attempt_cap, 0u) << name;
+  }
+}
+
+TEST(Integration, Table1_ExplicitFeedbackBeatsImplicitOnUtilization) {
+  // Explicit last-instance knows exact usage; it should save at least as
+  // much as the implicit successive-approximation probe at saturation.
+  trace::Workload scaled = trace::sort_by_submit(
+      trace::scale_to_load(shared_trace(), 128, 1.2));
+  RunSpec implicit;
+  implicit.estimator = "successive-approximation";
+  RunSpec explicit_spec;
+  explicit_spec.estimator = "last-instance";
+  const auto implicit_result = run_once(scaled, paper_cluster(), implicit);
+  const auto explicit_result =
+      run_once(scaled, paper_cluster(), explicit_spec);
+  EXPECT_GE(explicit_result.utilization, implicit_result.utilization * 0.95);
+  // And both beat no estimation.
+  RunSpec none;
+  none.estimator = "none";
+  const auto baseline = run_once(scaled, paper_cluster(), none);
+  EXPECT_GT(explicit_result.utilization, baseline.utilization);
+  EXPECT_GT(implicit_result.utilization, baseline.utilization);
+}
+
+TEST(Integration, PolicyIndependence_EstimationHelpsUnderSjfAndBackfill) {
+  // Paper §1.3/§3.1: the estimator composes with any policy and the gains
+  // should carry over (left as future work there; verified here).
+  trace::Workload scaled = trace::sort_by_submit(
+      trace::scale_to_load(shared_trace(), 128, 1.1));
+  for (const auto& policy : {"sjf", "easy-backfill"}) {
+    RunSpec with_est;
+    with_est.policy = policy;
+    RunSpec without;
+    without.policy = policy;
+    without.estimator = "none";
+    const auto a = run_once(scaled, paper_cluster(), with_est);
+    const auto b = run_once(scaled, paper_cluster(), without);
+    // Estimation must never hurt under any policy...
+    EXPECT_GE(a.utilization, b.utilization * 0.99) << policy;
+    // ...and must still help materially under SJF. EASY backfilling
+    // already fills most of the holes head-of-line blocking leaves, so
+    // estimation's residual gain there is small — a real finding the
+    // ablation_policies bench quantifies.
+    if (std::string(policy) == "sjf") {
+      EXPECT_GT(a.utilization, b.utilization * 1.05) << policy;
+    }
+  }
+}
+
+TEST(Integration, FalsePositives_IntrinsicFailuresOnlySlowLearning) {
+  // Paper §2.1: implicit feedback is prone to false positives from faulty
+  // programs. They freeze groups early (beta = 0) but must not cause
+  // under-provisioning failures or lost jobs.
+  trace::Cm5ModelConfig cfg;
+  cfg.seed = 5;
+  cfg.job_count = 3000;
+  cfg.group_count = 250;
+  cfg.user_count = 10;
+  cfg.partition_sizes = {4, 8, 16, 32};
+  cfg.partition_weights = {0.42, 0.27, 0.21, 0.10};
+  cfg.nominal_machines = 128;
+  cfg.intrinsic_failure_fraction = 0.05;
+  trace::Workload noisy = trace::sort_by_submit(trace::generate_cm5(cfg));
+  noisy = trace::sort_by_submit(trace::scale_to_load(noisy, 128, 0.9));
+
+  RunSpec spec;
+  const auto result = run_once(noisy, paper_cluster(), spec);
+  EXPECT_GT(result.intrinsic_failed, 0u);
+  EXPECT_EQ(result.completed + result.intrinsic_failed +
+                result.dropped_unschedulable,
+            result.submitted);
+  EXPECT_LE(result.resource_failure_fraction(), 0.02);
+}
+
+TEST(Integration, ExplicitFeedbackImmuneToFalsePositives) {
+  // With explicit feedback the estimator can tell program faults from
+  // resource failures, so false positives do not freeze learning: the
+  // lowered-start fraction stays close to the clean-trace level.
+  trace::Cm5ModelConfig cfg;
+  cfg.seed = 5;
+  cfg.job_count = 3000;
+  cfg.group_count = 250;
+  cfg.user_count = 10;
+  cfg.partition_sizes = {4, 8, 16, 32};
+  cfg.partition_weights = {0.42, 0.27, 0.21, 0.10};
+  cfg.nominal_machines = 128;
+  cfg.intrinsic_failure_fraction = 0.05;
+  trace::Workload noisy = trace::sort_by_submit(trace::generate_cm5(cfg));
+  noisy = trace::sort_by_submit(trace::scale_to_load(noisy, 128, 0.9));
+
+  RunSpec spec;
+  spec.estimator = "last-instance";
+  const auto result = run_once(noisy, paper_cluster(), spec);
+  EXPECT_GT(result.lowered_fraction(), 0.15);
+}
+
+TEST(Integration, LoadSweepReportsRenderable) {
+  RunSpec spec;
+  const auto sweep =
+      load_sweep(shared_trace(), paper_cluster(), {0.5}, spec);
+  const auto table = load_sweep_table(sweep);
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.render().find("util ratio"), std::string::npos);
+}
+
+TEST(Integration, StandardWorkloadSmallAndDeterministic) {
+  const auto a = standard_workload(3, 2000);
+  const auto b = standard_workload(3, 2000);
+  ASSERT_EQ(a.jobs.size(), 2000u);
+  EXPECT_DOUBLE_EQ(a.jobs[500].used_mem_mib, b.jobs[500].used_mem_mib);
+}
+
+}  // namespace
+}  // namespace resmatch::exp

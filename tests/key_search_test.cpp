@@ -1,0 +1,143 @@
+// Tests for the offline similarity-key search (paper §2.2's
+// trial-and-error phase, systematized).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/key_search.hpp"
+#include "trace/cm5_model.hpp"
+
+namespace resmatch::core {
+namespace {
+
+constexpr KeyMask kUser = static_cast<KeyMask>(KeyAttribute::kUser);
+constexpr KeyMask kApp = static_cast<KeyMask>(KeyAttribute::kApp);
+constexpr KeyMask kMem = static_cast<KeyMask>(KeyAttribute::kRequestedMemory);
+constexpr KeyMask kNodes = static_cast<KeyMask>(KeyAttribute::kNodes);
+
+trace::JobRecord make_job(UserId user, AppId app, MiB req, MiB used,
+                          std::uint32_t nodes = 32) {
+  trace::JobRecord j;
+  j.user = user;
+  j.app = app;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.nodes = nodes;
+  j.runtime = 100;
+  j.requested_time = 200;
+  return j;
+}
+
+TEST(KeySearch, EnumerateMasksIsPowerSetMinusEmpty) {
+  const auto masks = enumerate_key_masks(
+      {KeyAttribute::kUser, KeyAttribute::kApp,
+       KeyAttribute::kRequestedMemory});
+  EXPECT_EQ(masks.size(), 7u);  // 2^3 - 1
+}
+
+TEST(KeySearch, DescribeKeyNamesComponents) {
+  EXPECT_EQ(describe_key(kUser | kApp | kMem), "user+app+req_mem");
+  EXPECT_EQ(describe_key(kNodes), "nodes");
+  EXPECT_EQ(describe_key(0), "(empty)");
+}
+
+TEST(KeySearch, HashRespectsMaskComponents) {
+  const auto a = make_job(1, 1, 32, 8);
+  const auto b = make_job(1, 2, 32, 8);  // different app
+  // A user-only key merges them; a user+app key separates them.
+  EXPECT_EQ(key_hash(kUser, a), key_hash(kUser, b));
+  EXPECT_NE(key_hash(kUser | kApp, a), key_hash(kUser | kApp, b));
+}
+
+TEST(KeySearch, HashIgnoresExcludedAttributes) {
+  auto a = make_job(1, 1, 32, 8, /*nodes=*/32);
+  auto b = make_job(1, 1, 32, 2, /*nodes=*/256);
+  EXPECT_EQ(key_hash(kUser | kApp | kMem, a), key_hash(kUser | kApp | kMem, b));
+  EXPECT_NE(key_hash(kUser | kApp | kMem | kNodes, a),
+            key_hash(kUser | kApp | kMem | kNodes, b));
+}
+
+TEST(KeySearch, QualityOfPerfectKey) {
+  // Two job classes that a (user) key separates perfectly: each class has
+  // constant usage, so tightness must be 1 and coverage 1.
+  trace::Workload w;
+  for (int i = 0; i < 20; ++i) {
+    w.jobs.push_back(make_job(1, 1, 32, 4));
+    w.jobs.push_back(make_job(2, 1, 32, 16));
+  }
+  const auto q = evaluate_key(w, kUser);
+  EXPECT_EQ(q.group_count, 2u);
+  EXPECT_DOUBLE_EQ(q.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(q.tightness, 1.0);
+  EXPECT_GT(q.mean_log2_gain, 1.0);  // gains of 8x and 2x
+  EXPECT_GT(q.score, 0.0);
+}
+
+TEST(KeySearch, CoarseKeyScoresWorseThanDiscriminatingKey) {
+  // Users share an app but have very different usage; merging them under
+  // an app-only key destroys tightness.
+  trace::Workload w;
+  for (int i = 0; i < 30; ++i) {
+    w.jobs.push_back(make_job(1, 7, 32, 2));
+    w.jobs.push_back(make_job(2, 7, 32, 28));
+  }
+  const auto fine = evaluate_key(w, kUser | kApp);
+  const auto coarse = evaluate_key(w, kApp);
+  EXPECT_GT(fine.tightness, coarse.tightness);
+  EXPECT_GT(fine.score, coarse.score);
+}
+
+TEST(KeySearch, OverSpecificKeyLosesCoverage) {
+  // Adding a noisy attribute (runtime decade differs per submission)
+  // shatters groups below the large-group threshold: coverage collapses.
+  trace::Workload w;
+  for (int i = 0; i < 40; ++i) {
+    auto job = make_job(1, 1, 32, 4);
+    job.requested_time = std::pow(10.0, 1 + (i % 5));  // 5 decades
+    w.jobs.push_back(job);
+  }
+  const auto plain = evaluate_key(w, kUser | kApp);
+  const auto shattered = evaluate_key(
+      w, kUser | kApp | static_cast<KeyMask>(KeyAttribute::kRuntimeBucket));
+  EXPECT_DOUBLE_EQ(plain.coverage, 1.0);
+  EXPECT_LT(shattered.coverage, plain.coverage);
+}
+
+TEST(KeySearch, SearchRanksByScoreDescending) {
+  const trace::Workload w = trace::generate_cm5_small(11, 3000);
+  const auto masks = enumerate_key_masks(
+      {KeyAttribute::kUser, KeyAttribute::kApp,
+       KeyAttribute::kRequestedMemory, KeyAttribute::kNodes});
+  const auto ranked = search_keys(w, masks);
+  ASSERT_EQ(ranked.size(), masks.size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(KeySearch, PaperKeyIsCompetitiveOnCm5Workload) {
+  // §2.2 picked (user, app, requested memory); on the calibrated trace it
+  // should rank near the top among all 15 subsets.
+  const trace::Workload w = trace::generate_cm5_small(11, 5000);
+  const auto masks = enumerate_key_masks(
+      {KeyAttribute::kUser, KeyAttribute::kApp,
+       KeyAttribute::kRequestedMemory, KeyAttribute::kNodes});
+  const auto ranked = search_keys(w, masks);
+  const KeyMask paper_key = kUser | kApp | kMem;
+  std::size_t position = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].mask == paper_key) position = i;
+  }
+  ASSERT_LT(position, ranked.size());
+  EXPECT_LT(position, 5u) << "paper key ranked " << position;
+}
+
+TEST(KeySearch, EmptyWorkloadYieldsZeroScores) {
+  trace::Workload w;
+  const auto q = evaluate_key(w, kUser);
+  EXPECT_EQ(q.group_count, 0u);
+  EXPECT_DOUBLE_EQ(q.score, 0.0);
+}
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,275 @@
+// Unit tests for the ClassAd-lite matchmaking language: lexer, parser,
+// evaluation semantics (including UNDEFINED propagation), and two-sided
+// matching with ranks.
+#include <gtest/gtest.h>
+
+#include "match/classad.hpp"
+#include "match/lexer.hpp"
+#include "match/parser.hpp"
+
+namespace resmatch::match {
+namespace {
+
+Value eval_str(const std::string& src, const ClassAd* self = nullptr,
+               const ClassAd* other = nullptr) {
+  auto expr = parse_expression(src);
+  EXPECT_TRUE(expr.has_value()) << src << ": "
+                                << (expr ? "" : expr.error());
+  return evaluate(*expr.value(), self, other);
+}
+
+TEST(Lexer, TokenizesOperators) {
+  const auto tokens = tokenize("a <= 3 && b != \"x\" || !c");
+  ASSERT_TRUE(tokens.has_value());
+  // a <= 3 && b != "x" || ! c END = 11 tokens
+  EXPECT_EQ(tokens.value().size(), 11u);
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kLessEq);
+  EXPECT_EQ(tokens.value()[3].kind, TokenKind::kAndAnd);
+}
+
+TEST(Lexer, NumbersIncludingScientific) {
+  const auto tokens = tokenize("3.5 1e3 .25");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_DOUBLE_EQ(tokens.value()[0].number, 3.5);
+  EXPECT_DOUBLE_EQ(tokens.value()[1].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens.value()[2].number, 0.25);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto tokens = tokenize("\"a\\\"b\"");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(tokens.value()[0].text, "a\"b");
+}
+
+TEST(Lexer, ErrorsOnUnterminatedString) {
+  EXPECT_FALSE(tokenize("\"abc").has_value());
+}
+
+TEST(Lexer, ErrorsOnSingleAmpersand) {
+  EXPECT_FALSE(tokenize("a & b").has_value());
+}
+
+TEST(Lexer, ErrorsOnSingleEquals) {
+  EXPECT_FALSE(tokenize("a = b").has_value());
+}
+
+TEST(Parser, PrecedenceArithmetic) {
+  EXPECT_DOUBLE_EQ(eval_str("2 + 3 * 4").as_number(), 14.0);
+  EXPECT_DOUBLE_EQ(eval_str("(2 + 3) * 4").as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(eval_str("10 - 4 - 3").as_number(), 3.0);  // left assoc
+  EXPECT_DOUBLE_EQ(eval_str("2 * 3 % 4").as_number(), 2.0);
+}
+
+TEST(Parser, PrecedenceBooleanVsComparison) {
+  EXPECT_TRUE(eval_str("1 < 2 && 3 > 2").as_bool());
+  EXPECT_TRUE(eval_str("false || 2 >= 2").as_bool());
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_DOUBLE_EQ(eval_str("-3 + 5").as_number(), 2.0);
+  EXPECT_TRUE(eval_str("!false").as_bool());
+  EXPECT_DOUBLE_EQ(eval_str("--4").as_number(), 4.0);
+}
+
+TEST(Parser, Ternary) {
+  EXPECT_DOUBLE_EQ(eval_str("true ? 1 : 2").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_str("1 > 2 ? 1 : 2").as_number(), 2.0);
+  // Nested in the else branch.
+  EXPECT_DOUBLE_EQ(eval_str("false ? 1 : false ? 2 : 3").as_number(), 3.0);
+}
+
+TEST(Parser, RejectsTrailingInput) {
+  EXPECT_FALSE(parse_expression("1 + 2 3").has_value());
+}
+
+TEST(Parser, RejectsDanglingOperator) {
+  EXPECT_FALSE(parse_expression("1 +").has_value());
+  EXPECT_FALSE(parse_expression("&& 1").has_value());
+}
+
+TEST(Parser, RoundTripToString) {
+  auto expr = parse_expression("my.mem >= other.req && rank > 0");
+  ASSERT_TRUE(expr.has_value());
+  const std::string text = to_string(*expr.value());
+  EXPECT_NE(text.find("my.mem"), std::string::npos);
+  EXPECT_NE(text.find("other.req"), std::string::npos);
+}
+
+TEST(Eval, UndefinedPropagatesThroughArithmetic) {
+  EXPECT_TRUE(eval_str("undefined + 1").is_undefined());
+  EXPECT_TRUE(eval_str("missing_attr * 2").is_undefined());
+  EXPECT_TRUE(eval_str("1 < undefined").is_undefined());
+}
+
+TEST(Eval, LazyBooleansAbsorbUndefined) {
+  EXPECT_FALSE(eval_str("false && undefined").as_bool());
+  EXPECT_TRUE(eval_str("true || undefined").as_bool());
+  EXPECT_TRUE(eval_str("undefined || true").as_bool());
+  EXPECT_FALSE(eval_str("undefined && false").as_bool());
+  EXPECT_TRUE(eval_str("true && undefined").is_undefined());
+  EXPECT_TRUE(eval_str("false || undefined").is_undefined());
+}
+
+TEST(Eval, DivisionByZeroIsUndefined) {
+  EXPECT_TRUE(eval_str("1 / 0").is_undefined());
+  EXPECT_TRUE(eval_str("1 % 0").is_undefined());
+}
+
+TEST(Eval, StringOperations) {
+  EXPECT_TRUE(eval_str("\"abc\" == \"abc\"").as_bool());
+  EXPECT_TRUE(eval_str("\"abc\" < \"abd\"").as_bool());
+  EXPECT_EQ(eval_str("\"foo\" + \"bar\"").as_string(), "foobar");
+}
+
+TEST(Eval, CrossTypeEqualityIsUndefined) {
+  EXPECT_TRUE(eval_str("1 == \"1\"").is_undefined());
+  EXPECT_TRUE(eval_str("true == 1").is_undefined());
+}
+
+TEST(Eval, Builtins) {
+  EXPECT_DOUBLE_EQ(eval_str("min(3, 5)").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval_str("max(3, 5)").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(eval_str("pow(2, 10)").as_number(), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_str("floor(3.7)").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval_str("ceil(3.2)").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(eval_str("abs(-2)").as_number(), 2.0);
+  EXPECT_TRUE(eval_str("isUndefined(undefined)").as_bool());
+  EXPECT_FALSE(eval_str("isUndefined(1)").as_bool());
+  EXPECT_DOUBLE_EQ(eval_str("ifThenElse(true, 1, 2)").as_number(), 1.0);
+}
+
+TEST(Eval, UnknownFunctionIsUndefined) {
+  EXPECT_TRUE(eval_str("frobnicate(1)").is_undefined());
+}
+
+TEST(ClassAd, AttributeLookupOrder) {
+  ClassAd self, other;
+  self.set("x", 1.0);
+  other.set("x", 2.0);
+  other.set("y", 3.0);
+  // Bare name: self first, then other.
+  EXPECT_DOUBLE_EQ(eval_str("x", &self, &other).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_str("y", &self, &other).as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval_str("my.x", &self, &other).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_str("other.x", &self, &other).as_number(), 2.0);
+  EXPECT_TRUE(eval_str("other.z", &self, &other).is_undefined());
+}
+
+TEST(ClassAd, ComputedAttributes) {
+  ClassAd ad;
+  ad.set("base", 10.0);
+  ASSERT_TRUE(ad.set_expr("doubled", "base * 2"));
+  EXPECT_DOUBLE_EQ(ad.evaluate("doubled").as_number(), 20.0);
+}
+
+TEST(ClassAd, SetExprRejectsBadSource) {
+  ClassAd ad;
+  EXPECT_FALSE(ad.set_expr("bad", "1 +"));
+  EXPECT_FALSE(ad.has("bad"));
+}
+
+TEST(ClassAd, CyclicReferencesYieldUndefined) {
+  ClassAd ad;
+  ASSERT_TRUE(ad.set_expr("a", "b + 1"));
+  ASSERT_TRUE(ad.set_expr("b", "a + 1"));
+  EXPECT_TRUE(ad.evaluate("a").is_undefined());
+}
+
+TEST(ClassAd, ScopeSwitchesAcrossAds) {
+  // A machine ad whose rank consults the job's attributes.
+  ClassAd machine, job;
+  machine.set("memory", 32.0);
+  job.set("req_memory", 8.0);
+  ASSERT_TRUE(machine.set_expr("headroom", "my.memory - other.req_memory"));
+  EXPECT_DOUBLE_EQ(machine.evaluate("headroom", &job).as_number(), 24.0);
+}
+
+TEST(Matchmaking, SymmetricRequirements) {
+  ClassAd job, machine;
+  job.set("req_memory", 16.0);
+  ASSERT_TRUE(job.set_expr("requirements", "other.memory >= my.req_memory"));
+  machine.set("memory", 32.0);
+  ASSERT_TRUE(machine.set_expr("requirements", "other.req_memory <= 64"));
+  EXPECT_TRUE(match_ads(job, machine).matched);
+
+  machine.set("memory", 8.0);
+  EXPECT_FALSE(match_ads(job, machine).matched);
+}
+
+TEST(Matchmaking, MissingRequirementsAcceptsAll) {
+  ClassAd a, b;
+  a.set("x", 1.0);
+  b.set("y", 2.0);
+  EXPECT_TRUE(match_ads(a, b).matched);
+}
+
+TEST(Matchmaking, UndefinedRequirementRejects) {
+  ClassAd job, machine;
+  ASSERT_TRUE(job.set_expr("requirements", "other.nonexistent >= 4"));
+  machine.set("memory", 32.0);
+  EXPECT_FALSE(match_ads(job, machine).matched);
+}
+
+TEST(Matchmaking, RanksEvaluated) {
+  ClassAd job, machine;
+  ASSERT_TRUE(job.set_expr("rank", "other.memory"));
+  machine.set("memory", 24.0);
+  const MatchResult m = match_ads(job, machine);
+  ASSERT_TRUE(m.matched);
+  EXPECT_DOUBLE_EQ(m.rank_a, 24.0);
+}
+
+TEST(Matchmaking, RankMatchesSortsDescending) {
+  ClassAd job;
+  job.set("req_memory", 8.0);
+  ASSERT_TRUE(job.set_expr("requirements", "other.memory >= my.req_memory"));
+  ASSERT_TRUE(job.set_expr("rank", "other.memory"));
+
+  std::vector<ClassAd> machines(3);
+  machines[0].set("memory", 16.0);
+  machines[1].set("memory", 4.0);   // fails requirements
+  machines[2].set("memory", 32.0);
+
+  const auto ranked = rank_matches(job, machines);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 2u);  // 32 MiB first
+  EXPECT_EQ(ranked[1], 0u);
+}
+
+TEST(Matchmaking, PackagePrerequisiteScenario) {
+  // The paper's software-package resource: a job requires a package only
+  // some machines advertise.
+  ClassAd job, with_pkg, without_pkg;
+  job.set("needs_blas", true);
+  ASSERT_TRUE(job.set_expr(
+      "requirements", "!my.needs_blas || other.has_blas == true"));
+  with_pkg.set("has_blas", true);
+  // without_pkg simply doesn't define has_blas.
+  EXPECT_TRUE(match_ads(job, with_pkg).matched);
+  EXPECT_FALSE(match_ads(job, without_pkg).matched);
+
+  // Once estimation drops the prerequisite, both machines qualify.
+  job.set("needs_blas", false);
+  EXPECT_TRUE(match_ads(job, with_pkg).matched);
+  EXPECT_TRUE(match_ads(job, without_pkg).matched);
+}
+
+TEST(ClassAd, ToStringListsAttributes) {
+  ClassAd ad;
+  ad.set("a", 1.0);
+  ad.set("b", "text");
+  const std::string s = ad.to_string();
+  EXPECT_NE(s.find("a = 1"), std::string::npos);
+  EXPECT_NE(s.find("b = \"text\""), std::string::npos);
+}
+
+TEST(Value, EqualsSemantics) {
+  EXPECT_TRUE(Value(1.0).equals(Value(1.0)));
+  EXPECT_FALSE(Value(1.0).equals(Value(2.0)));
+  EXPECT_TRUE(Value(Undefined{}).equals(Value(Undefined{})));
+  EXPECT_FALSE(Value(1.0).equals(Value(Undefined{})));
+  EXPECT_FALSE(Value(true).equals(Value(1.0)));
+}
+
+}  // namespace
+}  // namespace resmatch::match

@@ -1,0 +1,176 @@
+// Unit tests for the ML substrate: feature extraction, k-NN regression,
+// discretization, and tabular Q-learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/discretizer.hpp"
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+#include "ml/qlearning.hpp"
+
+namespace resmatch::ml {
+namespace {
+
+trace::JobRecord job_with(MiB req, MiB used, std::uint32_t nodes = 32,
+                          UserId user = 1, AppId app = 1) {
+  trace::JobRecord j;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.nodes = nodes;
+  j.user = user;
+  j.app = app;
+  j.requested_time = 600;
+  j.runtime = 300;
+  return j;
+}
+
+TEST(Features, DimensionMatchesConstant) {
+  EXPECT_EQ(job_features(job_with(32, 8)).size(), kJobFeatureCount);
+}
+
+TEST(Features, UsageNeverLeaksIntoFeatures) {
+  auto a = job_with(32, 1);
+  auto b = job_with(32, 30);
+  EXPECT_EQ(job_features(a), job_features(b));
+}
+
+TEST(Features, LogScalesRequest) {
+  const auto f = job_features(job_with(32, 8));
+  EXPECT_DOUBLE_EQ(f[0], 5.0);  // log2(32)
+  EXPECT_DOUBLE_EQ(f[1], 5.0);  // log2(32 nodes)
+}
+
+TEST(Features, HashBucketsStablePerUser) {
+  const auto a = job_features(job_with(32, 8, 32, /*user=*/7));
+  const auto b = job_features(job_with(16, 4, 64, /*user=*/7));
+  EXPECT_DOUBLE_EQ(a[3], b[3]);
+  const auto c = job_features(job_with(32, 8, 32, /*user=*/8));
+  EXPECT_NE(a[3], c[3]);
+}
+
+TEST(Features, TargetRoundTrips) {
+  const auto j = job_with(32, 5.5);
+  EXPECT_NEAR(target_to_mib(usage_target(j)), 5.5, 1e-9);
+}
+
+TEST(Knn, PredictsNearestTarget) {
+  KnnRegressor knn(1);
+  knn.add({0.0, 0.0}, 1.0);
+  knn.add({10.0, 10.0}, 9.0);
+  EXPECT_NEAR(knn.predict({0.1, 0.1}, 0.0), 1.0, 1e-6);
+  EXPECT_NEAR(knn.predict({9.9, 9.9}, 0.0), 9.0, 1e-6);
+}
+
+TEST(Knn, FallbackWhenEmpty) {
+  KnnRegressor knn(3);
+  EXPECT_DOUBLE_EQ(knn.predict({1.0}, 42.0), 42.0);
+}
+
+TEST(Knn, DistanceWeightedBlend) {
+  KnnRegressor knn(2);
+  knn.add({0.0}, 0.0);
+  knn.add({1.0}, 10.0);
+  const double mid = knn.predict({0.5}, -1.0);
+  EXPECT_NEAR(mid, 5.0, 1e-6);
+  // Closer to the first point: prediction leans toward 0.
+  EXPECT_LT(knn.predict({0.1}, -1.0), 2.0);
+}
+
+TEST(Knn, EvictsOldestWhenFull) {
+  KnnRegressor knn(1, /*max_points=*/2);
+  knn.add({0.0}, 1.0);
+  knn.add({1.0}, 2.0);
+  knn.add({2.0}, 3.0);  // evicts the {0} point
+  EXPECT_EQ(knn.size(), 2u);
+  EXPECT_NEAR(knn.predict({0.0}, 0.0), 2.0, 1e-6);  // nearest is now {1}
+}
+
+TEST(Discretizer, BucketsAndClamping) {
+  Discretizer d(0.0, 10.0, 5);
+  EXPECT_EQ(d.bucket(-1.0), 0u);
+  EXPECT_EQ(d.bucket(0.0), 0u);
+  EXPECT_EQ(d.bucket(3.0), 1u);
+  EXPECT_EQ(d.bucket(9.99), 4u);
+  EXPECT_EQ(d.bucket(10.0), 4u);
+  EXPECT_EQ(d.bucket(100.0), 4u);
+}
+
+TEST(Discretizer, Midpoints) {
+  Discretizer d(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(d.midpoint(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.midpoint(4), 9.0);
+}
+
+TEST(StateSpace, RowMajorIndexing) {
+  StateSpace space({Discretizer(0, 1, 2), Discretizer(0, 1, 3)});
+  EXPECT_EQ(space.state_count(), 6u);
+  EXPECT_EQ(space.index({0.0, 0.0}), 0u);
+  EXPECT_EQ(space.index({0.9, 0.9}), 5u);
+  EXPECT_EQ(space.index({0.0, 0.9}), 2u);
+  EXPECT_EQ(space.index({0.9, 0.0}), 3u);
+}
+
+TEST(QLearning, ConvergesToBetterAction) {
+  QLearningConfig cfg;
+  cfg.learning_rate = 0.2;
+  cfg.epsilon = 0.2;
+  QLearningAgent agent(1, 2, cfg, 42);
+  // Action 1 always pays more.
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t a = agent.select_action(0);
+    agent.update(0, a, a == 1 ? 1.0 : 0.1, agent.states());
+  }
+  EXPECT_EQ(agent.best_action(0), 1u);
+  EXPECT_GT(agent.q_value(0, 1), agent.q_value(0, 0));
+}
+
+TEST(QLearning, EpsilonDecays) {
+  QLearningConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.epsilon_decay = 0.9;
+  cfg.epsilon_min = 0.05;
+  QLearningAgent agent(1, 2, cfg, 1);
+  for (int i = 0; i < 100; ++i) agent.update(0, 0, 0.0, agent.states());
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.05);
+  EXPECT_EQ(agent.updates(), 100u);
+}
+
+TEST(QLearning, StatesAreIndependent) {
+  QLearningConfig cfg;
+  cfg.epsilon = 0.0;
+  QLearningAgent agent(2, 2, cfg, 3);
+  for (int i = 0; i < 500; ++i) {
+    agent.update(0, 0, 1.0, agent.states());
+    agent.update(1, 1, 1.0, agent.states());
+  }
+  EXPECT_EQ(agent.best_action(0), 0u);
+  EXPECT_EQ(agent.best_action(1), 1u);
+}
+
+TEST(QLearning, DiscountBootstrapsNextState) {
+  QLearningConfig cfg;
+  cfg.learning_rate = 1.0;
+  cfg.discount = 0.5;
+  cfg.epsilon = 0.0;
+  QLearningAgent agent(2, 1, cfg, 5);
+  // State 1 terminal reward 10 -> Q(1,0)=10 after one update.
+  agent.update(1, 0, 10.0, agent.states());
+  // State 0 transitions into state 1 with zero reward: Q(0,0)=0.5*10.
+  agent.update(0, 0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 5.0);
+}
+
+TEST(QLearning, DeterministicGivenSeed) {
+  QLearningConfig cfg;
+  cfg.epsilon = 0.3;
+  QLearningAgent a(4, 3, cfg, 9), b(4, 3, cfg, 9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.select_action(i % 4), b.select_action(i % 4));
+    a.update(i % 4, 0, 0.5, a.states());
+    b.update(i % 4, 0, 0.5, b.states());
+  }
+}
+
+}  // namespace
+}  // namespace resmatch::ml

@@ -1,0 +1,80 @@
+// Cross-seed property tests for the synthetic CM5 model: the calibration
+// must be a property of the generator, not of one lucky seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/analysis.hpp"
+#include "trace/cm5_model.hpp"
+
+namespace resmatch::trace {
+namespace {
+
+class Cm5SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Workload make(std::uint64_t seed) {
+    Cm5ModelConfig cfg;
+    cfg.seed = seed;
+    cfg.job_count = 20000;
+    cfg.group_count = 1620;
+    cfg.user_count = 40;
+    return generate_cm5(cfg);
+  }
+};
+
+TEST_P(Cm5SeedSweep, OverprovisioningCalibrationHolds) {
+  const Workload w = make(GetParam());
+  const auto analysis = analyze_overprovisioning(w);
+  EXPECT_NEAR(analysis.fraction_ge2, 0.328, 0.06) << "seed " << GetParam();
+  EXPECT_GT(analysis.max_ratio_seen, 40.0);
+  EXPECT_LE(analysis.max_ratio_seen, 131.0);
+  EXPECT_LT(analysis.log_fit.slope, 0.0);
+}
+
+TEST_P(Cm5SeedSweep, GroupStructureHolds) {
+  const Workload w = make(GetParam());
+  const auto groups = profile_groups(w);
+  EXPECT_EQ(groups.size(), 1620u);
+  const auto dist = group_size_distribution(groups, 10);
+  EXPECT_NEAR(dist.fraction_groups_ge_threshold, 0.194, 0.07);
+  EXPECT_NEAR(dist.fraction_jobs_ge_threshold, 0.83, 0.09);
+}
+
+TEST_P(Cm5SeedSweep, EveryJobSimulatable) {
+  const Workload w = make(GetParam());
+  for (const auto& job : w.jobs) {
+    ASSERT_TRUE(is_simulatable(job)) << to_string(job);
+  }
+}
+
+TEST_P(Cm5SeedSweep, UsageWithinGroupRespectsRangeCap) {
+  const Workload w = make(GetParam());
+  Cm5ModelConfig cfg;  // defaults carry the cap used above
+  const auto groups = profile_groups(w);
+  for (const auto& g : groups) {
+    if (g.size < 2) continue;
+    ASSERT_LE(g.similarity_range(), cfg.range_cap * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(Cm5SeedSweep, IdenticalUsageGroupsExist) {
+  // A majority of multi-member groups should have exactly identical
+  // usage (repeated deterministic programs) — the paper's near-zero
+  // failure rate depends on it.
+  const Workload w = make(GetParam());
+  const auto groups = profile_groups(w);
+  std::size_t multi = 0, identical = 0;
+  for (const auto& g : groups) {
+    if (g.size < 3) continue;
+    ++multi;
+    if (g.similarity_range() < 1.0 + 1e-9) ++identical;
+  }
+  ASSERT_GT(multi, 100u);
+  EXPECT_GT(static_cast<double>(identical) / static_cast<double>(multi), 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Cm5SeedSweep,
+                         ::testing::Values(1u, 17u, 4242u, 900001u));
+
+}  // namespace
+}  // namespace resmatch::trace

@@ -1,0 +1,225 @@
+// Property tests over ALL estimators (parameterized): invariants that
+// must hold for any member of the Table 1 taxonomy, exercised on
+// randomized job streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factory.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::core {
+namespace {
+
+class EstimatorProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  static CapacityLadder test_ladder() {
+    return CapacityLadder({1, 2, 4, 8, 12, 16, 24, 32});
+  }
+
+  /// A deterministic random job stream: a handful of job classes, each
+  /// with fixed request and usage, submitted in shuffled order.
+  static std::vector<trace::JobRecord> job_stream(std::uint64_t seed,
+                                                  std::size_t count) {
+    util::Rng rng(seed);
+    struct Class {
+      UserId user;
+      AppId app;
+      MiB request;
+      MiB used;
+    };
+    std::vector<Class> classes;
+    const std::vector<double> requests = {32, 24, 16, 8, 4};
+    for (int c = 0; c < 12; ++c) {
+      const double req =
+          requests[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+      classes.push_back({static_cast<UserId>(rng.uniform_int(1, 5)),
+                         static_cast<AppId>(c), req,
+                         rng.uniform(0.2, 1.0) * req});
+    }
+    std::vector<trace::JobRecord> jobs;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& cls =
+          classes[static_cast<std::size_t>(rng.uniform_int(0, 11))];
+      trace::JobRecord j;
+      j.id = i + 1;
+      j.user = cls.user;
+      j.app = cls.app;
+      j.requested_mem_mib = cls.request;
+      j.used_mem_mib = cls.used;
+      j.nodes = 8;
+      j.runtime = 100;
+      j.requested_time = 150;
+      jobs.push_back(j);
+    }
+    return jobs;
+  }
+
+  /// Serial drive with ground-truth feedback; returns grant sequence.
+  static std::vector<MiB> drive(Estimator& est,
+                                const std::vector<trace::JobRecord>& jobs,
+                                bool explicit_feedback) {
+    std::vector<MiB> grants;
+    grants.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      const MiB grant = est.estimate(job, {});
+      grants.push_back(grant);
+      Feedback fb;
+      fb.success = grant + 1e-9 >= job.used_mem_mib;
+      fb.granted_mib = grant;
+      if (explicit_feedback) {
+        fb.used_mib = job.used_mem_mib;
+        fb.resource_failure = !fb.success;
+      }
+      est.feedback(job, fb);
+    }
+    return grants;
+  }
+};
+
+TEST_P(EstimatorProperty, GrantNeverExceedsRoundedRequest) {
+  auto est = make_estimator(GetParam());
+  const auto ladder = test_ladder();
+  est->set_ladder(ladder);
+  const auto jobs = job_stream(101, 600);
+  const bool explicit_fb = requires_explicit_feedback(GetParam());
+  std::size_t i = 0;
+  for (const auto& job : jobs) {
+    const MiB grant = est->estimate(job, {});
+    ASSERT_GT(grant, 0.0) << GetParam() << " job " << i;
+    ASSERT_LE(grant, ladder.round_up(job.requested_mem_mib) + 1e-9)
+        << GetParam() << " job " << i;
+    Feedback fb;
+    fb.success = grant + 1e-9 >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    if (explicit_fb) fb.used_mib = job.used_mem_mib;
+    est->feedback(job, fb);
+    ++i;
+  }
+}
+
+TEST_P(EstimatorProperty, DeterministicAcrossInstances) {
+  auto a = make_estimator(GetParam());
+  auto b = make_estimator(GetParam());
+  a->set_ladder(test_ladder());
+  b->set_ladder(test_ladder());
+  const auto jobs = job_stream(202, 400);
+  const bool explicit_fb = requires_explicit_feedback(GetParam());
+  const auto ga = drive(*a, jobs, explicit_fb);
+  const auto gb = drive(*b, jobs, explicit_fb);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ga[i], gb[i]) << GetParam() << " at " << i;
+  }
+}
+
+TEST_P(EstimatorProperty, PreviewIsSideEffectFree) {
+  auto est = make_estimator(GetParam());
+  est->set_ladder(test_ladder());
+  const auto jobs = job_stream(303, 200);
+  const bool explicit_fb = requires_explicit_feedback(GetParam());
+  // Drive a while so internal state exists.
+  (void)drive(*est, jobs, explicit_fb);
+
+  // Hammering preview must not change what estimate returns next.
+  const auto& probe_job = jobs.front();
+  const MiB before = est->preview(probe_job, {});
+  for (int i = 0; i < 50; ++i) (void)est->preview(probe_job, {});
+  EXPECT_DOUBLE_EQ(est->preview(probe_job, {}), before) << GetParam();
+}
+
+TEST_P(EstimatorProperty, SerialConvergenceStopsFailing) {
+  // With constant per-class usage and serial feedback, every estimator
+  // must stop causing resource failures eventually (the RL agent's floor
+  // exploration rate is the one principled exception, checked loosely).
+  auto est = make_estimator(GetParam());
+  est->set_ladder(test_ladder());
+  const auto jobs = job_stream(404, 1200);
+  const bool explicit_fb = requires_explicit_feedback(GetParam());
+  std::size_t late_failures = 0;
+  std::size_t i = 0;
+  for (const auto& job : jobs) {
+    const MiB grant = est->estimate(job, {});
+    const bool success = grant + 1e-9 >= job.used_mem_mib;
+    if (!success && i >= jobs.size() / 2) ++late_failures;
+    Feedback fb;
+    fb.success = success;
+    fb.granted_mib = grant;
+    if (explicit_fb) {
+      fb.used_mib = job.used_mem_mib;
+      fb.resource_failure = !success;
+    }
+    est->feedback(job, fb);
+    ++i;
+  }
+  const double late_rate =
+      static_cast<double>(late_failures) / (jobs.size() / 2.0);
+  if (GetParam() == "reinforcement-learning") {
+    EXPECT_LT(late_rate, 0.10) << "exploration floor";
+  } else {
+    EXPECT_LT(late_rate, 0.01) << GetParam();
+  }
+}
+
+TEST_P(EstimatorProperty, FeedbackForUnknownJobIsHarmless) {
+  auto est = make_estimator(GetParam());
+  est->set_ladder(test_ladder());
+  trace::JobRecord ghost;
+  ghost.id = 999999;
+  ghost.user = 77;
+  ghost.app = 77;
+  ghost.requested_mem_mib = 32;
+  ghost.used_mem_mib = 8;
+  ghost.nodes = 1;
+  ghost.runtime = 10;
+  Feedback fb;
+  fb.success = true;
+  fb.granted_mib = 32.0;
+  est->feedback(ghost, fb);  // must not crash or throw
+  EXPECT_GT(est->estimate(ghost, {}), 0.0);
+}
+
+TEST_P(EstimatorProperty, CancelAfterEstimateKeepsEstimatorUsable) {
+  auto est = make_estimator(GetParam());
+  est->set_ladder(test_ladder());
+  const auto jobs = job_stream(505, 50);
+  for (const auto& job : jobs) {
+    const MiB grant = est->estimate(job, {});
+    est->cancel(job, grant);
+  }
+  // After a run of cancelled dispatches, normal operation still works.
+  auto verify_jobs = job_stream(505, 100);
+  const auto grants = drive(*est, verify_jobs, false);
+  for (const MiB g : grants) ASSERT_GT(g, 0.0);
+}
+
+TEST_P(EstimatorProperty, WorksWithoutLadder) {
+  // Standalone mode (no cluster known): estimates must still be positive
+  // and bounded by the raw request.
+  auto est = make_estimator(GetParam());
+  const auto jobs = job_stream(606, 300);
+  const bool explicit_fb = requires_explicit_feedback(GetParam());
+  for (const auto& job : jobs) {
+    const MiB grant = est->estimate(job, {});
+    ASSERT_GT(grant, 0.0);
+    ASSERT_LE(grant, job.requested_mem_mib + 1e-9) << GetParam();
+    Feedback fb;
+    fb.success = grant + 1e-9 >= job.used_mem_mib;
+    fb.granted_mib = grant;
+    if (explicit_fb) fb.used_mib = job.used_mem_mib;
+    est->feedback(job, fb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, EstimatorProperty,
+                         ::testing::ValuesIn(estimator_names()),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,169 @@
+// Property tests for the ClassAd-lite expression language: randomly
+// generated expressions must round-trip through to_string/parse with
+// identical evaluation, and evaluation must be total (never crash) on
+// arbitrary well-formed input.
+#include <gtest/gtest.h>
+
+#include "match/classad.hpp"
+#include "match/parser.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace resmatch::match {
+namespace {
+
+/// Random well-formed expression source, grammar-directed.
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string expression(int depth = 0) {
+    if (depth >= 4 || rng_.bernoulli(0.3)) return atom();
+    switch (rng_.uniform_int(0, 5)) {
+      case 0:
+        return "(" + expression(depth + 1) + " " + binary_op() + " " +
+               expression(depth + 1) + ")";
+      case 1:
+        return "!(" + expression(depth + 1) + ")";
+      case 2:
+        return "-(" + expression(depth + 1) + ")";
+      case 3:
+        return "(" + expression(depth + 1) + " ? " + expression(depth + 1) +
+               " : " + expression(depth + 1) + ")";
+      case 4:
+        return function_call(depth);
+      default:
+        return atom();
+    }
+  }
+
+ private:
+  std::string atom() {
+    switch (rng_.uniform_int(0, 4)) {
+      case 0:
+        return util::format_number(rng_.uniform(-100.0, 100.0), 3);
+      case 1:
+        return rng_.bernoulli(0.5) ? "true" : "false";
+      case 2:
+        return "undefined";
+      case 3: {
+        static const char* names[] = {"memory", "req_memory", "x", "rank_attr"};
+        std::string base = names[rng_.uniform_int(0, 3)];
+        const auto scope = rng_.uniform_int(0, 2);
+        if (scope == 1) return "my." + base;
+        if (scope == 2) return "other." + base;
+        return base;
+      }
+      default:
+        return "\"s" + util::format("%d", static_cast<int>(rng_.uniform_int(0, 9))) +
+               "\"";
+    }
+  }
+
+  std::string binary_op() {
+    static const char* ops[] = {"+",  "-",  "*",  "/",  "%",  "<",
+                                "<=", ">",  ">=", "==", "!=", "&&",
+                                "||"};
+    return ops[rng_.uniform_int(0, 12)];
+  }
+
+  std::string function_call(int depth) {
+    static const char* fns1[] = {"floor", "ceil", "abs", "isUndefined"};
+    static const char* fns2[] = {"min", "max", "pow"};
+    if (rng_.bernoulli(0.5)) {
+      return std::string(fns1[rng_.uniform_int(0, 3)]) + "(" +
+             expression(depth + 1) + ")";
+    }
+    return std::string(fns2[rng_.uniform_int(0, 2)]) + "(" +
+           expression(depth + 1) + ", " + expression(depth + 1) + ")";
+  }
+
+  util::Rng rng_;
+};
+
+ClassAd sample_self() {
+  ClassAd ad;
+  ad.set("memory", 32.0);
+  ad.set("x", 7.0);
+  ad.set("rank_attr", true);
+  return ad;
+}
+
+ClassAd sample_other() {
+  ClassAd ad;
+  ad.set("memory", 8.0);
+  ad.set("req_memory", 4.0);
+  return ad;
+}
+
+class ExprRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprRoundTrip, ToStringReparsesWithIdenticalEvaluation) {
+  ExprGenerator gen(GetParam());
+  const ClassAd self = sample_self();
+  const ClassAd other = sample_other();
+  for (int i = 0; i < 200; ++i) {
+    const std::string source = gen.expression();
+    auto parsed = parse_expression(source);
+    ASSERT_TRUE(parsed.has_value()) << source << ": " << parsed.error();
+
+    const std::string rendered = to_string(*parsed.value());
+    auto reparsed = parse_expression(rendered);
+    ASSERT_TRUE(reparsed.has_value())
+        << "rendered form failed to parse: " << rendered;
+
+    const Value v1 = evaluate(*parsed.value(), &self, &other);
+    const Value v2 = evaluate(*reparsed.value(), &self, &other);
+    ASSERT_TRUE(v1.equals(v2))
+        << source << " => " << rendered << " : " << v1.to_string() << " vs "
+        << v2.to_string();
+  }
+}
+
+TEST_P(ExprRoundTrip, EvaluationIsTotalWithoutAds) {
+  // No self/other ads at all: every attribute is UNDEFINED; evaluation
+  // must still terminate with a well-formed value.
+  ExprGenerator gen(GetParam() ^ 0xABCDEFULL);
+  for (int i = 0; i < 200; ++i) {
+    const std::string source = gen.expression();
+    auto parsed = parse_expression(source);
+    ASSERT_TRUE(parsed.has_value()) << source;
+    const Value v = evaluate(*parsed.value(), nullptr, nullptr);
+    // Just classify it — the point is that we got here.
+    (void)(v.is_undefined() || v.is_bool() || v.is_number() || v.is_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(MatchProperty, RankMatchesSubsetOfMatchAds) {
+  // rank_matches must return exactly the candidates match_ads accepts.
+  util::Rng rng(77);
+  ClassAd job;
+  job.set("req_memory", 16.0);
+  job.set_expr("requirements", "other.memory >= my.req_memory");
+  job.set_expr("rank", "other.memory");
+  for (int round = 0; round < 30; ++round) {
+    std::vector<ClassAd> machines(8);
+    for (auto& m : machines) {
+      m.set("memory", static_cast<double>(rng.uniform_int(1, 64)));
+    }
+    const auto ranked = rank_matches(job, machines);
+    std::vector<bool> in_ranked(machines.size(), false);
+    for (const auto idx : ranked) in_ranked[idx] = true;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      EXPECT_EQ(in_ranked[i], match_ads(job, machines[i]).matched);
+    }
+    // And ranks are non-increasing.
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+      const double prev =
+          machines[ranked[i - 1]].evaluate("memory").as_number();
+      const double cur = machines[ranked[i]].evaluate("memory").as_number();
+      EXPECT_GE(prev, cur);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resmatch::match

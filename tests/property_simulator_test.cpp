@@ -1,0 +1,125 @@
+// Property tests over the full (estimator x policy) grid: accounting and
+// metric invariants that must hold for ANY composition, on randomized
+// workloads — the simulator-level contract behind the paper's claim that
+// estimation is independent of the scheduling policy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factory.hpp"
+#include "exp/experiment.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/transforms.hpp"
+
+namespace resmatch::sim {
+namespace {
+
+using GridParam = std::tuple<std::string, std::string>;  // estimator, policy
+
+class SimulatorGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static const trace::Workload& workload() {
+    static const trace::Workload w = [] {
+      trace::Workload base = trace::generate_cm5_small(1234, 2500);
+      base = trace::drop_wide_jobs(std::move(base), 64);
+      return trace::sort_by_submit(
+          trace::scale_to_load(std::move(base), 96, 1.0));
+    }();
+    return w;
+  }
+
+  static ClusterSpec cluster() {
+    return {{32.0, 48}, {24.0, 24}, {8.0, 24}};
+  }
+
+  SimulationResult run(std::uint64_t seed = 7) const {
+    const auto& [estimator_name, policy_name] = GetParam();
+    auto est = core::make_estimator(estimator_name);
+    auto pol = sched::make_policy(policy_name);
+    SimulationConfig cfg;
+    cfg.seed = seed;
+    cfg.explicit_feedback = core::requires_explicit_feedback(estimator_name);
+    return simulate(workload(), cluster(), *est, *pol, cfg);
+  }
+};
+
+TEST_P(SimulatorGrid, JobAccountingConserved) {
+  const auto r = run();
+  EXPECT_EQ(r.completed + r.intrinsic_failed + r.dropped_unschedulable +
+                r.dropped_attempt_cap,
+            r.submitted);
+  EXPECT_EQ(r.submitted, workload().jobs.size());
+}
+
+TEST_P(SimulatorGrid, NoJobsLostToRetryCap) {
+  // On a clean trace every estimator's retries must terminate well below
+  // the safety valve.
+  const auto r = run();
+  EXPECT_EQ(r.dropped_attempt_cap, 0u);
+}
+
+TEST_P(SimulatorGrid, MetricsWithinPhysicalBounds) {
+  const auto r = run();
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.wasted_fraction, 0.0);
+  EXPECT_LE(r.utilization + r.wasted_fraction, 1.0 + 1e-9);
+  EXPECT_GE(r.makespan, workload().span() - 1e-6);
+  if (r.completed > 0) {
+    EXPECT_GE(r.mean_slowdown, 1.0 - 1e-9);
+    EXPECT_GE(r.mean_bounded_slowdown, 1.0 - 1e-9);
+    EXPECT_GE(r.p95_slowdown, 1.0 - 1e-9);
+    EXPECT_GE(r.mean_wait, 0.0);
+  }
+}
+
+TEST_P(SimulatorGrid, AttemptAccountingConsistent) {
+  const auto r = run();
+  EXPECT_GE(r.attempts, r.completed + r.intrinsic_failed);
+  EXPECT_EQ(r.attempts,
+            r.completed + r.intrinsic_failed + r.resource_failures);
+  EXPECT_LE(r.lowered_starts, r.attempts);
+  EXPECT_LE(r.benefiting_jobs, r.completed);
+}
+
+TEST_P(SimulatorGrid, DeterministicForSeed) {
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.resource_failures, b.resource_failures);
+  EXPECT_EQ(a.lowered_starts, b.lowered_starts);
+}
+
+TEST_P(SimulatorGrid, EstimationNeverWorseThanBaselineOnUtilization) {
+  // The estimator may only unlock machines, never lose them: utilization
+  // must be within noise of the no-estimation run or better.
+  const auto& [estimator_name, policy_name] = GetParam();
+  if (estimator_name == "none") GTEST_SKIP();
+  const auto with_est = run();
+  auto none = core::make_estimator("none");
+  auto pol = sched::make_policy(policy_name);
+  SimulationConfig cfg;
+  cfg.seed = 7;
+  const auto baseline = simulate(workload(), cluster(), *none, *pol, cfg);
+  EXPECT_GE(with_est.utilization, baseline.utilization * 0.97)
+      << estimator_name << "/" << policy_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulatorGrid,
+    ::testing::Combine(::testing::ValuesIn(core::estimator_names()),
+                       ::testing::ValuesIn(sched::policy_names())),
+    [](const auto& suite_info) {
+      std::string name =
+          std::get<0>(suite_info.param) + "_" + std::get<1>(suite_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace resmatch::sim

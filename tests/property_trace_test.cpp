@@ -1,0 +1,172 @@
+// Property tests for trace I/O and the capacity ladder: SWF round-trips
+// over randomized records, and order/idempotence laws of the ladder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/capacity_ladder.hpp"
+#include "trace/swf.hpp"
+#include "trace/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::trace {
+namespace {
+
+class SwfRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+JobRecord random_record(util::Rng& rng, JobId id) {
+  JobRecord j;
+  j.id = id;
+  j.submit = std::floor(rng.uniform(0.0, 1e6));
+  j.runtime = std::floor(rng.uniform(1.0, 1e5));
+  j.requested_time = std::floor(j.runtime * rng.uniform(1.0, 4.0));
+  j.nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 1024));
+  // Quarter-MiB quantized so the KB conversion is exact in both
+  // directions (SWF memory is integer-ish KB).
+  j.requested_mem_mib = static_cast<double>(rng.uniform_int(1, 128)) / 4.0;
+  j.used_mem_mib =
+      std::max(0.25, j.requested_mem_mib *
+                         static_cast<double>(rng.uniform_int(1, 4)) / 4.0);
+  j.used_mem_mib = std::min(j.used_mem_mib, j.requested_mem_mib);
+  j.user = static_cast<UserId>(rng.uniform_int(1, 500));
+  j.app = static_cast<AppId>(rng.uniform_int(1, 99));
+  j.status = rng.bernoulli(0.9) ? JobStatus::kCompleted : JobStatus::kFailed;
+  return j;
+}
+
+TEST_P(SwfRoundTrip, WholeWorkloadSurvivesWriteRead) {
+  util::Rng rng(GetParam());
+  Workload original;
+  original.name = "prop";
+  for (JobId id = 1; id <= 300; ++id) {
+    original.jobs.push_back(random_record(rng, id));
+  }
+
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in(out.str());
+  const auto result = read_swf(in, "prop");
+  ASSERT_TRUE(result.has_value()) << result.error();
+  const Workload& readback = result.value().workload;
+  ASSERT_EQ(readback.jobs.size(), original.jobs.size());
+  EXPECT_EQ(result.value().skipped, 0u);
+
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    const JobRecord& a = original.jobs[i];
+    const JobRecord& b = readback.jobs[i];
+    ASSERT_EQ(a.id, b.id);
+    ASSERT_DOUBLE_EQ(a.submit, b.submit);
+    ASSERT_DOUBLE_EQ(a.runtime, b.runtime);
+    ASSERT_EQ(a.nodes, b.nodes);
+    ASSERT_NEAR(a.requested_mem_mib, b.requested_mem_mib, 1e-9);
+    ASSERT_NEAR(a.used_mem_mib, b.used_mem_mib, 1e-9);
+    ASSERT_EQ(a.user, b.user);
+    ASSERT_EQ(a.app, b.app);
+    ASSERT_EQ(a.status, b.status);
+  }
+}
+
+TEST_P(SwfRoundTrip, ScaleToLoadIsExactForAnyTarget) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  Workload w;
+  for (JobId id = 1; id <= 200; ++id) {
+    w.jobs.push_back(random_record(rng, id));
+  }
+  for (const double target : {0.1, 0.5, 1.0, 2.0}) {
+    const Workload scaled = scale_to_load(w, 256, target);
+    EXPECT_NEAR(scaled.offered_load(256), target, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwfRoundTrip,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace resmatch::trace
+
+namespace resmatch::core {
+namespace {
+
+class LadderProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static CapacityLadder random_ladder(util::Rng& rng) {
+    std::vector<MiB> rungs;
+    const auto n = rng.uniform_int(1, 12);
+    for (int i = 0; i < n; ++i) {
+      rungs.push_back(static_cast<double>(rng.uniform_int(1, 256)) / 4.0);
+    }
+    return CapacityLadder(std::move(rungs));
+  }
+};
+
+TEST_P(LadderProperty, RoundUpLaws) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const CapacityLadder ladder = random_ladder(rng);
+    for (int i = 0; i < 100; ++i) {
+      const double x = rng.uniform(0.1, 80.0);
+      const double up = ladder.round_up(x);
+      // round_up never goes below the input.
+      ASSERT_GE(up, x - 1e-9);
+      // Idempotent.
+      ASSERT_DOUBLE_EQ(ladder.round_up(up), up);
+      // Result is a rung, unless x exceeds every rung (identity).
+      if (x <= ladder.max() + 1e-9) {
+        bool is_rung = false;
+        for (const MiB r : ladder.rungs()) {
+          if (std::fabs(r - up) < 1e-9) is_rung = true;
+        }
+        ASSERT_TRUE(is_rung) << x << " -> " << up;
+      } else {
+        ASSERT_DOUBLE_EQ(up, x);
+      }
+    }
+  }
+}
+
+TEST_P(LadderProperty, RoundDownAndNextAboveConsistency) {
+  util::Rng rng(GetParam() ^ 0x1234);
+  for (int round = 0; round < 50; ++round) {
+    const CapacityLadder ladder = random_ladder(rng);
+    for (int i = 0; i < 100; ++i) {
+      const double x = rng.uniform(0.1, 80.0);
+      const auto down = ladder.round_down(x);
+      if (down) {
+        ASSERT_LE(*down, x + 1e-9);
+        // Nothing between down and x: round_up of anything in (down, x]
+        // that is a rung must be >= ... verified via next_above.
+        const auto above_down = ladder.next_above(*down);
+        if (above_down) {
+          ASSERT_GT(*above_down, x - 1e-9);
+        }
+      } else {
+        // No rung at or below x: every rung is above.
+        ASSERT_GT(ladder.min(), x - 1e-9);
+      }
+      const auto above = ladder.next_above(x);
+      if (above) {
+        ASSERT_GT(*above, x);
+      } else {
+        ASSERT_LE(ladder.max(), x + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(LadderProperty, RungsSortedAndUnique) {
+  util::Rng rng(GetParam() ^ 0x9876);
+  for (int round = 0; round < 50; ++round) {
+    const CapacityLadder ladder = random_ladder(rng);
+    const auto& rungs = ladder.rungs();
+    for (std::size_t i = 1; i < rungs.size(); ++i) {
+      ASSERT_LT(rungs[i - 1], rungs[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadderProperty,
+                         ::testing::Values(7u, 8u, 9u));
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,87 @@
+// Tests for workload profiling/reporting.
+#include <gtest/gtest.h>
+
+#include "trace/cm5_model.hpp"
+#include "trace/report.hpp"
+
+namespace resmatch::trace {
+namespace {
+
+JobRecord make_job(JobId id, UserId user, AppId app, Seconds runtime,
+                   std::uint32_t nodes, MiB req, MiB used) {
+  JobRecord j;
+  j.id = id;
+  j.submit = static_cast<double>(id) * 10.0;
+  j.user = user;
+  j.app = app;
+  j.runtime = runtime;
+  j.requested_time = runtime * 2;
+  j.nodes = nodes;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  return j;
+}
+
+TEST(Report, EmptyWorkload) {
+  const auto p = profile_workload(Workload{});
+  EXPECT_EQ(p.jobs, 0u);
+  EXPECT_EQ(p.users, 0u);
+  // Rendering an empty profile must not crash.
+  EXPECT_FALSE(render_profile(p, "empty").empty());
+}
+
+TEST(Report, CountsPopulations) {
+  Workload w;
+  w.jobs = {make_job(1, 1, 1, 100, 4, 32, 8),
+            make_job(2, 1, 2, 200, 8, 32, 16),
+            make_job(3, 2, 1, 300, 16, 16, 16)};
+  const auto p = profile_workload(w);
+  EXPECT_EQ(p.jobs, 3u);
+  EXPECT_EQ(p.users, 2u);
+  EXPECT_EQ(p.apps, 3u);  // (1,1), (1,2), (2,1)
+  EXPECT_DOUBLE_EQ(p.runtime_mean, 200.0);
+  EXPECT_EQ(p.nodes_min, 4u);
+  EXPECT_EQ(p.nodes_max, 16u);
+  EXPECT_DOUBLE_EQ(p.total_node_seconds, 400.0 + 1600.0 + 4800.0);
+}
+
+TEST(Report, OverprovisionStatistics) {
+  Workload w;
+  w.jobs = {make_job(1, 1, 1, 100, 4, 32, 8),   // 4x
+            make_job(2, 1, 2, 100, 4, 32, 32),  // 1x
+            make_job(3, 2, 1, 100, 4, 32, 4)};  // 8x
+  const auto p = profile_workload(w);
+  EXPECT_NEAR(p.overprovision_ge2_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.overprovision_max, 8.0);
+}
+
+TEST(Report, FailureFraction) {
+  Workload w;
+  auto ok = make_job(1, 1, 1, 100, 4, 32, 8);
+  auto bad = make_job(2, 1, 1, 100, 4, 32, 8);
+  bad.status = JobStatus::kFailed;
+  w.jobs = {ok, bad};
+  EXPECT_DOUBLE_EQ(profile_workload(w).failed_fraction, 0.5);
+}
+
+TEST(Report, RenderedReportNamesKeyQuantities) {
+  const Workload w = generate_cm5_small(5, 2000);
+  const auto p = profile_workload(w);
+  const std::string text = render_profile(p, w.name);
+  EXPECT_NE(text.find("cm5-synthetic"), std::string::npos);
+  EXPECT_NE(text.find("jobs"), std::string::npos);
+  EXPECT_NE(text.find("similarity groups"), std::string::npos);
+  EXPECT_NE(text.find("over-provisioned >= 2x"), std::string::npos);
+}
+
+TEST(Report, MatchesAnalysisModuleOnCm5) {
+  const Workload w = generate_cm5_small(5, 3000);
+  const auto p = profile_workload(w);
+  EXPECT_EQ(p.jobs, 3000u);
+  EXPECT_GT(p.similarity_groups, 100u);
+  EXPECT_GT(p.large_group_job_coverage, 0.5);
+  EXPECT_GT(p.overprovision_ge2_fraction, 0.15);
+}
+
+}  // namespace
+}  // namespace resmatch::trace

@@ -1,0 +1,129 @@
+// Tests for the Tsafrir-style runtime predictor and its simulator wiring.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/runtime_predictor.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/transforms.hpp"
+
+namespace resmatch::core {
+namespace {
+
+trace::JobRecord make_job(UserId user, Seconds runtime, Seconds estimate) {
+  trace::JobRecord j;
+  j.id = 1;
+  j.user = user;
+  j.app = 1;
+  j.requested_mem_mib = 32;
+  j.used_mem_mib = 8;
+  j.nodes = 4;
+  j.runtime = runtime;
+  j.requested_time = estimate;
+  return j;
+}
+
+TEST(RuntimePredictor, FallsBackToUserEstimate) {
+  RuntimePredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(make_job(1, 100, 900)), 900.0);
+}
+
+TEST(RuntimePredictor, FallsBackToRuntimeWhenNoEstimate) {
+  RuntimePredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(make_job(1, 100, 0)), 100.0);
+}
+
+TEST(RuntimePredictor, AveragesLastTwoRuntimes) {
+  RuntimePredictor predictor;  // window = 2 (Tsafrir)
+  const auto job = make_job(1, 100, 900);
+  predictor.observe(job, 100.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(job), 100.0);
+  predictor.observe(job, 200.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(job), 150.0);
+  predictor.observe(job, 400.0);  // window slides: {200, 400}
+  EXPECT_DOUBLE_EQ(predictor.predict(job), 300.0);
+}
+
+TEST(RuntimePredictor, InflationAddsHeadroom) {
+  RuntimePredictorConfig cfg;
+  cfg.inflation = 1.5;
+  RuntimePredictor predictor(cfg);
+  const auto job = make_job(1, 100, 900);
+  predictor.observe(job, 100.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(job), 150.0);
+}
+
+TEST(RuntimePredictor, GroupsAreIndependent) {
+  RuntimePredictor predictor;
+  const auto a = make_job(1, 100, 900);
+  const auto b = make_job(2, 100, 500);
+  predictor.observe(a, 50.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(a), 50.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(b), 500.0);  // untouched group
+  EXPECT_EQ(predictor.group_count(), 1u);
+}
+
+TEST(RuntimePredictor, AccuracyBookkeeping) {
+  RuntimePredictor predictor;
+  predictor.record_accuracy(100.0, 80.0);   // over-prediction: fine
+  predictor.record_accuracy(100.0, 150.0);  // under-prediction
+  EXPECT_EQ(predictor.predictions_scored(), 2u);
+  EXPECT_DOUBLE_EQ(predictor.underprediction_fraction(), 0.5);
+}
+
+TEST(RuntimePredictor, PredictionsConvergeForStableGroup) {
+  RuntimePredictor predictor;
+  const auto job = make_job(3, 300, 3000);  // user estimates 10x too long
+  for (int i = 0; i < 5; ++i) predictor.observe(job, 300.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(job), 300.0);
+}
+
+TEST(RuntimePredictorSim, FeedsBackfillingAndObservesCompletions) {
+  // A workload whose user estimates are wildly inflated: learned
+  // predictions should enable at least as much backfilling as estimates.
+  trace::Workload w;
+  util::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    trace::JobRecord j;
+    j.id = i + 1;
+    j.user = i % 6;
+    j.app = i % 3;
+    j.submit = i * 30.0;
+    j.runtime = 100.0 + (i % 4) * 50.0;
+    j.requested_time = j.runtime * 10.0;  // gross over-estimate
+    j.nodes = 2 + (i % 3) * 2;
+    j.requested_mem_mib = 32;
+    j.used_mem_mib = 8;
+    w.jobs.push_back(j);
+  }
+  w = trace::sort_by_submit(std::move(w));
+
+  auto run = [&](core::RuntimePredictor* predictor) {
+    auto est = core::make_estimator("none");
+    auto pol = sched::make_policy("easy-backfill");
+    sim::SimulationConfig cfg;
+    cfg.runtime_predictor = predictor;
+    return sim::simulate(w, {{32.0, 8}}, *est, *pol, cfg);
+  };
+
+  const auto baseline = run(nullptr);
+  core::RuntimePredictor predictor;
+  const auto predicted = run(&predictor);
+
+  EXPECT_EQ(baseline.completed, 400u);
+  EXPECT_EQ(predicted.completed, 400u);
+  // The predictor saw completions and scored its predictions.
+  EXPECT_GT(predictor.group_count(), 0u);
+  EXPECT_GT(predictor.predictions_scored(), 300u);
+  // Responsiveness stays in the same ballpark. (Accurate predictions do
+  // NOT uniformly improve EASY backfilling — shorter expected ends also
+  // pull the head's shadow time earlier, blocking some backfills; the
+  // literature on estimate inflation documents exactly this ambiguity.)
+  EXPECT_LE(predicted.mean_slowdown, baseline.mean_slowdown * 1.3);
+  // Window-2 averages under-predict variable groups some of the time,
+  // but the majority of predictions must be safe.
+  EXPECT_LT(predictor.underprediction_fraction(), 0.6);
+}
+
+}  // namespace
+}  // namespace resmatch::core

@@ -1,0 +1,188 @@
+// Unit tests for scheduling policies: strict FCFS blocking, SJF selection,
+// and EASY backfilling's reservation safety on heterogeneous pools.
+#include <gtest/gtest.h>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/factory.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sjf.hpp"
+
+namespace resmatch::sched {
+namespace {
+
+/// Scripted cluster view: two pools (small capacity, big capacity).
+class FakeCluster final : public ClusterView {
+ public:
+  FakeCluster(MiB small_cap, std::size_t small_free, std::size_t small_total,
+              MiB big_cap, std::size_t big_free, std::size_t big_total)
+      : small_cap_(small_cap),
+        small_free_(small_free),
+        small_total_(small_total),
+        big_cap_(big_cap),
+        big_free_(big_free),
+        big_total_(big_total) {}
+
+  std::size_t eligible_free(MiB min_capacity) const override {
+    std::size_t n = 0;
+    if (small_cap_ >= min_capacity) n += small_free_;
+    if (big_cap_ >= min_capacity) n += big_free_;
+    return n;
+  }
+  std::size_t eligible_total(MiB min_capacity) const override {
+    std::size_t n = 0;
+    if (small_cap_ >= min_capacity) n += small_total_;
+    if (big_cap_ >= min_capacity) n += big_total_;
+    return n;
+  }
+  std::size_t machine_count() const override {
+    return small_total_ + big_total_;
+  }
+
+ private:
+  MiB small_cap_;
+  std::size_t small_free_, small_total_;
+  MiB big_cap_;
+  std::size_t big_free_, big_total_;
+};
+
+QueuedJob queued(std::size_t index, std::uint32_t nodes, MiB request,
+                 Seconds requested_time = 100.0) {
+  QueuedJob q;
+  q.trace_index = index;
+  q.id = index + 1;
+  q.nodes = nodes;
+  q.effective_request = request;
+  q.requested_time = requested_time;
+  return q;
+}
+
+TEST(FitsNow, ChecksEligibleFreeMachines) {
+  FakeCluster cluster(24, 10, 10, 32, 5, 5);
+  EXPECT_TRUE(fits_now(queued(0, 15, 24.0), cluster));   // 15 <= 10+5
+  EXPECT_FALSE(fits_now(queued(0, 16, 24.0), cluster));
+  EXPECT_TRUE(fits_now(queued(0, 5, 32.0), cluster));    // only big pool
+  EXPECT_FALSE(fits_now(queued(0, 6, 32.0), cluster));
+}
+
+TEST(Fcfs, PicksHeadWhenItFits) {
+  FcfsPolicy policy;
+  FakeCluster cluster(24, 10, 10, 32, 5, 5);
+  std::deque<QueuedJob> queue = {queued(0, 4, 24.0), queued(1, 1, 24.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 0u);
+}
+
+TEST(Fcfs, BlocksBehindNonFittingHead) {
+  FcfsPolicy policy;
+  FakeCluster cluster(24, 2, 10, 32, 0, 5);
+  // Head needs 4 machines, only 2 free; the tiny job behind must wait.
+  std::deque<QueuedJob> queue = {queued(0, 4, 24.0), queued(1, 1, 24.0)};
+  EXPECT_FALSE(policy.pick_next(queue, cluster, {}, 0.0).has_value());
+}
+
+TEST(Fcfs, EmptyQueue) {
+  FcfsPolicy policy;
+  FakeCluster cluster(24, 2, 10, 32, 0, 5);
+  EXPECT_FALSE(policy.pick_next({}, cluster, {}, 0.0).has_value());
+}
+
+TEST(Sjf, PicksShortestFittingJob) {
+  SjfPolicy policy;
+  FakeCluster cluster(24, 3, 10, 32, 0, 5);
+  std::deque<QueuedJob> queue = {queued(0, 2, 24.0, 500.0),
+                                  queued(1, 2, 24.0, 100.0),
+                                  queued(2, 2, 24.0, 300.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 1u);
+}
+
+TEST(Sjf, SkipsNonFittingShorterJob) {
+  SjfPolicy policy;
+  FakeCluster cluster(24, 3, 10, 32, 0, 5);
+  std::deque<QueuedJob> queue = {queued(0, 2, 24.0, 500.0),
+                                  queued(1, 8, 24.0, 50.0)};  // too wide
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 0u);
+}
+
+TEST(Sjf, TieBreaksTowardEarlierArrival) {
+  SjfPolicy policy;
+  FakeCluster cluster(24, 4, 10, 32, 0, 5);
+  std::deque<QueuedJob> queue = {queued(0, 2, 24.0, 100.0),
+                                  queued(1, 2, 24.0, 100.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 0u);
+}
+
+TEST(Easy, StartsHeadWhenItFits) {
+  EasyBackfillPolicy policy;
+  FakeCluster cluster(24, 8, 10, 32, 0, 5);
+  std::deque<QueuedJob> queue = {queued(0, 4, 24.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 0u);
+}
+
+TEST(Easy, BackfillsShortJobBeforeShadowTime) {
+  EasyBackfillPolicy policy;
+  // Head needs 8 machines at >= 24; only 2 free now; a running job on 6
+  // eligible machines ends at t=1000.
+  FakeCluster cluster(24, 2, 10, 32, 0, 5);
+  std::vector<RunningJobInfo> running = {{1000.0, 6, 24.0}};
+  std::deque<QueuedJob> queue = {queued(0, 8, 24.0),
+                                  queued(1, 2, 24.0, /*req_time=*/500.0)};
+  // The candidate ends at 500 < shadow 1000: safe to backfill.
+  EXPECT_EQ(policy.pick_next(queue, cluster, running, 0.0), 1u);
+}
+
+TEST(Easy, RefusesBackfillThatWouldDelayHead) {
+  EasyBackfillPolicy policy;
+  FakeCluster cluster(24, 2, 10, 32, 0, 5);
+  std::vector<RunningJobInfo> running = {{1000.0, 6, 24.0}};
+  // The candidate would run past the shadow time on head-eligible
+  // machines, with zero spare at the shadow point (2 + 6 = 8 = head need).
+  std::deque<QueuedJob> queue = {queued(0, 8, 24.0),
+                                  queued(1, 2, 24.0, /*req_time=*/5000.0)};
+  EXPECT_FALSE(policy.pick_next(queue, cluster, running, 0.0).has_value());
+}
+
+TEST(Easy, BackfillsLongJobIntoSpareNodes) {
+  EasyBackfillPolicy policy;
+  // 4 free now; head needs 8; running frees 6 at t=1000 -> 10 available,
+  // 2 spare beyond the head's 8.
+  FakeCluster cluster(24, 4, 12, 32, 0, 5);
+  std::vector<RunningJobInfo> running = {{1000.0, 6, 24.0}};
+  std::deque<QueuedJob> queue = {queued(0, 8, 24.0),
+                                  queued(1, 2, 24.0, /*req_time=*/9999.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, running, 0.0), 1u);
+}
+
+TEST(Easy, BackfillsIntoMachinesBelowHeadCapacityClass) {
+  EasyBackfillPolicy policy;
+  // Head requires 32 MiB machines (0 free). Candidate fits entirely into
+  // free 24 MiB machines the head can never use.
+  FakeCluster cluster(24, 6, 10, 32, 0, 5);
+  std::vector<RunningJobInfo> running = {{1000.0, 3, 32.0}};
+  std::deque<QueuedJob> queue = {queued(0, 3, 32.0),
+                                  queued(1, 4, 24.0, /*req_time=*/9999.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, running, 0.0), 1u);
+}
+
+TEST(Easy, UnsatisfiableHeadAllowsFreeBackfill) {
+  EasyBackfillPolicy policy;
+  // Head wants 20 machines at >= 32 but only 5 exist: no reservation is
+  // possible, so anything that fits may run.
+  FakeCluster cluster(24, 6, 10, 32, 0, 5);
+  std::deque<QueuedJob> queue = {queued(0, 20, 32.0),
+                                  queued(1, 4, 24.0, /*req_time=*/9999.0)};
+  EXPECT_EQ(policy.pick_next(queue, cluster, {}, 0.0), 1u);
+}
+
+TEST(PolicyFactory, BuildsAllNames) {
+  for (const auto& name : policy_names()) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PolicyFactory, UnknownNameThrows) {
+  EXPECT_THROW(make_policy("random"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmatch::sched

@@ -1,0 +1,111 @@
+// Tests for simulation time-series collection and saturation-knee
+// detection (the measurement discipline behind the paper's footnote 4).
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "exp/experiment.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeseries.hpp"
+
+namespace resmatch::sim {
+namespace {
+
+TEST(TimeSeries, DownsamplesToInterval) {
+  TimeSeries series(10.0);
+  for (int t = 0; t < 100; ++t) {
+    series.observe(static_cast<Seconds>(t), 0.5, 3, 2);
+  }
+  // One sample per 10 simulated seconds.
+  EXPECT_EQ(series.points().size(), 10u);
+  EXPECT_DOUBLE_EQ(series.points()[1].time, 10.0);
+}
+
+TEST(TimeSeries, Summaries) {
+  TimeSeries series(1.0);
+  series.observe(0.0, 0.2, 5, 1);
+  series.observe(1.0, 0.8, 9, 2);
+  EXPECT_DOUBLE_EQ(series.mean_busy_fraction(), 0.5);
+  EXPECT_EQ(series.max_queue_length(), 9u);
+  EXPECT_FALSE(series.empty());
+}
+
+TEST(TimeSeries, EmptySafe) {
+  TimeSeries series(1.0);
+  EXPECT_TRUE(series.empty());
+  EXPECT_DOUBLE_EQ(series.mean_busy_fraction(), 0.0);
+  EXPECT_EQ(series.max_queue_length(), 0u);
+}
+
+TEST(TimeSeries, AttachesToSimulation) {
+  trace::Workload w;
+  for (int i = 0; i < 30; ++i) {
+    trace::JobRecord j;
+    j.id = i + 1;
+    j.submit = i * 50.0;
+    j.runtime = 100.0;
+    j.nodes = 2;
+    j.requested_mem_mib = 32;
+    j.used_mem_mib = 8;
+    j.user = 1;
+    j.app = 1;
+    w.jobs.push_back(j);
+  }
+  auto est = core::make_estimator("none");
+  auto pol = sched::make_policy("fcfs");
+  TimeSeries series(25.0);
+  SimulationConfig cfg;
+  cfg.timeseries = &series;
+  const auto result = simulate(w, {{32.0, 4}}, *est, *pol, cfg);
+  EXPECT_EQ(result.completed, 30u);
+  EXPECT_GT(series.points().size(), 10u);
+  // The cluster is 4 machines; two-node jobs overlap: busy fraction must
+  // have been sampled in (0, 1].
+  EXPECT_GT(series.mean_busy_fraction(), 0.0);
+  EXPECT_LE(series.mean_busy_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace resmatch::sim
+
+namespace resmatch::exp {
+namespace {
+
+LoadPoint point(double load, double util_est, double util_none) {
+  LoadPoint p;
+  p.load = load;
+  p.with_estimation.utilization = util_est;
+  p.without_estimation.utilization = util_none;
+  return p;
+}
+
+TEST(SaturationKnee, FindsFirstDeparture) {
+  // Tracks linearly to 0.6, then plateaus at 0.62.
+  const std::vector<LoadPoint> sweep = {
+      point(0.2, 0.2, 0.2), point(0.4, 0.4, 0.4), point(0.6, 0.6, 0.55),
+      point(0.8, 0.62, 0.55), point(1.0, 0.62, 0.55)};
+  const auto est = find_saturation_knee(sweep, true);
+  ASSERT_TRUE(est.found);
+  EXPECT_DOUBLE_EQ(est.load, 0.8);
+  EXPECT_DOUBLE_EQ(est.utilization, 0.62);
+  const auto none = find_saturation_knee(sweep, false);
+  ASSERT_TRUE(none.found);
+  EXPECT_DOUBLE_EQ(none.load, 0.6);  // departs earlier
+}
+
+TEST(SaturationKnee, NotFoundWhenAlwaysTracking) {
+  const std::vector<LoadPoint> sweep = {point(0.2, 0.2, 0.2),
+                                        point(0.4, 0.4, 0.4)};
+  const auto knee = find_saturation_knee(sweep, true);
+  EXPECT_FALSE(knee.found);
+  EXPECT_DOUBLE_EQ(knee.utilization, 0.4);
+}
+
+TEST(SaturationKnee, EmptySweep) {
+  const auto knee = find_saturation_knee({}, true);
+  EXPECT_FALSE(knee.found);
+  EXPECT_DOUBLE_EQ(knee.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace resmatch::exp

@@ -1,0 +1,273 @@
+// Unit tests for trace records, SWF I/O round-tripping, workload
+// transforms, and the offline analysis behind Figures 1, 3 and 4.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/analysis.hpp"
+#include "trace/job_record.hpp"
+#include "trace/swf.hpp"
+#include "trace/transforms.hpp"
+
+namespace resmatch::trace {
+namespace {
+
+JobRecord make_job(JobId id, Seconds submit, Seconds runtime,
+                   std::uint32_t nodes, MiB req, MiB used, UserId user = 1,
+                   AppId app = 1) {
+  JobRecord j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.nodes = nodes;
+  j.requested_mem_mib = req;
+  j.used_mem_mib = used;
+  j.user = user;
+  j.app = app;
+  j.requested_time = runtime * 2;
+  return j;
+}
+
+TEST(JobRecord, WorkIsNodesTimesRuntime) {
+  const auto j = make_job(1, 0, 100, 32, 32, 16);
+  EXPECT_DOUBLE_EQ(j.work(), 3200.0);
+}
+
+TEST(JobRecord, OverprovisionRatio) {
+  EXPECT_DOUBLE_EQ(make_job(1, 0, 1, 1, 32, 8).overprovision_ratio(), 4.0);
+  EXPECT_DOUBLE_EQ(make_job(1, 0, 1, 1, 32, 32).overprovision_ratio(), 1.0);
+  // Unknown usage degrades to ratio 1, not a division blowup.
+  EXPECT_DOUBLE_EQ(make_job(1, 0, 1, 1, 32, 0).overprovision_ratio(), 1.0);
+}
+
+TEST(JobRecord, IsSimulatable) {
+  EXPECT_TRUE(is_simulatable(make_job(1, 0, 10, 1, 32, 8)));
+  EXPECT_FALSE(is_simulatable(make_job(1, 0, 0, 1, 32, 8)));    // no runtime
+  EXPECT_FALSE(is_simulatable(make_job(1, 0, 10, 0, 32, 8)));   // no nodes
+  EXPECT_FALSE(is_simulatable(make_job(1, 0, 10, 1, 8, 32)));   // used > req
+  EXPECT_FALSE(is_simulatable(make_job(1, -5, 10, 1, 32, 8)));  // neg submit
+}
+
+TEST(Workload, SpanAndOfferedLoad) {
+  Workload w;
+  w.jobs = {make_job(1, 0, 100, 10, 32, 8), make_job(2, 1000, 100, 10, 32, 8)};
+  EXPECT_DOUBLE_EQ(w.span(), 1000.0);
+  EXPECT_DOUBLE_EQ(w.total_work(), 2000.0);
+  // 2000 node-seconds demanded over 1000s on 10 machines = 0.2.
+  EXPECT_DOUBLE_EQ(w.offered_load(10), 0.2);
+}
+
+TEST(Workload, EmptyIsSafe) {
+  Workload w;
+  EXPECT_DOUBLE_EQ(w.span(), 0.0);
+  EXPECT_DOUBLE_EQ(w.offered_load(10), 0.0);
+}
+
+TEST(Swf, LineRoundTrip) {
+  const auto original = make_job(7, 123, 456, 64, 32, 5.5, 9, 3);
+  const std::string line = format_swf_line(original);
+  const auto parsed = parse_swf_line(line);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  const JobRecord& j = parsed.value();
+  EXPECT_EQ(j.id, original.id);
+  EXPECT_DOUBLE_EQ(j.submit, original.submit);
+  EXPECT_DOUBLE_EQ(j.runtime, original.runtime);
+  EXPECT_EQ(j.nodes, original.nodes);
+  EXPECT_NEAR(j.requested_mem_mib, original.requested_mem_mib, 1e-6);
+  EXPECT_NEAR(j.used_mem_mib, original.used_mem_mib, 1e-6);
+  EXPECT_EQ(j.user, original.user);
+  EXPECT_EQ(j.app, original.app);
+}
+
+TEST(Swf, ParseRejectsShortLines) {
+  EXPECT_FALSE(parse_swf_line("1 2 3").has_value());
+}
+
+TEST(Swf, ParseRejectsNonNumeric) {
+  EXPECT_FALSE(
+      parse_swf_line("1 2 3 4 5 6 7 8 9 x 11 12 13 14 15 16 17 18")
+          .has_value());
+}
+
+TEST(Swf, UnknownFieldsAreMinusOne) {
+  const auto parsed =
+      parse_swf_line("1 0 -1 100 8 -1 -1 8 -1 -1 1 2 -1 3 -1 -1 -1 -1");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed.value().used_mem_mib, kUnknown);
+  EXPECT_DOUBLE_EQ(parsed.value().requested_mem_mib, kUnknown);
+}
+
+TEST(Swf, MemoryUnitsConvertKbToMib) {
+  // 32768 KB per processor = 32 MiB per node.
+  const auto parsed = parse_swf_line(
+      "1 0 -1 100 8 -1 16384 8 200 32768 1 2 -1 3 -1 -1 -1 -1");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed.value().requested_mem_mib, 32.0);
+  EXPECT_DOUBLE_EQ(parsed.value().used_mem_mib, 16.0);
+}
+
+TEST(Swf, StreamRoundTripSkipsComments) {
+  Workload w;
+  w.name = "test";
+  w.jobs = {make_job(1, 0, 10, 8, 32, 4), make_job(2, 5, 20, 16, 16, 8)};
+  std::ostringstream out;
+  write_swf(out, w);
+  std::istringstream in(out.str());
+  const auto result = read_swf(in, "roundtrip");
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_EQ(result.value().workload.jobs.size(), 2u);
+  EXPECT_EQ(result.value().skipped, 0u);
+}
+
+TEST(Swf, SkipsBrokenLinesButKeepsGood) {
+  std::istringstream in(
+      "; comment\n"
+      "1 0 -1 100 8 -1 4096 8 200 32768 1 2 -1 3 -1 -1 -1 -1\n"
+      "garbage line\n"
+      "2 10 -1 0 8 -1 4096 8 200 32768 1 2 -1 3 -1 -1 -1 -1\n");  // runtime 0
+  const auto result = read_swf(in, "mixed");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().workload.jobs.size(), 1u);
+  EXPECT_EQ(result.value().skipped, 2u);
+}
+
+TEST(Swf, AllBrokenIsError) {
+  std::istringstream in("garbage\nmore garbage\n");
+  EXPECT_FALSE(read_swf(in, "bad").has_value());
+}
+
+TEST(Swf, EmptyInputIsEmptyWorkload) {
+  std::istringstream in("; only comments\n");
+  const auto result = read_swf(in, "empty");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result.value().workload.jobs.empty());
+}
+
+TEST(Transforms, ScaleArrivalsStretchesSubmitOnly) {
+  Workload w;
+  w.jobs = {make_job(1, 100, 10, 1, 32, 8), make_job(2, 200, 10, 1, 32, 8)};
+  const Workload scaled = scale_arrivals(std::move(w), 2.0);
+  EXPECT_DOUBLE_EQ(scaled.jobs[0].submit, 200.0);
+  EXPECT_DOUBLE_EQ(scaled.jobs[1].submit, 400.0);
+  EXPECT_DOUBLE_EQ(scaled.jobs[0].runtime, 10.0);
+}
+
+TEST(Transforms, ScaleToLoadHitsTarget) {
+  Workload w;
+  for (int i = 0; i < 50; ++i) {
+    w.jobs.push_back(make_job(i, i * 100.0, 100, 10, 32, 8));
+  }
+  const Workload scaled = scale_to_load(std::move(w), 100, 0.5);
+  EXPECT_NEAR(scaled.offered_load(100), 0.5, 1e-9);
+}
+
+TEST(Transforms, DropWideJobs) {
+  Workload w;
+  w.jobs = {make_job(1, 0, 10, 512, 32, 8), make_job(2, 0, 10, 1024, 32, 8)};
+  const Workload filtered = drop_wide_jobs(std::move(w), 512);
+  ASSERT_EQ(filtered.jobs.size(), 1u);
+  EXPECT_EQ(filtered.jobs[0].id, 1u);
+}
+
+TEST(Transforms, TruncateKeepsEarliest) {
+  Workload w;
+  w.jobs = {make_job(1, 300, 10, 1, 32, 8), make_job(2, 100, 10, 1, 32, 8),
+            make_job(3, 200, 10, 1, 32, 8)};
+  const Workload t = truncate(std::move(w), 2);
+  ASSERT_EQ(t.jobs.size(), 2u);
+  EXPECT_EQ(t.jobs[0].id, 2u);
+  EXPECT_EQ(t.jobs[1].id, 3u);
+}
+
+TEST(Transforms, SortBySubmitIsStable) {
+  Workload w;
+  w.jobs = {make_job(1, 100, 10, 1, 32, 8), make_job(2, 100, 10, 1, 32, 8),
+            make_job(3, 50, 10, 1, 32, 8)};
+  const Workload sorted = sort_by_submit(std::move(w));
+  EXPECT_EQ(sorted.jobs[0].id, 3u);
+  EXPECT_EQ(sorted.jobs[1].id, 1u);  // ties keep original order
+  EXPECT_EQ(sorted.jobs[2].id, 2u);
+}
+
+TEST(Analysis, DefaultGroupKeySeparatesTriples) {
+  const auto a = make_job(1, 0, 10, 1, 32, 8, /*user=*/1, /*app=*/1);
+  const auto b = make_job(2, 0, 10, 1, 32, 8, 1, 1);
+  EXPECT_EQ(default_group_key(a), default_group_key(b));
+  // Changing any key component changes the group.
+  auto c = a;
+  c.user = 2;
+  EXPECT_NE(default_group_key(a), default_group_key(c));
+  auto d = a;
+  d.app = 2;
+  EXPECT_NE(default_group_key(a), default_group_key(d));
+  auto e = a;
+  e.requested_mem_mib = 16;
+  EXPECT_NE(default_group_key(a), default_group_key(e));
+}
+
+TEST(Analysis, DefaultGroupKeyIgnoresNonKeyFields) {
+  auto a = make_job(1, 0, 10, 4, 32, 8);
+  auto b = make_job(99, 500, 77, 16, 32, 2.0);
+  EXPECT_EQ(default_group_key(a), default_group_key(b));
+}
+
+TEST(Analysis, OverprovisionFractionGe2) {
+  Workload w;
+  // 3 of 4 jobs at ratio >= 2.
+  w.jobs = {make_job(1, 0, 1, 1, 32, 32), make_job(2, 0, 1, 1, 32, 16),
+            make_job(3, 0, 1, 1, 32, 8), make_job(4, 0, 1, 1, 32, 4)};
+  const auto analysis = analyze_overprovisioning(w, 1.0, 64.0);
+  EXPECT_NEAR(analysis.fraction_ge2, 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(analysis.max_ratio_seen, 8.0);
+}
+
+TEST(Analysis, ProfileGroupsAggregatesMinMax) {
+  Workload w;
+  w.jobs = {make_job(1, 0, 1, 1, 32, 8, 1, 1), make_job(2, 0, 1, 1, 32, 4, 1, 1),
+            make_job(3, 0, 1, 1, 32, 16, 1, 1),
+            make_job(4, 0, 1, 1, 16, 8, 2, 1)};
+  const auto groups = profile_groups(w);
+  ASSERT_EQ(groups.size(), 2u);
+  // Sorted by size descending: the size-3 group first.
+  EXPECT_EQ(groups[0].size, 3u);
+  EXPECT_DOUBLE_EQ(groups[0].max_used_mib, 16.0);
+  EXPECT_DOUBLE_EQ(groups[0].min_used_mib, 4.0);
+  EXPECT_DOUBLE_EQ(groups[0].similarity_range(), 4.0);
+  EXPECT_DOUBLE_EQ(groups[0].potential_gain(), 2.0);
+}
+
+TEST(Analysis, GroupSizeDistributionThreshold) {
+  Workload w;
+  // One group of 10 (user 1), one of 2 (user 2).
+  for (int i = 0; i < 10; ++i) {
+    w.jobs.push_back(make_job(i, 0, 1, 1, 32, 8, 1, 1));
+  }
+  w.jobs.push_back(make_job(100, 0, 1, 1, 32, 8, 2, 1));
+  w.jobs.push_back(make_job(101, 0, 1, 1, 32, 8, 2, 1));
+  const auto groups = profile_groups(w);
+  const auto dist = group_size_distribution(groups, 10);
+  EXPECT_EQ(dist.group_count, 2u);
+  EXPECT_EQ(dist.job_count, 12u);
+  EXPECT_DOUBLE_EQ(dist.fraction_groups_ge_threshold, 0.5);
+  EXPECT_NEAR(dist.fraction_jobs_ge_threshold, 10.0 / 12.0, 1e-9);
+  // jobs_by_size: size 2 -> 2 jobs; size 10 -> 10 jobs.
+  ASSERT_EQ(dist.jobs_by_size.size(), 2u);
+  EXPECT_EQ(dist.jobs_by_size[0].first, 2);
+  EXPECT_EQ(dist.jobs_by_size[0].second, 2u);
+}
+
+TEST(Analysis, GroupQualityScatterFiltersSmallGroups) {
+  Workload w;
+  for (int i = 0; i < 12; ++i) {
+    w.jobs.push_back(make_job(i, 0, 1, 1, 32, 8, 1, 1));
+  }
+  w.jobs.push_back(make_job(100, 0, 1, 1, 32, 8, 2, 1));
+  const auto groups = profile_groups(w);
+  const auto scatter = group_quality_scatter(groups, 10);
+  ASSERT_EQ(scatter.size(), 1u);
+  EXPECT_EQ(scatter[0].size, 12u);
+  EXPECT_DOUBLE_EQ(scatter[0].potential_gain, 4.0);
+}
+
+}  // namespace
+}  // namespace resmatch::trace
