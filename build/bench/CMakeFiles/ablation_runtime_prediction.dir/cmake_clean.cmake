@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime_prediction.dir/ablation_runtime_prediction.cpp.o"
+  "CMakeFiles/ablation_runtime_prediction.dir/ablation_runtime_prediction.cpp.o.d"
+  "ablation_runtime_prediction"
+  "ablation_runtime_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_utilization.dir/fig5_utilization.cpp.o"
+  "CMakeFiles/fig5_utilization.dir/fig5_utilization.cpp.o.d"
+  "fig5_utilization"
+  "fig5_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_convergence.dir/fig7_convergence.cpp.o"
+  "CMakeFiles/fig7_convergence.dir/fig7_convergence.cpp.o.d"
+  "fig7_convergence"
+  "fig7_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

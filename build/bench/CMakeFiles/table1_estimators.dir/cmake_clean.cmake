@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_estimators.dir/table1_estimators.cpp.o"
+  "CMakeFiles/table1_estimators.dir/table1_estimators.cpp.o.d"
+  "table1_estimators"
+  "table1_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gang_coallocation.dir/gang_coallocation.cpp.o"
+  "CMakeFiles/gang_coallocation.dir/gang_coallocation.cpp.o.d"
+  "gang_coallocation"
+  "gang_coallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gang_coallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

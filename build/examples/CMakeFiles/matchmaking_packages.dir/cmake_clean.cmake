@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchmaking_packages.dir/matchmaking_packages.cpp.o"
+  "CMakeFiles/matchmaking_packages.dir/matchmaking_packages.cpp.o.d"
+  "matchmaking_packages"
+  "matchmaking_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchmaking_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

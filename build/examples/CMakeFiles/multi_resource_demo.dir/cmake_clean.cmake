@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_resource_demo.dir/multi_resource_demo.cpp.o"
+  "CMakeFiles/multi_resource_demo.dir/multi_resource_demo.cpp.o.d"
+  "multi_resource_demo"
+  "multi_resource_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_resource_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

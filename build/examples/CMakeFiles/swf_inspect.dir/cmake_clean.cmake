@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swf_inspect.dir/swf_inspect.cpp.o"
+  "CMakeFiles/swf_inspect.dir/swf_inspect.cpp.o.d"
+  "swf_inspect"
+  "swf_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swf_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

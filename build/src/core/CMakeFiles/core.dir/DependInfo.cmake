@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bracketing.cpp" "src/core/CMakeFiles/core.dir/bracketing.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/bracketing.cpp.o.d"
+  "/root/repo/src/core/capacity_ladder.cpp" "src/core/CMakeFiles/core.dir/capacity_ladder.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/capacity_ladder.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/key_search.cpp" "src/core/CMakeFiles/core.dir/key_search.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/key_search.cpp.o.d"
+  "/root/repo/src/core/last_instance.cpp" "src/core/CMakeFiles/core.dir/last_instance.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/last_instance.cpp.o.d"
+  "/root/repo/src/core/multi_resource.cpp" "src/core/CMakeFiles/core.dir/multi_resource.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/multi_resource.cpp.o.d"
+  "/root/repo/src/core/prereq_estimator.cpp" "src/core/CMakeFiles/core.dir/prereq_estimator.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/prereq_estimator.cpp.o.d"
+  "/root/repo/src/core/regression_estimator.cpp" "src/core/CMakeFiles/core.dir/regression_estimator.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/regression_estimator.cpp.o.d"
+  "/root/repo/src/core/rl_estimator.cpp" "src/core/CMakeFiles/core.dir/rl_estimator.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/rl_estimator.cpp.o.d"
+  "/root/repo/src/core/runtime_predictor.cpp" "src/core/CMakeFiles/core.dir/runtime_predictor.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/runtime_predictor.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/successive_approximation.cpp" "src/core/CMakeFiles/core.dir/successive_approximation.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/successive_approximation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/bracketing.cpp.o"
+  "CMakeFiles/core.dir/bracketing.cpp.o.d"
+  "CMakeFiles/core.dir/capacity_ladder.cpp.o"
+  "CMakeFiles/core.dir/capacity_ladder.cpp.o.d"
+  "CMakeFiles/core.dir/estimator.cpp.o"
+  "CMakeFiles/core.dir/estimator.cpp.o.d"
+  "CMakeFiles/core.dir/factory.cpp.o"
+  "CMakeFiles/core.dir/factory.cpp.o.d"
+  "CMakeFiles/core.dir/key_search.cpp.o"
+  "CMakeFiles/core.dir/key_search.cpp.o.d"
+  "CMakeFiles/core.dir/last_instance.cpp.o"
+  "CMakeFiles/core.dir/last_instance.cpp.o.d"
+  "CMakeFiles/core.dir/multi_resource.cpp.o"
+  "CMakeFiles/core.dir/multi_resource.cpp.o.d"
+  "CMakeFiles/core.dir/prereq_estimator.cpp.o"
+  "CMakeFiles/core.dir/prereq_estimator.cpp.o.d"
+  "CMakeFiles/core.dir/regression_estimator.cpp.o"
+  "CMakeFiles/core.dir/regression_estimator.cpp.o.d"
+  "CMakeFiles/core.dir/rl_estimator.cpp.o"
+  "CMakeFiles/core.dir/rl_estimator.cpp.o.d"
+  "CMakeFiles/core.dir/runtime_predictor.cpp.o"
+  "CMakeFiles/core.dir/runtime_predictor.cpp.o.d"
+  "CMakeFiles/core.dir/similarity.cpp.o"
+  "CMakeFiles/core.dir/similarity.cpp.o.d"
+  "CMakeFiles/core.dir/successive_approximation.cpp.o"
+  "CMakeFiles/core.dir/successive_approximation.cpp.o.d"
+  "libresmatch_core.a"
+  "libresmatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp.dir/experiment.cpp.o"
+  "CMakeFiles/exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/exp.dir/report.cpp.o"
+  "CMakeFiles/exp.dir/report.cpp.o.d"
+  "libresmatch_exp.a"
+  "libresmatch_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

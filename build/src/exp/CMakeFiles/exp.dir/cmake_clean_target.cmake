@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresmatch_exp.a"
+)

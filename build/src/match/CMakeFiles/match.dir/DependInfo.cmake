@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/classad.cpp" "src/match/CMakeFiles/match.dir/classad.cpp.o" "gcc" "src/match/CMakeFiles/match.dir/classad.cpp.o.d"
+  "/root/repo/src/match/gangmatch.cpp" "src/match/CMakeFiles/match.dir/gangmatch.cpp.o" "gcc" "src/match/CMakeFiles/match.dir/gangmatch.cpp.o.d"
+  "/root/repo/src/match/lexer.cpp" "src/match/CMakeFiles/match.dir/lexer.cpp.o" "gcc" "src/match/CMakeFiles/match.dir/lexer.cpp.o.d"
+  "/root/repo/src/match/parser.cpp" "src/match/CMakeFiles/match.dir/parser.cpp.o" "gcc" "src/match/CMakeFiles/match.dir/parser.cpp.o.d"
+  "/root/repo/src/match/value.cpp" "src/match/CMakeFiles/match.dir/value.cpp.o" "gcc" "src/match/CMakeFiles/match.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match.dir/classad.cpp.o"
+  "CMakeFiles/match.dir/classad.cpp.o.d"
+  "CMakeFiles/match.dir/gangmatch.cpp.o"
+  "CMakeFiles/match.dir/gangmatch.cpp.o.d"
+  "CMakeFiles/match.dir/lexer.cpp.o"
+  "CMakeFiles/match.dir/lexer.cpp.o.d"
+  "CMakeFiles/match.dir/parser.cpp.o"
+  "CMakeFiles/match.dir/parser.cpp.o.d"
+  "CMakeFiles/match.dir/value.cpp.o"
+  "CMakeFiles/match.dir/value.cpp.o.d"
+  "libresmatch_match.a"
+  "libresmatch_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/discretizer.cpp" "src/ml/CMakeFiles/ml.dir/discretizer.cpp.o" "gcc" "src/ml/CMakeFiles/ml.dir/discretizer.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/qlearning.cpp" "src/ml/CMakeFiles/ml.dir/qlearning.cpp.o" "gcc" "src/ml/CMakeFiles/ml.dir/qlearning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

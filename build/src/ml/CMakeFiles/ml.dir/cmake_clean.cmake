@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml.dir/discretizer.cpp.o"
+  "CMakeFiles/ml.dir/discretizer.cpp.o.d"
+  "CMakeFiles/ml.dir/features.cpp.o"
+  "CMakeFiles/ml.dir/features.cpp.o.d"
+  "CMakeFiles/ml.dir/knn.cpp.o"
+  "CMakeFiles/ml.dir/knn.cpp.o.d"
+  "CMakeFiles/ml.dir/qlearning.cpp.o"
+  "CMakeFiles/ml.dir/qlearning.cpp.o.d"
+  "libresmatch_ml.a"
+  "libresmatch_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

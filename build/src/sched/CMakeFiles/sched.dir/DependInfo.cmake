@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/easy_backfill.cpp" "src/sched/CMakeFiles/sched.dir/easy_backfill.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/easy_backfill.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/fcfs.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/sjf.cpp" "src/sched/CMakeFiles/sched.dir/sjf.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/sjf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

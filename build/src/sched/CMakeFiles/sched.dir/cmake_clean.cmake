@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched.dir/easy_backfill.cpp.o"
+  "CMakeFiles/sched.dir/easy_backfill.cpp.o.d"
+  "CMakeFiles/sched.dir/factory.cpp.o"
+  "CMakeFiles/sched.dir/factory.cpp.o.d"
+  "CMakeFiles/sched.dir/fcfs.cpp.o"
+  "CMakeFiles/sched.dir/fcfs.cpp.o.d"
+  "CMakeFiles/sched.dir/policy.cpp.o"
+  "CMakeFiles/sched.dir/policy.cpp.o.d"
+  "CMakeFiles/sched.dir/sjf.cpp.o"
+  "CMakeFiles/sched.dir/sjf.cpp.o.d"
+  "libresmatch_sched.a"
+  "libresmatch_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

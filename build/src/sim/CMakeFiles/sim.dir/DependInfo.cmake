@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/timeseries.cpp" "src/sim/CMakeFiles/sim.dir/timeseries.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

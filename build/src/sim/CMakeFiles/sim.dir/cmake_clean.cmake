@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/cluster.cpp.o"
+  "CMakeFiles/sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/sim.dir/metrics.cpp.o"
+  "CMakeFiles/sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/sim.dir/simulator.cpp.o"
+  "CMakeFiles/sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sim.dir/timeseries.cpp.o"
+  "CMakeFiles/sim.dir/timeseries.cpp.o.d"
+  "libresmatch_sim.a"
+  "libresmatch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

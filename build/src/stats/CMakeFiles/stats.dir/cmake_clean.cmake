@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats.dir/histogram.cpp.o"
+  "CMakeFiles/stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/stats.dir/percentile.cpp.o"
+  "CMakeFiles/stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/stats.dir/regression.cpp.o"
+  "CMakeFiles/stats.dir/regression.cpp.o.d"
+  "CMakeFiles/stats.dir/summary.cpp.o"
+  "CMakeFiles/stats.dir/summary.cpp.o.d"
+  "libresmatch_stats.a"
+  "libresmatch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

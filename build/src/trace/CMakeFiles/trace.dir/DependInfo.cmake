@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/cm5_model.cpp" "src/trace/CMakeFiles/trace.dir/cm5_model.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/cm5_model.cpp.o.d"
+  "/root/repo/src/trace/job_record.cpp" "src/trace/CMakeFiles/trace.dir/job_record.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/job_record.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/report.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/trace/CMakeFiles/trace.dir/swf.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/swf.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "src/trace/CMakeFiles/trace.dir/transforms.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

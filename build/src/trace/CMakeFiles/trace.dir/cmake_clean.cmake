@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/analysis.cpp.o"
+  "CMakeFiles/trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/trace.dir/cm5_model.cpp.o"
+  "CMakeFiles/trace.dir/cm5_model.cpp.o.d"
+  "CMakeFiles/trace.dir/job_record.cpp.o"
+  "CMakeFiles/trace.dir/job_record.cpp.o.d"
+  "CMakeFiles/trace.dir/report.cpp.o"
+  "CMakeFiles/trace.dir/report.cpp.o.d"
+  "CMakeFiles/trace.dir/swf.cpp.o"
+  "CMakeFiles/trace.dir/swf.cpp.o.d"
+  "CMakeFiles/trace.dir/transforms.cpp.o"
+  "CMakeFiles/trace.dir/transforms.cpp.o.d"
+  "libresmatch_trace.a"
+  "libresmatch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresmatch_trace.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util.dir/cli.cpp.o"
+  "CMakeFiles/util.dir/cli.cpp.o.d"
+  "CMakeFiles/util.dir/csv.cpp.o"
+  "CMakeFiles/util.dir/csv.cpp.o.d"
+  "CMakeFiles/util.dir/logging.cpp.o"
+  "CMakeFiles/util.dir/logging.cpp.o.d"
+  "CMakeFiles/util.dir/rng.cpp.o"
+  "CMakeFiles/util.dir/rng.cpp.o.d"
+  "CMakeFiles/util.dir/strings.cpp.o"
+  "CMakeFiles/util.dir/strings.cpp.o.d"
+  "CMakeFiles/util.dir/table.cpp.o"
+  "CMakeFiles/util.dir/table.cpp.o.d"
+  "libresmatch_util.a"
+  "libresmatch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bracketing_test.dir/bracketing_test.cpp.o"
+  "CMakeFiles/bracketing_test.dir/bracketing_test.cpp.o.d"
+  "bracketing_test"
+  "bracketing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bracketing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm5_model_test.dir/cm5_model_test.cpp.o"
+  "CMakeFiles/cm5_model_test.dir/cm5_model_test.cpp.o.d"
+  "cm5_model_test"
+  "cm5_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm5_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_edge_test.dir/estimator_edge_test.cpp.o"
+  "CMakeFiles/estimator_edge_test.dir/estimator_edge_test.cpp.o.d"
+  "estimator_edge_test"
+  "estimator_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

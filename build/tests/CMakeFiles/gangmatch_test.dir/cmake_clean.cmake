@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gangmatch_test.dir/gangmatch_test.cpp.o"
+  "CMakeFiles/gangmatch_test.dir/gangmatch_test.cpp.o.d"
+  "gangmatch_test"
+  "gangmatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gangmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_search_test.dir/key_search_test.cpp.o"
+  "CMakeFiles/key_search_test.dir/key_search_test.cpp.o.d"
+  "key_search_test"
+  "key_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_cm5_test.dir/property_cm5_test.cpp.o"
+  "CMakeFiles/property_cm5_test.dir/property_cm5_test.cpp.o.d"
+  "property_cm5_test"
+  "property_cm5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_cm5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_estimator_test.dir/property_estimator_test.cpp.o"
+  "CMakeFiles/property_estimator_test.dir/property_estimator_test.cpp.o.d"
+  "property_estimator_test"
+  "property_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_match_test.dir/property_match_test.cpp.o"
+  "CMakeFiles/property_match_test.dir/property_match_test.cpp.o.d"
+  "property_match_test"
+  "property_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_simulator_test.dir/property_simulator_test.cpp.o"
+  "CMakeFiles/property_simulator_test.dir/property_simulator_test.cpp.o.d"
+  "property_simulator_test"
+  "property_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

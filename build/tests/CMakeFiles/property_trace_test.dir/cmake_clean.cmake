@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_trace_test.dir/property_trace_test.cpp.o"
+  "CMakeFiles/property_trace_test.dir/property_trace_test.cpp.o.d"
+  "property_trace_test"
+  "property_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
