@@ -18,12 +18,9 @@ int main(int argc, char** argv) {
   exp::print_banner("Ablation: best-fit vs worst-fit allocation",
                     "Yom-Tov & Aridor 2006, §1.1 scenario");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   util::ConsoleTable table({"allocation", "estimator", "util", "slowdown",
                             "res-fail%"});
@@ -41,7 +38,7 @@ int main(int argc, char** argv) {
   for (const Arm arm : {Arm{sim::AllocationPolicy::kBestFit, "best-fit"},
                         Arm{sim::AllocationPolicy::kWorstFit, "worst-fit"}}) {
     for (const char* estimator : {"none", "successive-approximation"}) {
-      exp::RunSpec spec;
+      exp::RunSpec spec = args.run_spec();
       spec.estimator = estimator;
       spec.sim.allocation = arm.policy;
       const auto result = exp::run_once(workload, cluster, spec);

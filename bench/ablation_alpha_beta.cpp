@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   for (const double alpha : {1.2, 1.5, 2.0, 4.0, 10.0}) {
     for (const double beta : {0.0, 0.5, 0.9}) {
-      exp::RunSpec spec;
+      exp::RunSpec spec = args.run_spec();
       spec.options.alpha = alpha;
       spec.options.beta = beta;
       const auto result = exp::run_once(workload, cluster, spec);

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     for (const Arm arm : {Arm{"successive-approximation", "implicit"},
                           Arm{"last-instance", "explicit"},
                           Arm{"none", "-"}}) {
-      exp::RunSpec spec;
+      exp::RunSpec spec = args.run_spec();
       spec.estimator = arm.estimator;
       const auto result = exp::run_once(workload, cluster, spec);
       table.add_row(

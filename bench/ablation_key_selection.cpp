@@ -24,12 +24,9 @@ int main(int argc, char** argv) {
   exp::print_banner("Ablation: similarity-key selection",
                     "Yom-Tov & Aridor 2006, §2.2");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   const auto masks = core::enumerate_key_masks(
       {core::KeyAttribute::kUser, core::KeyAttribute::kApp,
@@ -60,8 +57,9 @@ int main(int argc, char** argv) {
             return core::key_hash(mask, job);
           });
       auto policy = sched::make_policy("fcfs");
-      util_sim =
-          sim::simulate(workload, cluster, estimator, *policy, {}).utilization;
+      util_sim = sim::simulate(workload, cluster, estimator, *policy,
+                               args.sim_config())
+                     .utilization;
       ++simulated;
     }
     const std::string key_name =

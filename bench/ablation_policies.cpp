@@ -16,12 +16,9 @@ int main(int argc, char** argv) {
   exp::print_banner("Ablation: estimation gain under different policies",
                     "Yom-Tov & Aridor 2006, §1.3 / §3.1 future work");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   util::ConsoleTable table({"policy", "util(none)", "util(est)", "util ratio",
                             "slowdown(none)", "slowdown(est)",
@@ -34,9 +31,9 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& policy : sched::policy_names()) {
-    exp::RunSpec with_est;
+    exp::RunSpec with_est = args.run_spec();
     with_est.policy = policy;
-    exp::RunSpec without;
+    exp::RunSpec without = args.run_spec();
     without.policy = policy;
     without.estimator = "none";
     const auto est = exp::run_once(workload, cluster, with_est);

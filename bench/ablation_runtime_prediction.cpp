@@ -21,12 +21,9 @@ int main(int argc, char** argv) {
       "Ablation: runtime prediction x memory estimation (EASY backfill)",
       "Yom-Tov & Aridor 2006, §1.2 (Tsafrir et al. companion idea)");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   util::ConsoleTable table({"runtime input", "memory estimation", "util",
                             "mean slowdown", "p95 slowdown", "mean wait s"});
@@ -39,7 +36,7 @@ int main(int argc, char** argv) {
 
   for (const bool predict_runtime : {false, true}) {
     for (const char* estimator : {"none", "successive-approximation"}) {
-      exp::RunSpec spec;
+      exp::RunSpec spec = args.run_spec();
       spec.policy = "easy-backfill";
       spec.estimator = estimator;
       spec.use_runtime_prediction = predict_runtime;

@@ -19,12 +19,9 @@ int main(int argc, char** argv) {
   exp::print_banner("Ablation: warm start from historical traces",
                     "Yom-Tov & Aridor 2006, §2.2 training phase");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   util::ConsoleTable table({"estimator", "start", "util", "slowdown",
                             "lowered%", "res-fail%"});
@@ -38,7 +35,7 @@ int main(int argc, char** argv) {
   for (const char* estimator :
        {"successive-approximation", "bracketing", "last-instance",
         "regression-ridge"}) {
-    exp::RunSpec spec;
+    exp::RunSpec spec = args.run_spec();
     spec.estimator = estimator;
     const auto result = exp::run_warmstart(workload, cluster, spec, 0.3);
     struct Arm {

@@ -1,23 +1,43 @@
-// Shared command-line conventions for the bench binaries.
+// Shared command-line conventions and setup for the bench binaries.
 //
 // Every experiment binary accepts:
-//   --jobs=N   trace size (default: a fast reduced scale; 0 = full ~122k)
-//   --seed=S   workload seed
-//   --csv=PATH optional CSV dump of the printed series
+//   --jobs=N          trace size (default: a fast reduced scale; 0 = full
+//                     ~122k)
+//   --seed=S          workload seed
+//   --sim-seed=S      simulator seed (failure-time draws)
+//   --max-attempts=N  per-job attempt cap before the simulator drops it
+//   --csv=PATH        optional CSV dump of the printed series
 // Full paper scale is the default for the figure benches unless
 // --jobs overrides it; reduced scale keeps CI fast.
+//
+// The standard experiment fixture — the paper's two-pool heterogeneous
+// cluster plus a load-scaled, submit-sorted workload — is built by
+// heterogeneous_setup() so each driver declares only its sweep.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "exp/experiment.hpp"
 #include "util/cli.hpp"
 
 namespace resmatch::exp {
 
+/// The standard fixture: paper cluster + prepared workload. `machines` is
+/// the total machine count (2 * pool), the denominator of offered load.
+struct BenchSetup {
+  trace::Workload workload;
+  sim::ClusterSpec cluster;
+  std::size_t pool = 0;
+  std::size_t machines = 0;
+};
+
 struct BenchArgs {
   std::size_t jobs = 0;  ///< 0 = full paper scale
   std::uint64_t seed = 42;
+  std::uint64_t sim_seed = 7;
+  std::uint32_t max_attempts = 64;
   std::string csv;
 
   static BenchArgs parse(int argc, const char* const* argv,
@@ -28,6 +48,10 @@ struct BenchArgs {
         cli.get("jobs", static_cast<std::int64_t>(default_jobs)));
     out.seed = static_cast<std::uint64_t>(
         cli.get("seed", static_cast<std::int64_t>(42)));
+    out.sim_seed = static_cast<std::uint64_t>(
+        cli.get("sim-seed", static_cast<std::int64_t>(7)));
+    out.max_attempts = static_cast<std::uint32_t>(
+        cli.get("max-attempts", static_cast<std::int64_t>(64)));
     out.csv = cli.get("csv", std::string{});
     for (const auto& key : cli.unused()) {
       std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
@@ -37,6 +61,46 @@ struct BenchArgs {
 
   [[nodiscard]] trace::Workload workload() const {
     return standard_workload(seed, jobs);
+  }
+
+  /// Simulator configuration with the shared CLI knobs applied.
+  [[nodiscard]] sim::SimulationConfig sim_config() const {
+    sim::SimulationConfig config;
+    config.seed = sim_seed;
+    config.max_attempts_per_job = max_attempts;
+    return config;
+  }
+
+  /// A RunSpec carrying sim_config(); drivers override estimator/policy
+  /// per sweep point.
+  [[nodiscard]] RunSpec run_spec() const {
+    RunSpec spec;
+    spec.sim = sim_config();
+    return spec;
+  }
+
+  /// The paper's experiment fixture: 32 MiB pool + `second_pool_mib` pool
+  /// (512 machines each at full scale, 64 at reduced scale), workload
+  /// narrowed to jobs that fit, rescaled to `load`, sorted by submit time.
+  [[nodiscard]] BenchSetup heterogeneous_setup(MiB second_pool_mib = 24.0,
+                                               double load = 1.0) const {
+    BenchSetup out;
+    out.pool = jobs == 0 ? 512 : 64;  // reduced runs use a reduced cluster
+    out.machines = 2 * out.pool;
+    out.cluster = sim::cm5_heterogeneous(second_pool_mib, out.pool);
+
+    trace::Workload w = workload();
+    std::uint32_t widest = 0;
+    for (const auto& job : w.jobs) widest = std::max(widest, job.nodes);
+    if (widest > out.machines) {
+      w = trace::drop_wide_jobs(std::move(w),
+                                static_cast<std::uint32_t>(out.machines));
+    }
+    if (load > 0.0) {
+      w = trace::scale_to_load(std::move(w), out.machines, load);
+    }
+    out.workload = trace::sort_by_submit(std::move(w));
+    return out;
   }
 };
 

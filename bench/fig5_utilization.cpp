@@ -19,12 +19,13 @@ int main(int argc, char** argv) {
       "Figure 5: utilization vs load, with/without estimation",
       "Yom-Tov & Aridor 2006, Figure 5 (+ §3.2 conservativeness)");
 
-  const trace::Workload workload = args.workload();
-  const std::size_t pool =
-      args.jobs == 0 ? 512 : 64;  // reduced runs use a reduced cluster
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
+  // load_sweep rescales the workload per point; build the fixture unscaled.
+  const exp::BenchSetup setup = args.heterogeneous_setup(24.0, /*load=*/0.0);
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
-  exp::RunSpec spec;  // paper defaults: successive-approximation, fcfs
+  // paper defaults: successive-approximation, fcfs
+  exp::RunSpec spec = args.run_spec();
   const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4};
   const auto sweep = exp::load_sweep(workload, cluster, loads, spec);
 

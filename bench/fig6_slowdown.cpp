@@ -16,11 +16,12 @@ int main(int argc, char** argv) {
   exp::print_banner("Figure 6: slowdown ratio (no estimation / estimation)",
                     "Yom-Tov & Aridor 2006, Figure 6");
 
-  const trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
+  // load_sweep rescales the workload per point; build the fixture unscaled.
+  const exp::BenchSetup setup = args.heterogeneous_setup(24.0, /*load=*/0.0);
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
-  exp::RunSpec spec;
+  exp::RunSpec spec = args.run_spec();
   const std::vector<double> loads = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
   const auto sweep = exp::load_sweep(workload, cluster, loads, spec);
 

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::vector<MiB> sizes;
   for (int mib = 1; mib <= 32; ++mib) sizes.push_back(mib);
 
-  exp::RunSpec spec;
+  exp::RunSpec spec = args.run_spec();
   const auto sweep = exp::cluster_sweep(workload, sizes, 1.0, spec, pool);
   exp::cluster_sweep_table(sweep).print();
 

@@ -1,0 +1,159 @@
+// micro_service: throughput scaling of the matchd service layer.
+//
+// Drives a svc::Matchd instance from 1..16 client threads, each running a
+// closed loop of submit -> feedback over a CM5-like population of
+// similarity groups, and reports jobs/sec per worker count plus the
+// speedup over single-threaded. The synchronous path (clients call the
+// thread-safe API directly; scaling comes from the store's shard
+// striping) is the primary measurement; a second series routes the same
+// load through the admission queue + worker pool to show the pipeline's
+// overhead and its backpressure counters.
+//
+//   ./build/bench/micro_service [--jobs=N] [--groups=G] [--csv=PATH]
+//
+// --jobs is the per-thread operation count (default 200000).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "svc/matchd.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace resmatch;
+
+trace::JobRecord make_job(std::uint64_t n, std::size_t groups) {
+  trace::JobRecord job;
+  job.id = n;
+  job.user = static_cast<UserId>(n % groups);
+  job.app = static_cast<AppId>((n / groups) % 17);
+  job.requested_mem_mib = 32.0;
+  job.used_mem_mib = 4.0 + static_cast<double>(n % 7);
+  job.nodes = 1;
+  job.runtime = 60.0;
+  return job;
+}
+
+core::Feedback outcome_for(const trace::JobRecord& job, MiB granted) {
+  core::Feedback fb;
+  fb.success = granted + 1e-9 >= job.used_mem_mib;
+  fb.granted_mib = granted;
+  return fb;
+}
+
+/// One closed-loop client: submit + feedback, `ops` times.
+void run_client(svc::Matchd& service, std::size_t thread_index,
+                std::size_t ops, std::size_t groups, bool async) {
+  for (std::size_t i = 0; i < ops; ++i) {
+    const trace::JobRecord job = make_job(thread_index * ops + i, groups);
+    if (async) {
+      const auto pushed = service.submit_async(
+          job, [&service, job](const svc::MatchDecision& d) {
+            service.feedback(job, outcome_for(job, d.granted_mib));
+          });
+      if (pushed != svc::PushResult::kOk) {
+        // Backpressure: do the work inline, as a real client would retry.
+        const auto decision = service.submit(job);
+        service.feedback(job, outcome_for(job, decision.granted_mib));
+      }
+    } else {
+      const auto decision = service.submit(job);
+      service.feedback(job, outcome_for(job, decision.granted_mib));
+    }
+  }
+}
+
+struct Sample {
+  std::size_t threads = 0;
+  double jobs_per_sec = 0.0;
+  std::uint64_t rejected = 0;
+};
+
+Sample measure(std::size_t threads, std::size_t ops_per_thread,
+               std::size_t groups, bool async) {
+  svc::MatchdConfig config;
+  config.store.shards = 64;
+  config.queue_capacity = 4096;
+  config.workers = async ? threads : 0;
+  svc::Matchd service(config);
+  service.set_ladder(
+      core::CapacityLadder({4.0, 8.0, 16.0, 24.0, 32.0, 64.0, 128.0}));
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      clients.emplace_back(run_client, std::ref(service), t, ops_per_thread,
+                           groups, async);
+    }
+    for (auto& c : clients) c.join();
+    if (async) service.drain();
+  }
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Sample s;
+  s.threads = threads;
+  s.jobs_per_sec =
+      static_cast<double>(threads * ops_per_thread) / elapsed;
+  s.rejected = service.stats().async_rejected_full;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs cli(argc, argv);
+  const auto ops = static_cast<std::size_t>(
+      cli.get("jobs", static_cast<std::int64_t>(200000)));
+  const auto groups = static_cast<std::size_t>(
+      cli.get("groups", static_cast<std::int64_t>(1024)));
+  const std::string csv = cli.get("csv", std::string{});
+
+  const std::size_t counts[] = {1, 2, 4, 8, 16};
+
+  std::printf("matchd throughput, %zu ops/thread, %zu groups\n\n", ops,
+              groups);
+  std::printf("%-8s %-16s %-9s %-16s %-9s %-10s\n", "threads", "sync jobs/s",
+              "speedup", "queued jobs/s", "speedup", "rejected");
+
+  double sync_base = 0.0;
+  double async_base = 0.0;
+  std::vector<std::pair<Sample, Sample>> rows;
+  for (const std::size_t n : counts) {
+    const Sample sync = measure(n, ops, groups, /*async=*/false);
+    const Sample async = measure(n, ops, groups, /*async=*/true);
+    if (n == 1) {
+      sync_base = sync.jobs_per_sec;
+      async_base = async.jobs_per_sec;
+    }
+    std::printf("%-8zu %-16.0f %-9.2f %-16.0f %-9.2f %-10llu\n", n,
+                sync.jobs_per_sec, sync.jobs_per_sec / sync_base,
+                async.jobs_per_sec, async.jobs_per_sec / async_base,
+                static_cast<unsigned long long>(async.rejected));
+    rows.emplace_back(sync, async);
+  }
+
+  if (!csv.empty()) {
+    util::CsvWriter out(csv);
+    out.header({"threads", "sync_jobs_per_sec", "sync_speedup",
+                "queued_jobs_per_sec", "queued_speedup", "queued_rejected"});
+    for (const auto& [sync, async] : rows) {
+      out.row({std::to_string(sync.threads),
+               std::to_string(sync.jobs_per_sec),
+               std::to_string(sync.jobs_per_sec / sync_base),
+               std::to_string(async.jobs_per_sec),
+               std::to_string(async.jobs_per_sec / async_base),
+               std::to_string(async.rejected)});
+    }
+    std::printf("\nwrote %s\n", csv.c_str());
+  }
+  return 0;
+}

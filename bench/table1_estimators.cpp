@@ -22,19 +22,9 @@ int main(int argc, char** argv) {
   exp::print_banner("Table 1: estimator taxonomy comparison",
                     "Yom-Tov & Aridor 2006, Table 1 and §4");
 
-  trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
-  // Reduced traces use reduced partitions; detect by the widest job.
-  std::uint32_t widest = 0;
-  for (const auto& job : workload.jobs) widest = std::max(widest, job.nodes);
-  const std::size_t machines = 2 * pool;
-  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
-  if (widest > machines) {
-    workload = trace::drop_wide_jobs(std::move(workload),
-                                     static_cast<std::uint32_t>(machines));
-  }
-  workload = trace::sort_by_submit(
-      trace::scale_to_load(std::move(workload), machines, 1.0));
+  const exp::BenchSetup setup = args.heterogeneous_setup();
+  const trace::Workload& workload = setup.workload;
+  const sim::ClusterSpec& cluster = setup.cluster;
 
   util::ConsoleTable table({"estimator", "feedback", "similarity", "util",
                             "slowdown", "lowered%", "res-fail%", "completed"});
@@ -55,7 +45,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> csv_rows;
   for (const auto& row : rows) {
-    exp::RunSpec spec;
+    exp::RunSpec spec = args.run_spec();
     spec.estimator = row.name;
     const auto result = exp::run_once(workload, cluster, spec);
     table.add_row({row.name, row.feedback, row.similarity,

@@ -1,6 +1,5 @@
 #include "core/last_instance.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 namespace resmatch::core {
@@ -12,31 +11,16 @@ LastInstanceEstimator::LastInstanceEstimator(LastInstanceConfig config,
   assert(config_.margin >= 1.0);
 }
 
-LastInstanceEstimator::GroupState& LastInstanceEstimator::state_for(
-    const trace::JobRecord& job) {
+LiGroupState& LastInstanceEstimator::state_for(const trace::JobRecord& job) {
   const GroupId gid = index_.group_of(job);
   if (gid >= groups_.size()) groups_.resize(gid + 1);
   return groups_[gid];
 }
 
-MiB LastInstanceEstimator::estimate_from(const GroupState& g,
-                                         const trace::JobRecord& job) const {
-  if (g.recent_usage.empty() || g.poisoned) {
-    // No experience (or a prior under-provisioning event): request as-is.
-    return ladder_.round_up(job.requested_mem_mib);
-  }
-  const MiB peak = *std::max_element(g.recent_usage.begin(),
-                                     g.recent_usage.end());
-  // Never exceed the original request: the paper assumes requests are
-  // sufficient, so the request is always a safe upper bound.
-  const MiB target =
-      std::min(peak * config_.margin, job.requested_mem_mib);
-  return ladder_.round_up(target);
-}
-
 MiB LastInstanceEstimator::estimate(const trace::JobRecord& job,
                                     const SystemState& /*state*/) {
-  return estimate_from(state_for(job), job);
+  return state_for(job).current_estimate(job.requested_mem_mib, ladder_,
+                                         config_.margin);
 }
 
 MiB LastInstanceEstimator::preview(const trace::JobRecord& job,
@@ -45,37 +29,13 @@ MiB LastInstanceEstimator::preview(const trace::JobRecord& job,
   if (!gid || *gid >= groups_.size()) {
     return ladder_.round_up(job.requested_mem_mib);
   }
-  return estimate_from(groups_[*gid], job);
+  return groups_[*gid].current_estimate(job.requested_mem_mib, ladder_,
+                                        config_.margin);
 }
 
 void LastInstanceEstimator::feedback(const trace::JobRecord& job,
                                      const Feedback& fb) {
-  GroupState& g = state_for(job);
-  if (fb.success) {
-    g.poisoned = false;
-    if (fb.used_mib) {
-      g.recent_usage.push_back(*fb.used_mib);
-      while (g.recent_usage.size() > config_.window) {
-        g.recent_usage.pop_front();
-      }
-    }
-    return;
-  }
-  // Failure. Explicit feedback distinguishes resource failures from
-  // unrelated faults; only the former invalidates the group's history.
-  const bool resource = fb.resource_failure.value_or(true);
-  if (resource) {
-    g.poisoned = true;
-    // The failed attempt still tells us usage exceeded the grant; keep the
-    // observation if reported so the next estimate clears the bar.
-    if (fb.used_mib) {
-      g.recent_usage.push_back(*fb.used_mib);
-      while (g.recent_usage.size() > config_.window) {
-        g.recent_usage.pop_front();
-      }
-      g.poisoned = false;  // we know the real requirement now
-    }
-  }
+  state_for(job).apply_feedback(fb, config_.window);
 }
 
 }  // namespace resmatch::core

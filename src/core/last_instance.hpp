@@ -8,12 +8,16 @@
 // rule with a sliding window (estimate = max of the last `window` observed
 // usages) and a multiplicative safety margin; window = 1, margin = 1
 // recovers the paper's rule exactly.
+//
+// The per-group window logic lives in core::LiGroupState (group_state.hpp)
+// so the online service layer can host the same rule in its concurrent
+// store; this class adds the SimilarityIndex bookkeeping.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "core/group_state.hpp"
 #include "core/similarity.hpp"
 
 namespace resmatch::core {
@@ -43,20 +47,11 @@ class LastInstanceEstimator final : public Estimator {
   }
 
  private:
-  struct GroupState {
-    std::deque<MiB> recent_usage;  ///< up to `window` most recent usages
-    bool poisoned = false;  ///< a resource failure reverts to the request
-  };
-
-  GroupState& state_for(const trace::JobRecord& job);
-
-  /// Pure estimation from a group's (possibly empty) history.
-  [[nodiscard]] MiB estimate_from(const GroupState& g,
-                                  const trace::JobRecord& job) const;
+  LiGroupState& state_for(const trace::JobRecord& job);
 
   LastInstanceConfig config_;
   SimilarityIndex index_;
-  std::vector<GroupState> groups_;
+  std::vector<LiGroupState> groups_;
 };
 
 }  // namespace resmatch::core

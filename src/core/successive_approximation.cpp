@@ -1,15 +1,8 @@
 #include "core/successive_approximation.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
 
 namespace resmatch::core {
-
-namespace {
-/// Grants within this tolerance are the same capacity rung.
-constexpr double kGrantEps = 1e-9;
-}  // namespace
 
 SuccessiveApproximationEstimator::SuccessiveApproximationEstimator(
     SuccessiveApproxConfig config, SimilarityKeyFn key_fn)
@@ -24,9 +17,7 @@ SuccessiveApproximationEstimator::state_for(const trace::JobRecord& job) {
   if (gid >= groups_.size()) {
     // New group: Algorithm 1 line 4 — E_i <- R, alpha_i <- alpha.
     GroupState fresh;
-    fresh.estimate = job.requested_mem_mib;
-    fresh.last_good = job.requested_mem_mib;
-    fresh.alpha = config_.alpha;
+    fresh.core = SaGroupState::fresh(job.requested_mem_mib, config_.alpha);
     groups_.resize(gid + 1, fresh);
   }
   return groups_[gid];
@@ -39,50 +30,20 @@ MiB SuccessiveApproximationEstimator::preview(const trace::JobRecord& job,
     // Unknown group: the first estimate will be the request (line 4).
     return ladder_.round_up(job.requested_mem_mib);
   }
-  const GroupState& g = groups_[*gid];
-  const MiB safe = ladder_.round_up(g.last_good);
-  const MiB probe = ladder_.round_up(g.estimate);
-  if (probe + kGrantEps < safe && g.probe_outstanding) return safe;
-  return probe;
+  return groups_[*gid].core.preview(ladder_);
 }
 
 void SuccessiveApproximationEstimator::cancel(const trace::JobRecord& job,
                                               MiB granted) {
   const auto gid = index_.find(job);
   if (!gid || *gid >= groups_.size()) return;
-  GroupState& g = groups_[*gid];
-  // Release the probe slot if this cancelled attempt held it.
-  if (g.probe_outstanding && std::fabs(granted - g.probe_grant) <= kGrantEps) {
-    g.probe_outstanding = false;
-  }
+  groups_[*gid].core.cancel(granted);
 }
 
 MiB SuccessiveApproximationEstimator::estimate(const trace::JobRecord& job,
                                                const SystemState& /*state*/) {
   GroupState& g = state_for(job);
-  // Line 6: round E_i up to the nearest capacity the cluster offers.
-  const MiB safe = ladder_.round_up(g.last_good);
-  const MiB probe = ladder_.round_up(g.estimate);
-
-  MiB granted;
-  if (probe + kGrantEps < safe) {
-    // A grant strictly below the proven capacity is an experiment. The
-    // paper's Algorithm 1 is described for serial submissions; with many
-    // same-group jobs in flight, handing the experimental value to all of
-    // them would turn one mis-probe into a failure storm. We therefore
-    // keep AT MOST ONE experiment outstanding per group; concurrent
-    // submissions get the last-known-good capacity.
-    if (g.probe_outstanding) {
-      granted = safe;
-    } else {
-      g.probe_outstanding = true;
-      g.probe_grant = probe;
-      granted = probe;
-    }
-  } else {
-    granted = probe;
-  }
-
+  const MiB granted = g.core.commit(ladder_);
   if (config_.record_trajectories && g.grants.size() < config_.trajectory_cap) {
     g.grants.push_back(granted);
   }
@@ -92,44 +53,12 @@ MiB SuccessiveApproximationEstimator::estimate(const trace::JobRecord& job,
 void SuccessiveApproximationEstimator::feedback(const trace::JobRecord& job,
                                                 const Feedback& fb) {
   GroupState& g = state_for(job);
-  const bool was_probe = g.probe_outstanding &&
-                         std::fabs(fb.granted_mib - g.probe_grant) <= kGrantEps;
-  if (was_probe) g.probe_outstanding = false;
-
-  if (fb.success) {
+  const bool success =
+      g.core.apply_feedback(fb, job.requested_mem_mib, ladder_, config_.beta);
+  if (success) {
     ++successes_;
-    // Lines 8-9: the grant worked; remember it and probe lower next time.
-    // last_good lives in grant space (a capacity that actually ran a job),
-    // so a success at the known-good capacity is naturally a no-op.
-    g.last_good = fb.granted_mib;
-    g.estimate = fb.granted_mib / g.alpha;
   } else {
     ++failures_;
-    // Lines 10-13: assume insufficient resources (implicit feedback cannot
-    // tell); undo the reduction and damp the learning rate. beta = 0
-    // freezes the group at the last working capacity.
-    //
-    // A failure AT the known-good capacity is outside Algorithm 1's
-    // one-level history: it means a lower-usage group member's success
-    // dragged last_good below this member's need (the within-group
-    // variance hazard the paper discusses in §2.3). Recover by escalating
-    // one ladder rung (capped at the request, always sufficient by the
-    // paper's assumption), so a failing job's retries terminate instead
-    // of looping at an under-sized grant.
-    const bool failed_at_safe =
-        std::fabs(fb.granted_mib - ladder_.round_up(g.last_good)) <= kGrantEps;
-    if (failed_at_safe) {
-      const auto rung = ladder_.next_above(g.last_good);
-      MiB escalated = rung ? *rung : job.requested_mem_mib;
-      // The request is always sufficient (paper §1.3 assumption); never
-      // escalate past it unless last_good already sits above it because
-      // the ladder's rounding forced a bigger machine.
-      escalated =
-          std::min(escalated, std::max(job.requested_mem_mib, g.last_good));
-      g.last_good = std::max(g.last_good, escalated);
-    }
-    g.estimate = g.last_good;
-    g.alpha = std::max(1.0, config_.beta * g.alpha);
   }
 }
 
@@ -137,7 +66,7 @@ std::optional<MiB> SuccessiveApproximationEstimator::group_estimate(
     const trace::JobRecord& job) const {
   const auto gid = index_.find(job);
   if (!gid || *gid >= groups_.size()) return std::nullopt;
-  return groups_[*gid].estimate;
+  return groups_[*gid].core.estimate;
 }
 
 std::vector<MiB> SuccessiveApproximationEstimator::trajectory(

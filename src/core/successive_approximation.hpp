@@ -17,12 +17,19 @@
 // The restore-then-damp step makes the algorithm extremely conservative:
 // the paper reports at most 0.01% of executions failing from
 // under-estimation while 15–40% of jobs ran with lowered requests.
+//
+// The per-group transition logic itself lives in core::SaGroupState
+// (group_state.hpp) so the online service layer (src/svc) can run the
+// identical algorithm on individually-locked group entries; this class
+// adds the SimilarityIndex bookkeeping and diagnostics for the offline
+// single-threaded path.
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "core/group_state.hpp"
 #include "core/similarity.hpp"
 
 namespace resmatch::core {
@@ -79,13 +86,7 @@ class SuccessiveApproximationEstimator final : public Estimator {
 
  private:
   struct GroupState {
-    MiB estimate = 0.0;   ///< E_i
-    MiB last_good = 0.0;  ///< capacity restored on failure (grant space)
-    double alpha = 2.0;   ///< α_i
-    /// Probe serialization: at most one in-flight grant below the proven
-    /// capacity per group (see estimate() for rationale).
-    bool probe_outstanding = false;
-    MiB probe_grant = 0.0;
+    SaGroupState core;        ///< the Algorithm 1 state machine
     std::vector<MiB> grants;  ///< recorded E' sequence (optional)
   };
 

@@ -1,0 +1,118 @@
+#include "sim/serve_replay.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/successive_approximation.hpp"
+#include "sched/factory.hpp"
+
+namespace resmatch::sim {
+
+namespace {
+
+/// Transparent estimator wrapper that logs every committed grant in the
+/// order the simulator asked for it.
+class RecordingEstimator final : public core::Estimator {
+ public:
+  struct Entry {
+    JobId job_id = 0;
+    MiB granted = 0.0;
+  };
+
+  RecordingEstimator(core::Estimator& inner, std::vector<Entry>& log)
+      : inner_(&inner), log_(&log) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "recording[" + inner_->name() + "]";
+  }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const core::SystemState& state) override {
+    const MiB granted = inner_->estimate(job, state);
+    log_->push_back({job.id, granted});
+    return granted;
+  }
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const core::SystemState& state) const override {
+    return inner_->preview(job, state);
+  }
+
+  void cancel(const trace::JobRecord& job, MiB granted) override {
+    inner_->cancel(job, granted);
+  }
+
+  void feedback(const trace::JobRecord& job,
+                const core::Feedback& fb) override {
+    inner_->feedback(job, fb);
+  }
+
+  void set_ladder(core::CapacityLadder ladder) override {
+    Estimator::set_ladder(ladder);
+    inner_->set_ladder(std::move(ladder));
+  }
+
+ private:
+  core::Estimator* inner_;
+  std::vector<Entry>* log_;
+};
+
+}  // namespace
+
+ServeReplayResult serve_replay(const trace::Workload& workload,
+                               const ClusterSpec& cluster_spec,
+                               ServeReplayConfig config) {
+  ServeReplayResult result;
+  std::vector<RecordingEstimator::Entry> offline_log;
+  std::vector<RecordingEstimator::Entry> service_log;
+
+  {
+    core::SuccessiveApproxConfig sa;
+    sa.alpha = config.matchd.alpha;
+    sa.beta = config.matchd.beta;
+    core::SuccessiveApproximationEstimator offline(
+        sa, config.matchd.key_fn ? config.matchd.key_fn
+                                 : core::default_similarity_key);
+    RecordingEstimator recorder(offline, offline_log);
+    auto policy = sched::make_policy(config.policy);
+    result.offline =
+        simulate(workload, cluster_spec, recorder, *policy, config.sim);
+  }
+
+  {
+    svc::Matchd service(config.matchd);
+    svc::MatchdEstimator adapter(service);
+    RecordingEstimator recorder(adapter, service_log);
+    auto policy = sched::make_policy(config.policy);
+    result.service =
+        simulate(workload, cluster_spec, recorder, *policy, config.sim);
+    service.drain();
+    result.stats = service.stats();
+  }
+
+  result.decisions = std::max(offline_log.size(), service_log.size());
+  const std::size_t common = std::min(offline_log.size(), service_log.size());
+  for (std::size_t i = 0; i < result.decisions; ++i) {
+    ReplayDecision d;
+    if (i < offline_log.size()) {
+      d.job_id = offline_log[i].job_id;
+      d.offline_mib = offline_log[i].granted;
+    }
+    if (i < service_log.size()) {
+      if (i >= common) d.job_id = service_log[i].job_id;
+      d.service_mib = service_log[i].granted;
+    }
+    const bool length_mismatch = i >= common;
+    const bool job_mismatch =
+        !length_mismatch && offline_log[i].job_id != service_log[i].job_id;
+    if (length_mismatch || job_mismatch || !d.matches()) {
+      ++result.mismatches;
+      if (result.first_mismatches.size() < 8) {
+        result.first_mismatches.push_back(d);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace resmatch::sim

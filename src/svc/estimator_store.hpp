@@ -1,0 +1,329 @@
+// Shard-striped concurrent store of per-group estimator state.
+//
+// The online matchmaker keeps one state object per similarity group (a
+// core::SaGroupState or core::LiGroupState — anything with the
+// to_fields/from_fields/kKind snapshot codec). Concurrency is mutex-per-
+// shard: a group key hashes to one of `shards` stripes, and all work on
+// that group happens under its stripe's lock. Algorithm 1's transitions
+// are a handful of loads and stores, so the critical sections are tens of
+// nanoseconds and throughput scales with the shard count, not the worker
+// count (measured in bench/micro_service.cpp).
+//
+// The store is bounded: each shard holds at most max_groups/shards entries
+// and evicts least-recently-used groups beyond that. Eviction forgets a
+// group's learned estimate — the next submission re-enters at the user's
+// request, exactly like a first-seen group, so eviction degrades savings
+// but never correctness.
+//
+// Snapshot/restore writes a versioned CSV (header line carries format
+// version and state kind) so a restarted service re-enters operation warm,
+// the same motivation as the paper's §2.2 offline training phase.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace resmatch::svc {
+
+struct StoreConfig {
+  /// Stripe count; rounded up to a power of two, at least 1.
+  std::size_t shards = 16;
+  /// Total entry bound across all shards (enforced per shard as
+  /// max_groups/shards, so the realized bound is within one entry per
+  /// shard of the configured total).
+  std::size_t max_groups = 1 << 20;
+};
+
+/// Counters of one stripe. Updated with relaxed atomics under the shard
+/// lock; readable without it.
+struct ShardStats {
+  std::uint64_t entries = 0;
+  std::uint64_t hits = 0;       ///< with_group found an existing entry
+  std::uint64_t misses = 0;     ///< with_group created a fresh entry
+  std::uint64_t evictions = 0;  ///< LRU entries dropped at the bound
+};
+
+struct StoreStats {
+  std::uint64_t entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::vector<ShardStats> shards;
+};
+
+/// File format identity; version bumps when the row schema changes.
+inline constexpr const char* kStoreMagic = "resmatch-estimator-store";
+inline constexpr int kStoreVersion = 1;
+
+template <typename State>
+class EstimatorStore {
+ public:
+  explicit EstimatorStore(StoreConfig config = {}) : config_(config) {
+    std::size_t n = 1;
+    while (n < std::max<std::size_t>(config.shards, 1)) n <<= 1;
+    // Shard is immovable (mutex + atomics); build the vector at its final
+    // size and move-assign the whole container.
+    shards_ = std::vector<Shard>(n);
+    mask_ = n - 1;
+    per_shard_cap_ = std::max<std::size_t>(1, config.max_groups / n);
+  }
+
+  EstimatorStore(const EstimatorStore&) = delete;
+  EstimatorStore& operator=(const EstimatorStore&) = delete;
+
+  /// Find-or-create the group for `key` and run `fn(State&)` under the
+  /// shard lock, returning fn's result. `make()` builds the fresh state on
+  /// first sight; creation may evict the shard's least-recently-used
+  /// entry. Touches the entry's recency.
+  template <typename Make, typename Fn>
+  auto with_group(std::uint64_t key, Make&& make, Fn&& fn) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      bump(shard.misses);
+      if (shard.entries.size() >= per_shard_cap_) {
+        // Evict the least-recently-used group of this stripe.
+        shard.index.erase(shard.entries.front().first);
+        shard.entries.pop_front();
+        bump(shard.evictions);
+      }
+      shard.entries.emplace_back(key, make());
+      it = shard.index.emplace(key, std::prev(shard.entries.end())).first;
+    } else {
+      bump(shard.hits);
+      // Touch: move to most-recently-used position. splice keeps the
+      // iterator (and the index entry) valid.
+      shard.entries.splice(shard.entries.end(), shard.entries, it->second);
+    }
+    return fn(it->second->second);
+  }
+
+  /// Run `fn(State&)` under the shard lock only if the group exists
+  /// (touching its recency). Returns whether it did.
+  template <typename Fn>
+  bool modify_if_present(std::uint64_t key, Fn&& fn) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.entries.splice(shard.entries.end(), shard.entries, it->second);
+    fn(it->second->second);
+    return true;
+  }
+
+  /// Copy of the group's state if present. Does not touch recency, so
+  /// read-mostly previews never perturb eviction order.
+  [[nodiscard]] std::optional<State> peek(std::uint64_t key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    return it->second->second;
+  }
+
+  /// Visit every (key, state) pair, one shard lock at a time. `fn` must
+  /// not call back into the store (deadlock).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [key, state] : shard.entries) fn(key, state);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.entries.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Stripe index of a key (stable for the store's lifetime); lets callers
+  /// keep their own per-shard counters aligned with the store's striping.
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const noexcept {
+    return mix(key) & mask_;
+  }
+
+  [[nodiscard]] StoreStats stats() const {
+    StoreStats out;
+    out.shards.reserve(shards_.size());
+    for (const Shard& shard : shards_) {
+      ShardStats s;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        s.entries = shard.entries.size();
+      }
+      s.hits = shard.hits.load(std::memory_order_relaxed);
+      s.misses = shard.misses.load(std::memory_order_relaxed);
+      s.evictions = shard.evictions.load(std::memory_order_relaxed);
+      out.entries += s.entries;
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
+      out.shards.push_back(s);
+    }
+    return out;
+  }
+
+  // --- snapshot / restore --------------------------------------------------
+
+  /// Write every entry as versioned CSV: a header line identifying format,
+  /// version and state kind, then one `key,field...` row per group in
+  /// least-to-most recently used order per shard (so a restore reproduces
+  /// each shard's eviction order).
+  void save(std::ostream& out) const {
+    out << kStoreMagic << ',' << kStoreVersion << ',' << State::kKind << '\n';
+    char buf[32];
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [key, state] : shard.entries) {
+        out << key;
+        for (const double field : state.to_fields()) {
+          std::snprintf(buf, sizeof(buf), "%.17g", field);
+          out << ',' << buf;
+        }
+        out << '\n';
+      }
+    }
+  }
+
+  [[nodiscard]] bool save_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    save(out);
+    return static_cast<bool>(out);
+  }
+
+  /// Restore entries from a snapshot, inserting them through the normal
+  /// bounded path (a snapshot larger than the configured bound evicts as
+  /// usual). Returns the number of rows restored, or a parse error.
+  [[nodiscard]] util::Expected<std::size_t> load(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line)) {
+      return util::Expected<std::size_t>::failure("empty snapshot");
+    }
+    std::istringstream header(line);
+    std::string magic, kind;
+    int version = 0;
+    if (!std::getline(header, magic, ',') || magic != kStoreMagic) {
+      return util::Expected<std::size_t>::failure(
+          "not an estimator-store snapshot");
+    }
+    if (!(header >> version) || version != kStoreVersion) {
+      return util::Expected<std::size_t>::failure(
+          "unsupported snapshot version: " + line);
+    }
+    header.ignore(1, ',');
+    if (!std::getline(header, kind) || kind != State::kKind) {
+      return util::Expected<std::size_t>::failure(
+          "snapshot holds '" + kind + "' state, store expects '" +
+          State::kKind + "'");
+    }
+
+    std::size_t restored = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      std::string cell;
+      if (!std::getline(row, cell, ',')) {
+        return util::Expected<std::size_t>::failure("malformed row: " + line);
+      }
+      std::uint64_t key = 0;
+      try {
+        key = std::stoull(cell);
+      } catch (const std::exception&) {
+        return util::Expected<std::size_t>::failure("bad key: " + line);
+      }
+      std::vector<double> fields;
+      while (std::getline(row, cell, ',')) {
+        try {
+          fields.push_back(std::stod(cell));
+        } catch (const std::exception&) {
+          return util::Expected<std::size_t>::failure("bad field: " + line);
+        }
+      }
+      auto state = State::from_fields(fields);
+      if (!state) {
+        return util::Expected<std::size_t>::failure("invalid state: " + line);
+      }
+      with_group(
+          key, [&] { return *state; },
+          [&](State& existing) { existing = *state; });
+      ++restored;
+    }
+    return restored;
+  }
+
+  [[nodiscard]] util::Expected<std::size_t> load_file(
+      const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      return util::Expected<std::size_t>::failure("cannot open " + path);
+    }
+    return load(in);
+  }
+
+ private:
+  /// One stripe: LRU list (front = oldest) + key index + counters, padded
+  /// to its own cache lines so neighboring stripes never false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<std::uint64_t, State>> entries;
+    std::unordered_map<std::uint64_t,
+                       typename std::list<std::pair<std::uint64_t, State>>::iterator>
+        index;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  /// splitmix64 finalizer: similarity keys are themselves hashes, but
+  /// their low bits alone are not guaranteed uniform across shards.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  static void bump(std::atomic<std::uint64_t>& counter) noexcept {
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    return shards_[shard_of(key)];
+  }
+  const Shard& shard_for(std::uint64_t key) const noexcept {
+    return shards_[shard_of(key)];
+  }
+
+  StoreConfig config_;
+  std::vector<Shard> shards_;
+  std::size_t mask_ = 0;
+  std::size_t per_shard_cap_ = 1;
+};
+
+}  // namespace resmatch::svc

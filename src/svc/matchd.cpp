@@ -1,0 +1,281 @@
+#include "svc/matchd.hpp"
+
+#include <algorithm>
+#include <future>
+
+namespace resmatch::svc {
+
+namespace {
+/// Grants within this tolerance are the same capacity rung (the same
+/// epsilon the simulator uses for its lowered-start accounting).
+constexpr double kGrantEps = 1e-9;
+}  // namespace
+
+Matchd::Matchd(MatchdConfig config)
+    : config_(std::move(config)),
+      key_fn_(config_.key_fn ? config_.key_fn : core::default_similarity_key),
+      store_(config_.store),
+      counters_(store_.shard_count()) {
+  if (config_.workers > 0) {
+    queue_ = std::make_unique<BoundedMpmcQueue<Request>>(
+        std::max<std::size_t>(1, config_.queue_capacity));
+    pool_ = std::make_unique<ThreadPool>(
+        config_.workers, [this](std::size_t i) { worker_main(i); });
+  }
+}
+
+Matchd::~Matchd() {
+  if (queue_) queue_->close();
+  if (pool_) pool_->join();
+}
+
+void Matchd::set_ladder(core::CapacityLadder ladder) {
+  ladder_ = std::move(ladder);
+}
+
+MatchDecision Matchd::submit(const trace::JobRecord& job) {
+  const std::uint64_t key = key_fn_(job);
+  const MiB granted = store_.with_group(
+      key,
+      [&] {
+        return core::SaGroupState::fresh(job.requested_mem_mib,
+                                         config_.alpha);
+      },
+      [&](core::SaGroupState& g) { return g.commit(ladder_); });
+
+  MatchDecision decision;
+  decision.granted_mib = granted;
+  decision.group_key = key;
+  decision.lowered =
+      granted + kGrantEps < ladder_.round_up(job.requested_mem_mib);
+
+  ShardCounters& c = counters_[store_.shard_of(key)];
+  c.submissions.fetch_add(1, std::memory_order_relaxed);
+  if (decision.lowered) c.rewrites.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+MiB Matchd::preview(const trace::JobRecord& job) const {
+  const std::uint64_t key = key_fn_(job);
+  const auto state = store_.peek(key);
+  if (!state) return ladder_.round_up(job.requested_mem_mib);
+  return state->preview(ladder_);
+}
+
+void Matchd::cancel(const trace::JobRecord& job, MiB granted) {
+  const std::uint64_t key = key_fn_(job);
+  if (store_.modify_if_present(
+          key, [&](core::SaGroupState& g) { g.cancel(granted); })) {
+    counters_[store_.shard_of(key)].cancels.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+void Matchd::feedback(const JobOutcome& outcome) {
+  const trace::JobRecord& job = outcome.job;
+  const std::uint64_t key = key_fn_(job);
+  // Create-if-missing mirrors the offline estimator: feedback for an
+  // evicted (or never-seen) group re-enters at the request, then applies
+  // the outcome.
+  const bool success = store_.with_group(
+      key,
+      [&] {
+        return core::SaGroupState::fresh(job.requested_mem_mib,
+                                         config_.alpha);
+      },
+      [&](core::SaGroupState& g) {
+        return g.apply_feedback(outcome.feedback, job.requested_mem_mib,
+                                ladder_, config_.beta);
+      });
+  ShardCounters& c = counters_[store_.shard_of(key)];
+  (success ? c.successes : c.failures)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- asynchronous admission --------------------------------------------------
+
+PushResult Matchd::admit(Request&& request) {
+  if (!queue_) return PushResult::kClosed;
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  const PushResult result = queue_->try_push(std::move(request));
+  if (result == PushResult::kOk) {
+    async_accepted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (result == PushResult::kFull) {
+      async_rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_.notify_all();
+    }
+  }
+  return result;
+}
+
+PushResult Matchd::submit_async(const trace::JobRecord& job,
+                                SubmitCallback on_decision) {
+  Request request;
+  request.kind = Request::Kind::kSubmit;
+  request.job = job;
+  request.on_decision = std::move(on_decision);
+  return admit(std::move(request));
+}
+
+PushResult Matchd::feedback_async(const JobOutcome& outcome,
+                                  DoneCallback on_done) {
+  Request request;
+  request.kind = Request::Kind::kFeedback;
+  request.job = outcome.job;
+  request.fb = outcome.feedback;
+  request.on_done = std::move(on_done);
+  return admit(std::move(request));
+}
+
+PushResult Matchd::cancel_async(const trace::JobRecord& job, MiB granted,
+                                DoneCallback on_done) {
+  Request request;
+  request.kind = Request::Kind::kCancel;
+  request.job = job;
+  request.granted = granted;
+  request.on_done = std::move(on_done);
+  return admit(std::move(request));
+}
+
+void Matchd::worker_main(std::size_t /*worker_index*/) {
+  while (auto request = queue_->pop()) {
+    process(*request);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_.notify_all();
+    }
+  }
+}
+
+void Matchd::process(Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kSubmit: {
+      const MatchDecision decision = submit(request.job);
+      if (request.on_decision) request.on_decision(decision);
+      break;
+    }
+    case Request::Kind::kFeedback: {
+      feedback(request.job, request.fb);
+      if (request.on_done) request.on_done();
+      break;
+    }
+    case Request::Kind::kCancel: {
+      cancel(request.job, request.granted);
+      if (request.on_done) request.on_done();
+      break;
+    }
+  }
+}
+
+void Matchd::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+// --- introspection -----------------------------------------------------------
+
+MatchdStats Matchd::stats() const {
+  MatchdStats out;
+  out.shards.reserve(counters_.size());
+  for (const ShardCounters& c : counters_) {
+    MatchdShardStats s;
+    s.submissions = c.submissions.load(std::memory_order_relaxed);
+    s.rewrites = c.rewrites.load(std::memory_order_relaxed);
+    s.successes = c.successes.load(std::memory_order_relaxed);
+    s.failures = c.failures.load(std::memory_order_relaxed);
+    s.cancels = c.cancels.load(std::memory_order_relaxed);
+    out.submissions += s.submissions;
+    out.rewrites += s.rewrites;
+    out.successes += s.successes;
+    out.failures += s.failures;
+    out.cancels += s.cancels;
+    out.shards.push_back(s);
+  }
+  out.async_accepted = async_accepted_.load(std::memory_order_relaxed);
+  out.async_rejected_full =
+      async_rejected_full_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_ ? queue_->size() : 0;
+  out.store = store_.stats();
+  out.groups = out.store.entries;
+  out.evictions = out.store.evictions;
+  return out;
+}
+
+std::size_t Matchd::invariant_violations() const {
+  std::size_t violations = 0;
+  store_.for_each([&](std::uint64_t, const core::SaGroupState& g) {
+    if (!g.invariants_hold()) ++violations;
+  });
+  return violations;
+}
+
+bool Matchd::save_store(const std::string& path) const {
+  return store_.save_file(path);
+}
+
+util::Expected<std::size_t> Matchd::restore_store(const std::string& path) {
+  return store_.load_file(path);
+}
+
+// --- MatchdEstimator ---------------------------------------------------------
+
+MiB MatchdEstimator::estimate(const trace::JobRecord& job,
+                              const core::SystemState& /*state*/) {
+  if (service_->async_enabled()) {
+    std::promise<MatchDecision> promise;
+    auto decision = promise.get_future();
+    const PushResult result = service_->submit_async(
+        job, [&promise](const MatchDecision& d) { promise.set_value(d); });
+    if (result == PushResult::kOk) return decision.get().granted_mib;
+    // Backpressure on a serial driver: fall through to the direct path so
+    // the replay makes progress (the rejection is still counted).
+  }
+  return service_->submit(job).granted_mib;
+}
+
+MiB MatchdEstimator::preview(const trace::JobRecord& job,
+                             const core::SystemState& /*state*/) const {
+  return service_->preview(job);
+}
+
+void MatchdEstimator::cancel(const trace::JobRecord& job, MiB granted) {
+  if (service_->async_enabled()) {
+    std::promise<void> promise;
+    auto done = promise.get_future();
+    const PushResult result = service_->cancel_async(
+        job, granted, [&promise] { promise.set_value(); });
+    if (result == PushResult::kOk) {
+      done.get();
+      return;
+    }
+  }
+  service_->cancel(job, granted);
+}
+
+void MatchdEstimator::feedback(const trace::JobRecord& job,
+                               const core::Feedback& fb) {
+  if (service_->async_enabled()) {
+    std::promise<void> promise;
+    auto done = promise.get_future();
+    const PushResult result = service_->feedback_async(
+        JobOutcome{job, fb}, [&promise] { promise.set_value(); });
+    if (result == PushResult::kOk) {
+      done.get();
+      return;
+    }
+  }
+  service_->feedback(job, fb);
+}
+
+void MatchdEstimator::set_ladder(core::CapacityLadder ladder) {
+  Estimator::set_ladder(ladder);
+  service_->set_ladder(std::move(ladder));
+}
+
+}  // namespace resmatch::svc

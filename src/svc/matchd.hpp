@@ -1,0 +1,244 @@
+// matchd — the online matchmaker service façade.
+//
+// Packages the paper's estimator as a concurrent, long-running in-process
+// service in front of the scheduler (the deployment shape of Rattihalli
+// et al.'s two-stage Mesos front-end and Le & Liu's Flex):
+//
+//   submit(JobRecord)  -> MatchDecision   rewrite the request (Algorithm 1)
+//   feedback(Outcome)  ->                 learn from the attempt's result
+//
+// State lives in a shard-striped EstimatorStore of core::SaGroupState, so
+// any number of client threads may call the synchronous API concurrently;
+// per-group transitions serialize on the group's shard lock only. An
+// optional worker pool drains a bounded admission queue for callers that
+// want asynchronous submission with backpressure (try_* calls reject with
+// a reason when the queue is full rather than blocking producers).
+//
+// Determinism contract: driven serially (one call at a time — e.g. by the
+// discrete-event simulator through MatchdEstimator), matchd's decisions
+// are byte-identical to SuccessiveApproximationEstimator's, because both
+// run the same core::SaGroupState transitions and group jobs with the
+// same similarity key. Verified by sim::serve_replay. Under concurrent
+// drive, ordering is not reproducible, but every per-group trajectory
+// still satisfies Algorithm 1's invariants (alpha >= 1, estimate bounded
+// by the proven capacity) — asserted by SaGroupState::invariants_hold in
+// the svc tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/estimator.hpp"
+#include "core/group_state.hpp"
+#include "core/similarity.hpp"
+#include "svc/estimator_store.hpp"
+#include "svc/mpmc_queue.hpp"
+#include "svc/thread_pool.hpp"
+#include "trace/job_record.hpp"
+
+namespace resmatch::svc {
+
+struct MatchdConfig {
+  double alpha = 2.0;  ///< Algorithm 1 initial learning rate (> 1)
+  double beta = 0.0;   ///< failure damping of alpha, in [0, 1)
+  StoreConfig store;   ///< shard striping and the entry bound
+  /// Similarity key; null = the paper's (user, app, requested memory).
+  core::SimilarityKeyFn key_fn;
+  /// Admission queue bound; pushes beyond it are rejected (backpressure).
+  std::size_t queue_capacity = 1024;
+  /// Worker threads draining the admission queue. 0 = synchronous-only
+  /// service (the async API then rejects with kClosed).
+  std::size_t workers = 0;
+};
+
+/// The service's answer to one submission.
+struct MatchDecision {
+  MiB granted_mib = 0.0;        ///< effective request (= granted capacity)
+  bool lowered = false;         ///< grant below the rounded raw request
+  std::uint64_t group_key = 0;  ///< similarity key the job mapped to
+};
+
+/// Completed-attempt report. `job` must be the same record (or at least
+/// the same similarity key and request) that was submitted.
+struct JobOutcome {
+  trace::JobRecord job;
+  core::Feedback feedback;
+};
+
+/// Aggregated service counters. Per-shard rows align with the store's
+/// striping (index = store shard index).
+struct MatchdShardStats {
+  std::uint64_t submissions = 0;
+  std::uint64_t rewrites = 0;  ///< submissions granted below the request
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t cancels = 0;
+};
+
+struct MatchdStats {
+  std::uint64_t submissions = 0;
+  std::uint64_t rewrites = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t async_accepted = 0;
+  std::uint64_t async_rejected_full = 0;  ///< backpressure rejections
+  std::size_t queue_depth = 0;
+  std::size_t groups = 0;
+  std::uint64_t evictions = 0;
+  std::vector<MatchdShardStats> shards;
+  StoreStats store;
+};
+
+class Matchd {
+ public:
+  explicit Matchd(MatchdConfig config = {});
+  ~Matchd();
+
+  Matchd(const Matchd&) = delete;
+  Matchd& operator=(const Matchd&) = delete;
+
+  /// Install the target cluster's capacity ladder. Must happen before
+  /// traffic; the ladder is immutable while serving.
+  void set_ladder(core::CapacityLadder ladder);
+  [[nodiscard]] const core::CapacityLadder& ladder() const noexcept {
+    return ladder_;
+  }
+
+  // --- synchronous API (thread-safe, any number of callers) ---------------
+
+  /// Rewrite one submission. Commits group state (claims the probe slot);
+  /// pair with feedback() or cancel().
+  [[nodiscard]] MatchDecision submit(const trace::JobRecord& job);
+
+  /// What submit() would grant right now, committing nothing.
+  [[nodiscard]] MiB preview(const trace::JobRecord& job) const;
+
+  /// Undo the most recent submit() for `job` when the attempt never ran.
+  void cancel(const trace::JobRecord& job, MiB granted);
+
+  /// Report an attempt's outcome.
+  void feedback(const JobOutcome& outcome);
+  void feedback(const trace::JobRecord& job, const core::Feedback& fb) {
+    feedback(JobOutcome{job, fb});
+  }
+
+  // --- asynchronous admission (workers > 0) -------------------------------
+
+  using SubmitCallback = std::function<void(const MatchDecision&)>;
+  using DoneCallback = std::function<void()>;
+
+  /// Enqueue a submission; `on_decision` runs on a worker thread. kFull
+  /// means backpressure (queue at capacity) — the job was NOT admitted.
+  [[nodiscard]] PushResult submit_async(const trace::JobRecord& job,
+                                        SubmitCallback on_decision);
+
+  [[nodiscard]] PushResult feedback_async(const JobOutcome& outcome,
+                                          DoneCallback on_done = nullptr);
+
+  [[nodiscard]] PushResult cancel_async(const trace::JobRecord& job,
+                                        MiB granted,
+                                        DoneCallback on_done = nullptr);
+
+  /// Block until every admitted async request has been fully processed.
+  void drain();
+
+  // --- introspection / persistence ----------------------------------------
+
+  [[nodiscard]] MatchdStats stats() const;
+
+  /// Number of groups whose state violates Algorithm 1's invariants
+  /// (must be 0 under any interleaving; the hammer test asserts it).
+  [[nodiscard]] std::size_t invariant_violations() const;
+
+  /// Snapshot the estimator store for a warm restart (versioned CSV).
+  [[nodiscard]] bool save_store(const std::string& path) const;
+  /// Restore a snapshot; returns rows restored or a parse error. Call
+  /// before serving traffic.
+  [[nodiscard]] util::Expected<std::size_t> restore_store(
+      const std::string& path);
+
+  [[nodiscard]] const MatchdConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool async_enabled() const noexcept {
+    return pool_ != nullptr;
+  }
+
+ private:
+  struct Request {
+    enum class Kind { kSubmit, kFeedback, kCancel } kind = Kind::kSubmit;
+    trace::JobRecord job;
+    core::Feedback fb;
+    MiB granted = 0.0;
+    SubmitCallback on_decision;
+    DoneCallback on_done;
+  };
+
+  void worker_main(std::size_t worker_index);
+  void process(Request& request);
+  [[nodiscard]] PushResult admit(Request&& request);
+
+  MatchdConfig config_;
+  core::CapacityLadder ladder_;
+  core::SimilarityKeyFn key_fn_;
+  EstimatorStore<core::SaGroupState> store_;
+
+  /// Per-shard service counters, aligned with the store's striping and
+  /// padded so concurrent submitters on different shards never false-share.
+  struct alignas(64) ShardCounters {
+    std::atomic<std::uint64_t> submissions{0};
+    std::atomic<std::uint64_t> rewrites{0};
+    std::atomic<std::uint64_t> successes{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> cancels{0};
+  };
+  std::vector<ShardCounters> counters_;
+
+  std::atomic<std::uint64_t> async_accepted_{0};
+  std::atomic<std::uint64_t> async_rejected_full_{0};
+
+  std::unique_ptr<BoundedMpmcQueue<Request>> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+};
+
+/// core::Estimator adapter: lets the discrete-event simulator (or any
+/// offline driver) stand a Matchd instance where an estimator is expected.
+/// When the service runs workers, every call round-trips through the
+/// admission queue and waits for its result, so a serial driver exercises
+/// the full pipeline and still observes deterministic decisions.
+class MatchdEstimator final : public core::Estimator {
+ public:
+  /// `service` is not owned and must outlive the adapter.
+  explicit MatchdEstimator(Matchd& service) : service_(&service) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "matchd[successive-approximation]";
+  }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const core::SystemState& state) override;
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const core::SystemState& state) const override;
+
+  void cancel(const trace::JobRecord& job, MiB granted) override;
+
+  void feedback(const trace::JobRecord& job,
+                const core::Feedback& fb) override;
+
+  void set_ladder(core::CapacityLadder ladder) override;
+
+ private:
+  Matchd* service_;
+};
+
+}  // namespace resmatch::svc

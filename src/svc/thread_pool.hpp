@@ -1,0 +1,49 @@
+// Fixed-size worker pool.
+//
+// Deliberately minimal: the pool owns thread lifecycle (spawn, join) and
+// nothing else. Work distribution belongs to the queue the workers drain
+// (mpmc_queue.hpp) — fusing the two would force every user onto one
+// work-item type. Each worker runs the supplied loop function to
+// completion; the function is expected to block on its queue and return
+// when the queue closes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace resmatch::svc {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads, each running `worker_main(index)` once.
+  /// `worker_main` must return when its work source shuts down; join()
+  /// (or the destructor) then reaps the threads.
+  ThreadPool(std::size_t workers,
+             std::function<void(std::size_t)> worker_main) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back(worker_main, i);
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { join(); }
+
+  /// Wait for every worker to return. Idempotent.
+  void join() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace resmatch::svc

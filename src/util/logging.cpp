@@ -1,11 +1,26 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace resmatch::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Guards the sink pointer and serializes emission: concurrent workers
+/// (src/svc) must not interleave partial lines.
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -22,12 +37,26 @@ const char* level_name(LogLevel level) noexcept {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level || message.empty()) return;
+  if (level < log_level() || message.empty()) return;
+  std::lock_guard<std::mutex> lock(log_mutex());
+  if (const LogSink& sink = sink_slot()) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

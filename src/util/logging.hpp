@@ -1,10 +1,13 @@
 // Leveled logging to stderr.
 //
-// The simulator is single-threaded and deterministic; logging exists for
-// experiment narration and debugging, not telemetry, so a tiny printf-style
-// logger is all that is warranted. Level filtering is a runtime global.
+// A tiny printf-style logger: experiment narration and debugging, not
+// telemetry. Level filtering is a runtime global. Emission is serialized
+// under a mutex so the service layer's worker threads (src/svc) can log
+// without interleaving lines; an optional sink hook redirects lines away
+// from stderr (e.g. into a test's capture buffer or a service's log file).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +19,15 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Replace the output destination. Null restores the stderr default. The
+/// sink is called with the level and the unformatted message, one line at
+/// a time, under the logger's lock (sinks need no locking of their own
+/// but must not log reentrantly).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
 /// Emit one line at the given level (no trailing newline needed).
+/// Thread-safe.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
