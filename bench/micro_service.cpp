@@ -5,13 +5,19 @@
 // similarity groups, and reports jobs/sec per worker count plus the
 // speedup over single-threaded. The synchronous path (clients call the
 // thread-safe API directly; scaling comes from the store's shard
-// striping) is the primary measurement; a second series routes the same
-// load through the admission queue + worker pool to show the pipeline's
+// striping) is measured twice — uninstrumented, then with an
+// obs::Registry attached — so the overhead of the metrics layer is a
+// printed column, not a guess. A third series routes the same load
+// through the admission queue + worker pool to show the pipeline's
 // overhead and its backpressure counters.
 //
 //   ./build/bench/micro_service [--jobs=N] [--groups=G] [--csv=PATH]
+//                               [--metrics-out=PATH] [--max-threads=T]
 //
 // --jobs is the per-thread operation count (default 200000).
+// --metrics-out writes a schema-v1 BENCH record (see obs/bench_record.hpp)
+// with p50/p99 submit latency, jobs/sec, instrumentation overhead, and
+// the full registry dump of the widest instrumented run.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,6 +25,8 @@
 #include <vector>
 
 #include "core/capacity_ladder.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
 #include "svc/matchd.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -72,14 +80,22 @@ struct Sample {
   std::size_t threads = 0;
   double jobs_per_sec = 0.0;
   std::uint64_t rejected = 0;
+  /// Submit-latency percentiles (µs), instrumented runs only.
+  double submit_p50_us = 0.0;
+  double submit_p99_us = 0.0;
 };
 
+/// `registry` non-null = attach the observability layer to the run. The
+/// snapshot is taken while the service is alive so the pull providers
+/// (queue depth, store occupancy) are still registered.
 Sample measure(std::size_t threads, std::size_t ops_per_thread,
-               std::size_t groups, bool async) {
+               std::size_t groups, bool async, obs::Registry* registry,
+               obs::MetricsSnapshot* snapshot_out = nullptr) {
   svc::MatchdConfig config;
   config.store.shards = 64;
   config.queue_capacity = 4096;
   config.workers = async ? threads : 0;
+  config.metrics = registry;
   svc::Matchd service(config);
   service.set_ladder(
       core::CapacityLadder({4.0, 8.0, 16.0, 24.0, 32.0, 64.0, 128.0}));
@@ -104,6 +120,15 @@ Sample measure(std::size_t threads, std::size_t ops_per_thread,
   s.jobs_per_sec =
       static_cast<double>(threads * ops_per_thread) / elapsed;
   s.rejected = service.stats().async_rejected_full;
+  if (registry != nullptr) {
+    const obs::MetricsSnapshot snap = registry->snapshot();
+    if (const auto* m = snap.find("resmatch_matchd_op_latency_seconds",
+                                  {{"op", "submit"}})) {
+      s.submit_p50_us = m->histogram.percentile(50.0) * 1e6;
+      s.submit_p99_us = m->histogram.percentile(99.0) * 1e6;
+    }
+    if (snapshot_out != nullptr) *snapshot_out = snap;
+  }
   return s;
 }
 
@@ -115,45 +140,102 @@ int main(int argc, char** argv) {
       cli.get("jobs", static_cast<std::int64_t>(200000)));
   const auto groups = static_cast<std::size_t>(
       cli.get("groups", static_cast<std::int64_t>(1024)));
+  const auto max_threads = static_cast<std::size_t>(
+      cli.get("max-threads", static_cast<std::int64_t>(16)));
   const std::string csv = cli.get("csv", std::string{});
+  const std::string metrics_out = cli.get("metrics-out", std::string{});
 
-  const std::size_t counts[] = {1, 2, 4, 8, 16};
+  std::vector<std::size_t> counts;
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    if (n <= max_threads) counts.push_back(n);
+  }
+  if (counts.empty()) counts.push_back(1);
 
   std::printf("matchd throughput, %zu ops/thread, %zu groups\n\n", ops,
               groups);
-  std::printf("%-8s %-16s %-9s %-16s %-9s %-10s\n", "threads", "sync jobs/s",
-              "speedup", "queued jobs/s", "speedup", "rejected");
+  std::printf("%-8s %-14s %-8s %-14s %-9s %-14s %-8s %-9s\n", "threads",
+              "sync jobs/s", "speedup", "instr jobs/s", "overhead",
+              "queued jobs/s", "speedup", "rejected");
 
   double sync_base = 0.0;
   double async_base = 0.0;
-  std::vector<std::pair<Sample, Sample>> rows;
+  struct Row {
+    Sample sync, instr, async;
+  };
+  std::vector<Row> rows;
+  // Registry snapshot of the widest instrumented run, for --metrics-out.
+  obs::MetricsSnapshot last_snapshot;
   for (const std::size_t n : counts) {
-    const Sample sync = measure(n, ops, groups, /*async=*/false);
-    const Sample async = measure(n, ops, groups, /*async=*/true);
-    if (n == 1) {
+    const Sample sync =
+        measure(n, ops, groups, /*async=*/false, /*registry=*/nullptr);
+    obs::Registry registry;  // fresh per run: no cross-run accumulation
+    const Sample instr = measure(n, ops, groups, /*async=*/false, &registry,
+                                 &last_snapshot);
+    const Sample async =
+        measure(n, ops, groups, /*async=*/true, /*registry=*/nullptr);
+    if (n == counts.front()) {
       sync_base = sync.jobs_per_sec;
       async_base = async.jobs_per_sec;
     }
-    std::printf("%-8zu %-16.0f %-9.2f %-16.0f %-9.2f %-10llu\n", n,
-                sync.jobs_per_sec, sync.jobs_per_sec / sync_base,
-                async.jobs_per_sec, async.jobs_per_sec / async_base,
+    const double overhead_pct =
+        sync.jobs_per_sec > 0.0
+            ? (1.0 - instr.jobs_per_sec / sync.jobs_per_sec) * 100.0
+            : 0.0;
+    std::printf("%-8zu %-14.0f %-8.2f %-14.0f %-8.1f%% %-14.0f %-8.2f %-9llu\n",
+                n, sync.jobs_per_sec, sync.jobs_per_sec / sync_base,
+                instr.jobs_per_sec, overhead_pct, async.jobs_per_sec,
+                async.jobs_per_sec / async_base,
                 static_cast<unsigned long long>(async.rejected));
-    rows.emplace_back(sync, async);
+    rows.push_back({sync, instr, async});
   }
 
   if (!csv.empty()) {
     util::CsvWriter out(csv);
     out.header({"threads", "sync_jobs_per_sec", "sync_speedup",
-                "queued_jobs_per_sec", "queued_speedup", "queued_rejected"});
-    for (const auto& [sync, async] : rows) {
-      out.row({std::to_string(sync.threads),
-               std::to_string(sync.jobs_per_sec),
-               std::to_string(sync.jobs_per_sec / sync_base),
-               std::to_string(async.jobs_per_sec),
-               std::to_string(async.jobs_per_sec / async_base),
-               std::to_string(async.rejected)});
+                "instr_jobs_per_sec", "overhead_pct", "queued_jobs_per_sec",
+                "queued_speedup", "queued_rejected"});
+    for (const auto& row : rows) {
+      const double overhead_pct =
+          row.sync.jobs_per_sec > 0.0
+              ? (1.0 - row.instr.jobs_per_sec / row.sync.jobs_per_sec) * 100.0
+              : 0.0;
+      out.row({std::to_string(row.sync.threads),
+               std::to_string(row.sync.jobs_per_sec),
+               std::to_string(row.sync.jobs_per_sec / sync_base),
+               std::to_string(row.instr.jobs_per_sec),
+               std::to_string(overhead_pct),
+               std::to_string(row.async.jobs_per_sec),
+               std::to_string(row.async.jobs_per_sec / async_base),
+               std::to_string(row.async.rejected)});
     }
     std::printf("\nwrote %s\n", csv.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    const Row& widest = rows.back();
+    const double overhead_pct =
+        widest.sync.jobs_per_sec > 0.0
+            ? (1.0 - widest.instr.jobs_per_sec / widest.sync.jobs_per_sec) *
+                  100.0
+            : 0.0;
+    obs::BenchRecord record("micro_service");
+    record.config("jobs_per_thread", static_cast<std::int64_t>(ops));
+    record.config("groups", static_cast<std::int64_t>(groups));
+    record.config("threads", static_cast<std::int64_t>(widest.sync.threads));
+    record.summary("jobs_per_sec", widest.instr.jobs_per_sec);
+    record.summary("jobs_per_sec_baseline", widest.sync.jobs_per_sec);
+    record.summary("overhead_pct", overhead_pct);
+    record.summary("submit_p50_us", widest.instr.submit_p50_us);
+    record.summary("submit_p99_us", widest.instr.submit_p99_us);
+    record.summary("queued_jobs_per_sec", widest.async.jobs_per_sec);
+    record.summary("backpressure_rejects",
+                   static_cast<double>(widest.async.rejected));
+    record.metrics(last_snapshot);
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -8,8 +8,17 @@
 // two must be byte-identical; this binary exits nonzero if they are not.
 //
 // Build & run:  ./build/examples/serve_replay [--jobs=N] [--workers=W]
+//                                             [--metrics-out=PATH]
+//
+// --metrics-out writes a schema-v1 BENCH record (obs/bench_record.hpp)
+// carrying the replay verdict plus the observability registry dump: the
+// service run's matchd latency histograms and the simulator's engine
+// metrics (the offline reference run is deliberately uninstrumented).
 #include <cstdio>
+#include <string>
 
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
 #include "sim/serve_replay.hpp"
 #include "trace/cm5_model.hpp"
 #include "trace/transforms.hpp"
@@ -23,6 +32,12 @@ int main(int argc, char** argv) {
       cli.get("jobs", static_cast<std::int64_t>(8000)));
   const auto workers = static_cast<std::size_t>(
       cli.get("workers", static_cast<std::int64_t>(1)));
+  const std::string metrics_out = cli.get("metrics-out", std::string{});
+
+  // Outlives the service and both simulation runs. After serve_replay
+  // returns, the service's pull providers are gone (removed by ~Matchd),
+  // but its histograms and the simulator's engine series remain.
+  obs::Registry registry;
 
   trace::Workload workload = trace::generate_cm5_small(/*seed=*/1, jobs);
   const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, 64);
@@ -32,6 +47,10 @@ int main(int argc, char** argv) {
 
   sim::ServeReplayConfig config;
   config.matchd.workers = workers;
+  if (!metrics_out.empty()) {
+    config.matchd.metrics = &registry;
+    config.sim.metrics = &registry;
+  }
 
   const sim::ServeReplayResult result =
       sim::serve_replay(workload, cluster, config);
@@ -47,6 +66,27 @@ int main(int argc, char** argv) {
   std::printf("service groups:    %zu  (workers=%zu, async accepted=%llu)\n",
               result.stats.groups, workers,
               static_cast<unsigned long long>(result.stats.async_accepted));
+
+  if (!metrics_out.empty()) {
+    obs::BenchRecord record("serve_replay");
+    record.config("jobs", static_cast<std::int64_t>(jobs));
+    record.config("workers", static_cast<std::int64_t>(workers));
+    record.summary("decisions", static_cast<double>(result.decisions));
+    record.summary("mismatches", static_cast<double>(result.mismatches));
+    record.summary("utilization_offline", result.offline.utilization);
+    record.summary("utilization_service", result.service.utilization);
+    record.summary("submissions",
+                   static_cast<double>(result.stats.submissions));
+    record.summary("rewrites", static_cast<double>(result.stats.rewrites));
+    record.summary("async_accepted",
+                   static_cast<double>(result.stats.async_accepted));
+    record.metrics(registry.snapshot());
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
 
   if (!result.identical()) {
     std::fprintf(stderr, "FAIL: service diverged from offline simulator\n");

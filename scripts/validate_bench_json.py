@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json records against schema version 1.
+
+Usage: validate_bench_json.py FILE [FILE ...] [--require-summary KEY ...]
+
+Schema v1 (produced by obs::BenchRecord, see src/obs/bench_record.hpp):
+  {
+    "bench":          str          driver name
+    "schema_version": 1
+    "created_unix":   int          wall-clock stamp
+    "config":         {str: str}   launch knobs
+    "summary":        {str: num}   headline results
+    "metrics":        {"metrics": [...]}   obs::to_json registry dump
+  }
+
+Each entry of metrics.metrics must carry name/type/help/labels plus either
+a finite value (counter/gauge) or inline histogram fields (buckets, count,
+sum, p50/p90/p99; bucket counts must sum to count and include +Inf).
+Exits nonzero on the first invalid file, so CI can gate on it.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+NUMBER = (int, float)
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_histogram(path, name, hist):
+    for key in ("buckets", "count", "sum", "p50", "p90", "p99"):
+        if key not in hist:
+            return fail(path, f"metric {name}: histogram missing '{key}'")
+    if not isinstance(hist["buckets"], list):
+        return fail(path, f"metric {name}: buckets must be a list")
+    total = hist["count"]
+    if not isinstance(total, int) or total < 0:
+        return fail(path, f"metric {name}: count must be a non-negative int")
+    running = 0
+    saw_inf = False
+    prev_le = -math.inf
+    for bucket in hist["buckets"]:
+        if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+            return fail(path, f"metric {name}: malformed bucket {bucket!r}")
+        le = bucket["le"]
+        if le == "+Inf":
+            saw_inf = True
+        else:
+            if not isinstance(le, NUMBER):
+                return fail(path, f"metric {name}: bucket le {le!r} not numeric")
+            if le <= prev_le:
+                return fail(path, f"metric {name}: bucket bounds not ascending")
+            prev_le = le
+        if not isinstance(bucket["count"], int) or bucket["count"] < 0:
+            return fail(path, f"metric {name}: bucket count {bucket['count']!r}")
+        running += bucket["count"]
+    if not saw_inf:
+        return fail(path, f"metric {name}: no +Inf bucket")
+    if running != total:
+        return fail(path, f"metric {name}: buckets sum to {running}, count is {total}")
+    for q in ("p50", "p90", "p99"):
+        if not isinstance(hist[q], NUMBER) or not math.isfinite(hist[q]):
+            return fail(path, f"metric {name}: {q} not finite")
+    return True
+
+
+def check_metric(path, metric):
+    for key in ("name", "type", "help", "labels"):
+        if key not in metric:
+            return fail(path, f"metric entry missing '{key}': {metric!r}")
+    name = metric["name"]
+    kind = metric["type"]
+    if kind not in ("counter", "gauge", "histogram"):
+        return fail(path, f"metric {name}: unknown type '{kind}'")
+    if not isinstance(metric["labels"], dict):
+        return fail(path, f"metric {name}: labels must be an object")
+    if kind == "histogram":
+        return check_histogram(path, name, metric)
+    value = metric.get("value")
+    if not isinstance(value, NUMBER) or not math.isfinite(value):
+        return fail(path, f"metric {name}: value {value!r} not finite")
+    return True
+
+
+def validate(path, require_summary):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or invalid JSON: {err}")
+
+    if not isinstance(record, dict):
+        return fail(path, "top level must be an object")
+    if record.get("schema_version") != 1:
+        return fail(path, f"schema_version {record.get('schema_version')!r}, expected 1")
+    if not isinstance(record.get("bench"), str) or not record["bench"]:
+        return fail(path, "missing or empty 'bench'")
+    if not isinstance(record.get("created_unix"), int):
+        return fail(path, "'created_unix' must be an integer")
+    config = record.get("config")
+    if not isinstance(config, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in config.items()
+    ):
+        return fail(path, "'config' must map strings to strings")
+    summary = record.get("summary")
+    if not isinstance(summary, dict) or not all(
+        isinstance(k, str) and isinstance(v, NUMBER) and math.isfinite(v)
+        for k, v in summary.items()
+    ):
+        return fail(path, "'summary' must map strings to finite numbers")
+    for key in require_summary:
+        if key not in summary:
+            return fail(path, f"summary missing required key '{key}'")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or not isinstance(metrics.get("metrics"), list):
+        return fail(path, "'metrics' must be an object with a 'metrics' list")
+    for metric in metrics["metrics"]:
+        if not check_metric(path, metric):
+            return False
+    print(
+        f"{path}: OK (bench={record['bench']}, "
+        f"{len(summary)} summary keys, {len(metrics['metrics'])} series)"
+    )
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument(
+        "--require-summary",
+        nargs="*",
+        default=[],
+        metavar="KEY",
+        help="summary keys that must be present (e.g. jobs_per_sec submit_p99_us)",
+    )
+    args = parser.parse_args()
+    ok = all(validate(path, args.require_summary) for path in args.files)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

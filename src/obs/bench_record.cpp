@@ -1,0 +1,56 @@
+#include "obs/bench_record.hpp"
+
+#include <ctime>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace resmatch::obs {
+
+BenchRecord::BenchRecord(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchRecord::config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, value);
+}
+
+void BenchRecord::config(const std::string& key, std::int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void BenchRecord::summary(const std::string& key, double value) {
+  summary_.emplace_back(key, value);
+}
+
+void BenchRecord::metrics(const MetricsSnapshot& snapshot) {
+  // Qualified: the to_json() member hides the exporter overload here.
+  metrics_json_ = ::resmatch::obs::to_json(snapshot);
+}
+
+std::string BenchRecord::to_json() const {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << json_escape(bench_name_)
+      << "\",\"schema_version\":1,\"created_unix\":"
+      << static_cast<long long>(std::time(nullptr)) << ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : config_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+  }
+  out << "},\"summary\":{";
+  first = true;
+  for (const auto& [k, v] : summary_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(k) << "\":" << json_number(v);
+  }
+  out << "},\"metrics\":" << metrics_json_ << '}';
+  return out.str();
+}
+
+bool BenchRecord::write(const std::string& path) const {
+  return write_file_atomic(path, to_json());
+}
+
+}  // namespace resmatch::obs

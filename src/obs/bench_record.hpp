@@ -1,0 +1,53 @@
+// Machine-readable benchmark records (BENCH_*.json).
+//
+// Every perf-facing driver (`bench/micro_service`, `examples/serve_replay`)
+// can emit one JSON record per run via --metrics-out=<path>, so the
+// repository accumulates a perf trajectory CI can validate and archive.
+//
+// Schema (version 1), validated by scripts/validate_bench_json.py:
+//   {
+//     "bench":          string        driver name, e.g. "micro_service"
+//     "schema_version": 1
+//     "created_unix":   integer       wall-clock stamp of the run
+//     "config":         {str: str}    the knobs the run was launched with
+//     "summary":        {str: number} headline results (jobs/sec, p50/p99)
+//     "metrics":        object        full obs::to_json registry dump
+//   }
+//
+// Files are written atomically (temp + rename), so a crashed bench never
+// leaves a truncated record for CI to trip over.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace resmatch::obs {
+
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string bench_name);
+
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, std::int64_t value);
+  void summary(const std::string& key, double value);
+
+  /// Attach the full registry dump; pass the same snapshot the summary
+  /// numbers were derived from.
+  void metrics(const MetricsSnapshot& snapshot);
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Atomic write of to_json() to `path`.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> summary_;
+  std::string metrics_json_ = "{\"metrics\":[]}";
+};
+
+}  // namespace resmatch::obs

@@ -1,0 +1,215 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace resmatch::obs {
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string prom_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Render `{k="v",...}` with an optional extra label appended (used for
+/// the histogram `le` label); empty when there are no labels at all.
+std::string prom_labels(const Labels& labels, const std::string& extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prom_escape(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += prom_escape(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.name != last_family) {
+      out << "# HELP " << s.name << ' ' << prom_escape(s.help) << '\n';
+      out << "# TYPE " << s.name << ' ' << type_name(s.type) << '\n';
+      last_family = s.name;
+    }
+    if (s.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.upper.size(); ++i) {
+        cumulative += h.counts[i];
+        out << s.name << "_bucket"
+            << prom_labels(s.labels, "le", format_double(h.upper[i])) << ' '
+            << cumulative << '\n';
+      }
+      cumulative += h.counts.empty() ? 0 : h.counts.back();
+      out << s.name << "_bucket" << prom_labels(s.labels, "le", "+Inf")
+          << ' ' << cumulative << '\n';
+      out << s.name << "_sum" << prom_labels(s.labels, {}, {}) << ' '
+          << format_double(h.sum) << '\n';
+      out << s.name << "_count" << prom_labels(s.labels, {}, {}) << ' '
+          << cumulative << '\n';
+    } else {
+      out << s.name << prom_labels(s.labels, {}, {}) << ' '
+          << format_double(s.value) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  return format_double(value);
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first_sample = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first_sample) out << ',';
+    first_sample = false;
+    out << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
+        << type_name(s.type) << "\",\"help\":\"" << json_escape(s.help)
+        << "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out << ',';
+      first_label = false;
+      out << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+    }
+    out << '}';
+    if (s.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      out << ",\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+          << ",\"p50\":" << json_number(h.percentile(50.0))
+          << ",\"p90\":" << json_number(h.percentile(90.0))
+          << ",\"p99\":" << json_number(h.percentile(99.0))
+          << ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"le\":";
+        if (i < h.upper.size()) {
+          out << json_number(h.upper[i]);
+        } else {
+          out << "\"+Inf\"";
+        }
+        out << ",\"count\":" << h.counts[i] << '}';
+      }
+      out << ']';
+    } else {
+      out << ",\"value\":" << json_number(s.value);
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace resmatch::obs

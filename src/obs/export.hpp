@@ -1,0 +1,41 @@
+// Exporters for metrics snapshots.
+//
+// Two machine-readable formats:
+//   * to_prometheus — the Prometheus text exposition format (version
+//     0.0.4): `# HELP` / `# TYPE` per family, one `name{labels} value`
+//     line per series, histograms expanded into cumulative `_bucket{le=}`
+//     series plus `_sum` and `_count`. Scrape-ready.
+//   * to_json — a single JSON object (`{"metrics": [...]}`) with explicit
+//     per-bucket counts and precomputed p50/p90/p99 quantile estimates,
+//     the payload embedded into BENCH_*.json records (bench_record.hpp).
+//
+// Both render from a MetricsSnapshot, never from the live registry, so an
+// export is internally consistent (cumulative bucket counts always sum to
+// the emitted _count) regardless of concurrent recording.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace resmatch::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// JSON string escaping per RFC 8259 (quotes, backslashes, control
+/// characters); shared by the JSON exporter and bench records.
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Render a double as a JSON-safe token: finite values via %.17g,
+/// non-finite values as 0 (JSON has no Inf/NaN literals).
+[[nodiscard]] std::string json_number(double value);
+
+/// Write `content` to `path` atomically (temp file + rename, same
+/// guarantee as the estimator store's snapshots). Returns false and
+/// leaves any existing file untouched on failure.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& content);
+
+}  // namespace resmatch::obs

@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resmatch::obs {
+
+// --- HistogramSnapshot -------------------------------------------------------
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0 || upper.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached + 1e-12 < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= upper.size()) return upper.back();  // +Inf bucket
+    // Geometric interpolation between the bucket's edges (log-spaced
+    // layout). Bucket 0's lower edge is synthesized one growth step below.
+    const double hi = upper[i];
+    const double lo = i > 0 ? upper[i - 1]
+                            : (upper.size() > 1 ? hi * hi / upper[1] : hi / 2);
+    const double frac =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    if (lo <= 0.0 || hi <= lo) return hi;
+    return lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+  }
+  return upper.back();
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(HistogramSpec spec) {
+  const std::size_t buckets = std::clamp<std::size_t>(spec.buckets, 1, 64);
+  const double lo = spec.lo > 0.0 ? spec.lo : 1e-6;
+  const double growth = spec.growth > 1.0 ? spec.growth : 2.0;
+  upper_.reserve(buckets);
+  double bound = lo;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    upper_.push_back(bound);
+    bound *= growth;
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(buckets + 1);
+  for (std::size_t i = 0; i <= buckets; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(double x) noexcept {
+  // First bound >= x; everything beyond the last finite bound goes to the
+  // trailing +Inf slot. NaN compares false everywhere and lands there too.
+  const auto it = std::lower_bound(upper_.begin(), upper_.end(), x);
+  const std::size_t index =
+      static_cast<std::size_t>(it - upper_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= upper_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.upper = upper_;
+  out.counts.resize(upper_.size() + 1);
+  for (std::size_t i = 0; i <= upper_.size(); ++i) {
+    out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    out.count += out.counts[i];
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+// --- MetricsSnapshot ---------------------------------------------------------
+
+const MetricSample* MetricsSnapshot::find(
+    const std::string& name, const Labels& labels) const noexcept {
+  for (const MetricSample& s : samples) {
+    if (s.name != name) continue;
+    if (labels.empty() || s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+Registry::Entry& Registry::get_or_create(const std::string& name,
+                                         const std::string& help,
+                                         Labels&& labels, MetricType type) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = key_of(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.type != type) {
+      throw std::logic_error("metric '" + name +
+                             "' re-registered with a different type");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  entry.type = type;
+  return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e =
+      get_or_create(name, help, std::move(labels), MetricType::kCounter);
+  if (!e.counter && !e.pull_counter) e.counter = std::make_unique<Counter>();
+  if (!e.counter) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a pull counter");
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = get_or_create(name, help, std::move(labels), MetricType::kGauge);
+  if (!e.gauge && !e.pull_gauge) e.gauge = std::make_unique<Gauge>();
+  if (!e.gauge) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a pull gauge");
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help, HistogramSpec spec,
+                               Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e =
+      get_or_create(name, help, std::move(labels), MetricType::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(spec);
+  return *e.histogram;
+}
+
+void Registry::counter_fn(const std::string& name, const std::string& help,
+                          Labels labels, std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e =
+      get_or_create(name, help, std::move(labels), MetricType::kCounter);
+  e.counter.reset();
+  e.pull_counter = std::move(fn);
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& help,
+                        Labels labels, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = get_or_create(name, help, std::move(labels), MetricType::kGauge);
+  e.gauge.reset();
+  e.pull_gauge = std::move(fn);
+}
+
+bool Registry::remove(const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(key_of(name, sorted)) > 0;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.help = entry.help;
+    sample.labels = entry.labels;
+    sample.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        sample.value = entry.pull_counter
+                           ? static_cast<double>(entry.pull_counter())
+                           : static_cast<double>(entry.counter->value());
+        break;
+      case MetricType::kGauge:
+        sample.value =
+            entry.pull_gauge ? entry.pull_gauge() : entry.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        sample.histogram = entry.histogram->snapshot();
+        sample.value = sample.histogram.sum;
+        break;
+    }
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace resmatch::obs

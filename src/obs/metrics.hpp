@@ -1,0 +1,195 @@
+// Metrics primitives and registry for the online service and simulator.
+//
+// Three instrument kinds, all with a lock-free atomic hot path and no
+// allocation on record:
+//   * Counter   — monotonically increasing u64 (relaxed fetch_add);
+//   * Gauge     — last-written double (relaxed store / fetch_add);
+//   * Histogram — fixed log-spaced buckets chosen at construction; record()
+//     is a binary search over <= 64 precomputed bounds plus two relaxed
+//     fetch_adds, so worker threads never contend or allocate.
+//
+// The Registry names instruments (Prometheus-style name + label pairs) and
+// owns their storage; registration is get-or-create under a mutex, but the
+// returned references are stable for the registry's lifetime, so callers
+// register once at startup and touch only the atomics while serving.
+// Pull-style metrics (counter_fn / gauge_fn) are read at snapshot() time —
+// they let subsystems that already maintain atomic counters (the estimator
+// store's per-shard stats) export without double-counting on the hot path.
+// Providers capture their owner, so the owner must remove() them before it
+// dies (svc::Matchd does this in its destructor).
+//
+// snapshot() returns a self-consistent copy for the exporters
+// (export.hpp: Prometheus text exposition and JSON). Values read from
+// concurrently-updated instruments are individually atomic but not
+// mutually synchronized — totals are monotonic, not transactional.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resmatch::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  void add(double x) noexcept {
+    value_.fetch_add(x, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced bucket layout: finite upper bounds lo, lo*growth,
+/// lo*growth^2, ... (`buckets` of them), plus an implicit +Inf bucket.
+/// The default covers 1 microsecond to ~19 minutes of latency in
+/// half-decade-ish steps.
+struct HistogramSpec {
+  double lo = 1e-6;
+  double growth = 2.0;
+  std::size_t buckets = 30;
+};
+
+/// Point-in-time copy of a histogram, with quantile estimation. `upper`
+/// holds the finite bounds; `counts` has one extra trailing entry for the
+/// +Inf bucket. Bucket i counts observations in (upper[i-1], upper[i]].
+struct HistogramSnapshot {
+  std::vector<double> upper;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (p in [0, 100]): finds the target bucket and
+  /// interpolates geometrically between its edges (the buckets are
+  /// log-spaced). Observations in the +Inf bucket report the largest
+  /// finite bound. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const noexcept;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Lock-free, allocation-free: binary search over the precomputed
+  /// bounds, then two relaxed fetch_adds. Values <= the lowest bound land
+  /// in bucket 0; values beyond the highest bound land in the +Inf bucket.
+  void record(double x) noexcept;
+
+  /// Total observations (sum over buckets; O(buckets)).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> upper_;                      // finite bounds, ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // upper_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Label set, e.g. {{"op", "submit"}}. Kept sorted by key inside the
+/// registry so {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One exported series in a snapshot.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  MetricType type = MetricType::kGauge;
+  double value = 0.0;           ///< counter/gauge value
+  HistogramSnapshot histogram;  ///< filled for kHistogram only
+};
+
+struct MetricsSnapshot {
+  /// Sorted by (name, labels), so series of one family are contiguous.
+  std::vector<MetricSample> samples;
+
+  /// First sample matching name (and labels, when given); null if absent.
+  [[nodiscard]] const MetricSample* find(
+      const std::string& name, const Labels& labels = {}) const noexcept;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. The returned reference is valid for the registry's
+  /// lifetime. Re-registration with the same name+labels returns the
+  /// existing instrument (help/spec of the first registration win); a
+  /// type conflict throws std::logic_error.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       HistogramSpec spec = {}, Labels labels = {});
+
+  /// Pull-style series: `fn` is evaluated at snapshot() time (under the
+  /// registry mutex — keep it cheap and non-reentrant). Re-registering
+  /// replaces the provider. The provider's captures must outlive the
+  /// registry or be remove()d first.
+  void counter_fn(const std::string& name, const std::string& help,
+                  Labels labels, std::function<std::uint64_t()> fn);
+  void gauge_fn(const std::string& name, const std::string& help,
+                Labels labels, std::function<double()> fn);
+
+  /// Drop one series (any kind). Returns whether it existed. Invalidates
+  /// references to that instrument.
+  bool remove(const std::string& name, const Labels& labels);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricType type = MetricType::kGauge;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::uint64_t()> pull_counter;
+    std::function<double()> pull_gauge;
+  };
+
+  Entry& get_or_create(const std::string& name, const std::string& help,
+                       Labels&& labels, MetricType type);
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // key -> instrument, ordered
+};
+
+}  // namespace resmatch::obs

@@ -1,0 +1,73 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace resmatch::obs {
+
+namespace {
+
+std::atomic<bool> g_sink_active{false};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+SpanSink& sink_slot() {
+  static SpanSink sink;
+  return sink;
+}
+
+}  // namespace
+
+void set_span_sink(SpanSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+  g_sink_active.store(static_cast<bool>(sink_slot()),
+                      std::memory_order_relaxed);
+}
+
+bool span_sink_active() noexcept {
+  return g_sink_active.load(std::memory_order_relaxed);
+}
+
+SpanSink log_span_sink(util::LogLevel level) {
+  return [level](const SpanRecord& record) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "span %.*s: %.3f ms",
+                  static_cast<int>(record.name.size()), record.name.data(),
+                  record.seconds * 1e3);
+    util::log_message(level, buf);
+  };
+}
+
+void emit_span(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (const SpanSink& sink = sink_slot()) sink(record);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, Histogram* histogram) noexcept
+    : name_(name), histogram_(histogram) {
+  armed_ = histogram_ != nullptr || span_sink_active();
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() { finish(); }
+
+void ScopedSpan::finish() {
+  if (!armed_) return;
+  armed_ = false;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (histogram_) histogram_->record(seconds);
+  if (span_sink_active()) emit_span({name_, seconds});
+}
+
+}  // namespace resmatch::obs

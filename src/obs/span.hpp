@@ -1,0 +1,72 @@
+// Scoped-timer tracing spans.
+//
+// A ScopedSpan measures the wall time of a scope and, on destruction,
+// (a) records the duration into an optional Histogram (the metrics-layer
+// use: latency distributions with no per-span allocation) and (b) emits a
+// SpanRecord to the process-wide span sink if one is installed (the
+// tracing use: a pluggable consumer, e.g. log_span_sink() which formats
+// spans through util::log_message — the same thread-safe logging hook the
+// service's worker threads already share, so span lines never interleave
+// with log lines).
+//
+// The disabled path is two relaxed atomic loads and no clock read: spans
+// cost nothing until a histogram is attached or a sink installed.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string_view>
+
+#include "util/logging.hpp"
+
+namespace resmatch::obs {
+
+class Histogram;
+
+struct SpanRecord {
+  std::string_view name;  ///< valid only for the duration of the sink call
+  double seconds = 0.0;
+};
+
+using SpanSink = std::function<void(const SpanRecord&)>;
+
+/// Install the process-wide sink (null uninstalls). The sink is called
+/// under an internal mutex, one span at a time; it must not create spans
+/// or install sinks reentrantly.
+void set_span_sink(SpanSink sink);
+
+/// Whether a sink is installed (relaxed; meant for fast-path gating).
+[[nodiscard]] bool span_sink_active() noexcept;
+
+/// A sink that writes "span <name>: <duration>" through the logging
+/// layer at `level`, inheriting its thread-safety and sink redirection.
+[[nodiscard]] SpanSink log_span_sink(
+    util::LogLevel level = util::LogLevel::kDebug);
+
+/// Deliver one record to the installed sink, if any.
+void emit_span(const SpanRecord& record);
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  /// `histogram` is optional and not owned.
+  explicit ScopedSpan(std::string_view name,
+                      Histogram* histogram = nullptr) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Stop early and record; the destructor then does nothing.
+  void finish();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  std::string_view name_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_ = false;
+};
+
+}  // namespace resmatch::obs

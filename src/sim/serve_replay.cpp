@@ -75,8 +75,12 @@ ServeReplayResult serve_replay(const trace::Workload& workload,
                                  : core::default_similarity_key);
     RecordingEstimator recorder(offline, offline_log);
     auto policy = sched::make_policy(config.policy);
+    // The offline reference run stays uninstrumented: feeding the same
+    // registry from both runs would double every sim counter.
+    SimulationConfig offline_sim = config.sim;
+    offline_sim.metrics = nullptr;
     result.offline =
-        simulate(workload, cluster_spec, recorder, *policy, config.sim);
+        simulate(workload, cluster_spec, recorder, *policy, offline_sim);
   }
 
   {

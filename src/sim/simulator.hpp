@@ -25,6 +25,10 @@
 #include "sim/metrics.hpp"
 #include "trace/job_record.hpp"
 
+namespace resmatch::obs {
+class Registry;
+}
+
 namespace resmatch::sim {
 
 /// A scheduled change in machine availability (paper §1: machines join
@@ -57,6 +61,12 @@ struct SimulationConfig {
   /// Machine join/leave schedule. Utilization is measured against the
   /// time-integrated machine count when this is non-empty.
   std::vector<AvailabilityEvent> availability;
+  /// Optional engine observability (not owned; must outlive the run):
+  /// exports resmatch_sim_events_total, resmatch_sim_events_per_sec,
+  /// resmatch_sim_wall_seconds, and the resmatch_sim_schedule_seconds
+  /// scheduler-decision histogram. Wall-clock feeds metrics only — the
+  /// simulated timeline stays seed-deterministic.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Run one simulation. `workload` must be sorted by submit time (see

@@ -160,6 +160,26 @@ class EstimatorStore {
     return shards_.size();
   }
 
+  /// Entry bound of one stripe (max_groups / shard_count, at least 1);
+  /// the denominator for per-shard occupancy metrics.
+  [[nodiscard]] std::size_t per_shard_capacity() const noexcept {
+    return per_shard_cap_;
+  }
+
+  /// Counters of one stripe, readable concurrently with traffic.
+  [[nodiscard]] ShardStats shard_stats(std::size_t index) const {
+    const Shard& shard = shards_[index];
+    ShardStats s;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      s.entries = shard.entries.size();
+    }
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    return s;
+  }
+
   /// Stripe index of a key (stable for the store's lifetime); lets callers
   /// keep their own per-shard counters aligned with the store's striping.
   [[nodiscard]] std::size_t shard_of(std::uint64_t key) const noexcept {
@@ -209,16 +229,36 @@ class EstimatorStore {
     }
   }
 
+  /// Crash-safe snapshot: writes to `path + ".tmp"` in the same directory
+  /// and atomically renames over the target, so a crash (or any failure)
+  /// mid-save leaves the previous snapshot intact — never a truncated or
+  /// missing file. Single-writer: concurrent save_file calls on the same
+  /// path would share the temp name.
   [[nodiscard]] bool save_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    save(out);
-    return static_cast<bool>(out);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) return false;
+      save(out);
+      out.flush();
+      if (!out) {
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
   }
 
-  /// Restore entries from a snapshot, inserting them through the normal
-  /// bounded path (a snapshot larger than the configured bound evicts as
-  /// usual). Returns the number of rows restored, or a parse error.
+  /// Restore entries from a snapshot. The entry bound still holds (a
+  /// snapshot larger than the configured bound drops each shard's oldest
+  /// rows), but restoration is NOT traffic: it does not touch the
+  /// hit/miss/eviction counters, so a warm restart starts its hit-rate
+  /// metrics from zero instead of reporting one spurious miss per
+  /// restored group. Returns the number of rows read, or a parse error.
   [[nodiscard]] util::Expected<std::size_t> load(std::istream& in) {
     std::string line;
     if (!std::getline(in, line)) {
@@ -268,9 +308,7 @@ class EstimatorStore {
       if (!state) {
         return util::Expected<std::size_t>::failure("invalid state: " + line);
       }
-      with_group(
-          key, [&] { return *state; },
-          [&](State& existing) { existing = *state; });
+      restore_entry(key, std::move(*state));
       ++restored;
     }
     return restored;
@@ -309,8 +347,30 @@ class EstimatorStore {
   }
 
   static void bump(std::atomic<std::uint64_t>& counter) noexcept {
-    counter.store(counter.load(std::memory_order_relaxed) + 1,
-                  std::memory_order_relaxed);
+    // A real atomic RMW: callers today bump under the shard lock, but a
+    // load+store pair would silently drop counts the moment any caller
+    // (a metrics reader, a future lock-free path) bumps outside it.
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Insert-or-overwrite for load(): the same LRU bookkeeping as
+  /// with_group, but silent — restoring a snapshot is bookkeeping, not
+  /// traffic, so it must not perturb hit/miss/eviction counters.
+  void restore_entry(std::uint64_t key, State state) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(state);
+      shard.entries.splice(shard.entries.end(), shard.entries, it->second);
+      return;
+    }
+    if (shard.entries.size() >= per_shard_cap_) {
+      shard.index.erase(shard.entries.front().first);
+      shard.entries.pop_front();
+    }
+    shard.entries.emplace_back(key, std::move(state));
+    shard.index.emplace(key, std::prev(shard.entries.end()));
   }
 
   Shard& shard_for(std::uint64_t key) noexcept {

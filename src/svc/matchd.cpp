@@ -16,17 +16,31 @@ Matchd::Matchd(MatchdConfig config)
       key_fn_(config_.key_fn ? config_.key_fn : core::default_similarity_key),
       store_(config_.store),
       counters_(store_.shard_count()) {
-  if (config_.workers > 0) {
-    queue_ = std::make_unique<BoundedMpmcQueue<Request>>(
-        std::max<std::size_t>(1, config_.queue_capacity));
-    pool_ = std::make_unique<ThreadPool>(
-        config_.workers, [this](std::size_t i) { worker_main(i); });
+  try {
+    register_metrics();
+    if (config_.workers > 0) {
+      queue_ = std::make_unique<BoundedMpmcQueue<Request>>(
+          std::max<std::size_t>(1, config_.queue_capacity));
+      pool_ = std::make_unique<ThreadPool>(
+          config_.workers, [this](std::size_t i) { worker_main(i); },
+          // Spawn failure: release any already-running workers blocked
+          // on pop() so the pool's recovery join can complete.
+          [this] { queue_->close(); });
+    }
+  } catch (...) {
+    // The destructor will not run for a throwing constructor; drop any
+    // registered providers so they cannot capture a dead service.
+    if (queue_) queue_->close();
+    if (pool_) pool_->join();
+    unregister_metrics();
+    throw;
   }
 }
 
 Matchd::~Matchd() {
   if (queue_) queue_->close();
   if (pool_) pool_->join();
+  unregister_metrics();
 }
 
 void Matchd::set_ladder(core::CapacityLadder ladder) {
@@ -34,6 +48,9 @@ void Matchd::set_ladder(core::CapacityLadder ladder) {
 }
 
 MatchDecision Matchd::submit(const trace::JobRecord& job) {
+  const bool timed = submit_hist_ != nullptr && latency_sampled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   const std::uint64_t key = key_fn_(job);
   const MiB granted = store_.with_group(
       key,
@@ -52,6 +69,11 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
   ShardCounters& c = counters_[store_.shard_of(key)];
   c.submissions.fetch_add(1, std::memory_order_relaxed);
   if (decision.lowered) c.rewrites.fetch_add(1, std::memory_order_relaxed);
+  if (timed) {
+    submit_hist_->record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  }
   return decision;
 }
 
@@ -63,15 +85,26 @@ MiB Matchd::preview(const trace::JobRecord& job) const {
 }
 
 void Matchd::cancel(const trace::JobRecord& job, MiB granted) {
+  const bool timed = cancel_hist_ != nullptr && latency_sampled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   const std::uint64_t key = key_fn_(job);
   if (store_.modify_if_present(
           key, [&](core::SaGroupState& g) { g.cancel(granted); })) {
     counters_[store_.shard_of(key)].cancels.fetch_add(
         1, std::memory_order_relaxed);
   }
+  if (timed) {
+    cancel_hist_->record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  }
 }
 
 void Matchd::feedback(const JobOutcome& outcome) {
+  const bool timed = feedback_hist_ != nullptr && latency_sampled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   const trace::JobRecord& job = outcome.job;
   const std::uint64_t key = key_fn_(job);
   // Create-if-missing mirrors the offline estimator: feedback for an
@@ -90,12 +123,18 @@ void Matchd::feedback(const JobOutcome& outcome) {
   ShardCounters& c = counters_[store_.shard_of(key)];
   (success ? c.successes : c.failures)
       .fetch_add(1, std::memory_order_relaxed);
+  if (timed) {
+    feedback_hist_->record(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+  }
 }
 
 // --- asynchronous admission --------------------------------------------------
 
 PushResult Matchd::admit(Request&& request) {
   if (!queue_) return PushResult::kClosed;
+  if (queue_wait_hist_) request.admitted = std::chrono::steady_clock::now();
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   const PushResult result = queue_->try_push(std::move(request));
   if (result == PushResult::kOk) {
@@ -143,6 +182,12 @@ PushResult Matchd::cancel_async(const trace::JobRecord& job, MiB granted,
 
 void Matchd::worker_main(std::size_t /*worker_index*/) {
   while (auto request = queue_->pop()) {
+    if (queue_wait_hist_) {
+      queue_wait_hist_->record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        request->admitted)
+              .count());
+    }
     process(*request);
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(drain_mutex_);
@@ -176,6 +221,123 @@ void Matchd::drain() {
   drained_.wait(lock, [&] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
+}
+
+// --- observability -----------------------------------------------------------
+
+void Matchd::register_metrics() {
+  obs::Registry* reg = config_.metrics;
+  if (!reg) return;
+
+  std::uint32_t period = std::max<std::uint32_t>(1, config_.metrics_sample_period);
+  while ((period & (period - 1)) != 0) period &= period - 1;  // round down
+  sample_mask_ = period - 1;
+
+  // 10 ns .. ~10 s in factor-2 steps: covers a shard-lock fast path and a
+  // badly contended queue alike.
+  const obs::HistogramSpec latency{1e-8, 2.0, 30};
+  submit_hist_ = &reg->histogram(
+      "resmatch_matchd_op_latency_seconds",
+      "Latency of matchd operations (sampled 1-in-N per thread)", latency,
+      {{"op", "submit"}});
+  feedback_hist_ = &reg->histogram("resmatch_matchd_op_latency_seconds", "",
+                                   latency, {{"op", "feedback"}});
+  cancel_hist_ = &reg->histogram("resmatch_matchd_op_latency_seconds", "",
+                                 latency, {{"op", "cancel"}});
+  queue_wait_hist_ = &reg->histogram(
+      "resmatch_matchd_queue_wait_seconds",
+      "Time async requests spend in the admission queue", latency);
+
+  // Counters/gauges are pull providers over the atomics the service
+  // already maintains — zero added work per operation. They capture
+  // `this`, so the destructor removes them.
+  const auto add_counter = [&](const char* name, const char* help,
+                               obs::Labels labels,
+                               std::function<std::uint64_t()> fn) {
+    reg->counter_fn(name, help, labels, std::move(fn));
+    provider_keys_.emplace_back(name, std::move(labels));
+  };
+  const auto add_gauge = [&](const char* name, const char* help,
+                             obs::Labels labels, std::function<double()> fn) {
+    reg->gauge_fn(name, help, labels, std::move(fn));
+    provider_keys_.emplace_back(name, std::move(labels));
+  };
+  const auto sum_shards =
+      [this](std::atomic<std::uint64_t> ShardCounters::* member) {
+        std::uint64_t total = 0;
+        for (const ShardCounters& c : counters_) {
+          total += (c.*member).load(std::memory_order_relaxed);
+        }
+        return total;
+      };
+
+  add_counter("resmatch_matchd_ops_total", "Operations served, by kind",
+              {{"op", "submit"}}, [this, sum_shards] {
+                return sum_shards(&ShardCounters::submissions);
+              });
+  add_counter("resmatch_matchd_ops_total", "", {{"op", "feedback"}},
+              [this, sum_shards] {
+                return sum_shards(&ShardCounters::successes) +
+                       sum_shards(&ShardCounters::failures);
+              });
+  add_counter("resmatch_matchd_ops_total", "", {{"op", "cancel"}},
+              [this, sum_shards] {
+                return sum_shards(&ShardCounters::cancels);
+              });
+  add_counter("resmatch_matchd_rewrites_total",
+              "Submissions granted below the rounded request", {},
+              [this, sum_shards] {
+                return sum_shards(&ShardCounters::rewrites);
+              });
+  add_counter("resmatch_matchd_outcomes_total", "Feedback results, by kind",
+              {{"outcome", "success"}}, [this, sum_shards] {
+                return sum_shards(&ShardCounters::successes);
+              });
+  add_counter("resmatch_matchd_outcomes_total", "",
+              {{"outcome", "failure"}}, [this, sum_shards] {
+                return sum_shards(&ShardCounters::failures);
+              });
+  add_counter("resmatch_matchd_async_accepted_total",
+              "Requests admitted into the async queue", {}, [this] {
+                return async_accepted_.load(std::memory_order_relaxed);
+              });
+  add_counter("resmatch_matchd_backpressure_rejects_total",
+              "Async requests rejected because the queue was full", {},
+              [this] {
+                return async_rejected_full_.load(std::memory_order_relaxed);
+              });
+  add_gauge("resmatch_matchd_queue_depth",
+            "Requests waiting in the admission queue", {}, [this] {
+              return queue_ ? static_cast<double>(queue_->size()) : 0.0;
+            });
+
+  add_counter("resmatch_store_lookups_total",
+              "Estimator-store group lookups, by result",
+              {{"result", "hit"}}, [this] { return store_.stats().hits; });
+  add_counter("resmatch_store_lookups_total", "", {{"result", "miss"}},
+              [this] { return store_.stats().misses; });
+  add_counter("resmatch_store_evictions_total",
+              "Groups dropped at the LRU bound", {},
+              [this] { return store_.stats().evictions; });
+  add_gauge("resmatch_store_entries", "Resident similarity groups", {},
+            [this] { return static_cast<double>(store_.size()); });
+  for (std::size_t shard = 0; shard < store_.shard_count(); ++shard) {
+    add_gauge("resmatch_store_shard_occupancy",
+              "Resident fraction of one stripe's entry bound",
+              {{"shard", std::to_string(shard)}}, [this, shard] {
+                return static_cast<double>(
+                           store_.shard_stats(shard).entries) /
+                       static_cast<double>(store_.per_shard_capacity());
+              });
+  }
+}
+
+void Matchd::unregister_metrics() {
+  if (!config_.metrics) return;
+  for (const auto& [name, labels] : provider_keys_) {
+    config_.metrics->remove(name, labels);
+  }
+  provider_keys_.clear();
 }
 
 // --- introspection -----------------------------------------------------------

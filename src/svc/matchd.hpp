@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -36,6 +37,7 @@
 #include "core/estimator.hpp"
 #include "core/group_state.hpp"
 #include "core/similarity.hpp"
+#include "obs/metrics.hpp"
 #include "svc/estimator_store.hpp"
 #include "svc/mpmc_queue.hpp"
 #include "svc/thread_pool.hpp"
@@ -54,6 +56,17 @@ struct MatchdConfig {
   /// Worker threads draining the admission queue. 0 = synchronous-only
   /// service (the async API then rejects with kClosed).
   std::size_t workers = 0;
+  /// Observability registry (not owned; must outlive the service). When
+  /// set, the service exports latency histograms, queue-wait time,
+  /// backpressure counters, and store hit/eviction/occupancy series under
+  /// the resmatch_matchd_* / resmatch_store_* names (see README
+  /// "Observability"). Null = fully uninstrumented (the default; the hot
+  /// path then pays one branch per operation).
+  obs::Registry* metrics = nullptr;
+  /// Latency histograms sample 1 in N operations per thread (rounded to a
+  /// power of two) so two steady_clock reads are not added to every
+  /// submit. Counters are always exact. 0 or 1 = time every operation.
+  std::uint32_t metrics_sample_period = 64;
 };
 
 /// The service's answer to one submission.
@@ -178,11 +191,24 @@ class Matchd {
     MiB granted = 0.0;
     SubmitCallback on_decision;
     DoneCallback on_done;
+    /// Admission timestamp for the queue-wait histogram; only stamped
+    /// when the service is instrumented.
+    std::chrono::steady_clock::time_point admitted{};
   };
 
   void worker_main(std::size_t worker_index);
   void process(Request& request);
   [[nodiscard]] PushResult admit(Request&& request);
+
+  void register_metrics();
+  void unregister_metrics();
+
+  /// Per-thread 1-in-N sampling decision for the latency histograms.
+  [[nodiscard]] bool latency_sampled() const noexcept {
+    if (sample_mask_ == 0) return true;
+    thread_local std::uint32_t tick = 0;
+    return (tick++ & sample_mask_) == 0;
+  }
 
   MatchdConfig config_;
   core::CapacityLadder ladder_;
@@ -202,6 +228,19 @@ class Matchd {
 
   std::atomic<std::uint64_t> async_accepted_{0};
   std::atomic<std::uint64_t> async_rejected_full_{0};
+
+  /// Latency instruments (owned by config_.metrics; null when
+  /// uninstrumented). Counters are exported as pull providers over the
+  /// existing per-shard atomics, so instrumentation adds nothing to the
+  /// counting hot path.
+  obs::Histogram* submit_hist_ = nullptr;
+  obs::Histogram* feedback_hist_ = nullptr;
+  obs::Histogram* cancel_hist_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  std::uint32_t sample_mask_ = 0;
+  /// (name, labels) of every provider registered against the registry,
+  /// removed in the destructor so providers never outlive their captures.
+  std::vector<std::pair<std::string, obs::Labels>> provider_keys_;
 
   std::unique_ptr<BoundedMpmcQueue<Request>> queue_;
   std::unique_ptr<ThreadPool> pool_;

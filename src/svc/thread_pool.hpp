@@ -20,11 +20,27 @@ class ThreadPool {
   /// Spawn `workers` threads, each running `worker_main(index)` once.
   /// `worker_main` must return when its work source shuts down; join()
   /// (or the destructor) then reaps the threads.
+  ///
+  /// Exception-safe: if spawning thread k throws (thread-creation
+  /// failure, or a throwing copy of `worker_main`), the k already-running
+  /// workers are joined before the exception propagates — otherwise the
+  /// member vector's destructor would hit joinable threads and call
+  /// std::terminate. `on_spawn_failure` runs first so callers whose
+  /// workers block on a work source can release them (matchd closes its
+  /// admission queue); without it the partial join would wait on workers
+  /// that never return.
   ThreadPool(std::size_t workers,
-             std::function<void(std::size_t)> worker_main) {
+             std::function<void(std::size_t)> worker_main,
+             std::function<void()> on_spawn_failure = nullptr) {
     threads_.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i) {
-      threads_.emplace_back(worker_main, i);
+    try {
+      for (std::size_t i = 0; i < workers; ++i) {
+        threads_.emplace_back(worker_main, i);
+      }
+    } catch (...) {
+      if (on_spawn_failure) on_spawn_failure();
+      join();
+      throw;
     }
   }
 

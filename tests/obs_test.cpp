@@ -1,0 +1,482 @@
+// Observability layer: instruments, registry, spans, exporters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/logging.hpp"
+
+namespace resmatch::obs {
+namespace {
+
+// --- instruments -------------------------------------------------------------
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  // Bounds: 1, 2, 4, 8 (+Inf trailing).
+  Histogram h({1.0, 2.0, 4});
+  h.record(0.5);   // below the lowest bound -> bucket 0
+  h.record(1.0);   // exactly on a bound -> that bucket (le semantics)
+  h.record(1.5);   // (1, 2]  -> bucket 1
+  h.record(8.0);   // (4, 8]  -> bucket 3
+  h.record(100.0); // beyond the top bound -> +Inf bucket
+
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.upper.size(), 4u);
+  ASSERT_EQ(snap.counts.size(), 5u);
+  EXPECT_DOUBLE_EQ(snap.upper[0], 1.0);
+  EXPECT_DOUBLE_EQ(snap.upper[3], 8.0);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.counts[4], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 8.0 + 100.0);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, PercentilesLandInTheRightBucket) {
+  Histogram h({1e-6, 2.0, 30});
+  // 90 fast observations around 1ms, 10 slow ones around 1s.
+  for (int i = 0; i < 90; ++i) h.record(1e-3);
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+
+  const HistogramSnapshot snap = h.snapshot();
+  const double p50 = snap.percentile(50.0);
+  const double p99 = snap.percentile(99.0);
+  // Bucket resolution is a factor of two: allow one bucket of slack.
+  EXPECT_GE(p50, 1e-3 / 2.0);
+  EXPECT_LE(p50, 1e-3 * 2.0);
+  EXPECT_GE(p99, 1.0 / 2.0);
+  EXPECT_LE(p99, 2.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(50.0), 0.0);  // empty
+  h.record(1e9);  // +Inf bucket only
+  // Overflow observations report the largest finite bound, not infinity.
+  const double p = h.snapshot().percentile(99.0);
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1e-4);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableIdentity) {
+  Registry reg;
+  Counter& a = reg.counter("requests_total", "Requests");
+  Counter& b = reg.counter("requests_total", "Requests");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+
+  // Label order does not create a second series.
+  Counter& c1 =
+      reg.counter("ops_total", "Ops", {{"op", "x"}, {"shard", "0"}});
+  Counter& c2 =
+      reg.counter("ops_total", "Ops", {{"shard", "0"}, {"op", "x"}});
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, TypeConflictThrows) {
+  Registry reg;
+  (void)reg.counter("x", "");
+  EXPECT_THROW((void)reg.gauge("x", ""), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("x", ""), std::logic_error);
+}
+
+TEST(Registry, RemoveDropsOneSeries) {
+  Registry reg;
+  (void)reg.counter("a", "", {{"k", "1"}});
+  (void)reg.counter("a", "", {{"k", "2"}});
+  EXPECT_TRUE(reg.remove("a", {{"k", "1"}}));
+  EXPECT_FALSE(reg.remove("a", {{"k", "1"}}));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, PullProvidersEvaluateAtSnapshotTime) {
+  Registry reg;
+  std::uint64_t backing = 7;
+  double level = 0.25;
+  reg.counter_fn("pulled_total", "Pulled", {}, [&] { return backing; });
+  reg.gauge_fn("level", "Level", {}, [&] { return level; });
+
+  const MetricsSnapshot snap1 = reg.snapshot();
+  backing = 9;
+  level = 0.75;
+  const MetricsSnapshot snap2 = reg.snapshot();
+
+  ASSERT_NE(snap1.find("pulled_total"), nullptr);
+  EXPECT_DOUBLE_EQ(snap1.find("pulled_total")->value, 7.0);
+  EXPECT_DOUBLE_EQ(snap2.find("pulled_total")->value, 9.0);
+  EXPECT_DOUBLE_EQ(snap1.find("level")->value, 0.25);
+  EXPECT_DOUBLE_EQ(snap2.find("level")->value, 0.75);
+}
+
+TEST(Registry, SnapshotFindMatchesLabels) {
+  Registry reg;
+  reg.counter("hits", "", {{"op", "a"}}).inc(1);
+  reg.counter("hits", "", {{"op", "b"}}).inc(2);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("hits", {{"op", "b"}}), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("hits", {{"op", "b"}})->value, 2.0);
+  EXPECT_EQ(snap.find("hits", {{"op", "c"}}), nullptr);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+}
+
+// --- spans -------------------------------------------------------------------
+
+TEST(Span, RecordsIntoHistogramAndSink) {
+  Histogram h;
+  std::vector<std::string> seen;
+  set_span_sink([&seen](const SpanRecord& r) {
+    seen.emplace_back(r.name);
+    EXPECT_GE(r.seconds, 0.0);
+  });
+  {
+    ScopedSpan span("unit.work", &h);
+    EXPECT_TRUE(span.armed());
+  }
+  {
+    ScopedSpan span("unit.early", &h);
+    span.finish();
+    span.finish();  // idempotent
+  }
+  set_span_sink(nullptr);
+  EXPECT_FALSE(span_sink_active());
+  { ScopedSpan span("unit.unsunk", &h); }  // histogram still records
+
+  EXPECT_EQ(h.count(), 3u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "unit.work");
+  EXPECT_EQ(seen[1], "unit.early");
+}
+
+TEST(Span, LogSinkFormatsThroughLoggingLayer) {
+  std::vector<std::string> lines;
+  util::set_log_sink([&lines](util::LogLevel, const std::string& msg) {
+    lines.push_back(msg);
+  });
+  util::set_log_level(util::LogLevel::kDebug);
+  set_span_sink(log_span_sink(util::LogLevel::kDebug));
+  emit_span({"probe.span", 0.0015});
+  set_span_sink(nullptr);
+  util::set_log_sink(nullptr);
+  util::set_log_level(util::LogLevel::kInfo);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("probe.span"), std::string::npos);
+  EXPECT_NE(lines[0].find("ms"), std::string::npos);
+}
+
+// --- Prometheus exporter -----------------------------------------------------
+
+/// Minimal exposition-format checker: validates the line grammar the
+/// Prometheus text parser enforces and the cross-line invariants
+/// (HELP/TYPE once per family before its samples; cumulative monotone
+/// buckets; +Inf bucket == _count).
+struct PromValidation {
+  std::map<std::string, std::string> types;  // family -> type
+  std::map<std::string, double> values;      // full sample line key -> value
+  std::vector<std::string> errors;
+};
+
+PromValidation validate_prometheus(const std::string& text) {
+  PromValidation v;
+  std::istringstream in(text);
+  std::string line;
+  std::string last_bucket_family;
+  double last_bucket_value = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      v.errors.push_back("blank line");
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream t(line.substr(7));
+      std::string family, type;
+      t >> family >> type;
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        v.errors.push_back("bad type: " + line);
+      }
+      if (v.types.count(family) != 0) {
+        v.errors.push_back("duplicate TYPE: " + family);
+      }
+      v.types[family] = type;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      v.errors.push_back("no value: " + line);
+      continue;
+    }
+    const std::string key = line.substr(0, space);
+    double value = 0.0;
+    try {
+      value = std::stod(line.substr(space + 1));
+    } catch (const std::exception&) {
+      if (line.substr(space + 1) != "+Inf") {
+        v.errors.push_back("bad value: " + line);
+      }
+    }
+    std::string name = key.substr(0, key.find('{'));
+    // Strip histogram suffixes to find the family the TYPE line declared.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          v.types.count(family.substr(0, family.size() - s.size())) != 0) {
+        family = family.substr(0, family.size() - s.size());
+        break;
+      }
+    }
+    if (v.types.count(family) == 0) {
+      v.errors.push_back("sample before TYPE: " + line);
+    }
+    if (name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (key.find("le=\"") == std::string::npos) {
+        v.errors.push_back("bucket without le: " + line);
+      }
+      if (family == last_bucket_family && value + 1e-9 < last_bucket_value) {
+        v.errors.push_back("non-cumulative bucket: " + line);
+      }
+      last_bucket_family = family;
+      last_bucket_value = value;
+    } else {
+      last_bucket_family.clear();
+      last_bucket_value = 0.0;
+    }
+    if (v.values.count(key) != 0) {
+      v.errors.push_back("duplicate sample: " + key);
+    }
+    v.values[key] = value;
+  }
+  return v;
+}
+
+TEST(PrometheusExporter, RoundTripsThroughFormatValidation) {
+  Registry reg;
+  reg.counter("resmatch_ops_total", "Ops", {{"op", "submit"}}).inc(5);
+  reg.counter("resmatch_ops_total", "Ops", {{"op", "feedback"}}).inc(3);
+  reg.gauge("resmatch_queue_depth", "Depth").set(12.0);
+  Histogram& h =
+      reg.histogram("resmatch_latency_seconds", "Latency", {1e-6, 2.0, 10});
+  h.record(1e-5);
+  h.record(1e-4);
+  h.record(5.0);  // +Inf bucket
+
+  const std::string text = to_prometheus(reg.snapshot());
+  const PromValidation v = validate_prometheus(text);
+  for (const auto& e : v.errors) ADD_FAILURE() << e;
+
+  EXPECT_EQ(v.types.at("resmatch_ops_total"), "counter");
+  EXPECT_EQ(v.types.at("resmatch_queue_depth"), "gauge");
+  EXPECT_EQ(v.types.at("resmatch_latency_seconds"), "histogram");
+  EXPECT_DOUBLE_EQ(v.values.at("resmatch_ops_total{op=\"submit\"}"), 5.0);
+  EXPECT_DOUBLE_EQ(v.values.at("resmatch_queue_depth"), 12.0);
+  EXPECT_DOUBLE_EQ(v.values.at("resmatch_latency_seconds_count"), 3.0);
+  // The +Inf bucket must equal _count (text exposition invariant).
+  EXPECT_DOUBLE_EQ(
+      v.values.at("resmatch_latency_seconds_bucket{le=\"+Inf\"}"), 3.0);
+}
+
+TEST(PrometheusExporter, EscapesLabelValues) {
+  Registry reg;
+  reg.counter("c_total", "", {{"path", "a\\b\"c\nd"}}).inc(1);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+// --- JSON exporter + bench records -------------------------------------------
+
+/// Minimal structural JSON checker (objects, arrays, strings, numbers,
+/// literals) — enough to reject truncated or mis-quoted exporter output.
+bool json_valid(const std::string& s, std::size_t& i);
+
+bool json_skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i < s.size();
+}
+
+bool json_string(const std::string& s, std::size_t& i) {
+  if (s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool json_valid(const std::string& s, std::size_t& i) {
+  if (!json_skip_ws(s, i)) return false;
+  const char c = s[i];
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    if (!json_skip_ws(s, i)) return false;
+    if (s[i] == close) {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (c == '{') {
+        if (!json_skip_ws(s, i) || !json_string(s, i)) return false;
+        if (!json_skip_ws(s, i) || s[i] != ':') return false;
+        ++i;
+      }
+      if (!json_valid(s, i)) return false;
+      if (!json_skip_ws(s, i)) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == close) {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '"') return json_string(s, i);
+  if (c == 't') { if (s.compare(i, 4, "true") != 0) return false; i += 4; return true; }
+  if (c == 'f') { if (s.compare(i, 5, "false") != 0) return false; i += 5; return true; }
+  if (c == 'n') { if (s.compare(i, 4, "null") != 0) return false; i += 4; return true; }
+  const std::size_t start = i;
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                          s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+  }
+  return i > start;
+}
+
+bool json_valid(const std::string& s) {
+  std::size_t i = 0;
+  if (!json_valid(s, i)) return false;
+  return !json_skip_ws(s, i);  // no trailing garbage
+}
+
+TEST(JsonExporter, EmitsStructurallyValidJson) {
+  Registry reg;
+  reg.counter("c_total", "help \"quoted\"", {{"k", "v\n"}}).inc(2);
+  reg.gauge("g", "").set(0.5);
+  reg.histogram("h_seconds", "", {1e-6, 2.0, 8}).record(3e-4);
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(JsonExporter, NumbersAreAlwaysFinite) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::nan("")), "0");
+  EXPECT_EQ(json_number(2.0), "2");
+}
+
+TEST(BenchRecord, WritesSchemaV1Json) {
+  Registry reg;
+  reg.counter("c_total", "").inc(1);
+
+  BenchRecord record("unit_bench");
+  record.config("mode", "sync");
+  record.config("threads", static_cast<std::int64_t>(4));
+  record.summary("jobs_per_sec", 1234.5);
+  record.metrics(reg.snapshot());
+
+  const std::string json = record.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_per_sec\":1234.5"), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "BENCH_obs_unit.json")
+          .string();
+  ASSERT_TRUE(record.write(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, FailureLeavesExistingFileIntact) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "obs_atomic_unit.txt").string();
+  ASSERT_TRUE(write_file_atomic(path, "first"));
+
+  // A directory squatting on the deterministic temp name forces the
+  // writer's open to fail before it can touch the real file.
+  const std::string tmp = path + ".tmp";
+  fs::create_directory(tmp);
+  EXPECT_FALSE(write_file_atomic(path, "second"));
+  fs::remove_all(tmp);
+
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "first");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace resmatch::obs
