@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: best-fit vs worst-fit allocation",
                     "Yom-Tov & Aridor 2006, §1.1 scenario");
 
@@ -34,25 +34,37 @@ int main(int argc, char** argv) {
   struct Arm {
     sim::AllocationPolicy policy;
     const char* label;
+    const char* estimator;
   };
-  for (const Arm arm : {Arm{sim::AllocationPolicy::kBestFit, "best-fit"},
-                        Arm{sim::AllocationPolicy::kWorstFit, "worst-fit"}}) {
+  std::vector<Arm> arms;
+  std::vector<exp::RunSpec> specs;
+  for (const auto& [policy, label] :
+       {std::pair{sim::AllocationPolicy::kBestFit, "best-fit"},
+        std::pair{sim::AllocationPolicy::kWorstFit, "worst-fit"}}) {
     for (const char* estimator : {"none", "successive-approximation"}) {
       exp::RunSpec spec = args.run_spec();
       spec.estimator = estimator;
-      spec.sim.allocation = arm.policy;
-      const auto result = exp::run_once(workload, cluster, spec);
-      table.add_row({arm.label, estimator,
-                     util::format("%.3f", result.utilization),
-                     util::format("%.2f", result.mean_slowdown),
-                     util::format("%.3f",
-                                  100.0 * result.resource_failure_fraction())});
-      if (csv) {
-        csv->row({std::string(arm.label), std::string(estimator),
-                  util::format_number(result.utilization, 6),
-                  util::format_number(result.mean_slowdown, 6),
-                  util::format_number(result.resource_failure_fraction(), 6)});
-      }
+      spec.sim.allocation = policy;
+      specs.push_back(std::move(spec));
+      arms.push_back({policy, label, estimator});
+    }
+  }
+  const auto sweep =
+      exp::run_specs(workload, cluster, specs, args.runner_options());
+  exp::report_sweep_errors("allocation arm", sweep.errors);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (!sweep.results[i].has_value()) continue;
+    const auto& result = *sweep.results[i];
+    table.add_row({arms[i].label, arms[i].estimator,
+                   util::format("%.3f", result.utilization),
+                   util::format("%.2f", result.mean_slowdown),
+                   util::format("%.3f",
+                                100.0 * result.resource_failure_fraction())});
+    if (csv) {
+      csv->row({std::string(arms[i].label), std::string(arms[i].estimator),
+                util::format_number(result.utilization, 6),
+                util::format_number(result.mean_slowdown, 6),
+                util::format_number(result.resource_failure_fraction(), 6)});
     }
   }
   table.print();

@@ -8,6 +8,7 @@
 //   * alpha too high -> coarse probes overshoot, more failures or reverts;
 //   * beta closer to 1 -> finer eventual estimates but repeated failures.
 #include <cstdio>
+#include <limits>
 
 #include "util/strings.hpp"
 #include "bench/bench_common.hpp"
@@ -16,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: alpha/beta grid for Algorithm 1",
                     "Yom-Tov & Aridor 2006, §2.3 discussion + §3.1 setting");
 
@@ -29,17 +30,13 @@ int main(int argc, char** argv) {
   // ladder, alpha = 2 overshoots the 24 MiB rung for mid-usage groups and
   // needs beta > 0 to recover, and a large alpha probes straight to the
   // bottom.
-  const std::size_t unit = args.jobs == 0 ? 128 : 16;
+  const std::size_t unit = args.trace_jobs == 0 ? 128 : 16;
   const sim::ClusterSpec cluster = {{32.0, 4 * unit}, {24.0, unit},
                                     {16.0, unit},     {8.0, unit},
                                     {4.0, unit}};
   const std::size_t machines = 8 * unit;
   workload = trace::sort_by_submit(
       trace::scale_to_load(std::move(workload), machines, 1.0));
-
-  exp::RunSpec baseline;
-  baseline.estimator = "none";
-  const auto no_est = exp::run_once(workload, cluster, baseline);
 
   util::ConsoleTable table({"alpha", "beta", "util", "util ratio",
                             "lowered%", "res-fail%", "slowdown"});
@@ -50,28 +47,50 @@ int main(int argc, char** argv) {
                  "resource_fail_frac", "slowdown"});
   }
 
+  // Spec 0 is the no-estimation baseline; the 15 grid arms follow. All 16
+  // fan across the sweep engine in one call.
+  std::vector<exp::RunSpec> specs;
+  exp::RunSpec baseline;
+  baseline.estimator = "none";
+  specs.push_back(baseline);
+  std::vector<std::pair<double, double>> grid;
   for (const double alpha : {1.2, 1.5, 2.0, 4.0, 10.0}) {
     for (const double beta : {0.0, 0.5, 0.9}) {
       exp::RunSpec spec = args.run_spec();
       spec.options.alpha = alpha;
       spec.options.beta = beta;
-      const auto result = exp::run_once(workload, cluster, spec);
-      const double ratio = no_est.utilization > 0
-                               ? result.utilization / no_est.utilization
-                               : 0.0;
-      table.add_row({util::format("%g", alpha), util::format("%g", beta),
-                     util::format("%.3f", result.utilization),
-                     util::format("%.3f", ratio),
-                     util::format("%.1f", 100.0 * result.lowered_fraction()),
-                     util::format("%.3f",
-                                  100.0 * result.resource_failure_fraction()),
-                     util::format("%.2f", result.mean_slowdown)});
-      if (csv) {
-        csv->row(std::vector<double>{alpha, beta, result.utilization, ratio,
-                                     result.lowered_fraction(),
-                                     result.resource_failure_fraction(),
-                                     result.mean_slowdown});
-      }
+      specs.push_back(std::move(spec));
+      grid.emplace_back(alpha, beta);
+    }
+  }
+  const auto sweep =
+      exp::run_specs(workload, cluster, specs, args.runner_options());
+  exp::report_sweep_errors("alpha/beta arm", sweep.errors);
+  if (!sweep.results[0].has_value()) {
+    std::fprintf(stderr, "error: baseline run failed\n");
+    return 1;
+  }
+  const auto& no_est = *sweep.results[0];
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!sweep.results[i + 1].has_value()) continue;
+    const auto& result = *sweep.results[i + 1];
+    const auto [alpha, beta] = grid[i];
+    const double ratio = no_est.utilization > 0
+                             ? result.utilization / no_est.utilization
+                             : std::numeric_limits<double>::quiet_NaN();
+    table.add_row({util::format("%g", alpha), util::format("%g", beta),
+                   util::format("%.3f", result.utilization),
+                   util::format("%.3f", ratio),
+                   util::format("%.1f", 100.0 * result.lowered_fraction()),
+                   util::format("%.3f",
+                                100.0 * result.resource_failure_fraction()),
+                   util::format("%.2f", result.mean_slowdown)});
+    if (csv) {
+      csv->row(std::vector<double>{alpha, beta, result.utilization, ratio,
+                                   result.lowered_fraction(),
+                                   result.resource_failure_fraction(),
+                                   result.mean_slowdown});
     }
   }
   table.print();

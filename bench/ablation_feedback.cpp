@@ -38,11 +38,11 @@ resmatch::trace::Workload make_trace(std::uint64_t seed, std::size_t jobs,
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: feedback type and false positives",
                     "Yom-Tov & Aridor 2006, §2.1");
 
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
+  const std::size_t pool = args.trace_jobs == 0 ? 512 : 64;
   const std::size_t machines = 2 * pool;
   const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, pool);
 
@@ -55,33 +55,56 @@ int main(int argc, char** argv) {
                  "resource_fail_frac"});
   }
 
-  for (const double fault_rate : {0.0, 0.05}) {
-    trace::Workload workload = make_trace(args.seed, args.jobs, fault_rate);
-    workload = trace::sort_by_submit(
-        trace::scale_to_load(std::move(workload), machines, 1.0));
-    struct Arm {
-      const char* estimator;
-      const char* feedback;
-    };
-    for (const Arm arm : {Arm{"successive-approximation", "implicit"},
-                          Arm{"last-instance", "explicit"},
-                          Arm{"none", "-"}}) {
-      exp::RunSpec spec = args.run_spec();
-      spec.estimator = arm.estimator;
-      const auto result = exp::run_once(workload, cluster, spec);
-      table.add_row(
-          {arm.estimator, arm.feedback, util::format("%.0f%%", 100 * fault_rate),
-           util::format("%.3f", result.utilization),
-           util::format("%.1f", 100.0 * result.lowered_fraction()),
-           util::format("%.3f", 100.0 * result.resource_failure_fraction()),
-           util::format("%zu", result.intrinsic_failed)});
-      if (csv) {
-        csv->row({std::string(arm.estimator),
-                  util::format_number(fault_rate, 4),
-                  util::format_number(result.utilization, 6),
-                  util::format_number(result.lowered_fraction(), 6),
-                  util::format_number(result.resource_failure_fraction(), 6)});
-      }
+  // Two fault-rate traces × three estimator arms: each arm keeps a
+  // reference to its trace, and all six runs fan across the sweep engine
+  // via run_tasks (run_specs assumes one shared workload).
+  const std::vector<double> fault_rates = {0.0, 0.05};
+  std::vector<trace::Workload> workloads;
+  for (const double fault_rate : fault_rates) {
+    trace::Workload workload = make_trace(args.seed, args.trace_jobs,
+                                          fault_rate);
+    workloads.push_back(trace::sort_by_submit(
+        trace::scale_to_load(std::move(workload), machines, 1.0)));
+  }
+  struct Arm {
+    const char* estimator;
+    const char* feedback;
+    std::size_t trace_index;
+    double fault_rate;
+  };
+  std::vector<Arm> arms;
+  for (std::size_t t = 0; t < fault_rates.size(); ++t) {
+    arms.push_back({"successive-approximation", "implicit", t, fault_rates[t]});
+    arms.push_back({"last-instance", "explicit", t, fault_rates[t]});
+    arms.push_back({"none", "-", t, fault_rates[t]});
+  }
+  const auto sweep = exp::run_tasks(
+      arms.size(),
+      [&](std::size_t i) {
+        exp::RunSpec spec = args.run_spec();
+        spec.estimator = arms[i].estimator;
+        return exp::run_once(workloads[arms[i].trace_index], cluster, spec);
+      },
+      args.runner_options());
+  exp::report_sweep_errors("feedback arm", sweep.errors);
+
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (!sweep.results[i].has_value()) continue;
+    const auto& result = *sweep.results[i];
+    const Arm& arm = arms[i];
+    table.add_row(
+        {arm.estimator, arm.feedback,
+         util::format("%.0f%%", 100 * arm.fault_rate),
+         util::format("%.3f", result.utilization),
+         util::format("%.1f", 100.0 * result.lowered_fraction()),
+         util::format("%.3f", 100.0 * result.resource_failure_fraction()),
+         util::format("%zu", result.intrinsic_failed)});
+    if (csv) {
+      csv->row({std::string(arm.estimator),
+                util::format_number(arm.fault_rate, 4),
+                util::format_number(result.utilization, 6),
+                util::format_number(result.lowered_fraction(), 6),
+                util::format_number(result.resource_failure_fraction(), 6)});
     }
   }
   table.print();

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: similarity-key selection",
                     "Yom-Tov & Aridor 2006, §2.2");
 
@@ -43,24 +43,41 @@ int main(int argc, char** argv) {
   }
 
   // Simulate only the top candidates plus the paper's key (simulating all
-  // 15 would be slow without adding information).
+  // 15 would be slow without adding information). The chosen subset fans
+  // across the sweep engine; each task builds its own estimator/policy.
   const core::KeyMask paper_key =
       static_cast<core::KeyMask>(core::KeyAttribute::kUser) |
       static_cast<core::KeyMask>(core::KeyAttribute::kApp) |
       static_cast<core::KeyMask>(core::KeyAttribute::kRequestedMemory);
-  std::size_t simulated = 0;
-  for (const auto& quality : ranked) {
+  std::vector<std::size_t> simulated_ranks;  // indices into `ranked`
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    if (simulated_ranks.size() < 5 || ranked[r].mask == paper_key) {
+      simulated_ranks.push_back(r);
+    }
+  }
+  const auto sims = exp::run_tasks(
+      simulated_ranks.size(),
+      [&](std::size_t i) {
+        core::SuccessiveApproximationEstimator estimator(
+            {}, [mask = ranked[simulated_ranks[i]].mask](
+                    const trace::JobRecord& job) {
+              return core::key_hash(mask, job);
+            });
+        auto policy = sched::make_policy("fcfs");
+        return sim::simulate(workload, cluster, estimator, *policy,
+                             args.sim_config())
+            .utilization;
+      },
+      args.runner_options());
+  exp::report_sweep_errors("key-selection sim", sims.errors);
+
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const auto& quality = ranked[r];
     double util_sim = -1.0;
-    if (simulated < 5 || quality.mask == paper_key) {
-      core::SuccessiveApproximationEstimator estimator(
-          {}, [mask = quality.mask](const trace::JobRecord& job) {
-            return core::key_hash(mask, job);
-          });
-      auto policy = sched::make_policy("fcfs");
-      util_sim = sim::simulate(workload, cluster, estimator, *policy,
-                               args.sim_config())
-                     .utilization;
-      ++simulated;
+    for (std::size_t i = 0; i < simulated_ranks.size(); ++i) {
+      if (simulated_ranks[i] == r && sims.results[i].has_value()) {
+        util_sim = *sims.results[i];
+      }
     }
     const std::string key_name =
         core::describe_key(quality.mask) +

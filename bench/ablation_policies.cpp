@@ -4,6 +4,7 @@
 // with those for FCFS"). This bench runs the Figure 5 experiment under
 // FCFS, SJF, and EASY backfilling.
 #include <cstdio>
+#include <limits>
 
 #include "util/strings.hpp"
 #include "bench/bench_common.hpp"
@@ -12,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: estimation gain under different policies",
                     "Yom-Tov & Aridor 2006, §1.3 / §3.1 future work");
 
@@ -30,18 +31,37 @@ int main(int argc, char** argv) {
                  "slowdown_none", "slowdown_est", "slowdown_ratio"});
   }
 
-  for (const auto& policy : sched::policy_names()) {
+  // Two specs per policy (with estimation at even slots, without at odd),
+  // all fanned across the sweep engine in one call.
+  const auto policies = sched::policy_names();
+  std::vector<exp::RunSpec> specs;
+  for (const auto& policy : policies) {
     exp::RunSpec with_est = args.run_spec();
     with_est.policy = policy;
     exp::RunSpec without = args.run_spec();
     without.policy = policy;
     without.estimator = "none";
-    const auto est = exp::run_once(workload, cluster, with_est);
-    const auto none = exp::run_once(workload, cluster, without);
+    specs.push_back(std::move(with_est));
+    specs.push_back(std::move(without));
+  }
+  const auto sweep =
+      exp::run_specs(workload, cluster, specs, args.runner_options());
+  exp::report_sweep_errors("policy arm", sweep.errors);
+
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& policy = policies[i];
+    if (!sweep.results[2 * i].has_value() ||
+        !sweep.results[2 * i + 1].has_value()) {
+      continue;
+    }
+    const auto& est = *sweep.results[2 * i];
+    const auto& none = *sweep.results[2 * i + 1];
+    // NaN, not a 0.0 sentinel, for degenerate denominators (see LoadPoint).
+    const double nan = std::numeric_limits<double>::quiet_NaN();
     const double util_ratio =
-        none.utilization > 0 ? est.utilization / none.utilization : 0.0;
+        none.utilization > 0 ? est.utilization / none.utilization : nan;
     const double slow_ratio =
-        est.mean_slowdown > 0 ? none.mean_slowdown / est.mean_slowdown : 0.0;
+        est.mean_slowdown > 0 ? none.mean_slowdown / est.mean_slowdown : nan;
     table.add_row({policy, util::format("%.3f", none.utilization),
                    util::format("%.3f", est.utilization),
                    util::format("%.3f", util_ratio),

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner(
       "Ablation: runtime prediction x memory estimation (EASY backfill)",
       "Yom-Tov & Aridor 2006, §1.2 (Tsafrir et al. companion idea)");
@@ -34,25 +34,41 @@ int main(int argc, char** argv) {
                  "p95_slowdown", "wait"});
   }
 
+  struct Arm {
+    bool predict_runtime;
+    const char* estimator;
+  };
+  std::vector<Arm> arms;
+  std::vector<exp::RunSpec> specs;
   for (const bool predict_runtime : {false, true}) {
     for (const char* estimator : {"none", "successive-approximation"}) {
       exp::RunSpec spec = args.run_spec();
       spec.policy = "easy-backfill";
       spec.estimator = estimator;
       spec.use_runtime_prediction = predict_runtime;
-      const auto result = exp::run_once(workload, cluster, spec);
-      table.add_row({predict_runtime ? "learned (Tsafrir)" : "user estimate",
-                     estimator, util::format("%.3f", result.utilization),
-                     util::format("%.2f", result.mean_slowdown),
-                     util::format("%.2f", result.p95_slowdown),
-                     util::format("%.0f", result.mean_wait)});
-      if (csv) {
-        csv->row({predict_runtime ? "1" : "0", std::string(estimator),
-                  util::format_number(result.utilization, 6),
-                  util::format_number(result.mean_slowdown, 6),
-                  util::format_number(result.p95_slowdown, 6),
-                  util::format_number(result.mean_wait, 6)});
-      }
+      specs.push_back(std::move(spec));
+      arms.push_back({predict_runtime, estimator});
+    }
+  }
+  const auto sweep =
+      exp::run_specs(workload, cluster, specs, args.runner_options());
+  exp::report_sweep_errors("runtime-prediction arm", sweep.errors);
+
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (!sweep.results[i].has_value()) continue;
+    const auto& result = *sweep.results[i];
+    const Arm& arm = arms[i];
+    table.add_row({arm.predict_runtime ? "learned (Tsafrir)" : "user estimate",
+                   arm.estimator, util::format("%.3f", result.utilization),
+                   util::format("%.2f", result.mean_slowdown),
+                   util::format("%.2f", result.p95_slowdown),
+                   util::format("%.0f", result.mean_wait)});
+    if (csv) {
+      csv->row({arm.predict_runtime ? "1" : "0", std::string(arm.estimator),
+                util::format_number(result.utilization, 6),
+                util::format_number(result.mean_slowdown, 6),
+                util::format_number(result.p95_slowdown, 6),
+                util::format_number(result.mean_wait, 6)});
     }
   }
   table.print();

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Ablation: warm start from historical traces",
                     "Yom-Tov & Aridor 2006, §2.2 training phase");
 
@@ -32,12 +32,25 @@ int main(int argc, char** argv) {
                  "resource_fail_frac"});
   }
 
-  for (const char* estimator :
-       {"successive-approximation", "bracketing", "last-instance",
-        "regression-ridge"}) {
-    exp::RunSpec spec = args.run_spec();
-    spec.estimator = estimator;
-    const auto result = exp::run_warmstart(workload, cluster, spec, 0.3);
+  // One warm-start comparison per estimator; the four chronological
+  // cold/warm pairs fan across the sweep engine.
+  const std::vector<const char*> estimators = {
+      "successive-approximation", "bracketing", "last-instance",
+      "regression-ridge"};
+  const auto sweep = exp::run_tasks(
+      estimators.size(),
+      [&](std::size_t i) {
+        exp::RunSpec spec = args.run_spec();
+        spec.estimator = estimators[i];
+        return exp::run_warmstart(workload, cluster, spec, 0.3);
+      },
+      args.runner_options());
+  exp::report_sweep_errors("warm-start arm", sweep.errors);
+
+  for (std::size_t i = 0; i < estimators.size(); ++i) {
+    if (!sweep.results[i].has_value()) continue;
+    const char* estimator = estimators[i];
+    const auto& result = *sweep.results[i];
     struct Arm {
       const char* label;
       const sim::SimulationResult* r;

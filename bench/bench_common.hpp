@@ -1,14 +1,18 @@
 // Shared command-line conventions and setup for the bench binaries.
 //
 // Every experiment binary accepts:
-//   --jobs=N          trace size (default: a fast reduced scale; 0 = full
+//   --trace-jobs=N    trace size (default: a fast reduced scale; 0 = full
 //                     ~122k)
+//   --jobs=N          worker threads the sweep engine fans runs across
+//                     (0 = hardware concurrency, the default; 1 = serial).
+//                     Sweep output is byte-identical for every value.
 //   --seed=S          workload seed
-//   --sim-seed=S      simulator seed (failure-time draws)
+//   --sim-seed=S      simulator base seed (per-point seeds derive from it)
 //   --max-attempts=N  per-job attempt cap before the simulator drops it
 //   --csv=PATH        optional CSV dump of the printed series
+//   --metrics-out=P   optional schema-v1 BENCH_*.json sweep record
 // Full paper scale is the default for the figure benches unless
-// --jobs overrides it; reduced scale keeps CI fast.
+// --trace-jobs overrides it; reduced scale keeps CI fast.
 //
 // The standard experiment fixture — the paper's two-pool heterogeneous
 // cluster plus a load-scaled, submit-sorted workload — is built by
@@ -20,6 +24,8 @@
 #include <utility>
 
 #include "exp/experiment.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 
 namespace resmatch::exp {
@@ -34,18 +40,22 @@ struct BenchSetup {
 };
 
 struct BenchArgs {
-  std::size_t jobs = 0;  ///< 0 = full paper scale
+  std::size_t trace_jobs = 0;  ///< trace size; 0 = full paper scale
+  std::size_t jobs = 0;        ///< sweep workers; 0 = hardware concurrency
   std::uint64_t seed = 42;
   std::uint64_t sim_seed = 7;
   std::uint32_t max_attempts = 64;
   std::string csv;
+  std::string metrics_out;
 
   static BenchArgs parse(int argc, const char* const* argv,
-                         std::size_t default_jobs) {
+                         std::size_t default_trace_jobs) {
     util::CliArgs cli(argc, argv);
     BenchArgs out;
+    out.trace_jobs = static_cast<std::size_t>(
+        cli.get("trace-jobs", static_cast<std::int64_t>(default_trace_jobs)));
     out.jobs = static_cast<std::size_t>(
-        cli.get("jobs", static_cast<std::int64_t>(default_jobs)));
+        cli.get("jobs", static_cast<std::int64_t>(0)));
     out.seed = static_cast<std::uint64_t>(
         cli.get("seed", static_cast<std::int64_t>(42)));
     out.sim_seed = static_cast<std::uint64_t>(
@@ -53,6 +63,7 @@ struct BenchArgs {
     out.max_attempts = static_cast<std::uint32_t>(
         cli.get("max-attempts", static_cast<std::int64_t>(64)));
     out.csv = cli.get("csv", std::string{});
+    out.metrics_out = cli.get("metrics-out", std::string{});
     for (const auto& key : cli.unused()) {
       std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
     }
@@ -60,7 +71,7 @@ struct BenchArgs {
   }
 
   [[nodiscard]] trace::Workload workload() const {
-    return standard_workload(seed, jobs);
+    return standard_workload(seed, trace_jobs);
   }
 
   /// Simulator configuration with the shared CLI knobs applied.
@@ -79,13 +90,24 @@ struct BenchArgs {
     return spec;
   }
 
+  /// Sweep-engine options from the shared --jobs flag, optionally wired
+  /// to a metrics registry for BENCH_*.json export.
+  [[nodiscard]] RunnerOptions runner_options(
+      obs::Registry* metrics = nullptr) const {
+    RunnerOptions options;
+    options.jobs = jobs;
+    options.metrics = metrics;
+    return options;
+  }
+
   /// The paper's experiment fixture: 32 MiB pool + `second_pool_mib` pool
   /// (512 machines each at full scale, 64 at reduced scale), workload
   /// narrowed to jobs that fit, rescaled to `load`, sorted by submit time.
   [[nodiscard]] BenchSetup heterogeneous_setup(MiB second_pool_mib = 24.0,
                                                double load = 1.0) const {
     BenchSetup out;
-    out.pool = jobs == 0 ? 512 : 64;  // reduced runs use a reduced cluster
+    // reduced runs use a reduced cluster
+    out.pool = trace_jobs == 0 ? 512 : 64;
     out.machines = 2 * out.pool;
     out.cluster = sim::cm5_heterogeneous(second_pool_mib, out.pool);
 
@@ -103,5 +125,38 @@ struct BenchArgs {
     return out;
   }
 };
+
+/// Emit the schema-v1 BENCH sweep record (no-op when --metrics-out is
+/// empty). Records the parallel sweep's cost plus serial-vs-parallel
+/// speedup; `rerun_serial` re-runs the same sweep with jobs=1 and returns
+/// its stats — it is only invoked when the measured sweep was parallel.
+template <typename RerunSerial>
+void maybe_write_sweep_record(const BenchArgs& args, const char* bench_name,
+                              const SweepStats& stats, obs::Registry& registry,
+                              RerunSerial&& rerun_serial) {
+  if (args.metrics_out.empty()) return;
+  double serial_wall = stats.wall_seconds;
+  if (stats.jobs > 1) {
+    serial_wall = rerun_serial().wall_seconds;
+  }
+  obs::BenchRecord record(bench_name);
+  record.config("jobs", static_cast<std::int64_t>(stats.jobs));
+  record.config("trace_jobs", static_cast<std::int64_t>(args.trace_jobs));
+  record.config("seed", static_cast<std::int64_t>(args.seed));
+  record.config("sim_seed", static_cast<std::int64_t>(args.sim_seed));
+  record.summary("sims_total", static_cast<double>(stats.runs));
+  record.summary("failed_runs", static_cast<double>(stats.failed));
+  record.summary("wall_seconds", stats.wall_seconds);
+  record.summary("wall_seconds_serial", serial_wall);
+  record.summary("speedup_vs_serial",
+                 stats.wall_seconds > 0.0 ? serial_wall / stats.wall_seconds
+                                          : 1.0);
+  record.summary("sims_per_sec", stats.runs_per_sec);
+  record.metrics(registry.snapshot());
+  if (!record.write(args.metrics_out)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 args.metrics_out.c_str());
+  }
+}
 
 }  // namespace resmatch::exp

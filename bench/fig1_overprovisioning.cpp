@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/0);
   exp::print_banner("Figure 1: over-provisioning histogram",
                     "Yom-Tov & Aridor 2006, Figure 1");
 

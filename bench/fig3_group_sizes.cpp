@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/0);
   exp::print_banner("Figure 3: jobs by similarity-group size",
                     "Yom-Tov & Aridor 2006, Figure 3 and footnote 2");
 

@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/0);
   exp::print_banner(
       "Figure 5: utilization vs load, with/without estimation",
       "Yom-Tov & Aridor 2006, Figure 5 (+ §3.2 conservativeness)");
@@ -27,7 +27,16 @@ int main(int argc, char** argv) {
   // paper defaults: successive-approximation, fcfs
   exp::RunSpec spec = args.run_spec();
   const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4};
-  const auto sweep = exp::load_sweep(workload, cluster, loads, spec);
+  obs::Registry registry;
+  const auto result =
+      exp::load_sweep(workload, cluster, loads, spec,
+                      args.runner_options(&registry));
+  exp::report_sweep_errors("load point", result.errors);
+  const auto& sweep = result.points;
+  if (sweep.empty()) {
+    std::fprintf(stderr, "error: every sweep point failed\n");
+    return 1;
+  }
 
   exp::load_sweep_table(sweep).print();
 
@@ -68,5 +77,11 @@ int main(int argc, char** argv) {
               100.0 * last.lowered_fraction());
 
   exp::write_load_sweep_csv(args.csv, sweep);
+  exp::maybe_write_sweep_record(
+      args, "fig5_utilization", result.stats, registry, [&] {
+        exp::RunnerOptions serial;
+        serial.jobs = 1;
+        return exp::load_sweep(workload, cluster, loads, spec, serial).stats;
+      });
   return 0;
 }

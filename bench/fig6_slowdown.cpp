@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/0);
   exp::print_banner("Figure 6: slowdown ratio (no estimation / estimation)",
                     "Yom-Tov & Aridor 2006, Figure 6");
 
@@ -23,29 +23,57 @@ int main(int argc, char** argv) {
 
   exp::RunSpec spec = args.run_spec();
   const std::vector<double> loads = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
-  const auto sweep = exp::load_sweep(workload, cluster, loads, spec);
+  obs::Registry registry;
+  const auto result = exp::load_sweep(workload, cluster, loads, spec,
+                                      args.runner_options(&registry));
+  exp::report_sweep_errors("load point", result.errors);
+  const auto& sweep = result.points;
 
   util::ConsoleTable table({"load", "slowdown(none)", "slowdown(est)",
                             "ratio none/est", "wait(none) s", "wait(est) s"});
+  // Degenerate ratios (zero slowdown under estimation — a perfect run)
+  // render as NaN and stay out of the peak/min scans instead of posing
+  // as the worst possible ratio.
   double peak_ratio = 0.0, peak_load = 0.0;
+  double min_ratio = 1e9;
+  std::size_t degenerate = 0;
   for (const auto& p : sweep) {
+    const auto ratio = p.slowdown_ratio();
     table.add_numeric_row({p.load, p.without_estimation.mean_slowdown,
-                   p.with_estimation.mean_slowdown, p.slowdown_ratio(),
+                   p.with_estimation.mean_slowdown, exp::ratio_or_nan(ratio),
                    p.without_estimation.mean_wait,
                    p.with_estimation.mean_wait});
-    if (p.slowdown_ratio() > peak_ratio) {
-      peak_ratio = p.slowdown_ratio();
+    if (!ratio.has_value()) {
+      ++degenerate;
+      continue;
+    }
+    if (*ratio > peak_ratio) {
+      peak_ratio = *ratio;
       peak_load = p.load;
     }
+    min_ratio = std::min(min_ratio, *ratio);
   }
   table.print();
 
-  std::printf("\npeak slowdown ratio: %.2fx at load %.0f%%   (paper: peak near 60%%)\n",
-              peak_ratio, 100.0 * peak_load);
-  double min_ratio = 1e9;
-  for (const auto& p : sweep) min_ratio = std::min(min_ratio, p.slowdown_ratio());
-  std::printf("minimum ratio:       %.2f   (paper: never below 1)\n", min_ratio);
+  if (degenerate == sweep.size()) {
+    std::printf("\nevery point had zero slowdown under estimation; "
+                "no finite ratios to rank\n");
+  } else {
+    std::printf("\npeak slowdown ratio: %.2fx at load %.0f%%   (paper: peak near 60%%)\n",
+                peak_ratio, 100.0 * peak_load);
+    std::printf("minimum ratio:       %.2f   (paper: never below 1)\n", min_ratio);
+  }
+  if (degenerate > 0) {
+    std::printf("(%zu point%s with zero estimation slowdown excluded)\n",
+                degenerate, degenerate == 1 ? "" : "s");
+  }
 
   exp::write_load_sweep_csv(args.csv, sweep);
+  exp::maybe_write_sweep_record(
+      args, "fig6_slowdown", result.stats, registry, [&] {
+        exp::RunnerOptions serial;
+        serial.jobs = 1;
+        return exp::load_sweep(workload, cluster, loads, spec, serial).stats;
+      });
   return 0;
 }

@@ -14,44 +14,71 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/0);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/0);
   exp::print_banner("Figure 8: utilization ratio vs second-pool memory",
                     "Yom-Tov & Aridor 2006, Figure 8 (+ §3.2 node-count fit)");
 
   const trace::Workload workload = args.workload();
-  const std::size_t pool = args.jobs == 0 ? 512 : 64;
+  const std::size_t pool = args.trace_jobs == 0 ? 512 : 64;
 
   std::vector<MiB> sizes;
   for (int mib = 1; mib <= 32; ++mib) sizes.push_back(mib);
 
   exp::RunSpec spec = args.run_spec();
-  const auto sweep = exp::cluster_sweep(workload, sizes, 1.0, spec, pool);
+  obs::Registry registry;
+  const auto result = exp::cluster_sweep(workload, sizes, 1.0, spec, pool,
+                                         args.runner_options(&registry));
+  exp::report_sweep_errors("second-pool size", result.errors);
+  const auto& sweep = result.points;
   exp::cluster_sweep_table(sweep).print();
 
   // The paper's §3.2 linear fit: benefiting node count vs utilization
-  // ratio, over the gain band (16-28 MiB).
+  // ratio, over the gain band (16-28 MiB). Degenerate points (no baseline
+  // utilization) carry no ratio and stay out of the fit and the best-point
+  // scan — a 0.0 sentinel would anchor the fit and the argmax at garbage.
   std::vector<double> node_counts, ratios;
   for (const auto& p : sweep) {
-    if (p.second_pool_mib >= 16.0 && p.second_pool_mib <= 28.0) {
+    const auto ratio = p.utilization_ratio();
+    if (p.second_pool_mib >= 16.0 && p.second_pool_mib <= 28.0 &&
+        ratio.has_value()) {
       node_counts.push_back(
           static_cast<double>(p.with_estimation.benefiting_nodes));
-      ratios.push_back(p.utilization_ratio());
+      ratios.push_back(*ratio);
     }
   }
   const auto fit = stats::fit_linear(node_counts, ratios);
-  std::printf("\nnode-count vs gain fit over 16-28 MiB: R^2=%.3f   (paper: 0.991)\n",
-              fit.r_squared);
+  if (fit.valid) {
+    std::printf("\nnode-count vs gain fit over 16-28 MiB: R^2=%.3f   (paper: 0.991)\n",
+                fit.r_squared);
+  } else {
+    std::printf("\nnode-count vs gain fit over 16-28 MiB: degenerate "
+                "(%zu usable points) — no R^2 claim\n", fit.n);
+  }
 
   double best_ratio = 0.0, best_mib = 0.0;
+  bool any_ratio = false;
   for (const auto& p : sweep) {
-    if (p.utilization_ratio() > best_ratio) {
-      best_ratio = p.utilization_ratio();
+    const auto ratio = p.utilization_ratio();
+    if (ratio.has_value() && *ratio > best_ratio) {
+      best_ratio = *ratio;
       best_mib = p.second_pool_mib;
+      any_ratio = true;
     }
   }
-  std::printf("largest gain: %.2fx at %g MiB   (paper: gains only in 16-28 MiB)\n",
-              best_ratio, best_mib);
+  if (any_ratio) {
+    std::printf("largest gain: %.2fx at %g MiB   (paper: gains only in 16-28 MiB)\n",
+                best_ratio, best_mib);
+  } else {
+    std::printf("largest gain: undefined (no point produced a finite ratio)\n");
+  }
 
   exp::write_cluster_sweep_csv(args.csv, sweep);
+  exp::maybe_write_sweep_record(
+      args, "fig8_cluster_sweep", result.stats, registry, [&] {
+        exp::RunnerOptions serial;
+        serial.jobs = 1;
+        return exp::cluster_sweep(workload, sizes, 1.0, spec, pool, serial)
+            .stats;
+      });
   return 0;
 }

@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace resmatch;
-  const auto args = exp::BenchArgs::parse(argc, argv, /*default_jobs=*/20000);
+  const auto args = exp::BenchArgs::parse(argc, argv, /*default_trace_jobs=*/20000);
   exp::print_banner("Table 1: estimator taxonomy comparison",
                     "Yom-Tov & Aridor 2006, Table 1 and §4");
 

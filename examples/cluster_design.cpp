@@ -13,6 +13,7 @@
 
 #include "util/strings.hpp"
 #include "exp/experiment.hpp"
+#include "exp/report.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -25,9 +26,11 @@ int main() {
 
   exp::RunSpec spec;  // the paper's estimator and policy
   const std::vector<MiB> candidates = {8, 12, 16, 20, 24, 28, 32};
-  const auto sweep =
+  const auto result =
       exp::cluster_sweep(workload, candidates, /*load=*/1.0, spec,
                          /*pool_size=*/64);
+  exp::report_sweep_errors("candidate pool", result.errors);
+  const auto& sweep = result.points;
 
   util::ConsoleTable table({"2nd pool MiB", "util (est)", "util (none)",
                             "gain", "benefiting nodes"});
@@ -38,7 +41,7 @@ int main() {
         {util::format("%g", point.second_pool_mib),
          util::format("%.3f", point.with_estimation.utilization),
          util::format("%.3f", point.without_estimation.utilization),
-         util::format("%.3f", point.utilization_ratio()),
+         util::format("%.3f", exp::ratio_or_nan(point.utilization_ratio())),
          util::format("%zu", point.with_estimation.benefiting_nodes)});
     if (point.with_estimation.utilization > best_util) {
       best_util = point.with_estimation.utilization;

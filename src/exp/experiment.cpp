@@ -1,6 +1,8 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "util/logging.hpp"
 
@@ -25,29 +27,79 @@ sim::SimulationResult run_once(const trace::Workload& workload,
   return sim::simulate(workload, cluster, *estimator, *policy, config);
 }
 
-std::vector<LoadPoint> load_sweep(const trace::Workload& workload,
-                                  const sim::ClusterSpec& cluster,
-                                  const std::vector<double>& loads,
-                                  const RunSpec& spec) {
+namespace {
+
+/// Both arms of point i live in task slots 2i (with estimation) and
+/// 2i + 1 (baseline); they share the seed derived from the point index so
+/// the comparison stays paired. Collapses per-task errors to per-point
+/// errors and assembles the points whose two arms both succeeded.
+template <typename Point, typename MakePoint>
+void assemble_pairs(std::size_t point_count,
+                    std::vector<std::optional<sim::SimulationResult>>& slots,
+                    const std::vector<RunError>& task_errors,
+                    const MakePoint& make_point, std::vector<Point>& points,
+                    std::vector<RunError>& point_errors) {
+  points.reserve(point_count);
+  for (std::size_t i = 0; i < point_count; ++i) {
+    std::string message;
+    for (const auto& err : task_errors) {
+      if (err.index / 2 != i) continue;
+      if (!message.empty()) message += "; ";
+      message += (err.index % 2 == 0 ? "with-estimation: " : "baseline: ");
+      message += err.message;
+    }
+    if (!message.empty()) {
+      point_errors.push_back({i, std::move(message)});
+      continue;
+    }
+    points.push_back(
+        make_point(i, std::move(*slots[2 * i]), std::move(*slots[2 * i + 1])));
+  }
+}
+
+}  // namespace
+
+LoadSweep load_sweep(const trace::Workload& workload,
+                     const sim::ClusterSpec& cluster,
+                     const std::vector<double>& loads, const RunSpec& spec,
+                     const RunnerOptions& runner_options) {
   std::size_t machines = 0;
   for (const auto& pool : cluster) machines += pool.count;
 
-  std::vector<LoadPoint> out;
-  out.reserve(loads.size());
   RunSpec baseline = spec;
   baseline.estimator = "none";
-  for (const double load : loads) {
-    trace::Workload scaled = trace::sort_by_submit(
-        trace::scale_to_load(workload, machines, load));
-    LoadPoint point;
-    point.load = load;
-    point.with_estimation = run_once(scaled, cluster, spec);
-    point.without_estimation = run_once(scaled, cluster, baseline);
-    RM_LOG(kInfo) << "load " << load << ": util "
-                  << point.with_estimation.utilization << " vs "
-                  << point.without_estimation.utilization;
-    out.push_back(std::move(point));
-  }
+
+  const std::size_t n = loads.size();
+  std::vector<std::optional<sim::SimulationResult>> slots(2 * n);
+  std::vector<RunError> task_errors;
+  SweepRunner runner(runner_options);
+  LoadSweep out;
+  out.stats = runner.run_indexed(
+      2 * n,
+      [&](std::size_t t) {
+        const std::size_t i = t / 2;
+        RunSpec run = (t % 2 == 0) ? spec : baseline;
+        run.sim.seed = derive_seed(spec.sim.seed, i);
+        trace::Workload scaled = trace::sort_by_submit(
+            trace::scale_to_load(workload, machines, loads[i]));
+        slots[t] = run_once(scaled, cluster, run);
+      },
+      &task_errors);
+
+  assemble_pairs(
+      n, slots, task_errors,
+      [&](std::size_t i, sim::SimulationResult with,
+          sim::SimulationResult without) {
+        LoadPoint point;
+        point.load = loads[i];
+        point.with_estimation = std::move(with);
+        point.without_estimation = std::move(without);
+        RM_LOG(kInfo) << "load " << point.load << ": util "
+                      << point.with_estimation.utilization << " vs "
+                      << point.without_estimation.utilization;
+        return point;
+      },
+      out.points, out.errors);
   return out;
 }
 
@@ -80,27 +132,60 @@ SaturationKnee find_saturation_knee(const std::vector<LoadPoint>& sweep,
   return knee;
 }
 
-std::vector<ClusterPoint> cluster_sweep(const trace::Workload& workload,
-                                        const std::vector<MiB>& second_pool_sizes,
-                                        double load, const RunSpec& spec,
-                                        std::size_t pool_size) {
-  std::vector<ClusterPoint> out;
-  out.reserve(second_pool_sizes.size());
+ClusterSweep cluster_sweep(const trace::Workload& workload,
+                           const std::vector<MiB>& second_pool_sizes,
+                           double load, const RunSpec& spec,
+                           std::size_t pool_size,
+                           const RunnerOptions& runner_options) {
   RunSpec baseline = spec;
   baseline.estimator = "none";
-  for (const MiB mib : second_pool_sizes) {
-    const sim::ClusterSpec cluster = sim::cm5_heterogeneous(mib, pool_size);
-    trace::Workload scaled = trace::sort_by_submit(
-        trace::scale_to_load(workload, 2 * pool_size, load));
-    ClusterPoint point;
-    point.second_pool_mib = mib;
-    point.with_estimation = run_once(scaled, cluster, spec);
-    point.without_estimation = run_once(scaled, cluster, baseline);
-    RM_LOG(kInfo) << "second pool " << mib << " MiB: ratio "
-                  << point.utilization_ratio();
-    out.push_back(std::move(point));
-  }
+
+  const std::size_t n = second_pool_sizes.size();
+  std::vector<std::optional<sim::SimulationResult>> slots(2 * n);
+  std::vector<RunError> task_errors;
+  SweepRunner runner(runner_options);
+  ClusterSweep out;
+  out.stats = runner.run_indexed(
+      2 * n,
+      [&](std::size_t t) {
+        const std::size_t i = t / 2;
+        RunSpec run = (t % 2 == 0) ? spec : baseline;
+        run.sim.seed = derive_seed(spec.sim.seed, i);
+        const sim::ClusterSpec cluster =
+            sim::cm5_heterogeneous(second_pool_sizes[i], pool_size);
+        trace::Workload scaled = trace::sort_by_submit(
+            trace::scale_to_load(workload, 2 * pool_size, load));
+        slots[t] = run_once(scaled, cluster, run);
+      },
+      &task_errors);
+
+  assemble_pairs(
+      n, slots, task_errors,
+      [&](std::size_t i, sim::SimulationResult with,
+          sim::SimulationResult without) {
+        ClusterPoint point;
+        point.second_pool_mib = second_pool_sizes[i];
+        point.with_estimation = std::move(with);
+        point.without_estimation = std::move(without);
+        const auto ratio = point.utilization_ratio();
+        RM_LOG(kInfo) << "second pool " << point.second_pool_mib
+                      << " MiB: ratio "
+                      << (ratio ? *ratio
+                                : std::numeric_limits<double>::quiet_NaN());
+        return point;
+      },
+      out.points, out.errors);
   return out;
+}
+
+SpecSweep run_specs(const trace::Workload& workload,
+                    const sim::ClusterSpec& cluster,
+                    const std::vector<RunSpec>& specs,
+                    const RunnerOptions& runner_options) {
+  return run_tasks(
+      specs.size(),
+      [&](std::size_t i) { return run_once(workload, cluster, specs[i]); },
+      runner_options);
 }
 
 std::size_t warm_start(core::Estimator& estimator,

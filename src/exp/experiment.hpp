@@ -6,10 +6,12 @@
 // once so each bench binary is a thin declaration of its sweep.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/factory.hpp"
+#include "exp/runner.hpp"
 #include "sched/factory.hpp"
 #include "sim/simulator.hpp"
 #include "trace/cm5_model.hpp"
@@ -38,29 +40,45 @@ struct RunSpec {
 
 /// One row of a load sweep: the same workload rescaled to `load`, run with
 /// and without estimation.
+///
+/// The ratios are nullopt when their denominator is zero (e.g. a perfect
+/// estimator reaches zero mean slowdown). Benches render degenerate
+/// ratios as NaN and exclude them from best/worst scans — a fake 0.0
+/// sentinel would read as "worst possible" and latch min/max searches.
 struct LoadPoint {
   double load = 0.0;
   sim::SimulationResult with_estimation;
   sim::SimulationResult without_estimation;
 
-  [[nodiscard]] double utilization_ratio() const noexcept {
-    return without_estimation.utilization > 0.0
-               ? with_estimation.utilization / without_estimation.utilization
-               : 0.0;
+  [[nodiscard]] std::optional<double> utilization_ratio() const noexcept {
+    if (without_estimation.utilization <= 0.0) return std::nullopt;
+    return with_estimation.utilization / without_estimation.utilization;
   }
-  [[nodiscard]] double slowdown_ratio() const noexcept {
+  [[nodiscard]] std::optional<double> slowdown_ratio() const noexcept {
     // Paper Figure 6 plots slowdown(no est) / slowdown(est): > 1 is a win.
-    return with_estimation.mean_slowdown > 0.0
-               ? without_estimation.mean_slowdown /
-                     with_estimation.mean_slowdown
-               : 0.0;
+    if (with_estimation.mean_slowdown <= 0.0) return std::nullopt;
+    return without_estimation.mean_slowdown / with_estimation.mean_slowdown;
   }
 };
 
-/// Figures 5 and 6: sweep offered load on a fixed cluster.
-[[nodiscard]] std::vector<LoadPoint> load_sweep(
-    const trace::Workload& workload, const sim::ClusterSpec& cluster,
-    const std::vector<double>& loads, const RunSpec& spec);
+/// A completed load sweep: successful points in sweep order, plus isolated
+/// per-point failures (index into the `loads` grid) and runner stats.
+struct LoadSweep {
+  std::vector<LoadPoint> points;
+  std::vector<RunError> errors;
+  SweepStats stats;
+};
+
+/// Figures 5 and 6: sweep offered load on a fixed cluster. The 2×N
+/// simulations fan across `runner.jobs` workers; each point's two arms
+/// share a sim seed derived from (spec.sim.seed, point index), so output
+/// is byte-identical for any worker count. A failed point lands in
+/// `errors` instead of aborting the sweep.
+[[nodiscard]] LoadSweep load_sweep(const trace::Workload& workload,
+                                   const sim::ClusterSpec& cluster,
+                                   const std::vector<double>& loads,
+                                   const RunSpec& spec,
+                                   const RunnerOptions& runner = {});
 
 /// Saturation utilization: the maximum achieved utilization across a sweep
 /// (the paper compares utilizations "at the saturation points where the
@@ -87,16 +105,36 @@ struct ClusterPoint {
   sim::SimulationResult with_estimation;
   sim::SimulationResult without_estimation;
 
-  [[nodiscard]] double utilization_ratio() const noexcept {
-    return without_estimation.utilization > 0.0
-               ? with_estimation.utilization / without_estimation.utilization
-               : 0.0;
+  /// nullopt when the baseline utilization is zero (see LoadPoint).
+  [[nodiscard]] std::optional<double> utilization_ratio() const noexcept {
+    if (without_estimation.utilization <= 0.0) return std::nullopt;
+    return with_estimation.utilization / without_estimation.utilization;
   }
 };
 
-[[nodiscard]] std::vector<ClusterPoint> cluster_sweep(
+/// A completed cluster sweep (same contract as LoadSweep; error indices
+/// point into `second_pool_sizes`).
+struct ClusterSweep {
+  std::vector<ClusterPoint> points;
+  std::vector<RunError> errors;
+  SweepStats stats;
+};
+
+[[nodiscard]] ClusterSweep cluster_sweep(
     const trace::Workload& workload, const std::vector<MiB>& second_pool_sizes,
-    double load, const RunSpec& spec, std::size_t pool_size = 512);
+    double load, const RunSpec& spec, std::size_t pool_size = 512,
+    const RunnerOptions& runner = {});
+
+/// Index-ordered results of evaluating many independent RunSpecs on one
+/// fixture (the ablation benches' arm grids). Specs run verbatim — no
+/// per-index seed derivation, so arms stay paired on the caller's sim
+/// seed and comparable head-to-head.
+using SpecSweep = TaskSweep<sim::SimulationResult>;
+
+[[nodiscard]] SpecSweep run_specs(const trace::Workload& workload,
+                                  const sim::ClusterSpec& cluster,
+                                  const std::vector<RunSpec>& specs,
+                                  const RunnerOptions& runner = {});
 
 /// Standard workloads for experiments. `jobs == 0` means the full
 /// paper-scale trace (~122k jobs); smaller values generate proportionally

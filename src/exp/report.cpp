@@ -1,11 +1,16 @@
 #include "exp/report.hpp"
 
 #include <cstdio>
+#include <limits>
 
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
 namespace resmatch::exp {
+
+double ratio_or_nan(const std::optional<double>& ratio) noexcept {
+  return ratio.value_or(std::numeric_limits<double>::quiet_NaN());
+}
 
 util::ConsoleTable load_sweep_table(const std::vector<LoadPoint>& sweep) {
   util::ConsoleTable table({"load", "util(est)", "util(none)", "util ratio",
@@ -13,9 +18,11 @@ util::ConsoleTable load_sweep_table(const std::vector<LoadPoint>& sweep) {
                             "slowdown ratio", "lowered%", "res-fail%"});
   for (const auto& p : sweep) {
     table.add_numeric_row({p.load, p.with_estimation.utilization,
-                   p.without_estimation.utilization, p.utilization_ratio(),
+                   p.without_estimation.utilization,
+                   ratio_or_nan(p.utilization_ratio()),
                    p.with_estimation.mean_slowdown,
-                   p.without_estimation.mean_slowdown, p.slowdown_ratio(),
+                   p.without_estimation.mean_slowdown,
+                   ratio_or_nan(p.slowdown_ratio()),
                    100.0 * p.with_estimation.lowered_fraction(),
                    100.0 * p.with_estimation.resource_failure_fraction()});
   }
@@ -29,7 +36,8 @@ util::ConsoleTable cluster_sweep_table(const std::vector<ClusterPoint>& sweep) {
   for (const auto& p : sweep) {
     table.add_numeric_row(
         {p.second_pool_mib, p.with_estimation.utilization,
-         p.without_estimation.utilization, p.utilization_ratio(),
+         p.without_estimation.utilization,
+         ratio_or_nan(p.utilization_ratio()),
          static_cast<double>(p.with_estimation.benefiting_jobs),
          static_cast<double>(p.with_estimation.benefiting_nodes),
          100.0 * p.with_estimation.resource_failure_fraction()});
@@ -47,9 +55,11 @@ void write_load_sweep_csv(const std::string& path,
   for (const auto& p : sweep) {
     csv.row(std::vector<double>{
         p.load, p.with_estimation.utilization,
-        p.without_estimation.utilization, p.utilization_ratio(),
+        p.without_estimation.utilization,
+        ratio_or_nan(p.utilization_ratio()),
         p.with_estimation.mean_slowdown, p.without_estimation.mean_slowdown,
-        p.slowdown_ratio(), p.with_estimation.lowered_fraction(),
+        ratio_or_nan(p.slowdown_ratio()),
+        p.with_estimation.lowered_fraction(),
         p.with_estimation.resource_failure_fraction()});
   }
 }
@@ -63,10 +73,19 @@ void write_cluster_sweep_csv(const std::string& path,
   for (const auto& p : sweep) {
     csv.row(std::vector<double>{
         p.second_pool_mib, p.with_estimation.utilization,
-        p.without_estimation.utilization, p.utilization_ratio(),
+        p.without_estimation.utilization,
+        ratio_or_nan(p.utilization_ratio()),
         static_cast<double>(p.with_estimation.benefiting_jobs),
         static_cast<double>(p.with_estimation.benefiting_nodes),
         p.with_estimation.resource_failure_fraction()});
+  }
+}
+
+void report_sweep_errors(const std::string& what,
+                         const std::vector<RunError>& errors) {
+  for (const auto& err : errors) {
+    std::fprintf(stderr, "warning: %s %zu failed: %s\n", what.c_str(),
+                 err.index, err.message.c_str());
   }
 }
 

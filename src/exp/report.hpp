@@ -27,6 +27,14 @@ void write_load_sweep_csv(const std::string& path,
 void write_cluster_sweep_csv(const std::string& path,
                              const std::vector<ClusterPoint>& sweep);
 
+/// Report isolated sweep failures to stderr (no-op when empty). `what`
+/// names the sweep's grid, e.g. "load point" or "second-pool size".
+void report_sweep_errors(const std::string& what,
+                         const std::vector<RunError>& errors);
+
+/// Degenerate (nullopt) ratios render as NaN in tables and CSV.
+[[nodiscard]] double ratio_or_nan(const std::optional<double>& ratio) noexcept;
+
 /// Standard banner naming the experiment and its provenance.
 void print_banner(const std::string& experiment,
                   const std::string& paper_reference);

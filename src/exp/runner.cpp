@@ -1,0 +1,116 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "svc/thread_pool.hpp"
+
+namespace resmatch::exp {
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::uint64_t index) noexcept {
+  // splitmix64 finalizer over base + golden-ratio stride. index + 1 keeps
+  // derive_seed(0, 0) away from the all-zero fixed point.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(RunnerOptions options) : options_(options) {}
+
+std::size_t SweepRunner::concurrency(std::size_t count) const noexcept {
+  std::size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, std::min(jobs, count));
+}
+
+SweepStats SweepRunner::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& task,
+    std::vector<RunError>* errors) {
+  SweepStats stats;
+  stats.runs = count;
+  stats.jobs = concurrency(count);
+
+  obs::Counter* runs_total = nullptr;
+  obs::Histogram* run_seconds = nullptr;
+  obs::Gauge* sims_per_sec = nullptr;
+  if (options_.metrics != nullptr) {
+    runs_total = &options_.metrics->counter(
+        "resmatch_sweep_runs_total",
+        "Sweep runs completed (successful or failed)");
+    run_seconds = &options_.metrics->histogram(
+        "resmatch_sweep_run_seconds", "Per-run wall time in seconds");
+    sims_per_sec = &options_.metrics->gauge(
+        "resmatch_sweep_sims_per_sec",
+        "Aggregate sweep throughput, simulations per second");
+  }
+
+  std::mutex error_mutex;
+  std::vector<RunError> caught;
+
+  // The per-run wrapper is identical on the serial and pooled paths, so
+  // jobs=1 differs from jobs=N only in which thread invokes it.
+  const auto run_one = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      task(i);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      caught.push_back({i, e.what()});
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      caught.push_back({i, "unknown error"});
+    }
+    if (run_seconds != nullptr) {
+      run_seconds->record(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+    }
+    if (runs_total != nullptr) runs_total->inc();
+  };
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  if (stats.jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  } else {
+    // Work stealing off a shared atomic index: completion order is
+    // load-dependent, but results are index-addressed so it cannot leak
+    // into the output.
+    std::atomic<std::size_t> next{0};
+    svc::ThreadPool pool(stats.jobs, [&](std::size_t) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        run_one(i);
+      }
+    });
+    pool.join();
+  }
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - sweep_start)
+                           .count();
+  stats.failed = caught.size();
+  stats.runs_per_sec = stats.wall_seconds > 0.0
+                           ? static_cast<double>(count) / stats.wall_seconds
+                           : 0.0;
+  if (sims_per_sec != nullptr) sims_per_sec->set(stats.runs_per_sec);
+
+  std::sort(caught.begin(), caught.end(),
+            [](const RunError& a, const RunError& b) {
+              return a.index < b.index;
+            });
+  if (errors != nullptr) {
+    *errors = std::move(caught);
+  }
+  return stats;
+}
+
+}  // namespace resmatch::exp

@@ -3,10 +3,18 @@
 // A binary min-heap ordered by (time, insertion sequence): events at equal
 // times pop in insertion order, which makes whole simulations bit-for-bit
 // reproducible across runs and platforms.
+//
+// The heap is an explicit vector driven by std::push_heap/std::pop_heap
+// rather than a std::priority_queue: priority_queue::top() returns a
+// const reference, which forced pop() to deep-copy the top event — a
+// per-event payload copy on the simulator's hottest path. pop_heap moves
+// the top element to the back of the vector, where pop() can move the
+// whole event out. This also admits move-only payloads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -23,16 +31,18 @@ class EventQueue {
   };
 
   void push(Seconds time, Payload payload) {
-    heap_.push(Event{time, next_seq_++, std::move(payload)});
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
 
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
     return e;
   }
 
@@ -44,7 +54,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  // max-heap under Later = min-(time, seq) first
   std::uint64_t next_seq_ = 0;
 };
 

@@ -34,7 +34,8 @@ LinearFit fit_linear(const std::vector<double>& xs,
   }
   fit.slope = sxy / sxx;
   fit.intercept = mean_y - fit.slope * mean_x;
-  fit.r_squared = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  fit.r_squared = syy <= 0.0 ? 0.0 : (sxy * sxy) / (sxx * syy);
+  fit.valid = true;
   return fit;
 }
 

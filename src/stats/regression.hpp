@@ -17,11 +17,19 @@ struct LinearFit {
   double slope = 0.0;
   double r_squared = 0.0;
   std::size_t n = 0;
+  /// False when no line was actually fit: fewer than 2 points, or no x
+  /// variance. Degenerate fits carry slope 0 and r_squared 0 so a
+  /// downstream "does the paper's R² reproduce?" check can never pass
+  /// vacuously on them.
+  bool valid = false;
 };
 
 /// Fit y against x with ordinary least squares. Requires xs.size() ==
-/// ys.size() and at least two distinct x values; otherwise returns a
-/// degenerate fit with n recorded and slope 0.
+/// ys.size() and at least two distinct x values; otherwise returns an
+/// invalid fit (see LinearFit::valid) with n recorded and slope 0.
+/// Constant-y input yields a valid horizontal fit with r_squared 0 —
+/// zero explained variance out of zero total is reported as "explains
+/// nothing", never as a perfect fit.
 [[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
                                    const std::vector<double>& ys);
 

@@ -2,6 +2,7 @@
 // rendering and CSV output — the scaffolding every bench binary trusts.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 
 #include "exp/experiment.hpp"
@@ -57,8 +58,10 @@ TEST(RunOnceTest, RuntimePredictionFlagAttachesPredictor) {
 
 TEST(LoadSweepTest, RescalesEachPointToItsLoad) {
   RunSpec spec;
-  const auto sweep =
+  const auto result =
       load_sweep(small_trace(), small_cluster(), {0.4, 0.8}, spec);
+  EXPECT_TRUE(result.errors.empty());
+  const auto& sweep = result.points;
   ASSERT_EQ(sweep.size(), 2u);
   EXPECT_NEAR(sweep[0].with_estimation.offered_load, 0.4, 0.02);
   EXPECT_NEAR(sweep[1].with_estimation.offered_load, 0.8, 0.02);
@@ -69,21 +72,50 @@ TEST(LoadSweepTest, RescalesEachPointToItsLoad) {
 
 TEST(LoadSweepTest, RatiosAreConsistentWithMembers) {
   RunSpec spec;
-  const auto sweep = load_sweep(small_trace(), small_cluster(), {0.8}, spec);
+  const auto sweep =
+      load_sweep(small_trace(), small_cluster(), {0.8}, spec).points;
   const auto& p = sweep[0];
-  EXPECT_NEAR(p.utilization_ratio(),
+  ASSERT_TRUE(p.utilization_ratio().has_value());
+  ASSERT_TRUE(p.slowdown_ratio().has_value());
+  EXPECT_NEAR(*p.utilization_ratio(),
               p.with_estimation.utilization / p.without_estimation.utilization,
               1e-12);
-  EXPECT_NEAR(p.slowdown_ratio(),
+  EXPECT_NEAR(*p.slowdown_ratio(),
               p.without_estimation.mean_slowdown /
                   p.with_estimation.mean_slowdown,
               1e-12);
 }
 
+TEST(LoadSweepTest, DegenerateDenominatorsYieldNullopt) {
+  // Regression: these used to return a 0.0 sentinel, which is a valid
+  // ratio value — min-ratio and best-point scans in the benches latched
+  // onto it as if estimation had made things infinitely worse.
+  LoadPoint p;
+  p.with_estimation.utilization = 0.5;
+  p.without_estimation.utilization = 0.0;  // baseline did no work
+  p.without_estimation.mean_slowdown = 2.0;
+  p.with_estimation.mean_slowdown = 0.0;  // perfect run: zero slowdown
+  EXPECT_FALSE(p.utilization_ratio().has_value());
+  EXPECT_FALSE(p.slowdown_ratio().has_value());
+  EXPECT_TRUE(std::isnan(ratio_or_nan(p.slowdown_ratio())));
+
+  ClusterPoint c;
+  c.without_estimation.utilization = 0.0;
+  EXPECT_FALSE(c.utilization_ratio().has_value());
+
+  // Healthy denominators still produce values.
+  p.without_estimation.utilization = 0.25;
+  ASSERT_TRUE(p.utilization_ratio().has_value());
+  EXPECT_DOUBLE_EQ(*p.utilization_ratio(), 2.0);
+  EXPECT_DOUBLE_EQ(ratio_or_nan(p.utilization_ratio()), 2.0);
+}
+
 TEST(ClusterSweepTest, BuildsRequestedPools) {
   RunSpec spec;
-  const auto sweep =
+  const auto result =
       cluster_sweep(small_trace(), {8.0, 24.0}, 0.8, spec, /*pool_size=*/48);
+  EXPECT_TRUE(result.errors.empty());
+  const auto& sweep = result.points;
   ASSERT_EQ(sweep.size(), 2u);
   EXPECT_DOUBLE_EQ(sweep[0].second_pool_mib, 8.0);
   EXPECT_DOUBLE_EQ(sweep[1].second_pool_mib, 24.0);
@@ -92,15 +124,17 @@ TEST(ClusterSweepTest, BuildsRequestedPools) {
 TEST(ReportTest, TablesRenderAllRows) {
   RunSpec spec;
   const auto sweep =
-      load_sweep(small_trace(), small_cluster(), {0.5, 0.9}, spec);
+      load_sweep(small_trace(), small_cluster(), {0.5, 0.9}, spec).points;
   EXPECT_EQ(load_sweep_table(sweep).row_count(), 2u);
-  const auto csweep = cluster_sweep(small_trace(), {24.0}, 0.8, spec, 48);
+  const auto csweep =
+      cluster_sweep(small_trace(), {24.0}, 0.8, spec, 48).points;
   EXPECT_EQ(cluster_sweep_table(csweep).row_count(), 1u);
 }
 
 TEST(ReportTest, CsvFilesWritten) {
   RunSpec spec;
-  const auto sweep = load_sweep(small_trace(), small_cluster(), {0.7}, spec);
+  const auto sweep =
+      load_sweep(small_trace(), small_cluster(), {0.7}, spec).points;
   const std::string path = "/tmp/resmatch_exp_test_load.csv";
   write_load_sweep_csv(path, sweep);
   std::ifstream in(path);
@@ -109,7 +143,8 @@ TEST(ReportTest, CsvFilesWritten) {
   ASSERT_TRUE(std::getline(in, row));
   EXPECT_NE(header.find("util_ratio"), std::string::npos);
 
-  const auto csweep = cluster_sweep(small_trace(), {24.0}, 0.7, spec, 48);
+  const auto csweep =
+      cluster_sweep(small_trace(), {24.0}, 0.7, spec, 48).points;
   const std::string cpath = "/tmp/resmatch_exp_test_cluster.csv";
   write_cluster_sweep_csv(cpath, csweep);
   std::ifstream cin_file(cpath);

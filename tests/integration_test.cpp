@@ -37,7 +37,7 @@ sim::ClusterSpec paper_cluster() { return sim::cm5_heterogeneous(24.0, 64); }
 TEST(Integration, Figure5_EstimationImprovesSaturationUtilization) {
   RunSpec spec;  // successive-approximation, fcfs, alpha=2, beta=0
   const auto sweep = load_sweep(shared_trace(), paper_cluster(),
-                                {0.5, 0.9, 1.2}, spec);
+                                {0.5, 0.9, 1.2}, spec).points;
   const double with_est = saturation_utilization(sweep, true);
   const double without = saturation_utilization(sweep, false);
   ASSERT_GT(without, 0.0);
@@ -50,15 +50,20 @@ TEST(Integration, Figure5_EstimationImprovesSaturationUtilization) {
 TEST(Integration, Figure6_SlowdownNeverMeaningfullyWorse) {
   RunSpec spec;
   const auto sweep =
-      load_sweep(shared_trace(), paper_cluster(), {0.4, 0.7, 1.0}, spec);
+      load_sweep(shared_trace(), paper_cluster(), {0.4, 0.7, 1.0}, spec)
+          .points;
   for (const auto& point : sweep) {
     // Paper: "resource estimation never causes slowdown to increase".
     // Allow a small tolerance for retry noise at reduced scale.
-    EXPECT_GT(point.slowdown_ratio(), 0.9) << "load " << point.load;
+    const auto ratio = point.slowdown_ratio();
+    ASSERT_TRUE(ratio.has_value()) << "load " << point.load;
+    EXPECT_GT(*ratio, 0.9) << "load " << point.load;
   }
   // And at some load the improvement is material.
   double best = 0.0;
-  for (const auto& point : sweep) best = std::max(best, point.slowdown_ratio());
+  for (const auto& point : sweep) {
+    best = std::max(best, point.slowdown_ratio().value_or(0.0));
+  }
   EXPECT_GT(best, 1.2);
 }
 
@@ -78,15 +83,19 @@ TEST(Integration, Section32_EstimatorIsConservative) {
 TEST(Integration, Figure8_GainBandMatchesPaperShape) {
   RunSpec spec;
   const auto sweep = cluster_sweep(shared_trace(), {8.0, 24.0, 32.0}, 1.0,
-                                   spec, /*pool_size=*/64);
+                                   spec, /*pool_size=*/64)
+                         .points;
   ASSERT_EQ(sweep.size(), 3u);
+  for (const auto& point : sweep) {
+    ASSERT_TRUE(point.utilization_ratio().has_value());
+  }
   // 8 MiB second pool: the alpha = 2 ladder stalls at 16 -> rounds to 32,
   // so the small pool stays unreachable: no meaningful gain.
-  EXPECT_LT(sweep[0].utilization_ratio(), 1.1);
+  EXPECT_LT(*sweep[0].utilization_ratio(), 1.1);
   // 24 MiB: the paper's sweet spot.
-  EXPECT_GT(sweep[1].utilization_ratio(), 1.15);
+  EXPECT_GT(*sweep[1].utilization_ratio(), 1.15);
   // 32 MiB: homogeneous cluster, nothing to gain.
-  EXPECT_NEAR(sweep[2].utilization_ratio(), 1.0, 0.05);
+  EXPECT_NEAR(*sweep[2].utilization_ratio(), 1.0, 0.05);
   // The gain correlates with benefiting node counts (paper's R²=0.991
   // observation): the 24 MiB point must dominate.
   EXPECT_GT(sweep[1].with_estimation.benefiting_nodes,
@@ -204,7 +213,7 @@ TEST(Integration, ExplicitFeedbackImmuneToFalsePositives) {
 TEST(Integration, LoadSweepReportsRenderable) {
   RunSpec spec;
   const auto sweep =
-      load_sweep(shared_trace(), paper_cluster(), {0.5}, spec);
+      load_sweep(shared_trace(), paper_cluster(), {0.5}, spec).points;
   const auto table = load_sweep_table(sweep);
   EXPECT_EQ(table.row_count(), 1u);
   EXPECT_NE(table.render().find("util ratio"), std::string::npos);

@@ -1,0 +1,211 @@
+// Tests for the parallel deterministic sweep engine: seed derivation,
+// jobs-independence of results, error isolation, and metric export.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace resmatch::exp {
+namespace {
+
+const trace::Workload& small_trace() {
+  static const trace::Workload w = [] {
+    trace::Workload base = trace::generate_cm5_small(31, 1200);
+    base = trace::drop_wide_jobs(std::move(base), 64);
+    return trace::sort_by_submit(
+        trace::scale_to_load(std::move(base), 96, 0.8));
+  }();
+  return w;
+}
+
+sim::ClusterSpec small_cluster() { return {{32.0, 48}, {24.0, 48}}; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(DeriveSeed, GoldenValues) {
+  // The derivation is part of the determinism contract: changing it
+  // silently changes every published sweep number. Pin it.
+  EXPECT_EQ(derive_seed(42, 0), 13679457532755275413ULL);
+  EXPECT_EQ(derive_seed(42, 1), 2949826092126892291ULL);
+  EXPECT_EQ(derive_seed(42, 2), 5139283748462763858ULL);
+  EXPECT_EQ(derive_seed(7, 0), 7191089600892374487ULL);
+  EXPECT_EQ(derive_seed(7, 5), 4601199455465548305ULL);
+  EXPECT_EQ(derive_seed(0, 0), 16294208416658607535ULL);
+  EXPECT_EQ(derive_seed(0xffffffffffffffffULL, 3), 7862637804313477842ULL);
+}
+
+TEST(DeriveSeed, DistinctAcrossIndicesAndBases) {
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+  // index is folded in before finalization, not xor'd after: base 42
+  // index 1 must not collide with base 43 index 0 trivially.
+  EXPECT_NE(derive_seed(42, 1), derive_seed(43, 0));
+}
+
+TEST(SweepRunner, ConcurrencyClamps) {
+  RunnerOptions opts;
+  opts.jobs = 8;
+  EXPECT_EQ(SweepRunner(opts).concurrency(3), 3u);  // never more than tasks
+  opts.jobs = 1;
+  EXPECT_EQ(SweepRunner(opts).concurrency(100), 1u);
+  opts.jobs = 0;  // hardware concurrency, but at least 1
+  EXPECT_GE(SweepRunner(opts).concurrency(100), 1u);
+  EXPECT_EQ(SweepRunner(opts).concurrency(0), 1u);
+}
+
+TEST(RunTasks, PreservesIndexOrderRegardlessOfJobs) {
+  RunnerOptions parallel;
+  parallel.jobs = 8;
+  const auto sweep = run_tasks(
+      64, [](std::size_t i) { return i * i; }, parallel);
+  EXPECT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.stats.runs, 64u);
+  EXPECT_EQ(sweep.stats.failed, 0u);
+  ASSERT_EQ(sweep.results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(sweep.results[i].has_value());
+    EXPECT_EQ(*sweep.results[i], i * i);
+  }
+}
+
+TEST(RunTasks, FailedRunsAreIsolated) {
+  RunnerOptions parallel;
+  parallel.jobs = 4;
+  const auto sweep = run_tasks(
+      10,
+      [](std::size_t i) -> int {
+        if (i == 3) throw std::runtime_error("boom at 3");
+        if (i == 7) throw std::runtime_error("boom at 7");
+        return static_cast<int>(i);
+      },
+      parallel);
+  EXPECT_FALSE(sweep.ok());
+  EXPECT_EQ(sweep.stats.failed, 2u);
+  ASSERT_EQ(sweep.errors.size(), 2u);
+  // Errors come back sorted by index with the message preserved.
+  EXPECT_EQ(sweep.errors[0].index, 3u);
+  EXPECT_NE(sweep.errors[0].message.find("boom at 3"), std::string::npos);
+  EXPECT_EQ(sweep.errors[1].index, 7u);
+  // Failed slots are empty; every other slot carries its result.
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 3 || i == 7) {
+      EXPECT_FALSE(sweep.results[i].has_value());
+    } else {
+      ASSERT_TRUE(sweep.results[i].has_value());
+      EXPECT_EQ(*sweep.results[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(RunSpecsTest, BadEstimatorFailsOnlyItsSlot) {
+  std::vector<RunSpec> specs(3);
+  specs[1].estimator = "no-such-estimator";
+  const auto sweep = run_specs(small_trace(), small_cluster(), specs);
+  ASSERT_EQ(sweep.errors.size(), 1u);
+  EXPECT_EQ(sweep.errors[0].index, 1u);
+  EXPECT_TRUE(sweep.results[0].has_value());
+  EXPECT_FALSE(sweep.results[1].has_value());
+  EXPECT_TRUE(sweep.results[2].has_value());
+}
+
+TEST(RunnerMetrics, ExportedThroughRegistry) {
+  obs::Registry registry;
+  RunnerOptions opts;
+  opts.jobs = 2;
+  opts.metrics = &registry;
+  const auto sweep = run_tasks(
+      6,
+      [](std::size_t i) -> int {
+        if (i == 5) throw std::runtime_error("boom");
+        return 0;
+      },
+      opts);
+  EXPECT_EQ(sweep.stats.runs, 6u);
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  // Failed runs still count as completed runs and still get a duration
+  // sample; the gauge reflects the whole sweep.
+  EXPECT_NE(text.find("resmatch_sweep_runs_total 6"), std::string::npos);
+  EXPECT_NE(text.find("resmatch_sweep_run_seconds"), std::string::npos);
+  EXPECT_NE(text.find("resmatch_sweep_sims_per_sec"), std::string::npos);
+}
+
+TEST(LoadSweepDeterminism, JobsCountDoesNotChangeResults) {
+  RunSpec spec;
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<double> loads = {0.5, 0.8, 1.1};
+
+  const auto a = load_sweep(small_trace(), small_cluster(), loads, spec,
+                            serial);
+  const auto b = load_sweep(small_trace(), small_cluster(), loads, spec,
+                            parallel);
+  ASSERT_EQ(a.points.size(), b.points.size());
+
+  // Byte-identical CSV rows, the same check CI runs on fig8.
+  const std::string pa = "/tmp/resmatch_runner_test_serial.csv";
+  const std::string pb = "/tmp/resmatch_runner_test_parallel.csv";
+  write_load_sweep_csv(pa, a.points);
+  write_load_sweep_csv(pb, b.points);
+  const std::string ca = slurp(pa);
+  EXPECT_FALSE(ca.empty());
+  EXPECT_EQ(ca, slurp(pb));
+}
+
+TEST(LoadSweepDeterminism, PointSeedsFollowDerivation) {
+  // Point i must run with derive_seed(base, i) on both arms: inserting a
+  // point ahead of it must not change its result (no sequential RNG
+  // threading across points).
+  RunSpec spec;
+  spec.sim.seed = 99;
+  const auto one =
+      load_sweep(small_trace(), small_cluster(), {0.9}, spec).points;
+  const auto two =
+      load_sweep(small_trace(), small_cluster(), {0.4, 0.9}, spec).points;
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(two.size(), 2u);
+  // Different positions for load 0.9 → different derived seeds, so exact
+  // equality is NOT expected across positions; instead check the same
+  // position reproduces exactly.
+  const auto again =
+      load_sweep(small_trace(), small_cluster(), {0.9}, spec).points;
+  EXPECT_DOUBLE_EQ(one[0].with_estimation.utilization,
+                   again[0].with_estimation.utilization);
+  EXPECT_DOUBLE_EQ(one[0].without_estimation.utilization,
+                   again[0].without_estimation.utilization);
+}
+
+TEST(RunIndexed, SerialAndPooledVisitEveryIndexOnce) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    std::vector<std::atomic<int>> visits(97);
+    SweepRunner runner(opts);
+    std::vector<RunError> errors;
+    const auto stats = runner.run_indexed(
+        97, [&](std::size_t i) { visits[i].fetch_add(1); }, &errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(stats.runs, 97u);
+    EXPECT_EQ(stats.jobs, jobs);
+    EXPECT_GT(stats.runs_per_sec, 0.0);
+    for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace resmatch::exp

@@ -155,6 +155,7 @@ TEST(FitLinear, ExactLine) {
     ys.push_back(3.0 + 2.0 * i);
   }
   const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_TRUE(fit.valid);
   EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
   EXPECT_NEAR(fit.slope, 2.0, 1e-12);
   EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
@@ -173,18 +174,28 @@ TEST(FitLinear, NoisyLineHasSubUnityR2) {
 }
 
 TEST(FitLinear, DegenerateInputs) {
+  // Fewer than two points, or no x variance: no line exists, valid=false.
   EXPECT_EQ(fit_linear({}, {}).n, 0u);
+  EXPECT_FALSE(fit_linear({}, {}).valid);
   EXPECT_EQ(fit_linear({1.0}, {2.0}).n, 1u);
+  EXPECT_FALSE(fit_linear({1.0}, {2.0}).valid);
   // Vertical data: all x equal.
   const LinearFit fit = fit_linear({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(fit.valid);
   EXPECT_DOUBLE_EQ(fit.slope, 0.0);
   EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
 }
 
-TEST(FitLinear, ConstantYPerfectFit) {
+TEST(FitLinear, ConstantYIsNotAPerfectFit) {
+  // Regression: syy == 0 used to report R^2 = 1.0, so a flat utilization
+  // curve claimed "perfect correlation" in fig8. Constant y carries no
+  // variance to explain — R^2 is 0 by convention, and the horizontal fit
+  // itself stays valid.
   const LinearFit fit = fit_linear({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0});
+  EXPECT_TRUE(fit.valid);
   EXPECT_NEAR(fit.slope, 0.0, 1e-12);
-  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
 }
 
 TEST(RidgeRegression, RecoversLinearModel) {
