@@ -1,13 +1,33 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: estimator
 // estimate/feedback cycles, cluster allocation, ClassAd evaluation, event
-// queue churn, and synthetic trace generation throughput.
+// queue churn, and synthetic trace generation throughput — plus an
+// end-to-end simulator benchmark (events/sec, schedule-pass p95) that A/Bs
+// the optimized engine against the pre-optimization reference loop.
+//
+// Extra flags (in addition to the google-benchmark ones):
+//   --sim-only          run only the end-to-end simulator benchmark
+//   --sim-jobs=N        trace size for the simulator benchmark (def. 3000)
+//   --baseline-loop     measure ONLY the reference engine (A/B anchor)
+//   --metrics-out=PATH  write a schema-v1 BENCH_sim.json record
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/factory.hpp"
 #include "match/classad.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
+#include "sched/factory.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeseries.hpp"
 #include "trace/cm5_model.hpp"
+#include "trace/transforms.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -114,6 +134,172 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration)->Arg(1000)->Arg(10000);
 
+// --- end-to-end simulator benchmark -------------------------------------
+
+struct SimBench {
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double schedule_p95_us = 0.0;
+  std::uint64_t events = 0;
+  sim::SimulationResult result;
+};
+
+/// One full simulation at load on a 4x scaled-up paper cluster (4096
+/// machines, ~300 concurrent jobs): large enough that the running-set and
+/// per-pool bookkeeping the optimizations target actually dominates. The
+/// event count is exact: every arrival is one event, every start pushes
+/// exactly one job-end event, and this setup schedules no availability
+/// changes — so events = submitted + attempts.
+SimBench run_sim_bench(std::size_t trace_jobs, bool baseline) {
+  trace::Workload w = trace::generate_cm5_small(11, trace_jobs);
+  w = trace::drop_wide_jobs(std::move(w), 4096);
+  w = trace::scale_to_load(std::move(w), 4096, 0.95);
+  w = trace::sort_by_submit(std::move(w));
+
+  obs::Registry registry;
+  const auto estimator = core::make_estimator("successive-approximation");
+  const auto policy = sched::make_policy("fcfs");
+  sim::TimeSeries ts(50.0);
+  sim::SimulationConfig cfg;
+  cfg.seed = 7;
+  cfg.explicit_feedback = true;
+  cfg.timeseries = &ts;
+  cfg.metrics = &registry;
+  cfg.baseline_loop = baseline;
+
+  SimBench out;
+  const auto start = std::chrono::steady_clock::now();
+  out.result = sim::simulate(w, sim::cm5_heterogeneous(24.0, 2048),
+                             *estimator, *policy, cfg);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.events = static_cast<std::uint64_t>(out.result.submitted) +
+               static_cast<std::uint64_t>(out.result.attempts);
+  out.events_per_sec = out.wall_seconds > 0.0
+                           ? static_cast<double>(out.events) / out.wall_seconds
+                           : 0.0;
+  const auto snap = registry.snapshot();
+  if (const auto* hist = snap.find("resmatch_sim_schedule_seconds")) {
+    out.schedule_p95_us = hist->histogram.percentile(95.0) * 1e6;
+  }
+  return out;
+}
+
+/// Best-of-N: a single run lasts milliseconds, so one descheduling blip
+/// can swamp it; the fastest repetition is the standard noise-robust
+/// estimate of the engine's actual cost.
+SimBench run_sim_bench_best(std::size_t trace_jobs, bool baseline,
+                            int reps = 5) {
+  SimBench best = run_sim_bench(trace_jobs, baseline);
+  for (int i = 1; i < reps; ++i) {
+    SimBench next = run_sim_bench(trace_jobs, baseline);
+    if (next.wall_seconds < best.wall_seconds) best = std::move(next);
+  }
+  return best;
+}
+
+void print_sim_row(const char* engine, std::size_t jobs, const SimBench& b) {
+  std::printf("%-10s  %8zu  %10llu  %8.3f  %12.0f  %14.2f\n", engine, jobs,
+              static_cast<unsigned long long>(b.events), b.wall_seconds,
+              b.events_per_sec, b.schedule_p95_us);
+}
+
+int run_sim_section(std::size_t sim_jobs, bool baseline_only,
+                    const std::string& metrics_out) {
+  std::printf("== simulator end-to-end (fcfs + successive-approximation, "
+              "4096 machines) ==\n");
+  std::printf("%-10s  %8s  %10s  %8s  %12s  %14s\n", "engine", "jobs",
+              "events", "wall s", "events/s", "sched p95 us");
+
+  obs::BenchRecord record("micro_core_sim");
+  record.config("sim_jobs", static_cast<std::int64_t>(sim_jobs));
+  record.config("baseline_loop", baseline_only ? "1" : "0");
+  record.config("policy", "fcfs");
+  record.config("estimator", "successive-approximation");
+  record.config("machines", static_cast<std::int64_t>(4096));
+
+  if (baseline_only) {
+    const SimBench base = run_sim_bench_best(sim_jobs, /*baseline=*/true);
+    print_sim_row("baseline", sim_jobs, base);
+    record.summary("events_total", static_cast<double>(base.events));
+    record.summary("wall_seconds", base.wall_seconds);
+    record.summary("events_per_sec", base.events_per_sec);
+    record.summary("schedule_p95_us", base.schedule_p95_us);
+  } else {
+    const SimBench opt = run_sim_bench_best(sim_jobs, /*baseline=*/false);
+    const SimBench base = run_sim_bench_best(sim_jobs, /*baseline=*/true);
+    print_sim_row("optimized", sim_jobs, opt);
+    print_sim_row("baseline", sim_jobs, base);
+    if (opt.result.completed != base.result.completed ||
+        opt.result.utilization != base.result.utilization) {
+      std::fprintf(stderr,
+                   "error: engines disagree (completed %zu vs %zu) — "
+                   "decision equivalence is broken\n",
+                   opt.result.completed, base.result.completed);
+      return 1;
+    }
+    const double speedup = base.events_per_sec > 0.0
+                               ? opt.events_per_sec / base.events_per_sec
+                               : 0.0;
+    std::printf("speedup vs baseline loop: %.2fx (decisions identical)\n",
+                speedup);
+    record.summary("events_total", static_cast<double>(opt.events));
+    record.summary("wall_seconds", opt.wall_seconds);
+    record.summary("events_per_sec", opt.events_per_sec);
+    record.summary("schedule_p95_us", opt.schedule_p95_us);
+    record.summary("events_per_sec_baseline", base.events_per_sec);
+    record.summary("schedule_p95_us_baseline", base.schedule_p95_us);
+    record.summary("speedup_vs_baseline", speedup);
+  }
+  if (!metrics_out.empty()) {
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel off the repo-specific flags, hand the rest to
+// google-benchmark (BENCHMARK_MAIN would reject them).
+int main(int argc, char** argv) {
+  bool sim_only = false;
+  bool baseline_loop = false;
+  std::size_t sim_jobs = 3000;
+  std::string metrics_out;
+
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sim-only") {
+      sim_only = true;
+    } else if (arg == "--baseline-loop") {
+      baseline_loop = true;
+    } else if (arg.rfind("--sim-jobs=", 0) == 0) {
+      sim_jobs = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--sim-jobs="), nullptr, 10));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (!sim_only) {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return run_sim_section(sim_jobs, baseline_loop, metrics_out);
+}

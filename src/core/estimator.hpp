@@ -13,6 +13,7 @@
 //     (ruling out the false positives that plague implicit feedback).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -68,6 +69,22 @@ class Estimator {
   [[nodiscard]] virtual MiB preview(const trace::JobRecord& job,
                                     const SystemState& state) const = 0;
 
+  /// Memoization contract for preview() (simulator hot path): when two
+  /// calls for the same job return the same epoch, preview() is
+  /// guaranteed to return the same value in between — independent of
+  /// SystemState — so callers may reuse a cached preview instead of
+  /// recomputing. Epochs are monotone per similarity group and bump on
+  /// anything that could change the preview (estimate commits, feedback,
+  /// cancel, group creation). The default returns nullopt = no guarantee:
+  /// callers must re-call preview() every time. Estimators whose preview
+  /// depends on SystemState or hidden mutable state (RL, regression) must
+  /// keep that default.
+  [[nodiscard]] virtual std::optional<std::uint64_t> preview_epoch(
+      const trace::JobRecord& job) const {
+    (void)job;
+    return std::nullopt;
+  }
+
   /// Undo the state committed by the most recent estimate() for `job`
   /// when the attempt never ran (e.g., the grant no longer fits the
   /// cluster). Default: nothing to undo.
@@ -107,6 +124,13 @@ class NoEstimator final : public Estimator {
   [[nodiscard]] MiB preview(const trace::JobRecord& job,
                             const SystemState& /*state*/) const override {
     return ladder_.round_up(job.requested_mem_mib);
+  }
+
+  /// The preview depends only on the job's request and the fixed ladder,
+  /// so it is never stale: one constant epoch.
+  [[nodiscard]] std::optional<std::uint64_t> preview_epoch(
+      const trace::JobRecord& /*job*/) const override {
+    return 0;
   }
 
   void feedback(const trace::JobRecord& /*job*/,

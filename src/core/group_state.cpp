@@ -28,6 +28,7 @@ MiB SaGroupState::preview(const CapacityLadder& ladder) const noexcept {
 }
 
 MiB SaGroupState::commit(const CapacityLadder& ladder) noexcept {
+  ++epoch;  // claiming (or bouncing off) the probe slot can change preview()
   // Line 6: round E_i up to the nearest capacity the cluster offers.
   const MiB safe = ladder.round_up(last_good);
   const MiB probe = ladder.round_up(estimate);
@@ -44,6 +45,7 @@ MiB SaGroupState::commit(const CapacityLadder& ladder) noexcept {
 }
 
 void SaGroupState::cancel(MiB granted) noexcept {
+  ++epoch;
   // Release the probe slot if this cancelled attempt held it.
   if (probe_outstanding && std::fabs(granted - probe_grant) <= kGrantEps) {
     probe_outstanding = false;
@@ -53,6 +55,7 @@ void SaGroupState::cancel(MiB granted) noexcept {
 bool SaGroupState::apply_feedback(const Feedback& fb, MiB requested_mib,
                                   const CapacityLadder& ladder,
                                   double beta) noexcept {
+  ++epoch;
   const bool was_probe =
       probe_outstanding && std::fabs(fb.granted_mib - probe_grant) <= kGrantEps;
   if (was_probe) probe_outstanding = false;
@@ -135,6 +138,7 @@ MiB LiGroupState::current_estimate(MiB requested_mib,
 }
 
 void LiGroupState::apply_feedback(const Feedback& fb, std::size_t window) {
+  ++epoch;
   const auto push_usage = [&](MiB used) {
     recent_usage.push_back(used);
     while (recent_usage.size() > window) recent_usage.pop_front();

@@ -15,6 +15,7 @@
 // it for warm restarts.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -35,6 +36,13 @@ struct SaGroupState {
   double alpha = 2.0;   ///< alpha_i
   bool probe_outstanding = false;
   MiB probe_grant = 0.0;
+  /// Preview-memoization epoch (Estimator::preview_epoch): bumped by every
+  /// commit/cancel/apply_feedback so cached previews invalidate. Starts at
+  /// 1 so a live group is always distinguishable from "group unknown"
+  /// (epoch 0). Deliberately NOT serialized by to_fields()/from_fields():
+  /// it is cache-coherency state, not algorithm state, and memos must not
+  /// survive a snapshot/restore cycle.
+  std::uint64_t epoch = 1;
 
   /// Algorithm 1 line 4: E_i <- R, alpha_i <- alpha.
   [[nodiscard]] static SaGroupState fresh(MiB requested_mib,
@@ -76,6 +84,9 @@ struct SaGroupState {
 struct LiGroupState {
   std::deque<MiB> recent_usage;  ///< up to `window` most recent usages
   bool poisoned = false;
+  /// Preview-memoization epoch (see SaGroupState::epoch): bumped by
+  /// apply_feedback, starts at 1, not serialized.
+  std::uint64_t epoch = 1;
 
   /// Estimate for the next submission: max of the window times the margin,
   /// capped at the request, rounded up to the ladder. Empty or poisoned

@@ -33,6 +33,13 @@ MiB LastInstanceEstimator::preview(const trace::JobRecord& job,
                                         config_.margin);
 }
 
+std::optional<std::uint64_t> LastInstanceEstimator::preview_epoch(
+    const trace::JobRecord& job) const {
+  const auto gid = index_.find(job);
+  if (!gid || *gid >= groups_.size()) return 0;
+  return groups_[*gid].epoch;
+}
+
 void LastInstanceEstimator::feedback(const trace::JobRecord& job,
                                      const Feedback& fb) {
   state_for(job).apply_feedback(fb, config_.window);

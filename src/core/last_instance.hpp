@@ -40,6 +40,11 @@ class LastInstanceEstimator final : public Estimator {
   [[nodiscard]] MiB preview(const trace::JobRecord& job,
                             const SystemState& state) const override;
 
+  /// Per-group memo epoch (the usage window fully determines the
+  /// preview; SystemState is ignored). 0 = group unknown.
+  [[nodiscard]] std::optional<std::uint64_t> preview_epoch(
+      const trace::JobRecord& job) const override;
+
   void feedback(const trace::JobRecord& job, const Feedback& fb) override;
 
   [[nodiscard]] std::size_t group_count() const noexcept {

@@ -33,6 +33,15 @@ MiB SuccessiveApproximationEstimator::preview(const trace::JobRecord& job,
   return groups_[*gid].core.preview(ladder_);
 }
 
+std::optional<std::uint64_t> SuccessiveApproximationEstimator::preview_epoch(
+    const trace::JobRecord& job) const {
+  const auto gid = index_.find(job);
+  if (!gid || *gid >= groups_.size()) return 0;
+  // Live groups start at epoch 1 and every externally reachable mutation
+  // bumps before returning, so 0 never collides with a group state.
+  return groups_[*gid].core.epoch;
+}
+
 void SuccessiveApproximationEstimator::cancel(const trace::JobRecord& job,
                                               MiB granted) {
   const auto gid = index_.find(job);

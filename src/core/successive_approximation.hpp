@@ -59,6 +59,11 @@ class SuccessiveApproximationEstimator final : public Estimator {
   [[nodiscard]] MiB preview(const trace::JobRecord& job,
                             const SystemState& state) const override;
 
+  /// Per-group memo epoch (preview ignores SystemState, so the group's
+  /// Algorithm 1 state fully determines the preview). 0 = group unknown.
+  [[nodiscard]] std::optional<std::uint64_t> preview_epoch(
+      const trace::JobRecord& job) const override;
+
   void cancel(const trace::JobRecord& job, MiB granted) override;
 
   void feedback(const trace::JobRecord& job, const Feedback& fb) override;

@@ -5,9 +5,22 @@
 
 namespace resmatch::sched {
 
+void EasyBackfillPolicy::refresh_by_end(
+    const std::vector<RunningJobInfo>& running) {
+  if (running == last_running_) return;  // by_end_ is still that set, sorted
+  last_running_.assign(running.begin(), running.end());
+  by_end_.assign(running.begin(), running.end());
+  // Sorting the values in arrival order yields the same permutation the
+  // old per-pass pointer sort produced: decision equivalence depends on
+  // ties (equal expected_end) keeping that order.
+  std::sort(by_end_.begin(), by_end_.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              return a.expected_end < b.expected_end;
+            });
+}
+
 EasyBackfillPolicy::Reservation EasyBackfillPolicy::compute_reservation(
-    const QueuedJob& head, const ClusterView& cluster,
-    const std::vector<RunningJobInfo>& running, Seconds now) {
+    const QueuedJob& head, const ClusterView& cluster, Seconds now) const {
   Reservation r;
   const MiB cap = head.effective_request;
   std::size_t available = cluster.eligible_free(cap);
@@ -21,17 +34,10 @@ EasyBackfillPolicy::Reservation EasyBackfillPolicy::compute_reservation(
   // machines they release. Conservative: a running job's machines count as
   // head-eligible when its granted capacity class reaches the head's
   // requirement (grants are capacity rungs, so this matches pool identity).
-  std::vector<const RunningJobInfo*> by_end;
-  by_end.reserve(running.size());
-  for (const auto& job : running) by_end.push_back(&job);
-  std::sort(by_end.begin(), by_end.end(),
-            [](const RunningJobInfo* a, const RunningJobInfo* b) {
-              return a->expected_end < b->expected_end;
-            });
-  for (const RunningJobInfo* job : by_end) {
-    if (job->granted >= cap) available += job->nodes;
+  for (const RunningJobInfo& job : by_end_) {
+    if (job.granted >= cap) available += job.nodes;
     if (available >= head.nodes) {
-      r.shadow_time = std::max(job->expected_end, now);
+      r.shadow_time = std::max(job.expected_end, now);
       r.extra_nodes = available - head.nodes;
       return r;
     }
@@ -51,7 +57,8 @@ std::optional<std::size_t> EasyBackfillPolicy::pick_next(
   if (fits_now(queue.front(), cluster)) return 0;
 
   const QueuedJob& head = queue.front();
-  const Reservation res = compute_reservation(head, cluster, running, now);
+  refresh_by_end(running);
+  const Reservation res = compute_reservation(head, cluster, now);
 
   for (std::size_t i = 1; i < queue.size(); ++i) {
     const QueuedJob& candidate = queue[i];
@@ -62,13 +69,15 @@ std::optional<std::size_t> EasyBackfillPolicy::pick_next(
     if (expected_end <= res.shadow_time) return i;
 
     // (b) Cannot touch head-eligible machines: enough machines strictly
-    // below the head's capacity class are free to host it entirely.
-    const std::size_t below_class_free =
-        cluster.eligible_free(candidate.effective_request) -
-        cluster.eligible_free(head.effective_request);
-    if (candidate.effective_request < head.effective_request &&
-        below_class_free >= candidate.nodes) {
-      return i;
+    // below the head's capacity class are free to host it entirely. The
+    // subtraction lives behind the class guard — with candidate >= head
+    // it would wrap (unsigned) and cost two eligible_free scans for a
+    // comparison the guard already decides.
+    if (candidate.effective_request < head.effective_request) {
+      const std::size_t below_class_free =
+          cluster.eligible_free(candidate.effective_request) -
+          cluster.eligible_free(head.effective_request);
+      if (below_class_free >= candidate.nodes) return i;
     }
 
     // (c) Extra-nodes rule: head-eligible spare capacity at the shadow

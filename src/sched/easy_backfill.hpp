@@ -37,9 +37,19 @@ class EasyBackfillPolicy final : public SchedulingPolicy {
     std::size_t extra_nodes = 0; ///< head-eligible nodes spare at shadow time
   };
 
-  [[nodiscard]] static Reservation compute_reservation(
-      const QueuedJob& head, const ClusterView& cluster,
-      const std::vector<RunningJobInfo>& running, Seconds now);
+  /// Refresh by_end_ from `running` — copy + sort only when the running
+  /// set actually changed since the previous pass (simulator hot path:
+  /// most scheduling passes at load see an unchanged running set).
+  void refresh_by_end(const std::vector<RunningJobInfo>& running);
+
+  [[nodiscard]] Reservation compute_reservation(const QueuedJob& head,
+                                                const ClusterView& cluster,
+                                                Seconds now) const;
+
+  /// Running jobs ordered by expected completion, reused across passes.
+  std::vector<RunningJobInfo> by_end_;
+  /// The exact input by_end_ was derived from (staleness check).
+  std::vector<RunningJobInfo> last_running_;
 };
 
 }  // namespace resmatch::sched

@@ -28,6 +28,13 @@ struct QueuedJob {
   Seconds enqueue_time = 0.0;
   Seconds requested_time = 0.0;  ///< user runtime estimate (backfill input)
   std::uint32_t attempts = 0;    ///< prior failed executions
+  /// Preview-memoization state (simulator hot path): the estimator's
+  /// preview_epoch at the time effective_request was computed. While the
+  /// estimator still reports the same epoch, effective_request is current
+  /// and the head-refresh preview call can be skipped. Policies ignore
+  /// these fields.
+  std::uint64_t preview_epoch = 0;
+  bool preview_memoized = false;
 };
 
 /// A job currently executing, as visible to policies (backfilling needs
@@ -36,6 +43,11 @@ struct RunningJobInfo {
   Seconds expected_end = 0.0;  ///< start + user runtime estimate
   std::uint32_t nodes = 1;
   MiB granted = 0.0;           ///< per-node capacity the job runs with
+
+  /// Exact-value equality: lets policies detect "running set unchanged
+  /// since my last pass" and reuse derived scratch (EASY's by-end order).
+  friend bool operator==(const RunningJobInfo&,
+                         const RunningJobInfo&) = default;
 };
 
 /// Read-only cluster capacity queries available to policies.

@@ -117,8 +117,10 @@ std::vector<Cluster::PoolSnapshot> Cluster::snapshot() const {
     snap.capacity = pool.capacity;
     snap.total = pool.total;
     snap.draining = pool.draining;
-    // Busy = owned-but-not-free plus drained machines still finishing.
-    snap.busy = pool.total - pool.free + pool.draining;
+    // Busy = owned-but-not-free plus drained machines still finishing;
+    // the incremental counter must always agree with that derivation.
+    assert(pool.busy == pool.total - pool.free + pool.draining);
+    snap.busy = pool.busy;
     out.push_back(snap);
   }
   return out;
@@ -140,6 +142,7 @@ std::optional<Allocation> Cluster::allocate(std::uint32_t nodes,
     const std::size_t take = std::min(p.free, remaining);
     if (take == 0) return;
     p.free -= take;
+    p.busy += take;
     remaining -= take;
     out.pool_counts.emplace_back(pool_index, take);
     out.min_capacity = out.min_capacity == 0.0
@@ -169,6 +172,8 @@ void Cluster::release(const Allocation& allocation) {
     const std::size_t departing = std::min(p.draining, count);
     p.draining -= departing;
     p.free += count - departing;
+    assert(p.busy >= count);
+    p.busy -= count;
     assert(p.free <= p.total);
   }
   assert(busy_ >= allocation.nodes);

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/capacity_ladder.hpp"
 #include "sched/policy.hpp"
+#include "util/small_vector.hpp"
 #include "util/types.hpp"
 
 namespace resmatch::sim {
@@ -37,10 +39,19 @@ enum class AllocationPolicy {
   kWorstFit,  ///< largest capacity first
 };
 
+/// One pool's share of a placement (trivially copyable, unlike
+/// std::pair, so it qualifies for SmallVector inline storage).
+struct PoolTake {
+  std::size_t pool_index = 0;
+  std::size_t count = 0;
+};
+
 /// A successful placement: machine counts taken from each pool.
 struct Allocation {
-  /// (pool index, machines taken) pairs; empty means "not allocated".
-  std::vector<std::pair<std::size_t, std::size_t>> pool_counts;
+  /// Machines taken per pool; empty means "not allocated". Inline
+  /// storage: placements span at most a handful of capacity classes, so
+  /// job starts/stops stay off the heap.
+  util::SmallVector<PoolTake, 4> pool_counts;
   MiB min_capacity = 0.0;  ///< smallest machine capacity in the allocation
   std::uint32_t nodes = 0;
 
@@ -106,6 +117,30 @@ class Cluster final : public sched::ClusterView {
   /// Snapshot of all capacity classes, ascending by capacity.
   [[nodiscard]] std::vector<PoolSnapshot> snapshot() const;
 
+  // --- allocation-free per-pool counters (simulator hot path) ------------
+
+  /// Live counters of one capacity class, maintained incrementally by
+  /// allocate()/release()/add_machines()/remove_machines(). Identical to
+  /// the numbers snapshot() derives, but reading them allocates nothing —
+  /// the simulator's per-event pool integration depends on that.
+  struct PoolCounters {
+    MiB capacity = 0.0;
+    std::size_t busy = 0;     ///< machines running jobs (incl. draining)
+    std::size_t present = 0;  ///< machines physically present (total + draining)
+  };
+
+  /// Number of capacity classes (stable for the cluster's lifetime;
+  /// ascending capacity, same order as snapshot()).
+  [[nodiscard]] std::size_t pool_count() const noexcept {
+    return pools_.size();
+  }
+
+  /// O(1), allocation-free read of pool `i`'s counters.
+  [[nodiscard]] PoolCounters pool_counters(std::size_t i) const noexcept {
+    const Pool& p = pools_[i];
+    return {p.capacity, p.busy, p.total + p.draining};
+  }
+
   [[nodiscard]] const std::vector<PoolSpec>& spec() const noexcept {
     return spec_;
   }
@@ -116,6 +151,9 @@ class Cluster final : public sched::ClusterView {
     std::size_t total = 0;     ///< machines that will remain after drains
     std::size_t free = 0;
     std::size_t draining = 0;  ///< busy machines owed to a removal
+    /// Machines currently running jobs (== total - free + draining, kept
+    /// explicitly so per-event reads never re-derive or allocate).
+    std::size_t busy = 0;
   };
 
   Pool* find_pool(MiB capacity);

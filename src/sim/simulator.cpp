@@ -83,6 +83,32 @@ SimulationResult simulate(const trace::Workload& workload,
   std::vector<std::size_t> free_slots;
   std::vector<std::uint32_t> attempts(jobs.size(), 0);
 
+  // --- running-set index (hot path) --------------------------------------
+  // A live mirror of the active slots, maintained on job start/end instead
+  // of being rebuilt (with a fresh allocation) on every pick_next
+  // iteration. Entries stay in ascending slot order — the exact order the
+  // per-iteration rebuild produced — so policies that sort or walk the
+  // running set see identical input and make identical decisions.
+  const bool baseline = config.baseline_loop;
+  std::vector<std::size_t> index_slots;                // ascending slots
+  std::vector<sched::RunningJobInfo> index_infos;      // parallel payloads
+  std::size_t active_jobs = 0;                         // O(1) timeseries count
+  auto index_insert = [&](std::size_t slot, sched::RunningJobInfo info) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.insert(it, slot);
+    index_infos.insert(index_infos.begin() + pos, info);
+  };
+  auto index_erase = [&](std::size_t slot) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    assert(it != index_slots.end() && *it == slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.erase(it);
+    index_infos.erase(index_infos.begin() + pos);
+  };
+
   // Aggregates.
   double productive_node_seconds = 0.0;
   double wasted_node_seconds = 0.0;
@@ -109,13 +135,27 @@ SimulationResult simulate(const trace::Workload& workload,
   auto integrate_pools = [&](Seconds now) {
     const Seconds dt = now - pool_since;
     if (dt <= 0.0) return;
-    const auto snaps = cluster.snapshot();
-    for (std::size_t i = 0; i < snaps.size() && i < pool_integrals.size();
-         ++i) {
-      pool_integrals[i].busy_node_seconds +=
-          static_cast<double>(snaps[i].busy) * dt;
-      pool_integrals[i].capacity_node_seconds +=
-          static_cast<double>(snaps[i].present()) * dt;
+    if (baseline) {
+      // Reference path: materialize a snapshot vector per event.
+      const auto snaps = cluster.snapshot();
+      for (std::size_t i = 0; i < snaps.size() && i < pool_integrals.size();
+           ++i) {
+        pool_integrals[i].busy_node_seconds +=
+            static_cast<double>(snaps[i].busy) * dt;
+        pool_integrals[i].capacity_node_seconds +=
+            static_cast<double>(snaps[i].present()) * dt;
+      }
+    } else {
+      // Same numbers straight off the cluster's incremental counters.
+      const std::size_t n =
+          std::min(cluster.pool_count(), pool_integrals.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto counters = cluster.pool_counters(i);
+        pool_integrals[i].busy_node_seconds +=
+            static_cast<double>(counters.busy) * dt;
+        pool_integrals[i].capacity_node_seconds +=
+            static_cast<double>(counters.present) * dt;
+      }
     }
     pool_since = now;
   };
@@ -148,6 +188,20 @@ SimulationResult simulate(const trace::Workload& workload,
     return state;
   };
 
+  // Stamp a queue entry's preview memo: while the estimator keeps
+  // reporting this epoch for the job's group, effective_request is
+  // guaranteed current and the refresh preview call can be skipped.
+  auto stamp_preview_memo = [&](sched::QueuedJob& q,
+                                const trace::JobRecord& record) {
+    if (baseline) return;
+    if (const auto epoch = estimator.preview_epoch(record)) {
+      q.preview_epoch = *epoch;
+      q.preview_memoized = true;
+    } else {
+      q.preview_memoized = false;
+    }
+  };
+
   auto make_queued = [&](std::size_t trace_index) {
     const trace::JobRecord& record = jobs[trace_index];
     sched::QueuedJob q;
@@ -158,6 +212,7 @@ SimulationResult simulate(const trace::Workload& workload,
     // dispatch (paper Figure 2 places estimation before allocation, and a
     // queued job's group keeps learning while it waits).
     q.effective_request = estimator.preview(record, system_state());
+    stamp_preview_memo(q, record);
     q.enqueue_time = last_event;
     // Runtime input for reservation math: the learned prediction when a
     // predictor is attached, otherwise the user's estimate.
@@ -211,6 +266,8 @@ SimulationResult simulate(const trace::Workload& workload,
       ++result.lowered_starts;
     }
 
+    const sched::RunningJobInfo info{run.expected_end, record.nodes,
+                                     run.granted};
     std::size_t slot;
     if (!free_slots.empty()) {
       slot = free_slots.back();
@@ -220,6 +277,8 @@ SimulationResult simulate(const trace::Workload& workload,
       slot = running.size();
       running.push_back(std::move(run));
     }
+    ++active_jobs;
+    if (!baseline) index_insert(slot, info);
     events.push(end, {EventKind::kJobEnd, slot});
     return true;
   };
@@ -228,35 +287,53 @@ SimulationResult simulate(const trace::Workload& workload,
     // Bounds repeated estimate-then-cancel churn from estimators whose
     // committed grant keeps exceeding the preview (randomized policies).
     int failed_starts = 0;
+    std::vector<sched::RunningJobInfo> rebuilt;  // reference engine only
     for (;;) {
       // Keep the head's preview fresh: strict FCFS blocks on the head, so
       // a stale (too-high) preview would idle machines the head's group
-      // has since learned it does not need.
+      // has since learned it does not need. With an epoch-capable
+      // estimator the refresh is O(1): an unchanged epoch guarantees the
+      // stored preview is still exactly what preview() would return.
       if (!queue.empty()) {
-        const auto& head_record = jobs[queue.front().trace_index];
-        queue.front().effective_request =
-            estimator.preview(head_record, system_state());
+        sched::QueuedJob& head = queue.front();
+        const auto& head_record = jobs[head.trace_index];
+        bool stale = true;
+        if (head.preview_memoized) {
+          const auto epoch = estimator.preview_epoch(head_record);
+          stale = !(epoch && *epoch == head.preview_epoch);
+        }
+        if (stale) {
+          head.effective_request =
+              estimator.preview(head_record, system_state());
+          stamp_preview_memo(head, head_record);
+        }
         // A head whose refreshed requirement outgrew the whole cluster
         // would block strict FCFS forever; reject it like any other
         // unschedulable job (unless machines may still join).
         if (pending_capacity_adds == 0 &&
-            cluster.eligible_total(queue.front().effective_request) <
-                queue.front().nodes) {
+            cluster.eligible_total(head.effective_request) < head.nodes) {
           ++result.dropped_unschedulable;
           queue.pop_front();
           continue;
         }
       }
-      // Policies that look at running jobs (backfilling) get a fresh view
-      // each iteration; the set changes as picks start jobs.
-      std::vector<sched::RunningJobInfo> infos;
-      infos.reserve(running.size());
-      for (const auto& run : running) {
-        if (!run.active) continue;
-        infos.push_back({run.expected_end, jobs[run.trace_index].nodes,
-                         run.granted});
+      // Policies that look at running jobs (backfilling) see the current
+      // set each iteration; the set changes as picks start jobs. The live
+      // index IS that view; the reference engine rebuilds it from scratch
+      // (fresh allocation included) exactly as the seed engine did.
+      const std::vector<sched::RunningJobInfo>* infos = &index_infos;
+      if (baseline) {
+        std::vector<sched::RunningJobInfo> fresh;
+        fresh.reserve(running.size());
+        for (const auto& run : running) {
+          if (!run.active) continue;
+          fresh.push_back({run.expected_end, jobs[run.trace_index].nodes,
+                           run.granted});
+        }
+        rebuilt = std::move(fresh);
+        infos = &rebuilt;
       }
-      const auto pick = policy.pick_next(queue, cluster, infos, now);
+      const auto pick = policy.pick_next(queue, cluster, *infos, now);
       if (!pick) return;
       assert(*pick < queue.size());
       if (!start_job(queue[*pick], now)) {
@@ -265,10 +342,17 @@ SimulationResult simulate(const trace::Workload& workload,
         const auto& record = jobs[queue[*pick].trace_index];
         queue[*pick].effective_request =
             estimator.preview(record, system_state());
+        stamp_preview_memo(queue[*pick], record);
         if (++failed_starts > 64) return;
         continue;
       }
-      queue.erase(queue.begin() + static_cast<long>(*pick));
+      // Order-preserving removal; the FCFS common case picks the head,
+      // which must not shift the whole tail.
+      if (!baseline && *pick == 0) {
+        queue.pop_front();
+      } else {
+        queue.erase(queue.begin() + static_cast<long>(*pick));
+      }
     }
   };
 
@@ -328,6 +412,8 @@ SimulationResult simulate(const trace::Workload& workload,
         run.active = false;
         cluster.release(run.allocation);
         free_slots.push_back(event.payload.index);
+        --active_jobs;
+        if (!baseline) index_erase(event.payload.index);
         const trace::JobRecord& record = jobs[run.trace_index];
 
         // Feedback to the estimator.
@@ -404,8 +490,14 @@ SimulationResult simulate(const trace::Workload& workload,
       schedule(now);
     }
     if (config.timeseries) {
-      std::size_t active = 0;
-      for (const auto& run : running) active += run.active ? 1 : 0;
+      std::size_t active = active_jobs;
+      if (baseline) {
+        // Reference path: recount the slot table per event, as the seed
+        // engine did. Must equal the maintained counter.
+        active = 0;
+        for (const auto& run : running) active += run.active ? 1 : 0;
+        assert(active == active_jobs);
+      }
       config.timeseries->observe(now, cluster.busy_fraction(), queue.size(),
                                  active);
     }

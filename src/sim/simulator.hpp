@@ -67,6 +67,14 @@ struct SimulationConfig {
   /// scheduler-decision histogram. Wall-clock feeds metrics only — the
   /// simulated timeline stays seed-deterministic.
   obs::Registry* metrics = nullptr;
+  /// Run the pre-optimization reference engine: per-event pool snapshot
+  /// allocation, per-iteration running-set rebuild, per-event active-job
+  /// recount, no preview memoization, tail-shifting queue removal. The
+  /// reference engine makes the SAME decisions — SimulationResult and any
+  /// attached TimeSeries are byte-identical to the default engine for the
+  /// same seed (tests/perf_equiv_test enforces this) — it exists only as
+  /// the A/B anchor for bench/micro_core --baseline-loop.
+  bool baseline_loop = false;
 };
 
 /// Run one simulation. `workload` must be sorted by submit time (see

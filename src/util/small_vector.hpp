@@ -1,0 +1,136 @@
+// Inline-storage vector for tiny trivially-copyable payloads.
+//
+// The simulator's hot path creates and destroys one sim::Allocation per
+// job start/stop; its pool list almost never exceeds the pool count of
+// the paper's clusters (two pools). Holding the first N elements inline
+// keeps those starts and stops off the heap entirely; only pathological
+// many-pool allocations spill.
+//
+// Deliberately minimal: exactly the surface the allocation bookkeeping
+// uses (emplace_back, iteration, size/empty/clear, operator[]). Restricted
+// to trivially copyable T so growth and copies are memcpy.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace resmatch::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable payloads");
+  static_assert(N > 0, "inline capacity must be at least one element");
+
+ public:
+  SmallVector() noexcept = default;
+
+  SmallVector(const SmallVector& other) { assign_from(other); }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      release_heap();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release_heap(); }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    data()[size_++] = T(static_cast<Args&&>(args)...);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool inlined() const noexcept { return heap_ == nullptr; }
+
+  [[nodiscard]] T* data() noexcept { return heap_ ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ ? heap_ : inline_;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void assign_from(const SmallVector& other) {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      capacity_ = other.capacity_;
+      heap_ = new T[capacity_];
+      std::memcpy(heap_, other.heap_, size_ * sizeof(T));
+    } else {
+      capacity_ = N;
+      heap_ = nullptr;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+  }
+
+  void steal_from(SmallVector& other) noexcept {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      capacity_ = other.capacity_;
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    } else {
+      capacity_ = N;
+      heap_ = nullptr;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  void grow() {
+    const std::size_t next = capacity_ * 2;
+    T* bigger = new T[next];
+    std::memcpy(bigger, data(), size_ * sizeof(T));
+    release_heap();
+    heap_ = bigger;
+    capacity_ = next;
+  }
+
+  void release_heap() noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace resmatch::util

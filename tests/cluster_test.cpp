@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
+#include "util/rng.hpp"
 
 namespace resmatch::sim {
 namespace {
@@ -112,6 +114,85 @@ TEST(Cluster, ExhaustiveAllocateReleaseCycle) {
     for (const auto& a : held) busy += a.nodes;
     ASSERT_EQ(cluster.busy_count(), busy);
     ASSERT_EQ(cluster.eligible_free(0.0), 15u - busy);
+  }
+}
+
+// --- incremental pool counters vs snapshot() ----------------------------
+
+/// The counters must agree with the numbers snapshot() derives, at every
+/// point in any operation sequence.
+void expect_counters_match_snapshot(const Cluster& cluster) {
+  const auto snaps = cluster.snapshot();
+  ASSERT_EQ(cluster.pool_count(), snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const auto counters = cluster.pool_counters(i);
+    EXPECT_DOUBLE_EQ(counters.capacity, snaps[i].capacity);
+    EXPECT_EQ(counters.busy, snaps[i].busy);
+    EXPECT_EQ(counters.present, snaps[i].present());
+  }
+}
+
+TEST(PoolCounters, TrackAllocateAndRelease) {
+  Cluster cluster({{32.0, 4}, {8.0, 4}});
+  expect_counters_match_snapshot(cluster);
+  const auto a = cluster.allocate(3, 8.0);
+  ASSERT_TRUE(a.has_value());
+  expect_counters_match_snapshot(cluster);
+  const auto b = cluster.allocate(4, 8.0);  // spans both pools
+  ASSERT_TRUE(b.has_value());
+  expect_counters_match_snapshot(cluster);
+  cluster.release(*a);
+  expect_counters_match_snapshot(cluster);
+  cluster.release(*b);
+  expect_counters_match_snapshot(cluster);
+  EXPECT_EQ(cluster.pool_counters(0).busy, 0u);
+  EXPECT_EQ(cluster.pool_counters(1).busy, 0u);
+}
+
+TEST(PoolCounters, TrackDrainingRemovals) {
+  Cluster cluster({{32.0, 4}, {8.0, 4}});
+  const auto a = cluster.allocate(6, 0.0);  // both pools busy
+  ASSERT_TRUE(a.has_value());
+  // Remove more 8 MiB machines than are free: the rest drain. Busy and
+  // present must keep counting drainers until their job releases them.
+  cluster.remove_machines(8.0, 4);
+  expect_counters_match_snapshot(cluster);
+  cluster.add_machines(32.0, 2);
+  expect_counters_match_snapshot(cluster);
+  cluster.release(*a);  // drainers depart here
+  expect_counters_match_snapshot(cluster);
+}
+
+TEST(PoolCounters, RandomizedChurnMatchesSnapshot) {
+  util::Rng rng(77);
+  Cluster cluster({{32.0, 24}, {24.0, 24}, {8.0, 16}});
+  std::vector<Allocation> held;
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 3));
+    if (op == 0) {
+      const auto nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+      const MiB cap = rng.bernoulli(0.5) ? 8.0 : 24.0;
+      if (auto alloc = cluster.allocate(nodes, cap)) {
+        held.push_back(std::move(*alloc));
+      }
+    } else if (op == 1 && !held.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      cluster.release(held[idx]);
+      held.erase(held.begin() + static_cast<long>(idx));
+    } else if (op == 2) {
+      const MiB cap = rng.bernoulli(0.5) ? 32.0 : 24.0;
+      cluster.add_machines(cap, static_cast<std::size_t>(rng.uniform_int(0, 4)));
+    } else {
+      const MiB cap = rng.bernoulli(0.5) ? 32.0 : 24.0;
+      cluster.remove_machines(cap,
+                              static_cast<std::size_t>(rng.uniform_int(0, 4)));
+    }
+    expect_counters_match_snapshot(cluster);
+  }
+  for (const auto& alloc : held) {
+    cluster.release(alloc);
+    expect_counters_match_snapshot(cluster);
   }
 }
 

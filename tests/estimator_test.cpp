@@ -453,5 +453,106 @@ TEST(Factory, OptionsAreForwarded) {
   EXPECT_DOUBLE_EQ(est->estimate(job, {}), 8.0);
 }
 
+// --- preview_epoch: the memoization contract the simulator relies on ----
+
+TEST(PreviewEpoch, NoEstimatorReportsConstantEpoch) {
+  auto est = make_estimator("none");
+  est->set_ladder(CapacityLadder({8, 16, 32}));
+  const auto job = make_job(20.0, 10.0);
+  const auto before = est->preview_epoch(job);
+  ASSERT_TRUE(before.has_value());
+  (void)submit_cycle(*est, job);
+  // Stateless preview: no event may ever invalidate it.
+  EXPECT_EQ(est->preview_epoch(job), before);
+}
+
+TEST(PreviewEpoch, UnknownGroupIsZeroAndGroupCreationBumps) {
+  auto est = make_estimator("successive-approximation");
+  est->set_ladder(CapacityLadder({8, 16, 32}));
+  const auto job = make_job(32.0, 5.0);
+  const auto unknown = est->preview_epoch(job);
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(*unknown, 0u);
+  // estimate() creates the group and commits — both invalidate.
+  const MiB grant = est->estimate(job, {});
+  const auto live = est->preview_epoch(job);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_GT(*live, 0u);
+  est->cancel(job, grant);
+  // preview() itself must NOT advance the epoch (it is side-effect free).
+  const auto settled = est->preview_epoch(job);
+  (void)est->preview(job, {});
+  (void)est->preview(job, {});
+  EXPECT_EQ(est->preview_epoch(job), settled);
+}
+
+TEST(PreviewEpoch, FeedbackAndCancelInvalidate) {
+  for (const char* name : {"successive-approximation", "last-instance"}) {
+    SCOPED_TRACE(name);
+    auto est = make_estimator(name);
+    est->set_ladder(CapacityLadder({8, 16, 32}));
+    const auto job = make_job(32.0, 5.0);
+    (void)submit_cycle(*est, job, /*explicit_feedback=*/true);
+    const auto after_first = est->preview_epoch(job);
+    ASSERT_TRUE(after_first.has_value());
+    (void)submit_cycle(*est, job, /*explicit_feedback=*/true);
+    const auto after_second = est->preview_epoch(job);
+    ASSERT_TRUE(after_second.has_value());
+    // estimate+feedback happened in between: the epoch must have moved.
+    EXPECT_NE(*after_second, *after_first);
+
+    const MiB grant = est->estimate(job, {});
+    const auto committed = est->preview_epoch(job);
+    est->cancel(job, grant);
+    const auto cancelled = est->preview_epoch(job);
+    ASSERT_TRUE(committed.has_value());
+    ASSERT_TRUE(cancelled.has_value());
+    if (std::string(name) == "successive-approximation") {
+      // SA's cancel releases the probe slot, which can change preview().
+      EXPECT_NE(*cancelled, *committed);
+    } else {
+      // Last-instance keeps no per-attempt state: cancel is a no-op, so
+      // the memoized preview legitimately stays valid.
+      EXPECT_EQ(*cancelled, *committed);
+    }
+  }
+}
+
+TEST(PreviewEpoch, EqualEpochsImplyEqualPreviews) {
+  // The contract itself, exercised across a learning run: whenever two
+  // preview_epoch reads for a job agree, the previews must agree too.
+  for (const char* name : {"successive-approximation", "last-instance"}) {
+    SCOPED_TRACE(name);
+    auto est = make_estimator(name);
+    est->set_ladder(CapacityLadder({4, 8, 16, 32}));
+    const auto job = make_job(32.0, 9.0);
+    std::uint64_t last_epoch = ~0ULL;
+    MiB last_preview = -1.0;
+    for (int i = 0; i < 12; ++i) {
+      const auto epoch = est->preview_epoch(job);
+      ASSERT_TRUE(epoch.has_value());
+      const MiB p = est->preview(job, {});
+      if (*epoch == last_epoch) {
+        EXPECT_DOUBLE_EQ(p, last_preview);
+      }
+      last_epoch = *epoch;
+      last_preview = p;
+      (void)submit_cycle(*est, job, /*explicit_feedback=*/true);
+    }
+  }
+}
+
+TEST(PreviewEpoch, LearningEstimatorsOptOut) {
+  // Estimators whose preview depends on SystemState (or mutable model
+  // internals) must return nullopt: no memoization guarantee.
+  for (const char* name :
+       {"regression-ridge", "regression-knn", "reinforcement-learning"}) {
+    SCOPED_TRACE(name);
+    auto est = make_estimator(name);
+    est->set_ladder(CapacityLadder({8, 16, 32}));
+    EXPECT_FALSE(est->preview_epoch(make_job(32.0, 5.0)).has_value());
+  }
+}
+
 }  // namespace
 }  // namespace resmatch::core

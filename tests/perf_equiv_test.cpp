@@ -1,0 +1,237 @@
+// Decision-equivalence tests for the simulator hot-path optimizations.
+//
+// The optimized engine (incremental pool counters, live running-set index,
+// preview memoization, pop_front removal) must make EXACTLY the decisions
+// of the pre-optimization reference engine (SimulationConfig::baseline_loop).
+// Two layers of protection:
+//   * a pinned golden grid (3 policies x 3 estimators on a generated CM5
+//     workload with dynamic availability) whose values were captured from
+//     the seed engine before any optimization landed — a regression here
+//     means the engine's behaviour drifted, not just its speed;
+//   * in-process A/B runs asserting the two engines produce bit-identical
+//     results and time series, including under randomized availability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeseries.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch {
+namespace {
+
+trace::Workload golden_workload() {
+  trace::Workload w = trace::generate_cm5_small(11, 1200);
+  w = trace::drop_wide_jobs(std::move(w), 256);
+  w = trace::scale_to_load(std::move(w), 256, 0.9);
+  return trace::sort_by_submit(std::move(w));
+}
+
+sim::ClusterSpec golden_cluster() { return sim::cm5_heterogeneous(24.0, 128); }
+
+sim::SimulationConfig golden_config(sim::TimeSeries* ts, bool baseline) {
+  sim::SimulationConfig cfg;
+  cfg.seed = 7;
+  cfg.explicit_feedback = true;
+  cfg.availability = {{2000.0, 24.0, -40}, {6000.0, 32.0, 24},
+                      {9000.0, 24.0, 40}};
+  cfg.timeseries = ts;
+  cfg.baseline_loop = baseline;
+  return cfg;
+}
+
+sim::SimulationResult run_once(const trace::Workload& w,
+                               const std::string& policy,
+                               const std::string& estimator, bool baseline,
+                               sim::TimeSeries* ts) {
+  const auto est = core::make_estimator(estimator);
+  const auto pol = sched::make_policy(policy);
+  return sim::simulate(w, golden_cluster(), *est, *pol,
+                       golden_config(ts, baseline));
+}
+
+/// Values captured from the seed engine (pre-optimization) for the golden
+/// configuration. Integers must match exactly; doubles are pinned with a
+/// tight relative tolerance (libm differences across platforms only).
+struct Golden {
+  const char* policy;
+  const char* estimator;
+  std::size_t completed;
+  std::size_t attempts;
+  std::size_t resource_failures;
+  std::size_t intrinsic_failed;
+  std::size_t dropped_unschedulable;
+  std::size_t dropped_attempt_cap;
+  std::size_t lowered_starts;
+  double utilization;
+  double mean_wait;
+  double mean_slowdown;
+  double makespan;
+  std::size_t ts_points;
+};
+
+constexpr Golden kGolden[] = {
+    {"fcfs", "none", 1200u, 1200u, 0u, 0u, 0u, 0u, 0u, 0.80338686502192747,
+     144.88208888838631, 1.3220639016365161, 50525.582616941261, 702u},
+    {"fcfs", "successive-approximation", 1200u, 1200u, 0u, 0u, 0u, 0u, 175u,
+     0.80338686502192747, 132.31285032289384, 1.2925480027089997,
+     50525.582616941261, 706u},
+    {"fcfs", "last-instance", 1200u, 1200u, 0u, 0u, 0u, 0u, 183u,
+     0.80338686502192747, 131.00075676223, 1.2902228740474144,
+     50525.582616941261, 706u},
+    {"sjf", "none", 1200u, 1200u, 0u, 0u, 0u, 0u, 0u, 0.80822428268941882,
+     47.404109925139664, 1.0839562023824614, 50232.232230680995, 702u},
+    {"sjf", "successive-approximation", 1200u, 1200u, 0u, 0u, 0u, 0u, 176u,
+     0.80822428268941882, 46.978947431938323, 1.0847224704280756,
+     50232.232230680995, 704u},
+    {"sjf", "last-instance", 1200u, 1200u, 0u, 0u, 0u, 0u, 182u,
+     0.80822428268941882, 46.977159060725342, 1.0849343269882574,
+     50232.232230680995, 703u},
+    {"easy-backfill", "none", 1200u, 1200u, 0u, 0u, 0u, 0u, 0u,
+     0.80822428268941848, 76.947134137160589, 1.1497997665433906,
+     50232.232230680995, 702u},
+    {"easy-backfill", "successive-approximation", 1200u, 1200u, 0u, 0u, 0u,
+     0u, 177u, 0.80822428268941882, 76.316785515231288, 1.1537611750970929,
+     50232.232230680995, 704u},
+    {"easy-backfill", "last-instance", 1200u, 1200u, 0u, 0u, 0u, 0u, 182u,
+     0.80822428268941882, 77.448619320768017, 1.1581873282440374,
+     50232.232230680995, 702u},
+};
+
+void expect_near_rel(double actual, double expected) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-9 + 1e-12);
+}
+
+TEST(PerfEquivalence, OptimizedEngineMatchesSeedGoldens) {
+  const trace::Workload w = golden_workload();
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE(std::string(g.policy) + " / " + g.estimator);
+    sim::TimeSeries ts(50.0);
+    const auto r = run_once(w, g.policy, g.estimator, /*baseline=*/false, &ts);
+    EXPECT_EQ(r.completed, g.completed);
+    EXPECT_EQ(r.attempts, g.attempts);
+    EXPECT_EQ(r.resource_failures, g.resource_failures);
+    EXPECT_EQ(r.intrinsic_failed, g.intrinsic_failed);
+    EXPECT_EQ(r.dropped_unschedulable, g.dropped_unschedulable);
+    EXPECT_EQ(r.dropped_attempt_cap, g.dropped_attempt_cap);
+    EXPECT_EQ(r.lowered_starts, g.lowered_starts);
+    expect_near_rel(r.utilization, g.utilization);
+    expect_near_rel(r.mean_wait, g.mean_wait);
+    expect_near_rel(r.mean_slowdown, g.mean_slowdown);
+    expect_near_rel(r.makespan, g.makespan);
+    EXPECT_EQ(ts.points().size(), g.ts_points);
+  }
+}
+
+void expect_bitwise_equal(const sim::SimulationResult& a,
+                          const sim::SimulationResult& b,
+                          const sim::TimeSeries& ts_a,
+                          const sim::TimeSeries& ts_b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.resource_failures, b.resource_failures);
+  EXPECT_EQ(a.intrinsic_failed, b.intrinsic_failed);
+  EXPECT_EQ(a.dropped_unschedulable, b.dropped_unschedulable);
+  EXPECT_EQ(a.dropped_attempt_cap, b.dropped_attempt_cap);
+  EXPECT_EQ(a.lowered_starts, b.lowered_starts);
+  EXPECT_EQ(a.benefiting_jobs, b.benefiting_jobs);
+  EXPECT_EQ(a.benefiting_nodes, b.benefiting_nodes);
+  // Exact double comparison is deliberate: both engines run in this
+  // process, so identical decisions imply identical arithmetic.
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.wasted_fraction, b.wasted_fraction);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.mean_bounded_slowdown, b.mean_bounded_slowdown);
+  EXPECT_EQ(a.p95_slowdown, b.p95_slowdown);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.throughput_per_hour, b.throughput_per_hour);
+  ASSERT_EQ(a.pool_utilization.size(), b.pool_utilization.size());
+  for (std::size_t i = 0; i < a.pool_utilization.size(); ++i) {
+    EXPECT_EQ(a.pool_utilization[i].capacity, b.pool_utilization[i].capacity);
+    EXPECT_EQ(a.pool_utilization[i].busy_fraction,
+              b.pool_utilization[i].busy_fraction);
+  }
+  ASSERT_EQ(ts_a.points().size(), ts_b.points().size());
+  for (std::size_t i = 0; i < ts_a.points().size(); ++i) {
+    EXPECT_EQ(ts_a.points()[i].time, ts_b.points()[i].time);
+    EXPECT_EQ(ts_a.points()[i].busy_fraction, ts_b.points()[i].busy_fraction);
+    EXPECT_EQ(ts_a.points()[i].queue_length, ts_b.points()[i].queue_length);
+    EXPECT_EQ(ts_a.points()[i].running_jobs, ts_b.points()[i].running_jobs);
+  }
+}
+
+TEST(PerfEquivalence, BaselineAndOptimizedEnginesBitIdentical) {
+  const trace::Workload w = golden_workload();
+  for (const char* policy : {"fcfs", "sjf", "easy-backfill"}) {
+    for (const char* estimator :
+         {"none", "successive-approximation", "last-instance"}) {
+      SCOPED_TRACE(std::string(policy) + " / " + estimator);
+      sim::TimeSeries ts_base(50.0), ts_opt(50.0);
+      const auto base =
+          run_once(w, policy, estimator, /*baseline=*/true, &ts_base);
+      const auto opt =
+          run_once(w, policy, estimator, /*baseline=*/false, &ts_opt);
+      expect_bitwise_equal(base, opt, ts_base, ts_opt);
+    }
+  }
+}
+
+// Property: equivalence holds under RANDOMIZED availability schedules, not
+// just the pinned one — machines joining and leaving exercise the
+// incremental pool counters' drain bookkeeping and the pending-capacity
+// hold logic on both engine paths.
+TEST(PerfEquivalence, RandomizedAvailabilityProperty) {
+  const trace::Workload w = [] {
+    trace::Workload base = trace::generate_cm5_small(29, 400);
+    base = trace::drop_wide_jobs(std::move(base), 256);
+    base = trace::scale_to_load(std::move(base), 256, 0.85);
+    return trace::sort_by_submit(std::move(base));
+  }();
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    util::Rng rng(1000 + trial);
+    sim::SimulationConfig cfg;
+    cfg.seed = 7 + trial;
+    cfg.explicit_feedback = true;
+    const int n_events = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < n_events; ++i) {
+      sim::AvailabilityEvent ev;
+      ev.time = rng.uniform(500.0, 20000.0);
+      ev.capacity = rng.bernoulli(0.5) ? 32.0 : 24.0;
+      ev.delta = rng.uniform_int(-48, 48);
+      if (ev.delta == 0) ev.delta = 8;
+      cfg.availability.push_back(ev);
+    }
+    for (const char* policy : {"fcfs", "sjf", "easy-backfill"}) {
+      SCOPED_TRACE("trial " + std::to_string(trial) + " / " + policy);
+      sim::TimeSeries ts_base(50.0), ts_opt(50.0);
+      const auto est_b = core::make_estimator("successive-approximation");
+      const auto pol_b = sched::make_policy(policy);
+      auto cfg_b = cfg;
+      cfg_b.baseline_loop = true;
+      cfg_b.timeseries = &ts_base;
+      const auto base =
+          sim::simulate(w, golden_cluster(), *est_b, *pol_b, cfg_b);
+
+      const auto est_o = core::make_estimator("successive-approximation");
+      const auto pol_o = sched::make_policy(policy);
+      auto cfg_o = cfg;
+      cfg_o.baseline_loop = false;
+      cfg_o.timeseries = &ts_opt;
+      const auto opt =
+          sim::simulate(w, golden_cluster(), *est_o, *pol_o, cfg_o);
+      expect_bitwise_equal(base, opt, ts_base, ts_opt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resmatch

@@ -6,11 +6,13 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/expected.hpp"
 #include "util/rng.hpp"
+#include "util/small_vector.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -263,6 +265,61 @@ TEST(Table, NumericRows) {
   ConsoleTable table({"a", "b"});
   table.add_numeric_row({1.25, 3.0});
   EXPECT_NE(table.render().find("1.25"), std::string::npos);
+}
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inlined());
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.inlined());  // exactly N elements: still no heap
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 9; ++i) v.emplace_back(i);
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_FALSE(v.inlined());
+  int expect = 0;
+  for (const int x : v) EXPECT_EQ(x, expect++);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, CopyAndMoveSemantics) {
+  SmallVector<int, 2> inl;
+  inl.push_back(1);
+  SmallVector<int, 2> heap;
+  for (int i = 0; i < 5; ++i) heap.push_back(i);
+
+  SmallVector<int, 2> copy_inl = inl;
+  SmallVector<int, 2> copy_heap = heap;
+  EXPECT_EQ(copy_inl, inl);
+  EXPECT_EQ(copy_heap, heap);
+
+  SmallVector<int, 2> moved = std::move(copy_heap);
+  EXPECT_EQ(moved, heap);
+  EXPECT_TRUE(copy_heap.empty());  // moved-from: reset, still usable
+  copy_heap.push_back(42);
+  EXPECT_EQ(copy_heap.size(), 1u);
+
+  copy_inl = heap;  // inline -> heap assignment
+  EXPECT_EQ(copy_inl, heap);
+  copy_inl = inl;  // heap -> inline assignment
+  EXPECT_EQ(copy_inl, inl);
+}
+
+TEST(SmallVector, EqualityComparesValues) {
+  SmallVector<int, 2> a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  EXPECT_EQ(a, b);
+  b.push_back(99);
+  EXPECT_FALSE(a == b);
 }
 
 }  // namespace
