@@ -13,11 +13,19 @@
 //
 //   ./build/bench/micro_service [--jobs=N] [--groups=G] [--csv=PATH]
 //                               [--metrics-out=PATH] [--max-threads=T]
+//                               [--wal-dir=DIR] [--wal-fsync-every=N]
+//                               [--fault-rate=P] [--fault-seed=S]
 //
 // --jobs is the per-thread operation count (default 200000).
 // --metrics-out writes a schema-v1 BENCH record (see obs/bench_record.hpp)
 // with p50/p99 submit latency, jobs/sec, instrumentation overhead, and
 // the full registry dump of the widest instrumented run.
+// --wal-dir prices durability: every measured service writes its WAL to a
+// fresh subdirectory of DIR, so the throughput columns become with-WAL
+// numbers directly comparable to a run without the flag. --fault-rate arms
+// the deterministic injector (see bench/micro_faults.cpp for the targeted
+// fault-path microbench).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -30,10 +38,26 @@
 #include "svc/matchd.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
 using namespace resmatch;
+
+/// Durability template applied to every measured service (wal_dir empty =
+/// durability off, the default). Each run gets a fresh subdirectory so no
+/// run replays or appends to another's log.
+svc::DurabilityConfig g_durability;
+
+svc::DurabilityConfig durability_for_run() {
+  static std::atomic<std::uint64_t> next_run{0};
+  svc::DurabilityConfig d = g_durability;
+  if (!d.wal_dir.empty()) {
+    d.wal_dir += "/run-" + std::to_string(
+        next_run.fetch_add(1, std::memory_order_relaxed));
+  }
+  return d;
+}
 
 trace::JobRecord make_job(std::uint64_t n, std::size_t groups) {
   trace::JobRecord job;
@@ -96,6 +120,7 @@ Sample measure(std::size_t threads, std::size_t ops_per_thread,
   config.queue_capacity = 4096;
   config.workers = async ? threads : 0;
   config.metrics = registry;
+  config.durability = durability_for_run();
   svc::Matchd service(config);
   service.set_ladder(
       core::CapacityLadder({4.0, 8.0, 16.0, 24.0, 32.0, 64.0, 128.0}));
@@ -144,6 +169,22 @@ int main(int argc, char** argv) {
       cli.get("max-threads", static_cast<std::int64_t>(16)));
   const std::string csv = cli.get("csv", std::string{});
   const std::string metrics_out = cli.get("metrics-out", std::string{});
+  const std::string wal_dir = cli.get("wal-dir", std::string{});
+  const auto wal_fsync_every = static_cast<std::size_t>(
+      cli.get("wal-fsync-every", static_cast<std::int64_t>(64)));
+  const double fault_rate = cli.get("fault-rate", 0.0);
+  const auto fault_seed = static_cast<std::uint64_t>(
+      cli.get("fault-seed", static_cast<std::int64_t>(42)));
+
+  util::FaultInjector injector(fault_seed);
+  g_durability.wal_dir = wal_dir;
+  g_durability.wal_fsync_every = wal_fsync_every;
+  if (fault_rate > 0.0) {
+    // Keep runs of injected failures shorter than the retry budget so
+    // the bench measures the retry path, not degraded-mode pass-through.
+    injector.arm_all(util::FaultSpec{fault_rate, /*max_consecutive=*/3});
+    g_durability.faults = &injector;
+  }
 
   std::vector<std::size_t> counts;
   for (const std::size_t n : {1u, 2u, 4u, 8u, 16u}) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Docs lint: every metric the code exports must be documented.
+
+Scans C++ sources under src/ for metric-name string literals
+("resmatch_..." passed to the obs::Registry registration calls) and fails
+if any of them is missing from OPERATIONS.md. This keeps the operator
+runbook's metrics reference complete by construction: adding a metric
+without documenting it breaks CI.
+
+Usage:
+    python3 scripts/check_metrics_docs.py [--src SRC_DIR] [--docs OPERATIONS.md]
+
+Exit status: 0 when every exported metric is documented, 1 otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Metric names are snake_case literals with the project prefix. Other
+# resmatch identifiers in the tree (CMake targets, the snapshot format
+# magic "resmatch-estimator-store") use dashes or different casing and do
+# not match.
+METRIC_RE = re.compile(r'"(resmatch_[a-z0-9_]+)"')
+
+
+def exported_metrics(src_root: pathlib.Path) -> dict[str, list[str]]:
+    """Map metric name -> source files mentioning it."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in {".cpp", ".hpp", ".cc", ".h"}:
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for name in METRIC_RE.findall(text):
+            found.setdefault(name, []).append(str(path))
+    return found
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default="src", help="C++ source root to scan")
+    parser.add_argument(
+        "--docs", default="OPERATIONS.md", help="runbook that must cover them"
+    )
+    args = parser.parse_args()
+
+    src_root = pathlib.Path(args.src)
+    docs_path = pathlib.Path(args.docs)
+    if not src_root.is_dir():
+        print(f"check_metrics_docs: no such source dir: {src_root}")
+        return 1
+    if not docs_path.is_file():
+        print(f"check_metrics_docs: missing docs file: {docs_path}")
+        return 1
+
+    metrics = exported_metrics(src_root)
+    if not metrics:
+        print(f"check_metrics_docs: no metrics found under {src_root} "
+              "(scan pattern broken?)")
+        return 1
+
+    docs = docs_path.read_text(encoding="utf-8")
+    missing = {
+        name: files for name, files in metrics.items() if name not in docs
+    }
+    if missing:
+        print(f"check_metrics_docs: {len(missing)} exported metric(s) "
+              f"missing from {docs_path}:")
+        for name, files in sorted(missing.items()):
+            print(f"  {name}  (exported by {', '.join(sorted(set(files)))})")
+        print("Document each in the metrics reference section of "
+              f"{docs_path} (name, type, meaning, alert hint).")
+        return 1
+
+    print(f"check_metrics_docs: all {len(metrics)} exported metrics "
+          f"documented in {docs_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 
 #include "core/successive_approximation.hpp"
 #include "sched/factory.hpp"
+#include "sim/cluster.hpp"
 
 namespace resmatch::sim {
 
@@ -112,6 +113,86 @@ ServeReplayResult serve_replay(const trace::Workload& workload,
     if (length_mismatch || job_mismatch || !d.matches()) {
       ++result.mismatches;
       if (result.first_mismatches.size() < 8) {
+        result.first_mismatches.push_back(d);
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Submit one job and immediately report its outcome — the synchronous
+/// learn-per-job drive both crash_replay runs share. Explicit feedback
+/// (actual usage echoed back) so group state converges deterministically.
+MiB drive_job(svc::Matchd& service, const trace::JobRecord& job) {
+  const svc::MatchDecision decision = service.submit(job);
+  core::Feedback fb;
+  fb.granted_mib = decision.granted_mib;
+  fb.success = job.used_mem_mib <= decision.granted_mib;
+  fb.used_mib = job.used_mem_mib;
+  fb.resource_failure = !fb.success;
+  service.feedback(job, fb);
+  return decision.granted_mib;
+}
+
+}  // namespace
+
+CrashReplayResult crash_replay(const trace::Workload& workload,
+                               const ClusterSpec& cluster_spec,
+                               CrashReplayConfig config) {
+  CrashReplayResult result;
+  const core::CapacityLadder ladder = Cluster(cluster_spec).ladder();
+  const std::size_t crash_after =
+      std::min(config.crash_after, workload.jobs.size());
+
+  // Reference: one uninterrupted, fault-free, WAL-free run.
+  std::vector<MiB> reference;
+  reference.reserve(workload.jobs.size());
+  {
+    svc::MatchdConfig cfg = config.matchd;
+    cfg.durability = svc::DurabilityConfig{};
+    cfg.metrics = nullptr;
+    svc::Matchd service(cfg);
+    service.set_ladder(ladder);
+    for (const trace::JobRecord& job : workload.jobs) {
+      reference.push_back(drive_job(service, job));
+    }
+  }
+
+  // Crashed run: serve, crash mid-stream, recover a fresh instance from
+  // the WAL directory, finish the workload there.
+  std::vector<MiB> recovered;
+  recovered.reserve(workload.jobs.size());
+  {
+    svc::Matchd service(config.matchd);
+    service.set_ladder(ladder);
+    for (std::size_t i = 0; i < crash_after; ++i) {
+      recovered.push_back(drive_job(service, workload.jobs[i]));
+    }
+    service.simulate_crash(config.torn_tail);
+  }
+  {
+    svc::Matchd service(config.matchd);
+    service.set_ladder(ladder);
+    auto recovery = service.recover();
+    if (recovery) result.recovery = recovery.value();
+    for (std::size_t i = crash_after; i < workload.jobs.size(); ++i) {
+      recovered.push_back(drive_job(service, workload.jobs[i]));
+    }
+    service.drain();
+    result.stats = service.stats();
+  }
+
+  result.decisions = reference.size();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] != recovered[i]) {
+      ++result.mismatches;
+      if (result.first_mismatches.size() < 8) {
+        ReplayDecision d;
+        d.job_id = workload.jobs[i].id;
+        d.offline_mib = reference[i];
+        d.service_mib = recovered[i];
         result.first_mismatches.push_back(d);
       }
     }

@@ -68,4 +68,44 @@ struct ServeReplayResult {
                                              const ClusterSpec& cluster_spec,
                                              ServeReplayConfig config = {});
 
+// --- crash-recovery equivalence ---------------------------------------------
+
+/// Configuration for crash_replay. `matchd.durability.wal_dir` must be
+/// set — the crashed service is recovered from its WAL.
+struct CrashReplayConfig {
+  svc::MatchdConfig matchd;
+  /// Submissions served before the simulated crash. 0 = crash before any
+  /// traffic (recovery of an empty log must also work).
+  std::size_t crash_after = 0;
+  /// Leave a torn half-frame at one WAL tail, as a mid-write power cut
+  /// would; replay must drop it and still match.
+  bool torn_tail = false;
+};
+
+struct CrashReplayResult {
+  /// Decisions compared (one per job; both drives see every job).
+  std::size_t decisions = 0;
+  /// Decisions whose grants differ between the fault-free reference run
+  /// and the crashed-and-recovered run — must be 0.
+  std::size_t mismatches = 0;
+  std::vector<ReplayDecision> first_mismatches;
+  /// What the restarted service reconstructed from disk.
+  svc::RecoveryStats recovery;
+  /// Counters of the restarted (post-recovery) service.
+  svc::MatchdStats stats;
+
+  [[nodiscard]] bool identical() const noexcept { return mismatches == 0; }
+};
+
+/// The durability contract, end to end: drive the workload (submit +
+/// explicit feedback per job, arrival order) through a WAL-backed service,
+/// crash it after `crash_after` submissions, recover a fresh instance from
+/// the same WAL directory, finish the workload there, and compare the
+/// concatenated grant stream byte-for-byte against one uninterrupted
+/// fault-free run. With every committed mutation logged (wal_flush_every
+/// == 1), the crash must be invisible in the decision stream.
+[[nodiscard]] CrashReplayResult crash_replay(const trace::Workload& workload,
+                                             const ClusterSpec& cluster_spec,
+                                             CrashReplayConfig config);
+
 }  // namespace resmatch::sim

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "util/expected.hpp"
+#include "util/fault.hpp"
 
 namespace resmatch::svc {
 
@@ -47,6 +48,9 @@ struct StoreConfig {
   /// max_groups/shards, so the realized bound is within one entry per
   /// shard of the configured total).
   std::size_t max_groups = 1 << 20;
+  /// Deterministic fault injection for snapshot I/O (save/load/rename).
+  /// Null = disabled; the paths then pay one null test each.
+  util::FaultInjector* faults = nullptr;
 };
 
 /// Counters of one stripe. Updated with relaxed atomics under the shard
@@ -235,6 +239,9 @@ class EstimatorStore {
   /// missing file. Single-writer: concurrent save_file calls on the same
   /// path would share the temp name.
   [[nodiscard]] bool save_file(const std::string& path) const {
+    if (util::fault(config_.faults, util::FaultSite::kStoreWrite)) {
+      return false;  // injected: writer failed before touching the disk
+    }
     const std::string tmp = path + ".tmp";
     {
       std::ofstream out(tmp, std::ios::trunc);
@@ -246,7 +253,10 @@ class EstimatorStore {
         return false;
       }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (util::fault(config_.faults, util::FaultSite::kSnapshotRename) ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+      // Injected or real rename failure: the previous snapshot is intact
+      // by construction; drop the orphaned temp file.
       std::remove(tmp.c_str());
       return false;
     }
@@ -263,6 +273,12 @@ class EstimatorStore {
     std::string line;
     if (!std::getline(in, line)) {
       return util::Expected<std::size_t>::failure("empty snapshot");
+    }
+    if (in.eof()) {
+      // save() writes '\n' after the header; a header ending at EOF means
+      // the snapshot was cut before its first row.
+      return util::Expected<std::size_t>::failure(
+          "truncated snapshot header: " + line);
     }
     std::istringstream header(line);
     std::string magic, kind;
@@ -284,6 +300,15 @@ class EstimatorStore {
 
     std::size_t restored = 0;
     while (std::getline(in, line)) {
+      // save() terminates every row with '\n'. A final line that ends at
+      // EOF instead was cut mid-write (a crash or a partial copy): its
+      // last field may be silently chopped to a shorter, still-parseable
+      // number, so it must be rejected, not trusted. Callers with a WAL
+      // recover the lost rows by replay (svc::Matchd::recover).
+      if (in.eof()) {
+        return util::Expected<std::size_t>::failure(
+            "truncated trailing row (no newline): " + line);
+      }
       if (line.empty()) continue;
       std::istringstream row(line);
       std::string cell;
@@ -316,11 +341,22 @@ class EstimatorStore {
 
   [[nodiscard]] util::Expected<std::size_t> load_file(
       const std::string& path) {
+    if (util::fault(config_.faults, util::FaultSite::kStoreRead)) {
+      return util::Expected<std::size_t>::failure(
+          "injected store-read fault: " + path);
+    }
     std::ifstream in(path);
     if (!in) {
       return util::Expected<std::size_t>::failure("cannot open " + path);
     }
     return load(in);
+  }
+
+  /// Insert-or-overwrite one entry without touching traffic counters —
+  /// the WAL replay path (and any other restoration source) feeds
+  /// recovered state through here. Same LRU bookkeeping as load().
+  void restore(std::uint64_t key, State state) {
+    restore_entry(key, std::move(state));
   }
 
  private:

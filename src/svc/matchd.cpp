@@ -1,7 +1,9 @@
 #include "svc/matchd.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
+#include <stdexcept>
 
 namespace resmatch::svc {
 
@@ -9,29 +11,60 @@ namespace {
 /// Grants within this tolerance are the same capacity rung (the same
 /// epsilon the simulator uses for its lowered-start accounting).
 constexpr double kGrantEps = 1e-9;
+
+/// The store is constructed in the initializer list, before the ctor body
+/// can thread the injector through — so splice it into the copied config.
+StoreConfig store_config_with_faults(StoreConfig store,
+                                     util::FaultInjector* faults) {
+  if (!store.faults) store.faults = faults;
+  return store;
+}
 }  // namespace
 
 Matchd::Matchd(MatchdConfig config)
     : config_(std::move(config)),
       key_fn_(config_.key_fn ? config_.key_fn : core::default_similarity_key),
-      store_(config_.store),
+      store_(store_config_with_faults(config_.store,
+                                      config_.durability.faults)),
       counters_(store_.shard_count()) {
   try {
+    if (!config_.durability.wal_dir.empty()) {
+      WalConfig wc;
+      wc.dir = config_.durability.wal_dir;
+      wc.shards = store_.shard_count();
+      wc.flush_every = config_.durability.wal_flush_every;
+      wc.fsync_every = config_.durability.wal_fsync_every;
+      wc.faults = config_.durability.faults;
+      auto wal = Wal::open(std::move(wc));
+      if (!wal) {
+        throw std::runtime_error("matchd: cannot open WAL: " + wal.error());
+      }
+      wal_ = std::move(wal.value());
+    }
     register_metrics();
     if (config_.workers > 0) {
       queue_ = std::make_unique<BoundedMpmcQueue<Request>>(
           std::max<std::size_t>(1, config_.queue_capacity));
+      util::FaultInjector* faults = config_.durability.faults;
       pool_ = std::make_unique<ThreadPool>(
           config_.workers, [this](std::size_t i) { worker_main(i); },
           // Spawn failure: release any already-running workers blocked
           // on pop() so the pool's recovery join can complete.
-          [this] { queue_->close(); });
+          [this] { queue_->close(); },
+          faults ? std::function<void(std::size_t)>([faults](std::size_t) {
+            if (faults->should_fail(util::FaultSite::kThreadSpawn)) {
+              throw std::runtime_error("injected thread-spawn fault");
+            }
+          })
+                 : std::function<void(std::size_t)>{});
     }
   } catch (...) {
     // The destructor will not run for a throwing constructor; drop any
-    // registered providers so they cannot capture a dead service.
+    // registered providers so they cannot capture a dead service, and
+    // push any WAL records the partial startup managed to append.
     if (queue_) queue_->close();
     if (pool_) pool_->join();
+    if (wal_) (void)wal_->flush_all();
     unregister_metrics();
     throw;
   }
@@ -40,6 +73,10 @@ Matchd::Matchd(MatchdConfig config)
 Matchd::~Matchd() {
   if (queue_) queue_->close();
   if (pool_) pool_->join();
+  // Workers are joined, so nothing races the final flush: every record the
+  // service accepted reaches disk before the log files close (the
+  // shutdown-durability guarantee).
+  if (wal_) (void)wal_->flush_all();
   unregister_metrics();
 }
 
@@ -52,13 +89,46 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
   const auto t0 = timed ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point{};
   const std::uint64_t key = key_fn_(job);
+
+  if (wal_ && degraded_.load(std::memory_order_relaxed) &&
+      !try_exit_degraded(key)) {
+    // Pass-through: grant the rounded raw request without touching group
+    // state, so nothing is learned that the log could not record.
+    degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+    MatchDecision decision;
+    decision.granted_mib = ladder_.round_up(job.requested_mem_mib);
+    decision.group_key = key;
+    counters_[store_.shard_of(key)].submissions.fetch_add(
+        1, std::memory_order_relaxed);
+    if (timed) {
+      submit_hist_->record(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+    }
+    return decision;
+  }
+
+  bool durable = true;
   const MiB granted = store_.with_group(
       key,
       [&] {
         return core::SaGroupState::fresh(job.requested_mem_mib,
                                          config_.alpha);
       },
-      [&](core::SaGroupState& g) { return g.commit(ladder_); });
+      [&](core::SaGroupState& g) {
+        const MiB r = g.commit(ladder_);
+        // Under the shard lock: per-key record order in the log matches
+        // the order transitions were applied.
+        if (wal_) durable = wal_append_locked(key, g);
+        return r;
+      });
+  if (wal_) {
+    if (!durable) {
+      enter_degraded();
+    } else {
+      maybe_compact();
+    }
+  }
 
   MatchDecision decision;
   decision.granted_mib = granted;
@@ -89,10 +159,28 @@ void Matchd::cancel(const trace::JobRecord& job, MiB granted) {
   const auto t0 = timed ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point{};
   const std::uint64_t key = key_fn_(job);
-  if (store_.modify_if_present(
-          key, [&](core::SaGroupState& g) { g.cancel(granted); })) {
+  if (wal_ && degraded_.load(std::memory_order_relaxed) &&
+      !try_exit_degraded(key)) {
+    // The probe slot being released was claimed by a pre-degradation
+    // submit; dropping the cancel keeps memory and log consistent (the
+    // group re-syncs on its next recorded transition).
+    degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool durable = true;
+  if (store_.modify_if_present(key, [&](core::SaGroupState& g) {
+        g.cancel(granted);
+        if (wal_) durable = wal_append_locked(key, g);
+      })) {
     counters_[store_.shard_of(key)].cancels.fetch_add(
         1, std::memory_order_relaxed);
+    if (wal_) {
+      if (!durable) {
+        enter_degraded();
+      } else {
+        maybe_compact();
+      }
+    }
   }
   if (timed) {
     cancel_hist_->record(std::chrono::duration<double>(
@@ -107,9 +195,17 @@ void Matchd::feedback(const JobOutcome& outcome) {
                         : std::chrono::steady_clock::time_point{};
   const trace::JobRecord& job = outcome.job;
   const std::uint64_t key = key_fn_(job);
+  if (wal_ && degraded_.load(std::memory_order_relaxed) &&
+      !try_exit_degraded(key)) {
+    // Drop rather than learn-without-recording: a lesson absent from the
+    // log would silently vanish on recovery.
+    degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Create-if-missing mirrors the offline estimator: feedback for an
   // evicted (or never-seen) group re-enters at the request, then applies
   // the outcome.
+  bool durable = true;
   const bool success = store_.with_group(
       key,
       [&] {
@@ -117,9 +213,19 @@ void Matchd::feedback(const JobOutcome& outcome) {
                                          config_.alpha);
       },
       [&](core::SaGroupState& g) {
-        return g.apply_feedback(outcome.feedback, job.requested_mem_mib,
-                                ladder_, config_.beta);
+        const bool ok = g.apply_feedback(outcome.feedback,
+                                         job.requested_mem_mib, ladder_,
+                                         config_.beta);
+        if (wal_) durable = wal_append_locked(key, g);
+        return ok;
       });
+  if (wal_) {
+    if (!durable) {
+      enter_degraded();
+    } else {
+      maybe_compact();
+    }
+  }
   ShardCounters& c = counters_[store_.shard_of(key)];
   (success ? c.successes : c.failures)
       .fetch_add(1, std::memory_order_relaxed);
@@ -134,6 +240,14 @@ void Matchd::feedback(const JobOutcome& outcome) {
 
 PushResult Matchd::admit(Request&& request) {
   if (!queue_) return PushResult::kClosed;
+  // Injected admission failure reads as backpressure: callers already
+  // handle kFull (MatchdEstimator falls back to the synchronous path), so
+  // the fault exercises the real rejection flow end to end.
+  if (util::fault(config_.durability.faults,
+                  util::FaultSite::kQueueAdmit)) {
+    async_rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return PushResult::kFull;
+  }
   if (queue_wait_hist_) request.admitted = std::chrono::steady_clock::now();
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   const PushResult result = queue_->try_push(std::move(request));
@@ -330,6 +444,52 @@ void Matchd::register_metrics() {
                        static_cast<double>(store_.per_shard_capacity());
               });
   }
+
+  // Durability series are exported unconditionally (flat zero with the
+  // WAL off) so dashboards and alerts need not special-case deployments.
+  add_counter("resmatch_wal_appends_total",
+              "WAL records accepted (buffered or written)", {},
+              [this] { return wal_ ? wal_->stats().appends : 0; });
+  add_counter("resmatch_wal_append_failures_total",
+              "WAL appends refused after log repair (pre-retry count)", {},
+              [this] { return wal_ ? wal_->stats().append_failures : 0; });
+  add_counter("resmatch_wal_bytes_total", "Bytes written to WAL files", {},
+              [this] { return wal_ ? wal_->stats().bytes_written : 0; });
+  add_counter("resmatch_wal_fsyncs_total", "fsync(2) calls on WAL files",
+              {}, [this] { return wal_ ? wal_->stats().fsyncs : 0; });
+  add_counter("resmatch_wal_rotations_total",
+              "WAL generation rotations (one per compaction attempt)", {},
+              [this] { return wal_ ? wal_->stats().rotations : 0; });
+  add_counter("resmatch_matchd_compactions_total",
+              "Completed checkpoint cycles (rotate + snapshot + GC)", {},
+              [this] {
+                return compactions_.load(std::memory_order_relaxed);
+              });
+  add_counter("resmatch_matchd_degraded_ops_total",
+              "Operations served pass-through or dropped while degraded",
+              {}, [this] {
+                return degraded_ops_.load(std::memory_order_relaxed);
+              });
+  add_counter("resmatch_matchd_wal_retries_total",
+              "WAL/snapshot attempts beyond each operation's first", {},
+              [this] {
+                return wal_retries_.load(std::memory_order_relaxed);
+              });
+  add_counter("resmatch_matchd_wal_giveups_total",
+              "WAL appends abandoned after retry exhaustion", {}, [this] {
+                return wal_giveups_.load(std::memory_order_relaxed);
+              });
+  add_gauge("resmatch_matchd_degraded",
+            "1 while serving pass-through because the WAL refuses writes",
+            {}, [this] {
+              return degraded_.load(std::memory_order_relaxed) ? 1.0 : 0.0;
+            });
+  // 1 us .. ~17 min in factor-2 steps: a degraded spell can be one
+  // retried write or a minutes-long disk outage.
+  recovery_hist_ = &reg->histogram(
+      "resmatch_matchd_recovery_seconds",
+      "Time spent in degraded mode before the WAL recovered",
+      obs::HistogramSpec{1e-6, 2.0, 30});
 }
 
 void Matchd::unregister_metrics() {
@@ -366,6 +526,12 @@ MatchdStats Matchd::stats() const {
   out.store = store_.stats();
   out.groups = out.store.entries;
   out.evictions = out.store.evictions;
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.degraded_ops = degraded_ops_.load(std::memory_order_relaxed);
+  out.wal_retries = wal_retries_.load(std::memory_order_relaxed);
+  out.wal_giveups = wal_giveups_.load(std::memory_order_relaxed);
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  if (wal_) out.wal = wal_->stats();
   return out;
 }
 
@@ -383,6 +549,160 @@ bool Matchd::save_store(const std::string& path) const {
 
 util::Expected<std::size_t> Matchd::restore_store(const std::string& path) {
   return store_.load_file(path);
+}
+
+// --- durability --------------------------------------------------------------
+
+bool Matchd::wal_append_locked(std::uint64_t key,
+                               const core::SaGroupState& g) {
+  const std::vector<double> fields = g.to_fields();
+  const std::size_t shard = store_.shard_of(key);
+  // Retries (and their backoff sleeps) run under the shard lock — other
+  // keys on the shard stall behind a sick disk, which is the honest
+  // outcome: proceeding would reorder the log. Backoff is capped in the
+  // low milliseconds; past it the caller flips to degraded mode.
+  const util::RetryResult r = util::retry_with(
+      config_.durability.retry, config_.durability.retry_seed ^ key, [&] {
+        return wal_->append(shard, key, fields.data(), fields.size());
+      });
+  if (r.attempts > 1) {
+    wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
+  }
+  if (!r.ok) {
+    wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  appends_since_compact_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Matchd::enter_degraded() {
+  bool expected = false;
+  if (degraded_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(degraded_mutex_);
+    degraded_since_ = std::chrono::steady_clock::now();
+  }
+}
+
+bool Matchd::try_exit_degraded(std::uint64_t key) {
+  // One heartbeat probe, no retries: if a no-op record commits, real
+  // appends will too. Failing cheaply keeps degraded operations fast.
+  if (!wal_->append_heartbeat(store_.shard_of(key))) return false;
+  bool expected = true;
+  if (degraded_.compare_exchange_strong(expected, false,
+                                        std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(degraded_mutex_);
+    if (recovery_hist_) {
+      recovery_hist_->record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        degraded_since_)
+              .count());
+    }
+  }
+  return true;
+}
+
+void Matchd::maybe_compact() {
+  const std::uint64_t every = config_.durability.compact_every;
+  if (every == 0 ||
+      appends_since_compact_.load(std::memory_order_relaxed) < every) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(compact_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // someone else is already compacting
+  if (appends_since_compact_.load(std::memory_order_relaxed) < every) {
+    return;  // they finished while we waited for the lock
+  }
+  (void)checkpoint_locked();
+}
+
+bool Matchd::checkpoint() {
+  if (!wal_) return false;
+  std::lock_guard<std::mutex> lock(compact_mutex_);
+  return checkpoint_locked();
+}
+
+bool Matchd::checkpoint_locked() {
+  // Rotate FIRST: everything in the old generations is then covered by
+  // the snapshot below, making them garbage once the rename lands.
+  if (!wal_->rotate()) return false;
+  const util::RetryResult r = util::retry_with(
+      config_.durability.retry,
+      config_.durability.retry_seed ^ 0xC0FFEEULL,
+      [&] { return store_.save_file(snapshot_path()); });
+  if (r.attempts > 1) {
+    wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
+  }
+  if (!r.ok) {
+    // Old generations stay on disk: recovery replays more records than
+    // strictly needed, which costs time, never data.
+    return false;
+  }
+  wal_->remove_old_generations();
+  appends_since_compact_.store(0, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string Matchd::snapshot_path() const {
+  return config_.durability.wal_dir + "/snapshot.csv";
+}
+
+bool Matchd::flush_wal() { return wal_ && wal_->flush_all(); }
+
+util::Expected<RecoveryStats> Matchd::recover(RecoverMode mode) {
+  using Result = util::Expected<RecoveryStats>;
+  if (config_.durability.wal_dir.empty()) {
+    return Result::failure("matchd: recover() without a wal_dir");
+  }
+  RecoveryStats rs;
+  if (mode == RecoverMode::kSnapshotAndWal) {
+    const std::string snap = snapshot_path();
+    std::error_code ec;
+    if (std::filesystem::exists(snap, ec)) {
+      util::Expected<std::size_t> rows = std::size_t{0};
+      const util::RetryResult rr = util::retry_with(
+          config_.durability.retry,
+          config_.durability.retry_seed ^ 0x5EC0FE7ULL, [&] {
+            rows = store_.load_file(snap);
+            return rows.has_value();
+          });
+      if (rr.attempts > 1) {
+        wal_retries_.fetch_add(rr.attempts - 1, std::memory_order_relaxed);
+      }
+      if (!rows) {
+        return Result::failure(
+            "matchd: snapshot unreadable (" + rows.error() +
+            "); retry with RecoverMode::kWalOnly to replay the log alone");
+      }
+      rs.snapshot_rows = rows.value();
+    }
+  }
+  std::uint64_t invalid = 0;
+  auto replayed = Wal::replay(
+      config_.durability.wal_dir,
+      [&](std::uint64_t key, const double* fields, std::size_t n_fields) {
+        auto state = core::SaGroupState::from_fields(
+            std::vector<double>(fields, fields + n_fields));
+        if (!state) {
+          ++invalid;
+          return;
+        }
+        store_.restore(key, std::move(*state));
+      });
+  if (!replayed) return Result::failure(replayed.error());
+  rs.wal_records = replayed.value().records;
+  rs.wal_files = replayed.value().files;
+  rs.torn_files = replayed.value().torn_files;
+  rs.invalid_records = invalid;
+  return rs;
+}
+
+void Matchd::simulate_crash(bool leave_torn_tail) {
+  if (queue_) queue_->close();
+  if (pool_) pool_->join();
+  if (wal_) wal_->simulate_crash(leave_torn_tail);
 }
 
 // --- MatchdEstimator ---------------------------------------------------------

@@ -23,6 +23,17 @@
 // still satisfies Algorithm 1's invariants (alpha >= 1, estimate bounded
 // by the proven capacity) — asserted by SaGroupState::invariants_hold in
 // the svc tests.
+//
+// Crash safety (opt-in via MatchdConfig::durability): every committed
+// group transition is appended to a per-shard write-ahead log (wal.hpp)
+// under the same shard lock that serialized the transition. Appends retry
+// with capped exponential backoff; past retry exhaustion the service
+// enters DEGRADED mode — submissions get pass-through grants (the rounded
+// raw request, never a lowered one), feedback/cancel are dropped, and each
+// degraded operation sends one heartbeat probe that restores normal
+// service the moment the log accepts writes again. recover() rebuilds the
+// store from snapshot + WAL replay; checkpoint() compacts the log into a
+// fresh snapshot. See OPERATIONS.md for the operator-facing contract.
 #pragma once
 
 #include <atomic>
@@ -41,9 +52,43 @@
 #include "svc/estimator_store.hpp"
 #include "svc/mpmc_queue.hpp"
 #include "svc/thread_pool.hpp"
+#include "svc/wal.hpp"
 #include "trace/job_record.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace resmatch::svc {
+
+/// Crash-safety knobs. With `wal_dir` empty (the default) no WAL exists
+/// and every mutation pays exactly one null-pointer check over the
+/// previous behavior. With a directory set, every committed group
+/// transition is appended to a per-shard write-ahead log under the same
+/// shard lock that serialized the transition, so recovery (snapshot load
+/// + WAL replay) reconstructs the store byte-identically.
+struct DurabilityConfig {
+  /// WAL + compaction-snapshot directory. Empty = durability off.
+  std::string wal_dir;
+  /// Records buffered in user space before write(2). 1 = every append
+  /// survives a process crash.
+  std::size_t wal_flush_every = 1;
+  /// Flushed records allowed in the page cache before fsync(2). 1 = every
+  /// append survives power loss.
+  std::size_t wal_fsync_every = 64;
+  /// Compact (rotate generations + snapshot + delete old logs)
+  /// automatically after this many appends. 0 = only on checkpoint().
+  std::uint64_t compact_every = 0;
+  /// Backoff schedule for WAL appends and snapshot I/O. The consecutive-
+  /// failure cap of an armed FaultInjector must stay below max_attempts
+  /// for injected faults to be recoverable-by-retry.
+  util::RetryPolicy retry{.max_attempts = 6,
+                          .initial_backoff = std::chrono::microseconds(50),
+                          .max_backoff = std::chrono::microseconds(5000)};
+  /// Base seed for deterministic backoff jitter (mixed with the group key).
+  std::uint64_t retry_seed = 0x5EEDBA5Eu;
+  /// Deterministic fault-injection hook, threaded into the store and the
+  /// WAL as well. Not owned; null = disabled (zero cost).
+  util::FaultInjector* faults = nullptr;
+};
 
 struct MatchdConfig {
   double alpha = 2.0;  ///< Algorithm 1 initial learning rate (> 1)
@@ -67,6 +112,8 @@ struct MatchdConfig {
   /// power of two) so two steady_clock reads are not added to every
   /// submit. Counters are always exact. 0 or 1 = time every operation.
   std::uint32_t metrics_sample_period = 64;
+  /// Crash safety: WAL, retry/backoff, degraded mode, fault injection.
+  DurabilityConfig durability;
 };
 
 /// The service's answer to one submission.
@@ -106,6 +153,22 @@ struct MatchdStats {
   std::uint64_t evictions = 0;
   std::vector<MatchdShardStats> shards;
   StoreStats store;
+  // Durability (all zero when the WAL is off).
+  bool degraded = false;          ///< currently serving pass-through
+  std::uint64_t degraded_ops = 0; ///< ops served/dropped while degraded
+  std::uint64_t wal_retries = 0;  ///< WAL/snapshot attempts beyond the first
+  std::uint64_t wal_giveups = 0;  ///< appends abandoned at retry exhaustion
+  std::uint64_t compactions = 0;  ///< completed checkpoint cycles
+  WalStats wal;
+};
+
+/// What recover() reconstructed.
+struct RecoveryStats {
+  std::size_t snapshot_rows = 0;     ///< groups restored from snapshot.csv
+  std::uint64_t wal_records = 0;     ///< upserts replayed over the snapshot
+  std::uint64_t wal_files = 0;       ///< log files visited
+  std::uint64_t torn_files = 0;      ///< logs cut short at a torn tail
+  std::uint64_t invalid_records = 0; ///< upserts whose payload failed decode
 };
 
 class Matchd {
@@ -183,6 +246,45 @@ class Matchd {
     return pool_ != nullptr;
   }
 
+  // --- durability (active when config.durability.wal_dir is set) ----------
+
+  [[nodiscard]] bool wal_enabled() const noexcept { return wal_ != nullptr; }
+
+  /// True while the service runs pass-through because the WAL refused
+  /// writes past retry exhaustion. Cleared by the first heartbeat probe
+  /// that commits (one probe per operation while degraded).
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  enum class RecoverMode {
+    kSnapshotAndWal,  ///< normal recovery: snapshot (if any) + WAL replay
+    kWalOnly,         ///< skip a corrupt snapshot; replay the full log
+  };
+
+  /// Rebuild store state from the WAL directory. Call before serving
+  /// traffic. A missing snapshot is fine (fresh start / never compacted);
+  /// a corrupt one is an error — retry with kWalOnly, which reconstructs
+  /// everything since the last completed compaction.
+  [[nodiscard]] util::Expected<RecoveryStats> recover(
+      RecoverMode mode = RecoverMode::kSnapshotAndWal);
+
+  /// Compact: rotate all WAL shards to the next generation, snapshot the
+  /// store, then delete the superseded generations. On failure old logs
+  /// are kept — recovery replays more records but loses nothing.
+  [[nodiscard]] bool checkpoint();
+
+  /// Push every buffered WAL record down to disk (write + fsync).
+  [[nodiscard]] bool flush_wal();
+
+  /// Where checkpoint() publishes the compaction snapshot.
+  [[nodiscard]] std::string snapshot_path() const;
+
+  /// TEST HOOK — stop the workers, then drop the WAL's buffers and close
+  /// its files without flushing, as a process crash would. Optionally
+  /// leaves a torn half-frame at one shard's tail (a mid-write power cut).
+  void simulate_crash(bool leave_torn_tail = false);
+
  private:
   struct Request {
     enum class Kind { kSubmit, kFeedback, kCancel } kind = Kind::kSubmit;
@@ -202,6 +304,20 @@ class Matchd {
 
   void register_metrics();
   void unregister_metrics();
+
+  /// Append the group's post-transition state to the WAL, retrying per
+  /// policy. MUST be called from inside the store's with_group /
+  /// modify_if_present lambda: the shard lock is what orders records of
+  /// the same key in the log. Returns false after retry exhaustion.
+  [[nodiscard]] bool wal_append_locked(std::uint64_t key,
+                                       const core::SaGroupState& g);
+  void enter_degraded();
+  [[nodiscard]] bool try_exit_degraded(std::uint64_t key);
+  /// Opportunistic auto-compaction once compact_every appends accumulate;
+  /// skips silently if another thread is already compacting. Called
+  /// outside any shard lock.
+  void maybe_compact();
+  [[nodiscard]] bool checkpoint_locked();
 
   /// Per-thread 1-in-N sampling decision for the latency histograms.
   [[nodiscard]] bool latency_sampled() const noexcept {
@@ -247,6 +363,21 @@ class Matchd {
   std::atomic<std::size_t> in_flight_{0};
   std::mutex drain_mutex_;
   std::condition_variable drained_;
+
+  // --- durability ----------------------------------------------------------
+  std::unique_ptr<Wal> wal_;
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> degraded_ops_{0};
+  std::atomic<std::uint64_t> wal_retries_{0};
+  std::atomic<std::uint64_t> wal_giveups_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> appends_since_compact_{0};
+  /// Serializes checkpoint cycles; never held together with a shard lock.
+  std::mutex compact_mutex_;
+  /// Guards degraded_since_ (touched only on mode transitions).
+  std::mutex degraded_mutex_;
+  std::chrono::steady_clock::time_point degraded_since_{};
+  obs::Histogram* recovery_hist_ = nullptr;
 };
 
 /// core::Estimator adapter: lets the discrete-event simulator (or any

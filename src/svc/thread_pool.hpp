@@ -22,19 +22,27 @@ class ThreadPool {
   /// (or the destructor) then reaps the threads.
   ///
   /// Exception-safe: if spawning thread k throws (thread-creation
-  /// failure, or a throwing copy of `worker_main`), the k already-running
-  /// workers are joined before the exception propagates — otherwise the
-  /// member vector's destructor would hit joinable threads and call
-  /// std::terminate. `on_spawn_failure` runs first so callers whose
-  /// workers block on a work source can release them (matchd closes its
-  /// admission queue); without it the partial join would wait on workers
-  /// that never return.
+  /// failure, a throwing copy of `worker_main`, or a throwing
+  /// `spawn_gate`), the k already-running workers are joined before the
+  /// exception propagates — otherwise the member vector's destructor
+  /// would hit joinable threads and call std::terminate. `on_spawn_failure`
+  /// runs first so callers whose workers block on a work source can
+  /// release them (matchd closes its admission queue); without it the
+  /// partial join would wait on workers that never return.
+  ///
+  /// `spawn_gate(index)` runs in the spawning thread immediately before
+  /// each thread is created and may throw to veto the spawn — the
+  /// deterministic fault-injection hook (util::FaultSite::kThreadSpawn)
+  /// that lets tests drive this recovery path without relying on the
+  /// platform to run out of threads.
   ThreadPool(std::size_t workers,
              std::function<void(std::size_t)> worker_main,
-             std::function<void()> on_spawn_failure = nullptr) {
+             std::function<void()> on_spawn_failure = nullptr,
+             std::function<void(std::size_t)> spawn_gate = nullptr) {
     threads_.reserve(workers);
     try {
       for (std::size_t i = 0; i < workers; ++i) {
+        if (spawn_gate) spawn_gate(i);
         threads_.emplace_back(worker_main, i);
       }
     } catch (...) {

@@ -1,0 +1,409 @@
+#include "svc/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "util/crc32.hpp"
+
+namespace resmatch::svc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kFileMagic[8] = {'R', 'S', 'M', 'W', 'A', 'L', '0', '1'};
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+constexpr std::size_t kPayloadPrefix = 9;  // u8 type + u64 key
+/// Upper bound on one record's payload: guards replay against reading a
+/// garbage length as a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxPayload = 1 << 20;
+
+void put_u32(std::vector<char>& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+/// Parse "wal-<gen>-<shard>.log"; returns false for other names.
+bool parse_wal_name(const std::string& name, std::uint64_t& gen,
+                    std::size_t& shard) {
+  unsigned long long g = 0;
+  unsigned long long s = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "wal-%llu-%llu.lo%c", &g, &s, &tail) != 3 ||
+      tail != 'g') {
+    return false;
+  }
+  gen = g;
+  shard = static_cast<std::size_t>(s);
+  return true;
+}
+
+bool write_fully(int fd, const char* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Expected<std::unique_ptr<Wal>> Wal::open(WalConfig config) {
+  using Result = util::Expected<std::unique_ptr<Wal>>;
+  if (config.dir.empty()) return Result::failure("empty WAL directory");
+  config.shards = std::max<std::size_t>(1, config.shards);
+  config.flush_every = std::max<std::size_t>(1, config.flush_every);
+  config.fsync_every = std::max<std::size_t>(1, config.fsync_every);
+
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec) {
+    return Result::failure("cannot create WAL directory " + config.dir +
+                           ": " + ec.message());
+  }
+
+  // Never append to an existing generation (its tail may be torn); start
+  // strictly above everything on disk.
+  std::uint64_t max_gen = 0;
+  for (const auto& entry : fs::directory_iterator(config.dir, ec)) {
+    std::uint64_t gen = 0;
+    std::size_t shard = 0;
+    if (parse_wal_name(entry.path().filename().string(), gen, shard)) {
+      max_gen = std::max(max_gen, gen);
+    }
+  }
+
+  auto wal = std::unique_ptr<Wal>(new Wal(std::move(config)));
+  wal->gen_ = max_gen + 1;
+  wal->shards_ = std::vector<Shard>(wal->config_.shards);
+  for (std::size_t i = 0; i < wal->shards_.size(); ++i) {
+    if (!wal->open_shard_file(wal->shards_[i], i, wal->gen_)) {
+      return Result::failure("cannot open WAL file " +
+                             wal->file_path(wal->gen_, i));
+    }
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  if (!crashed_) (void)flush_all();
+  for (Shard& s : shards_) {
+    if (s.fd >= 0) ::close(s.fd);
+    s.fd = -1;
+  }
+}
+
+std::string Wal::file_path(std::uint64_t gen, std::size_t shard) const {
+  return config_.dir + "/wal-" + std::to_string(gen) + "-" +
+         std::to_string(shard) + ".log";
+}
+
+bool Wal::open_shard_file(Shard& s, std::size_t index, std::uint64_t gen) {
+  const std::string path = file_path(gen, index);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  // Stamp the magic immediately so replay can tell an empty log from a
+  // foreign file; a crash before it completes reads as a torn file with
+  // zero records, which is exactly what it is.
+  if (!write_fully(fd, kFileMagic, sizeof(kFileMagic))) {
+    ::close(fd);
+    return false;
+  }
+  s.fd = fd;
+  s.durable_size = sizeof(kFileMagic);
+  s.buf.clear();
+  s.pending_records = 0;
+  s.unsynced_records = 0;
+  return true;
+}
+
+bool Wal::append(std::size_t shard, std::uint64_t key, const double* fields,
+                 std::size_t n_fields) {
+  return append_record(shard, WalRecordType::kUpsert, key, fields, n_fields);
+}
+
+bool Wal::append_heartbeat(std::size_t shard) {
+  return append_record(shard, WalRecordType::kHeartbeat, 0, nullptr, 0);
+}
+
+bool Wal::append_record(std::size_t shard, WalRecordType type,
+                        std::uint64_t key, const double* fields,
+                        std::size_t n_fields) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+
+  const std::size_t buf_before = s.buf.size();
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(kPayloadPrefix + n_fields * sizeof(double));
+
+  // Encode payload first so the CRC covers exactly what lands on disk.
+  std::vector<char>& buf = s.buf;
+  buf.reserve(buf_before + kFrameHeader + payload_len);
+  put_u32(buf, payload_len);
+  put_u32(buf, 0);  // crc patched below
+  const std::size_t payload_at = buf.size();
+  buf.push_back(static_cast<char>(type));
+  char kb[8];
+  std::memcpy(kb, &key, 8);
+  buf.insert(buf.end(), kb, kb + 8);
+  for (std::size_t i = 0; i < n_fields; ++i) {
+    char fb[8];
+    std::memcpy(fb, &fields[i], 8);
+    buf.insert(buf.end(), fb, fb + 8);
+  }
+  const std::uint32_t crc =
+      util::crc32(buf.data() + payload_at, payload_len);
+  std::memcpy(buf.data() + buf_before + 4, &crc, 4);
+  ++s.pending_records;
+
+  if (s.pending_records >= config_.flush_every) {
+    if (!flush_locked(s)) {
+      // Drop this record (the caller was told it failed and may retry);
+      // earlier buffered records stay pending for the next flush.
+      buf.resize(buf_before);
+      --s.pending_records;
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Wal::flush_locked(Shard& s) {
+  if (s.buf.empty()) {
+    if (s.unsynced_records > 0) {
+      if (::fsync(s.fd) != 0) return false;
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      s.unsynced_records = 0;
+    }
+    return true;
+  }
+
+  if (util::fault(config_.faults, util::FaultSite::kWalAppend)) {
+    // Simulate a write torn partway through, then repair: a real crash
+    // here would leave the torn frame for replay to drop; a surviving
+    // process truncates back to the last durable offset so a retried
+    // append never buries garbage mid-log.
+    const std::size_t torn = std::max<std::size_t>(1, s.buf.size() / 2);
+    (void)write_fully(s.fd, s.buf.data(), torn);
+    (void)::ftruncate(s.fd, static_cast<off_t>(s.durable_size));
+    (void)::lseek(s.fd, 0, SEEK_END);
+    return false;
+  }
+
+  if (!write_fully(s.fd, s.buf.data(), s.buf.size())) {
+    (void)::ftruncate(s.fd, static_cast<off_t>(s.durable_size));
+    (void)::lseek(s.fd, 0, SEEK_END);
+    return false;
+  }
+  s.durable_size += s.buf.size();
+  bytes_written_.fetch_add(s.buf.size(), std::memory_order_relaxed);
+  s.unsynced_records += s.pending_records;
+  s.buf.clear();
+  s.pending_records = 0;
+
+  if (s.unsynced_records >= config_.fsync_every) {
+    if (::fsync(s.fd) != 0) return false;
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    s.unsynced_records = 0;
+  }
+  return true;
+}
+
+bool Wal::flush(std::size_t shard) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+  if (!flush_locked(s)) return false;
+  if (s.unsynced_records > 0) {
+    if (::fsync(s.fd) != 0) return false;
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    s.unsynced_records = 0;
+  }
+  return true;
+}
+
+bool Wal::flush_all() {
+  bool ok = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ok = flush(i) && ok;
+  }
+  return ok;
+}
+
+bool Wal::rotate() {
+  // Lock order: shard 0..n-1, matching no other multi-shard path (append
+  // takes exactly one shard lock), so rotation cannot deadlock traffic.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& s : shards_) locks.emplace_back(s.mutex);
+  if (crashed_) return false;
+
+  for (Shard& s : shards_) {
+    if (!flush_locked(s)) return false;
+    if (s.unsynced_records > 0) {
+      if (::fsync(s.fd) != 0) return false;
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      s.unsynced_records = 0;
+    }
+  }
+  const std::uint64_t next = gen_ + 1;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.fd >= 0) ::close(s.fd);
+    s.fd = -1;
+    s.durable_size = 0;
+    if (!open_shard_file(s, i, next)) return false;
+  }
+  gen_ = next;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Wal::remove_old_generations() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    std::uint64_t gen = 0;
+    std::size_t shard = 0;
+    if (parse_wal_name(entry.path().filename().string(), gen, shard) &&
+        gen < gen_) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+WalStats Wal::stats() const {
+  WalStats out;
+  out.appends = appends_.load(std::memory_order_relaxed);
+  out.append_failures = append_failures_.load(std::memory_order_relaxed);
+  out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  out.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  out.rotations = rotations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Wal::simulate_crash(bool leave_torn_tail) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& s : shards_) locks.emplace_back(s.mutex);
+  if (leave_torn_tail && !shards_.empty()) {
+    // Half of a plausible frame: a length word promising more payload
+    // than follows. Replay must drop it.
+    Shard& s = shards_[0];
+    if (s.fd >= 0) {
+      std::vector<char> torn;
+      put_u32(torn, 64);
+      put_u32(torn, 0xDEADBEEFu);
+      torn.push_back('\x01');
+      (void)write_fully(s.fd, torn.data(), torn.size());
+    }
+  }
+  for (Shard& s : shards_) {
+    s.buf.clear();  // buffered-but-unflushed records die with the process
+    s.pending_records = 0;
+    if (s.fd >= 0) ::close(s.fd);
+    s.fd = -1;
+  }
+  crashed_ = true;
+}
+
+util::Expected<WalReplayStats> Wal::replay(
+    const std::string& dir,
+    const std::function<void(std::uint64_t, const double*, std::size_t)>&
+        fn) {
+  using Result = util::Expected<WalReplayStats>;
+  WalReplayStats stats;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return stats;
+
+  // (gen, shard) -> path; the map iterates generations in order, and
+  // within a generation per-key ordering is per-shard (one key lives in
+  // exactly one shard file per session), so this order replays every
+  // key's records oldest-to-newest.
+  std::map<std::pair<std::uint64_t, std::size_t>, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t gen = 0;
+    std::size_t shard = 0;
+    if (parse_wal_name(entry.path().filename().string(), gen, shard)) {
+      files[{gen, shard}] = entry.path().string();
+    }
+  }
+
+  std::vector<char> payload;
+  for (const auto& [key, path] : files) {
+    (void)key;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Result::failure("cannot open WAL file " + path);
+    }
+    ++stats.files;
+    char magic[sizeof(kFileMagic)];
+    if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, kFileMagic, sizeof(magic)) != 0) {
+      // Torn before the header finished (or not a WAL file at all):
+      // nothing to replay from it.
+      ++stats.torn_files;
+      std::fclose(f);
+      continue;
+    }
+    for (;;) {
+      std::uint32_t len = 0;
+      std::uint32_t crc = 0;
+      if (std::fread(&len, 4, 1, f) != 1) break;  // clean EOF
+      if (std::fread(&crc, 4, 1, f) != 1 || len < kPayloadPrefix ||
+          len > kMaxPayload || (len - kPayloadPrefix) % sizeof(double) != 0) {
+        ++stats.torn_files;
+        break;
+      }
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, f) != len ||
+          util::crc32(payload.data(), len) != crc) {
+        ++stats.torn_files;
+        break;
+      }
+      const auto type = static_cast<WalRecordType>(
+          static_cast<std::uint8_t>(payload[0]));
+      if (type == WalRecordType::kHeartbeat) {
+        ++stats.heartbeats;
+        continue;
+      }
+      if (type != WalRecordType::kUpsert) {
+        ++stats.torn_files;
+        break;
+      }
+      std::uint64_t record_key = 0;
+      std::memcpy(&record_key, payload.data() + 1, 8);
+      const std::size_t n_fields = (len - kPayloadPrefix) / sizeof(double);
+      // double has no alignment guarantee inside the payload buffer;
+      // copy out.
+      std::vector<double> fields(n_fields);
+      if (n_fields > 0) {
+        std::memcpy(fields.data(), payload.data() + kPayloadPrefix,
+                    n_fields * sizeof(double));
+      }
+      fn(record_key, fields.data(), n_fields);
+      ++stats.records;
+    }
+    std::fclose(f);
+  }
+  return stats;
+}
+
+}  // namespace resmatch::svc

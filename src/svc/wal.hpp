@@ -1,0 +1,185 @@
+// Write-ahead log for the estimator store.
+//
+// Every committed mutation of a similarity group (submit/commit, feedback,
+// cancel) appends the group's full post-transition state as one CRC-framed
+// record to an append-only per-shard log file. Recovery is snapshot load +
+// replay of every log generation in order: records are whole-state
+// upserts, so replay is idempotent and the last record per key wins —
+// a crash between snapshots loses zero flushed feedback.
+//
+// File layout under the WAL directory:
+//
+//   snapshot.csv            versioned CSV snapshot (EstimatorStore::save)
+//   wal-<gen>-<shard>.log   append-only record log, one per store shard
+//
+// Generations: compaction rotates every shard to generation g+1 *before*
+// the snapshot is taken, so every record in generations <= g is already
+// reflected in the snapshot and those files can be deleted once the
+// snapshot rename succeeds. If the snapshot fails, old generations are
+// kept and recovery simply replays more records — compaction failure
+// costs disk space, never data.
+//
+// Frame format (host-endian; the log is a local durability artifact, not
+// a wire format):
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload = u8 type | u64 key | payload_len-9 bytes of raw f64 fields
+//
+// A torn tail (crash mid-append) fails the length or CRC check and replay
+// stops at the last good record of that file. Append failures (injected
+// or real) are repaired by truncating the file back to the last durable
+// offset, so a retried append never leaves a torn frame mid-log.
+//
+// Durability policy: `flush_every` buffers that many records in user
+// space before write(2); `fsync_every` bounds how many flushed records
+// may sit in the page cache before fsync(2). flush_every=1 (default)
+// makes every append survive a process crash; fsync_every=1 makes every
+// append survive power loss.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/fault.hpp"
+
+namespace resmatch::svc {
+
+struct WalConfig {
+  std::string dir;
+  std::size_t shards = 16;
+  /// Records buffered in user space before write(2). 1 = write-through.
+  std::size_t flush_every = 1;
+  /// Flushed records allowed in the page cache before fsync(2).
+  std::size_t fsync_every = 64;
+  /// Deterministic fault injection (null = disabled, zero-cost).
+  util::FaultInjector* faults = nullptr;
+};
+
+/// Record types in the log.
+enum class WalRecordType : std::uint8_t {
+  kUpsert = 1,     ///< full post-transition state of one group
+  kHeartbeat = 2,  ///< durability probe; carries no state
+};
+
+struct WalStats {
+  std::uint64_t appends = 0;          ///< records accepted (buffered or written)
+  std::uint64_t append_failures = 0;  ///< appends refused after repair
+  std::uint64_t bytes_written = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t rotations = 0;
+};
+
+struct WalReplayStats {
+  std::uint64_t files = 0;
+  std::uint64_t records = 0;     ///< upserts delivered to the callback
+  std::uint64_t heartbeats = 0;  ///< probe records skipped
+  /// Files whose replay stopped before EOF on a bad frame. Expected on at
+  /// most the newest generation after a crash (the torn tail); nonzero on
+  /// an older generation means corruption, not a crash.
+  std::uint64_t torn_files = 0;
+};
+
+class Wal {
+ public:
+  /// Open (creating the directory if needed) and start a fresh generation
+  /// strictly above every generation already on disk — existing files are
+  /// never appended to, only replayed or garbage-collected.
+  [[nodiscard]] static util::Expected<std::unique_ptr<Wal>> open(
+      WalConfig config);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one group-state record. Returns false when the write was
+  /// refused (injected or real I/O failure); the log is repaired back to
+  /// its last durable offset first, so the caller may simply retry.
+  [[nodiscard]] bool append(std::size_t shard, std::uint64_t key,
+                            const double* fields, std::size_t n_fields);
+
+  /// Append a no-op probe record — the degraded-mode health check: if a
+  /// heartbeat commits, group appends will too.
+  [[nodiscard]] bool append_heartbeat(std::size_t shard);
+
+  /// Flush buffered records and fsync one shard / all shards. The
+  /// shutdown path calls flush_all(); a crash instead loses whatever the
+  /// flush/fsync cadence had not yet pushed down.
+  [[nodiscard]] bool flush(std::size_t shard);
+  [[nodiscard]] bool flush_all();
+
+  /// Rotate every shard to the next generation (flushing + fsyncing the
+  /// old files). Compaction calls this immediately before snapshotting.
+  [[nodiscard]] bool rotate();
+
+  /// Delete every log file of generations below the current one. Call
+  /// only after the post-rotation snapshot has been durably published.
+  void remove_old_generations();
+
+  [[nodiscard]] std::uint64_t generation() const noexcept { return gen_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const std::string& dir() const noexcept {
+    return config_.dir;
+  }
+  [[nodiscard]] WalStats stats() const;
+
+  /// TEST HOOK — simulate a process crash: drop all buffered records,
+  /// optionally leave a torn half-frame at one shard's tail (as a real
+  /// mid-write power cut would), and close the files without flushing.
+  /// The object stays alive but refuses further appends.
+  void simulate_crash(bool leave_torn_tail = false);
+
+  /// Replay every generation in `dir` in (generation, shard) order,
+  /// invoking `fn(key, fields, n_fields)` for each upsert record. Replay
+  /// of one file stops at the first bad frame (torn tail). A missing
+  /// directory is not an error (nothing to replay).
+  [[nodiscard]] static util::Expected<WalReplayStats> replay(
+      const std::string& dir,
+      const std::function<void(std::uint64_t key, const double* fields,
+                               std::size_t n_fields)>& fn);
+
+ private:
+  explicit Wal(WalConfig config) : config_(std::move(config)) {}
+
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    int fd = -1;
+    std::vector<char> buf;           ///< encoded frames not yet written
+    std::size_t pending_records = 0; ///< records in buf
+    std::uint64_t durable_size = 0;  ///< bytes successfully written to fd
+    std::uint64_t unsynced_records = 0;
+  };
+
+  [[nodiscard]] bool append_record(std::size_t shard, WalRecordType type,
+                                   std::uint64_t key, const double* fields,
+                                   std::size_t n_fields);
+  /// Write buf to fd (repairing via ftruncate on failure) and fsync per
+  /// policy. Caller holds the shard mutex.
+  [[nodiscard]] bool flush_locked(Shard& s);
+  [[nodiscard]] bool open_shard_file(Shard& s, std::size_t index,
+                                     std::uint64_t gen);
+  [[nodiscard]] std::string file_path(std::uint64_t gen,
+                                      std::size_t shard) const;
+
+  WalConfig config_;
+  std::vector<Shard> shards_;
+  std::uint64_t gen_ = 1;
+  bool crashed_ = false;
+
+  // Counters outside the per-shard locks, readable by metrics providers.
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> append_failures_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+};
+
+}  // namespace resmatch::svc

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+//
+// Used by the svc write-ahead log to frame records: a torn or corrupted
+// frame fails its checksum and recovery stops cleanly at the last good
+// record instead of restoring garbage state. The incremental form (pass
+// the previous crc back in) lets callers checksum a record assembled in
+// pieces without staging it into one buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace resmatch::util {
+
+/// One-shot or incremental CRC-32. For incremental use, feed the previous
+/// return value back as `crc` (start with 0).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t crc = 0) noexcept;
+
+}  // namespace resmatch::util

@@ -1,0 +1,55 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resmatch::util {
+
+std::chrono::microseconds RetryPolicy::backoff_for(
+    std::uint32_t attempt, std::uint64_t seed) const noexcept {
+  if (attempt == 0) return std::chrono::microseconds{0};
+  const double base = static_cast<double>(initial_backoff.count());
+  const double cap = static_cast<double>(max_backoff.count());
+  double raw = base * std::pow(std::max(multiplier, 1.0),
+                               static_cast<double>(attempt - 1));
+  raw = std::min(raw, cap);
+  // Deterministic jitter: u(seed, attempt) in [0, 1) shaves off up to
+  // `jitter` of the backoff.
+  const std::uint64_t h = mix64(seed ^ (0xA24BAED4963EE407ULL * attempt));
+  const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  raw *= 1.0 - j * u;
+  return std::chrono::microseconds{
+      static_cast<std::chrono::microseconds::rep>(raw)};
+}
+
+RetryResult retry_with(
+    const RetryPolicy& policy, std::uint64_t seed,
+    const std::function<bool()>& op,
+    const std::function<void(std::chrono::microseconds)>& sleep) {
+  RetryResult result;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    ++result.attempts;
+    if (op()) {
+      result.ok = true;
+      return result;
+    }
+    if (attempt == attempts) break;
+    const auto backoff = policy.backoff_for(attempt, seed);
+    if (policy.deadline.count() > 0 &&
+        result.slept + backoff > policy.deadline) {
+      result.deadline_exceeded = true;
+      break;
+    }
+    if (sleep) {
+      sleep(backoff);
+    } else if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+    }
+    result.slept += backoff;
+  }
+  return result;
+}
+
+}  // namespace resmatch::util

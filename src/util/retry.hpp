@@ -1,0 +1,59 @@
+// Bounded retry with capped exponential backoff and deterministic jitter.
+//
+// Store and snapshot I/O in the service layer retries through this policy
+// instead of ad-hoc loops, so every caller gets the same three guarantees:
+// a hard attempt bound, a per-operation deadline (wall-clock budget across
+// all attempts), and backoff jitter that is a pure function of
+// (seed, attempt) — reproducible under test, yet spread out across
+// callers with different seeds so synchronized retry storms cannot form.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace resmatch::util {
+
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  std::uint32_t max_attempts = 5;
+  /// Backoff before retry k (1-based) is
+  /// min(initial * multiplier^(k-1), max) * (1 - jitter * u(seed, k))
+  /// with u in [0, 1) — "full jitter downward": never longer than the
+  /// deterministic cap, never synchronized across seeds.
+  std::chrono::microseconds initial_backoff{100};
+  std::chrono::microseconds max_backoff{100'000};
+  double multiplier = 2.0;
+  /// Fraction of the backoff that jitter may remove, in [0, 1].
+  double jitter = 0.5;
+  /// Wall-clock budget across all attempts; zero = unbounded. Checked
+  /// before sleeping: a retry whose backoff would cross the deadline is
+  /// abandoned instead of slept through.
+  std::chrono::microseconds deadline{0};
+
+  /// Backoff before retry `attempt` (1-based; attempt 0 returns zero).
+  [[nodiscard]] std::chrono::microseconds backoff_for(
+      std::uint32_t attempt, std::uint64_t seed) const noexcept;
+};
+
+/// Outcome of a retried operation.
+struct RetryResult {
+  bool ok = false;
+  std::uint32_t attempts = 0;  ///< tries actually made (>= 1)
+  std::chrono::microseconds slept{0};
+  /// True when the loop stopped because the deadline would be exceeded
+  /// rather than because attempts ran out.
+  bool deadline_exceeded = false;
+};
+
+/// Run `op()` (returning bool success) under `policy`. `sleep` defaults to
+/// std::this_thread::sleep_for; tests inject a recording no-op sleeper.
+RetryResult retry_with(
+    const RetryPolicy& policy, std::uint64_t seed,
+    const std::function<bool()>& op,
+    const std::function<void(std::chrono::microseconds)>& sleep = nullptr);
+
+}  // namespace resmatch::util

@@ -1,0 +1,682 @@
+// Chaos tests for the durability layer: CRC framing, deterministic fault
+// injection, retry/backoff, WAL append/replay/rotation, matchd degraded
+// mode, crash-recovery equivalence (the property the WAL exists for), and
+// the shutdown-durability drain path. The multithreaded hammers double as
+// the TSan targets of the chaos CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/serve_replay.hpp"
+#include "svc/matchd.hpp"
+#include "svc/wal.hpp"
+#include "trace/cm5_model.hpp"
+#include "util/crc32.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
+
+namespace resmatch::svc {
+namespace {
+
+core::CapacityLadder test_ladder() {
+  return core::CapacityLadder({4.0, 8.0, 16.0, 24.0, 32.0, 64.0});
+}
+
+trace::JobRecord make_job(std::uint64_t n, std::size_t groups = 64) {
+  trace::JobRecord j;
+  j.id = n;
+  j.user = static_cast<UserId>(n % groups);
+  j.app = static_cast<AppId>((n / groups) % 7);
+  j.requested_mem_mib = 32.0;
+  j.used_mem_mib = 4.0 + static_cast<double>(n % 13);
+  j.nodes = 1;
+  j.runtime = 100;
+  return j;
+}
+
+/// Fresh per-test WAL directory under the system temp path.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("resmatch_fault_" + name))
+                  .string()) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Submit + explicit feedback for one job; returns the grant.
+MiB drive_job(Matchd& service, const trace::JobRecord& job) {
+  const MatchDecision d = service.submit(job);
+  core::Feedback fb;
+  fb.granted_mib = d.granted_mib;
+  fb.success = job.used_mem_mib <= d.granted_mib;
+  fb.used_mib = job.used_mem_mib;
+  service.feedback(job, fb);
+  return d.granted_mib;
+}
+
+/// The store's full state as a canonical set of snapshot rows (order-
+/// independent: restore order may legally differ from organic LRU order).
+std::multiset<std::string> store_rows(const Matchd& service,
+                                      const std::string& tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("resmatch_rows_" + tag))
+          .string();
+  EXPECT_TRUE(service.save_store(path));
+  std::ifstream in(path);
+  std::multiset<std::string> rows;
+  std::string line;
+  std::getline(in, line);  // header (format version), not state
+  while (std::getline(in, line)) rows.insert(line);
+  in.close();
+  std::filesystem::remove(path);
+  return rows;
+}
+
+// --- crc32 -------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = util::crc32(data.data(), data.size());
+  const std::uint32_t half = util::crc32(data.data(), 20);
+  EXPECT_EQ(util::crc32(data.data() + 20, data.size() - 20, half), whole);
+  EXPECT_NE(util::crc32(data.data(), data.size() - 1), whole);
+}
+
+// --- fault injector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicPerSeed) {
+  const auto decisions = [](std::uint64_t seed) {
+    util::FaultInjector inj(seed);
+    inj.arm(util::FaultSite::kWalAppend, {0.5, UINT32_MAX});
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(inj.should_fail(util::FaultSite::kWalAppend));
+    }
+    return out;
+  };
+  EXPECT_EQ(decisions(7), decisions(7));
+  EXPECT_NE(decisions(7), decisions(8));
+}
+
+TEST(FaultInjectorTest, UnarmedSitesNeverFail) {
+  util::FaultInjector inj(1);
+  inj.arm(util::FaultSite::kWalAppend, {1.0, UINT32_MAX});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.should_fail(util::FaultSite::kStoreRead));
+    EXPECT_TRUE(inj.should_fail(util::FaultSite::kWalAppend));
+  }
+  EXPECT_EQ(inj.checks(util::FaultSite::kStoreRead), 100u);
+  EXPECT_EQ(inj.injected(util::FaultSite::kStoreRead), 0u);
+  EXPECT_EQ(inj.injected(util::FaultSite::kWalAppend), 100u);
+}
+
+TEST(FaultInjectorTest, ConsecutiveCapForcesSuccess) {
+  util::FaultInjector inj(3);
+  // p=1 with a cap of 3: the stream must be fail,fail,fail,success,...
+  inj.arm(util::FaultSite::kWalAppend, {1.0, /*max_consecutive=*/3});
+  int run = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (inj.should_fail(util::FaultSite::kWalAppend)) {
+      ++run;
+      ASSERT_LE(run, 3);
+    } else {
+      EXPECT_EQ(run, 3);
+      run = 0;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, NullInjectorHookIsFree) {
+  EXPECT_FALSE(util::fault(nullptr, util::FaultSite::kWalAppend));
+}
+
+// --- retry policy ------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  util::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.max_backoff = std::chrono::microseconds(1000);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;  // deterministic schedule
+  EXPECT_EQ(policy.backoff_for(1, 0).count(), 100);
+  EXPECT_EQ(policy.backoff_for(2, 0).count(), 200);
+  EXPECT_EQ(policy.backoff_for(3, 0).count(), 400);
+  EXPECT_EQ(policy.backoff_for(5, 0).count(), 1000);  // capped
+  EXPECT_EQ(policy.backoff_for(20, 0).count(), 1000);
+}
+
+TEST(RetryPolicyTest, JitterBoundedAndSeeded) {
+  util::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds(1000);
+  policy.jitter = 0.5;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto b = policy.backoff_for(1, seed);
+    EXPECT_GE(b.count(), 500);
+    EXPECT_LE(b.count(), 1000);
+    EXPECT_EQ(policy.backoff_for(1, seed), b);  // same seed, same jitter
+  }
+}
+
+TEST(RetryPolicyTest, RetryWithCountsAttempts) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<std::chrono::microseconds> sleeps;
+  const auto sleeper = [&](std::chrono::microseconds us) {
+    sleeps.push_back(us);
+  };
+  util::RetryResult r = util::retry_with(
+      policy, 1, [&] { return ++calls == 3; }, sleeper);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(sleeps.size(), 2u);  // slept between attempts only
+
+  calls = 0;
+  r = util::retry_with(policy, 1, [&] { return ++calls > 99; }, sleeper);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 5u);
+}
+
+TEST(RetryPolicyTest, DeadlineStopsRetrying) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff = std::chrono::microseconds(1000);
+  policy.jitter = 0.0;
+  policy.deadline = std::chrono::microseconds(2500);
+  std::chrono::microseconds slept{0};
+  const util::RetryResult r = util::retry_with(
+      policy, 1, [] { return false; },
+      [&](std::chrono::microseconds us) { slept += us; });
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_LE(slept.count(), 2500);
+  EXPECT_LT(r.attempts, 1000u);
+}
+
+// --- WAL ---------------------------------------------------------------------
+
+TEST(WalTest, AppendFlushReplayRoundTrip) {
+  TempDir dir("roundtrip");
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 4;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value()) << wal.error();
+
+  const double a[3] = {1.0, 2.0, 3.0};
+  const double b[2] = {9.5, -1.25};
+  ASSERT_TRUE(wal.value()->append(0, 42, a, 3));
+  ASSERT_TRUE(wal.value()->append_heartbeat(1));
+  ASSERT_TRUE(wal.value()->append(1, 42, b, 2));  // same key, later record
+  ASSERT_TRUE(wal.value()->flush_all());
+  wal.value().reset();  // close files
+
+  std::vector<std::pair<std::uint64_t, std::vector<double>>> seen;
+  auto replay = Wal::replay(
+      dir.path(), [&](std::uint64_t key, const double* f, std::size_t n) {
+        seen.emplace_back(key, std::vector<double>(f, f + n));
+      });
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  EXPECT_EQ(replay.value().records, 2u);
+  EXPECT_EQ(replay.value().heartbeats, 1u);
+  EXPECT_EQ(replay.value().torn_files, 0u);
+  ASSERT_EQ(seen.size(), 2u);
+  // Same generation, ascending shard order: shard 0's record first. The
+  // last record per key wins, which is what upsert replay relies on.
+  EXPECT_EQ(seen[0].second, std::vector<double>({1.0, 2.0, 3.0}));
+  EXPECT_EQ(seen[1].second, std::vector<double>({9.5, -1.25}));
+}
+
+TEST(WalTest, ReplayOfMissingDirIsEmpty) {
+  auto replay = Wal::replay(
+      (std::filesystem::temp_directory_path() / "resmatch_never_created")
+          .string(),
+      [](std::uint64_t, const double*, std::size_t) { FAIL(); });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay.value().files, 0u);
+}
+
+TEST(WalTest, TornTailIsDroppedNotFatal) {
+  TempDir dir("torn");
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value());
+  const double f[1] = {7.0};
+  ASSERT_TRUE(wal.value()->append(0, 1, f, 1));
+  ASSERT_TRUE(wal.value()->append(0, 2, f, 1));
+  wal.value()->simulate_crash(/*leave_torn_tail=*/true);
+  wal.value().reset();
+
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t, const double*, std::size_t) { ++records; });
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  // Both flushed records survive; the torn half-frame after them is cut.
+  EXPECT_EQ(records, 2u);
+  EXPECT_EQ(replay.value().torn_files, 1u);
+}
+
+TEST(WalTest, RotationAndGcReplayAcrossGenerations) {
+  TempDir dir("rotate");
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 2;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value());
+  const double gen1[1] = {1.0};
+  const double gen2[1] = {2.0};
+  ASSERT_TRUE(wal.value()->append(0, 5, gen1, 1));
+  const std::uint64_t before = wal.value()->generation();
+  ASSERT_TRUE(wal.value()->rotate());
+  EXPECT_EQ(wal.value()->generation(), before + 1);
+  ASSERT_TRUE(wal.value()->append(0, 5, gen2, 1));
+  ASSERT_TRUE(wal.value()->flush_all());
+
+  // Both generations replay, oldest first — the later record wins.
+  std::vector<double> values;
+  auto replay = Wal::replay(
+      dir.path(), [&](std::uint64_t, const double* f, std::size_t) {
+        values.push_back(f[0]);
+      });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(values, std::vector<double>({1.0, 2.0}));
+
+  // GC removes only generations below the current one.
+  wal.value()->remove_old_generations();
+  values.clear();
+  replay = Wal::replay(dir.path(),
+                       [&](std::uint64_t, const double* f, std::size_t) {
+                         values.push_back(f[0]);
+                       });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(values, std::vector<double>({2.0}));
+}
+
+TEST(WalTest, NewSessionStartsAboveExistingGenerations) {
+  TempDir dir("generations");
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  {
+    auto wal = Wal::open(config);
+    ASSERT_TRUE(wal.has_value());
+    ASSERT_TRUE(wal.value()->rotate());
+    ASSERT_TRUE(wal.value()->rotate());
+    EXPECT_EQ(wal.value()->generation(), 3u);
+  }
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_GT(wal.value()->generation(), 3u);
+}
+
+TEST(WalTest, InjectedAppendFaultRepairsAndRetrySucceeds) {
+  TempDir dir("inject");
+  util::FaultInjector injector(11);
+  injector.arm(util::FaultSite::kWalAppend, {1.0, /*max_consecutive=*/2});
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  config.faults = &injector;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value());
+  const double f[1] = {3.5};
+  // p=1, cap=2: two refusals, then the forced success.
+  EXPECT_FALSE(wal.value()->append(0, 9, f, 1));
+  EXPECT_FALSE(wal.value()->append(0, 9, f, 1));
+  EXPECT_TRUE(wal.value()->append(0, 9, f, 1));
+  EXPECT_EQ(wal.value()->stats().append_failures, 2u);
+  ASSERT_TRUE(wal.value()->flush_all());
+  wal.value().reset();
+
+  // The repaired log holds exactly the one accepted record — refused
+  // appends must not leave torn frames mid-file.
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t key, const double* fields, std::size_t n) {
+        ++records;
+        EXPECT_EQ(key, 9u);
+        ASSERT_EQ(n, 1u);
+        EXPECT_EQ(fields[0], 3.5);
+      });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(records, 1u);
+  EXPECT_EQ(replay.value().torn_files, 0u);
+}
+
+// --- matchd + WAL ------------------------------------------------------------
+
+TEST(MatchdWalTest, WalOnDecisionsMatchWalOff) {
+  TempDir dir("equiv");
+  MatchdConfig with_wal;
+  with_wal.durability.wal_dir = dir.path();
+  Matchd durable(with_wal);
+  durable.set_ladder(test_ladder());
+  Matchd plain;  // default config: no WAL
+  plain.set_ladder(test_ladder());
+  for (std::uint64_t n = 0; n < 500; ++n) {
+    EXPECT_EQ(drive_job(durable, make_job(n)),
+              drive_job(plain, make_job(n)));
+  }
+  EXPECT_TRUE(durable.wal_enabled());
+  EXPECT_FALSE(plain.wal_enabled());
+  EXPECT_EQ(durable.stats().wal.appends, 1000u);  // submit + feedback each
+}
+
+TEST(MatchdWalTest, RecoveryReconstructsByteIdenticalState) {
+  // The tentpole property: for any injector seed, snapshot + WAL replay
+  // rebuilds the exact store state of the crashed service.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    TempDir dir("property_" + std::to_string(seed));
+    util::FaultInjector injector(seed);
+    // Cap (3) below retry budget (6): faults slow commits, never drop them.
+    injector.arm(util::FaultSite::kWalAppend, {0.2, 3});
+    MatchdConfig config;
+    config.durability.wal_dir = dir.path();
+    config.durability.faults = &injector;
+    config.durability.compact_every = 150;  // a few compactions mid-run
+
+    std::multiset<std::string> before;
+    {
+      Matchd service(config);
+      service.set_ladder(test_ladder());
+      for (std::uint64_t n = 0; n < 400 + seed * 37; ++n) {
+        drive_job(service, make_job(n * seed + 1));
+      }
+      ASSERT_EQ(service.stats().wal_giveups, 0u);
+      before = store_rows(service, "before_" + std::to_string(seed));
+      service.simulate_crash(/*leave_torn_tail=*/seed % 2 == 0);
+    }
+
+    Matchd restarted(config);
+    restarted.set_ladder(test_ladder());
+    auto recovery = restarted.recover();
+    ASSERT_TRUE(recovery.has_value()) << recovery.error();
+    EXPECT_EQ(recovery.value().invalid_records, 0u);
+    EXPECT_EQ(store_rows(restarted, "after_" + std::to_string(seed)),
+              before);
+  }
+}
+
+TEST(MatchdWalTest, CrashReplayDecisionEquivalence) {
+  // End-to-end chaos harness: crash mid-workload under injected faults,
+  // recover, and demand a byte-identical decision stream.
+  trace::Workload workload = trace::generate_cm5_small(/*seed=*/3, 600);
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, 16);
+  for (const std::uint64_t seed : {1u, 2u}) {
+    TempDir dir("crashreplay_" + std::to_string(seed));
+    util::FaultInjector injector(seed);
+    injector.arm_all({0.1, /*max_consecutive=*/3});
+    sim::CrashReplayConfig config;
+    config.matchd.durability.wal_dir = dir.path();
+    config.matchd.durability.faults = &injector;
+    config.crash_after = 200 + 50 * seed;
+    config.torn_tail = seed % 2 == 1;
+    const sim::CrashReplayResult result =
+        sim::crash_replay(workload, cluster, config);
+    EXPECT_EQ(result.decisions, workload.jobs.size());
+    EXPECT_EQ(result.mismatches, 0u) << "seed " << seed;
+    EXPECT_TRUE(result.identical());
+    EXPECT_GT(result.recovery.wal_records, 0u);
+  }
+}
+
+TEST(MatchdWalTest, DegradedModeServesPassThroughAndRecovers) {
+  TempDir dir("degraded");
+  util::FaultInjector injector(5);
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 3;
+  Matchd service(config);
+  service.set_ladder(test_ladder());
+
+  const trace::JobRecord lowered_job = make_job(1);
+  // Teach the group so its grant is genuinely below the request.
+  for (int i = 0; i < 5; ++i) drive_job(service, lowered_job);
+  const MiB learned = service.submit(lowered_job).granted_mib;
+  ASSERT_LT(learned, test_ladder().round_up(lowered_job.requested_mem_mib));
+
+  // Persistent WAL failure: retries exhaust, service flips to degraded.
+  injector.arm(util::FaultSite::kWalAppend, {1.0, UINT32_MAX});
+  (void)service.submit(lowered_job);
+  EXPECT_TRUE(service.degraded());
+  EXPECT_GT(service.stats().wal_giveups, 0u);
+
+  // Degraded submissions are pass-through: the raw rounded request, not
+  // the learned estimate; feedback is dropped, not learned.
+  const MatchDecision degraded = service.submit(lowered_job);
+  EXPECT_EQ(degraded.granted_mib,
+            test_ladder().round_up(lowered_job.requested_mem_mib));
+  EXPECT_FALSE(degraded.lowered);
+  service.feedback(lowered_job, core::Feedback{});
+  EXPECT_GE(service.stats().degraded_ops, 2u);
+
+  // Heal the log: the next operation's heartbeat probe restores service,
+  // and the learned estimate is still there (memory was never lost).
+  injector.arm(util::FaultSite::kWalAppend, {0.0, UINT32_MAX});
+  const MatchDecision healed = service.submit(lowered_job);
+  EXPECT_FALSE(service.degraded());
+  EXPECT_LT(healed.granted_mib,
+            test_ladder().round_up(lowered_job.requested_mem_mib));
+}
+
+TEST(MatchdWalTest, ShutdownFlushesBufferedRecords) {
+  // With a huge flush cadence every record sits in user-space buffers;
+  // only the destructor's drain-path flush makes them durable.
+  TempDir dir("shutdown");
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.wal_flush_every = 1U << 20;
+  config.workers = 2;  // exercise close-queue -> join -> flush ordering
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    for (std::uint64_t n = 0; n < 50; ++n) drive_job(service, make_job(n));
+    service.drain();
+  }  // clean shutdown
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t, const double*, std::size_t) { ++records; });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(records, 100u);  // every submit + feedback reached disk
+}
+
+TEST(MatchdWalTest, CrashDropsWhatFlushCadenceHadNotWritten) {
+  // The counter-experiment to ShutdownFlushesBufferedRecords: crash
+  // instead of shutting down and the buffered records are gone. Together
+  // they pin the commit point exactly at the flush.
+  TempDir dir("crashdrop");
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.wal_flush_every = 1U << 20;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    for (std::uint64_t n = 0; n < 50; ++n) drive_job(service, make_job(n));
+    service.simulate_crash();
+  }
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t, const double*, std::size_t) { ++records; });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(records, 0u);
+}
+
+TEST(MatchdWalTest, CheckpointCompactsAndRecoversFromSnapshot) {
+  TempDir dir("checkpoint");
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  std::multiset<std::string> before;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    for (std::uint64_t n = 0; n < 300; ++n) drive_job(service, make_job(n));
+    ASSERT_TRUE(service.checkpoint());
+    EXPECT_EQ(service.stats().compactions, 1u);
+    before = store_rows(service, "checkpoint_before");
+    service.simulate_crash();
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir.path() + "/snapshot.csv"));
+
+  Matchd restarted(config);
+  restarted.set_ladder(test_ladder());
+  auto recovery = restarted.recover();
+  ASSERT_TRUE(recovery.has_value()) << recovery.error();
+  EXPECT_GT(recovery.value().snapshot_rows, 0u);
+  EXPECT_EQ(recovery.value().wal_records, 0u);  // log was compacted away
+  EXPECT_EQ(store_rows(restarted, "checkpoint_after"), before);
+}
+
+TEST(MatchdWalTest, FailedSnapshotKeepsOldGenerations) {
+  TempDir dir("failedsnap");
+  util::FaultInjector injector(9);
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 2;
+  std::multiset<std::string> before;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    for (std::uint64_t n = 0; n < 100; ++n) drive_job(service, make_job(n));
+    // Snapshot write always fails: the checkpoint must report failure and
+    // leave every pre-rotation log file in place.
+    injector.arm(util::FaultSite::kStoreWrite, {1.0, UINT32_MAX});
+    EXPECT_FALSE(service.checkpoint());
+    EXPECT_EQ(service.stats().compactions, 0u);
+    // Disarm so the comparison snapshot below goes through.
+    injector.arm(util::FaultSite::kStoreWrite, {0.0, UINT32_MAX});
+    before = store_rows(service, "failedsnap_before");
+    service.simulate_crash();
+  }
+  Matchd restarted(config);
+  restarted.set_ladder(test_ladder());
+  auto recovery = restarted.recover();
+  ASSERT_TRUE(recovery.has_value()) << recovery.error();
+  EXPECT_EQ(recovery.value().wal_records, 200u);  // nothing was GC'd
+  EXPECT_EQ(store_rows(restarted, "failedsnap_after"), before);
+}
+
+TEST(MatchdWalTest, ThreadSpawnFaultAbortsStartupCleanly) {
+  TempDir dir("spawn");
+  util::FaultInjector injector(13);
+  injector.arm(util::FaultSite::kThreadSpawn, {1.0, UINT32_MAX});
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.workers = 4;
+  EXPECT_THROW({ Matchd service(config); }, std::runtime_error);
+  // A second attempt with the fault cleared must start normally in the
+  // same directory (no half-open files or stale locks left behind).
+  injector.arm(util::FaultSite::kThreadSpawn, {0.0, UINT32_MAX});
+  Matchd service(config);
+  service.set_ladder(test_ladder());
+  EXPECT_TRUE(service.async_enabled());
+  (void)drive_job(service, make_job(1));
+}
+
+TEST(MatchdWalTest, QueueAdmitFaultReadsAsBackpressure) {
+  util::FaultInjector injector(17);
+  injector.arm(util::FaultSite::kQueueAdmit, {1.0, UINT32_MAX});
+  MatchdConfig config;
+  config.durability.faults = &injector;
+  config.workers = 1;
+  Matchd service(config);
+  service.set_ladder(test_ladder());
+  EXPECT_EQ(service.submit_async(make_job(1), nullptr), PushResult::kFull);
+  EXPECT_EQ(service.stats().async_rejected_full, 1u);
+  // The estimator adapter absorbs the rejection via its sync fallback.
+  MatchdEstimator adapter(service);
+  core::SystemState state;
+  EXPECT_GT(adapter.estimate(make_job(1), state), 0.0);
+}
+
+// --- concurrency hammers (TSan targets) --------------------------------------
+
+TEST(MatchdWalTest, ConcurrentFeedbackAndCompactionHammer) {
+  TempDir dir("hammer");
+  util::FaultInjector injector(23);
+  // Low rate + cap 2 against 10 retry attempts: give-up probability is
+  // negligible even with cross-thread interleavings resetting the cap.
+  injector.arm(util::FaultSite::kWalAppend, {0.02, 2});
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 10;
+  config.durability.retry.initial_backoff = std::chrono::microseconds(1);
+  config.store.shards = 8;
+
+  std::multiset<std::string> before;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kOpsPerThread = 1500;
+    std::atomic<bool> stop{false};
+    std::thread compactor([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)service.checkpoint();
+        std::this_thread::yield();
+      }
+    });
+    {
+      std::vector<std::thread> drivers;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        drivers.emplace_back([&, t] {
+          for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+            drive_job(service, make_job(t * kOpsPerThread + i));
+          }
+        });
+      }
+      for (auto& d : drivers) d.join();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    compactor.join();
+
+    EXPECT_EQ(service.invariant_violations(), 0u);
+    ASSERT_EQ(service.stats().wal_giveups, 0u);
+    EXPECT_FALSE(service.degraded());
+    before = store_rows(service, "hammer_before");
+    service.simulate_crash();
+  }
+
+  // Every committed mutation was logged under its shard lock, so replay
+  // over the last snapshot reconstructs the exact concurrent state.
+  Matchd restarted(config);
+  restarted.set_ladder(test_ladder());
+  auto recovery = restarted.recover();
+  ASSERT_TRUE(recovery.has_value()) << recovery.error();
+  EXPECT_EQ(store_rows(restarted, "hammer_after"), before);
+}
+
+}  // namespace
+}  // namespace resmatch::svc

@@ -157,6 +157,53 @@ TEST(EstimatorStore, RejectsForeignAndCorruptSnapshots) {
   }
 }
 
+TEST(EstimatorStore, RejectsTruncatedSnapshots) {
+  // A snapshot cut mid-write (no trailing newline on the last row, or cut
+  // inside the header) must be an explicit error, not a silent partial
+  // restore — save() always terminates every line, so a missing
+  // terminator can only mean truncation. The durable recovery path for a
+  // bad snapshot is WAL replay, which needs the loader to fail loudly.
+  EstimatorStore<core::SaGroupState> source({2, 64});
+  source.with_group(
+      7, [] { return core::SaGroupState::fresh(32.0, 2.0); },
+      [](core::SaGroupState&) { return 0; });
+  std::ostringstream snapshot;
+  source.save(snapshot);
+  const std::string full = snapshot.str();
+  ASSERT_FALSE(full.empty());
+  ASSERT_EQ(full.back(), '\n');
+
+  {
+    // Whole snapshot: loads.
+    EstimatorStore<core::SaGroupState> store({2, 64});
+    std::istringstream in(full);
+    EXPECT_EQ(store.load(in).value(), 1u);
+  }
+  {
+    // Last byte (the final newline) gone: truncated trailing row.
+    EstimatorStore<core::SaGroupState> store({2, 64});
+    std::istringstream in(full.substr(0, full.size() - 1));
+    const auto result = store.load(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().find("truncated"), std::string::npos);
+  }
+  {
+    // Cut mid-row.
+    EstimatorStore<core::SaGroupState> store({2, 64});
+    std::istringstream in(full.substr(0, full.size() - 4));
+    EXPECT_FALSE(store.load(in).has_value());
+  }
+  {
+    // Header without its newline: also truncation, not an empty store.
+    EstimatorStore<core::SaGroupState> store({2, 64});
+    const std::string header = full.substr(0, full.find('\n'));
+    std::istringstream in(header);
+    const auto result = store.load(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().find("truncated"), std::string::npos);
+  }
+}
+
 TEST(EstimatorStore, LruEvictionAtBound) {
   StoreConfig config;
   config.shards = 1;  // single stripe makes LRU order fully observable
