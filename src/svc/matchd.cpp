@@ -458,7 +458,8 @@ void Matchd::register_metrics() {
   add_counter("resmatch_wal_fsyncs_total", "fsync(2) calls on WAL files",
               {}, [this] { return wal_ ? wal_->stats().fsyncs : 0; });
   add_counter("resmatch_wal_rotations_total",
-              "WAL generation rotations (one per compaction attempt)", {},
+              "WAL generation rotations (failed snapshots do not re-rotate)",
+              {},
               [this] { return wal_ ? wal_->stats().rotations : 0; });
   add_counter("resmatch_matchd_compactions_total",
               "Completed checkpoint cycles (rotate + snapshot + GC)", {},
@@ -625,8 +626,21 @@ bool Matchd::checkpoint() {
 
 bool Matchd::checkpoint_locked() {
   // Rotate FIRST: everything in the old generations is then covered by
-  // the snapshot below, making them garbage once the rename lands.
-  if (!wal_->rotate()) return false;
+  // the snapshot below, making them garbage once the rename lands. But
+  // never rotate while a snapshot from an earlier failed attempt is still
+  // pending — that rotation already covers the older generations, and a
+  // snapshot taken now is strictly newer than every record they hold, so
+  // retrying the snapshot alone preserves the GC invariant.
+  if (!snapshot_pending_) {
+    if (!wal_->rotate()) {
+      // Back off a full compact_every before the next automatic attempt;
+      // without this, every committed operation past the threshold would
+      // re-enter here and retry inline on the serving thread.
+      appends_since_compact_.store(0, std::memory_order_relaxed);
+      return false;
+    }
+    snapshot_pending_ = true;
+  }
   const util::RetryResult r = util::retry_with(
       config_.durability.retry,
       config_.durability.retry_seed ^ 0xC0FFEEULL,
@@ -636,9 +650,13 @@ bool Matchd::checkpoint_locked() {
   }
   if (!r.ok) {
     // Old generations stay on disk: recovery replays more records than
-    // strictly needed, which costs time, never data.
+    // strictly needed, which costs time, never data. Reset the counter so
+    // the retry waits for the next compact_every window instead of firing
+    // on every subsequent operation.
+    appends_since_compact_.store(0, std::memory_order_relaxed);
     return false;
   }
+  snapshot_pending_ = false;
   wal_->remove_old_generations();
   appends_since_compact_.store(0, std::memory_order_relaxed);
   compactions_.fetch_add(1, std::memory_order_relaxed);

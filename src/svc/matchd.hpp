@@ -374,6 +374,12 @@ class Matchd {
   std::atomic<std::uint64_t> appends_since_compact_{0};
   /// Serializes checkpoint cycles; never held together with a shard lock.
   std::mutex compact_mutex_;
+  /// True after a checkpoint rotated the log but failed to snapshot
+  /// (guarded by compact_mutex_). The next checkpoint retries the
+  /// snapshot without rotating again: the earlier rotation still covers
+  /// every older generation, so repeating it would only pile up a new
+  /// generation of shard files per failed attempt.
+  bool snapshot_pending_ = false;
   /// Guards degraded_since_ (touched only on mode transitions).
   std::mutex degraded_mutex_;
   std::chrono::steady_clock::time_point degraded_since_{};

@@ -33,14 +33,17 @@ void put_u32(std::vector<char>& out, std::uint32_t v) {
   out.insert(out.end(), b, b + 4);
 }
 
-/// Parse "wal-<gen>-<shard>.log"; returns false for other names.
+/// Parse "wal-<gen>-<shard>.log"; returns false for other names. The %n
+/// position must land exactly at the end of the name so near-misses like
+/// "wal-1-0.log.bak" are never replayed or garbage-collected as live logs.
 bool parse_wal_name(const std::string& name, std::uint64_t& gen,
                     std::size_t& shard) {
   unsigned long long g = 0;
   unsigned long long s = 0;
-  char tail = '\0';
-  if (std::sscanf(name.c_str(), "wal-%llu-%llu.lo%c", &g, &s, &tail) != 3 ||
-      tail != 'g') {
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%llu-%llu.log%n", &g, &s, &consumed) !=
+          2 ||
+      static_cast<std::size_t>(consumed) != name.size()) {
     return false;
   }
   gen = g;
@@ -113,17 +116,23 @@ std::string Wal::file_path(std::uint64_t gen, std::size_t shard) const {
          std::to_string(shard) + ".log";
 }
 
-bool Wal::open_shard_file(Shard& s, std::size_t index, std::uint64_t gen) {
-  const std::string path = file_path(gen, index);
+int Wal::create_log_file(const std::string& path) {
   const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-  if (fd < 0) return false;
+  if (fd < 0) return -1;
   // Stamp the magic immediately so replay can tell an empty log from a
   // foreign file; a crash before it completes reads as a torn file with
   // zero records, which is exactly what it is.
   if (!write_fully(fd, kFileMagic, sizeof(kFileMagic))) {
     ::close(fd);
-    return false;
+    (void)::unlink(path.c_str());  // we created it; leave no magic-less stub
+    return -1;
   }
+  return fd;
+}
+
+bool Wal::open_shard_file(Shard& s, std::size_t index, std::uint64_t gen) {
+  const int fd = create_log_file(file_path(gen, index));
+  if (fd < 0) return false;
   s.fd = fd;
   s.durable_size = sizeof(kFileMagic);
   s.buf.clear();
@@ -173,11 +182,19 @@ bool Wal::append_record(std::size_t shard, WalRecordType type,
   ++s.pending_records;
 
   if (s.pending_records >= config_.flush_every) {
-    if (!flush_locked(s)) {
-      // Drop this record (the caller was told it failed and may retry);
-      // earlier buffered records stay pending for the next flush.
-      buf.resize(buf_before);
-      --s.pending_records;
+    const FlushOutcome outcome = flush_locked(s);
+    if (outcome != FlushOutcome::kOk) {
+      if (outcome == FlushOutcome::kWriteFailed) {
+        // The write was refused with the buffer intact: drop this record
+        // (the caller was told it failed and may retry); earlier buffered
+        // records stay pending for the next flush. After a failed fsync
+        // the frames are already in the file and the buffer is consumed —
+        // there is nothing to roll back, and resizing the (now empty)
+        // buffer would plant zero-filled garbage for the next flush to
+        // write mid-log.
+        buf.resize(buf_before);
+        --s.pending_records;
+      }
       append_failures_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -186,14 +203,12 @@ bool Wal::append_record(std::size_t shard, WalRecordType type,
   return true;
 }
 
-bool Wal::flush_locked(Shard& s) {
+Wal::FlushOutcome Wal::flush_locked(Shard& s) {
   if (s.buf.empty()) {
-    if (s.unsynced_records > 0) {
-      if (::fsync(s.fd) != 0) return false;
-      fsyncs_.fetch_add(1, std::memory_order_relaxed);
-      s.unsynced_records = 0;
+    if (s.unsynced_records > 0 && !fsync_locked(s)) {
+      return FlushOutcome::kFsyncFailed;
     }
-    return true;
+    return FlushOutcome::kOk;
   }
 
   if (util::fault(config_.faults, util::FaultSite::kWalAppend)) {
@@ -205,13 +220,13 @@ bool Wal::flush_locked(Shard& s) {
     (void)write_fully(s.fd, s.buf.data(), torn);
     (void)::ftruncate(s.fd, static_cast<off_t>(s.durable_size));
     (void)::lseek(s.fd, 0, SEEK_END);
-    return false;
+    return FlushOutcome::kWriteFailed;
   }
 
   if (!write_fully(s.fd, s.buf.data(), s.buf.size())) {
     (void)::ftruncate(s.fd, static_cast<off_t>(s.durable_size));
     (void)::lseek(s.fd, 0, SEEK_END);
-    return false;
+    return FlushOutcome::kWriteFailed;
   }
   s.durable_size += s.buf.size();
   bytes_written_.fetch_add(s.buf.size(), std::memory_order_relaxed);
@@ -219,11 +234,17 @@ bool Wal::flush_locked(Shard& s) {
   s.buf.clear();
   s.pending_records = 0;
 
-  if (s.unsynced_records >= config_.fsync_every) {
-    if (::fsync(s.fd) != 0) return false;
-    fsyncs_.fetch_add(1, std::memory_order_relaxed);
-    s.unsynced_records = 0;
+  if (s.unsynced_records >= config_.fsync_every && !fsync_locked(s)) {
+    return FlushOutcome::kFsyncFailed;
   }
+  return FlushOutcome::kOk;
+}
+
+bool Wal::fsync_locked(Shard& s) {
+  if (util::fault(config_.faults, util::FaultSite::kWalFsync)) return false;
+  if (::fsync(s.fd) != 0) return false;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  s.unsynced_records = 0;
   return true;
 }
 
@@ -231,12 +252,8 @@ bool Wal::flush(std::size_t shard) {
   Shard& s = shards_[shard % shards_.size()];
   std::lock_guard<std::mutex> lock(s.mutex);
   if (crashed_ || s.fd < 0) return false;
-  if (!flush_locked(s)) return false;
-  if (s.unsynced_records > 0) {
-    if (::fsync(s.fd) != 0) return false;
-    fsyncs_.fetch_add(1, std::memory_order_relaxed);
-    s.unsynced_records = 0;
-  }
+  if (flush_locked(s) != FlushOutcome::kOk) return false;
+  if (s.unsynced_records > 0 && !fsync_locked(s)) return false;
   return true;
 }
 
@@ -257,20 +274,50 @@ bool Wal::rotate() {
   if (crashed_) return false;
 
   for (Shard& s : shards_) {
-    if (!flush_locked(s)) return false;
-    if (s.unsynced_records > 0) {
-      if (::fsync(s.fd) != 0) return false;
-      fsyncs_.fetch_add(1, std::memory_order_relaxed);
-      s.unsynced_records = 0;
+    if (flush_locked(s) != FlushOutcome::kOk) return false;
+    if (s.unsynced_records > 0 && !fsync_locked(s)) return false;
+  }
+
+  // Pick the next generation by rescanning the directory (as open()
+  // does), not by assuming gen_+1 is free: a previously failed rotation
+  // or an operator copying files in could otherwise make every retry
+  // collide on O_EXCL forever.
+  std::uint64_t next = gen_ + 1;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    std::uint64_t gen = 0;
+    std::size_t shard = 0;
+    if (parse_wal_name(entry.path().filename().string(), gen, shard)) {
+      next = std::max(next, gen + 1);
     }
   }
-  const std::uint64_t next = gen_ + 1;
+
+  // Create every next-generation file before touching a live fd, so a
+  // partial failure leaves all shards serving their current files and no
+  // orphaned partial generation on disk — rotation stays retryable and
+  // appends keep working either way.
+  std::vector<int> new_fds(shards_.size(), -1);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string path = file_path(next, i);
+    if (!util::fault(config_.faults, util::FaultSite::kWalRotate)) {
+      new_fds[i] = create_log_file(path);
+    }
+    if (new_fds[i] < 0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        ::close(new_fds[j]);
+        (void)::unlink(file_path(next, j).c_str());
+      }
+      return false;
+    }
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = shards_[i];
     if (s.fd >= 0) ::close(s.fd);
-    s.fd = -1;
-    s.durable_size = 0;
-    if (!open_shard_file(s, i, next)) return false;
+    s.fd = new_fds[i];
+    s.durable_size = sizeof(kFileMagic);
+    s.buf.clear();
+    s.pending_records = 0;
+    s.unsynced_records = 0;
   }
   gen_ = next;
   rotations_.fetch_add(1, std::memory_order_relaxed);

@@ -26,9 +26,12 @@
 //   payload = u8 type | u64 key | payload_len-9 bytes of raw f64 fields
 //
 // A torn tail (crash mid-append) fails the length or CRC check and replay
-// stops at the last good record of that file. Append failures (injected
-// or real) are repaired by truncating the file back to the last durable
-// offset, so a retried append never leaves a torn frame mid-log.
+// stops at the last good record of that file. Failed writes (injected or
+// real) are repaired by truncating the file back to the last durable
+// offset, so a retried append never leaves a torn frame mid-log. A failed
+// fsync is reported as an append failure too, but the record is already
+// in the file — a retry may duplicate it, which replay's last-wins upsert
+// semantics absorb.
 //
 // Durability policy: `flush_every` buffers that many records in user
 // space before write(2); `fsync_every` bounds how many flushed records
@@ -98,9 +101,12 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Append one group-state record. Returns false when the write was
-  /// refused (injected or real I/O failure); the log is repaired back to
-  /// its last durable offset first, so the caller may simply retry.
+  /// Append one group-state record. Returns false when the record could
+  /// not be made durable (injected or real I/O failure). A refused write
+  /// repairs the log back to its last durable offset; a failed fsync
+  /// leaves the record in the file but unacknowledged. Either way the log
+  /// stays parseable and the caller may simply retry (duplicates replay
+  /// idempotently).
   [[nodiscard]] bool append(std::size_t shard, std::uint64_t key,
                             const double* fields, std::size_t n_fields);
 
@@ -116,6 +122,9 @@ class Wal {
 
   /// Rotate every shard to the next generation (flushing + fsyncing the
   /// old files). Compaction calls this immediately before snapshotting.
+  /// All next-generation files are created before any live fd is
+  /// replaced, so failure leaves every shard serving its current file and
+  /// no partial generation on disk — rotate() is always safe to retry.
   [[nodiscard]] bool rotate();
 
   /// Delete every log file of generations below the current one. Call
@@ -161,9 +170,29 @@ class Wal {
   [[nodiscard]] bool append_record(std::size_t shard, WalRecordType type,
                                    std::uint64_t key, const double* fields,
                                    std::size_t n_fields);
+
+  /// How a flush attempt left the shard. The distinction matters to
+  /// append_record's rollback: after kWriteFailed the buffer still holds
+  /// every pending frame (the file was repaired back to its last durable
+  /// offset), so dropping the newest frame is safe; after kFsyncFailed
+  /// the frames already reached the file and the buffer was consumed —
+  /// rolling it back would bury zero-filled garbage mid-log and underflow
+  /// the pending count.
+  enum class FlushOutcome {
+    kOk,
+    kWriteFailed,  ///< write(2) refused; buffer preserved, file repaired
+    kFsyncFailed,  ///< records written but not durable; buffer consumed
+  };
+
   /// Write buf to fd (repairing via ftruncate on failure) and fsync per
   /// policy. Caller holds the shard mutex.
-  [[nodiscard]] bool flush_locked(Shard& s);
+  [[nodiscard]] FlushOutcome flush_locked(Shard& s);
+  /// fsync the shard's file, clearing its unsynced count on success.
+  /// Caller holds the shard mutex.
+  [[nodiscard]] bool fsync_locked(Shard& s);
+  /// O_CREAT|O_EXCL a log file and stamp the magic; returns the fd or -1
+  /// (the file is unlinked again if the magic could not be written).
+  [[nodiscard]] int create_log_file(const std::string& path);
   [[nodiscard]] bool open_shard_file(Shard& s, std::size_t index,
                                      std::uint64_t gen);
   [[nodiscard]] std::string file_path(std::uint64_t gen,

@@ -10,6 +10,8 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kStoreWrite: return "store-write";
     case FaultSite::kSnapshotRename: return "snapshot-rename";
     case FaultSite::kWalAppend: return "wal-append";
+    case FaultSite::kWalFsync: return "wal-fsync";
+    case FaultSite::kWalRotate: return "wal-rotate";
     case FaultSite::kQueueAdmit: return "queue-admit";
     case FaultSite::kThreadSpawn: return "thread-spawn";
     case FaultSite::kCount: break;

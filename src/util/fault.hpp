@@ -2,10 +2,11 @@
 //
 // Production robustness code is only as good as the failures it has
 // actually seen. The FaultInjector lets tests and benches force the
-// failure paths — store file I/O, snapshot rename, WAL append, queue
-// admission, worker-thread spawn — on a deterministic schedule: every
-// decision is a pure function of (seed, site, per-site sequence number),
-// so a failing chaos run replays bit-for-bit from its seed.
+// failure paths — store file I/O, snapshot rename, WAL append/fsync/
+// rotation, queue admission, worker-thread spawn — on a deterministic
+// schedule: every decision is a pure function of (seed, site, per-site
+// sequence number), so a failing chaos run replays bit-for-bit from its
+// seed.
 //
 // The hook is zero-cost when disabled: call sites hold a nullable
 // FaultInjector* and the inlined check is one null test. With an injector
@@ -32,6 +33,8 @@ enum class FaultSite : std::size_t {
   kStoreWrite,         ///< snapshot write (EstimatorStore::save_file)
   kSnapshotRename,     ///< the atomic rename publishing a snapshot
   kWalAppend,          ///< write-ahead-log append (torn write, repaired)
+  kWalFsync,           ///< fsync(2) of a WAL shard (record written, not durable)
+  kWalRotate,          ///< per-shard file creation during WAL rotation
   kQueueAdmit,         ///< admission-queue push (reported as backpressure)
   kThreadSpawn,        ///< worker-thread creation
   kCount,

@@ -370,6 +370,173 @@ TEST(WalTest, InjectedAppendFaultRepairsAndRetrySucceeds) {
   EXPECT_EQ(replay.value().torn_files, 0u);
 }
 
+TEST(WalTest, FsyncFaultDoesNotCorruptBufferOrDropLaterAppends) {
+  // A failed fsync happens AFTER the write consumed the buffer. The
+  // append must report failure without rolling the buffer back: rolling
+  // back would zero-fill garbage for the next flush to bury mid-log and
+  // underflow the pending count, leaving later acked appends unflushed.
+  TempDir dir("fsyncfail");
+  util::FaultInjector injector(19);
+  injector.arm(util::FaultSite::kWalFsync, {1.0, /*max_consecutive=*/2});
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  config.fsync_every = 1;  // every flush attempts the (faulted) fsync
+  config.faults = &injector;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value()) << wal.error();
+
+  const double f[1] = {2.5};
+  // p=1, cap=2: two appends write their record but fail the fsync; the
+  // third fsync is forced through.
+  EXPECT_FALSE(wal.value()->append(0, 7, f, 1));
+  EXPECT_FALSE(wal.value()->append(0, 7, f, 1));
+  EXPECT_TRUE(wal.value()->append(0, 7, f, 1));
+  EXPECT_EQ(wal.value()->stats().append_failures, 2u);
+  ASSERT_TRUE(wal.value()->flush_all());
+  wal.value().reset();
+
+  // All three copies are in the file (unacked-but-written records may
+  // duplicate; replay's last-wins upsert absorbs that) and the log parses
+  // to the end — no zero-length frame stops replay partway.
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(), [&](std::uint64_t key, const double* fields,
+                      std::size_t n) {
+        ++records;
+        EXPECT_EQ(key, 7u);
+        ASSERT_EQ(n, 1u);
+        EXPECT_EQ(fields[0], 2.5);
+      });
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  EXPECT_EQ(records, 3u);
+  EXPECT_EQ(replay.value().torn_files, 0u);
+}
+
+TEST(WalTest, FsyncFaultWithBatchedFlushKeepsLogParseable) {
+  // Same failure with flush_every > 1: when the fsync fails the buffer
+  // held several frames, so a bad rollback would plant that many bytes of
+  // zero-fill garbage mid-log. Every accepted record must replay.
+  TempDir dir("fsyncbatch");
+  util::FaultInjector injector(29);
+  injector.arm(util::FaultSite::kWalFsync, {1.0, /*max_consecutive=*/2});
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  config.flush_every = 2;
+  config.fsync_every = 1;
+  config.faults = &injector;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value()) << wal.error();
+
+  const double f[1] = {4.0};
+  EXPECT_TRUE(wal.value()->append(0, 1, f, 1));   // buffered
+  EXPECT_FALSE(wal.value()->append(0, 2, f, 1));  // written, fsync fails
+  EXPECT_TRUE(wal.value()->append(0, 3, f, 1));   // buffered
+  EXPECT_FALSE(wal.value()->append(0, 4, f, 1));  // written, fsync fails
+  EXPECT_TRUE(wal.value()->append(0, 5, f, 1));   // buffered
+  ASSERT_TRUE(wal.value()->flush_all());          // fsync forced through
+  wal.value().reset();
+
+  std::vector<std::uint64_t> keys;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t key, const double*, std::size_t) {
+        keys.push_back(key);
+      });
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  EXPECT_EQ(keys, std::vector<std::uint64_t>({1, 2, 3, 4, 5}));
+  EXPECT_EQ(replay.value().torn_files, 0u);
+}
+
+TEST(WalTest, FailedRotationLeavesEveryShardServingAndRetryable) {
+  // A rotation that fails partway (some next-generation files created,
+  // one refused) must leave all shards appending to their current files,
+  // leave no partial generation behind, and succeed when retried.
+  TempDir dir("rotatefail");
+  util::FaultInjector injector(31);
+  injector.arm(util::FaultSite::kWalRotate, {0.5, UINT32_MAX});
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 4;
+  config.faults = &injector;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value()) << wal.error();
+  const std::uint64_t gen0 = wal.value()->generation();
+
+  const double f[1] = {6.0};
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(wal.value()->append(s, s, f, 1));
+  }
+  std::size_t failed = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (!wal.value()->rotate()) ++failed;
+  }
+  ASSERT_GT(failed, 0u);  // the seeded schedule injects some failures
+  // Every shard still accepts appends, whatever generation it is on.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_TRUE(wal.value()->append(s, 100 + s, f, 1));
+  }
+  // Failed rotations must not advance the generation counter.
+  EXPECT_EQ(wal.value()->generation(), gen0 + (8 - failed));
+
+  injector.arm(util::FaultSite::kWalRotate, {0.0, UINT32_MAX});
+  EXPECT_TRUE(wal.value()->rotate());  // retry heals, no O_EXCL collision
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_TRUE(wal.value()->append(s, 200 + s, f, 1));
+  }
+  ASSERT_TRUE(wal.value()->flush_all());
+  const std::uint64_t final_gen = wal.value()->generation();
+  wal.value().reset();
+
+  // No orphaned partial generation: every surviving file belongs to a
+  // generation a completed rotation produced, and all 12 records replay.
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path())) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 4u * (final_gen - gen0 + 1));
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t, const double*, std::size_t) { ++records; });
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  EXPECT_EQ(records, 12u);
+  EXPECT_EQ(replay.value().torn_files, 0u);
+}
+
+TEST(WalTest, NearMissFilenamesAreNeitherReplayedNorCollected) {
+  TempDir dir("nearmiss");
+  std::filesystem::create_directories(dir.path());
+  // Trailing garbage after ".log" must not read as a live log: not
+  // replayed, not counted into the generation scan, not GC'd.
+  std::ofstream(dir.path() + "/wal-9-0.log.bak") << "operator backup";
+  std::ofstream(dir.path() + "/wal-7-0.logx") << "not a log";
+  WalConfig config;
+  config.dir = dir.path();
+  config.shards = 1;
+  auto wal = Wal::open(config);
+  ASSERT_TRUE(wal.has_value()) << wal.error();
+  EXPECT_EQ(wal.value()->generation(), 1u);  // 9 and 7 were ignored
+  const double f[1] = {8.0};
+  ASSERT_TRUE(wal.value()->append(0, 1, f, 1));
+  ASSERT_TRUE(wal.value()->rotate());
+  wal.value()->remove_old_generations();
+  wal.value().reset();
+
+  auto replay = Wal::replay(
+      dir.path(), [](std::uint64_t, const double*, std::size_t) {});
+  ASSERT_TRUE(replay.has_value()) << replay.error();
+  EXPECT_EQ(replay.value().files, 1u);  // only the real (rotated) log
+  EXPECT_EQ(replay.value().torn_files, 0u);
+  // GC removed generation 1 but left the near-miss names untouched.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/wal-1-0.log"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/wal-9-0.log.bak"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/wal-7-0.logx"));
+}
+
 // --- matchd + WAL ------------------------------------------------------------
 
 TEST(MatchdWalTest, WalOnDecisionsMatchWalOff) {
@@ -584,6 +751,52 @@ TEST(MatchdWalTest, FailedSnapshotKeepsOldGenerations) {
   ASSERT_TRUE(recovery.has_value()) << recovery.error();
   EXPECT_EQ(recovery.value().wal_records, 200u);  // nothing was GC'd
   EXPECT_EQ(store_rows(restarted, "failedsnap_after"), before);
+}
+
+TEST(MatchdWalTest, FailedCompactionBacksOffInsteadOfRetryingPerOp) {
+  // While snapshots fail, auto-compaction must not re-enter on every
+  // committed operation: that would rotate a fresh generation of shard
+  // files per op (unbounded disk) and run a full retried snapshot inline
+  // on the serving thread. One rotation, then back off a compact_every
+  // window between attempts — and never rotate again until the pending
+  // snapshot lands.
+  TempDir dir("compactbackoff");
+  util::FaultInjector injector(37);
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 2;
+  config.durability.compact_every = 20;
+  Matchd service(config);
+  service.set_ladder(test_ladder());
+
+  injector.arm(util::FaultSite::kStoreWrite, {1.0, UINT32_MAX});
+  for (std::uint64_t n = 0; n < 200; ++n) {
+    drive_job(service, make_job(n));  // 400 appends = many failed attempts
+  }
+  EXPECT_EQ(service.stats().compactions, 0u);
+  EXPECT_EQ(service.stats().wal.rotations, 1u);  // rotated once, ever
+
+  // Disk heals: the next window's attempt finishes the pending snapshot
+  // (without another rotation) and GC runs. 10 jobs = 20 appends crosses
+  // the compact_every threshold exactly once wherever the counter stood.
+  injector.arm(util::FaultSite::kStoreWrite, {0.0, UINT32_MAX});
+  for (std::uint64_t n = 200; n < 210; ++n) {
+    drive_job(service, make_job(n));
+  }
+  EXPECT_EQ(service.stats().compactions, 1u);
+  EXPECT_EQ(service.stats().wal.rotations, 1u);
+  ASSERT_TRUE(std::filesystem::exists(dir.path() + "/snapshot.csv"));
+
+  // The healed checkpoint preserved everything: crash + recover matches.
+  const std::multiset<std::string> before =
+      store_rows(service, "compactbackoff_before");
+  service.simulate_crash();
+  Matchd restarted(config);
+  restarted.set_ladder(test_ladder());
+  auto recovery = restarted.recover();
+  ASSERT_TRUE(recovery.has_value()) << recovery.error();
+  EXPECT_EQ(store_rows(restarted, "compactbackoff_after"), before);
 }
 
 TEST(MatchdWalTest, ThreadSpawnFaultAbortsStartupCleanly) {
