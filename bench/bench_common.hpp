@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "exp/experiment.hpp"
@@ -64,8 +65,17 @@ struct BenchArgs {
         cli.get("max-attempts", static_cast<std::int64_t>(64)));
     out.csv = cli.get("csv", std::string{});
     out.metrics_out = cli.get("metrics-out", std::string{});
-    for (const auto& key : cli.unused()) {
-      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    // Unknown flags are an error, not a warning: a typo like
+    // --trace-job=100 silently running the full 122k-job trace wastes a
+    // CI cycle (or worse, publishes numbers from the wrong config).
+    if (!cli.unused().empty()) {
+      for (const auto& key : cli.unused()) {
+        std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+      }
+      std::fprintf(stderr,
+                   "known options: --trace-jobs --jobs --seed --sim-seed "
+                   "--max-attempts --csv --metrics-out\n");
+      std::exit(2);
     }
     return out;
   }

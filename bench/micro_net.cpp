@@ -1,0 +1,180 @@
+// micro_net: wire-protocol round-trip throughput and latency over UDS.
+//
+// Stands up an in-process mini-cluster — 1, 2, then 4 matchd shards, each
+// behind a net::Server on a Unix-domain socket — and drives a serial
+// submit+feedback replay through a net::Router, measuring requests/sec
+// and client-observed round-trip latency (p50/p99 from an obs::Histogram,
+// the same instrument the server exports). Serial drive means the numbers
+// are per-connection protocol cost, not a saturation benchmark — the
+// relevant regression signal for the replay-equivalence harness and any
+// single-threaded scheduler front end.
+//
+//   ./build/bench/micro_net [--requests=N] [--metrics-out=BENCH_net.json]
+//
+// --metrics-out writes a schema-v1 BENCH record (validated in CI by
+// scripts/validate_bench_json.py) with per-shard-count summary keys:
+// rps_1shard, p50_us_1shard, p99_us_1shard, rps_2shard, ...
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
+#include "sim/cluster.hpp"
+#include "svc/matchd.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/transforms.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace resmatch;
+
+struct ShardCountResult {
+  std::size_t shards = 0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t requests = 0;
+};
+
+ShardCountResult run_with_shards(const trace::Workload& workload,
+                                 const core::CapacityLadder& ladder,
+                                 std::size_t shards_n,
+                                 const std::string& dir) {
+  std::vector<std::unique_ptr<svc::Matchd>> matchds;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  net::RouterConfig router_config;
+  for (std::size_t s = 0; s < shards_n; ++s) {
+    auto matchd = std::make_unique<svc::Matchd>();
+    matchd->set_ladder(ladder);
+    net::ServerConfig config;
+    config.uds_path = dir + "/bench" + std::to_string(shards_n) + "_" +
+                      std::to_string(s) + ".sock";
+    auto server = std::make_unique<net::Server>(*matchd, config);
+    if (!server->start()) {
+      std::fprintf(stderr, "FAIL: cannot start shard %zu\n", s);
+      std::exit(1);
+    }
+    net::ShardEndpoint ep;
+    ep.uds_path = config.uds_path;
+    router_config.shards.push_back(ep);
+    matchds.push_back(std::move(matchd));
+    servers.push_back(std::move(server));
+  }
+  router_config.ladder = ladder;
+  net::Router router(router_config);
+  if (!router.connect().has_value()) {
+    std::fprintf(stderr, "FAIL: router connect failed\n");
+    std::exit(1);
+  }
+
+  // Client-side round-trip latency, microseconds to ~2 s.
+  obs::Histogram latency(obs::HistogramSpec{1e-6, 2.0, 32});
+  std::uint64_t requests = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& job : workload.jobs) {
+    auto r0 = std::chrono::steady_clock::now();
+    const svc::MatchDecision decision = router.submit(job);
+    latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count());
+    core::Feedback fb;
+    fb.granted_mib = decision.granted_mib;
+    fb.success = job.used_mem_mib <= decision.granted_mib;
+    fb.used_mib = job.used_mem_mib;
+    fb.resource_failure = !fb.success;
+    r0 = std::chrono::steady_clock::now();
+    router.feedback(job, fb);
+    latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count());
+    requests += 2;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto& server : servers) server->stop();
+
+  const obs::HistogramSnapshot snap = latency.snapshot();
+  ShardCountResult result;
+  result.shards = shards_n;
+  result.requests = requests;
+  result.wall_seconds = wall;
+  result.rps = wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
+  result.p50_us = snap.percentile(50.0) * 1e6;
+  result.p99_us = snap.percentile(99.0) * 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs cli(argc, argv);
+  const auto requests_n = static_cast<std::size_t>(
+      cli.get("requests", static_cast<std::int64_t>(4000)));
+  const std::string metrics_out = cli.get("metrics-out", std::string{});
+  if (!cli.unused().empty()) {
+    for (const auto& key : cli.unused()) {
+      std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+    }
+    std::fprintf(stderr, "known options: --requests --metrics-out\n");
+    return 2;
+  }
+
+  char tmpl[] = "/tmp/resmatch_micro_net_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "FAIL: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = tmpl;
+
+  trace::Workload workload =
+      trace::generate_cm5_small(/*seed=*/1, requests_n / 2);
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, 64);
+  workload = trace::drop_wide_jobs(std::move(workload), 128);
+  workload = trace::sort_by_submit(
+      trace::scale_to_load(std::move(workload), 128, 1.0));
+  const core::CapacityLadder ladder = sim::Cluster(cluster).ladder();
+
+  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "shards", "requests/s",
+              "p50 (us)", "p99 (us)", "requests");
+  std::vector<ShardCountResult> results;
+  for (const std::size_t shards_n : {1u, 2u, 4u}) {
+    const ShardCountResult r =
+        run_with_shards(workload, ladder, shards_n, dir);
+    std::printf("%-8zu %-12.0f %-12.1f %-12.1f %-10llu\n", r.shards, r.rps,
+                r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.requests));
+    results.push_back(r);
+  }
+  std::filesystem::remove_all(dir);
+
+  if (!metrics_out.empty()) {
+    obs::Registry registry;  // summaries only; no long-lived instruments
+    obs::BenchRecord record("micro_net");
+    record.config("requests", static_cast<std::int64_t>(requests_n));
+    for (const ShardCountResult& r : results) {
+      const std::string tag = std::to_string(r.shards) + "shard";
+      record.summary("rps_" + tag, r.rps);
+      record.summary("p50_us_" + tag, r.p50_us);
+      record.summary("p99_us_" + tag, r.p99_us);
+      record.summary("wall_seconds_" + tag, r.wall_seconds);
+    }
+    record.metrics(registry.snapshot());
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace resmatch::net {
+
+namespace {
+
+template <typename Body>
+util::Expected<Body> expect_body(util::Expected<Envelope> envelope) {
+  using Result = util::Expected<Body>;
+  if (!envelope) return Result::failure(envelope.error());
+  Envelope& e = envelope.value();
+  if (const auto* err = std::get_if<ErrorResp>(&e.body)) {
+    return Result::failure("server error " +
+                           std::to_string(static_cast<int>(err->code)) +
+                           ": " + err->message);
+  }
+  if (auto* body = std::get_if<Body>(&e.body)) return std::move(*body);
+  return Result::failure(std::string("unexpected response type ") +
+                         to_string(e.type));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      decoder_(std::move(other.decoder_)),
+      poisoned_(other.poisoned_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    decoder_ = std::move(other.decoder_);
+    poisoned_ = other.poisoned_;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Expected<bool> Client::connect_uds(const std::string& path) {
+  using Result = util::Expected<bool>;
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Result::failure("UDS path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Result::failure("socket(AF_UNIX) failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    return Result::failure("connect(" + path + ") failed: " + err);
+  }
+  return finish_connect();
+}
+
+util::Expected<bool> Client::connect_tcp(const std::string& host,
+                                         std::uint16_t port) {
+  using Result = util::Expected<bool>;
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Result::failure("bad TCP host: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Result::failure("socket(AF_INET) failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    return Result::failure("connect(" + host + ":" + std::to_string(port) +
+                           ") failed: " + err);
+  }
+  return finish_connect();
+}
+
+util::Expected<bool> Client::finish_connect() {
+  poisoned_ = false;
+  decoder_ = Decoder(/*expect_magic=*/true);
+  std::vector<char> magic;
+  encode_magic(magic);
+  auto sent = write_all(magic.data(), magic.size());
+  if (!sent) {
+    close();
+    return sent;
+  }
+  return true;
+}
+
+util::Expected<bool> Client::write_all(const char* data, std::size_t n) {
+  using Result = util::Expected<bool>;
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process — the router turns it into a reconnect.
+    const ssize_t wrote = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      off += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    poisoned_ = true;
+    return Result::failure(std::string("write failed: ") +
+                           std::strerror(errno));
+  }
+  return true;
+}
+
+util::Expected<Envelope> Client::round_trip(const std::vector<char>& frame,
+                                            std::uint64_t request_id) {
+  using Result = util::Expected<Envelope>;
+  if (fd_ < 0) return Result::failure("not connected");
+  if (poisoned_) return Result::failure("connection poisoned");
+  auto sent = write_all(frame.data(), frame.size());
+  if (!sent) return Result::failure(sent.error());
+
+  char buf[16 * 1024];
+  for (;;) {
+    auto msg = decoder_.next();
+    if (!msg) {
+      poisoned_ = true;
+      return Result::failure("protocol error: " + msg.error());
+    }
+    if (msg.value().has_value()) {
+      Envelope envelope = std::move(*msg.value());
+      // A pipelining-capable peer may interleave; a strictly serial client
+      // only ever sees its own id, so anything else is a server bug.
+      if (envelope.request_id != request_id) {
+        poisoned_ = true;
+        return Result::failure("response id mismatch");
+      }
+      return envelope;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    poisoned_ = true;
+    return Result::failure(n == 0 ? "connection closed by peer"
+                                  : std::string("read failed: ") +
+                                        std::strerror(errno));
+  }
+}
+
+util::Expected<EstimateResp> Client::estimate(const trace::JobRecord& job) {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, EstimateReq{job});
+  return expect_body<EstimateResp>(round_trip(frame, id));
+}
+
+util::Expected<PreviewResp> Client::preview(const trace::JobRecord& job) {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, PreviewReq{job});
+  return expect_body<PreviewResp>(round_trip(frame, id));
+}
+
+util::Expected<Ack> Client::feedback(const trace::JobRecord& job,
+                                     const core::Feedback& fb) {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, FeedbackReq{job, fb});
+  return expect_body<Ack>(round_trip(frame, id));
+}
+
+util::Expected<Ack> Client::cancel(const trace::JobRecord& job, MiB granted) {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, CancelReq{job, granted});
+  return expect_body<Ack>(round_trip(frame, id));
+}
+
+util::Expected<Ack> Client::checkpoint() {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, CheckpointReq{});
+  return expect_body<Ack>(round_trip(frame, id));
+}
+
+util::Expected<HealthResp> Client::health() {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, HealthReq{});
+  return expect_body<HealthResp>(round_trip(frame, id));
+}
+
+util::Expected<StatsResp> Client::stats() {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, StatsReq{});
+  return expect_body<StatsResp>(round_trip(frame, id));
+}
+
+}  // namespace resmatch::net

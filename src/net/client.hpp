@@ -1,0 +1,71 @@
+// net::Client — a blocking, threadless protocol client.
+//
+// One client owns one connection (UDS or TCP) and issues matchd protocol
+// requests synchronously: each call encodes a frame, writes it, then reads
+// until the response with the matching request id arrives. No background
+// threads, no timers — which makes the client safe to use in a process
+// that later fork()s (examples/cluster_replay) and trivially deterministic
+// when driven serially.
+//
+// Errors are values: every call returns util::Expected. A transport error
+// (peer died, short read, corrupt frame) poisons the connection — further
+// calls fail fast until reconnect via a fresh Client. The Router layer
+// (router.hpp) owns reconnect policy; the client deliberately does not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "util/expected.hpp"
+
+namespace resmatch::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect and exchange magics. On failure the client stays unusable.
+  [[nodiscard]] util::Expected<bool> connect_uds(const std::string& path);
+  [[nodiscard]] util::Expected<bool> connect_tcp(const std::string& host,
+                                                 std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  // --- one blocking round trip each -------------------------------------
+
+  [[nodiscard]] util::Expected<EstimateResp> estimate(
+      const trace::JobRecord& job);
+  [[nodiscard]] util::Expected<PreviewResp> preview(
+      const trace::JobRecord& job);
+  [[nodiscard]] util::Expected<Ack> feedback(const trace::JobRecord& job,
+                                             const core::Feedback& fb);
+  [[nodiscard]] util::Expected<Ack> cancel(const trace::JobRecord& job,
+                                           MiB granted);
+  [[nodiscard]] util::Expected<Ack> checkpoint();
+  [[nodiscard]] util::Expected<HealthResp> health();
+  [[nodiscard]] util::Expected<StatsResp> stats();
+
+ private:
+  [[nodiscard]] util::Expected<bool> finish_connect();
+  /// Write all of `frame`, then read frames until request_id matches.
+  [[nodiscard]] util::Expected<Envelope> round_trip(
+      const std::vector<char>& frame, std::uint64_t request_id);
+  [[nodiscard]] util::Expected<bool> write_all(const char* data,
+                                               std::size_t n);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  Decoder decoder_;  ///< expects the server magic first
+  bool poisoned_ = false;
+};
+
+}  // namespace resmatch::net

@@ -1,0 +1,438 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "util/frame.hpp"
+
+namespace resmatch::net {
+
+namespace {
+
+constexpr std::size_t kEnvelopePrefix = 9;  // u8 type + u64 request_id
+
+// --- primitive writers (host-endian, via memcpy) ----------------------------
+
+void put_u8(std::vector<char>& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::vector<char>& out, std::uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  out.insert(out.end(), b, b + 2);
+}
+
+void put_u32v(std::vector<char>& out, std::uint32_t v) {
+  util::put_u32(out, v);
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.insert(out.end(), b, b + 8);
+}
+
+void put_f64(std::vector<char>& out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.insert(out.end(), b, b + 8);
+}
+
+// --- primitive readers: a cursor that refuses to run off the payload --------
+
+struct Reader {
+  const char* p = nullptr;
+  std::size_t left = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || left < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    take(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, 8);
+    return v;
+  }
+  double f64() {
+    double v = 0.0;
+    take(&v, 8);
+    return v;
+  }
+};
+
+// --- composite fields --------------------------------------------------------
+
+void put_job(std::vector<char>& out, const trace::JobRecord& job) {
+  put_u64(out, job.id);
+  put_f64(out, job.submit);
+  put_f64(out, job.runtime);
+  put_f64(out, job.requested_time);
+  put_u32v(out, job.nodes);
+  put_f64(out, job.requested_mem_mib);
+  put_f64(out, job.used_mem_mib);
+  put_u32v(out, job.user);
+  put_u32v(out, job.app);
+  put_u32v(out, static_cast<std::uint32_t>(static_cast<int>(job.status)));
+}
+
+trace::JobRecord read_job(Reader& r) {
+  trace::JobRecord job;
+  job.id = r.u64();
+  job.submit = r.f64();
+  job.runtime = r.f64();
+  job.requested_time = r.f64();
+  job.nodes = r.u32();
+  job.requested_mem_mib = r.f64();
+  job.used_mem_mib = r.f64();
+  job.user = r.u32();
+  job.app = r.u32();
+  job.status = static_cast<trace::JobStatus>(static_cast<int>(r.u32()));
+  return job;
+}
+
+void put_feedback(std::vector<char>& out, const core::Feedback& fb) {
+  put_u8(out, fb.success ? 1 : 0);
+  put_f64(out, fb.granted_mib);
+  put_u8(out, fb.used_mib.has_value() ? 1 : 0);
+  put_f64(out, fb.used_mib.value_or(0.0));
+  put_u8(out, fb.resource_failure.has_value() ? 1 : 0);
+  put_u8(out, fb.resource_failure.value_or(false) ? 1 : 0);
+}
+
+core::Feedback read_feedback(Reader& r) {
+  core::Feedback fb;
+  fb.success = r.u8() != 0;
+  fb.granted_mib = r.f64();
+  const bool has_used = r.u8() != 0;
+  const double used = r.f64();
+  if (has_used) fb.used_mib = used;
+  const bool has_rf = r.u8() != 0;
+  const bool rf = r.u8() != 0;
+  if (has_rf) fb.resource_failure = rf;
+  return fb;
+}
+
+/// Open a frame and stamp the envelope prefix; pair with util::frame_end.
+std::size_t envelope_begin(std::vector<char>& out, MsgType type,
+                           std::uint64_t request_id) {
+  const std::size_t mark = util::frame_begin(out);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u64(out, request_id);
+  return mark;
+}
+
+}  // namespace
+
+void encode_magic(std::vector<char>& out) {
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const EstimateReq& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kEstimate, request_id);
+  put_job(out, body.job);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const PreviewReq& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kPreview, request_id);
+  put_job(out, body.job);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const FeedbackReq& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kFeedback, request_id);
+  put_job(out, body.job);
+  put_feedback(out, body.fb);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const CancelReq& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kCancel, request_id);
+  put_job(out, body.job);
+  put_f64(out, body.granted);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const CheckpointReq& /*body*/) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kCheckpoint, request_id);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const HealthReq& /*body*/) {
+  const std::size_t mark = envelope_begin(out, MsgType::kHealth, request_id);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const StatsReq& /*body*/) {
+  const std::size_t mark = envelope_begin(out, MsgType::kStats, request_id);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const EstimateResp& body) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kEstimateResp, request_id);
+  put_f64(out, body.granted_mib);
+  put_u8(out, body.lowered ? 1 : 0);
+  put_u64(out, body.group_key);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const PreviewResp& body) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kPreviewResp, request_id);
+  put_f64(out, body.granted_mib);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const Ack& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kAck, request_id);
+  put_u8(out, body.ok ? 1 : 0);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const HealthResp& body) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kHealthResp, request_id);
+  put_u8(out, body.degraded ? 1 : 0);
+  put_u8(out, body.wal_enabled ? 1 : 0);
+  put_u64(out, body.groups);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const StatsResp& body) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kStatsResp, request_id);
+  put_u64(out, body.submissions);
+  put_u64(out, body.rewrites);
+  put_u64(out, body.successes);
+  put_u64(out, body.failures);
+  put_u64(out, body.cancels);
+  put_u64(out, body.groups);
+  put_u64(out, body.evictions);
+  put_u64(out, body.degraded_ops);
+  put_u64(out, body.wal_appends);
+  put_u64(out, body.compactions);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const ErrorResp& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kError, request_id);
+  put_u16(out, static_cast<std::uint16_t>(body.code));
+  out.insert(out.end(), body.message.begin(), body.message.end());
+  util::frame_end(out, mark);
+}
+
+void encode_envelope(std::vector<char>& out, const Envelope& envelope) {
+  std::visit(
+      [&](const auto& body) { encode(out, envelope.request_id, body); },
+      envelope.body);
+}
+
+util::Expected<Envelope> decode_payload(const char* payload,
+                                        std::size_t len) {
+  using Result = util::Expected<Envelope>;
+  if (len < kEnvelopePrefix) return Result::failure("payload too short");
+
+  Reader r{payload, len, true};
+  Envelope env;
+  env.type = static_cast<MsgType>(r.u8());
+  env.request_id = r.u64();
+
+  switch (env.type) {
+    case MsgType::kEstimate:
+      env.body = EstimateReq{read_job(r)};
+      break;
+    case MsgType::kPreview:
+      env.body = PreviewReq{read_job(r)};
+      break;
+    case MsgType::kFeedback: {
+      FeedbackReq body;
+      body.job = read_job(r);
+      body.fb = read_feedback(r);
+      env.body = std::move(body);
+      break;
+    }
+    case MsgType::kCancel: {
+      CancelReq body;
+      body.job = read_job(r);
+      body.granted = r.f64();
+      env.body = std::move(body);
+      break;
+    }
+    case MsgType::kCheckpoint:
+      env.body = CheckpointReq{};
+      break;
+    case MsgType::kHealth:
+      env.body = HealthReq{};
+      break;
+    case MsgType::kStats:
+      env.body = StatsReq{};
+      break;
+    case MsgType::kEstimateResp: {
+      EstimateResp body;
+      body.granted_mib = r.f64();
+      body.lowered = r.u8() != 0;
+      body.group_key = r.u64();
+      env.body = body;
+      break;
+    }
+    case MsgType::kPreviewResp: {
+      PreviewResp body;
+      body.granted_mib = r.f64();
+      env.body = body;
+      break;
+    }
+    case MsgType::kAck: {
+      Ack body;
+      body.ok = r.u8() != 0;
+      env.body = body;
+      break;
+    }
+    case MsgType::kHealthResp: {
+      HealthResp body;
+      body.degraded = r.u8() != 0;
+      body.wal_enabled = r.u8() != 0;
+      body.groups = r.u64();
+      env.body = body;
+      break;
+    }
+    case MsgType::kStatsResp: {
+      StatsResp body;
+      body.submissions = r.u64();
+      body.rewrites = r.u64();
+      body.successes = r.u64();
+      body.failures = r.u64();
+      body.cancels = r.u64();
+      body.groups = r.u64();
+      body.evictions = r.u64();
+      body.degraded_ops = r.u64();
+      body.wal_appends = r.u64();
+      body.compactions = r.u64();
+      env.body = body;
+      break;
+    }
+    case MsgType::kError: {
+      ErrorResp body;
+      body.code = static_cast<ErrorCode>(r.u16());
+      if (r.ok) body.message.assign(r.p, r.left);
+      r.left = 0;
+      env.body = std::move(body);
+      break;
+    }
+    default:
+      return Result::failure("unknown message type " +
+                             std::to_string(static_cast<unsigned>(env.type)));
+  }
+
+  if (!r.ok) return Result::failure("truncated message body");
+  if (r.left != 0) return Result::failure("trailing bytes after message body");
+  return env;
+}
+
+void Decoder::feed(const char* data, std::size_t n) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer so
+  // a long-lived connection does not grow it without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+util::Expected<std::optional<Envelope>> Decoder::next() {
+  using Result = util::Expected<std::optional<Envelope>>;
+  if (broken_) return Result::failure("stream already broken");
+
+  const char* data = buf_.data() + consumed_;
+  std::size_t avail = buf_.size() - consumed_;
+
+  if (need_magic_) {
+    if (avail < sizeof(kMagic)) return Result{std::nullopt};
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+      broken_ = true;
+      return Result::failure("bad connection magic");
+    }
+    consumed_ += sizeof(kMagic);
+    data += sizeof(kMagic);
+    avail -= sizeof(kMagic);
+    need_magic_ = false;
+  }
+
+  util::FrameView frame;
+  switch (util::parse_frame(data, avail, kMaxPayload, frame)) {
+    case util::FrameParseStatus::kNeedMore:
+      return Result{std::nullopt};
+    case util::FrameParseStatus::kBad:
+      broken_ = true;
+      return Result::failure("corrupt frame (bad length or CRC)");
+    case util::FrameParseStatus::kOk:
+      break;
+  }
+
+  auto envelope = decode_payload(frame.payload, frame.len);
+  if (!envelope) {
+    broken_ = true;
+    return Result::failure(envelope.error());
+  }
+  consumed_ += frame.frame_size;
+  return Result{std::optional<Envelope>(std::move(envelope.value()))};
+}
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kEstimate: return "estimate";
+    case MsgType::kPreview: return "preview";
+    case MsgType::kFeedback: return "feedback";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kHealth: return "health";
+    case MsgType::kStats: return "stats";
+    case MsgType::kEstimateResp: return "estimate_resp";
+    case MsgType::kPreviewResp: return "preview_resp";
+    case MsgType::kAck: return "ack";
+    case MsgType::kHealthResp: return "health_resp";
+    case MsgType::kStatsResp: return "stats_resp";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace resmatch::net

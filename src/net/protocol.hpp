@@ -1,0 +1,220 @@
+// matchd wire protocol v1 — a framed binary codec, pure and fuzz-friendly.
+//
+// A connection in either direction opens with the 8-byte magic "RSMNET01"
+// (protocol + version, mirroring the WAL's file magic), then carries a
+// stream of CRC-framed messages using the same frame layout as the WAL
+// (util/frame.hpp):
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload = u8 msg_type | u64 request_id | type-specific body
+//
+// Request ids are caller-chosen and echoed verbatim on the response, so
+// clients may pipeline many requests per connection and match responses
+// out of order. Byte order is host-endian (documented single-architecture
+// cluster scope, DESIGN.md §7); all field packing goes through memcpy, so
+// decoding never trips alignment.
+//
+// This header is deliberately transport-free: encode_* appends complete
+// frames to a byte vector, Decoder consumes raw bytes from anywhere. The
+// decoder never throws and never crashes on hostile input — a torn,
+// corrupt, oversized, or unknown frame yields a clean ProtocolError, which
+// the net_test fuzz-lite loop asserts over seeded random byte strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "trace/job_record.hpp"
+#include "util/expected.hpp"
+
+namespace resmatch::net {
+
+/// Connection preamble, sent by each side immediately after connect.
+inline constexpr char kMagic[8] = {'R', 'S', 'M', 'N', 'E', 'T', '0', '1'};
+
+/// Upper bound on one message payload; a length word beyond it is a
+/// protocol error, not an allocation.
+inline constexpr std::uint32_t kMaxPayload = 1 << 20;
+
+enum class MsgType : std::uint8_t {
+  // requests
+  kEstimate = 1,    ///< commit a submission, get the effective grant
+  kPreview = 2,     ///< what kEstimate would grant, committing nothing
+  kFeedback = 3,    ///< report an attempt's outcome
+  kCancel = 4,      ///< undo the latest estimate for a job that never ran
+  kCheckpoint = 5,  ///< compact the shard's WAL into a fresh snapshot
+  kHealth = 6,      ///< liveness + degraded-mode probe
+  kStats = 7,       ///< shard service counters
+  // responses (high bit set)
+  kEstimateResp = 0x81,
+  kPreviewResp = 0x82,
+  kAck = 0x83,  ///< feedback / cancel / checkpoint completion
+  kHealthResp = 0x84,
+  kStatsResp = 0x85,
+  kError = 0xFF,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,    ///< malformed body; the connection should close
+  kBackpressure = 2,  ///< admission queue full; retry later
+  kInternal = 3,      ///< server-side failure (e.g. checkpoint I/O)
+};
+
+// --- message bodies ----------------------------------------------------------
+
+struct EstimateReq {
+  trace::JobRecord job;
+};
+
+struct PreviewReq {
+  trace::JobRecord job;
+};
+
+struct FeedbackReq {
+  trace::JobRecord job;
+  core::Feedback fb;
+};
+
+struct CancelReq {
+  trace::JobRecord job;
+  MiB granted = 0.0;
+};
+
+struct CheckpointReq {};
+struct HealthReq {};
+struct StatsReq {};
+
+struct EstimateResp {
+  MiB granted_mib = 0.0;
+  bool lowered = false;
+  std::uint64_t group_key = 0;
+};
+
+struct PreviewResp {
+  MiB granted_mib = 0.0;
+};
+
+struct Ack {
+  bool ok = true;
+};
+
+struct HealthResp {
+  bool degraded = false;
+  bool wal_enabled = false;
+  std::uint64_t groups = 0;
+};
+
+/// Flattened shard counters (the remote face of svc::MatchdStats).
+struct StatsResp {
+  std::uint64_t submissions = 0;
+  std::uint64_t rewrites = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t degraded_ops = 0;
+  std::uint64_t wal_appends = 0;
+  std::uint64_t compactions = 0;
+};
+
+struct ErrorResp {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+using MessageBody =
+    std::variant<EstimateReq, PreviewReq, FeedbackReq, CancelReq,
+                 CheckpointReq, HealthReq, StatsReq, EstimateResp,
+                 PreviewResp, Ack, HealthResp, StatsResp, ErrorResp>;
+
+/// One decoded message: its type tag, pipelining id, and typed body.
+struct Envelope {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  MessageBody body;
+};
+
+// --- encoding ----------------------------------------------------------------
+
+/// Append the connection preamble.
+void encode_magic(std::vector<char>& out);
+
+/// Append one complete frame carrying `body` under `request_id`. The
+/// overload set covers every MessageBody alternative.
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const EstimateReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const PreviewReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const FeedbackReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const CancelReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const CheckpointReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const HealthReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const StatsReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const EstimateResp& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const PreviewResp& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const Ack& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const HealthResp& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const StatsResp& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const ErrorResp& body);
+
+/// Append an already-built envelope (dispatches on the body alternative).
+void encode_envelope(std::vector<char>& out, const Envelope& envelope);
+
+// --- decoding ----------------------------------------------------------------
+
+/// Decode one frame payload (the bytes between two frame headers) into a
+/// typed envelope. Failure = malformed body or unknown type; the frame
+/// itself already passed its CRC.
+[[nodiscard]] util::Expected<Envelope> decode_payload(const char* payload,
+                                                      std::size_t len);
+
+/// Incremental frame decoder over a byte stream. Feed raw bytes from the
+/// transport; next() yields envelopes until the buffer runs dry
+/// (nullopt) or the stream turns out to be broken (failure — close the
+/// connection, nothing after a bad frame can be trusted).
+class Decoder {
+ public:
+  /// `expect_magic`: the stream must start with kMagic (the connection
+  /// preamble). Pass false when decoding mid-stream captures.
+  explicit Decoder(bool expect_magic = true) : need_magic_(expect_magic) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// Next complete message, nullopt when more bytes are needed, failure
+  /// when the stream is corrupt (bad magic, implausible length, CRC
+  /// mismatch, malformed body). After a failure every subsequent call
+  /// fails too.
+  [[nodiscard]] util::Expected<std::optional<Envelope>> next();
+
+  /// Bytes currently buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - consumed_;
+  }
+
+ private:
+  std::vector<char> buf_;
+  std::size_t consumed_ = 0;
+  bool need_magic_;
+  bool broken_ = false;
+};
+
+/// Human-readable type tag for diagnostics and metrics labels.
+[[nodiscard]] const char* to_string(MsgType type) noexcept;
+
+}  // namespace resmatch::net

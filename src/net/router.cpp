@@ -1,0 +1,310 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::net {
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      key_fn_(config_.key_fn ? config_.key_fn
+                             : core::default_similarity_key) {
+  shards_.resize(config_.shards.size());
+  build_ring();
+  register_metrics();
+}
+
+Router::~Router() { unregister_metrics(); }
+
+void Router::build_ring() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * config_.vnodes);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      // Position = mix(shard, vnode). Depends only on the shard's index
+      // and the vnode count, so the same topology always yields the same
+      // ring — a restarted router routes identically.
+      const std::uint64_t point =
+          util::mix64((static_cast<std::uint64_t>(s) << 32) ^ v ^
+                      0xC0FFEE0000000000ULL);
+      ring_.push_back(RingPoint{point, static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.point < b.point ||
+                     (a.point == b.point && a.shard < b.shard);
+            });
+}
+
+std::size_t Router::shard_of_key(std::uint64_t key) const noexcept {
+  if (ring_.empty()) return 0;
+  // Similarity keys are already hashes, but mix again so ring position is
+  // decorrelated from the store's shard striping.
+  const std::uint64_t point = util::mix64(key ^ 0xD15C0000D15C0000ULL);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const RingPoint& p, std::uint64_t x) { return p.point < x; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap: first point clockwise
+  return it->shard;
+}
+
+std::size_t Router::shard_of(const trace::JobRecord& job) const {
+  return shard_of_key(key_fn_(job));
+}
+
+bool Router::dial(std::size_t shard) {
+  const ShardEndpoint& ep = config_.shards[shard];
+  auto ok = ep.uds_path.empty()
+                ? shards_[shard].client.connect_tcp(ep.tcp_host, ep.tcp_port)
+                : shards_[shard].client.connect_uds(ep.uds_path);
+  if (ok) ++reconnects_;
+  return ok.has_value();
+}
+
+util::Expected<bool> Router::connect() {
+  using Result = util::Expected<bool>;
+  std::string refused;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (dial(s)) {
+      shards_[s].degraded = false;
+    } else {
+      if (!refused.empty()) refused += ", ";
+      refused += std::to_string(s);
+    }
+  }
+  if (!refused.empty()) {
+    return Result::failure("shards unreachable: " + refused);
+  }
+  return true;
+}
+
+bool Router::probe(std::size_t shard) {
+  ++probes_;
+  ++shards_[shard].probes_sent;
+  if (!dial(shard)) return false;
+  auto health = shards_[shard].client.health();
+  if (!health) return false;
+  shards_[shard].degraded = false;
+  RM_LOG(kInfo) << "net::Router: shard " << shard
+                << " healed after " << shards_[shard].probes_sent
+                << " probe(s)";
+  shards_[shard].probes_sent = 0;
+  return true;
+}
+
+template <typename Op>
+bool Router::with_retry(std::size_t shard, Op&& op) {
+  const std::uint64_t seed =
+      config_.retry_seed ^ util::mix64(shard + 1);
+  const std::uint32_t max_attempts =
+      config_.retry.max_attempts > 0 ? config_.retry.max_attempts : 1;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      std::this_thread::sleep_for(
+          config_.retry.backoff_for(attempt - 1, seed));
+      if (!dial(shard)) continue;
+    }
+    if (shards_[shard].client.connected() && op(shards_[shard].client)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MiB Router::degraded_grant(const trace::JobRecord& job) const {
+  // Pass-through: the rounded raw request, never a lowered grant —
+  // byte-identical to what a degraded Matchd itself would serve.
+  return config_.ladder.round_up(job.requested_mem_mib);
+}
+
+svc::MatchDecision Router::submit(const trace::JobRecord& job) {
+  ++requests_;
+  const std::uint64_t key = key_fn_(job);
+  const std::size_t shard = shard_of_key(key);
+  if (shards_[shard].degraded && !probe(shard)) {
+    ++degraded_ops_;
+    return svc::MatchDecision{degraded_grant(job), false, key};
+  }
+  svc::MatchDecision decision;
+  const bool ok = with_retry(shard, [&](Client& c) {
+    auto resp = c.estimate(job);
+    if (!resp) return false;
+    decision = svc::MatchDecision{resp.value().granted_mib,
+                                  resp.value().lowered,
+                                  resp.value().group_key};
+    return true;
+  });
+  if (ok) return decision;
+  shards_[shard].degraded = true;
+  ++degraded_ops_;
+  RM_LOG(kWarn) << "net::Router: shard " << shard
+                << " degraded (submit retries exhausted)";
+  return svc::MatchDecision{degraded_grant(job), false, key};
+}
+
+MiB Router::preview(const trace::JobRecord& job) {
+  ++requests_;
+  const std::size_t shard = shard_of(job);
+  if (shards_[shard].degraded && !probe(shard)) {
+    ++degraded_ops_;
+    return degraded_grant(job);
+  }
+  MiB granted = 0.0;
+  const bool ok = with_retry(shard, [&](Client& c) {
+    auto resp = c.preview(job);
+    if (!resp) return false;
+    granted = resp.value().granted_mib;
+    return true;
+  });
+  if (ok) return granted;
+  shards_[shard].degraded = true;
+  ++degraded_ops_;
+  return degraded_grant(job);
+}
+
+void Router::feedback(const trace::JobRecord& job, const core::Feedback& fb) {
+  ++requests_;
+  const std::size_t shard = shard_of(job);
+  if (shards_[shard].degraded && !probe(shard)) {
+    ++degraded_ops_;  // dropped, like Matchd's own degraded feedback
+    return;
+  }
+  const bool ok = with_retry(
+      shard, [&](Client& c) { return c.feedback(job, fb).has_value(); });
+  if (!ok) {
+    shards_[shard].degraded = true;
+    ++degraded_ops_;
+    RM_LOG(kWarn) << "net::Router: shard " << shard
+                  << " degraded (feedback retries exhausted)";
+  }
+}
+
+void Router::cancel(const trace::JobRecord& job, MiB granted) {
+  ++requests_;
+  const std::size_t shard = shard_of(job);
+  if (shards_[shard].degraded && !probe(shard)) {
+    ++degraded_ops_;
+    return;
+  }
+  const bool ok = with_retry(
+      shard, [&](Client& c) { return c.cancel(job, granted).has_value(); });
+  if (!ok) {
+    shards_[shard].degraded = true;
+    ++degraded_ops_;
+  }
+}
+
+bool Router::checkpoint_all() {
+  bool all_ok = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ++requests_;
+    if (shards_[s].degraded && !probe(s)) {
+      ++degraded_ops_;
+      all_ok = false;
+      continue;
+    }
+    const bool ok = with_retry(s, [&](Client& c) {
+      auto ack = c.checkpoint();
+      return ack.has_value() && ack.value().ok;
+    });
+    if (!ok) {
+      shards_[s].degraded = true;
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+StatsResp Router::aggregate_stats() {
+  StatsResp total;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ++requests_;
+    if (shards_[s].degraded && !probe(s)) continue;
+    StatsResp one;
+    const bool ok = with_retry(s, [&](Client& c) {
+      auto resp = c.stats();
+      if (!resp) return false;
+      one = resp.value();
+      return true;
+    });
+    if (!ok) {
+      shards_[s].degraded = true;
+      continue;
+    }
+    total.submissions += one.submissions;
+    total.rewrites += one.rewrites;
+    total.successes += one.successes;
+    total.failures += one.failures;
+    total.cancels += one.cancels;
+    total.groups += one.groups;
+    total.evictions += one.evictions;
+    total.degraded_ops += one.degraded_ops;
+    total.wal_appends += one.wal_appends;
+    total.compactions += one.compactions;
+  }
+  return total;
+}
+
+bool Router::shard_degraded(std::size_t shard) const {
+  return shard < shards_.size() && shards_[shard].degraded;
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.requests = requests_;
+  out.retries = retries_;
+  out.reconnects = reconnects_;
+  out.degraded_ops = degraded_ops_;
+  out.probes = probes_;
+  out.shard_healthy.reserve(shards_.size());
+  for (const Shard& s : shards_) out.shard_healthy.push_back(!s.degraded);
+  return out;
+}
+
+void Router::register_metrics() {
+  obs::Registry* reg = config_.metrics;
+  if (reg == nullptr) return;
+  // The router is single-threaded; providers read plain counters, so
+  // snapshot the registry from the driving thread only.
+  const auto add_counter = [&](const char* name, const char* help,
+                               const std::uint64_t* value) {
+    reg->counter_fn(name, help, {}, [value] { return *value; });
+    provider_keys_.emplace_back(name, obs::Labels{});
+  };
+  add_counter("resmatch_router_requests_total",
+              "Operations routed to shards (all verbs)", &requests_);
+  add_counter("resmatch_router_retries_total",
+              "Transport attempts beyond the first", &retries_);
+  add_counter("resmatch_router_reconnects_total",
+              "Successful shard re-dials", &reconnects_);
+  add_counter("resmatch_router_degraded_ops_total",
+              "Operations served pass-through or dropped on a degraded "
+              "shard",
+              &degraded_ops_);
+  add_counter("resmatch_router_probes_total",
+              "Health probes sent to degraded shards", &probes_);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const obs::Labels labels{{"shard", std::to_string(s)}};
+    reg->gauge_fn("resmatch_router_shard_healthy",
+                  "1 when the shard serves normally, 0 while degraded",
+                  labels,
+                  [this, s] { return shards_[s].degraded ? 0.0 : 1.0; });
+    provider_keys_.emplace_back("resmatch_router_shard_healthy", labels);
+  }
+}
+
+void Router::unregister_metrics() {
+  if (config_.metrics == nullptr) return;
+  for (const auto& [name, labels] : provider_keys_) {
+    config_.metrics->remove(name, labels);
+  }
+  provider_keys_.clear();
+}
+
+}  // namespace resmatch::net

@@ -1,0 +1,164 @@
+// net::Router — consistent-hash routing over N matchd shard endpoints.
+//
+// The router is the cluster face of svc::Matchd: it exposes the same
+// submit / preview / feedback / cancel verbs, computes the job's
+// similarity key locally (the same key function the shards use), and
+// routes every operation for one group to one shard via a consistent-hash
+// ring of virtual nodes. Groups are disjoint across shards, so a serial
+// drive through the router replays the exact per-group state trajectories
+// a single-process matchd would produce — decision equivalence, enforced
+// byte-for-byte by examples/cluster_replay in CI.
+//
+// Ring: `vnodes` points per shard, placed by mixing (shard, vnode) with
+// the splitmix64 finalizer; a key routes to the first point clockwise.
+// Adding or removing one shard therefore moves ~1/N of the keyspace and
+// leaves every other group pinned — net_test asserts this stability.
+//
+// Failure model (mirrors Matchd's own degraded mode, one level up):
+//   * a transport failure retries under util::RetryPolicy — reconnect,
+//     deterministic backoff jitter seeded per shard;
+//   * past retry exhaustion the SHARD (not the router) enters degraded
+//     pass-through: submissions get the rounded raw request (never a
+//     lowered grant), feedback/cancel are dropped and counted;
+//   * while degraded, each operation for that shard first sends one
+//     cheap health probe over a fresh connection; the first probe that
+//     answers restores normal routing — no rerouting of keys, ever,
+//     because moving a group mid-flight would fork its learning state.
+//
+// The router is deliberately threadless and blocking (no heartbeat
+// thread): callers drive probes, which keeps it fork-safe for the
+// multi-process harness and deterministic under serial drive. It is NOT
+// thread-safe; give each thread its own router or add external locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "core/similarity.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "svc/matchd.hpp"
+#include "util/retry.hpp"
+
+namespace resmatch::net {
+
+/// One shard's address: UDS when `uds_path` is set, TCP otherwise.
+struct ShardEndpoint {
+  std::string uds_path;
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;
+};
+
+struct RouterConfig {
+  std::vector<ShardEndpoint> shards;
+  /// Virtual nodes per shard on the hash ring.
+  std::size_t vnodes = 64;
+  /// Similarity key; null = the paper's (user, app, requested memory).
+  /// MUST match the shards' key function, or grouping splits.
+  core::SimilarityKeyFn key_fn;
+  /// Capacity ladder for degraded pass-through grants. Must equal the
+  /// shards' ladder for equivalence to hold in degraded mode.
+  core::CapacityLadder ladder;
+  /// Per-request transport retry (reconnect between attempts).
+  util::RetryPolicy retry{.max_attempts = 5,
+                          .initial_backoff = std::chrono::microseconds(200),
+                          .max_backoff = std::chrono::microseconds(50'000)};
+  /// Base seed for backoff jitter (mixed with the shard index).
+  std::uint64_t retry_seed = 0x5EEDB00Cu;
+  /// Observability registry (not owned; must outlive the router).
+  obs::Registry* metrics = nullptr;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;       ///< operations routed (all verbs)
+  std::uint64_t retries = 0;        ///< transport attempts beyond the first
+  std::uint64_t reconnects = 0;     ///< successful re-dials
+  std::uint64_t degraded_ops = 0;   ///< ops served pass-through / dropped
+  std::uint64_t probes = 0;         ///< health probes sent while degraded
+  std::vector<bool> shard_healthy;  ///< per shard, indexed as configured
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Dial every shard. Failure lists the shards that refused; they start
+  /// degraded and self-heal via per-operation probes once reachable.
+  [[nodiscard]] util::Expected<bool> connect();
+
+  // --- matchd verbs, routed by similarity key ----------------------------
+
+  [[nodiscard]] svc::MatchDecision submit(const trace::JobRecord& job);
+  [[nodiscard]] MiB preview(const trace::JobRecord& job);
+  void feedback(const trace::JobRecord& job, const core::Feedback& fb);
+  void cancel(const trace::JobRecord& job, MiB granted);
+
+  // --- cluster-wide operations -------------------------------------------
+
+  /// Checkpoint every reachable shard; false if any failed (degraded
+  /// shards are skipped and counted as failures).
+  [[nodiscard]] bool checkpoint_all();
+
+  /// Sum of per-shard service counters over reachable shards.
+  [[nodiscard]] StatsResp aggregate_stats();
+
+  // --- introspection ------------------------------------------------------
+
+  /// Ring lookup for a raw similarity key (exposed for the stability
+  /// tests and the harness's shard-expectation checks).
+  [[nodiscard]] std::size_t shard_of_key(std::uint64_t key) const noexcept;
+  [[nodiscard]] std::size_t shard_of(const trace::JobRecord& job) const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return config_.shards.size();
+  }
+  [[nodiscard]] bool shard_degraded(std::size_t shard) const;
+  [[nodiscard]] RouterStats stats() const;
+
+ private:
+  struct Shard {
+    Client client;
+    bool degraded = true;  ///< until connect() or a probe succeeds
+    std::uint32_t probes_sent = 0;
+  };
+
+  /// One ring point: key-space position -> shard index.
+  struct RingPoint {
+    std::uint64_t point = 0;
+    std::uint32_t shard = 0;
+  };
+
+  void build_ring();
+  [[nodiscard]] bool dial(std::size_t shard);
+  /// While degraded: one reconnect + health probe; true = healed.
+  [[nodiscard]] bool probe(std::size_t shard);
+  /// Run `op` against a shard with reconnect-and-retry. Returns false
+  /// after exhaustion (caller degrades the shard).
+  template <typename Op>
+  [[nodiscard]] bool with_retry(std::size_t shard, Op&& op);
+  [[nodiscard]] MiB degraded_grant(const trace::JobRecord& job) const;
+
+  void register_metrics();
+  void unregister_metrics();
+
+  RouterConfig config_;
+  core::SimilarityKeyFn key_fn_;
+  std::vector<Shard> shards_;
+  std::vector<RingPoint> ring_;  ///< sorted by point
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t degraded_ops_ = 0;
+  std::uint64_t probes_ = 0;
+
+  std::vector<std::pair<std::string, obs::Labels>> provider_keys_;
+};
+
+}  // namespace resmatch::net

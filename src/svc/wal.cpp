@@ -12,7 +12,7 @@
 #include <map>
 #include <utility>
 
-#include "util/crc32.hpp"
+#include "util/frame.hpp"
 
 namespace resmatch::svc {
 
@@ -21,16 +21,17 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kFileMagic[8] = {'R', 'S', 'M', 'W', 'A', 'L', '0', '1'};
-constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
 constexpr std::size_t kPayloadPrefix = 9;  // u8 type + u64 key
 /// Upper bound on one record's payload: guards replay against reading a
 /// garbage length as a multi-gigabyte allocation.
 constexpr std::uint32_t kMaxPayload = 1 << 20;
 
-void put_u32(std::vector<char>& out, std::uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  out.insert(out.end(), b, b + 4);
+/// A record payload must hold the type/key prefix plus whole f64 fields;
+/// anything else is a torn or foreign frame. Checked by replay before any
+/// payload bytes are read, exactly as the inline loop always did.
+bool valid_record_len(std::uint32_t len) {
+  return len >= kPayloadPrefix &&
+         (len - kPayloadPrefix) % sizeof(double) == 0;
 }
 
 /// Parse "wal-<gen>-<shard>.log"; returns false for other names. The %n
@@ -158,15 +159,13 @@ bool Wal::append_record(std::size_t shard, WalRecordType type,
   if (crashed_ || s.fd < 0) return false;
 
   const std::size_t buf_before = s.buf.size();
-  const std::uint32_t payload_len =
-      static_cast<std::uint32_t>(kPayloadPrefix + n_fields * sizeof(double));
 
-  // Encode payload first so the CRC covers exactly what lands on disk.
+  // Encode the payload straight into the shard buffer (no staging copy);
+  // frame_end patches the length and CRC over exactly what lands on disk.
   std::vector<char>& buf = s.buf;
-  buf.reserve(buf_before + kFrameHeader + payload_len);
-  put_u32(buf, payload_len);
-  put_u32(buf, 0);  // crc patched below
-  const std::size_t payload_at = buf.size();
+  buf.reserve(buf_before + util::kFrameHeaderSize + kPayloadPrefix +
+              n_fields * sizeof(double));
+  const std::size_t mark = util::frame_begin(buf);
   buf.push_back(static_cast<char>(type));
   char kb[8];
   std::memcpy(kb, &key, 8);
@@ -176,9 +175,7 @@ bool Wal::append_record(std::size_t shard, WalRecordType type,
     std::memcpy(fb, &fields[i], 8);
     buf.insert(buf.end(), fb, fb + 8);
   }
-  const std::uint32_t crc =
-      util::crc32(buf.data() + payload_at, payload_len);
-  std::memcpy(buf.data() + buf_before + 4, &crc, 4);
+  util::frame_end(buf, mark);
   ++s.pending_records;
 
   if (s.pending_records >= config_.flush_every) {
@@ -356,8 +353,8 @@ void Wal::simulate_crash(bool leave_torn_tail) {
     Shard& s = shards_[0];
     if (s.fd >= 0) {
       std::vector<char> torn;
-      put_u32(torn, 64);
-      put_u32(torn, 0xDEADBEEFu);
+      util::put_u32(torn, 64);
+      util::put_u32(torn, 0xDEADBEEFu);
       torn.push_back('\x01');
       (void)write_fully(s.fd, torn.data(), torn.size());
     }
@@ -411,20 +408,14 @@ util::Expected<WalReplayStats> Wal::replay(
       continue;
     }
     for (;;) {
-      std::uint32_t len = 0;
-      std::uint32_t crc = 0;
-      if (std::fread(&len, 4, 1, f) != 1) break;  // clean EOF
-      if (std::fread(&crc, 4, 1, f) != 1 || len < kPayloadPrefix ||
-          len > kMaxPayload || (len - kPayloadPrefix) % sizeof(double) != 0) {
+      const util::FrameReadStatus status =
+          util::read_frame(f, payload, kMaxPayload, valid_record_len);
+      if (status == util::FrameReadStatus::kEof) break;  // clean EOF
+      if (status == util::FrameReadStatus::kBad) {
         ++stats.torn_files;
         break;
       }
-      payload.resize(len);
-      if (std::fread(payload.data(), 1, len, f) != len ||
-          util::crc32(payload.data(), len) != crc) {
-        ++stats.torn_files;
-        break;
-      }
+      const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
       const auto type = static_cast<WalRecordType>(
           static_cast<std::uint8_t>(payload[0]));
       if (type == WalRecordType::kHeartbeat) {

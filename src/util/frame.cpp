@@ -1,0 +1,74 @@
+#include "util/frame.hpp"
+
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace resmatch::util {
+
+void put_u32(std::vector<char>& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+std::size_t frame_begin(std::vector<char>& buf) {
+  const std::size_t mark = buf.size();
+  put_u32(buf, 0);  // length, patched by frame_end
+  put_u32(buf, 0);  // crc, patched by frame_end
+  return mark;
+}
+
+void frame_end(std::vector<char>& buf, std::size_t mark) {
+  const std::size_t payload_at = mark + kFrameHeaderSize;
+  const auto len = static_cast<std::uint32_t>(buf.size() - payload_at);
+  const std::uint32_t crc = crc32(buf.data() + payload_at, len);
+  std::memcpy(buf.data() + mark, &len, 4);
+  std::memcpy(buf.data() + mark + 4, &crc, 4);
+}
+
+void append_frame(std::vector<char>& buf, const void* payload,
+                  std::size_t len) {
+  const std::size_t mark = frame_begin(buf);
+  const char* p = static_cast<const char*>(payload);
+  buf.insert(buf.end(), p, p + len);
+  frame_end(buf, mark);
+}
+
+FrameReadStatus read_frame(
+    std::FILE* f, std::vector<char>& payload, std::uint32_t max_payload,
+    const std::function<bool(std::uint32_t)>& validate_len) {
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  if (std::fread(&len, 4, 1, f) != 1) return FrameReadStatus::kEof;
+  if (std::fread(&crc, 4, 1, f) != 1 || len > max_payload ||
+      (validate_len && !validate_len(len))) {
+    return FrameReadStatus::kBad;
+  }
+  payload.resize(len);
+  if (std::fread(payload.data(), 1, len, f) != len ||
+      crc32(payload.data(), len) != crc) {
+    return FrameReadStatus::kBad;
+  }
+  return FrameReadStatus::kOk;
+}
+
+FrameParseStatus parse_frame(const char* data, std::size_t avail,
+                             std::uint32_t max_payload, FrameView& out) {
+  if (avail < kFrameHeaderSize) return FrameParseStatus::kNeedMore;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, data, 4);
+  std::memcpy(&crc, data + 4, 4);
+  if (len > max_payload) return FrameParseStatus::kBad;
+  if (avail < kFrameHeaderSize + len) return FrameParseStatus::kNeedMore;
+  if (crc32(data + kFrameHeaderSize, len) != crc) {
+    return FrameParseStatus::kBad;
+  }
+  out.payload = data + kFrameHeaderSize;
+  out.len = len;
+  out.frame_size = kFrameHeaderSize + len;
+  return FrameParseStatus::kOk;
+}
+
+}  // namespace resmatch::util

@@ -1,0 +1,84 @@
+// CRC-framed record helpers shared by the WAL and the wire protocol.
+//
+// One frame is:   u32 payload_len | u32 crc32(payload) | payload
+//
+// The same torn-frame discipline applies to both consumers: a frame whose
+// length word is implausible, whose payload is cut short, or whose CRC
+// does not match is *bad*, and the consumer decides what that means (the
+// WAL stops replaying the file at its torn tail; the network decoder
+// closes the connection as a protocol error). Encoding and decoding live
+// here once so the two layers cannot drift.
+//
+// Byte order is host-endian, exactly as the WAL has always written it —
+// the log is a local durability artifact and the wire protocol targets
+// same-architecture clusters (documented in DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace resmatch::util {
+
+/// Bytes of the u32 len + u32 crc header preceding every payload.
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+/// Append a little helper used by frame encoding and the WAL's torn-tail
+/// test hook: four raw bytes of `v` in host order.
+void put_u32(std::vector<char>& out, std::uint32_t v);
+
+/// Begin a frame: appends a placeholder header to `buf` and returns its
+/// offset. Append the payload bytes, then call frame_end with the same
+/// mark to patch the real length and CRC in place. Encoding the payload
+/// directly into the target buffer keeps the WAL's append path copy-free.
+[[nodiscard]] std::size_t frame_begin(std::vector<char>& buf);
+
+/// Finalize the frame begun at `mark`: everything appended after the
+/// header is the payload; its length and CRC are patched into the header.
+void frame_end(std::vector<char>& buf, std::size_t mark);
+
+/// Convenience for contiguous payloads: frame_begin + copy + frame_end.
+void append_frame(std::vector<char>& buf, const void* payload,
+                  std::size_t len);
+
+// --- stream (stdio) reading: the WAL replay shape ---------------------------
+
+enum class FrameReadStatus {
+  kOk,   ///< payload holds one verified frame
+  kEof,  ///< clean end: no (complete) length word to read
+  kBad,  ///< torn or corrupt frame; stop consuming this stream
+};
+
+/// Read one frame from `f` into `payload`. `max_payload` bounds the length
+/// word so a garbage value is rejected before it becomes a huge allocation;
+/// `validate_len`, when set, is an additional consumer-specific length
+/// check (e.g. the WAL's field-alignment rule) applied before any payload
+/// bytes are read — exactly the order the WAL has always checked in.
+[[nodiscard]] FrameReadStatus read_frame(
+    std::FILE* f, std::vector<char>& payload, std::uint32_t max_payload,
+    const std::function<bool(std::uint32_t)>& validate_len = nullptr);
+
+// --- buffer parsing: the wire-decoder shape ---------------------------------
+
+enum class FrameParseStatus {
+  kOk,        ///< a whole verified frame is available
+  kNeedMore,  ///< not enough bytes yet; read more and retry
+  kBad,       ///< implausible length or CRC mismatch; the stream is broken
+};
+
+/// A parsed frame borrowing the caller's buffer (valid until it mutates).
+struct FrameView {
+  const char* payload = nullptr;
+  std::uint32_t len = 0;
+  /// Total bytes the frame occupies (header + payload); consume this many.
+  std::size_t frame_size = 0;
+};
+
+/// Try to parse one frame from `data[0..avail)` without consuming it.
+[[nodiscard]] FrameParseStatus parse_frame(const char* data,
+                                           std::size_t avail,
+                                           std::uint32_t max_payload,
+                                           FrameView& out);
+
+}  // namespace resmatch::util

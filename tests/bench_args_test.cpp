@@ -1,0 +1,59 @@
+// BenchArgs::parse — the shared bench CLI must reject unknown flags hard.
+//
+// A typo like --trace-job=100 used to warn and run the full-scale default
+// anyway; now it exits nonzero before any work happens. Death tests cover
+// the exit path; the happy path checks that every documented flag still
+// parses and counts as used.
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+
+namespace resmatch::exp {
+namespace {
+
+BenchArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"bench_args_test"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return BenchArgs::parse(static_cast<int>(full.size()), full.data(),
+                          /*default_trace_jobs=*/500);
+}
+
+TEST(BenchArgs, ParsesEveryDocumentedFlag) {
+  const BenchArgs args =
+      parse({"--trace-jobs=123", "--jobs=4", "--seed=9", "--sim-seed=11",
+             "--max-attempts=3", "--csv=out.csv",
+             "--metrics-out=BENCH_x.json"});
+  EXPECT_EQ(args.trace_jobs, 123u);
+  EXPECT_EQ(args.jobs, 4u);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_EQ(args.sim_seed, 11u);
+  EXPECT_EQ(args.max_attempts, 3u);
+  EXPECT_EQ(args.csv, "out.csv");
+  EXPECT_EQ(args.metrics_out, "BENCH_x.json");
+}
+
+TEST(BenchArgs, DefaultsApplyWithNoFlags) {
+  const BenchArgs args = parse({});
+  EXPECT_EQ(args.trace_jobs, 500u);
+  EXPECT_EQ(args.seed, 42u);
+  EXPECT_EQ(args.sim_seed, 7u);
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagExitsNonzero) {
+  EXPECT_EXIT(parse({"--trace-job=100"}), testing::ExitedWithCode(2),
+              "unknown option --trace-job");
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagAmongValidOnesExitsNonzero) {
+  EXPECT_EXIT(parse({"--seed=1", "--sed=2"}), testing::ExitedWithCode(2),
+              "unknown option --sed");
+}
+
+TEST(BenchArgsDeathTest, ErrorListsKnownOptions) {
+  EXPECT_EXIT(parse({"--bogus"}), testing::ExitedWithCode(2),
+              "known options: --trace-jobs --jobs --seed");
+}
+
+}  // namespace
+}  // namespace resmatch::exp
