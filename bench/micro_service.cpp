@@ -15,6 +15,7 @@
 //                               [--metrics-out=PATH] [--max-threads=T]
 //                               [--wal-dir=DIR] [--wal-fsync-every=N]
 //                               [--fault-rate=P] [--fault-seed=S]
+//                               [--batch-max=B] [--batch-compare=PATH]
 //
 // --jobs is the per-thread operation count (default 200000).
 // --metrics-out writes a schema-v1 BENCH record (see obs/bench_record.hpp)
@@ -25,14 +26,25 @@
 // numbers directly comparable to a run without the flag. --fault-rate arms
 // the deterministic injector (see bench/micro_faults.cpp for the targeted
 // fault-path microbench).
+// --batch-max sets the worker drain batch size for the queued series.
+// --batch-compare=PATH runs the batching perf-smoke instead of the scaling
+// series: the WAL-backed queued pipeline at batch_max=1 vs batch_max=64
+// (same durability guarantee — one forced fsync commit point per batch —
+// so the ratio is the fsync/lock amortization win), plus the compiled
+// bytecode matcher vs the tree-walking evaluator over a 4096-machine
+// table, written to PATH as a schema-v1 BENCH record.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/capacity_ladder.hpp"
+#include "match/classad.hpp"
+#include "match/compiled.hpp"
 #include "obs/bench_record.hpp"
 #include "obs/metrics.hpp"
 #include "svc/matchd.hpp"
@@ -48,6 +60,15 @@ using namespace resmatch;
 /// durability off, the default). Each run gets a fresh subdirectory so no
 /// run replays or appends to another's log.
 svc::DurabilityConfig g_durability;
+
+/// Worker drain batch size for queued (async) runs.
+std::size_t g_batch_max = 32;
+
+/// Backpressure handling for queued runs. The scaling series falls back
+/// to the synchronous API on kFull (a client that must make progress);
+/// the batch-compare mode spins instead, so the measured number is the
+/// queued pipeline's throughput, not a blend of the two paths.
+bool g_spin_on_full = false;
 
 svc::DurabilityConfig durability_for_run() {
   static std::atomic<std::uint64_t> next_run{0};
@@ -84,10 +105,21 @@ void run_client(svc::Matchd& service, std::size_t thread_index,
   for (std::size_t i = 0; i < ops; ++i) {
     const trace::JobRecord job = make_job(thread_index * ops + i, groups);
     if (async) {
-      const auto pushed = service.submit_async(
-          job, [&service, job](const svc::MatchDecision& d) {
-            service.feedback(job, outcome_for(job, d.granted_mib));
-          });
+      // The decision callback re-enters the admission queue so feedback
+      // rides the batched WAL commit point too; under backpressure it
+      // degrades to the synchronous call, as a real client would.
+      const auto on_decision = [&service, job](const svc::MatchDecision& d) {
+        const core::Feedback fb = outcome_for(job, d.granted_mib);
+        if (service.feedback_async(svc::JobOutcome{job, fb}) !=
+            svc::PushResult::kOk) {
+          service.feedback(job, fb);
+        }
+      };
+      auto pushed = service.submit_async(job, on_decision);
+      while (g_spin_on_full && pushed == svc::PushResult::kFull) {
+        std::this_thread::yield();
+        pushed = service.submit_async(job, on_decision);
+      }
       if (pushed != svc::PushResult::kOk) {
         // Backpressure: do the work inline, as a real client would retry.
         const auto decision = service.submit(job);
@@ -119,6 +151,7 @@ Sample measure(std::size_t threads, std::size_t ops_per_thread,
   config.store.shards = 64;
   config.queue_capacity = 4096;
   config.workers = async ? threads : 0;
+  config.batch_max = g_batch_max;
   config.metrics = registry;
   config.durability = durability_for_run();
   svc::Matchd service(config);
@@ -157,6 +190,86 @@ Sample measure(std::size_t threads, std::size_t ops_per_thread,
   return s;
 }
 
+/// A CM5-flavored machine-ad population for the matcher benchmark: mixed
+/// memory/cpu shapes, two architectures, a minority of machines with
+/// their own requirements (three distinct sources -> three compiled
+/// groups plus the unconstrained group).
+std::vector<match::ClassAd> make_machines(std::size_t count) {
+  std::vector<match::ClassAd> machines;
+  machines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    match::ClassAd m;
+    m.set("memory", static_cast<double>(4 << (i % 6)));
+    m.set("cpus", static_cast<double>(1 + i % 8));
+    m.set("load", static_cast<double>(i % 10) / 10.0);
+    m.set("arch", match::Value(i % 3 == 0 ? std::string("arm64")
+                                          : std::string("x86_64")));
+    if (i % 4 == 1) {
+      m.set_expr("requirements", "other.owner_prio >= 1");
+    } else if (i % 4 == 2) {
+      m.set_expr("requirements", "other.req_memory <= my.memory * 2");
+    } else if (i % 16 == 3) {
+      m.set_expr("requirements", "other.owner_prio >= 1 && load < 0.9");
+    }
+    machines.push_back(std::move(m));
+  }
+  return machines;
+}
+
+struct MatcherSample {
+  double interp_rows_per_sec = 0.0;
+  double compiled_rows_per_sec = 0.0;
+  std::uint64_t fallback_rows = 0;
+  std::size_t matched = 0;  ///< sanity: both paths must agree
+};
+
+MatcherSample measure_matcher(std::size_t machine_count, int passes) {
+  const std::vector<match::ClassAd> machines = make_machines(machine_count);
+  match::ClassAd request;
+  request.set("req_memory", 16.0);
+  request.set("owner_prio", 2.0);
+  request.set_expr("requirements",
+                   "other.memory >= my.req_memory && other.arch == "
+                   "\"x86_64\" && other.cpus >= 2");
+  request.set_expr("rank", "other.memory * (1 - other.load)");
+
+  MatcherSample sample;
+  std::vector<std::size_t> interp_ranked;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < passes; ++p) {
+    interp_ranked = match::rank_matches(request, machines);
+  }
+  const double interp_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Table build is once per (machine set); compile is once per request —
+  // both inside the timed region, amortized over `passes` matches the
+  // matchmaker's negotiation-cycle shape (one table, many requests).
+  std::vector<std::size_t> compiled_ranked;
+  match::CompiledMatcher::Stats stats;
+  const auto t1 = std::chrono::steady_clock::now();
+  const match::MachineTable table = match::MachineTable::build(machines);
+  for (int p = 0; p < passes; ++p) {
+    compiled_ranked = match::rank_matches_compiled(request, table, &stats);
+  }
+  const double compiled_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+
+  if (compiled_ranked != interp_ranked) {
+    std::fprintf(stderr,
+                 "FATAL: compiled matcher diverged from the tree walker\n");
+    std::exit(1);
+  }
+  const double rows = static_cast<double>(machine_count) * passes;
+  sample.interp_rows_per_sec = rows / interp_s;
+  sample.compiled_rows_per_sec = rows / compiled_s;
+  sample.fallback_rows = stats.fallback_rows;
+  sample.matched = interp_ranked.size();
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +289,10 @@ int main(int argc, char** argv) {
   const auto fault_seed = static_cast<std::uint64_t>(
       cli.get("fault-seed", static_cast<std::int64_t>(42)));
 
+  g_batch_max = static_cast<std::size_t>(
+      cli.get("batch-max", static_cast<std::int64_t>(32)));
+  const std::string batch_compare = cli.get("batch-compare", std::string{});
+
   util::FaultInjector injector(fault_seed);
   g_durability.wal_dir = wal_dir;
   g_durability.wal_fsync_every = wal_fsync_every;
@@ -184,6 +301,79 @@ int main(int argc, char** argv) {
     // the bench measures the retry path, not degraded-mode pass-through.
     injector.arm_all(util::FaultSpec{fault_rate, /*max_consecutive=*/3});
     g_durability.faults = &injector;
+  }
+
+  if (!batch_compare.empty()) {
+    // Perf-smoke: the WAL-backed queued pipeline, batched vs unbatched.
+    // Both runs make every operation durable at its batch commit point;
+    // batch_max=1 is the pre-batching behavior (one flush+fsync per op).
+    const bool own_wal = wal_dir.empty();
+    if (own_wal) {
+      g_durability.wal_dir =
+          (std::filesystem::temp_directory_path() / "resmatch_micro_batch")
+              .string();
+      std::filesystem::remove_all(g_durability.wal_dir);
+    }
+    const std::size_t threads = std::clamp<std::size_t>(max_threads, 1, 4);
+    const std::size_t compare_ops = std::min<std::size_t>(ops, 20000);
+    g_spin_on_full = true;
+
+    g_batch_max = 1;
+    obs::Registry registry1;
+    const Sample batch1 =
+        measure(threads, compare_ops, groups, /*async=*/true, &registry1);
+    g_batch_max = 64;
+    obs::Registry registry64;
+    obs::MetricsSnapshot snapshot64;
+    const Sample batch64 = measure(threads, compare_ops, groups,
+                                   /*async=*/true, &registry64, &snapshot64);
+    const double batch_speedup =
+        batch1.jobs_per_sec > 0.0 ? batch64.jobs_per_sec / batch1.jobs_per_sec
+                                  : 0.0;
+
+    const std::size_t machine_count = 4096;
+    const MatcherSample matcher = measure_matcher(machine_count, 50);
+    const double match_speedup =
+        matcher.interp_rows_per_sec > 0.0
+            ? matcher.compiled_rows_per_sec / matcher.interp_rows_per_sec
+            : 0.0;
+
+    std::printf("batched admission, %zu threads x %zu ops, WAL at %s\n",
+                threads, compare_ops, g_durability.wal_dir.c_str());
+    std::printf("  batch_max=1     %12.0f ops/s\n", batch1.jobs_per_sec);
+    std::printf("  batch_max=64    %12.0f ops/s   (%.2fx)\n",
+                batch64.jobs_per_sec, batch_speedup);
+    std::printf("compiled matcher, %zu machines (%zu matched, "
+                "%llu fallback rows)\n",
+                machine_count, matcher.matched,
+                static_cast<unsigned long long>(matcher.fallback_rows));
+    std::printf("  tree walker     %12.0f rows/s\n",
+                matcher.interp_rows_per_sec);
+    std::printf("  bytecode        %12.0f rows/s   (%.2fx)\n",
+                matcher.compiled_rows_per_sec, match_speedup);
+
+    obs::BenchRecord record("micro_service_batch");
+    record.config("threads", static_cast<std::int64_t>(threads));
+    record.config("jobs_per_thread", static_cast<std::int64_t>(compare_ops));
+    record.config("groups", static_cast<std::int64_t>(groups));
+    record.config("machines", static_cast<std::int64_t>(machine_count));
+    record.config("wal", g_durability.wal_dir.empty() ? "off" : "on");
+    record.summary("ops_per_sec_batch1", batch1.jobs_per_sec);
+    record.summary("ops_per_sec_batch64", batch64.jobs_per_sec);
+    record.summary("batch_speedup", batch_speedup);
+    record.summary("match_rows_per_sec_interp", matcher.interp_rows_per_sec);
+    record.summary("match_rows_per_sec_compiled",
+                   matcher.compiled_rows_per_sec);
+    record.summary("match_speedup", match_speedup);
+    record.metrics(snapshot64);
+    if (own_wal) std::filesystem::remove_all(g_durability.wal_dir);
+    if (!record.write(batch_compare)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n",
+                   batch_compare.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", batch_compare.c_str());
+    return 0;
   }
 
   std::vector<std::size_t> counts;

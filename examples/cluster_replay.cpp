@@ -11,7 +11,7 @@
 //
 //   ./build/examples/cluster_replay [--jobs=N] [--shards=S]
 //                                   [--kill-after=K] [--workers=W]
-//                                   [--dir=PATH]
+//                                   [--batch-max=B] [--dir=PATH]
 //
 // --kill-after=K SIGKILLs one shard after K jobs (the shard the next job
 // routes to — the worst case), immediately restarts it, and lets it
@@ -52,9 +52,10 @@ struct ShardSpec {
 /// returns to the caller's stack — _exit on any failure.
 [[noreturn]] void run_shard(const ShardSpec& spec,
                             const core::CapacityLadder& ladder,
-                            std::size_t workers) {
+                            std::size_t workers, std::size_t batch_max) {
   svc::MatchdConfig config;
   config.workers = workers;
+  config.batch_max = batch_max;
   config.durability.wal_dir = spec.wal_dir;
   svc::Matchd matchd(config);
   matchd.set_ladder(ladder);
@@ -72,9 +73,9 @@ struct ShardSpec {
 }
 
 pid_t spawn_shard(const ShardSpec& spec, const core::CapacityLadder& ladder,
-                  std::size_t workers) {
+                  std::size_t workers, std::size_t batch_max) {
   const pid_t pid = ::fork();
-  if (pid == 0) run_shard(spec, ladder, workers);
+  if (pid == 0) run_shard(spec, ladder, workers, batch_max);
   return pid;
 }
 
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
   const auto kill_after = cli.get("kill-after", static_cast<std::int64_t>(-1));
   const auto workers = static_cast<std::size_t>(
       cli.get("workers", static_cast<std::int64_t>(0)));
+  const auto batch_max = static_cast<std::size_t>(
+      cli.get("batch-max", static_cast<std::int64_t>(32)));
   std::string dir = cli.get("dir", std::string{});
 
   if (dir.empty()) {
@@ -140,7 +143,7 @@ int main(int argc, char** argv) {
     spec.wal_dir = dir + "/wal" + std::to_string(s);
     fs::create_directories(spec.wal_dir);
     specs.push_back(spec);
-    pids.push_back(spawn_shard(spec, ladder, workers));
+    pids.push_back(spawn_shard(spec, ladder, workers, batch_max));
     if (pids.back() < 0) {
       std::fprintf(stderr, "FAIL: fork failed for shard %zu\n", s);
       return 1;
@@ -188,7 +191,8 @@ int main(int argc, char** argv) {
                   killed_shard, static_cast<int>(pids[killed_shard]), i);
       ::kill(pids[killed_shard], SIGKILL);
       ::waitpid(pids[killed_shard], nullptr, 0);
-      pids[killed_shard] = spawn_shard(specs[killed_shard], ladder, workers);
+      pids[killed_shard] =
+          spawn_shard(specs[killed_shard], ladder, workers, batch_max);
       if (pids[killed_shard] < 0) {
         std::fprintf(stderr, "FAIL: refork failed\n");
         return 1;

@@ -8,10 +8,16 @@
 // two must be byte-identical; this binary exits nonzero if they are not.
 //
 // Build & run:  ./build/examples/serve_replay [--jobs=N] [--workers=W]
+//                                             [--batch-max=B]
 //                                             [--metrics-out=PATH]
 //                                             [--wal-dir=DIR]
 //                                             [--crash-after=N] [--torn-tail]
 //                                             [--fault-rate=P] [--fault-seed=S]
+//
+// --batch-max sets the worker drain batch size (1 = per-op, the
+// pre-batching behavior). Driven serially, every batch size must produce
+// the same byte-identical decision stream — the determinism gate runs
+// this binary across batch sizes to enforce exactly that.
 //
 // --metrics-out writes a schema-v1 BENCH record (obs/bench_record.hpp)
 // carrying the replay verdict plus the observability registry dump: the
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
       cli.get("jobs", static_cast<std::int64_t>(8000)));
   const auto workers = static_cast<std::size_t>(
       cli.get("workers", static_cast<std::int64_t>(1)));
+  const auto batch_max = static_cast<std::size_t>(
+      cli.get("batch-max", static_cast<std::int64_t>(32)));
   const std::string metrics_out = cli.get("metrics-out", std::string{});
   const std::string wal_dir = cli.get("wal-dir", std::string{});
   const auto crash_after = cli.get("crash-after", static_cast<std::int64_t>(-1));
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
 
   sim::ServeReplayConfig config;
   config.matchd.workers = workers;
+  config.matchd.batch_max = batch_max;
   config.matchd.durability.wal_dir = wal_dir;
   if (fault_rate > 0.0) config.matchd.durability.faults = &injector;
   if (!metrics_out.empty()) {
@@ -135,6 +144,7 @@ int main(int argc, char** argv) {
     obs::BenchRecord record("serve_replay");
     record.config("jobs", static_cast<std::int64_t>(jobs));
     record.config("workers", static_cast<std::int64_t>(workers));
+    record.config("batch_max", static_cast<std::int64_t>(batch_max));
     record.summary("decisions", static_cast<double>(result.decisions));
     record.summary("mismatches", static_cast<double>(result.mismatches));
     record.summary("utilization_offline", result.offline.utilization);

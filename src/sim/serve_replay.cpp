@@ -122,18 +122,34 @@ ServeReplayResult serve_replay(const trace::Workload& workload,
 
 namespace {
 
-/// Submit one job and immediately report its outcome — the synchronous
+/// Submit one job and immediately report its outcome — the serial
 /// learn-per-job drive both crash_replay runs share. Explicit feedback
 /// (actual usage echoed back) so group state converges deterministically.
+/// With workers configured, each call round-trips the admission queue and
+/// batch-drain worker path via the adapter, so crash_replay also pins the
+/// batched pipeline to the same byte-identical decision stream.
 MiB drive_job(svc::Matchd& service, const trace::JobRecord& job) {
+  MiB granted = 0.0;
+  if (service.async_enabled()) {
+    svc::MatchdEstimator adapter(service);
+    granted = adapter.estimate(job, core::SystemState{});
+    core::Feedback fb;
+    fb.granted_mib = granted;
+    fb.success = job.used_mem_mib <= granted;
+    fb.used_mib = job.used_mem_mib;
+    fb.resource_failure = !fb.success;
+    adapter.feedback(job, fb);
+    return granted;
+  }
   const svc::MatchDecision decision = service.submit(job);
+  granted = decision.granted_mib;
   core::Feedback fb;
-  fb.granted_mib = decision.granted_mib;
-  fb.success = job.used_mem_mib <= decision.granted_mib;
+  fb.granted_mib = granted;
+  fb.success = job.used_mem_mib <= granted;
   fb.used_mib = job.used_mem_mib;
   fb.resource_failure = !fb.success;
   service.feedback(job, fb);
-  return decision.granted_mib;
+  return granted;
 }
 
 }  // namespace

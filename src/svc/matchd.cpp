@@ -31,7 +31,7 @@ Matchd::Matchd(MatchdConfig config)
     if (!config_.durability.wal_dir.empty()) {
       WalConfig wc;
       wc.dir = config_.durability.wal_dir;
-      wc.shards = store_.shard_count();
+      wc.shards = std::max<std::size_t>(1, config_.durability.wal_shards);
       wc.flush_every = config_.durability.wal_flush_every;
       wc.fsync_every = config_.durability.wal_fsync_every;
       wc.faults = config_.durability.faults;
@@ -108,7 +108,7 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
     return decision;
   }
 
-  bool durable = true;
+  bool buffered = true;
   const MiB granted = store_.with_group(
       key,
       [&] {
@@ -117,12 +117,19 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
       },
       [&](core::SaGroupState& g) {
         const MiB r = g.commit(ladder_);
-        // Under the shard lock: per-key record order in the log matches
-        // the order transitions were applied.
-        if (wal_) durable = wal_append_locked(key, g);
+        // Under the shard lock: frame ORDER is fixed at buffering time,
+        // so the I/O (and its backoff sleeps) can run after release
+        // without reordering the log or stalling the shard's other keys.
+        if (wal_) buffered = wal_buffer_locked(key, g);
         return r;
       });
   if (wal_) {
+    bool durable = buffered;
+    if (durable) {
+      durable = wal_commit(key);
+    } else {
+      wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!durable) {
       enter_degraded();
     } else {
@@ -149,7 +156,9 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
 
 MiB Matchd::preview(const trace::JobRecord& job) const {
   const std::uint64_t key = key_fn_(job);
-  const auto state = store_.peek(key);
+  // Lock-free read: previews ride the store's seqlock table and never
+  // contend with submit/feedback writers on the shard mutex.
+  const auto state = store_.peek_fast(key);
   if (!state) return ladder_.round_up(job.requested_mem_mib);
   return state->preview(ladder_);
 }
@@ -167,14 +176,20 @@ void Matchd::cancel(const trace::JobRecord& job, MiB granted) {
     degraded_ops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  bool durable = true;
+  bool buffered = true;
   if (store_.modify_if_present(key, [&](core::SaGroupState& g) {
         g.cancel(granted);
-        if (wal_) durable = wal_append_locked(key, g);
+        if (wal_) buffered = wal_buffer_locked(key, g);
       })) {
     counters_[store_.shard_of(key)].cancels.fetch_add(
         1, std::memory_order_relaxed);
     if (wal_) {
+      bool durable = buffered;
+      if (durable) {
+        durable = wal_commit(key);
+      } else {
+        wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (!durable) {
         enter_degraded();
       } else {
@@ -205,7 +220,7 @@ void Matchd::feedback(const JobOutcome& outcome) {
   // Create-if-missing mirrors the offline estimator: feedback for an
   // evicted (or never-seen) group re-enters at the request, then applies
   // the outcome.
-  bool durable = true;
+  bool buffered = true;
   const bool success = store_.with_group(
       key,
       [&] {
@@ -216,10 +231,16 @@ void Matchd::feedback(const JobOutcome& outcome) {
         const bool ok = g.apply_feedback(outcome.feedback,
                                          job.requested_mem_mib, ladder_,
                                          config_.beta);
-        if (wal_) durable = wal_append_locked(key, g);
+        if (wal_) buffered = wal_buffer_locked(key, g);
         return ok;
       });
   if (wal_) {
+    bool durable = buffered;
+    if (durable) {
+      durable = wal_commit(key);
+    } else {
+      wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!durable) {
       enter_degraded();
     } else {
@@ -295,37 +316,249 @@ PushResult Matchd::cancel_async(const trace::JobRecord& job, MiB granted,
 }
 
 void Matchd::worker_main(std::size_t /*worker_index*/) {
-  while (auto request = queue_->pop()) {
-    if (queue_wait_hist_) {
-      queue_wait_hist_->record(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        request->admitted)
-              .count());
+  const std::size_t batch_max = std::max<std::size_t>(1, config_.batch_max);
+  std::vector<Request> batch;
+  batch.reserve(batch_max);
+  for (;;) {
+    batch.clear();
+    if (queue_->pop_bulk(batch, batch_max, config_.batch_linger) == 0) {
+      return;  // closed and drained
     }
-    process(*request);
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      drained_.notify_all();
-    }
+    process_batch(batch);
   }
 }
 
-void Matchd::process(Request& request) {
-  switch (request.kind) {
-    case Request::Kind::kSubmit: {
-      const MatchDecision decision = submit(request.job);
-      if (request.on_decision) request.on_decision(decision);
-      break;
+void Matchd::process_batch(std::vector<Request>& batch) {
+  batch_drains_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_size_hist_) {
+    batch_size_hist_->record(static_cast<double>(batch.size()));
+  }
+  if (queue_wait_hist_) {
+    // Queue wait is per REQUEST: the batch's items were admitted at
+    // different times, so one drain timestamp serves them all but each
+    // keeps its own admission stamp. Requests admitted while the
+    // histogram did not exist carry no stamp and must be skipped, not
+    // recorded as an epoch-sized wait.
+    const auto now = std::chrono::steady_clock::now();
+    for (const Request& r : batch) {
+      if (r.admitted != std::chrono::steady_clock::time_point{}) {
+        queue_wait_hist_->record(
+            std::chrono::duration<double>(now - r.admitted).count());
+      }
     }
-    case Request::Kind::kFeedback: {
-      feedback(request.job, request.fb);
-      if (request.on_done) request.on_done();
-      break;
+  }
+
+  const std::size_t n = batch.size();
+  struct Item {
+    std::size_t pos;  ///< arrival position in `batch`
+    std::uint64_t key;
+    std::size_t shard;
+  };
+  /// Per-request results, indexed by arrival position; consumed by the
+  /// completion pass so callbacks run outside every store lock.
+  struct Done {
+    MatchDecision decision;
+    bool present = false;       ///< cancel found its group
+    bool success = false;       ///< feedback outcome
+    bool pass_through = false;  ///< served degraded (no state touched)
+  };
+  std::vector<Item> items;
+  items.reserve(n);
+  std::vector<Done> done(n);
+  std::vector<std::uint64_t> key_of(n);
+  std::vector<std::size_t> shard_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    key_of[i] = key_fn_(batch[i].job);
+    shard_of[i] = store_.shard_of(key_of[i]);
+    items.push_back(Item{i, key_of[i], shard_of[i]});
+  }
+
+  // Phase A: degraded checks. Heartbeat probes do their own WAL I/O, so
+  // they run before any store lock is taken — one probe per operation,
+  // the same cadence as the synchronous paths.
+  if (wal_) {
+    for (const Item& it : items) {
+      if (degraded_.load(std::memory_order_relaxed) &&
+          !try_exit_degraded(it.key)) {
+        done[it.pos].pass_through = true;
+      }
     }
-    case Request::Kind::kCancel: {
-      cancel(request.job, request.granted);
-      if (request.on_done) request.on_done();
-      break;
+  }
+
+  // Sort by shard — stable, so same-key requests keep their arrival
+  // (FIFO) order and per-group trajectories match an unbatched run;
+  // cross-key reordering within the batch commutes (distinct groups).
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.shard < b.shard;
+                   });
+
+  // Phase B, one shard run at a time: every transition of the run is
+  // applied under ONE shard-lock hold with its WAL frame buffered in
+  // order (no I/O under the lock). The commit is deferred to Phase C
+  // below: frame order is fixed at buffering time and each key maps to
+  // exactly one WAL file, so postponing the I/O past the remaining runs
+  // cannot reorder any key's records.
+  std::size_t total_frames = 0;
+  bool buffer_ok = true;
+  // Distinct WAL files this batch buffered into. Store shards outnumber
+  // WAL shards by design (DurabilityConfig::wal_shards), so many runs
+  // fold onto few files and the batch pays few fsyncs.
+  std::vector<std::size_t> wal_touched;
+  std::size_t run_begin = 0;
+  while (run_begin < n) {
+    const std::size_t shard = items[run_begin].shard;
+    std::size_t run_end = run_begin;
+    while (run_end < n && items[run_end].shard == shard) ++run_end;
+
+    std::size_t frames = 0;
+    store_.with_shard(shard, [&](auto& locked) {
+      for (std::size_t j = run_begin; j < run_end; ++j) {
+        const Item& it = items[j];
+        Request& r = batch[it.pos];
+        Done& d = done[it.pos];
+        if (d.pass_through) continue;
+        const auto buffer = [&](const core::SaGroupState& g) {
+          if (!wal_) return;
+          if (wal_buffer_locked(it.key, g)) {
+            ++frames;
+          } else {
+            buffer_ok = false;
+          }
+        };
+        switch (r.kind) {
+          case Request::Kind::kSubmit: {
+            const MiB granted = locked.with_group(
+                it.key,
+                [&] {
+                  return core::SaGroupState::fresh(r.job.requested_mem_mib,
+                                                   config_.alpha);
+                },
+                [&](core::SaGroupState& g) {
+                  const MiB v = g.commit(ladder_);
+                  buffer(g);
+                  return v;
+                });
+            d.decision.granted_mib = granted;
+            d.decision.group_key = it.key;
+            d.decision.lowered =
+                granted + kGrantEps <
+                ladder_.round_up(r.job.requested_mem_mib);
+            break;
+          }
+          case Request::Kind::kFeedback: {
+            d.success = locked.with_group(
+                it.key,
+                [&] {
+                  return core::SaGroupState::fresh(r.job.requested_mem_mib,
+                                                   config_.alpha);
+                },
+                [&](core::SaGroupState& g) {
+                  const bool ok =
+                      g.apply_feedback(r.fb, r.job.requested_mem_mib,
+                                       ladder_, config_.beta);
+                  buffer(g);
+                  return ok;
+                });
+            break;
+          }
+          case Request::Kind::kCancel: {
+            d.present =
+                locked.modify_if_present(it.key, [&](core::SaGroupState& g) {
+                  g.cancel(r.granted);
+                  buffer(g);
+                });
+            break;
+          }
+        }
+      }
+    });
+
+    if (frames > 0) {
+      total_frames += frames;
+      const std::size_t wal_shard = shard % wal_->shard_count();
+      if (std::find(wal_touched.begin(), wal_touched.end(), wal_shard) ==
+          wal_touched.end()) {
+        wal_touched.push_back(wal_shard);
+      }
+    }
+    run_begin = run_end;
+  }
+
+  // Phase C: one forced write+fsync per distinct WAL file the batch
+  // touched — the batch's durability points, amortized across every run
+  // that folded onto the same file.
+  if (wal_) {
+    if (!buffer_ok) {
+      wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+      enter_degraded();
+    }
+    bool committed_ok = buffer_ok;
+    for (const std::size_t wal_shard : wal_touched) {
+      if (wal_commit_force(wal_shard)) {
+        batch_wal_commits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // The frames stay buffered in order; they reach disk with the
+        // next successful commit on this file (or the final flush), and
+        // degraded mode stops new state from outrunning the log.
+        committed_ok = false;
+        enter_degraded();
+      }
+    }
+    if (committed_ok) {
+      appends_since_compact_.fetch_add(total_frames,
+                                       std::memory_order_relaxed);
+    }
+    maybe_compact();
+  }
+
+  // Phase D: counters, callbacks and completions in ARRIVAL order,
+  // outside every store lock — callbacks may re-enter the service
+  // (feedback_async from a decision callback is the common pattern).
+  for (std::size_t i = 0; i < n; ++i) {
+    Request& r = batch[i];
+    Done& d = done[i];
+    ShardCounters& c = counters_[shard_of[i]];
+    switch (r.kind) {
+      case Request::Kind::kSubmit: {
+        if (d.pass_through) {
+          // Pass-through grant: the rounded raw request, never lowered,
+          // nothing learned that the log could not record.
+          degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+          d.decision.granted_mib = ladder_.round_up(r.job.requested_mem_mib);
+          d.decision.group_key = key_of[i];
+          d.decision.lowered = false;
+        }
+        c.submissions.fetch_add(1, std::memory_order_relaxed);
+        if (d.decision.lowered) {
+          c.rewrites.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (r.on_decision) r.on_decision(d.decision);
+        break;
+      }
+      case Request::Kind::kFeedback: {
+        if (d.pass_through) {
+          degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          (d.success ? c.successes : c.failures)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+        if (r.on_done) r.on_done();
+        break;
+      }
+      case Request::Kind::kCancel: {
+        if (d.pass_through) {
+          degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+        } else if (d.present) {
+          c.cancels.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (r.on_done) r.on_done();
+        break;
+      }
+    }
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_.notify_all();
     }
   }
 }
@@ -361,6 +594,12 @@ void Matchd::register_metrics() {
   queue_wait_hist_ = &reg->histogram(
       "resmatch_matchd_queue_wait_seconds",
       "Time async requests spend in the admission queue", latency);
+  // 1 .. 4096 in factor-2 steps. The batched worker path records only
+  // this histogram plus queue wait — per-op latency histograms belong to
+  // the synchronous API, where one operation is one timed unit of work.
+  batch_size_hist_ = &reg->histogram(
+      "resmatch_batch_size", "Requests drained per worker batch",
+      obs::HistogramSpec{1.0, 2.0, 13});
 
   // Counters/gauges are pull providers over the atomics the service
   // already maintains — zero added work per operation. They capture
@@ -424,6 +663,16 @@ void Matchd::register_metrics() {
             "Requests waiting in the admission queue", {}, [this] {
               return queue_ ? static_cast<double>(queue_->size()) : 0.0;
             });
+  add_counter("resmatch_batch_drains_total",
+              "Bulk drains executed by the worker pool", {}, [this] {
+                return batch_drains_.load(std::memory_order_relaxed);
+              });
+  add_counter("resmatch_batch_wal_commits_total",
+              "Forced WAL commit points (one write+fsync per batch shard "
+              "run)",
+              {}, [this] {
+                return batch_wal_commits_.load(std::memory_order_relaxed);
+              });
 
   add_counter("resmatch_store_lookups_total",
               "Estimator-store group lookups, by result",
@@ -523,6 +772,9 @@ MatchdStats Matchd::stats() const {
   out.async_accepted = async_accepted_.load(std::memory_order_relaxed);
   out.async_rejected_full =
       async_rejected_full_.load(std::memory_order_relaxed);
+  out.batch_drains = batch_drains_.load(std::memory_order_relaxed);
+  out.batch_wal_commits =
+      batch_wal_commits_.load(std::memory_order_relaxed);
   out.queue_depth = queue_ ? queue_->size() : 0;
   out.store = store_.stats();
   out.groups = out.store.entries;
@@ -554,18 +806,22 @@ util::Expected<std::size_t> Matchd::restore_store(const std::string& path) {
 
 // --- durability --------------------------------------------------------------
 
-bool Matchd::wal_append_locked(std::uint64_t key,
+bool Matchd::wal_buffer_locked(std::uint64_t key,
                                const core::SaGroupState& g) {
+  // Pure encoding, no I/O: the shard lock only fixes frame ORDER. The
+  // retries (and their backoff sleeps) belong to wal_commit /
+  // wal_commit_force, which run after the lock is released — a sick disk
+  // backs off without stalling every other key hashed to the shard.
   const std::vector<double> fields = g.to_fields();
+  return wal_->append_buffered(store_.shard_of(key), key, fields.data(),
+                               fields.size());
+}
+
+bool Matchd::wal_commit(std::uint64_t key) {
   const std::size_t shard = store_.shard_of(key);
-  // Retries (and their backoff sleeps) run under the shard lock — other
-  // keys on the shard stall behind a sick disk, which is the honest
-  // outcome: proceeding would reorder the log. Backoff is capped in the
-  // low milliseconds; past it the caller flips to degraded mode.
   const util::RetryResult r = util::retry_with(
-      config_.durability.retry, config_.durability.retry_seed ^ key, [&] {
-        return wal_->append(shard, key, fields.data(), fields.size());
-      });
+      config_.durability.retry, config_.durability.retry_seed ^ key,
+      [&] { return wal_->commit(shard); });
   if (r.attempts > 1) {
     wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
   }
@@ -574,6 +830,21 @@ bool Matchd::wal_append_locked(std::uint64_t key,
     return false;
   }
   appends_since_compact_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Matchd::wal_commit_force(std::size_t shard) {
+  const util::RetryResult r = util::retry_with(
+      config_.durability.retry,
+      config_.durability.retry_seed ^ (0xBA7C4ULL + shard),
+      [&] { return wal_->flush(shard); });
+  if (r.attempts > 1) {
+    wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
+  }
+  if (!r.ok) {
+    wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   return true;
 }
 

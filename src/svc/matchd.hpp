@@ -24,11 +24,20 @@
 // by the proven capacity) — asserted by SaGroupState::invariants_hold in
 // the svc tests.
 //
+// Worker pool batching: each worker drains up to `batch_max` requests per
+// pop (waiting `batch_linger` for stragglers), sorts the batch by store
+// shard, applies every transition of a shard under ONE lock acquisition
+// with its WAL frames buffered in order, then commits the whole run with
+// a single forced write+fsync after the lock is released. batch_max=1
+// reproduces per-request commits through the same code path.
+//
 // Crash safety (opt-in via MatchdConfig::durability): every committed
-// group transition is appended to a per-shard write-ahead log (wal.hpp)
-// under the same shard lock that serialized the transition. Appends retry
-// with capped exponential backoff; past retry exhaustion the service
-// enters DEGRADED mode — submissions get pass-through grants (the rounded
+// group transition is framed into a per-shard write-ahead log (wal.hpp)
+// buffer under the same shard lock that serialized the transition — frame
+// order is fixed at buffering time — and the I/O (with its capped
+// exponential backoff retries) runs after the lock is released, so a sick
+// disk never stalls other keys on the shard. Past retry exhaustion the
+// service enters DEGRADED mode — submissions get pass-through grants (the rounded
 // raw request, never a lowered one), feedback/cancel are dropped, and each
 // degraded operation sends one heartbeat probe that restores normal
 // service the moment the log accepts writes again. recover() rebuilds the
@@ -44,6 +53,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/estimator.hpp"
 #include "core/group_state.hpp"
@@ -77,6 +87,15 @@ struct DurabilityConfig {
   /// Compact (rotate generations + snapshot + delete old logs)
   /// automatically after this many appends. 0 = only on checkpoint().
   std::uint64_t compact_every = 0;
+  /// Number of WAL log files. Deliberately decoupled from the store's
+  /// shard count: a batch commits each *WAL* shard it touched exactly
+  /// once, so fewer files mean fewer forced fsyncs per batch (a 64-entry
+  /// batch spread over 64 store shards pays at most `wal_shards` fsyncs,
+  /// not 64). More files reduce append-mutex contention on the
+  /// synchronous path. Keys map deterministically to files for any
+  /// store/WAL shard-count combination, so recovery and replay are
+  /// unaffected by this knob. Clamped to >= 1.
+  std::size_t wal_shards = 8;
   /// Backoff schedule for WAL appends and snapshot I/O. The consecutive-
   /// failure cap of an armed FaultInjector must stay below max_attempts
   /// for injected faults to be recoverable-by-retry.
@@ -101,6 +120,15 @@ struct MatchdConfig {
   /// Worker threads draining the admission queue. 0 = synchronous-only
   /// service (the async API then rejects with kClosed).
   std::size_t workers = 0;
+  /// Max requests one worker drains per batch. A batch takes each store
+  /// shard's lock once and pays one WAL write+fsync per distinct WAL
+  /// file touched (at most DurabilityConfig::wal_shards), so larger
+  /// batches amortize both costs. 1 = per-request commit points (the
+  /// unbatched behavior, through the same code path).
+  std::size_t batch_max = 32;
+  /// How long a partially filled batch waits for more arrivals before
+  /// processing. 0 (default) = never wait; latency traded for batch size.
+  std::chrono::microseconds batch_linger{0};
   /// Observability registry (not owned; must outlive the service). When
   /// set, the service exports latency histograms, queue-wait time,
   /// backpressure counters, and store hit/eviction/occupancy series under
@@ -148,6 +176,8 @@ struct MatchdStats {
   std::uint64_t cancels = 0;
   std::uint64_t async_accepted = 0;
   std::uint64_t async_rejected_full = 0;  ///< backpressure rejections
+  std::uint64_t batch_drains = 0;         ///< bulk drains by the worker pool
+  std::uint64_t batch_wal_commits = 0;    ///< forced batch commit points
   std::size_t queue_depth = 0;
   std::size_t groups = 0;
   std::uint64_t evictions = 0;
@@ -299,18 +329,29 @@ class Matchd {
   };
 
   void worker_main(std::size_t worker_index);
-  void process(Request& request);
+  /// The batched hot path: queue-wait accounting, shard-sorted transition
+  /// application (one lock hold per shard run), one forced WAL commit
+  /// point per run, then counters/callbacks/completions in arrival order.
+  void process_batch(std::vector<Request>& batch);
   [[nodiscard]] PushResult admit(Request&& request);
 
   void register_metrics();
   void unregister_metrics();
 
-  /// Append the group's post-transition state to the WAL, retrying per
-  /// policy. MUST be called from inside the store's with_group /
-  /// modify_if_present lambda: the shard lock is what orders records of
-  /// the same key in the log. Returns false after retry exhaustion.
-  [[nodiscard]] bool wal_append_locked(std::uint64_t key,
+  /// Frame the group's post-transition state into the WAL's user-space
+  /// buffer — no I/O, no sleeping. MUST be called from inside the store's
+  /// with_group / modify_if_present lambda: the shard lock is what orders
+  /// records of the same key in the log, and buffering fixes that order
+  /// before the lock is released. Returns false only after a crash.
+  [[nodiscard]] bool wal_buffer_locked(std::uint64_t key,
                                        const core::SaGroupState& g);
+  /// Cadence commit of the key's shard (the synchronous paths), retrying
+  /// with backoff. Called AFTER the shard lock is released. Returns false
+  /// at retry exhaustion.
+  [[nodiscard]] bool wal_commit(std::uint64_t key);
+  /// Forced commit point of one batch shard run: write + fsync everything
+  /// buffered, retrying with backoff outside any lock.
+  [[nodiscard]] bool wal_commit_force(std::size_t shard);
   void enter_degraded();
   [[nodiscard]] bool try_exit_degraded(std::uint64_t key);
   /// Opportunistic auto-compaction once compact_every appends accumulate;
@@ -344,6 +385,8 @@ class Matchd {
 
   std::atomic<std::uint64_t> async_accepted_{0};
   std::atomic<std::uint64_t> async_rejected_full_{0};
+  std::atomic<std::uint64_t> batch_drains_{0};
+  std::atomic<std::uint64_t> batch_wal_commits_{0};
 
   /// Latency instruments (owned by config_.metrics; null when
   /// uninstrumented). Counters are exported as pull providers over the
@@ -353,6 +396,7 @@ class Matchd {
   obs::Histogram* feedback_hist_ = nullptr;
   obs::Histogram* cancel_hist_ = nullptr;
   obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
   std::uint32_t sample_mask_ = 0;
   /// (name, labels) of every provider registered against the registry,
   /// removed in the destructor so providers never outlive their captures.

@@ -14,12 +14,14 @@
 // bench/micro_service.cpp for the measured scaling).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace resmatch::svc {
 
@@ -65,6 +67,46 @@ class BoundedMpmcQueue {
     return item;
   }
 
+  /// Blocking bulk pop: waits for at least one item (or close), then
+  /// drains up to `max` items into `out`, preserving FIFO order. With a
+  /// positive `linger`, a partially filled batch waits up to that long
+  /// for more items before returning — latency traded for batch size.
+  /// Returns the number of items appended to `out`; 0 only when the
+  /// queue is closed AND fully drained (the consumer-exit signal, same
+  /// contract as pop()).
+  std::size_t pop_bulk(std::vector<T>& out, std::size_t max,
+                       std::chrono::microseconds linger =
+                           std::chrono::microseconds{0}) {
+    if (max == 0) max = 1;
+    std::size_t taken = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    const auto take = [&] {
+      while (!items_.empty() && taken < max) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    };
+    take();
+    if (taken == 0) return 0;  // closed and drained
+    if (taken < max && linger.count() > 0 && !closed_) {
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      while (taken < max && !closed_) {
+        if (!not_empty_.wait_until(lock, deadline, [&] {
+              return !items_.empty() || closed_;
+            })) {
+          break;  // linger expired with no new arrivals
+        }
+        take();
+      }
+    }
+    const bool drained = items_.empty();
+    lock.unlock();
+    if (drained) maybe_drained_.notify_all();
+    return taken;
+  }
+
   /// Close the queue: pending items still drain, new pushes are rejected.
   void close() {
     {
@@ -75,12 +117,15 @@ class BoundedMpmcQueue {
     maybe_drained_.notify_all();
   }
 
-  /// Block until every queued item has been popped (or the queue closed).
-  /// Note: "popped" not "processed" — callers needing full completion
-  /// barriers should count completions themselves.
+  /// Block until every queued item has been popped. Close() does NOT cut
+  /// this short: accepted items still drain after close (the pop()
+  /// contract), so "closed" and "empty" are independent conditions and
+  /// only the latter releases the waiter. Note: "popped" not
+  /// "processed" — callers needing full completion barriers should count
+  /// completions themselves.
   void wait_empty() {
     std::unique_lock<std::mutex> lock(mutex_);
-    maybe_drained_.wait(lock, [&] { return items_.empty() || closed_; });
+    maybe_drained_.wait(lock, [&] { return items_.empty(); });
   }
 
   [[nodiscard]] std::size_t size() const {

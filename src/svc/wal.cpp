@@ -151,15 +151,10 @@ bool Wal::append_heartbeat(std::size_t shard) {
   return append_record(shard, WalRecordType::kHeartbeat, 0, nullptr, 0);
 }
 
-bool Wal::append_record(std::size_t shard, WalRecordType type,
-                        std::uint64_t key, const double* fields,
-                        std::size_t n_fields) {
-  Shard& s = shards_[shard % shards_.size()];
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (crashed_ || s.fd < 0) return false;
-
+std::size_t Wal::encode_locked(Shard& s, WalRecordType type,
+                               std::uint64_t key, const double* fields,
+                               std::size_t n_fields) {
   const std::size_t buf_before = s.buf.size();
-
   // Encode the payload straight into the shard buffer (no staging copy);
   // frame_end patches the length and CRC over exactly what lands on disk.
   std::vector<char>& buf = s.buf;
@@ -177,6 +172,51 @@ bool Wal::append_record(std::size_t shard, WalRecordType type,
   }
   util::frame_end(buf, mark);
   ++s.pending_records;
+  return buf_before;
+}
+
+bool Wal::append_buffered(std::size_t shard, std::uint64_t key,
+                          const double* fields, std::size_t n_fields) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+  (void)encode_locked(s, WalRecordType::kUpsert, key, fields, n_fields);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Wal::commit(std::size_t shard) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+  if (s.pending_records >= config_.flush_every) {
+    // flush_locked also runs the cadence fsync. No rollback on failure:
+    // the buffer keeps every frame, in order, for the caller's retry.
+    if (flush_locked(s) != FlushOutcome::kOk) {
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else if (s.unsynced_records >= config_.fsync_every) {
+    // A previous commit's flush landed but its cadence fsync failed;
+    // retry the fsync alone.
+    if (!fsync_locked(s)) {
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Wal::append_record(std::size_t shard, WalRecordType type,
+                        std::uint64_t key, const double* fields,
+                        std::size_t n_fields) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+
+  std::vector<char>& buf = s.buf;
+  const std::size_t buf_before =
+      encode_locked(s, type, key, fields, n_fields);
 
   if (s.pending_records >= config_.flush_every) {
     const FlushOutcome outcome = flush_locked(s);

@@ -114,6 +114,22 @@ class Wal {
   /// heartbeat commits, group appends will too.
   [[nodiscard]] bool append_heartbeat(std::size_t shard);
 
+  /// Encode one record into the shard's user-space buffer WITHOUT any
+  /// write(2)/fsync: no I/O, no retries, no sleeping — safe to call with
+  /// a store shard lock held. Frame order in the log is fixed at
+  /// buffering time, so the deferred commit() can retry I/O without ever
+  /// reordering records. Returns false only after a (simulated) crash.
+  [[nodiscard]] bool append_buffered(std::size_t shard, std::uint64_t key,
+                                     const double* fields,
+                                     std::size_t n_fields);
+
+  /// The deferred I/O half of append(): push buffered records down per
+  /// the flush_every/fsync_every cadence. On failure the buffer is
+  /// preserved in order, so the caller may simply retry commit() — with
+  /// backoff, outside any store lock. (A failed cadence fsync leaves the
+  /// records in the file; the retry re-attempts the fsync alone.)
+  [[nodiscard]] bool commit(std::size_t shard);
+
   /// Flush buffered records and fsync one shard / all shards. The
   /// shutdown path calls flush_all(); a crash instead loses whatever the
   /// flush/fsync cadence had not yet pushed down.
@@ -170,6 +186,10 @@ class Wal {
   [[nodiscard]] bool append_record(std::size_t shard, WalRecordType type,
                                    std::uint64_t key, const double* fields,
                                    std::size_t n_fields);
+  /// Encode one frame into the shard buffer. Caller holds the shard
+  /// mutex; returns the buffer size before the frame (the rollback mark).
+  std::size_t encode_locked(Shard& s, WalRecordType type, std::uint64_t key,
+                            const double* fields, std::size_t n_fields);
 
   /// How a flush attempt left the shard. The distinction matters to
   /// append_record's rollback: after kWriteFailed the buffer still holds

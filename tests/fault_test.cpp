@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -889,6 +890,150 @@ TEST(MatchdWalTest, ConcurrentFeedbackAndCompactionHammer) {
   auto recovery = restarted.recover();
   ASSERT_TRUE(recovery.has_value()) << recovery.error();
   EXPECT_EQ(store_rows(restarted, "hammer_after"), before);
+}
+
+// --- batched admission durability --------------------------------------------
+
+TEST(MatchdWalTest, BackoffSleepsDoNotHoldShardLock) {
+  // Regression: wal_append_locked used to run its RetryPolicy backoff
+  // sleeps INSIDE the estimator-store shard lock, so one key's disk
+  // trouble stalled every reader of the shard for the full retry budget.
+  // The fix buffers frames under the lock and retries the commit after
+  // release; anything needing the shard lock (here: stats(), which sizes
+  // the store) must stay fast while a writer is mid-backoff.
+  TempDir dir("backoff_lock");
+  util::FaultInjector injector(11);
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 3;
+  config.durability.retry.initial_backoff = std::chrono::microseconds(150'000);
+  config.durability.retry.max_backoff = std::chrono::microseconds(150'000);
+  config.durability.retry.multiplier = 1.0;
+  config.durability.retry.jitter = 0.0;
+  config.store.shards = 1;  // the one stripe everything contends on
+  Matchd service(config);
+  service.set_ladder(test_ladder());
+  drive_job(service, make_job(1));  // healthy warm-up
+
+  // Every flush fails: the submit below spends ~300ms in backoff sleeps.
+  injector.arm(util::FaultSite::kWalAppend, {1.0, UINT32_MAX});
+  std::thread writer([&service] { (void)service.submit(make_job(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  (void)service.stats();
+  const auto stalled = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  writer.join();
+
+  EXPECT_LT(stalled.count(), 150)
+      << "stats() blocked behind a WAL retry backoff: the shard lock is "
+         "being held across the sleeps again";
+  EXPECT_TRUE(service.degraded());
+  EXPECT_GT(service.stats().wal_giveups, 0u);
+}
+
+TEST(MatchdWalTest, BatchCommitPointMakesEveryBatchDurable) {
+  // Counter-experiment to CrashDropsWhatFlushCadenceHadNotWritten: the
+  // same never-flush cadence, but ops go through the BATCHED worker path,
+  // whose per-batch forced flush+fsync is its own commit point. A crash
+  // after drain() must lose nothing.
+  TempDir dir("batchcommit");
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.wal_flush_every = 1U << 20;
+  config.workers = 2;
+  config.queue_capacity = 2048;
+  config.batch_max = 16;
+  constexpr std::uint64_t kJobs = 200;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    std::atomic<std::uint64_t> resolved{0};
+    for (std::uint64_t n = 0; n < kJobs; ++n) {
+      const trace::JobRecord job = make_job(n);
+      ASSERT_EQ(service.submit_async(
+                    job,
+                    [&service, &resolved, job](const MatchDecision& d) {
+                      core::Feedback fb;
+                      fb.granted_mib = d.granted_mib;
+                      fb.success = job.used_mem_mib <= d.granted_mib;
+                      fb.used_mib = job.used_mem_mib;
+                      ASSERT_EQ(service.feedback_async(
+                                    JobOutcome{job, fb},
+                                    [&resolved] { resolved.fetch_add(1); }),
+                                PushResult::kOk);
+                    }),
+                PushResult::kOk);
+    }
+    while (resolved.load() < kJobs) service.drain();
+    service.simulate_crash();
+  }
+  std::size_t records = 0;
+  auto replay = Wal::replay(
+      dir.path(),
+      [&](std::uint64_t, const double*, std::size_t) { ++records; });
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(records, 2 * kJobs);  // every batched submit + feedback
+}
+
+TEST(MatchdWalTest, FailedBatchCommitKeepsFramesBufferedInOrder) {
+  // When the per-batch flush fails past retries the service degrades, but
+  // the already-encoded frames stay in the shard buffer IN ORDER: once
+  // the log heals, the next commit writes them before anything newer, so
+  // recovery still reconstructs the exact live state.
+  TempDir dir("batchfail");
+  util::FaultInjector injector(29);
+  MatchdConfig config;
+  config.durability.wal_dir = dir.path();
+  config.durability.faults = &injector;
+  config.durability.retry.max_attempts = 2;
+  config.durability.retry.initial_backoff = std::chrono::microseconds(1);
+  config.store.shards = 1;
+  config.workers = 2;
+  config.batch_max = 8;
+
+  std::multiset<std::string> before;
+  {
+    Matchd service(config);
+    service.set_ladder(test_ladder());
+    MatchdEstimator adapter(service);
+    const auto drive_async = [&](std::uint64_t n) {
+      const trace::JobRecord job = make_job(n);
+      const MiB granted = adapter.estimate(job, core::SystemState{});
+      core::Feedback fb;
+      fb.granted_mib = granted;
+      fb.success = job.used_mem_mib <= granted;
+      fb.used_mib = job.used_mem_mib;
+      adapter.feedback(job, fb);
+    };
+    for (std::uint64_t n = 0; n < 20; ++n) drive_async(n);
+
+    // This op's transition commits to the store, but its batch flush
+    // fails: frame buffered, service degraded.
+    injector.arm(util::FaultSite::kWalAppend, {1.0, UINT32_MAX});
+    drive_async(100);
+    service.drain();
+    EXPECT_TRUE(service.degraded());
+    EXPECT_GT(service.stats().wal_giveups, 0u);
+
+    // Heal: the heartbeat probe restores service and the buffered frames
+    // ride out with the next successful commit.
+    injector.arm(util::FaultSite::kWalAppend, {0.0, UINT32_MAX});
+    for (std::uint64_t n = 200; n < 210; ++n) drive_async(n);
+    service.drain();
+    EXPECT_FALSE(service.degraded());
+
+    before = store_rows(service, "batchfail_before");
+    service.simulate_crash();
+  }
+
+  Matchd restarted(config);
+  restarted.set_ladder(test_ladder());
+  auto recovery = restarted.recover();
+  ASSERT_TRUE(recovery.has_value()) << recovery.error();
+  EXPECT_EQ(store_rows(restarted, "batchfail_after"), before);
 }
 
 }  // namespace

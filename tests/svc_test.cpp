@@ -670,14 +670,243 @@ TEST(Matchd, DrainRacesAdmitAndMetricsSnapshots) {
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(service.invariant_violations(), 0u);
 
-  // The per-op submit histogram saw every synchronous-path submission;
-  // async submissions time the same code under the worker, so the two
-  // series must add up to at least the submission count.
+  // Per-op latency histograms belong to the synchronous API; the batched
+  // worker path records batch sizes instead. Feedback here is always
+  // synchronous (called from the decision callback), so its histogram
+  // saw every operation; batch-size observations must cover every
+  // async-admitted submission.
   const obs::MetricsSnapshot snap = registry.snapshot();
-  const auto* submit = snap.find("resmatch_matchd_op_latency_seconds",
-                                 {{"op", "submit"}});
-  ASSERT_NE(submit, nullptr);
-  EXPECT_EQ(submit->histogram.count, kTotal);
+  const auto* fb = snap.find("resmatch_matchd_op_latency_seconds",
+                             {{"op", "feedback"}});
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fb->histogram.count, kTotal);
+  const auto* batches = snap.find("resmatch_batch_size");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_EQ(batches->histogram.count, stats.batch_drains);
+  EXPECT_EQ(stats.async_accepted,
+            static_cast<std::uint64_t>(batches->histogram.sum));
+}
+
+// --- bulk pop and batched admission ------------------------------------------
+
+TEST(MpmcQueue, PopBulkDrainsFifoUpToMax) {
+  BoundedMpmcQueue<int> queue(16);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_EQ(queue.try_push(int{i}), PushResult::kOk);
+  }
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_bulk(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(queue.pop_bulk(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+  // Fewer available than max: take what is there, no blocking (the queue
+  // is not empty so the initial wait passes straight through).
+  EXPECT_EQ(queue.pop_bulk(out, 4), 2u);
+  EXPECT_EQ(out.back(), 10);
+  queue.close();
+  // Closed and drained: the consumer-exit signal.
+  EXPECT_EQ(queue.pop_bulk(out, 4), 0u);
+}
+
+TEST(MpmcQueue, PopBulkLingerCollectsLateArrivals) {
+  BoundedMpmcQueue<int> queue(16);
+  ASSERT_EQ(queue.try_push(1), PushResult::kOk);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(queue.try_push(2), PushResult::kOk);
+  });
+  // The batch is short of max, so the consumer lingers; the late arrival
+  // completes it well before the deadline (a full batch ends the linger).
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_bulk(out, 2, std::chrono::microseconds(2'000'000)),
+            2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  producer.join();
+}
+
+TEST(MpmcQueue, WaitEmptyWaitsForDrainEvenAfterClose) {
+  // Regression: wait_empty() used to return as soon as the queue was
+  // closed, even with items still queued — Matchd::drain() could then
+  // report completion while admitted requests sat unprocessed.
+  BoundedMpmcQueue<int> queue(8);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.try_push(int{i}), PushResult::kOk);
+  }
+  queue.close();
+
+  std::thread consumer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    while (queue.pop().has_value()) {
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  queue.wait_empty();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  consumer.join();
+
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            50)
+      << "wait_empty returned before the consumer drained the queue";
+}
+
+TEST(EstimatorStore, PeekFastMatchesPeekAcrossGrowthAndEviction) {
+  StoreConfig config;
+  config.shards = 1;  // every key in one stripe: growth + eviction visible
+  config.max_groups = 128;
+  EstimatorStore<core::SaGroupState> store(config);
+
+  // 200 inserts into 128 capacity: the read table grows past its initial
+  // 64 slots AND the first 72 keys get evicted.
+  for (std::uint64_t key = 1; key <= 200; ++key) {
+    store.with_group(
+        key,
+        [key] {
+          return core::SaGroupState::fresh(static_cast<double>(key), 2.0);
+        },
+        [](core::SaGroupState&) { return 0; });
+  }
+  for (std::uint64_t key = 1; key <= 200; ++key) {
+    const auto slow = store.peek(key);
+    const auto fast = store.peek_fast(key);
+    ASSERT_EQ(slow.has_value(), fast.has_value()) << "key " << key;
+    if (slow) {
+      EXPECT_EQ(slow->to_fields(), fast->to_fields()) << "key " << key;
+    }
+  }
+
+  // Mutations publish: the fast path must see post-write state.
+  ASSERT_TRUE(store.modify_if_present(
+      200, [](core::SaGroupState& s) { s.estimate = 7.5; }));
+  const auto after = store.peek_fast(200);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->estimate, 7.5);
+}
+
+TEST(EstimatorStore, PeekFastSeqlockHammer) {
+  // Torn-read detector (run under the TSan CI job too): writers keep the
+  // pair (estimate, last_good = 2 * estimate) in lockstep under the shard
+  // lock; lock-free readers must never observe the pair out of sync. A
+  // churn thread concurrently grows the read table so readers also race
+  // table swaps.
+  StoreConfig config;
+  config.shards = 1;
+  config.max_groups = 4096;
+  EstimatorStore<core::SaGroupState> store(config);
+  constexpr std::uint64_t kKey = 7;
+  store.with_group(
+      kKey, [] { return core::SaGroupState::fresh(1.0, 2.0); },
+      [](core::SaGroupState& s) {
+        s.estimate = 1.0;
+        s.last_good = 2.0;
+      });
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&store, &stop, &torn] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s = store.peek_fast(kKey);
+        if (s && s->last_good != 2.0 * s->estimate) torn.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&store] {
+      for (int i = 0; i < 20000; ++i) {
+        store.modify_if_present(kKey, [](core::SaGroupState& s) {
+          const double next = s.estimate + 1.0;
+          s.estimate = next;
+          s.last_good = 2.0 * next;
+        });
+      }
+    });
+  }
+  std::thread churn([&store] {
+    for (std::uint64_t key = 1000; key < 1600; ++key) {
+      store.with_group(
+          key, [] { return core::SaGroupState::fresh(8.0, 2.0); },
+          [](core::SaGroupState&) { return 0; });
+    }
+  });
+
+  for (auto& w : writers) w.join();
+  churn.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  const auto final_state = store.peek_fast(kKey);
+  ASSERT_TRUE(final_state.has_value());
+  EXPECT_EQ(final_state->estimate, 1.0 + 2 * 20000);
+}
+
+TEST(Matchd, BatchedPipelineMatchesSyncPerKeyChains) {
+  // Keys are independent estimator groups, so however the worker batches
+  // interleave THEM, each key's own chain must produce the grant stream
+  // the synchronous service produces — batching may reorder across keys
+  // but never within one (the batch sort is stable).
+  constexpr std::size_t kKeys = 8;
+  constexpr int kOpsPerKey = 40;
+  const core::CapacityLadder ladder = test_ladder();
+
+  // Per-key reference streams from a workers=0 service.
+  std::vector<std::vector<MiB>> expected(kKeys);
+  {
+    Matchd sync_service;
+    sync_service.set_ladder(ladder);
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      for (int i = 0; i < kOpsPerKey; ++i) {
+        const trace::JobRecord job =
+            make_job(64.0, 5.0 + static_cast<double>(k),
+                     static_cast<UserId>(k + 1), 1);
+        const MatchDecision d = sync_service.submit(job);
+        expected[k].push_back(d.granted_mib);
+        sync_service.feedback(job, outcome(job, d.granted_mib));
+      }
+    }
+  }
+
+  for (const std::size_t batch_max : {std::size_t{1}, std::size_t{8},
+                                      std::size_t{64}}) {
+    MatchdConfig config;
+    config.workers = 2;
+    config.queue_capacity = 256;
+    config.batch_max = batch_max;
+    config.batch_linger = std::chrono::microseconds{200};
+    Matchd service(config);
+    service.set_ladder(ladder);
+
+    std::vector<std::vector<MiB>> got(kKeys);
+    std::vector<std::thread> drivers;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      drivers.emplace_back([&service, &got, k] {
+        MatchdEstimator adapter(service);
+        for (int i = 0; i < kOpsPerKey; ++i) {
+          const trace::JobRecord job =
+              make_job(64.0, 5.0 + static_cast<double>(k),
+                       static_cast<UserId>(k + 1), 1);
+          const MiB granted = adapter.estimate(job, core::SystemState{});
+          got[k].push_back(granted);
+          adapter.feedback(job, outcome(job, granted));
+        }
+      });
+    }
+    for (auto& d : drivers) d.join();
+    service.drain();
+
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      EXPECT_EQ(got[k], expected[k]) << "batch_max=" << batch_max
+                                     << " key=" << k;
+    }
+    const MatchdStats stats = service.stats();
+    EXPECT_EQ(stats.submissions, kKeys * kOpsPerKey);
+    EXPECT_GT(stats.batch_drains, 0u);
+    EXPECT_EQ(service.invariant_violations(), 0u);
+  }
 }
 
 // --- decision equivalence with the offline simulator -------------------------
