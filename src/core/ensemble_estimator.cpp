@@ -1,0 +1,191 @@
+#include "core/ensemble_estimator.hpp"
+
+#include <cmath>
+
+namespace resmatch::core {
+
+EnsembleEstimator::EnsembleEstimator(EnsembleConfig config)
+    : config_(config), quantile_(config.quantile) {}
+
+void EnsembleEstimator::set_ladder(CapacityLadder ladder) {
+  quantile_.set_ladder(ladder);
+  Estimator::set_ladder(std::move(ladder));
+}
+
+bool EnsembleEstimator::model_ready(const Group& g) const noexcept {
+  return !g.fallback && quantile_.warm() &&
+         quantile_.coverage() >= config_.coverage_threshold;
+}
+
+EnsembleEstimator::Group& EnsembleEstimator::group_for(
+    const trace::JobRecord& job) {
+  const std::uint64_t key = default_similarity_key(job);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    Group fresh;
+    fresh.sa = SaGroupState::fresh(job.requested_mem_mib, config_.alpha);
+    it = index_.emplace(key, groups_.size()).first;
+    groups_.emplace_back(key, fresh);
+  }
+  return groups_[it->second].second;
+}
+
+const EnsembleEstimator::Group* EnsembleEstimator::find_group(
+    const trace::JobRecord& job) const {
+  const auto it = index_.find(default_similarity_key(job));
+  if (it == index_.end()) return nullptr;
+  return &groups_[it->second].second;
+}
+
+MiB EnsembleEstimator::estimate(const trace::JobRecord& job,
+                                const SystemState& state) {
+  Group& g = group_for(job);
+  if (model_ready(g)) {
+    // The model's prediction is stateless (it advances only in feedback),
+    // so serving it commits nothing on the SA side either.
+    g.model_served = true;
+    return quantile_.preview(job, state);
+  }
+  g.model_served = false;
+  return g.sa.commit(ladder_);
+}
+
+MiB EnsembleEstimator::preview(const trace::JobRecord& job,
+                               const SystemState& state) const {
+  const Group* g = find_group(job);
+  if (g == nullptr) {
+    // A warm model prices unseen groups off everything learned so far —
+    // the cross-group transfer Algorithm 1 cannot do; otherwise the first
+    // SA grant is the rounded request.
+    if (quantile_.warm() && quantile_.coverage() >= config_.coverage_threshold) {
+      return quantile_.preview(job, state);
+    }
+    return ladder_.round_up(job.requested_mem_mib);
+  }
+  if (model_ready(*g)) return quantile_.preview(job, state);
+  return g->sa.preview(ladder_);
+}
+
+void EnsembleEstimator::cancel(const trace::JobRecord& job, MiB granted) {
+  const auto it = index_.find(default_similarity_key(job));
+  if (it == index_.end()) return;
+  Group& g = groups_[it->second].second;
+  if (g.model_served) return;  // model serves statelessly; nothing to undo
+  g.sa.cancel(granted);
+}
+
+void EnsembleEstimator::feedback(const trace::JobRecord& job,
+                                 const Feedback& fb) {
+  Group& g = group_for(job);
+  if (fb.success) {
+    // A success is proven capacity no matter who granted it: fold it into
+    // the SA state so a later fallback resumes from fresh knowledge.
+    (void)g.sa.apply_feedback(fb, job.requested_mem_mib, ladder_, config_.beta);
+    if (g.model_served) g.consecutive_failures = 0;
+  } else if (!g.model_served) {
+    (void)g.sa.apply_feedback(fb, job.requested_mem_mib, ladder_, config_.beta);
+  } else if (fb.resource_failure.value_or(true)) {
+    // A model-served kill is NOT charged to SA (the grant was not SA's;
+    // freezing alpha over it would be unfair) — it counts toward this
+    // group's permanent fallback instead.
+    if (++g.consecutive_failures >= config_.fallback_after) g.fallback = true;
+  }
+  // The model trains on every outcome (it self-filters implicit feedback).
+  quantile_.feedback(job, fb);
+}
+
+std::size_t EnsembleEstimator::fallback_groups() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, g] : groups_) {
+    (void)key;
+    if (g.fallback) ++n;
+  }
+  return n;
+}
+
+std::vector<double> EnsembleEstimator::save_state() const {
+  const auto model = quantile_.save_state();
+  std::vector<double> out;
+  out.reserve(3 + model.size() + groups_.size() * kGroupFields);
+  out.push_back(kStateVersion);
+  out.push_back(static_cast<double>(model.size()));
+  out.insert(out.end(), model.begin(), model.end());
+  out.push_back(static_cast<double>(groups_.size()));
+  for (const auto& [key, g] : groups_) {
+    // 64-bit keys do not fit a double exactly; split into exact 32-bit
+    // halves.
+    out.push_back(static_cast<double>(key >> 32));
+    out.push_back(static_cast<double>(key & 0xffffffffu));
+    const auto sa = g.sa.to_fields();
+    out.insert(out.end(), sa.begin(), sa.end());
+    out.push_back(static_cast<double>(g.consecutive_failures));
+    out.push_back(g.fallback ? 1.0 : 0.0);
+    out.push_back(g.model_served ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+bool EnsembleEstimator::load_state(const std::vector<double>& state) {
+  if (state.size() < 2 || state[0] != kStateVersion) return false;
+  std::size_t pos = 1;
+  const auto take_count = [&](std::size_t& out_count) {
+    if (pos >= state.size()) return false;
+    const double raw = state[pos++];
+    if (!(raw >= 0.0) || raw != std::floor(raw)) return false;
+    out_count = static_cast<std::size_t>(raw);
+    return true;
+  };
+  std::size_t model_len = 0;
+  if (!take_count(model_len) || state.size() - pos < model_len) return false;
+  const std::vector<double> model(state.begin() + static_cast<long>(pos),
+                                  state.begin() + static_cast<long>(pos + model_len));
+  pos += model_len;
+  std::size_t group_count = 0;
+  if (!take_count(group_count)) return false;
+  if (state.size() - pos != group_count * kGroupFields) return false;
+
+  std::vector<std::pair<std::uint64_t, Group>> groups;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  groups.reserve(group_count);
+  for (std::size_t i = 0; i < group_count; ++i) {
+    const double hi = state[pos], lo = state[pos + 1];
+    if (!(hi >= 0.0 && hi <= 0xffffffffu && hi == std::floor(hi)) ||
+        !(lo >= 0.0 && lo <= 0xffffffffu && lo == std::floor(lo))) {
+      return false;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+    const auto sa = SaGroupState::from_fields(
+        {state.begin() + static_cast<long>(pos + 2),
+         state.begin() + static_cast<long>(pos + 7)});
+    if (!sa) return false;
+    const double consec = state[pos + 7];
+    if (!(consec >= 0.0) || consec != std::floor(consec)) return false;
+    Group g;
+    g.sa = *sa;
+    g.consecutive_failures = static_cast<std::uint32_t>(consec);
+    g.fallback = state[pos + 8] != 0.0;
+    g.model_served = state[pos + 9] != 0.0;
+    if (!index.emplace(key, groups.size()).second) return false;  // dup key
+    groups.emplace_back(key, g);
+    pos += kGroupFields;
+  }
+  // Validate everything before mutating: a rejected blob leaves the
+  // estimator untouched.
+  if (!quantile_.load_state(model)) return false;
+  groups_ = std::move(groups);
+  index_ = std::move(index);
+  return true;
+}
+
+std::optional<ModelStats> EnsembleEstimator::model_stats() const {
+  ModelStats stats = quantile_.model_stats().value_or(ModelStats{});
+  stats.groups_fallback = fallback_groups();
+  const bool serving = quantile_.warm() &&
+                       quantile_.coverage() >= config_.coverage_threshold;
+  stats.groups_model =
+      serving ? groups_.size() - stats.groups_fallback : 0;
+  return stats;
+}
+
+}  // namespace resmatch::core

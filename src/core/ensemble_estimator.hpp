@@ -1,0 +1,116 @@
+// Cold-start ensemble: successive approximation while the learned model
+// warms up, per-group hand-over to quantile regression once it earns trust.
+//
+// The learned estimators (regression, quantile) share a cold-start flaw:
+// until min_observations labeled jobs accumulate they pass requests
+// through unchanged, forfeiting exactly the easy savings Algorithm 1
+// harvests from its very first repeat submission. Conversely Algorithm 1
+// never transfers knowledge across groups, so a brand-new group restarts
+// from the full request even when thousands of similar jobs have been
+// observed. This estimator runs both and routes per similarity group:
+//
+//   * cold (model under-trained or coverage below threshold): the group is
+//     served by its own SaGroupState, byte-identical to the pure
+//     successive-approximation estimator — the ensemble can never do worse
+//     than SA while the model trains;
+//   * warm: the group is served by the shared quantile model, which prices
+//     new groups off everything learned so far;
+//   * fallback: a group whose model-served attempts hit fallback_after
+//     consecutive resource kills is handed back to SA permanently — the
+//     model is demonstrably mispricing that group, and SA's last-good
+//     restore makes the damage self-limiting.
+//
+// The SA side keeps learning while the model serves: every successful
+// attempt is proven capacity and folds into the group's Algorithm 1 state,
+// so a fallback group resumes from fresh knowledge, not from where SA left
+// off when the model took over. Model-attempt failures are NOT charged to
+// SA (they were not SA's grants; freezing alpha over them would be unfair).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/group_state.hpp"
+#include "core/quantile_estimator.hpp"
+#include "core/similarity.hpp"
+
+namespace resmatch::core {
+
+struct EnsembleConfig {
+  /// Algorithm 1 parameters for the SA side (paper defaults).
+  double alpha = 2.0;
+  double beta = 0.0;
+  /// The shared learned model.
+  QuantileEstimatorConfig quantile;
+  /// Hand a group to the model only while prequential coverage is at least
+  /// this (on top of the model's own min_observations warm-up).
+  double coverage_threshold = 0.90;
+  /// Consecutive model-served resource kills before a group falls back to
+  /// SA for good.
+  std::uint32_t fallback_after = 3;
+};
+
+class EnsembleEstimator final : public Estimator {
+ public:
+  explicit EnsembleEstimator(EnsembleConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "ensemble"; }
+
+  [[nodiscard]] MiB estimate(const trace::JobRecord& job,
+                             const SystemState& state) override;
+
+  [[nodiscard]] MiB preview(const trace::JobRecord& job,
+                            const SystemState& state) const override;
+
+  void cancel(const trace::JobRecord& job, MiB granted) override;
+
+  void feedback(const trace::JobRecord& job, const Feedback& fb) override;
+
+  void set_ladder(CapacityLadder ladder) override;
+
+  [[nodiscard]] std::vector<double> save_state() const override;
+  [[nodiscard]] bool load_state(const std::vector<double>& state) override;
+  [[nodiscard]] std::optional<ModelStats> model_stats() const override;
+
+  [[nodiscard]] const QuantileEstimator& model() const noexcept {
+    return quantile_;
+  }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] std::size_t fallback_groups() const noexcept;
+
+ private:
+  struct Group {
+    SaGroupState sa;
+    /// Consecutive resource kills while the model served this group.
+    std::uint32_t consecutive_failures = 0;
+    /// Sticky: handed back to SA after fallback_after model kills.
+    bool fallback = false;
+    /// Whether the most recent estimate() for this group came from the
+    /// model (routes the next cancel/feedback to the right side).
+    bool model_served = false;
+  };
+
+  /// Doubles serialized per group by save_state(): key halves (2), the
+  /// SaGroupState wire form (5), consecutive_failures, fallback,
+  /// model_served.
+  static constexpr std::size_t kGroupFields = 10;
+  static constexpr double kStateVersion = 1.0;
+
+  [[nodiscard]] bool model_ready(const Group& g) const noexcept;
+  [[nodiscard]] Group& group_for(const trace::JobRecord& job);
+  [[nodiscard]] const Group* find_group(const trace::JobRecord& job) const;
+
+  EnsembleConfig config_;
+  QuantileEstimator quantile_;
+  /// Insertion-ordered so save_state() is deterministic across identical
+  /// histories (the crash-recovery equivalence tests depend on it).
+  std::vector<std::pair<std::uint64_t, Group>> groups_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace resmatch::core

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/capacity_ladder.hpp"
 #include "trace/job_record.hpp"
@@ -44,6 +45,24 @@ struct Feedback {
   /// resources (as opposed to program/machine faults). Under implicit
   /// feedback this is unknown and estimators must assume the worst.
   std::optional<bool> resource_failure;
+};
+
+/// Introspection snapshot of a learned-model estimator (quantile,
+/// ensemble): feeds the resmatch_estimator_* metrics and the estimator
+/// shoot-out's coverage column.
+struct ModelStats {
+  /// Prequential (held-out) coverage: fraction of recent observations the
+  /// model's raw prediction covered, evaluated BEFORE training on each.
+  double coverage = 0.0;
+  /// Current multiplicative safety margin over the raw prediction.
+  double margin = 1.0;
+  /// Labeled observations the model has trained on.
+  std::uint64_t observations = 0;
+  /// Ensemble only: similarity groups currently served by the model.
+  std::uint64_t groups_model = 0;
+  /// Ensemble only: groups stuck on successive approximation after
+  /// sustained mispredictions.
+  std::uint64_t groups_fallback = 0;
 };
 
 /// Base class for all resource estimators.
@@ -95,6 +114,27 @@ class Estimator {
 
   /// Report the outcome of the most recent attempt of `job`.
   virtual void feedback(const trace::JobRecord& job, const Feedback& fb) = 0;
+
+  /// Serialize the estimator's learned state as a flat numeric blob for
+  /// durable storage (snapshot rows / WAL frames). The blob is opaque to
+  /// the storage layer; load_state() of the same estimator type must accept
+  /// it and reproduce byte-identical subsequent decisions. Default: empty —
+  /// stateless estimators and those whose state already lives in the group
+  /// store have nothing extra to persist.
+  [[nodiscard]] virtual std::vector<double> save_state() const { return {}; }
+
+  /// Restore state produced by save_state() on a same-configured instance.
+  /// Returns false (leaving the estimator untouched) when the blob does not
+  /// match; default accepts only the empty blob.
+  [[nodiscard]] virtual bool load_state(const std::vector<double>& state) {
+    return state.empty();
+  }
+
+  /// Learned-model introspection for metrics and benchmarks; nullopt for
+  /// estimators without a trained model.
+  [[nodiscard]] virtual std::optional<ModelStats> model_stats() const {
+    return std::nullopt;
+  }
 
   /// Install the target cluster's capacity ladder. Called once before
   /// simulation; default retains it for subclasses.

@@ -13,7 +13,9 @@ std::vector<std::string> estimator_names() {
           "last-instance",
           "reinforcement-learning",
           "regression-ridge",
-          "regression-knn"};
+          "regression-knn",
+          "quantile",
+          "ensemble"};
 }
 
 std::unique_ptr<Estimator> make_estimator(const std::string& name,
@@ -42,6 +44,7 @@ std::unique_ptr<Estimator> make_estimator(const std::string& name,
   if (name == "reinforcement-learning") {
     RlEstimatorConfig cfg;
     cfg.seed = options.seed;
+    cfg.max_pending = options.rl_max_pending;
     return std::make_unique<RlEstimator>(cfg);
   }
   if (name == "regression-ridge" || name == "regression-knn") {
@@ -50,14 +53,30 @@ std::unique_ptr<Estimator> make_estimator(const std::string& name,
                                            : RegressionModel::kKnn;
     cfg.margin = options.regression_margin;
     cfg.min_observations = options.min_observations;
+    cfg.max_burned_keys = options.max_burned_keys;
     return std::make_unique<RegressionEstimator>(cfg);
+  }
+  if (name == "quantile") {
+    QuantileEstimatorConfig cfg;
+    cfg.tau = options.quantile_tau;
+    cfg.min_observations = options.min_observations;
+    return std::make_unique<QuantileEstimator>(cfg);
+  }
+  if (name == "ensemble") {
+    EnsembleConfig cfg;
+    cfg.alpha = options.alpha;
+    cfg.beta = options.beta;
+    cfg.quantile.tau = options.quantile_tau;
+    cfg.quantile.min_observations = options.min_observations;
+    cfg.coverage_threshold = options.coverage_threshold;
+    return std::make_unique<EnsembleEstimator>(cfg);
   }
   throw std::invalid_argument("unknown estimator: " + name);
 }
 
 bool requires_explicit_feedback(const std::string& name) {
   return name == "last-instance" || name == "regression-ridge" ||
-         name == "regression-knn";
+         name == "regression-knn" || name == "quantile" || name == "ensemble";
 }
 
 }  // namespace resmatch::core

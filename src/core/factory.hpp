@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/ensemble_estimator.hpp"
 #include "core/estimator.hpp"
 #include "core/last_instance.hpp"
+#include "core/quantile_estimator.hpp"
 #include "core/regression_estimator.hpp"
 #include "core/rl_estimator.hpp"
 #include "core/successive_approximation.hpp"
@@ -27,13 +29,22 @@ struct EstimatorOptions {
   std::size_t min_observations = 100;
   std::uint64_t seed = 1234;
   bool record_trajectories = false;
+  /// Quantile/ensemble: target percentile of log2 used memory.
+  double quantile_tau = 0.95;
+  /// Ensemble: minimum prequential coverage before per-group hand-over.
+  double coverage_threshold = 0.90;
+  /// RL: cap on decisions awaiting feedback (oldest evicted beyond this).
+  std::size_t rl_max_pending = 4096;
+  /// Regression: cap on memoized under-provisioned job keys (LRU).
+  std::size_t max_burned_keys = 4096;
 };
 
 /// Known estimator names, in the paper's Table 1 order plus baselines.
 [[nodiscard]] std::vector<std::string> estimator_names();
 
 /// Build by name: "none", "successive-approximation", "last-instance",
-/// "regression-ridge", "regression-knn", "reinforcement-learning".
+/// "regression-ridge", "regression-knn", "reinforcement-learning",
+/// "quantile", "ensemble".
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<Estimator> make_estimator(
     const std::string& name, const EstimatorOptions& options = {});

@@ -42,12 +42,29 @@ MiB RegressionEstimator::preview(const trace::JobRecord& job,
   return ladder_.round_up(target);
 }
 
+void RegressionEstimator::burn_key(std::uint64_t key) {
+  const auto it = burned_keys_.find(key);
+  if (it != burned_keys_.end()) {
+    // Burned again: move to the recency tail so repeat offenders outlive
+    // keys that failed once long ago.
+    burned_order_.splice(burned_order_.end(), burned_order_, it->second);
+    return;
+  }
+  if (burned_keys_.size() >= std::max<std::size_t>(config_.max_burned_keys, 1)) {
+    burned_keys_.erase(burned_order_.front());
+    burned_order_.pop_front();
+  }
+  burned_order_.push_back(key);
+  burned_keys_.emplace(key, std::prev(burned_order_.end()));
+}
+
 void RegressionEstimator::feedback(const trace::JobRecord& job,
                                    const Feedback& fb) {
-  // An under-provisioned class is never trusted to the model again; its
-  // later submissions pass the request through (safety memoization).
+  // An under-provisioned class is not trusted to the model again (until
+  // its memo ages out of the bounded set); its later submissions pass the
+  // request through (safety memoization).
   if (!fb.success && fb.resource_failure.value_or(false)) {
-    burned_keys_.insert(default_similarity_key(job));
+    burn_key(default_similarity_key(job));
   }
   // Regression modeling requires explicit feedback; without a usage
   // observation there is nothing to learn from.

@@ -21,8 +21,9 @@
 // not group-based learning — usage prediction stays global.
 #pragma once
 
+#include <list>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "core/estimator.hpp"
 #include "core/similarity.hpp"
@@ -46,6 +47,12 @@ struct RegressionConfig {
   std::size_t refit_interval = 64;
   /// Neighbours (kKnn only).
   std::size_t knn_k = 8;
+  /// Cap on memoized under-provisioned job keys. Every distinct failing
+  /// key used to stay memoized forever; long-running services with churny
+  /// key spaces would grow the set without bound. At the cap the
+  /// least-recently-burned key is evicted — losing a memo only means one
+  /// class may be under-provisioned once more before being re-memoized.
+  std::size_t max_burned_keys = 4096;
 };
 
 class RegressionEstimator final : public Estimator {
@@ -67,15 +74,28 @@ class RegressionEstimator final : public Estimator {
 
   [[nodiscard]] std::size_t observations() const noexcept { return observed_; }
 
+  /// Job keys currently memoized as under-provisioned (bounded by
+  /// max_burned_keys).
+  [[nodiscard]] std::size_t burned_key_count() const noexcept {
+    return burned_keys_.size();
+  }
+
  private:
+  /// Memoize a key as burned, refreshing its recency if already present
+  /// and evicting the least-recently-burned key at the cap.
+  void burn_key(std::uint64_t key);
   RegressionConfig config_;
   stats::RidgeRegression ridge_;
   ml::KnnRegressor knn_;
   std::size_t observed_ = 0;
   std::size_t since_refit_ = 0;
   bool model_ready_ = false;
-  /// Job keys whose estimates under-provisioned once: permanent pass-through.
-  std::unordered_set<std::uint64_t> burned_keys_;
+  /// Job keys whose estimates under-provisioned: pass-through until the
+  /// memo is evicted (least-recently-burned, cap max_burned_keys). The
+  /// list carries recency order; the map indexes it for O(1) lookup.
+  std::list<std::uint64_t> burned_order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      burned_keys_;
 
   [[nodiscard]] double predict_target(const std::vector<double>& features,
                                       double request_target) const;

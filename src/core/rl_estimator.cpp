@@ -34,12 +34,39 @@ std::size_t RlEstimator::state_index(const trace::JobRecord& job,
   });
 }
 
+void RlEstimator::remember(JobId id, const PendingDecision& decision) {
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    // Resubmission: refresh the decision and its place in the age order.
+    pending_order_.splice(pending_order_.end(), pending_order_, it->second);
+    it->second->second = decision;
+    return;
+  }
+  if (pending_.size() >= std::max<std::size_t>(config_.max_pending, 1)) {
+    // Feedback never arrived for the oldest decision (a degraded service
+    // drops feedback by design); forget it rather than grow unbounded.
+    pending_.erase(pending_order_.front().first);
+    pending_order_.pop_front();
+  }
+  pending_order_.emplace_back(id, decision);
+  pending_.emplace(id, std::prev(pending_order_.end()));
+}
+
+std::optional<RlEstimator::PendingDecision> RlEstimator::take(JobId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return std::nullopt;
+  const PendingDecision decision = it->second->second;
+  pending_order_.erase(it->second);
+  pending_.erase(it);
+  return decision;
+}
+
 MiB RlEstimator::estimate(const trace::JobRecord& job,
                           const SystemState& state) {
   const std::size_t s = state_index(job, state);
   const std::size_t a = agent_.select_action(s);
   const double factor = config_.scale_factors[a];
-  pending_[job.id] = {s, a, job.requested_mem_mib};
+  remember(job.id, {s, a, job.requested_mem_mib});
   return ladder_.round_up(job.requested_mem_mib * factor);
 }
 
@@ -51,14 +78,13 @@ MiB RlEstimator::preview(const trace::JobRecord& job,
 }
 
 void RlEstimator::cancel(const trace::JobRecord& job, MiB /*granted*/) {
-  pending_.erase(job.id);
+  (void)take(job.id);
 }
 
 void RlEstimator::feedback(const trace::JobRecord& job, const Feedback& fb) {
-  const auto it = pending_.find(job.id);
-  if (it == pending_.end()) return;  // feedback without a decision: ignore
-  const PendingDecision decision = it->second;
-  pending_.erase(it);
+  const auto taken = take(job.id);
+  if (!taken) return;  // feedback without a decision: ignore
+  const PendingDecision decision = *taken;
 
   double reward = 0.0;
   if (fb.success) {

@@ -17,7 +17,9 @@
 // the reward via the true usage.
 #pragma once
 
+#include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.hpp"
@@ -36,6 +38,11 @@ struct RlEstimatorConfig {
   std::size_t load_buckets = 4;
   std::size_t queue_buckets = 4;
   std::size_t memory_buckets = 6;
+  /// Cap on decisions awaiting feedback. A degraded service drops feedback
+  /// by design, so without a bound pending_ grows with every estimate that
+  /// never hears back; at the cap the oldest decision is evicted (its
+  /// outcome, if it ever arrives, is silently ignored — one lost reward).
+  std::size_t max_pending = 4096;
 };
 
 class RlEstimator final : public Estimator {
@@ -67,6 +74,11 @@ class RlEstimator final : public Estimator {
     return agent_;
   }
 
+  /// Decisions currently awaiting feedback (bounded by max_pending).
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+
  private:
   struct PendingDecision {
     std::size_t state = 0;
@@ -77,13 +89,24 @@ class RlEstimator final : public Estimator {
   [[nodiscard]] std::size_t state_index(const trace::JobRecord& job,
                                         const SystemState& state) const;
 
+  /// Record a decision, overwriting any pending entry for the same job and
+  /// evicting the oldest entry once max_pending distinct jobs await
+  /// feedback.
+  void remember(JobId id, const PendingDecision& decision);
+  /// Remove and return the pending decision for a job, if any.
+  [[nodiscard]] std::optional<PendingDecision> take(JobId id);
+
   RlEstimatorConfig config_;
   ml::StateSpace space_;
   ml::QLearningAgent agent_;
-  /// Decisions awaiting their outcome, keyed by job id. A job resubmitted
-  /// after failure overwrites its pending entry (the failed attempt has
-  /// already been rewarded by then).
-  std::unordered_map<JobId, PendingDecision> pending_;
+  /// Decisions awaiting their outcome, keyed by job id, oldest first. A
+  /// job resubmitted after failure overwrites its pending entry (the
+  /// failed attempt has already been rewarded by then). The list carries
+  /// insertion order for O(1) oldest-first eviction at max_pending; the
+  /// map indexes it by job for O(1) lookup.
+  std::list<std::pair<JobId, PendingDecision>> pending_order_;
+  std::unordered_map<JobId, std::list<std::pair<JobId, PendingDecision>>::iterator>
+      pending_;
 };
 
 }  // namespace resmatch::core

@@ -20,11 +20,18 @@ sim::SimulationResult run_once(const trace::Workload& workload,
                                const sim::ClusterSpec& cluster,
                                const RunSpec& spec) {
   auto estimator = core::make_estimator(spec.estimator, spec.options);
+  return run_once(workload, cluster, spec, *estimator);
+}
+
+sim::SimulationResult run_once(const trace::Workload& workload,
+                               const sim::ClusterSpec& cluster,
+                               const RunSpec& spec,
+                               core::Estimator& estimator) {
   auto policy = sched::make_policy(spec.policy);
   sim::SimulationConfig config = spec.effective_sim_config();
   core::RuntimePredictor predictor;
   if (spec.use_runtime_prediction) config.runtime_predictor = &predictor;
-  return sim::simulate(workload, cluster, *estimator, *policy, config);
+  return sim::simulate(workload, cluster, estimator, *policy, config);
 }
 
 namespace {

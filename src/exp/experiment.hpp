@@ -38,6 +38,16 @@ struct RunSpec {
                                              const sim::ClusterSpec& cluster,
                                              const RunSpec& spec);
 
+/// Run one simulation over a caller-owned estimator (spec.estimator is
+/// used only for labeling and the explicit-feedback decision). For arms a
+/// factory name cannot build: service-backed estimators (MatchdEstimator
+/// over a Matchd with a WAL), pre-warmed instances, or estimators with
+/// hand-tuned configs.
+[[nodiscard]] sim::SimulationResult run_once(const trace::Workload& workload,
+                                             const sim::ClusterSpec& cluster,
+                                             const RunSpec& spec,
+                                             core::Estimator& estimator);
+
 /// One row of a load sweep: the same workload rescaled to `load`, run with
 /// and without estimation.
 ///

@@ -24,7 +24,10 @@ double KnnRegressor::predict(const std::vector<double>& features,
 
   // Collect squared distances; brute force is fine at the estimator's call
   // rates (thousands of predictions over tens of thousands of points).
-  std::vector<std::pair<double, double>> dist_y;
+  // The pair vector is a member scratch buffer: clear() keeps capacity, so
+  // after the ring buffer fills no prediction allocates.
+  std::vector<std::pair<double, double>>& dist_y = scratch_;
+  dist_y.clear();
   dist_y.reserve(points_.size());
   for (const auto& p : points_) {
     assert(p.x.size() == features.size());

@@ -36,6 +36,10 @@ class KnnRegressor {
   std::size_t max_points_;
   std::size_t next_slot_ = 0;
   std::vector<Point> points_;
+  /// predict() scratch (distance, target) pairs, reused across calls so
+  /// the hot path stays allocation-free once warmed. Makes predict()
+  /// non-reentrant: concurrent const calls on one instance would race.
+  mutable std::vector<std::pair<double, double>> scratch_;
 };
 
 }  // namespace resmatch::ml

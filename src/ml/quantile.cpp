@@ -1,0 +1,86 @@
+#include "ml/quantile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace resmatch::ml {
+
+OnlineQuantileRegressor::OnlineQuantileRegressor(
+    std::size_t features, QuantileRegressorConfig config)
+    : config_(config),
+      weights_(features + 1, 0.0),
+      average_(features + 1, 0.0) {
+  config_.tau = std::clamp(config_.tau, 1e-3, 1.0 - 1e-3);
+  config_.learning_rate = std::max(config_.learning_rate, 0.0);
+}
+
+double OnlineQuantileRegressor::predict(const std::vector<double>& x) const {
+  assert(x.size() + 1 == weights_.size());
+  const std::vector<double>& w =
+      config_.averaging_horizon > 1.0 ? average_ : weights_;
+  double acc = w.back();  // bias
+  for (std::size_t i = 0; i < x.size(); ++i) acc += w[i] * x[i];
+  return acc;
+}
+
+void OnlineQuantileRegressor::update(const std::vector<double>& x, double y) {
+  assert(x.size() + 1 == weights_.size());
+  // The subgradient is evaluated at the RAW iterate (this is plain SGD
+  // with averaging on the side, not a different algorithm): the iterate
+  // must keep straddling the quantile for the average to sit on it.
+  double raw = weights_.back();
+  for (std::size_t i = 0; i < x.size(); ++i) raw += weights_[i] * x[i];
+  // Pinball-loss subgradient: dL/dpred = -tau when under-predicting,
+  // (1 - tau) when covering. The tie (y == pred, zero loss) takes the
+  // covering branch, the conventional subgradient choice. Normalizing by
+  // the squared feature norm (plus 1 for the bias) makes the PREDICTION
+  // move by exactly lr*tau (or lr*(1-tau)) per step regardless of
+  // feature scale — unnormalized steps on these features overshoot by
+  // more than a whole capacity-ladder rung per observation.
+  double norm_sq = 1.0;
+  for (const double v : x) norm_sq += v * v;
+  const double gain = y > raw ? config_.learning_rate * config_.tau
+                              : -config_.learning_rate * (1.0 - config_.tau);
+  const double step = gain / norm_sq;
+  for (std::size_t i = 0; i < x.size(); ++i) weights_[i] += step * x[i];
+  weights_.back() += step;
+  if (config_.averaging_horizon > 1.0) {
+    // Ramp the horizon in over the first observations so the average
+    // tracks the fast early descent instead of anchoring to the zero
+    // initialization.
+    const double lambda =
+        1.0 / std::min(static_cast<double>(observations_ + 1),
+                       config_.averaging_horizon);
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      average_[i] += lambda * (weights_[i] - average_[i]);
+    }
+  }
+  ++observations_;
+}
+
+std::vector<double> OnlineQuantileRegressor::state() const {
+  std::vector<double> out;
+  out.reserve(1 + 2 * weights_.size());
+  out.push_back(static_cast<double>(observations_));
+  out.insert(out.end(), weights_.begin(), weights_.end());
+  out.insert(out.end(), average_.begin(), average_.end());
+  return out;
+}
+
+bool OnlineQuantileRegressor::restore(const std::vector<double>& state) {
+  if (state.size() != 1 + 2 * weights_.size()) return false;
+  if (!(state[0] >= 0.0) || !std::isfinite(state[0])) return false;
+  for (std::size_t i = 1; i < state.size(); ++i) {
+    if (!std::isfinite(state[i])) return false;
+  }
+  observations_ = static_cast<std::size_t>(state[0]);
+  const auto raw_begin = state.begin() + 1;
+  std::copy(raw_begin, raw_begin + static_cast<std::ptrdiff_t>(weights_.size()),
+            weights_.begin());
+  std::copy(raw_begin + static_cast<std::ptrdiff_t>(weights_.size()),
+            state.end(), average_.begin());
+  return true;
+}
+
+}  // namespace resmatch::ml

@@ -1,0 +1,80 @@
+// Online quantile regression via pinball-loss SGD.
+//
+// Rodrigues et al. ("Helping HPC Users Specify Job Memory Requirements
+// via Machine Learning") show that predicting a high quantile of used
+// memory — not the mean — is what makes ML predictions safe to allocate
+// against: the asymmetric pinball loss charges an under-prediction
+// tau/(1-tau) times more than an over-prediction of the same size, so the
+// fitted line converges to the tau-quantile of the conditional target
+// distribution instead of its center.
+//
+// The model is linear in the job features plus a bias term and learns one
+// subgradient step per observation, so it is fully online (no stored
+// sample matrix), deterministic, and its entire state is a flat vector of
+// doubles — small enough to ride in an EstimatorStore snapshot row or a
+// WAL frame (svc layer persistence).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resmatch::ml {
+
+struct QuantileRegressorConfig {
+  /// Target quantile in (0, 1); 0.95 biases toward upper bounds.
+  double tau = 0.95;
+  /// Constant SGD step size, in target (log2 MiB) units per observation:
+  /// the subgradient is normalized by the squared feature norm, so one
+  /// under-predicted observation raises the prediction at that point by
+  /// learning_rate * tau and one covered observation lowers it by
+  /// learning_rate * (1 - tau). Constant (not decaying) keeps the model
+  /// adaptive to workload drift and its state free of a step schedule.
+  double learning_rate = 0.5;
+  /// Constant-step SGD never converges — it oscillates around the
+  /// optimum in a sawtooth whose upward jumps are tau/(1-tau) times the
+  /// downward drift. Predictions therefore come from an exponential
+  /// moving average of the iterates (Polyak-style tail averaging with a
+  /// forgetting horizon, so drift adaptivity is kept): the raw iterate
+  /// keeps taking full-size steps, the average damps the sawtooth by
+  /// roughly the square root of the horizon. <= 1 disables averaging
+  /// (predict the raw iterate).
+  double averaging_horizon = 64;
+};
+
+class OnlineQuantileRegressor {
+ public:
+  explicit OnlineQuantileRegressor(std::size_t features,
+                                   QuantileRegressorConfig config = {});
+
+  /// Current estimate of the tau-quantile of the target at `x`.
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+
+  /// One pinball-loss subgradient step on the observation (x, y):
+  ///   y > prediction:  w += lr * tau       * [x, 1]
+  ///   otherwise:       w -= lr * (1 - tau) * [x, 1]
+  void update(const std::vector<double>& x, double y);
+
+  [[nodiscard]] std::size_t observations() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] double tau() const noexcept { return config_.tau; }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return weights_.size() - 1;
+  }
+
+  /// Flat numeric state: [observations, w_0 .. w_{d-1}, bias,
+  /// avg_w_0 .. avg_w_{d-1}, avg_bias]. Together with the (immutable)
+  /// config this fully determines future behavior.
+  [[nodiscard]] std::vector<double> state() const;
+  /// Restore a state() vector; rejects (returns false, unchanged) blobs
+  /// whose length does not match this model's feature count.
+  [[nodiscard]] bool restore(const std::vector<double>& state);
+
+ private:
+  QuantileRegressorConfig config_;
+  std::vector<double> weights_;  ///< raw SGD iterate (weights + bias)
+  std::vector<double> average_;  ///< EWMA of iterates; serves predictions
+  std::size_t observations_ = 0;
+};
+
+}  // namespace resmatch::ml

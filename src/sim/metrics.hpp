@@ -44,6 +44,14 @@ struct SimulationResult {
   std::size_t benefiting_jobs = 0;
   std::size_t benefiting_nodes = 0;
 
+  /// Memory the estimator committed vs. what the job touched, both in
+  /// MiB weighted by node count, summed over successful completions
+  /// (failed runs would conflate under-provision kills with headroom).
+  /// Their ratio is the overprovisioning factor the paper's Figure 1
+  /// measures for raw requests — 1.0 is a perfect oracle.
+  double granted_mib_nodes = 0.0;
+  double used_mib_nodes = 0.0;
+
   /// Per-capacity-class occupancy: what fraction of each pool's
   /// node-seconds were busy. Explains WHERE utilization was won or lost
   /// (the Figure 5 mechanism: without estimation the small pool idles).
@@ -64,6 +72,12 @@ struct SimulationResult {
                ? 0.0
                : static_cast<double>(resource_failures) /
                      static_cast<double>(attempts);
+  }
+  /// Mean granted/used memory over successful completions (node-weighted).
+  /// 0 when nothing completed or usage was unrecorded.
+  [[nodiscard]] double overprovision_factor() const noexcept {
+    return used_mib_nodes <= 0.0 ? 0.0
+                                 : granted_mib_nodes / used_mib_nodes;
   }
 };
 

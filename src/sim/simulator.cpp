@@ -437,6 +437,10 @@ SimulationResult simulate(const trace::Workload& workload,
           case Outcome::kSuccess: {
             ++result.completed;
             productive_node_seconds += record.work();
+            result.granted_mib_nodes +=
+                run.granted * static_cast<double>(record.nodes);
+            result.used_mib_nodes +=
+                record.used_mem_mib * static_cast<double>(record.nodes);
             const Seconds response = now - record.submit;
             const Seconds wait = response - record.runtime;
             wait_stats.add(wait);

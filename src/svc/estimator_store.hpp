@@ -340,8 +340,11 @@ class EstimatorStore {
   /// Write every entry as versioned CSV: a header line identifying format,
   /// version and state kind, then one `key,field...` row per group in
   /// least-to-most recently used order per shard (so a restore reproduces
-  /// each shard's eviction order).
-  void save(std::ostream& out) const {
+  /// each shard's eviction order). When `model` is non-null, a final
+  /// `model,field...` row carries the learned-model blob (the literal
+  /// first cell can never collide with an integer group key).
+  void save(std::ostream& out,
+            const std::vector<double>* model = nullptr) const {
     out << kStoreMagic << ',' << kStoreVersion << ',' << State::kKind << '\n';
     char buf[32];
     for (const Shard& shard : shards_) {
@@ -355,6 +358,14 @@ class EstimatorStore {
         out << '\n';
       }
     }
+    if (model != nullptr) {
+      out << "model";
+      for (const double field : *model) {
+        std::snprintf(buf, sizeof(buf), "%.17g", field);
+        out << ',' << buf;
+      }
+      out << '\n';
+    }
   }
 
   /// Crash-safe snapshot: writes to `path + ".tmp"` in the same directory
@@ -362,7 +373,8 @@ class EstimatorStore {
   /// mid-save leaves the previous snapshot intact — never a truncated or
   /// missing file. Single-writer: concurrent save_file calls on the same
   /// path would share the temp name.
-  [[nodiscard]] bool save_file(const std::string& path) const {
+  [[nodiscard]] bool save_file(const std::string& path,
+                               const std::vector<double>* model = nullptr) const {
     if (util::fault(config_.faults, util::FaultSite::kStoreWrite)) {
       return false;  // injected: writer failed before touching the disk
     }
@@ -370,7 +382,7 @@ class EstimatorStore {
     {
       std::ofstream out(tmp, std::ios::trunc);
       if (!out) return false;
-      save(out);
+      save(out, model);
       out.flush();
       if (!out) {
         std::remove(tmp.c_str());
@@ -392,8 +404,13 @@ class EstimatorStore {
   /// rows), but restoration is NOT traffic: it does not touch the
   /// hit/miss/eviction counters, so a warm restart starts its hit-rate
   /// metrics from zero instead of reporting one spurious miss per
-  /// restored group. Returns the number of rows read, or a parse error.
-  [[nodiscard]] util::Expected<std::size_t> load(std::istream& in) {
+  /// restored group. Returns the number of group rows read, or a parse
+  /// error. When `model` is non-null and the snapshot carries a
+  /// `model,...` row, its fields are copied there (left untouched
+  /// otherwise — old snapshots simply lack the row); a model row in a
+  /// snapshot read without a `model` out-param is skipped.
+  [[nodiscard]] util::Expected<std::size_t> load(
+      std::istream& in, std::vector<double>* model = nullptr) {
     std::string line;
     if (!std::getline(in, line)) {
       return util::Expected<std::size_t>::failure("empty snapshot");
@@ -439,11 +456,14 @@ class EstimatorStore {
       if (!std::getline(row, cell, ',')) {
         return util::Expected<std::size_t>::failure("malformed row: " + line);
       }
+      const bool model_row = cell == "model";
       std::uint64_t key = 0;
-      try {
-        key = std::stoull(cell);
-      } catch (const std::exception&) {
-        return util::Expected<std::size_t>::failure("bad key: " + line);
+      if (!model_row) {
+        try {
+          key = std::stoull(cell);
+        } catch (const std::exception&) {
+          return util::Expected<std::size_t>::failure("bad key: " + line);
+        }
       }
       std::vector<double> fields;
       while (std::getline(row, cell, ',')) {
@@ -452,6 +472,10 @@ class EstimatorStore {
         } catch (const std::exception&) {
           return util::Expected<std::size_t>::failure("bad field: " + line);
         }
+      }
+      if (model_row) {
+        if (model != nullptr) *model = std::move(fields);
+        continue;  // not a group row; not counted in `restored`
       }
       auto state = State::from_fields(fields);
       if (!state) {
@@ -464,7 +488,7 @@ class EstimatorStore {
   }
 
   [[nodiscard]] util::Expected<std::size_t> load_file(
-      const std::string& path) {
+      const std::string& path, std::vector<double>* model = nullptr) {
     if (util::fault(config_.faults, util::FaultSite::kStoreRead)) {
       return util::Expected<std::size_t>::failure(
           "injected store-read fault: " + path);
@@ -473,7 +497,7 @@ class EstimatorStore {
     if (!in) {
       return util::Expected<std::size_t>::failure("cannot open " + path);
     }
-    return load(in);
+    return load(in, model);
   }
 
   /// Insert-or-overwrite one entry without touching traffic counters —

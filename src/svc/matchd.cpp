@@ -28,6 +28,12 @@ Matchd::Matchd(MatchdConfig config)
                                       config_.durability.faults)),
       counters_(store_.shard_count()) {
   try {
+    if (!config_.model_estimator.empty()) {
+      // Built by NAME so twins constructed from one config (reference /
+      // crashed / recovered in sim::crash_replay) each own a fresh model.
+      model_ =
+          core::make_estimator(config_.model_estimator, config_.model_options);
+    }
     if (!config_.durability.wal_dir.empty()) {
       WalConfig wc;
       wc.dir = config_.durability.wal_dir;
@@ -81,6 +87,10 @@ Matchd::~Matchd() {
 }
 
 void Matchd::set_ladder(core::CapacityLadder ladder) {
+  if (model_) {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_->set_ladder(ladder);
+  }
   ladder_ = std::move(ladder);
 }
 
@@ -109,24 +119,35 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
   }
 
   bool buffered = true;
-  const MiB granted = store_.with_group(
-      key,
-      [&] {
-        return core::SaGroupState::fresh(job.requested_mem_mib,
-                                         config_.alpha);
-      },
-      [&](core::SaGroupState& g) {
-        const MiB r = g.commit(ladder_);
-        // Under the shard lock: frame ORDER is fixed at buffering time,
-        // so the I/O (and its backoff sleeps) can run after release
-        // without reordering the log or stalling the shard's other keys.
-        if (wal_) buffered = wal_buffer_locked(key, g);
-        return r;
-      });
+  MiB granted = 0.0;
+  if (model_) {
+    // Model decisions serialize on the model mutex (the model is global
+    // state, not shard-striped); the post-decision state is framed under
+    // the same mutex so the log carries one total order for the model.
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    granted = model_->estimate(job, core::SystemState{});
+    if (wal_) buffered = wal_buffer_model_locked();
+  } else {
+    granted = store_.with_group(
+        key,
+        [&] {
+          return core::SaGroupState::fresh(job.requested_mem_mib,
+                                           config_.alpha);
+        },
+        [&](core::SaGroupState& g) {
+          const MiB r = g.commit(ladder_);
+          // Under the shard lock: frame ORDER is fixed at buffering time,
+          // so the I/O (and its backoff sleeps) can run after release
+          // without reordering the log or stalling the shard's other keys.
+          if (wal_) buffered = wal_buffer_locked(key, g);
+          return r;
+        });
+  }
   if (wal_) {
     bool durable = buffered;
     if (durable) {
-      durable = wal_commit(key);
+      durable = model_ ? wal_commit_index(kModelWalShard, key)
+                       : wal_commit(key);
     } else {
       wal_giveups_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -155,6 +176,12 @@ MatchDecision Matchd::submit(const trace::JobRecord& job) {
 }
 
 MiB Matchd::preview(const trace::JobRecord& job) const {
+  if (model_) {
+    // The learned model has no seqlock fast path; previews serialize on
+    // the model mutex like every other model operation.
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    return model_->preview(job, core::SystemState{});
+  }
   const std::uint64_t key = key_fn_(job);
   // Lock-free read: previews ride the store's seqlock table and never
   // contend with submit/feedback writers on the shard mutex.
@@ -177,10 +204,31 @@ void Matchd::cancel(const trace::JobRecord& job, MiB granted) {
     return;
   }
   bool buffered = true;
-  if (store_.modify_if_present(key, [&](core::SaGroupState& g) {
-        g.cancel(granted);
-        if (wal_) buffered = wal_buffer_locked(key, g);
-      })) {
+  if (model_) {
+    {
+      std::lock_guard<std::mutex> lock(model_mutex_);
+      model_->cancel(job, granted);
+      if (wal_) buffered = wal_buffer_model_locked();
+    }
+    counters_[store_.shard_of(key)].cancels.fetch_add(
+        1, std::memory_order_relaxed);
+    if (wal_) {
+      bool durable = buffered;
+      if (durable) {
+        durable = wal_commit_index(kModelWalShard, key);
+      } else {
+        wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!durable) {
+        enter_degraded();
+      } else {
+        maybe_compact();
+      }
+    }
+  } else if (store_.modify_if_present(key, [&](core::SaGroupState& g) {
+               g.cancel(granted);
+               if (wal_) buffered = wal_buffer_locked(key, g);
+             })) {
     counters_[store_.shard_of(key)].cancels.fetch_add(
         1, std::memory_order_relaxed);
     if (wal_) {
@@ -221,23 +269,32 @@ void Matchd::feedback(const JobOutcome& outcome) {
   // evicted (or never-seen) group re-enters at the request, then applies
   // the outcome.
   bool buffered = true;
-  const bool success = store_.with_group(
-      key,
-      [&] {
-        return core::SaGroupState::fresh(job.requested_mem_mib,
-                                         config_.alpha);
-      },
-      [&](core::SaGroupState& g) {
-        const bool ok = g.apply_feedback(outcome.feedback,
-                                         job.requested_mem_mib, ladder_,
-                                         config_.beta);
-        if (wal_) buffered = wal_buffer_locked(key, g);
-        return ok;
-      });
+  bool success = false;
+  if (model_) {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_->feedback(job, outcome.feedback);
+    success = outcome.feedback.success;
+    if (wal_) buffered = wal_buffer_model_locked();
+  } else {
+    success = store_.with_group(
+        key,
+        [&] {
+          return core::SaGroupState::fresh(job.requested_mem_mib,
+                                           config_.alpha);
+        },
+        [&](core::SaGroupState& g) {
+          const bool ok = g.apply_feedback(outcome.feedback,
+                                           job.requested_mem_mib, ladder_,
+                                           config_.beta);
+          if (wal_) buffered = wal_buffer_locked(key, g);
+          return ok;
+        });
+  }
   if (wal_) {
     bool durable = buffered;
     if (durable) {
-      durable = wal_commit(key);
+      durable = model_ ? wal_commit_index(kModelWalShard, key)
+                       : wal_commit(key);
     } else {
       wal_giveups_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -385,131 +442,193 @@ void Matchd::process_batch(std::vector<Request>& batch) {
     }
   }
 
-  // Sort by shard — stable, so same-key requests keep their arrival
-  // (FIFO) order and per-group trajectories match an unbatched run;
-  // cross-key reordering within the batch commutes (distinct groups).
-  std::stable_sort(items.begin(), items.end(),
-                   [](const Item& a, const Item& b) {
-                     return a.shard < b.shard;
-                   });
-
-  // Phase B, one shard run at a time: every transition of the run is
-  // applied under ONE shard-lock hold with its WAL frame buffered in
-  // order (no I/O under the lock). The commit is deferred to Phase C
-  // below: frame order is fixed at buffering time and each key maps to
-  // exactly one WAL file, so postponing the I/O past the remaining runs
-  // cannot reorder any key's records.
-  std::size_t total_frames = 0;
-  bool buffer_ok = true;
-  // Distinct WAL files this batch buffered into. Store shards outnumber
-  // WAL shards by design (DurabilityConfig::wal_shards), so many runs
-  // fold onto few files and the batch pays few fsyncs.
-  std::vector<std::size_t> wal_touched;
-  std::size_t run_begin = 0;
-  while (run_begin < n) {
-    const std::size_t shard = items[run_begin].shard;
-    std::size_t run_end = run_begin;
-    while (run_end < n && items[run_end].shard == shard) ++run_end;
-
+  if (model_) {
+    // Model path: the learned estimator is one global object, so the
+    // batch is applied in ARRIVAL order under a single mutex hold —
+    // shard-sorting buys nothing and would reorder the model's training
+    // sequence. One frame per request, one forced commit per batch.
     std::size_t frames = 0;
-    store_.with_shard(shard, [&](auto& locked) {
-      for (std::size_t j = run_begin; j < run_end; ++j) {
-        const Item& it = items[j];
-        Request& r = batch[it.pos];
-        Done& d = done[it.pos];
+    bool buffer_ok = true;
+    {
+      std::lock_guard<std::mutex> lock(model_mutex_);
+      for (std::size_t i = 0; i < n; ++i) {
+        Request& r = batch[i];
+        Done& d = done[i];
         if (d.pass_through) continue;
-        const auto buffer = [&](const core::SaGroupState& g) {
-          if (!wal_) return;
-          if (wal_buffer_locked(it.key, g)) {
-            ++frames;
-          } else {
-            buffer_ok = false;
-          }
-        };
         switch (r.kind) {
           case Request::Kind::kSubmit: {
-            const MiB granted = locked.with_group(
-                it.key,
-                [&] {
-                  return core::SaGroupState::fresh(r.job.requested_mem_mib,
-                                                   config_.alpha);
-                },
-                [&](core::SaGroupState& g) {
-                  const MiB v = g.commit(ladder_);
-                  buffer(g);
-                  return v;
-                });
+            const MiB granted =
+                model_->estimate(r.job, core::SystemState{});
             d.decision.granted_mib = granted;
-            d.decision.group_key = it.key;
+            d.decision.group_key = key_of[i];
             d.decision.lowered =
                 granted + kGrantEps <
                 ladder_.round_up(r.job.requested_mem_mib);
             break;
           }
-          case Request::Kind::kFeedback: {
-            d.success = locked.with_group(
-                it.key,
-                [&] {
-                  return core::SaGroupState::fresh(r.job.requested_mem_mib,
-                                                   config_.alpha);
-                },
-                [&](core::SaGroupState& g) {
-                  const bool ok =
-                      g.apply_feedback(r.fb, r.job.requested_mem_mib,
-                                       ladder_, config_.beta);
-                  buffer(g);
-                  return ok;
-                });
+          case Request::Kind::kFeedback:
+            model_->feedback(r.job, r.fb);
+            d.success = r.fb.success;
             break;
-          }
-          case Request::Kind::kCancel: {
-            d.present =
-                locked.modify_if_present(it.key, [&](core::SaGroupState& g) {
-                  g.cancel(r.granted);
-                  buffer(g);
-                });
+          case Request::Kind::kCancel:
+            model_->cancel(r.job, r.granted);
+            d.present = true;
             break;
+        }
+        if (wal_) {
+          if (wal_buffer_model_locked()) {
+            ++frames;
+          } else {
+            buffer_ok = false;
           }
         }
       }
-    });
-
-    if (frames > 0) {
-      total_frames += frames;
-      const std::size_t wal_shard = shard % wal_->shard_count();
-      if (std::find(wal_touched.begin(), wal_touched.end(), wal_shard) ==
-          wal_touched.end()) {
-        wal_touched.push_back(wal_shard);
-      }
     }
-    run_begin = run_end;
-  }
-
-  // Phase C: one forced write+fsync per distinct WAL file the batch
-  // touched — the batch's durability points, amortized across every run
-  // that folded onto the same file.
-  if (wal_) {
-    if (!buffer_ok) {
-      wal_giveups_.fetch_add(1, std::memory_order_relaxed);
-      enter_degraded();
-    }
-    bool committed_ok = buffer_ok;
-    for (const std::size_t wal_shard : wal_touched) {
-      if (wal_commit_force(wal_shard)) {
-        batch_wal_commits_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        // The frames stay buffered in order; they reach disk with the
-        // next successful commit on this file (or the final flush), and
-        // degraded mode stops new state from outrunning the log.
-        committed_ok = false;
+    if (wal_) {
+      if (!buffer_ok) {
+        wal_giveups_.fetch_add(1, std::memory_order_relaxed);
         enter_degraded();
       }
+      if (frames > 0) {
+        if (wal_commit_force(kModelWalShard)) {
+          batch_wal_commits_.fetch_add(1, std::memory_order_relaxed);
+          if (buffer_ok) {
+            appends_since_compact_.fetch_add(frames,
+                                             std::memory_order_relaxed);
+          }
+        } else {
+          enter_degraded();
+        }
+      }
+      maybe_compact();
     }
-    if (committed_ok) {
-      appends_since_compact_.fetch_add(total_frames,
-                                       std::memory_order_relaxed);
+  } else {
+    // Sort by shard — stable, so same-key requests keep their arrival
+    // (FIFO) order and per-group trajectories match an unbatched run;
+    // cross-key reordering within the batch commutes (distinct groups).
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) {
+                       return a.shard < b.shard;
+                     });
+
+    // Phase B, one shard run at a time: every transition of the run is
+    // applied under ONE shard-lock hold with its WAL frame buffered in
+    // order (no I/O under the lock). The commit is deferred to Phase C
+    // below: frame order is fixed at buffering time and each key maps to
+    // exactly one WAL file, so postponing the I/O past the remaining
+    // runs cannot reorder any key's records.
+    std::size_t total_frames = 0;
+    bool buffer_ok = true;
+    // Distinct WAL files this batch buffered into. Store shards
+    // outnumber WAL shards by design (DurabilityConfig::wal_shards), so
+    // many runs fold onto few files and the batch pays few fsyncs.
+    std::vector<std::size_t> wal_touched;
+    std::size_t run_begin = 0;
+    while (run_begin < n) {
+      const std::size_t shard = items[run_begin].shard;
+      std::size_t run_end = run_begin;
+      while (run_end < n && items[run_end].shard == shard) ++run_end;
+
+      std::size_t frames = 0;
+      store_.with_shard(shard, [&](auto& locked) {
+        for (std::size_t j = run_begin; j < run_end; ++j) {
+          const Item& it = items[j];
+          Request& r = batch[it.pos];
+          Done& d = done[it.pos];
+          if (d.pass_through) continue;
+          const auto buffer = [&](const core::SaGroupState& g) {
+            if (!wal_) return;
+            if (wal_buffer_locked(it.key, g)) {
+              ++frames;
+            } else {
+              buffer_ok = false;
+            }
+          };
+          switch (r.kind) {
+            case Request::Kind::kSubmit: {
+              const MiB granted = locked.with_group(
+                  it.key,
+                  [&] {
+                    return core::SaGroupState::fresh(
+                        r.job.requested_mem_mib, config_.alpha);
+                  },
+                  [&](core::SaGroupState& g) {
+                    const MiB v = g.commit(ladder_);
+                    buffer(g);
+                    return v;
+                  });
+              d.decision.granted_mib = granted;
+              d.decision.group_key = it.key;
+              d.decision.lowered =
+                  granted + kGrantEps <
+                  ladder_.round_up(r.job.requested_mem_mib);
+              break;
+            }
+            case Request::Kind::kFeedback: {
+              d.success = locked.with_group(
+                  it.key,
+                  [&] {
+                    return core::SaGroupState::fresh(
+                        r.job.requested_mem_mib, config_.alpha);
+                  },
+                  [&](core::SaGroupState& g) {
+                    const bool ok =
+                        g.apply_feedback(r.fb, r.job.requested_mem_mib,
+                                         ladder_, config_.beta);
+                    buffer(g);
+                    return ok;
+                  });
+              break;
+            }
+            case Request::Kind::kCancel: {
+              d.present = locked.modify_if_present(
+                  it.key, [&](core::SaGroupState& g) {
+                    g.cancel(r.granted);
+                    buffer(g);
+                  });
+              break;
+            }
+          }
+        }
+      });
+
+      if (frames > 0) {
+        total_frames += frames;
+        const std::size_t wal_shard = shard % wal_->shard_count();
+        if (std::find(wal_touched.begin(), wal_touched.end(), wal_shard) ==
+            wal_touched.end()) {
+          wal_touched.push_back(wal_shard);
+        }
+      }
+      run_begin = run_end;
     }
-    maybe_compact();
+
+    // Phase C: one forced write+fsync per distinct WAL file the batch
+    // touched — the batch's durability points, amortized across every
+    // run that folded onto the same file.
+    if (wal_) {
+      if (!buffer_ok) {
+        wal_giveups_.fetch_add(1, std::memory_order_relaxed);
+        enter_degraded();
+      }
+      bool committed_ok = buffer_ok;
+      for (const std::size_t wal_shard : wal_touched) {
+        if (wal_commit_force(wal_shard)) {
+          batch_wal_commits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The frames stay buffered in order; they reach disk with the
+          // next successful commit on this file (or the final flush),
+          // and degraded mode stops new state from outrunning the log.
+          committed_ok = false;
+          enter_degraded();
+        }
+      }
+      if (committed_ok) {
+        appends_since_compact_.fetch_add(total_frames,
+                                         std::memory_order_relaxed);
+      }
+      maybe_compact();
+    }
   }
 
   // Phase D: counters, callbacks and completions in ARRIVAL order,
@@ -729,6 +848,39 @@ void Matchd::register_metrics() {
               "WAL appends abandoned after retry exhaustion", {}, [this] {
                 return wal_giveups_.load(std::memory_order_relaxed);
               });
+  // Learned-estimator series are exported unconditionally (flat zero
+  // without a model) for the same dashboard-uniformity reason as the
+  // durability series above.
+  add_counter("resmatch_estimator_model_updates_total",
+              "Learned-model mutations framed into the WAL", {}, [this] {
+                return model_updates_.load(std::memory_order_relaxed);
+              });
+  add_gauge("resmatch_estimator_coverage",
+            "Prequential coverage EWMA of the learned model (0 without "
+            "one)",
+            {}, [this] {
+              if (!model_) return 0.0;
+              std::lock_guard<std::mutex> lock(model_mutex_);
+              const auto s = model_->model_stats();
+              return s ? s->coverage : 0.0;
+            });
+  add_gauge("resmatch_estimator_margin",
+            "Risk-aware multiplicative safety margin of the learned model",
+            {}, [this] {
+              if (!model_) return 0.0;
+              std::lock_guard<std::mutex> lock(model_mutex_);
+              const auto s = model_->model_stats();
+              return s ? s->margin : 0.0;
+            });
+  add_gauge("resmatch_estimator_fallback_groups",
+            "Similarity groups pinned back to successive approximation "
+            "after sustained model mispredictions",
+            {}, [this] {
+              if (!model_) return 0.0;
+              std::lock_guard<std::mutex> lock(model_mutex_);
+              const auto s = model_->model_stats();
+              return s ? static_cast<double>(s->groups_fallback) : 0.0;
+            });
   add_gauge("resmatch_matchd_degraded",
             "1 while serving pass-through because the WAL refuses writes",
             {}, [this] {
@@ -784,8 +936,21 @@ MatchdStats Matchd::stats() const {
   out.wal_retries = wal_retries_.load(std::memory_order_relaxed);
   out.wal_giveups = wal_giveups_.load(std::memory_order_relaxed);
   out.compactions = compactions_.load(std::memory_order_relaxed);
+  out.model_updates = model_updates_.load(std::memory_order_relaxed);
   if (wal_) out.wal = wal_->stats();
   return out;
+}
+
+std::optional<core::ModelStats> Matchd::model_stats() const {
+  if (!model_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_->model_stats();
+}
+
+std::vector<double> Matchd::model_state() const {
+  if (!model_) return {};
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_->save_state();
 }
 
 std::size_t Matchd::invariant_violations() const {
@@ -797,11 +962,27 @@ std::size_t Matchd::invariant_violations() const {
 }
 
 bool Matchd::save_store(const std::string& path) const {
-  return store_.save_file(path);
+  if (!model_) return store_.save_file(path);
+  std::vector<double> state;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    state = model_->save_state();
+  }
+  return store_.save_file(path, &state);
 }
 
 util::Expected<std::size_t> Matchd::restore_store(const std::string& path) {
-  return store_.load_file(path);
+  std::vector<double> state;
+  auto rows = store_.load_file(path, model_ ? &state : nullptr);
+  if (rows && model_ && !state.empty()) {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    if (!model_->load_state(state)) {
+      return util::Expected<std::size_t>::failure(
+          "matchd: snapshot model state rejected by estimator '" +
+          config_.model_estimator + "'");
+    }
+  }
+  return rows;
 }
 
 // --- durability --------------------------------------------------------------
@@ -817,10 +998,24 @@ bool Matchd::wal_buffer_locked(std::uint64_t key,
                                fields.size());
 }
 
+bool Matchd::wal_buffer_model_locked() {
+  // Full model state per frame (last record wins on replay): no delta
+  // encoding, so a single surviving frame is enough to recover the model
+  // exactly. Caller holds model_mutex_, which both orders the frames and
+  // makes save_state() a consistent point-in-time capture.
+  const std::vector<double> state = model_->save_state();
+  model_updates_.fetch_add(1, std::memory_order_relaxed);
+  return wal_->append_model_buffered(kModelWalShard, state.data(),
+                                     state.size());
+}
+
 bool Matchd::wal_commit(std::uint64_t key) {
-  const std::size_t shard = store_.shard_of(key);
+  return wal_commit_index(store_.shard_of(key), key);
+}
+
+bool Matchd::wal_commit_index(std::size_t shard, std::uint64_t jitter_seed) {
   const util::RetryResult r = util::retry_with(
-      config_.durability.retry, config_.durability.retry_seed ^ key,
+      config_.durability.retry, config_.durability.retry_seed ^ jitter_seed,
       [&] { return wal_->commit(shard); });
   if (r.attempts > 1) {
     wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
@@ -915,7 +1110,7 @@ bool Matchd::checkpoint_locked() {
   const util::RetryResult r = util::retry_with(
       config_.durability.retry,
       config_.durability.retry_seed ^ 0xC0FFEEULL,
-      [&] { return store_.save_file(snapshot_path()); });
+      [&] { return save_store(snapshot_path()); });
   if (r.attempts > 1) {
     wal_retries_.fetch_add(r.attempts - 1, std::memory_order_relaxed);
   }
@@ -946,6 +1141,10 @@ util::Expected<RecoveryStats> Matchd::recover(RecoverMode mode) {
     return Result::failure("matchd: recover() without a wal_dir");
   }
   RecoveryStats rs;
+  // Model state candidates: the snapshot's model row, overridden by the
+  // LAST kModelState record the replay delivers (the log is strictly
+  // newer than the snapshot it survived).
+  std::vector<double> model_state;
   if (mode == RecoverMode::kSnapshotAndWal) {
     const std::string snap = snapshot_path();
     std::error_code ec;
@@ -954,7 +1153,7 @@ util::Expected<RecoveryStats> Matchd::recover(RecoverMode mode) {
       const util::RetryResult rr = util::retry_with(
           config_.durability.retry,
           config_.durability.retry_seed ^ 0x5EC0FE7ULL, [&] {
-            rows = store_.load_file(snap);
+            rows = store_.load_file(snap, model_ ? &model_state : nullptr);
             return rows.has_value();
           });
       if (rr.attempts > 1) {
@@ -969,9 +1168,14 @@ util::Expected<RecoveryStats> Matchd::recover(RecoverMode mode) {
     }
   }
   std::uint64_t invalid = 0;
-  auto replayed = Wal::replay(
+  auto replayed = Wal::replay_typed(
       config_.durability.wal_dir,
-      [&](std::uint64_t key, const double* fields, std::size_t n_fields) {
+      [&](WalRecordType type, std::uint64_t key, const double* fields,
+          std::size_t n_fields) {
+        if (type == WalRecordType::kModelState) {
+          if (model_) model_state.assign(fields, fields + n_fields);
+          return;
+        }
         auto state = core::SaGroupState::from_fields(
             std::vector<double>(fields, fields + n_fields));
         if (!state) {
@@ -984,6 +1188,15 @@ util::Expected<RecoveryStats> Matchd::recover(RecoverMode mode) {
   rs.wal_records = replayed.value().records;
   rs.wal_files = replayed.value().files;
   rs.torn_files = replayed.value().torn_files;
+  rs.model_records = replayed.value().model_records;
+  if (model_ && !model_state.empty()) {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    if (!model_->load_state(model_state)) {
+      // A rejected blob leaves the model cold rather than failing the
+      // whole recovery: group state is intact and the model re-learns.
+      ++invalid;
+    }
+  }
   rs.invalid_records = invalid;
   return rs;
 }
@@ -995,6 +1208,12 @@ void Matchd::simulate_crash(bool leave_torn_tail) {
 }
 
 // --- MatchdEstimator ---------------------------------------------------------
+
+std::string MatchdEstimator::name() const {
+  const std::string& inner = service_->config().model_estimator;
+  return "matchd[" + (inner.empty() ? "successive-approximation" : inner) +
+         "]";
+}
 
 MiB MatchdEstimator::estimate(const trace::JobRecord& job,
                               const core::SystemState& /*state*/) {

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "core/factory.hpp"
 #include "core/group_state.hpp"
 #include "core/similarity.hpp"
 #include "obs/metrics.hpp"
@@ -142,6 +143,22 @@ struct MatchdConfig {
   std::uint32_t metrics_sample_period = 64;
   /// Crash safety: WAL, retry/backoff, degraded mode, fault injection.
   DurabilityConfig durability;
+  /// Learned-model estimator attached to the service, by factory name
+  /// ("quantile", "ensemble", ...). Empty (default) = the group-store
+  /// Algorithm 1 path, exactly as before. When set, the service builds
+  /// its own instance (so crash/recovery twins built from one config
+  /// never share a model), routes submit/preview/feedback/cancel through
+  /// it under one model mutex, and persists the model's full serialized
+  /// state on every mutation: a kModelState WAL frame (log shard 0, last
+  /// record wins) plus a `model` row in compaction snapshots, so
+  /// recover() restores the estimator byte-identically. Model state
+  /// frames grow with the model (the ensemble's with its group count);
+  /// set DurabilityConfig::compact_every on long-running services so the
+  /// log is folded into snapshots. Degraded mode behaves as for the store
+  /// path: pass-through grants, dropped feedback.
+  std::string model_estimator;
+  /// Options bag for the model estimator (alpha/beta, tau, thresholds).
+  core::EstimatorOptions model_options;
 };
 
 /// The service's answer to one submission.
@@ -190,6 +207,8 @@ struct MatchdStats {
   std::uint64_t wal_giveups = 0;  ///< appends abandoned at retry exhaustion
   std::uint64_t compactions = 0;  ///< completed checkpoint cycles
   WalStats wal;
+  /// Learned-model mutations applied (0 without a model attached).
+  std::uint64_t model_updates = 0;
 };
 
 /// What recover() reconstructed.
@@ -198,7 +217,8 @@ struct RecoveryStats {
   std::uint64_t wal_records = 0;     ///< upserts replayed over the snapshot
   std::uint64_t wal_files = 0;       ///< log files visited
   std::uint64_t torn_files = 0;      ///< logs cut short at a torn tail
-  std::uint64_t invalid_records = 0; ///< upserts whose payload failed decode
+  std::uint64_t invalid_records = 0; ///< records whose payload failed decode
+  std::uint64_t model_records = 0;   ///< model-state frames seen (last wins)
 };
 
 class Matchd {
@@ -276,6 +296,17 @@ class Matchd {
     return pool_ != nullptr;
   }
 
+  /// Whether a learned-model estimator is attached (config.model_estimator).
+  [[nodiscard]] bool model_enabled() const noexcept {
+    return model_ != nullptr;
+  }
+  /// Introspection snapshot of the attached model (nullopt without one, or
+  /// when the model exposes no stats).
+  [[nodiscard]] std::optional<core::ModelStats> model_stats() const;
+  /// The attached model's serialized state (empty without one) — what the
+  /// next kModelState frame / snapshot model row would carry.
+  [[nodiscard]] std::vector<double> model_state() const;
+
   // --- durability (active when config.durability.wal_dir is set) ----------
 
   [[nodiscard]] bool wal_enabled() const noexcept { return wal_ != nullptr; }
@@ -345,10 +376,17 @@ class Matchd {
   /// before the lock is released. Returns false only after a crash.
   [[nodiscard]] bool wal_buffer_locked(std::uint64_t key,
                                        const core::SaGroupState& g);
+  /// Frame the model's full post-mutation state into the WAL buffer (log
+  /// shard kModelWalShard) — no I/O. MUST be called with model_mutex_
+  /// held: the mutex is what orders model frames in the log.
+  [[nodiscard]] bool wal_buffer_model_locked();
   /// Cadence commit of the key's shard (the synchronous paths), retrying
   /// with backoff. Called AFTER the shard lock is released. Returns false
   /// at retry exhaustion.
   [[nodiscard]] bool wal_commit(std::uint64_t key);
+  /// Cadence commit of one WAL shard index, retrying with backoff.
+  [[nodiscard]] bool wal_commit_index(std::size_t shard,
+                                      std::uint64_t jitter_seed);
   /// Forced commit point of one batch shard run: write + fsync everything
   /// buffered, retrying with backoff outside any lock.
   [[nodiscard]] bool wal_commit_force(std::size_t shard);
@@ -367,10 +405,23 @@ class Matchd {
     return (tick++ & sample_mask_) == 0;
   }
 
+  /// All model-state WAL frames go to one log shard so the log carries a
+  /// single total order for the model (replay applies the last frame).
+  static constexpr std::size_t kModelWalShard = 0;
+
   MatchdConfig config_;
   core::CapacityLadder ladder_;
   core::SimilarityKeyFn key_fn_;
   EstimatorStore<core::SaGroupState> store_;
+
+  /// Learned-model estimator (null = group-store path). All access —
+  /// decisions, training, serialization, metrics reads — serializes on
+  /// model_mutex_; the model is global state, unlike the shard-striped
+  /// group store, so a model-backed service trades store parallelism for
+  /// cross-group learning.
+  std::unique_ptr<core::Estimator> model_;
+  mutable std::mutex model_mutex_;
+  std::atomic<std::uint64_t> model_updates_{0};
 
   /// Per-shard service counters, aligned with the store's striping and
   /// padded so concurrent submitters on different shards never false-share.
@@ -440,9 +491,9 @@ class MatchdEstimator final : public core::Estimator {
   /// `service` is not owned and must outlive the adapter.
   explicit MatchdEstimator(Matchd& service) : service_(&service) {}
 
-  [[nodiscard]] std::string name() const override {
-    return "matchd[successive-approximation]";
-  }
+  /// "matchd[successive-approximation]" for the group-store path,
+  /// "matchd[<model>]" when the service carries a learned model.
+  [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] MiB estimate(const trace::JobRecord& job,
                              const core::SystemState& state) override;

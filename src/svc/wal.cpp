@@ -185,6 +185,16 @@ bool Wal::append_buffered(std::size_t shard, std::uint64_t key,
   return true;
 }
 
+bool Wal::append_model_buffered(std::size_t shard, const double* fields,
+                                std::size_t n_fields) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (crashed_ || s.fd < 0) return false;
+  (void)encode_locked(s, WalRecordType::kModelState, 0, fields, n_fields);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool Wal::commit(std::size_t shard) {
   Shard& s = shards_[shard % shards_.size()];
   std::lock_guard<std::mutex> lock(s.mutex);
@@ -412,6 +422,19 @@ util::Expected<WalReplayStats> Wal::replay(
     const std::string& dir,
     const std::function<void(std::uint64_t, const double*, std::size_t)>&
         fn) {
+  // Group-only view of the typed replay: model-state records are counted
+  // by the shared scan but not delivered.
+  return replay_typed(
+      dir, [&fn](WalRecordType type, std::uint64_t key, const double* fields,
+                 std::size_t n_fields) {
+        if (type == WalRecordType::kUpsert) fn(key, fields, n_fields);
+      });
+}
+
+util::Expected<WalReplayStats> Wal::replay_typed(
+    const std::string& dir,
+    const std::function<void(WalRecordType, std::uint64_t, const double*,
+                             std::size_t)>& fn) {
   using Result = util::Expected<WalReplayStats>;
   WalReplayStats stats;
   std::error_code ec;
@@ -462,7 +485,8 @@ util::Expected<WalReplayStats> Wal::replay(
         ++stats.heartbeats;
         continue;
       }
-      if (type != WalRecordType::kUpsert) {
+      if (type != WalRecordType::kUpsert &&
+          type != WalRecordType::kModelState) {
         ++stats.torn_files;
         break;
       }
@@ -476,8 +500,12 @@ util::Expected<WalReplayStats> Wal::replay(
         std::memcpy(fields.data(), payload.data() + kPayloadPrefix,
                     n_fields * sizeof(double));
       }
-      fn(record_key, fields.data(), n_fields);
-      ++stats.records;
+      fn(type, record_key, fields.data(), n_fields);
+      if (type == WalRecordType::kModelState) {
+        ++stats.model_records;
+      } else {
+        ++stats.records;
+      }
     }
     std::fclose(f);
   }

@@ -66,8 +66,9 @@ struct WalConfig {
 
 /// Record types in the log.
 enum class WalRecordType : std::uint8_t {
-  kUpsert = 1,     ///< full post-transition state of one group
-  kHeartbeat = 2,  ///< durability probe; carries no state
+  kUpsert = 1,      ///< full post-transition state of one group
+  kHeartbeat = 2,   ///< durability probe; carries no state
+  kModelState = 3,  ///< full learned-model state (key unused, last wins)
 };
 
 struct WalStats {
@@ -80,8 +81,9 @@ struct WalStats {
 
 struct WalReplayStats {
   std::uint64_t files = 0;
-  std::uint64_t records = 0;     ///< upserts delivered to the callback
-  std::uint64_t heartbeats = 0;  ///< probe records skipped
+  std::uint64_t records = 0;        ///< upserts delivered to the callback
+  std::uint64_t heartbeats = 0;     ///< probe records skipped
+  std::uint64_t model_records = 0;  ///< learned-model state records seen
   /// Files whose replay stopped before EOF on a bad frame. Expected on at
   /// most the newest generation after a crash (the torn tail); nonzero on
   /// an older generation means corruption, not a crash.
@@ -122,6 +124,15 @@ class Wal {
   [[nodiscard]] bool append_buffered(std::size_t shard, std::uint64_t key,
                                      const double* fields,
                                      std::size_t n_fields);
+
+  /// Buffer one learned-model state record (same no-I/O contract as
+  /// append_buffered). The record carries the estimator's full serialized
+  /// state; replay delivers every one and the last record wins, so
+  /// appending the complete state after each model mutation makes
+  /// recovery exact without any delta encoding.
+  [[nodiscard]] bool append_model_buffered(std::size_t shard,
+                                           const double* fields,
+                                           std::size_t n_fields);
 
   /// The deferred I/O half of append(): push buffered records down per
   /// the flush_every/fsync_every cadence. On failure the buffer is
@@ -170,6 +181,16 @@ class Wal {
       const std::string& dir,
       const std::function<void(std::uint64_t key, const double* fields,
                                std::size_t n_fields)>& fn);
+
+  /// Typed replay: like replay(), but delivers kModelState records too
+  /// (tagged by type). Heartbeats are still skipped. Callers that restore
+  /// learned-model state use this; replay() remains for group-only
+  /// consumers.
+  [[nodiscard]] static util::Expected<WalReplayStats> replay_typed(
+      const std::string& dir,
+      const std::function<void(WalRecordType type, std::uint64_t key,
+                               const double* fields, std::size_t n_fields)>&
+          fn);
 
  private:
   explicit Wal(WalConfig config) : config_(std::move(config)) {}

@@ -4,8 +4,10 @@
 
 #include <cmath>
 
+#include "core/ensemble_estimator.hpp"
 #include "core/factory.hpp"
 #include "core/last_instance.hpp"
+#include "core/quantile_estimator.hpp"
 #include "core/regression_estimator.hpp"
 #include "core/rl_estimator.hpp"
 #include "core/successive_approximation.hpp"
@@ -415,6 +417,256 @@ TEST(Rl, NonResourceFailureDoesNotPenalize) {
   EXPECT_EQ(est.agent().updates(), 0u);
 }
 
+TEST(Rl, PendingDecisionsStayBoundedWhenFeedbackNeverArrives) {
+  // Regression test for the unbounded-growth leak: a degraded service
+  // drops feedback by design, so decisions that never hear back must not
+  // accumulate without limit.
+  RlEstimatorConfig cfg;
+  cfg.max_pending = 64;
+  RlEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  for (int i = 0; i < 1000; ++i) {
+    (void)est.estimate(make_job(32, 8, 1, 1, static_cast<JobId>(i)), {});
+  }
+  EXPECT_LE(est.pending_count(), 64u);
+  // Eviction is oldest-first: late feedback for the first decision finds
+  // nothing to reward, while the newest decision is still live.
+  Feedback fb;
+  fb.success = true;
+  fb.granted_mib = 32.0;
+  const std::size_t updates = est.agent().updates();
+  est.feedback(make_job(32, 8, 1, 1, /*id=*/0), fb);
+  EXPECT_EQ(est.agent().updates(), updates);
+  est.feedback(make_job(32, 8, 1, 1, /*id=*/999), fb);
+  EXPECT_EQ(est.agent().updates(), updates + 1);
+  EXPECT_EQ(est.pending_count(), 63u);
+}
+
+TEST(Regression, BurnedKeyMemosStayBounded) {
+  // Regression test for the unbounded-growth leak: every under-provisioned
+  // similarity class used to leave a permanent memo; a long-lived service
+  // with a churning key population must hold only the most recent ones.
+  RegressionConfig cfg;
+  cfg.max_burned_keys = 32;
+  RegressionEstimator est(cfg);
+  Feedback kill;
+  kill.success = false;
+  kill.granted_mib = 8.0;
+  kill.resource_failure = true;
+  for (int i = 0; i < 500; ++i) {
+    est.feedback(make_job(32, 30, /*user=*/static_cast<UserId>(i)), kill);
+  }
+  EXPECT_EQ(est.burned_key_count(), 32u);
+  // Re-burning an already-memoized key refreshes it, not duplicates it.
+  est.feedback(make_job(32, 30, /*user=*/499), kill);
+  EXPECT_EQ(est.burned_key_count(), 32u);
+}
+
+// --- QuantileEstimator -------------------------------------------------------
+
+/// Drive `n` explicit-feedback cycles of (req, used) through an estimator.
+void train(Estimator& est, int n, MiB req, MiB used, UserId user = 1) {
+  for (int i = 0; i < n; ++i) {
+    (void)submit_cycle(est, make_job(req, used, user), true);
+  }
+}
+
+TEST(Quantile, PassesRequestThroughUntilWarm) {
+  QuantileEstimatorConfig cfg;
+  cfg.min_observations = 5;
+  QuantileEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  EXPECT_FALSE(est.warm());
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(32, 4), {}), 32.0);
+  // Rounds to a rung like every estimator.
+  EXPECT_DOUBLE_EQ(est.estimate(make_job(20, 4), {}), 32.0);
+}
+
+TEST(Quantile, LearnsAnUpperBoundAndStopsPassingThrough) {
+  QuantileEstimatorConfig cfg;
+  cfg.min_observations = 50;
+  QuantileEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 300, /*req=*/32.0, /*used=*/4.0);
+  EXPECT_TRUE(est.warm());
+  const MiB grant = est.estimate(make_job(32, 4), {});
+  EXPECT_LT(grant, 32.0);
+  EXPECT_GE(grant, 4.0);  // never below what jobs actually use
+  EXPECT_GT(est.coverage(), 0.8);
+}
+
+TEST(Quantile, EstimateNeverExceedsRoundedRequest) {
+  QuantileEstimatorConfig cfg;
+  cfg.min_observations = 10;
+  cfg.margin = 4.0;
+  cfg.max_margin = 4.0;
+  QuantileEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 100, 32.0, 30.0);
+  EXPECT_LE(est.estimate(make_job(32, 30), {}), 32.0);
+}
+
+TEST(Quantile, MarginWidensUnderKillsAndRespectsTheCap) {
+  QuantileEstimatorConfig cfg;
+  cfg.min_observations = 20;
+  QuantileEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 100, 32.0, 8.0);
+  const double calm_margin = est.margin();
+  Feedback kill;
+  kill.success = false;
+  kill.granted_mib = 8.0;
+  kill.used_mib = 16.0;
+  kill.resource_failure = true;
+  for (int i = 0; i < 50; ++i) est.feedback(make_job(32, 16), kill);
+  EXPECT_GT(est.margin(), calm_margin);
+  EXPECT_LE(est.margin(), cfg.max_margin);
+}
+
+TEST(Quantile, SaveStateRestoresADecisionTwin) {
+  QuantileEstimatorConfig cfg;
+  cfg.min_observations = 30;
+  QuantileEstimator a(cfg);
+  a.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  for (int i = 0; i < 120; ++i) {
+    (void)submit_cycle(a, make_job(32, 2.0 + (i % 7), /*user=*/1 + i % 3),
+                       true);
+  }
+  const auto state = a.save_state();
+  QuantileEstimator b(cfg);
+  b.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  ASSERT_TRUE(b.load_state(state));
+  // Bit-identical decisions, then bit-identical evolution.
+  for (int i = 0; i < 40; ++i) {
+    const auto job = make_job(32, 2.0 + (i % 5), /*user=*/2);
+    EXPECT_EQ(a.estimate(job, {}), b.estimate(job, {}));
+    (void)submit_cycle(a, job, true);
+    (void)submit_cycle(b, job, true);
+  }
+  EXPECT_EQ(a.save_state(), b.save_state());
+}
+
+TEST(Quantile, LoadStateRejectsGarbageUnchanged) {
+  QuantileEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 50, 32.0, 8.0);
+  const auto good = est.save_state();
+  EXPECT_FALSE(est.load_state({}));
+  auto wrong_version = good;
+  wrong_version[0] = 99.0;
+  EXPECT_FALSE(est.load_state(wrong_version));
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(est.load_state(truncated));
+  auto wild_margin = good;
+  wild_margin[1] = 1e6;
+  EXPECT_FALSE(est.load_state(wild_margin));
+  EXPECT_EQ(est.save_state(), good);
+  EXPECT_TRUE(est.load_state(good));
+}
+
+// --- EnsembleEstimator -------------------------------------------------------
+
+TEST(Ensemble, ColdGroupsReplayAlgorithmOneExactly) {
+  EnsembleConfig cfg;
+  cfg.quantile.min_observations = std::size_t{1} << 30;  // never warms
+  EnsembleEstimator ens(cfg);
+  SuccessiveApproxConfig sa_cfg;
+  sa_cfg.alpha = 2.0;
+  sa_cfg.beta = 0.0;
+  SuccessiveApproximationEstimator sa(sa_cfg);
+  const CapacityLadder ladder({1, 2, 4, 8, 16, 32});
+  ens.set_ladder(ladder);
+  sa.set_ladder(ladder);
+  const auto job = make_job(32.0, 5.2);
+  for (int i = 0; i < 10; ++i) {
+    const MiB expected = submit_cycle(sa, job, /*explicit_feedback=*/true);
+    const MiB got = submit_cycle(ens, job, /*explicit_feedback=*/true);
+    EXPECT_DOUBLE_EQ(got, expected) << "cycle " << i;
+  }
+}
+
+TEST(Ensemble, WarmModelPricesUnseenGroups) {
+  EnsembleConfig cfg;
+  cfg.quantile.min_observations = 50;
+  cfg.coverage_threshold = 0.6;
+  EnsembleEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 400, 32.0, 4.0, /*user=*/1);
+  // A brand-new group is priced off everything learned so far — the
+  // cross-group transfer Algorithm 1 cannot do (it would grant 32).
+  const auto fresh_job = make_job(32.0, 4.0, /*user=*/9);
+  EXPECT_LT(est.preview(fresh_job, {}), 32.0);
+  EXPECT_LT(est.estimate(fresh_job, {}), 32.0);
+  const auto stats = est.model_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->groups_model, 1u);
+}
+
+TEST(Ensemble, GroupFallsBackToSaAfterConsecutiveModelKills) {
+  EnsembleConfig cfg;
+  cfg.quantile.min_observations = 50;
+  cfg.coverage_threshold = 0.6;
+  cfg.fallback_after = 3;
+  EnsembleEstimator est(cfg);
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 400, 32.0, 4.0, /*user=*/1);
+  // Group 2's usage is far above anything the model has seen: the model
+  // serves it and gets killed repeatedly.
+  const auto hot = make_job(32.0, 30.0, /*user=*/2);
+  for (int i = 0; i < 3; ++i) {
+    const MiB grant = est.estimate(hot, {});
+    ASSERT_LT(grant, 30.0) << "model should under-provision this group";
+    Feedback fb;
+    fb.success = false;
+    fb.granted_mib = grant;
+    fb.used_mib = 30.0;
+    fb.resource_failure = true;
+    est.feedback(hot, fb);
+  }
+  EXPECT_EQ(est.fallback_groups(), 1u);
+  // Served by SA from now on: a fresh SA group starts at the request.
+  EXPECT_DOUBLE_EQ(est.estimate(hot, {}), 32.0);
+}
+
+TEST(Ensemble, SaveStateRestoresADecisionTwin) {
+  EnsembleConfig cfg;
+  cfg.quantile.min_observations = 40;
+  cfg.coverage_threshold = 0.6;
+  EnsembleEstimator a(cfg);
+  const CapacityLadder ladder({1, 2, 4, 8, 16, 32});
+  a.set_ladder(ladder);
+  for (int i = 0; i < 200; ++i) {
+    (void)submit_cycle(a, make_job(32, 3.0 + (i % 6), /*user=*/1 + i % 4),
+                       true);
+  }
+  const auto state = a.save_state();
+  EnsembleEstimator b(cfg);
+  b.set_ladder(ladder);
+  ASSERT_TRUE(b.load_state(state));
+  EXPECT_EQ(a.group_count(), b.group_count());
+  EXPECT_EQ(a.fallback_groups(), b.fallback_groups());
+  for (int i = 0; i < 60; ++i) {
+    const auto job = make_job(32, 3.0 + (i % 6), /*user=*/1 + i % 5);
+    EXPECT_EQ(a.estimate(job, {}), b.estimate(job, {}));
+    (void)submit_cycle(a, job, true);
+    (void)submit_cycle(b, job, true);
+  }
+  EXPECT_EQ(a.save_state(), b.save_state());
+}
+
+TEST(Ensemble, LoadStateRejectsTruncatedBlobUnchanged) {
+  EnsembleEstimator est;
+  est.set_ladder(CapacityLadder({1, 2, 4, 8, 16, 32}));
+  train(est, 30, 32.0, 5.0);
+  const auto good = est.save_state();
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(est.load_state(truncated));
+  EXPECT_FALSE(est.load_state({1.0}));
+  EXPECT_EQ(est.save_state(), good);
+}
+
 // --- Factory -----------------------------------------------------------------
 
 TEST(Factory, BuildsEveryAdvertisedEstimator) {
@@ -436,6 +688,8 @@ TEST(Factory, ExplicitFeedbackRequirements) {
   EXPECT_TRUE(requires_explicit_feedback("last-instance"));
   EXPECT_TRUE(requires_explicit_feedback("regression-ridge"));
   EXPECT_TRUE(requires_explicit_feedback("regression-knn"));
+  EXPECT_TRUE(requires_explicit_feedback("quantile"));
+  EXPECT_TRUE(requires_explicit_feedback("ensemble"));
 }
 
 TEST(Factory, OptionsAreForwarded) {
@@ -545,8 +799,8 @@ TEST(PreviewEpoch, EqualEpochsImplyEqualPreviews) {
 TEST(PreviewEpoch, LearningEstimatorsOptOut) {
   // Estimators whose preview depends on SystemState (or mutable model
   // internals) must return nullopt: no memoization guarantee.
-  for (const char* name :
-       {"regression-ridge", "regression-knn", "reinforcement-learning"}) {
+  for (const char* name : {"regression-ridge", "regression-knn",
+                           "reinforcement-learning", "quantile", "ensemble"}) {
     SCOPED_TRACE(name);
     auto est = make_estimator(name);
     est->set_ladder(CapacityLadder({8, 16, 32}));

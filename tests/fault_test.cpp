@@ -615,6 +615,87 @@ TEST(MatchdWalTest, CrashReplayDecisionEquivalence) {
   }
 }
 
+TEST(MatchdWalTest, ModelRecoveryRestoresAByteIdenticalTwin) {
+  // The learned-model flavour of the tentpole property: with a quantile or
+  // ensemble estimator attached, crash + recover() must restore the model
+  // byte-identically, and the recovered service's decision stream must
+  // track an uncrashed twin exactly from then on.
+  for (const std::string name : {"quantile", "ensemble"}) {
+    TempDir dir("model_" + name);
+    TempDir twin_dir("model_twin_" + name);
+    MatchdConfig config;
+    config.durability.wal_dir = dir.path();
+    config.model_estimator = name;
+    // Warm quickly so grants genuinely diverge from pass-through before
+    // the crash — otherwise the equality below would be vacuous.
+    config.model_options.min_observations = 40;
+    MatchdConfig twin_config = config;
+    twin_config.durability.wal_dir = twin_dir.path();
+
+    Matchd twin(twin_config);
+    twin.set_ladder(test_ladder());
+    std::vector<double> before;
+    {
+      Matchd service(config);
+      service.set_ladder(test_ladder());
+      ASSERT_TRUE(service.model_enabled());
+      bool lowered = false;
+      for (std::uint64_t n = 0; n < 300; ++n) {
+        const trace::JobRecord job = make_job(n, /*groups=*/8);
+        const MiB granted = drive_job(service, job);
+        ASSERT_EQ(drive_job(twin, job), granted) << name << " job " << n;
+        lowered = lowered ||
+                  granted < test_ladder().round_up(job.requested_mem_mib);
+      }
+      EXPECT_TRUE(lowered) << name << " never left pass-through";
+      before = service.model_state();
+      ASSERT_FALSE(before.empty());
+      service.simulate_crash(/*leave_torn_tail=*/name == "ensemble");
+    }
+
+    Matchd restarted(config);
+    restarted.set_ladder(test_ladder());
+    auto recovery = restarted.recover();
+    ASSERT_TRUE(recovery.has_value()) << recovery.error();
+    EXPECT_GT(recovery.value().model_records, 0u);
+    EXPECT_EQ(recovery.value().invalid_records, 0u);
+    EXPECT_EQ(restarted.model_state(), before) << name;
+    EXPECT_EQ(restarted.model_state(), twin.model_state()) << name;
+
+    // Post-recovery traffic: grants and the evolving model state must stay
+    // in lockstep with the twin that never crashed.
+    for (std::uint64_t n = 300; n < 420; ++n) {
+      const trace::JobRecord job = make_job(n, /*groups=*/8);
+      EXPECT_EQ(drive_job(restarted, job), drive_job(twin, job))
+          << name << " job " << n;
+    }
+    EXPECT_EQ(restarted.model_state(), twin.model_state()) << name;
+  }
+}
+
+TEST(MatchdWalTest, CrashReplayDecisionEquivalenceForLearnedModels) {
+  // End-to-end: the crash-replay harness with a learned model attached —
+  // the recovered stream must be byte-identical to the fault-free run,
+  // and recovery must actually have replayed model-state frames.
+  trace::Workload workload = trace::generate_cm5_small(/*seed=*/7, 500);
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, 16);
+  for (const std::string name : {"quantile", "ensemble"}) {
+    TempDir dir("crashmodel_" + name);
+    sim::CrashReplayConfig config;
+    config.matchd.durability.wal_dir = dir.path();
+    config.matchd.model_estimator = name;
+    config.matchd.model_options.min_observations = 50;
+    config.crash_after = 250;
+    config.torn_tail = name == "quantile";
+    const sim::CrashReplayResult result =
+        sim::crash_replay(workload, cluster, config);
+    EXPECT_EQ(result.decisions, workload.jobs.size());
+    EXPECT_EQ(result.mismatches, 0u) << name;
+    EXPECT_TRUE(result.identical()) << name;
+    EXPECT_GT(result.recovery.model_records, 0u) << name;
+  }
+}
+
 TEST(MatchdWalTest, DegradedModeServesPassThroughAndRecovers) {
   TempDir dir("degraded");
   util::FaultInjector injector(5);

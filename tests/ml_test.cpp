@@ -1,13 +1,15 @@
 // Unit tests for the ML substrate: feature extraction, k-NN regression,
-// discretization, and tabular Q-learning.
+// discretization, tabular Q-learning, and online quantile regression.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "ml/discretizer.hpp"
 #include "ml/features.hpp"
 #include "ml/knn.hpp"
 #include "ml/qlearning.hpp"
+#include "ml/quantile.hpp"
 
 namespace resmatch::ml {
 namespace {
@@ -86,6 +88,40 @@ TEST(Knn, EvictsOldestWhenFull) {
   EXPECT_NEAR(knn.predict({0.0}, 0.0), 2.0, 1e-6);  // nearest is now {1}
 }
 
+TEST(Knn, RingOverwritesOldestAcrossMultipleWraps) {
+  KnnRegressor knn(1, /*max_points=*/2);
+  for (int i = 0; i < 7; ++i) {
+    knn.add({static_cast<double>(i)}, static_cast<double>(i));
+  }
+  // Seven adds through a 2-slot ring: three full wraps leave exactly the
+  // two newest points, in either slot.
+  EXPECT_EQ(knn.size(), 2u);
+  EXPECT_NEAR(knn.predict({6.0}, -1.0), 6.0, 1e-9);
+  EXPECT_NEAR(knn.predict({5.0}, -1.0), 5.0, 1e-9);
+  // The oldest survivor is 5: a query at the long-evicted origin lands on
+  // it, not on the stale point that used to live there.
+  EXPECT_NEAR(knn.predict({0.0}, -1.0), 5.0, 1e-9);
+}
+
+TEST(Knn, RepeatedPredictionsAreBitIdentical) {
+  // predict() reuses an internal scratch buffer across calls; the reuse
+  // must be invisible — repeated queries (and queries interleaved with
+  // other queries) return bit-identical results.
+  KnnRegressor knn(3);
+  for (int i = 0; i < 32; ++i) {
+    const double v = static_cast<double>(i);
+    knn.add({v * 0.25, std::sin(v)}, std::cos(v));
+  }
+  const std::vector<double> q1{1.3, 0.4};
+  const std::vector<double> q2{7.7, -0.2};
+  const double first1 = knn.predict(q1, 0.0);
+  const double first2 = knn.predict(q2, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(knn.predict(q1, 0.0), first1);
+    EXPECT_EQ(knn.predict(q2, 0.0), first2);
+  }
+}
+
 TEST(Discretizer, BucketsAndClamping) {
   Discretizer d(0.0, 10.0, 5);
   EXPECT_EQ(d.bucket(-1.0), 0u);
@@ -100,6 +136,24 @@ TEST(Discretizer, Midpoints) {
   Discretizer d(0.0, 10.0, 5);
   EXPECT_DOUBLE_EQ(d.midpoint(0), 1.0);
   EXPECT_DOUBLE_EQ(d.midpoint(4), 9.0);
+}
+
+TEST(Discretizer, InternalEdgesBelongToTheUpperBucket) {
+  Discretizer d(0.0, 10.0, 5);
+  EXPECT_EQ(d.bucket(2.0), 1u);
+  EXPECT_EQ(d.bucket(4.0), 2u);
+  EXPECT_EQ(d.bucket(6.0), 3u);
+  EXPECT_EQ(d.bucket(8.0), 4u);
+  // Just below an edge stays in the lower bucket.
+  EXPECT_EQ(d.bucket(std::nextafter(2.0, 0.0)), 0u);
+}
+
+TEST(Discretizer, SingleBucketAbsorbsEverything) {
+  Discretizer d(-5.0, 5.0, 1);
+  EXPECT_EQ(d.bucket(-100.0), 0u);
+  EXPECT_EQ(d.bucket(0.0), 0u);
+  EXPECT_EQ(d.bucket(100.0), 0u);
+  EXPECT_DOUBLE_EQ(d.midpoint(0), 0.0);
 }
 
 TEST(StateSpace, RowMajorIndexing) {
@@ -136,6 +190,38 @@ TEST(QLearning, EpsilonDecays) {
   EXPECT_EQ(agent.updates(), 100u);
 }
 
+TEST(QLearning, EpsilonNeverCrossesTheFloorMidDecay) {
+  // A decay step that would land below the floor clamps exactly onto it;
+  // further updates stay pinned rather than drifting back up or below.
+  QLearningConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.epsilon_decay = 0.5;
+  cfg.epsilon_min = 0.04;
+  QLearningAgent agent(1, 1, cfg, 2);
+  agent.update(0, 0, 0.0, agent.states());
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.05);  // 0.1 * 0.5, still above floor
+  agent.update(0, 0, 0.0, agent.states());
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.04);  // 0.025 would undershoot: clamp
+  for (int i = 0; i < 50; ++i) agent.update(0, 0, 0.0, agent.states());
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.04);
+}
+
+TEST(QLearning, TerminalTransitionDoesNotBootstrap) {
+  QLearningConfig cfg;
+  cfg.learning_rate = 1.0;
+  cfg.discount = 1.0;
+  cfg.epsilon = 0.0;
+  QLearningAgent agent(2, 1, cfg, 7);
+  agent.update(1, 0, 10.0, agent.states());  // terminal: Q(1,0) = 10
+  // A terminal update in state 0 must not pull in state 1's value, even
+  // at discount 1 — `next_state == states()` means "no successor".
+  agent.update(0, 0, 0.0, agent.states());
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 0.0);
+  // The same transition declared non-terminal does bootstrap.
+  agent.update(0, 0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 10.0);
+}
+
 TEST(QLearning, StatesAreIndependent) {
   QLearningConfig cfg;
   cfg.epsilon = 0.0;
@@ -170,6 +256,98 @@ TEST(QLearning, DeterministicGivenSeed) {
     a.update(i % 4, 0, 0.5, a.states());
     b.update(i % 4, 0, 0.5, b.states());
   }
+}
+
+TEST(QuantileRegressor, NormalizedStepsMovePredictionByExactlyTheGain) {
+  // The subgradient is normalized by the squared feature norm, so one
+  // observation moves the prediction AT THAT POINT by exactly lr*tau
+  // (under-prediction) or lr*(1-tau) (covered), whatever the feature
+  // scale. averaging_horizon <= 1 exposes the raw iterate.
+  QuantileRegressorConfig cfg;
+  cfg.tau = 0.9;
+  cfg.learning_rate = 0.5;
+  cfg.averaging_horizon = 0.0;
+  OnlineQuantileRegressor reg(1, cfg);
+  const std::vector<double> x{3.0};
+  reg.update(x, 100.0);  // y > prediction: up by 0.5 * 0.9
+  EXPECT_NEAR(reg.predict(x), 0.45, 1e-12);
+  reg.update(x, -100.0);  // covered: down by 0.5 * 0.1
+  EXPECT_NEAR(reg.predict(x), 0.40, 1e-12);
+  EXPECT_EQ(reg.observations(), 2u);
+}
+
+TEST(QuantileRegressor, ConvergesToTheEmpiricalQuantile) {
+  QuantileRegressorConfig cfg;
+  cfg.tau = 0.9;
+  OnlineQuantileRegressor reg(0, cfg);  // bias-only model
+  for (int pass = 0; pass < 30; ++pass) {
+    for (int y = 1; y <= 100; ++y) reg.update({}, static_cast<double>(y));
+  }
+  // 90th percentile of the uniform 1..100 stream.
+  EXPECT_NEAR(reg.predict({}), 90.0, 3.0);
+}
+
+TEST(QuantileRegressor, AveragingDampsTheSawtooth) {
+  // Constant-step pinball SGD oscillates around the quantile; the EWMA of
+  // iterates that serves predictions must visibly shrink that hop.
+  QuantileRegressorConfig averaged;
+  averaged.tau = 0.9;
+  QuantileRegressorConfig raw = averaged;
+  raw.averaging_horizon = 0.0;
+  OnlineQuantileRegressor a(0, averaged), b(0, raw);
+  const auto spread_after_burn_in = [](OnlineQuantileRegressor& reg) {
+    double lo = 1e300, hi = -1e300;
+    for (int pass = 0; pass < 30; ++pass) {
+      for (int y = 1; y <= 100; ++y) {
+        reg.update({}, static_cast<double>(y));
+        if (pass >= 25) {
+          lo = std::min(lo, reg.predict({}));
+          hi = std::max(hi, reg.predict({}));
+        }
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread_after_burn_in(a), spread_after_burn_in(b));
+}
+
+TEST(QuantileRegressor, StateRoundTripsIntoADecisionTwin) {
+  QuantileRegressorConfig cfg;
+  OnlineQuantileRegressor a(3, cfg);
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(i % 17);
+    a.update({v, std::sin(v), 1.0 / (1.0 + v)}, 5.0 + 0.3 * v);
+  }
+  const auto state = a.state();
+  ASSERT_EQ(state.size(), 1u + 2u * 4u);  // obs + (w,b) + averaged (w,b)
+  OnlineQuantileRegressor b(3, cfg);
+  ASSERT_TRUE(b.restore(state));
+  EXPECT_EQ(b.observations(), a.observations());
+  const std::vector<double> probe{2.5, 0.1, 0.4};
+  EXPECT_EQ(b.predict(probe), a.predict(probe));  // bit-identical
+  // Training continues in lockstep: the averaging ramp and the raw
+  // iterate were both restored, so the twins cannot diverge.
+  a.update(probe, 9.0);
+  b.update(probe, 9.0);
+  EXPECT_EQ(b.predict(probe), a.predict(probe));
+  EXPECT_EQ(b.state(), a.state());
+}
+
+TEST(QuantileRegressor, RestoreRejectsMalformedStateUnchanged) {
+  OnlineQuantileRegressor reg(2, {});
+  reg.update({1.0, 2.0}, 3.0);
+  const auto good = reg.state();
+  std::vector<double> truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(reg.restore(truncated));
+  auto poisoned = good;
+  poisoned[2] = std::nan("");
+  EXPECT_FALSE(reg.restore(poisoned));
+  auto negative_obs = good;
+  negative_obs[0] = -1.0;
+  EXPECT_FALSE(reg.restore(negative_obs));
+  // Every rejected restore left the model untouched.
+  EXPECT_EQ(reg.state(), good);
+  EXPECT_TRUE(reg.restore(good));
 }
 
 }  // namespace
