@@ -9,7 +9,18 @@
 //   --sim-jobs=N        trace size for the simulator benchmark (def. 3000)
 //   --baseline-loop     measure ONLY the reference engine (A/B anchor)
 //   --metrics-out=PATH  write a schema-v1 BENCH_sim.json record
+//   --scale             run ONLY the cluster-scale engine comparison:
+//                       heap vs calendar engines, materialized vs streamed
+//                       traces, sharded integration — each arm in a forked
+//                       child so peak RSS is per-arm, with a hard internal
+//                       byte-equivalence gate across all arms
+//   --scale-jobs=N      trace size for --scale (default 200000)
+//   --scale-machines=N  cluster size for --scale (default 100000)
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +38,7 @@
 #include "sim/simulator.hpp"
 #include "sim/timeseries.hpp"
 #include "trace/cm5_model.hpp"
+#include "trace/job_stream.hpp"
 #include "trace/transforms.hpp"
 #include "util/rng.hpp"
 
@@ -263,6 +275,280 @@ int run_sim_section(std::size_t sim_jobs, bool baseline_only,
   return 0;
 }
 
+// --- cluster-scale engine comparison ------------------------------------
+//
+// Five arms over one scenario, each in a forked child so the parent can
+// read the child's peak RSS from wait4() (process-wide peaks are sticky,
+// so arms sharing a process would all report the largest one):
+//
+//   heap       materialized trace, pre-calendar heap engine (anchor)
+//   calendar   materialized trace, merge engine (the default)
+//   streamed   on-the-fly CM5 generation into the merge engine
+//   shards1/4  streamed + sharded pool integration (1 and 4 workers)
+//
+// Every arm must produce a byte-identical result digest; a mismatch is a
+// hard failure, making this bench double as the cluster-scale
+// determinism gate CI runs at reduced size.
+
+/// Result digest + timing shipped from the forked child over a pipe.
+/// Integers exact; doubles compared bitwise (same decisions => same
+/// arithmetic, process boundaries notwithstanding).
+struct ScaleWire {
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t resource_failures = 0;
+  std::uint64_t dropped_unschedulable = 0;
+  std::uint64_t dropped_attempt_cap = 0;
+  std::uint64_t lowered_starts = 0;
+  double utilization = 0.0;
+  double makespan = 0.0;
+  double mean_wait = 0.0;
+  double mean_slowdown = 0.0;
+
+  [[nodiscard]] bool same_digest(const ScaleWire& o) const {
+    return completed == o.completed && attempts == o.attempts &&
+           resource_failures == o.resource_failures &&
+           dropped_unschedulable == o.dropped_unschedulable &&
+           dropped_attempt_cap == o.dropped_attempt_cap &&
+           lowered_starts == o.lowered_starts &&
+           utilization == o.utilization && makespan == o.makespan &&
+           mean_wait == o.mean_wait && mean_slowdown == o.mean_slowdown;
+  }
+};
+
+enum class ScaleArm {
+  kHeap,
+  kCalendar,
+  kStreamed,
+  kShards1,
+  kShards4,
+  kBaseline
+};
+
+const char* scale_arm_name(ScaleArm arm) {
+  switch (arm) {
+    case ScaleArm::kHeap: return "heap";
+    case ScaleArm::kCalendar: return "calendar";
+    case ScaleArm::kStreamed: return "streamed";
+    case ScaleArm::kShards1: return "shards1";
+    case ScaleArm::kShards4: return "shards4";
+    case ScaleArm::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
+/// The full CM5 calibration scaled to the requested population. Few
+/// capacity classes on purpose: pool integration is O(#pools) per event,
+/// and burying the event-queue comparison under a huge pool scan would
+/// measure the wrong thing.
+trace::Cm5ModelConfig scale_model(std::size_t jobs, std::size_t machines) {
+  trace::Cm5ModelConfig cfg;
+  cfg.seed = 11;
+  cfg.job_count = jobs;
+  cfg.group_count = std::max<std::size_t>(64, jobs / 12);
+  cfg.user_count = std::max<std::size_t>(8, jobs / 600);
+  cfg.nominal_machines = machines;
+  cfg.nominal_load = 0.9;
+  return cfg;
+}
+
+sim::ClusterSpec scale_cluster(std::size_t machines) {
+  const std::size_t per_pool = std::max<std::size_t>(1, machines / 4);
+  return {{32.0, per_pool}, {24.0, per_pool}, {16.0, per_pool},
+          {8.0, per_pool}};
+}
+
+ScaleWire run_scale_arm(std::size_t jobs, std::size_t machines,
+                        ScaleArm arm) {
+  const trace::Cm5ModelConfig model = scale_model(jobs, machines);
+  const sim::ClusterSpec spec = scale_cluster(machines);
+  const auto estimator = core::make_estimator("successive-approximation");
+  const auto policy = sched::make_policy("fcfs");
+  sim::SimulationConfig cfg;
+  cfg.seed = 7;
+  cfg.explicit_feedback = true;
+  if (arm == ScaleArm::kHeap) cfg.heap_queue = true;
+  if (arm == ScaleArm::kShards1) cfg.shards = 1;
+  if (arm == ScaleArm::kShards4) cfg.shards = 4;
+  if (arm == ScaleArm::kBaseline) {
+    // The preserved seed engine: binary heap + pre-optimization event
+    // loop. Decision-equivalent to every other arm (perf_equiv_test),
+    // so it anchors the "engine vs where we started" speedup at scale.
+    cfg.heap_queue = true;
+    cfg.baseline_loop = true;
+  }
+
+  // Trace acquisition stays OUTSIDE the timer for every arm (the
+  // streamed arms' stream constructor is their generation pass); the
+  // timed region is simulate() alone. Peak RSS covers the whole child —
+  // materialized arms pay for the vector, streamed arms don't, which is
+  // exactly the memory claim this bench records.
+  sim::SimulationResult result;
+  double wall = 0.0;
+  const bool streamed = arm == ScaleArm::kStreamed ||
+                        arm == ScaleArm::kShards1 ||
+                        arm == ScaleArm::kShards4;
+  if (streamed) {
+    trace::Cm5JobStream stream(model);
+    const auto start = std::chrono::steady_clock::now();
+    result = sim::simulate(stream, spec, *estimator, *policy, cfg);
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+  } else {
+    const trace::Workload w = trace::generate_cm5(model);
+    const auto start = std::chrono::steady_clock::now();
+    result = sim::simulate(w, spec, *estimator, *policy, cfg);
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+  }
+
+  ScaleWire wire;
+  wire.wall_seconds = wall;
+  // Exact event count: one event per arrival, one per attempt's end (this
+  // scenario schedules no availability changes).
+  wire.events = static_cast<std::uint64_t>(result.submitted) +
+                static_cast<std::uint64_t>(result.attempts);
+  wire.completed = result.completed;
+  wire.attempts = result.attempts;
+  wire.resource_failures = result.resource_failures;
+  wire.dropped_unschedulable = result.dropped_unschedulable;
+  wire.dropped_attempt_cap = result.dropped_attempt_cap;
+  wire.lowered_starts = result.lowered_starts;
+  wire.utilization = result.utilization;
+  wire.makespan = result.makespan;
+  wire.mean_wait = result.mean_wait;
+  wire.mean_slowdown = result.mean_slowdown;
+  return wire;
+}
+
+bool run_scale_arm_forked(std::size_t jobs, std::size_t machines,
+                          ScaleArm arm, ScaleWire* out,
+                          double* peak_rss_mib) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const ScaleWire wire = run_scale_arm(jobs, machines, arm);
+    const ssize_t n = write(fds[1], &wire, sizeof wire);
+    _exit(n == static_cast<ssize_t>(sizeof wire) ? 0 : 3);
+  }
+  close(fds[1]);
+  ScaleWire wire;
+  std::size_t got = 0;
+  while (got < sizeof wire) {
+    const ssize_t n = read(fds[0], reinterpret_cast<char*>(&wire) + got,
+                           sizeof wire - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage ru {};
+  if (wait4(pid, &status, 0, &ru) != pid) return false;
+  if (got != sizeof wire || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return false;
+  }
+  *out = wire;
+  *peak_rss_mib = static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+  return true;
+}
+
+int run_scale_section(std::size_t jobs, std::size_t machines,
+                      const std::string& metrics_out) {
+  std::printf("== cluster-scale engines (fcfs + successive-approximation, "
+              "%zu machines, %zu jobs) ==\n",
+              machines, jobs);
+  std::printf("%-10s  %10s  %8s  %12s  %12s\n", "arm", "events", "wall s",
+              "events/s", "peak MiB");
+
+  // The baseline arm (seed engine: binary heap + pre-optimization loop)
+  // runs last: it is the slowest by far at cluster scale, and its only
+  // job is anchoring the "engine vs where we started" speedup.
+  constexpr ScaleArm kArms[] = {ScaleArm::kHeap,    ScaleArm::kCalendar,
+                                ScaleArm::kStreamed, ScaleArm::kShards1,
+                                ScaleArm::kShards4,  ScaleArm::kBaseline};
+  constexpr std::size_t kArmCount = std::size(kArms);
+  ScaleWire wires[kArmCount];
+  double rss[kArmCount] = {};
+  double eps[kArmCount] = {};
+  for (std::size_t i = 0; i < kArmCount; ++i) {
+    if (!run_scale_arm_forked(jobs, machines, kArms[i], &wires[i],
+                              &rss[i])) {
+      std::fprintf(stderr, "error: scale arm '%s' failed\n",
+                   scale_arm_name(kArms[i]));
+      return 1;
+    }
+    eps[i] = wires[i].wall_seconds > 0.0
+                 ? static_cast<double>(wires[i].events) /
+                       wires[i].wall_seconds
+                 : 0.0;
+    std::printf("%-10s  %10llu  %8.3f  %12.0f  %12.1f\n",
+                scale_arm_name(kArms[i]),
+                static_cast<unsigned long long>(wires[i].events),
+                wires[i].wall_seconds, eps[i], rss[i]);
+  }
+
+  for (std::size_t i = 1; i < kArmCount; ++i) {
+    if (!wires[0].same_digest(wires[i])) {
+      std::fprintf(stderr,
+                   "error: arm '%s' diverged from '%s' (completed %llu vs "
+                   "%llu) — cluster-scale determinism is broken\n",
+                   scale_arm_name(kArms[i]), scale_arm_name(kArms[0]),
+                   static_cast<unsigned long long>(wires[i].completed),
+                   static_cast<unsigned long long>(wires[0].completed));
+      return 1;
+    }
+  }
+  const double speedup = eps[0] > 0.0 ? eps[1] / eps[0] : 0.0;
+  const double speedup_vs_baseline = eps[5] > 0.0 ? eps[1] / eps[5] : 0.0;
+  const double rss_ratio = rss[1] > 0.0 ? rss[2] / rss[1] : 0.0;
+  std::printf("calendar vs heap: %.2fx events/s; calendar vs seed baseline "
+              "loop: %.2fx; streamed peak RSS %.2fx of materialized (all "
+              "arms byte-identical)\n",
+              speedup, speedup_vs_baseline, rss_ratio);
+
+  if (!metrics_out.empty()) {
+    obs::BenchRecord record("micro_core_scale");
+    record.config("scale_jobs", static_cast<std::int64_t>(jobs));
+    record.config("scale_machines", static_cast<std::int64_t>(machines));
+    record.config("policy", "fcfs");
+    record.config("estimator", "successive-approximation");
+    record.summary("events_total", static_cast<double>(wires[0].events));
+    record.summary("events_per_sec_heap", eps[0]);
+    record.summary("events_per_sec_calendar", eps[1]);
+    record.summary("events_per_sec_streamed", eps[2]);
+    record.summary("events_per_sec_shards1", eps[3]);
+    record.summary("events_per_sec_shards4", eps[4]);
+    record.summary("events_per_sec_baseline", eps[5]);
+    record.summary("speedup_calendar_vs_heap", speedup);
+    record.summary("speedup_calendar_vs_baseline", speedup_vs_baseline);
+    record.summary("peak_rss_mib_heap", rss[0]);
+    record.summary("peak_rss_mib_calendar", rss[1]);
+    record.summary("peak_rss_mib_streamed", rss[2]);
+    record.summary("peak_rss_mib_shards4", rss[4]);
+    record.summary("rss_ratio_streamed_vs_materialized", rss_ratio);
+    record.summary("equivalence_ok", 1.0);
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Custom main: peel off the repo-specific flags, hand the rest to
@@ -270,7 +556,10 @@ int run_sim_section(std::size_t sim_jobs, bool baseline_only,
 int main(int argc, char** argv) {
   bool sim_only = false;
   bool baseline_loop = false;
+  bool scale = false;
   std::size_t sim_jobs = 3000;
+  std::size_t scale_jobs = 200000;
+  std::size_t scale_machines = 100000;
   std::string metrics_out;
 
   std::vector<char*> passthrough;
@@ -281,14 +570,26 @@ int main(int argc, char** argv) {
       sim_only = true;
     } else if (arg == "--baseline-loop") {
       baseline_loop = true;
+    } else if (arg == "--scale") {
+      scale = true;
     } else if (arg.rfind("--sim-jobs=", 0) == 0) {
       sim_jobs = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + std::strlen("--sim-jobs="), nullptr, 10));
+    } else if (arg.rfind("--scale-jobs=", 0) == 0) {
+      scale_jobs = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::strlen("--scale-jobs="), nullptr, 10));
+    } else if (arg.rfind("--scale-machines=", 0) == 0) {
+      scale_machines = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::strlen("--scale-machines="), nullptr, 10));
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+
+  if (scale) {
+    return run_scale_section(scale_jobs, scale_machines, metrics_out);
   }
 
   if (!sim_only) {

@@ -218,9 +218,11 @@ std::vector<match::ClassAd> make_machines(std::size_t count) {
 
 struct MatcherSample {
   double interp_rows_per_sec = 0.0;
-  double compiled_rows_per_sec = 0.0;
+  double compiled_rows_per_sec = 0.0;  ///< SIMD prefilter (the default)
+  double scalar_rows_per_sec = 0.0;    ///< same pipeline, scalar kernel
   std::uint64_t fallback_rows = 0;
-  std::size_t matched = 0;  ///< sanity: both paths must agree
+  std::uint64_t prefiltered_rows = 0;  ///< per pass, SIMD run
+  std::size_t matched = 0;  ///< sanity: all paths must agree
 };
 
 MatcherSample measure_matcher(std::size_t machine_count, int passes) {
@@ -246,26 +248,49 @@ MatcherSample measure_matcher(std::size_t machine_count, int passes) {
   // Table build is once per (machine set); compile is once per request —
   // both inside the timed region, amortized over `passes` matches the
   // matchmaker's negotiation-cycle shape (one table, many requests).
+  // The SIMD-prefilter (default) and scalar-kernel arms interleave per
+  // pass so load drift on the host cannot masquerade as a kernel delta.
   std::vector<std::size_t> compiled_ranked;
+  std::vector<std::size_t> scalar_ranked;
   match::CompiledMatcher::Stats stats;
+  double compiled_s = 0.0;
+  double scalar_s = 0.0;
   const auto t1 = std::chrono::steady_clock::now();
   const match::MachineTable table = match::MachineTable::build(machines);
-  for (int p = 0; p < passes; ++p) {
-    compiled_ranked = match::rank_matches_compiled(request, table, &stats);
-  }
-  const double compiled_s =
+  compiled_s +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
           .count();
+  for (int p = 0; p < passes; ++p) {
+    const auto a0 = std::chrono::steady_clock::now();
+    compiled_ranked = match::rank_matches_compiled(request, table, &stats);
+    const auto a1 = std::chrono::steady_clock::now();
+    compiled_s += std::chrono::duration<double>(a1 - a0).count();
+    match::CompiledMatcher matcher(request, table);
+    matcher.set_simd_enabled(false);
+    scalar_ranked = matcher.rank_all();
+    scalar_s += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - a1)
+                    .count();
+  }
 
   if (compiled_ranked != interp_ranked) {
     std::fprintf(stderr,
                  "FATAL: compiled matcher diverged from the tree walker\n");
     std::exit(1);
   }
+  if (scalar_ranked != interp_ranked) {
+    std::fprintf(
+        stderr,
+        "FATAL: scalar-prefilter matcher diverged from the tree walker\n");
+    std::exit(1);
+  }
+
   const double rows = static_cast<double>(machine_count) * passes;
   sample.interp_rows_per_sec = rows / interp_s;
   sample.compiled_rows_per_sec = rows / compiled_s;
+  sample.scalar_rows_per_sec = rows / scalar_s;
   sample.fallback_rows = stats.fallback_rows;
+  sample.prefiltered_rows = stats.prefiltered_rows;
   sample.matched = interp_ranked.size();
   return sample;
 }
@@ -337,6 +362,10 @@ int main(int argc, char** argv) {
         matcher.interp_rows_per_sec > 0.0
             ? matcher.compiled_rows_per_sec / matcher.interp_rows_per_sec
             : 0.0;
+    const double simd_speedup =
+        matcher.scalar_rows_per_sec > 0.0
+            ? matcher.compiled_rows_per_sec / matcher.scalar_rows_per_sec
+            : 0.0;
 
     std::printf("batched admission, %zu threads x %zu ops, WAL at %s\n",
                 threads, compare_ops, g_durability.wal_dir.c_str());
@@ -344,13 +373,16 @@ int main(int argc, char** argv) {
     std::printf("  batch_max=64    %12.0f ops/s   (%.2fx)\n",
                 batch64.jobs_per_sec, batch_speedup);
     std::printf("compiled matcher, %zu machines (%zu matched, "
-                "%llu fallback rows)\n",
+                "%llu fallback rows, %llu prefiltered/pass)\n",
                 machine_count, matcher.matched,
-                static_cast<unsigned long long>(matcher.fallback_rows));
+                static_cast<unsigned long long>(matcher.fallback_rows),
+                static_cast<unsigned long long>(matcher.prefiltered_rows));
     std::printf("  tree walker     %12.0f rows/s\n",
                 matcher.interp_rows_per_sec);
-    std::printf("  bytecode        %12.0f rows/s   (%.2fx)\n",
+    std::printf("  bytecode+simd   %12.0f rows/s   (%.2fx)\n",
                 matcher.compiled_rows_per_sec, match_speedup);
+    std::printf("  bytecode scalar %12.0f rows/s   (simd kernel %.2fx)\n",
+                matcher.scalar_rows_per_sec, simd_speedup);
 
     obs::BenchRecord record("micro_service_batch");
     record.config("threads", static_cast<std::int64_t>(threads));
@@ -365,6 +397,11 @@ int main(int argc, char** argv) {
     record.summary("match_rows_per_sec_compiled",
                    matcher.compiled_rows_per_sec);
     record.summary("match_speedup", match_speedup);
+    record.summary("match_rows_per_sec_compiled_scalar",
+                   matcher.scalar_rows_per_sec);
+    record.summary("match_simd_speedup", simd_speedup);
+    record.summary("match_prefiltered_rows",
+                   static_cast<double>(matcher.prefiltered_rows));
     record.metrics(snapshot64);
     if (own_wal) std::filesystem::remove_all(g_durability.wal_dir);
     if (!record.write(batch_compare)) {

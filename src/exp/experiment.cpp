@@ -34,6 +34,18 @@ sim::SimulationResult run_once(const trace::Workload& workload,
   return sim::simulate(workload, cluster, estimator, *policy, config);
 }
 
+sim::SimulationResult run_once(trace::JobStream& stream,
+                               const sim::ClusterSpec& cluster,
+                               const RunSpec& spec) {
+  auto estimator = core::make_estimator(spec.estimator, spec.options);
+  auto policy = sched::make_policy(spec.policy);
+  sim::SimulationConfig config = spec.effective_sim_config();
+  core::RuntimePredictor predictor;
+  if (spec.use_runtime_prediction) config.runtime_predictor = &predictor;
+  stream.reset();
+  return sim::simulate(stream, cluster, *estimator, *policy, config);
+}
+
 namespace {
 
 /// Both arms of point i live in task slots 2i (with estimation) and
@@ -247,6 +259,15 @@ trace::Workload standard_workload(std::uint64_t seed, std::size_t jobs) {
     return trace::sort_by_submit(trace::generate_cm5(cfg));
   }
   return trace::sort_by_submit(trace::generate_cm5_small(seed, jobs));
+}
+
+trace::Cm5JobStream standard_stream(std::uint64_t seed, std::size_t jobs) {
+  if (jobs == 0) {
+    trace::Cm5ModelConfig cfg;
+    cfg.seed = seed;
+    return trace::Cm5JobStream(cfg);
+  }
+  return trace::Cm5JobStream(trace::cm5_small_config(seed, jobs));
 }
 
 }  // namespace resmatch::exp

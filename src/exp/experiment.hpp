@@ -15,6 +15,7 @@
 #include "sched/factory.hpp"
 #include "sim/simulator.hpp"
 #include "trace/cm5_model.hpp"
+#include "trace/job_stream.hpp"
 #include "trace/transforms.hpp"
 
 namespace resmatch::exp {
@@ -47,6 +48,14 @@ struct RunSpec {
                                              const sim::ClusterSpec& cluster,
                                              const RunSpec& spec,
                                              core::Estimator& estimator);
+
+/// Streamed variant: drive the run off a JobStream instead of a
+/// materialized workload, keeping peak memory at O(active jobs). Decisions
+/// are byte-identical to run_once over the materialized equivalent (the
+/// JobStream equivalence contract). The stream is reset before the run.
+[[nodiscard]] sim::SimulationResult run_once(trace::JobStream& stream,
+                                             const sim::ClusterSpec& cluster,
+                                             const RunSpec& spec);
 
 /// One row of a load sweep: the same workload rescaled to `load`, run with
 /// and without estimation.
@@ -151,6 +160,12 @@ using SpecSweep = TaskSweep<sim::SimulationResult>;
 /// scaled traces for quick runs.
 [[nodiscard]] trace::Workload standard_workload(std::uint64_t seed,
                                                 std::size_t jobs = 0);
+
+/// Streamed counterpart of standard_workload: the same trace, generated
+/// on the fly. Jobs come out in submit order already (the CM5 model emits
+/// chronologically), matching standard_workload's sort_by_submit.
+[[nodiscard]] trace::Cm5JobStream standard_stream(std::uint64_t seed,
+                                                  std::size_t jobs = 0);
 
 /// The paper's §2.2 offline training phase: replay a historical trace's
 /// explicit feedback through the estimator (no cluster involved — every

@@ -5,6 +5,10 @@
 #include <unordered_set>
 #include <utility>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace resmatch::match {
 
 namespace {
@@ -144,6 +148,20 @@ MachineTable MachineTable::build(const std::vector<ClassAd>& machines) {
       t.req_group_of_row_[row] = it->second;
     }
   }
+
+  // Pass 3: dense numeric projections for the SIMD prefilter. Only kNum
+  // cells raise the mask — impure, missing, undef, bool and string cells
+  // all read as "not a number" and are never prefilter-rejected.
+  for (Column& col : t.columns_) {
+    col.nums.assign(t.rows_, 0.0);
+    col.is_num.assign(t.rows_, 0);
+    for (std::size_t row = 0; row < t.rows_; ++row) {
+      if (col.cells[row].tag == CellTag::kNum) {
+        col.nums[row] = col.cells[row].num;
+        col.is_num[row] = 1;
+      }
+    }
+  }
   return t;
 }
 
@@ -156,6 +174,7 @@ CompiledMatcher::CompiledMatcher(const ClassAd& request,
     has_req_requirements_ = true;
     req_requirements_.ok =
         compile(**req, /*machine_side=*/false, 0, req_requirements_.code);
+    extract_prefilter(**req);
   }
   if (const ExprPtr* rank = request.find("rank")) {
     has_req_rank_ = true;
@@ -327,6 +346,178 @@ bool CompiledMatcher::compile_attr(const Expr& expr, bool machine_side,
       }
   }
   return false;
+}
+
+// --- CompiledMatcher: SIMD prefilter -----------------------------------------
+
+namespace {
+
+void collect_conjuncts(const Expr& expr, std::vector<const Expr*>& out) {
+  if (expr.kind == ExprKind::kBinary && expr.op == TokenKind::kAndAnd) {
+    collect_conjuncts(*expr.children[0], out);
+    collect_conjuncts(*expr.children[1], out);
+    return;
+  }
+  out.push_back(&expr);
+}
+
+bool cmp_satisfies(CompiledMatcher::PrefilterCmp cmp, double v, double lit) {
+  using C = CompiledMatcher::PrefilterCmp;
+  switch (cmp) {
+    case C::kLt: return v < lit;
+    case C::kLe: return v <= lit;
+    case C::kGt: return v > lit;
+    case C::kGe: return v >= lit;
+    case C::kEq: return v == lit;
+    case C::kNe: return v != lit;
+  }
+  return true;
+}
+
+/// rejected[i] |= is_num[i] && !(vals[i] <cmp> lit), for i in [0, n).
+void prefilter_scalar(CompiledMatcher::PrefilterCmp cmp, double lit,
+                      const double* vals, const std::uint8_t* is_num,
+                      std::uint8_t* rejected, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    rejected[i] |= static_cast<std::uint8_t>(
+        is_num[i] != 0 && !cmp_satisfies(cmp, vals[i], lit));
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+/// Same contract as prefilter_scalar, 4 doubles per compare. Ordered
+/// quiet predicates: neither side can be NaN (literals are finite,
+/// cells' NaN becomes UNDEFINED at materialization), so O/U is moot —
+/// OQ just mirrors the scalar operators exactly.
+__attribute__((target("avx2"))) void prefilter_avx2(
+    CompiledMatcher::PrefilterCmp cmp, double lit, const double* vals,
+    const std::uint8_t* is_num, std::uint8_t* rejected, std::size_t n) {
+  using C = CompiledMatcher::PrefilterCmp;
+  const __m256d vlit = _mm256_set1_pd(lit);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    __m256d sat;
+    switch (cmp) {
+      case C::kLt: sat = _mm256_cmp_pd(v, vlit, _CMP_LT_OQ); break;
+      case C::kLe: sat = _mm256_cmp_pd(v, vlit, _CMP_LE_OQ); break;
+      case C::kGt: sat = _mm256_cmp_pd(v, vlit, _CMP_GT_OQ); break;
+      case C::kGe: sat = _mm256_cmp_pd(v, vlit, _CMP_GE_OQ); break;
+      case C::kEq: sat = _mm256_cmp_pd(v, vlit, _CMP_EQ_OQ); break;
+      default: sat = _mm256_cmp_pd(v, vlit, _CMP_NEQ_OQ); break;
+    }
+    const int bits = _mm256_movemask_pd(sat);
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto at = i + static_cast<std::size_t>(lane);
+      rejected[at] |= static_cast<std::uint8_t>(is_num[at] &
+                                                ((~bits >> lane) & 1));
+    }
+  }
+  prefilter_scalar(cmp, lit, vals + i, is_num + i, rejected + i, n - i);
+}
+#endif
+
+}  // namespace
+
+/// Lowers top-level `&&` conjuncts of the request's requirements into
+/// vectorizable `column <cmp> finite-literal` terms.
+///
+/// Why rejecting on a FALSE term is sound even though other conjuncts
+/// may be impure or uncompilable: the scanned cell is a materialized
+/// pure number, so the tree evaluates that conjunct to the same FALSE;
+/// and under the tri-state `&&` a FALSE operand caps the chain's value
+/// at FALSE or UNDEFINED — never TRUE — no matter what every other
+/// conjunct evaluates to. Both engines define "matched" as the value
+/// being boolean TRUE, so the row cannot match either way.
+void CompiledMatcher::extract_prefilter(const Expr& requirements) {
+  std::vector<const Expr*> conjuncts;
+  collect_conjuncts(requirements, conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    // Reuse the full compiler for the lowering; throwaway programs may
+    // append extra literals to literals_, which is harmless.
+    std::vector<Instr> code;
+    if (!compile(*conjunct, /*machine_side=*/false, 0, code)) continue;
+    if (code.size() != 3) continue;
+    PrefilterCmp cmp;
+    switch (code[2].op) {
+      case Op::kLt: cmp = PrefilterCmp::kLt; break;
+      case Op::kLe: cmp = PrefilterCmp::kLe; break;
+      case Op::kGt: cmp = PrefilterCmp::kGt; break;
+      case Op::kGe: cmp = PrefilterCmp::kGe; break;
+      case Op::kEq: cmp = PrefilterCmp::kEq; break;
+      case Op::kNe: cmp = PrefilterCmp::kNe; break;
+      default: continue;
+    }
+    int col = -1;
+    std::int32_t literal = -1;
+    if (code[0].op == Op::kLoadColumn && code[1].op == Op::kPushLiteral) {
+      col = code[0].a;
+      literal = code[1].a;
+    } else if (code[0].op == Op::kPushLiteral &&
+               code[1].op == Op::kLoadColumn) {
+      col = code[1].a;
+      literal = code[0].a;
+      // Literal-on-left: mirror so the column leads (== and != are
+      // symmetric already).
+      switch (cmp) {
+        case PrefilterCmp::kLt: cmp = PrefilterCmp::kGt; break;
+        case PrefilterCmp::kLe: cmp = PrefilterCmp::kGe; break;
+        case PrefilterCmp::kGt: cmp = PrefilterCmp::kLt; break;
+        case PrefilterCmp::kGe: cmp = PrefilterCmp::kLe; break;
+        default: break;
+      }
+    } else {
+      continue;
+    }
+    const CVal& lit = literals_[static_cast<std::size_t>(literal)];
+    // Finite numeric literals only: a NaN literal would compare false
+    // where the tree yields UNDEFINED — same matched verdict, but not
+    // worth reasoning about; infinities are excluded with it.
+    if (lit.tag != CVal::Tag::kNum || !std::isfinite(lit.num)) continue;
+    prefilter_terms_.push_back(PrefilterTerm{col, cmp, lit.num});
+  }
+  // Pure capacity query: every conjunct lowered. The scan's verdict is
+  // then total for rows whose scanned cells are all numeric — each
+  // conjunct evaluates to exactly TRUE or FALSE, so the `&&` chain is
+  // TRUE iff every term is satisfied.
+  prefilter_complete_ =
+      !conjuncts.empty() && prefilter_terms_.size() == conjuncts.size();
+}
+
+void CompiledMatcher::apply_prefilter() {
+  if (prefilter_terms_.empty()) return;
+  const std::size_t n = table_->rows();
+  rejected_.assign(n, 0);
+  for (const PrefilterTerm& term : prefilter_terms_) {
+    const double* vals = table_->numeric_values(term.col);
+    const std::uint8_t* mask = table_->numeric_mask(term.col);
+#if defined(__x86_64__) || defined(__i386__)
+    if (simd_enabled_ && cpu_has_avx2()) {
+      prefilter_avx2(term.cmp, term.literal, vals, mask, rejected_.data(),
+                     n);
+      continue;
+    }
+#endif
+    prefilter_scalar(term.cmp, term.literal, vals, mask, rejected_.data(),
+                     n);
+  }
+  if (!prefilter_complete_) return;
+  // accepted = every scanned cell numeric AND no term rejected. (A row
+  // with all cells numeric and no definitive FALSE has every conjunct
+  // TRUE.)
+  accepted_.assign(n, 1);
+  for (const PrefilterTerm& term : prefilter_terms_) {
+    const std::uint8_t* mask = table_->numeric_mask(term.col);
+    for (std::size_t i = 0; i < n; ++i) accepted_[i] &= mask[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    accepted_[i] &= static_cast<std::uint8_t>(rejected_[i] == 0);
+  }
 }
 
 // --- CompiledMatcher: evaluation ---------------------------------------------
@@ -607,11 +798,16 @@ CompiledMatcher::RowResult CompiledMatcher::fallback_row(std::size_t row) {
 }
 
 CompiledMatcher::RowResult CompiledMatcher::match_row(std::size_t row) {
+  return evaluate_row(row, /*requirements_decided_true=*/false);
+}
+
+CompiledMatcher::RowResult CompiledMatcher::evaluate_row(
+    std::size_t row, bool requirements_decided_true) {
   using Tag = CVal::Tag;
   // Same evaluation order as match_ads: request requirements, then the
   // machine's, then (only if matched) the request's rank.
   bool matched = true;
-  if (has_req_requirements_) {
+  if (has_req_requirements_ && !requirements_decided_true) {
     if (!req_requirements_.ok) return fallback_row(row);
     CVal v;
     if (!run(req_requirements_, row, v)) return fallback_row(row);
@@ -640,9 +836,16 @@ CompiledMatcher::RowResult CompiledMatcher::match_row(std::size_t row) {
 }
 
 std::vector<std::size_t> CompiledMatcher::rank_all() {
+  apply_prefilter();
+  const bool prefiltered = !prefilter_terms_.empty();
+  const bool decisive = prefiltered && prefilter_complete_;
   std::vector<std::pair<double, std::size_t>> ranked;
   for (std::size_t row = 0; row < table_->rows(); ++row) {
-    const RowResult r = match_row(row);
+    if (prefiltered && rejected_[row] != 0) {
+      ++stats_.prefiltered_rows;
+      continue;
+    }
+    const RowResult r = evaluate_row(row, decisive && accepted_[row] != 0);
     if (r.matched) ranked.emplace_back(r.rank, row);
   }
   // Identical ordering contract to rank_matches: descending rank, stable

@@ -43,6 +43,22 @@
 //     compiled program can hit the depth limit (previous point), so
 //     eager evaluation with the exact tri-state truth tables is
 //     observationally identical.
+//
+// On top of the bytecode, rank_all() runs a SIMD prefilter: top-level
+// `&&` conjuncts of the request's requirements with the shape
+// `column <cmp> finite-number` are scanned vectorized (AVX2 where the
+// CPU has it) over dense numeric column projections, and any row where
+// such a conjunct is definitively FALSE is rejected without per-row
+// evaluation. This is sound even for rows whose OTHER cells are impure:
+// a materialized numeric cell evaluates identically inside the tree, and
+// under the tri-state `&&` a FALSE conjunct caps the whole requirements
+// at FALSE-or-UNDEFINED — never TRUE — regardless of the remaining
+// conjuncts. Rows whose cell for the scanned column is anything but a
+// pure number are left for full evaluation. When EVERY conjunct lowers
+// to a term (the pure capacity query — the paper's common case), the
+// scan also decides acceptance: a row whose scanned cells are all
+// numeric and all satisfied has requirements == TRUE by construction,
+// and skips per-row requirements evaluation entirely.
 #pragma once
 
 #include <cstdint>
@@ -93,6 +109,17 @@ class MachineTable {
     return columns_[static_cast<std::size_t>(col)].cells[row];
   }
 
+  /// Dense numeric projection of a column for vectorized scans:
+  /// numeric_values(col)[row] holds the cell's number exactly where
+  /// numeric_mask(col)[row] is 1 (the cell is CellTag::kNum); every
+  /// other row reads 0.0 / 0. Both arrays span rows().
+  [[nodiscard]] const double* numeric_values(int col) const {
+    return columns_[static_cast<std::size_t>(col)].nums.data();
+  }
+  [[nodiscard]] const std::uint8_t* numeric_mask(int col) const {
+    return columns_[static_cast<std::size_t>(col)].is_num.data();
+  }
+
   /// Rows are grouped by distinct `requirements` source text; group 0 is
   /// "no requirements" (always accepts). One program per group serves
   /// every row of the group — per-machine variation lives in the columns.
@@ -118,6 +145,9 @@ class MachineTable {
   struct Column {
     std::string name;
     std::vector<Cell> cells;
+    /// Dense SoA projection for the SIMD prefilter (see numeric_values).
+    std::vector<double> nums;
+    std::vector<std::uint8_t> is_num;
   };
 
   const std::vector<ClassAd>* machines_ = nullptr;
@@ -153,9 +183,28 @@ class CompiledMatcher {
   /// order — exactly rank_matches(request, table.machines()).
   [[nodiscard]] std::vector<std::size_t> rank_all();
 
+  /// Normalized comparison of one prefilter term: `column <cmp> literal`
+  /// (literal-on-left conjuncts are mirrored at extraction).
+  enum class PrefilterCmp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+  /// Selects the vector (AVX2 when the CPU has it) vs scalar prefilter
+  /// kernel. Results are identical either way; the toggle exists for the
+  /// scalar-vs-SIMD differential test and the bench's kernel-isolated
+  /// delta. On by default.
+  void set_simd_enabled(bool enabled) noexcept { simd_enabled_ = enabled; }
+
+  /// Requirements conjuncts lowered to prefilter terms (0 = every row
+  /// goes through full evaluation).
+  [[nodiscard]] std::size_t prefilter_term_count() const noexcept {
+    return prefilter_terms_.size();
+  }
+
   struct Stats {
     std::uint64_t compiled_rows = 0;  ///< rows served by bytecode alone
     std::uint64_t fallback_rows = 0;  ///< rows served by the tree walker
+    /// Rows rejected by the numeric prefilter before any per-row
+    /// evaluation (counted in neither of the other two).
+    std::uint64_t prefiltered_rows = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -217,6 +266,13 @@ class CompiledMatcher {
     std::vector<Instr> code;
     bool ok = false;
   };
+  /// One numeric conjunct of the request's requirements, normalized to
+  /// `column <cmp> literal` with a finite literal.
+  struct PrefilterTerm {
+    int col = -1;
+    PrefilterCmp cmp = PrefilterCmp::kLt;
+    double literal = 0.0;
+  };
 
   [[nodiscard]] bool compile(const Expr& expr, bool machine_side, int depth,
                              std::vector<Instr>& code);
@@ -228,6 +284,12 @@ class CompiledMatcher {
   [[nodiscard]] bool run(const Program& program, std::size_t row,
                          CVal& out);
   [[nodiscard]] RowResult fallback_row(std::size_t row);
+  /// match_row with the request-requirements verdict optionally already
+  /// decided TRUE by the prefilter's accept scan.
+  [[nodiscard]] RowResult evaluate_row(std::size_t row,
+                                       bool requirements_decided_true);
+  void extract_prefilter(const Expr& requirements);
+  void apply_prefilter();
 
   const ClassAd* request_;
   const MachineTable* table_;
@@ -238,6 +300,14 @@ class CompiledMatcher {
   std::vector<Program> group_requirements_;  ///< [0] unused (no reqs)
   std::vector<CVal> literals_;
   std::deque<std::string> literal_pool_;
+  std::vector<PrefilterTerm> prefilter_terms_;
+  /// Every requirements conjunct lowered to a term: the scan can then
+  /// ACCEPT rows (all cells numeric, all terms satisfied => TRUE), not
+  /// just reject them.
+  bool prefilter_complete_ = false;
+  std::vector<std::uint8_t> rejected_;  ///< rank_all scratch: 1 = skip row
+  std::vector<std::uint8_t> accepted_;  ///< 1 = requirements decided TRUE
+  bool simd_enabled_ = true;
   // Evaluation scratch, reused across rows.
   std::vector<CVal> stack_;
   std::deque<std::string> arena_;  ///< concat results live per evaluation

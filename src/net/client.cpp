@@ -217,4 +217,11 @@ util::Expected<StatsResp> Client::stats() {
   return expect_body<StatsResp>(round_trip(frame, id));
 }
 
+util::Expected<MatchResp> Client::match(const MatchReq& req) {
+  const std::uint64_t id = next_request_id_++;
+  std::vector<char> frame;
+  encode(frame, id, req);
+  return expect_body<MatchResp>(round_trip(frame, id));
+}
+
 }  // namespace resmatch::net

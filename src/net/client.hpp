@@ -53,6 +53,9 @@ class Client {
   [[nodiscard]] util::Expected<Ack> checkpoint();
   [[nodiscard]] util::Expected<HealthResp> health();
   [[nodiscard]] util::Expected<StatsResp> stats();
+  /// Rank the server's machine population against a request ad shipped
+  /// as (attribute, expression-source) pairs; rows come back best-first.
+  [[nodiscard]] util::Expected<MatchResp> match(const MatchReq& req);
 
  private:
   [[nodiscard]] util::Expected<bool> finish_connect();

@@ -113,6 +113,25 @@ trace::JobRecord read_job(Reader& r) {
   return job;
 }
 
+void put_str(std::vector<char>& out, const std::string& s) {
+  put_u32v(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_str(Reader& r) {
+  const std::uint32_t n = r.u32();
+  // Length-vs-remaining check before allocating: a hostile length word
+  // must fail the read, not size a buffer.
+  if (!r.ok || r.left < n) {
+    r.ok = false;
+    return {};
+  }
+  std::string s(r.p, n);
+  r.p += n;
+  r.left -= n;
+  return s;
+}
+
 void put_feedback(std::vector<char>& out, const core::Feedback& fb) {
   put_u8(out, fb.success ? 1 : 0);
   put_f64(out, fb.granted_mib);
@@ -200,6 +219,17 @@ void encode(std::vector<char>& out, std::uint64_t request_id,
 }
 
 void encode(std::vector<char>& out, std::uint64_t request_id,
+            const MatchReq& body) {
+  const std::size_t mark = envelope_begin(out, MsgType::kMatch, request_id);
+  put_u32v(out, static_cast<std::uint32_t>(body.attrs.size()));
+  for (const auto& [name, source] : body.attrs) {
+    put_str(out, name);
+    put_str(out, source);
+  }
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
             const EstimateResp& body) {
   const std::size_t mark =
       envelope_begin(out, MsgType::kEstimateResp, request_id);
@@ -248,6 +278,15 @@ void encode(std::vector<char>& out, std::uint64_t request_id,
   put_u64(out, body.degraded_ops);
   put_u64(out, body.wal_appends);
   put_u64(out, body.compactions);
+  util::frame_end(out, mark);
+}
+
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const MatchResp& body) {
+  const std::size_t mark =
+      envelope_begin(out, MsgType::kMatchResp, request_id);
+  put_u32v(out, static_cast<std::uint32_t>(body.rows.size()));
+  for (const std::uint32_t row : body.rows) put_u32v(out, row);
   util::frame_end(out, mark);
 }
 
@@ -305,6 +344,23 @@ util::Expected<Envelope> decode_payload(const char* payload,
     case MsgType::kStats:
       env.body = StatsReq{};
       break;
+    case MsgType::kMatch: {
+      MatchReq body;
+      const std::uint32_t count = r.u32();
+      // Two u32 length words per attr is the floor; a count beyond that
+      // bound is a lie about the payload, not a reason to reserve.
+      if (!r.ok || count > r.left / 8) {
+        return Result::failure("implausible match attr count");
+      }
+      body.attrs.reserve(count);
+      for (std::uint32_t i = 0; r.ok && i < count; ++i) {
+        std::string name = read_str(r);
+        std::string source = read_str(r);
+        body.attrs.emplace_back(std::move(name), std::move(source));
+      }
+      env.body = std::move(body);
+      break;
+    }
     case MsgType::kEstimateResp: {
       EstimateResp body;
       body.granted_mib = r.f64();
@@ -346,6 +402,19 @@ util::Expected<Envelope> decode_payload(const char* payload,
       body.wal_appends = r.u64();
       body.compactions = r.u64();
       env.body = body;
+      break;
+    }
+    case MsgType::kMatchResp: {
+      MatchResp body;
+      const std::uint32_t count = r.u32();
+      if (!r.ok || count > r.left / 4) {
+        return Result::failure("implausible match row count");
+      }
+      body.rows.reserve(count);
+      for (std::uint32_t i = 0; r.ok && i < count; ++i) {
+        body.rows.push_back(r.u32());
+      }
+      env.body = std::move(body);
       break;
     }
     case MsgType::kError: {
@@ -425,11 +494,13 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kCheckpoint: return "checkpoint";
     case MsgType::kHealth: return "health";
     case MsgType::kStats: return "stats";
+    case MsgType::kMatch: return "match";
     case MsgType::kEstimateResp: return "estimate_resp";
     case MsgType::kPreviewResp: return "preview_resp";
     case MsgType::kAck: return "ack";
     case MsgType::kHealthResp: return "health_resp";
     case MsgType::kStatsResp: return "stats_resp";
+    case MsgType::kMatchResp: return "match_resp";
     case MsgType::kError: return "error";
   }
   return "unknown";

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -49,12 +50,14 @@ enum class MsgType : std::uint8_t {
   kCheckpoint = 5,  ///< compact the shard's WAL into a fresh snapshot
   kHealth = 6,      ///< liveness + degraded-mode probe
   kStats = 7,       ///< shard service counters
+  kMatch = 8,       ///< rank the machine population against a request ad
   // responses (high bit set)
   kEstimateResp = 0x81,
   kPreviewResp = 0x82,
   kAck = 0x83,  ///< feedback / cancel / checkpoint completion
   kHealthResp = 0x84,
   kStatsResp = 0x85,
+  kMatchResp = 0x86,
   kError = 0xFF,
 };
 
@@ -87,6 +90,15 @@ struct CancelReq {
 struct CheckpointReq {};
 struct HealthReq {};
 struct StatsReq {};
+
+/// A request ClassAd in source form: (attribute name, expression source)
+/// pairs, e.g. {"requirements", "other.memory >= my.req_memory"}. Shipping
+/// source instead of a serialized AST keeps the wire format stable across
+/// matcher-internals changes; the server parses on receipt and answers
+/// kBadRequest for anything its grammar rejects.
+struct MatchReq {
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
 
 struct EstimateResp {
   MiB granted_mib = 0.0;
@@ -122,6 +134,13 @@ struct StatsResp {
   std::uint64_t compactions = 0;
 };
 
+/// Machine rows matching the request, best rank first — exactly the
+/// index order match::rank_matches_compiled returns over the server's
+/// machine table.
+struct MatchResp {
+  std::vector<std::uint32_t> rows;
+};
+
 struct ErrorResp {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
@@ -129,8 +148,9 @@ struct ErrorResp {
 
 using MessageBody =
     std::variant<EstimateReq, PreviewReq, FeedbackReq, CancelReq,
-                 CheckpointReq, HealthReq, StatsReq, EstimateResp,
-                 PreviewResp, Ack, HealthResp, StatsResp, ErrorResp>;
+                 CheckpointReq, HealthReq, StatsReq, MatchReq, EstimateResp,
+                 PreviewResp, Ack, HealthResp, StatsResp, MatchResp,
+                 ErrorResp>;
 
 /// One decoded message: its type tag, pipelining id, and typed body.
 struct Envelope {
@@ -161,6 +181,8 @@ void encode(std::vector<char>& out, std::uint64_t request_id,
 void encode(std::vector<char>& out, std::uint64_t request_id,
             const StatsReq& body);
 void encode(std::vector<char>& out, std::uint64_t request_id,
+            const MatchReq& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
             const EstimateResp& body);
 void encode(std::vector<char>& out, std::uint64_t request_id,
             const PreviewResp& body);
@@ -170,6 +192,8 @@ void encode(std::vector<char>& out, std::uint64_t request_id,
             const HealthResp& body);
 void encode(std::vector<char>& out, std::uint64_t request_id,
             const StatsResp& body);
+void encode(std::vector<char>& out, std::uint64_t request_id,
+            const MatchResp& body);
 void encode(std::vector<char>& out, std::uint64_t request_id,
             const ErrorResp& body);
 

@@ -14,6 +14,8 @@
 #include <cstring>
 #include <utility>
 
+#include "match/classad.hpp"
+#include "match/compiled.hpp"
 #include "util/logging.hpp"
 
 namespace resmatch::net {
@@ -32,7 +34,7 @@ bool set_nonblocking(int fd) {
 /// Index into request_counters_ for a request-type tag; -1 for responses.
 int request_slot(MsgType type) noexcept {
   const auto v = static_cast<std::uint8_t>(type);
-  return v >= 1 && v <= 7 ? static_cast<int>(v) : -1;
+  return v >= 1 && v <= 8 ? static_cast<int>(v) : -1;
 }
 
 }  // namespace
@@ -428,12 +430,46 @@ void Server::serve_inline(Conn& conn, const Envelope& envelope,
       encode(conn.out, envelope.request_id, resp);
       break;
     }
+    case MsgType::kMatch:
+      serve_match(conn, envelope.request_id,
+                  std::get<MatchReq>(envelope.body));
+      break;
     default:
       encode(conn.out, envelope.request_id,
              ErrorResp{ErrorCode::kBadRequest, "unsupported request"});
       break;
   }
   record_latency(t0);
+}
+
+void Server::serve_match(Conn& conn, std::uint64_t request_id,
+                         const MatchReq& req) {
+  if (config_.machines == nullptr) {
+    encode(conn.out, request_id,
+           ErrorResp{ErrorCode::kBadRequest, "no machine population"});
+    return;
+  }
+  if (machine_table_ == nullptr) {
+    machine_table_ = std::make_unique<match::MachineTable>(
+        match::MachineTable::build(*config_.machines));
+  }
+  match::ClassAd request;
+  for (const auto& [name, source] : req.attrs) {
+    if (!request.set_expr(name, source)) {
+      encode(conn.out, request_id,
+             ErrorResp{ErrorCode::kBadRequest,
+                       "unparsable attribute: " + name});
+      return;
+    }
+  }
+  const std::vector<std::size_t> ranked =
+      match::rank_matches_compiled(request, *machine_table_);
+  MatchResp resp;
+  resp.rows.reserve(ranked.size());
+  for (const std::size_t row : ranked) {
+    resp.rows.push_back(static_cast<std::uint32_t>(row));
+  }
+  encode(conn.out, request_id, resp);
 }
 
 void Server::post_completion(std::uint64_t serial,
@@ -573,7 +609,7 @@ void Server::register_metrics() {
   const MsgType request_types[] = {
       MsgType::kEstimate,   MsgType::kPreview, MsgType::kFeedback,
       MsgType::kCancel,     MsgType::kHealth,  MsgType::kStats,
-      MsgType::kCheckpoint,
+      MsgType::kCheckpoint, MsgType::kMatch,
   };
   for (const MsgType type : request_types) {
     request_counters_[request_slot(type)] =

@@ -42,6 +42,11 @@
 #include "svc/matchd.hpp"
 #include "util/expected.hpp"
 
+namespace resmatch::match {
+class ClassAd;
+class MachineTable;
+}  // namespace resmatch::match
+
 namespace resmatch::net {
 
 struct ServerConfig {
@@ -62,6 +67,11 @@ struct ServerConfig {
   std::size_t max_connections = 1024;
   /// Observability registry (not owned; must outlive the server).
   obs::Registry* metrics = nullptr;
+  /// Machine population served by the kMatch verb (not owned; must
+  /// outlive the server and stay unmodified while it runs). Null =
+  /// kMatch answers kBadRequest. The server columnarizes it into a
+  /// MachineTable on first use and ranks with the compiled matcher.
+  const std::vector<match::ClassAd>* machines = nullptr;
 };
 
 struct ServerStats {
@@ -138,6 +148,8 @@ class Server {
   [[nodiscard]] bool serve(Conn& conn, Envelope&& envelope);
   void serve_inline(Conn& conn, const Envelope& envelope,
                     std::chrono::steady_clock::time_point t0);
+  void serve_match(Conn& conn, std::uint64_t request_id,
+                   const MatchReq& req);
   void post_completion(std::uint64_t serial, std::vector<char>&& bytes);
   void flush_completions();
   void try_write(Conn& conn);
@@ -151,6 +163,9 @@ class Server {
 
   svc::Matchd* matchd_;
   ServerConfig config_;
+  /// Columnar form of config_.machines, built lazily on the first kMatch
+  /// (loop thread only — no locking needed).
+  std::unique_ptr<match::MachineTable> machine_table_;
 
   int epoll_fd_ = -1;
   int uds_fd_ = -1;
@@ -181,7 +196,7 @@ class Server {
   std::atomic<std::size_t> open_conns_{0};
 
   obs::Histogram* latency_hist_ = nullptr;
-  obs::Counter* request_counters_[8] = {};  ///< indexed by request MsgType
+  obs::Counter* request_counters_[9] = {};  ///< indexed by request MsgType
   std::vector<std::pair<std::string, obs::Labels>> provider_keys_;
 };
 

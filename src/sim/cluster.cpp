@@ -87,6 +87,8 @@ void Cluster::add_machines(MiB capacity, std::size_t count) {
   pool->total += count;
   pool->free += count;
   machines_ += count;
+  log_delta(static_cast<std::size_t>(pool - pools_.data()), 0,
+            static_cast<std::int64_t>(count));
 }
 
 void Cluster::remove_machines(MiB capacity, std::size_t count) {
@@ -101,6 +103,10 @@ void Cluster::remove_machines(MiB capacity, std::size_t count) {
   pool->free -= from_free;
   // The rest are busy: they leave as their jobs finish.
   pool->draining += removed - from_free;
+  // present = total + draining: the busy remainder cancels out, so only
+  // the machines that left immediately change what is physically here.
+  log_delta(static_cast<std::size_t>(pool - pools_.data()), 0,
+            -static_cast<std::int64_t>(from_free));
 }
 
 std::size_t Cluster::draining_count() const noexcept {
@@ -144,6 +150,7 @@ std::optional<Allocation> Cluster::allocate(std::uint32_t nodes,
     p.free -= take;
     p.busy += take;
     remaining -= take;
+    log_delta(pool_index, static_cast<std::int64_t>(take), 0);
     out.pool_counts.emplace_back(pool_index, take);
     out.min_capacity = out.min_capacity == 0.0
                            ? p.capacity
@@ -175,6 +182,8 @@ void Cluster::release(const Allocation& allocation) {
     assert(p.busy >= count);
     p.busy -= count;
     assert(p.free <= p.total);
+    log_delta(pool_index, -static_cast<std::int64_t>(count),
+              -static_cast<std::int64_t>(departing));
   }
   assert(busy_ >= allocation.nodes);
   busy_ -= allocation.nodes;

@@ -8,6 +8,7 @@
 // per operation regardless of machine count.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -141,6 +142,25 @@ class Cluster final : public sched::ClusterView {
     return {p.capacity, p.busy, p.total + p.draining};
   }
 
+  // --- counter-change log (sharded simulation) ---------------------------
+
+  /// One bookkeeping change to a pool's (busy, present) counters, exactly
+  /// as pool_counters() would observe it.
+  struct PoolDelta {
+    std::uint32_t pool = 0;
+    std::int64_t dbusy = 0;
+    std::int64_t dpresent = 0;
+  };
+
+  /// Append every subsequent counter change to `log` (nullptr disables;
+  /// not owned). The sharded simulation engine replays this log against
+  /// shadow counters on worker threads: because each pool's deltas land
+  /// in the log in mutation order, any replayer reproduces the inline
+  /// counters — and any per-pool integral over them — bit for bit.
+  void set_delta_log(std::vector<PoolDelta>* log) noexcept {
+    delta_log_ = log;
+  }
+
   [[nodiscard]] const std::vector<PoolSpec>& spec() const noexcept {
     return spec_;
   }
@@ -158,11 +178,20 @@ class Cluster final : public sched::ClusterView {
 
   Pool* find_pool(MiB capacity);
 
+  void log_delta(std::size_t pool, std::int64_t dbusy,
+                 std::int64_t dpresent) {
+    if (delta_log_ != nullptr && (dbusy != 0 || dpresent != 0)) {
+      delta_log_->push_back(
+          {static_cast<std::uint32_t>(pool), dbusy, dpresent});
+    }
+  }
+
   ClusterSpec spec_;
   std::vector<Pool> pools_;  // ascending capacity
   AllocationPolicy policy_;
   std::size_t machines_ = 0;
   std::size_t busy_ = 0;
+  std::vector<PoolDelta>* delta_log_ = nullptr;
 };
 
 }  // namespace resmatch::sim

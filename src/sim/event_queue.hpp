@@ -10,9 +10,18 @@
 // per-event payload copy on the simulator's hottest path. pop_heap moves
 // the top element to the back of the vector, where pop() can move the
 // whole event out. This also admits move-only payloads.
+//
+// Growth policy for cluster-scale runs (10M+ events): callers that know
+// the event population up front should reserve() it — the doubling growth
+// of an unreserved vector re-copies the whole heap ~24 times on the way
+// to 10M entries. Conversely, a drained queue releases its backing store
+// once occupancy falls far below capacity, so a simulation whose pending
+// set shrinks from millions (all arrivals) to thousands (active jobs)
+// does not pin the peak footprint for the rest of the run.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -31,19 +40,36 @@ class EventQueue {
   };
 
   void push(Seconds time, Payload payload) {
+    assert(next_seq_ != ~std::uint64_t{0} && "event seq space exhausted");
     heap_.push_back(Event{time, next_seq_++, std::move(payload)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  [[nodiscard]] const Event& top() const {
+    // Guards the classic top()-after-final-pop() bug: on an empty queue
+    // front() is UB and size()-derived indices underflow.
+    assert(!heap_.empty() && "top() on empty EventQueue");
+    return heap_.front();
+  }
 
   Event pop() {
+    assert(!heap_.empty() && "pop() on empty EventQueue");
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event e = std::move(heap_.back());
     heap_.pop_back();
+    maybe_shrink();
     return e;
+  }
+
+  /// Pre-size the heap for a known event population (one allocation
+  /// instead of log2(n) doubling re-copies).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
   }
 
  private:
@@ -53,6 +79,25 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+
+  /// Release the backing store when occupancy drops below 1/8 of a large
+  /// capacity. Keeping 2x headroom and only shrinking past the 1/8 mark
+  /// means repeated push/pop around a threshold can never thrash
+  /// (each shrink at least quarters the capacity). Element order is
+  /// untouched, so the heap invariant — and every popped sequence —
+  /// is unchanged.
+  void maybe_shrink() {
+    if (heap_.capacity() <= kShrinkFloor ||
+        heap_.size() >= heap_.capacity() / 8) {
+      return;
+    }
+    std::vector<Event> tight;
+    tight.reserve(std::max(heap_.size() * 2, std::size_t{64}));
+    std::move(heap_.begin(), heap_.end(), std::back_inserter(tight));
+    heap_.swap(tight);
+  }
+
+  static constexpr std::size_t kShrinkFloor = 1u << 16;
 
   std::vector<Event> heap_;  // max-heap under Later = min-(time, seq) first
   std::uint64_t next_seq_ = 0;

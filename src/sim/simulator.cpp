@@ -2,17 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include <chrono>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/timeseries.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
+#include "svc/thread_pool.hpp"
+#include "trace/job_stream.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -41,20 +49,206 @@ struct RunningRecord {
   bool active = false;
 };
 
-}  // namespace
+/// Per-pool busy/capacity integrals, keyed by the initial pool order.
+struct PoolIntegral {
+  MiB capacity = 0.0;
+  double busy_node_seconds = 0.0;
+  double capacity_node_seconds = 0.0;
+};
 
-SimulationResult simulate(const trace::Workload& workload,
-                          const ClusterSpec& cluster_spec,
-                          core::Estimator& estimator,
-                          sched::SchedulingPolicy& policy,
-                          const SimulationConfig& config) {
-  const auto& jobs = workload.jobs;
-  for (std::size_t i = 1; i < jobs.size(); ++i) {
-    if (jobs[i].submit < jobs[i - 1].submit) {
-      throw std::invalid_argument(
-          "simulate: workload must be sorted by submit time");
+// ---------------------------------------------------------------------------
+// Sharded occupancy integration.
+//
+// The simulation's decisions are inherently sequential (every scheduling
+// pass sees global state), but the per-event O(#pools) busy/present
+// integration is not: it is a fold over the history of counter values,
+// and the cluster can narrate that history as a delta log. K workers
+// replay the log against private shadow counters; worker w owns pools
+// with index % K == w and accumulates their integrals. Each pool's
+// integral is the same sequence of double adds the inline loop performs,
+// in the same order, on the same values — so the merged result is
+// bit-for-bit identical for ANY worker count, including the inline path.
+//
+// The log ships in double-buffered batches: the main thread fills one
+// buffer while workers chew the other, with a condition-variable barrier
+// per batch (workers never touch a buffer the main thread is writing).
+// ---------------------------------------------------------------------------
+class ShardedPoolIntegrator {
+ public:
+  /// One time advance: integrate `dt` seconds of the counter state that
+  /// results from applying the first `delta_prefix` deltas of the batch.
+  struct Advance {
+    double dt = 0.0;
+    std::size_t delta_prefix = 0;
+  };
+
+  ShardedPoolIntegrator(Cluster& cluster, std::size_t workers)
+      : cluster_(cluster),
+        pool_count_(cluster.pool_count()),
+        workers_(workers) {
+    assert(workers_ > 0);
+    shadow_.resize(workers_);
+    acc_busy_.resize(workers_);
+    acc_present_.resize(workers_);
+    for (std::size_t w = 0; w < workers_; ++w) {
+      shadow_[w].resize(pool_count_);
+      for (std::size_t i = 0; i < pool_count_; ++i) {
+        const auto counters = cluster_.pool_counters(i);
+        shadow_[w][i] = {static_cast<std::int64_t>(counters.busy),
+                         static_cast<std::int64_t>(counters.present)};
+      }
+      acc_busy_[w].assign(pool_count_, 0.0);
+      acc_present_[w].assign(pool_count_, 0.0);
+    }
+    cluster_.set_delta_log(&fill_deltas_);
+    // If a spawn fails, wake whatever workers did start so the partial
+    // join inside ThreadPool's constructor can complete.
+    pool_.emplace(
+        workers_, [this](std::size_t w) { worker_main(w); },
+        [this] {
+          std::lock_guard<std::mutex> lk(m_);
+          stop_ = true;
+          cv_work_.notify_all();
+        });
+  }
+
+  ~ShardedPoolIntegrator() { shutdown(); }
+
+  ShardedPoolIntegrator(const ShardedPoolIntegrator&) = delete;
+  ShardedPoolIntegrator& operator=(const ShardedPoolIntegrator&) = delete;
+
+  void advance(double dt) {
+    fill_advances_.push_back({dt, fill_deltas_.size()});
+    if (fill_advances_.size() >= kBatchAdvances ||
+        fill_deltas_.size() >= kBatchDeltas) {
+      flush();
     }
   }
+
+  /// Drain outstanding work, join the workers, and return each pool's
+  /// (busy, present) node-second integrals.
+  std::vector<std::pair<double, double>> finish() {
+    flush();
+    shutdown();
+    std::vector<std::pair<double, double>> out(pool_count_, {0.0, 0.0});
+    for (std::size_t i = 0; i < pool_count_; ++i) {
+      const std::size_t w = i % workers_;
+      out[i] = {acc_busy_[w][i], acc_present_[w][i]};
+    }
+    return out;
+  }
+
+ private:
+  // Batch sizing: big enough to amortize the barrier, small enough that
+  // both buffers stay a sliver of the trace.
+  static constexpr std::size_t kBatchAdvances = 16384;
+  static constexpr std::size_t kBatchDeltas = 65536;
+
+  void flush() {
+    if (fill_advances_.empty() && fill_deltas_.empty()) return;
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    // Swapping keeps fill_deltas_'s address stable — the cluster keeps
+    // appending to the same vector object.
+    batch_deltas_.swap(fill_deltas_);
+    batch_advances_.swap(fill_advances_);
+    fill_deltas_.clear();
+    fill_advances_.clear();
+    remaining_ = workers_;
+    ++gen_;
+    cv_work_.notify_all();
+  }
+
+  void shutdown() {
+    if (!pool_) return;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_done_.wait(lk, [&] { return remaining_ == 0; });
+      stop_ = true;
+      cv_work_.notify_all();
+    }
+    pool_->join();
+    pool_.reset();
+    cluster_.set_delta_log(nullptr);
+  }
+
+  void worker_main(std::size_t w) {
+    std::uint64_t seen = 0;
+    auto& shadow = shadow_[w];
+    auto& busy_acc = acc_busy_[w];
+    auto& present_acc = acc_present_[w];
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (gen_ == seen) return;  // stop with nothing new to process
+        seen = gen_;
+      }
+      std::size_t applied = 0;
+      auto apply_up_to = [&](std::size_t limit) {
+        for (; applied < limit; ++applied) {
+          const Cluster::PoolDelta& d = batch_deltas_[applied];
+          shadow[d.pool].first += d.dbusy;
+          shadow[d.pool].second += d.dpresent;
+        }
+      };
+      for (const Advance& a : batch_advances_) {
+        apply_up_to(a.delta_prefix);
+        for (std::size_t i = w; i < pool_count_; i += workers_) {
+          busy_acc[i] += static_cast<double>(shadow[i].first) * a.dt;
+          present_acc[i] += static_cast<double>(shadow[i].second) * a.dt;
+        }
+      }
+      // Deltas after the last advance (events at the batch's final
+      // timestamp): zero elapsed time, but the shadow must track them.
+      apply_up_to(batch_deltas_.size());
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (--remaining_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  Cluster& cluster_;
+  const std::size_t pool_count_;
+  const std::size_t workers_;
+
+  // Filling buffers (main thread only; fill_deltas_ is the cluster's log).
+  std::vector<Cluster::PoolDelta> fill_deltas_;
+  std::vector<Advance> fill_advances_;
+  // In-flight batch (workers, read-only between gen_ bump and remaining_
+  // reaching zero).
+  std::vector<Cluster::PoolDelta> batch_deltas_;
+  std::vector<Advance> batch_advances_;
+
+  // Worker-private shadow counters (busy, present) and integrals.
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> shadow_;
+  std::vector<std::vector<double>> acc_busy_;
+  std::vector<std::vector<double>> acc_present_;
+
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t gen_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+
+  std::optional<svc::ThreadPool> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy engine: the pre-calendar-queue simulator, kept verbatim as the
+// heap_queue/baseline_loop A/B anchor. Every event — all arrivals up
+// front, availability changes, job ends — flows through the binary-heap
+// EventQueue over a fully materialized workload. tests/scale_equiv_test
+// gates the default engine against this one bit for bit.
+// ---------------------------------------------------------------------------
+SimulationResult run_legacy(const trace::Workload& workload,
+                            const ClusterSpec& cluster_spec,
+                            core::Estimator& estimator,
+                            sched::SchedulingPolicy& policy,
+                            const SimulationConfig& config) {
+  const auto& jobs = workload.jobs;
 
   Cluster cluster(cluster_spec, config.allocation);
   estimator.set_ladder(cluster.ladder());
@@ -67,6 +261,7 @@ SimulationResult simulate(const trace::Workload& workload,
   result.offered_load = workload.offered_load(cluster.machine_count());
 
   EventQueue<EventPayload> events;
+  events.reserve(jobs.size() + config.availability.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     events.push(jobs[i].submit, {EventKind::kArrival, i});
   }
@@ -121,12 +316,6 @@ SimulationResult simulate(const trace::Workload& workload,
   double capacity_integral = 0.0;
   Seconds capacity_since = first_submit;
 
-  // Per-pool busy/capacity integrals, keyed by the initial pool order.
-  struct PoolIntegral {
-    MiB capacity = 0.0;
-    double busy_node_seconds = 0.0;
-    double capacity_node_seconds = 0.0;
-  };
   std::vector<PoolIntegral> pool_integrals;
   for (const auto& snap : cluster.snapshot()) {
     pool_integrals.push_back({snap.capacity, 0.0, 0.0});
@@ -554,6 +743,595 @@ SimulationResult simulate(const trace::Workload& workload,
         .set(wall > 0.0 ? static_cast<double>(events_processed) / wall : 0.0);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Default engine: calendar queue + streamed arrivals + optional sharding.
+//
+// The legacy engine pre-pushes every arrival into the heap, so the queue
+// holds the whole remaining trace (10M+ events at cluster scale) and each
+// pop walks ~log2(10M) cache-missing heap levels. This engine exploits
+// what the trace already guarantees — arrivals come sorted — and merges
+// three independently ordered sources instead:
+//
+//   class 0: the arrival stream, one-record lookahead;
+//   class 1: availability changes, a cursor over a pre-sorted index;
+//   class 2: job-end events, the only dynamic set, in a calendar queue
+//            sized by jobs *in flight*, not trace length.
+//
+// Equal-time ordering matches the legacy engine exactly: legacy seq
+// numbers are assigned arrivals first (trace order), then availability
+// (index order), then job ends (push order), so at any timestamp the
+// classes pop 0 < 1 < 2 with each class internally in cursor/push order —
+// precisely what this merge produces. tests/scale_equiv_test holds the
+// two engines bit-identical across policies, estimators, and seeds.
+// ---------------------------------------------------------------------------
+SimulationResult run_merge(trace::JobStream& stream,
+                           const ClusterSpec& cluster_spec,
+                           core::Estimator& estimator,
+                           sched::SchedulingPolicy& policy,
+                           const SimulationConfig& config) {
+  Cluster cluster(cluster_spec, config.allocation);
+  estimator.set_ladder(cluster.ladder());
+  util::Rng rng(config.seed);
+
+  SimulationResult result;
+  result.estimator_name = estimator.name();
+  result.policy_name = policy.name();
+  const std::size_t base_machines = cluster.machine_count();
+
+  // --- class 0: arrival lookahead ----------------------------------------
+  std::optional<trace::JobRecord> pending = stream.next();
+  const Seconds first_submit = pending ? pending->submit : 0.0;
+  // Offered-load accumulation in pull order: the same sum, first and last
+  // submit that Workload::offered_load reads off the materialized vector.
+  double pulled_work = pending ? pending->work() : 0.0;
+  Seconds last_submit = first_submit;
+  std::size_t pulled = pending ? 1 : 0;
+  auto pull_next = [&] {
+    pending = stream.next();
+    if (pending) {
+      if (pending->submit < last_submit) {
+        throw std::invalid_argument(
+            "simulate: job stream must be sorted by submit time");
+      }
+      pulled_work += pending->work();
+      last_submit = pending->submit;
+      ++pulled;
+    }
+  };
+
+  // --- class 1: availability cursor --------------------------------------
+  std::vector<std::size_t> avail_order(config.availability.size());
+  for (std::size_t i = 0; i < avail_order.size(); ++i) avail_order[i] = i;
+  std::stable_sort(avail_order.begin(), avail_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return config.availability[a].time <
+                            config.availability[b].time;
+                   });
+  std::size_t avail_pos = 0;
+  std::size_t pending_capacity_adds = 0;
+  for (const auto& change : config.availability) {
+    if (change.delta > 0) ++pending_capacity_adds;
+  }
+
+  // --- class 2: job ends --------------------------------------------------
+  CalendarQueue<std::size_t> events;  // payload: running slot
+
+  // Live jobs, slot-allocated: a slot holds the record (and its attempt
+  // count) from arrival until the job leaves the system, so memory tracks
+  // jobs in flight. Queue entries and running records refer to jobs by
+  // slot — opaque to policies, so decision streams are unaffected.
+  std::vector<trace::JobRecord> job_slots;
+  std::vector<std::uint32_t> job_attempts;
+  std::vector<std::size_t> free_job_slots;
+  auto admit_job = [&](trace::JobRecord record) {
+    std::size_t slot;
+    if (!free_job_slots.empty()) {
+      slot = free_job_slots.back();
+      free_job_slots.pop_back();
+      job_slots[slot] = std::move(record);
+      job_attempts[slot] = 0;
+    } else {
+      slot = job_slots.size();
+      job_slots.push_back(std::move(record));
+      job_attempts.push_back(0);
+    }
+    return slot;
+  };
+  auto retire_job = [&](std::size_t slot) { free_job_slots.push_back(slot); };
+
+  std::deque<sched::QueuedJob> queue;
+  std::vector<RunningRecord> running;  // slot-allocated
+  std::vector<std::size_t> free_slots;
+
+  // Running-set index: live mirror of the active slots (see run_legacy).
+  std::vector<std::size_t> index_slots;
+  std::vector<sched::RunningJobInfo> index_infos;
+  std::size_t active_jobs = 0;
+  auto index_insert = [&](std::size_t slot, sched::RunningJobInfo info) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.insert(it, slot);
+    index_infos.insert(index_infos.begin() + pos, info);
+  };
+  auto index_erase = [&](std::size_t slot) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    assert(it != index_slots.end() && *it == slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.erase(it);
+    index_infos.erase(index_infos.begin() + pos);
+  };
+
+  // Aggregates.
+  double productive_node_seconds = 0.0;
+  double wasted_node_seconds = 0.0;
+  stats::Summary wait_stats, slowdown_stats, bounded_stats;
+  stats::PercentileTracker slowdown_pct;
+  Seconds last_event = first_submit;
+  double capacity_integral = 0.0;
+  Seconds capacity_since = first_submit;
+
+  std::vector<PoolIntegral> pool_integrals;
+  for (const auto& snap : cluster.snapshot()) {
+    pool_integrals.push_back({snap.capacity, 0.0, 0.0});
+  }
+  Seconds pool_since = first_submit;
+  std::optional<ShardedPoolIntegrator> sharded;
+  if (config.shards > 0) sharded.emplace(cluster, config.shards);
+  auto integrate_pools = [&](Seconds now) {
+    const Seconds dt = now - pool_since;
+    if (dt <= 0.0) return;
+    if (sharded) {
+      sharded->advance(dt);
+    } else {
+      const std::size_t n =
+          std::min(cluster.pool_count(), pool_integrals.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto counters = cluster.pool_counters(i);
+        pool_integrals[i].busy_node_seconds +=
+            static_cast<double>(counters.busy) * dt;
+        pool_integrals[i].capacity_node_seconds +=
+            static_cast<double>(counters.present) * dt;
+      }
+    }
+    pool_since = now;
+  };
+
+  const core::CapacityLadder ladder = cluster.ladder();
+
+  obs::Counter* events_counter = nullptr;
+  obs::Histogram* schedule_hist = nullptr;
+  if (config.metrics) {
+    events_counter = &config.metrics->counter(
+        "resmatch_sim_events_total", "Discrete events processed");
+    schedule_hist = &config.metrics->histogram(
+        "resmatch_sim_schedule_seconds",
+        "Wall time of one scheduler decision pass", {1e-7, 2.0, 22});
+  }
+  std::uint64_t events_processed = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto system_state = [&]() {
+    core::SystemState state;
+    state.now = last_event;
+    state.busy_fraction = cluster.busy_fraction();
+    state.queue_length = queue.size();
+    return state;
+  };
+
+  auto stamp_preview_memo = [&](sched::QueuedJob& q,
+                                const trace::JobRecord& record) {
+    if (const auto epoch = estimator.preview_epoch(record)) {
+      q.preview_epoch = *epoch;
+      q.preview_memoized = true;
+    } else {
+      q.preview_memoized = false;
+    }
+  };
+
+  auto make_queued = [&](std::size_t job_slot) {
+    const trace::JobRecord& record = job_slots[job_slot];
+    sched::QueuedJob q;
+    q.trace_index = job_slot;
+    q.id = record.id;
+    q.nodes = record.nodes;
+    q.effective_request = estimator.preview(record, system_state());
+    stamp_preview_memo(q, record);
+    q.enqueue_time = last_event;
+    q.requested_time =
+        config.runtime_predictor
+            ? config.runtime_predictor->predict(record)
+            : (record.requested_time > 0.0 ? record.requested_time
+                                           : record.runtime);
+    q.attempts = job_attempts[job_slot];
+    return q;
+  };
+
+  auto start_job = [&](const sched::QueuedJob& q, Seconds now) -> bool {
+    const trace::JobRecord& record = job_slots[q.trace_index];
+    const MiB grant = estimator.estimate(record, system_state());
+    auto allocation = cluster.allocate(q.nodes, grant);
+    if (!allocation) {
+      estimator.cancel(record, grant);
+      return false;
+    }
+
+    RunningRecord run;
+    run.trace_index = q.trace_index;
+    run.allocation = *allocation;
+    run.granted = grant;
+    run.start = now;
+    run.expected_end = now + q.requested_time;
+    run.active = true;
+
+    Seconds end;
+    if (record.status == trace::JobStatus::kFailed) {
+      run.outcome = Outcome::kIntrinsicFailure;
+      end = now + rng.uniform() * record.runtime;
+    } else if (record.used_mem_mib > run.granted + 1e-9) {
+      run.outcome = Outcome::kResourceFailure;
+      end = now + rng.uniform() * record.runtime;
+    } else {
+      run.outcome = Outcome::kSuccess;
+      end = now + record.runtime;
+    }
+
+    ++result.attempts;
+    ++job_attempts[q.trace_index];
+    if (run.granted + 1e-9 < ladder.round_up(record.requested_mem_mib)) {
+      ++result.lowered_starts;
+    }
+
+    const sched::RunningJobInfo info{run.expected_end, record.nodes,
+                                     run.granted};
+    std::size_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      running[slot] = std::move(run);
+    } else {
+      slot = running.size();
+      running.push_back(std::move(run));
+    }
+    ++active_jobs;
+    index_insert(slot, info);
+    events.push(end, slot);
+    return true;
+  };
+
+  auto schedule = [&](Seconds now) {
+    int failed_starts = 0;
+    for (;;) {
+      if (!queue.empty()) {
+        sched::QueuedJob& head = queue.front();
+        const auto& head_record = job_slots[head.trace_index];
+        bool stale = true;
+        if (head.preview_memoized) {
+          const auto epoch = estimator.preview_epoch(head_record);
+          stale = !(epoch && *epoch == head.preview_epoch);
+        }
+        if (stale) {
+          head.effective_request =
+              estimator.preview(head_record, system_state());
+          stamp_preview_memo(head, head_record);
+        }
+        if (pending_capacity_adds == 0 &&
+            cluster.eligible_total(head.effective_request) < head.nodes) {
+          ++result.dropped_unschedulable;
+          retire_job(head.trace_index);
+          queue.pop_front();
+          continue;
+        }
+      }
+      const auto pick = policy.pick_next(queue, cluster, index_infos, now);
+      if (!pick) return;
+      assert(*pick < queue.size());
+      if (!start_job(queue[*pick], now)) {
+        const auto& record = job_slots[queue[*pick].trace_index];
+        queue[*pick].effective_request =
+            estimator.preview(record, system_state());
+        stamp_preview_memo(queue[*pick], record);
+        if (++failed_starts > 64) return;
+        continue;
+      }
+      if (*pick == 0) {
+        queue.pop_front();
+      } else {
+        queue.erase(queue.begin() + static_cast<long>(*pick));
+      }
+    }
+  };
+
+  auto enqueue = [&](std::size_t job_slot, bool retry) {
+    sched::QueuedJob q = make_queued(job_slot);
+    if (pending_capacity_adds == 0 &&
+        cluster.eligible_total(q.effective_request) < q.nodes) {
+      ++result.dropped_unschedulable;
+      RM_LOG(kDebug) << "dropping unschedulable job " << q.id;
+      retire_job(job_slot);
+      return;
+    }
+    if (retry) {
+      queue.push_front(std::move(q));
+    } else {
+      queue.push_back(std::move(q));
+    }
+  };
+
+  // Three-way merge: smallest time wins; ties by class (arrival <
+  // availability < job end), matching the legacy engine's seq order.
+  enum class Src : std::uint8_t { kNone, kArrival, kAvail, kEnd };
+  auto peek = [&]() -> std::pair<Src, Seconds> {
+    Src src = Src::kNone;
+    Seconds t = 0.0;
+    if (pending) {
+      src = Src::kArrival;
+      t = pending->submit;
+    }
+    if (avail_pos < avail_order.size()) {
+      const Seconds at = config.availability[avail_order[avail_pos]].time;
+      if (src == Src::kNone || at < t) {
+        src = Src::kAvail;
+        t = at;
+      }
+    }
+    if (!events.empty()) {
+      const Seconds et = events.top().time;
+      if (src == Src::kNone || et < t) {
+        src = Src::kEnd;
+        t = et;
+      }
+    }
+    return {src, t};
+  };
+
+  for (;;) {
+    const auto [src, now] = peek();
+    if (src == Src::kNone) break;
+    ++events_processed;
+    last_event = std::max(last_event, now);
+    integrate_pools(now);  // charge the elapsed interval to the old state
+
+    switch (src) {
+      case Src::kArrival: {
+        const std::size_t slot = admit_job(std::move(*pending));
+        pull_next();
+        enqueue(slot, /*retry=*/false);
+        break;
+      }
+      case Src::kAvail: {
+        const AvailabilityEvent& change =
+            config.availability[avail_order[avail_pos++]];
+        const Seconds effective = std::max(now, capacity_since);
+        capacity_integral += static_cast<double>(cluster.machine_count()) *
+                             (effective - capacity_since);
+        capacity_since = effective;
+        if (change.delta >= 0) {
+          cluster.add_machines(change.capacity,
+                               static_cast<std::size_t>(change.delta));
+          if (pending_capacity_adds > 0) --pending_capacity_adds;
+        } else {
+          cluster.remove_machines(change.capacity,
+                                  static_cast<std::size_t>(-change.delta));
+        }
+        break;
+      }
+      case Src::kEnd: {
+        const auto event = events.pop();
+        RunningRecord& run = running[event.payload];
+        assert(run.active);
+        run.active = false;
+        cluster.release(run.allocation);
+        free_slots.push_back(event.payload);
+        --active_jobs;
+        index_erase(event.payload);
+        const trace::JobRecord& record = job_slots[run.trace_index];
+
+        core::Feedback fb;
+        fb.success = run.outcome == Outcome::kSuccess;
+        fb.granted_mib = run.granted;
+        if (config.explicit_feedback) {
+          fb.used_mib = record.used_mem_mib;
+          fb.resource_failure = run.outcome == Outcome::kResourceFailure;
+        }
+        estimator.feedback(record, fb);
+
+        if (config.runtime_predictor && run.outcome == Outcome::kSuccess) {
+          config.runtime_predictor->observe(record, record.runtime);
+          config.runtime_predictor->record_accuracy(
+              run.expected_end - run.start, record.runtime);
+        }
+
+        switch (run.outcome) {
+          case Outcome::kSuccess: {
+            ++result.completed;
+            productive_node_seconds += record.work();
+            result.granted_mib_nodes +=
+                run.granted * static_cast<double>(record.nodes);
+            result.used_mib_nodes +=
+                record.used_mem_mib * static_cast<double>(record.nodes);
+            const Seconds response = now - record.submit;
+            const Seconds wait = response - record.runtime;
+            wait_stats.add(wait);
+            const double slowdown = response / record.runtime;
+            slowdown_stats.add(slowdown);
+            slowdown_pct.add(slowdown);
+            bounded_stats.add(std::max(
+                1.0,
+                response /
+                    std::max(record.runtime, config.bounded_slowdown_tau)));
+            if (cluster.eligible_total(run.granted) >
+                cluster.eligible_total(
+                    ladder.round_up(record.requested_mem_mib))) {
+              ++result.benefiting_jobs;
+              result.benefiting_nodes += record.nodes;
+            }
+            retire_job(run.trace_index);
+            break;
+          }
+          case Outcome::kResourceFailure: {
+            ++result.resource_failures;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * (now - run.start);
+            if (job_attempts[run.trace_index] >=
+                config.max_attempts_per_job) {
+              ++result.dropped_attempt_cap;
+              RM_LOG(kWarn) << "job " << record.id
+                            << " dropped after attempt cap";
+              retire_job(run.trace_index);
+            } else {
+              enqueue(run.trace_index, /*retry=*/true);
+            }
+            break;
+          }
+          case Outcome::kIntrinsicFailure: {
+            ++result.intrinsic_failed;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * (now - run.start);
+            retire_job(run.trace_index);
+            break;
+          }
+        }
+        break;
+      }
+      case Src::kNone:
+        break;  // unreachable; the loop broke above
+    }
+
+    // Batch same-time events before scheduling so simultaneous arrivals
+    // and completions see one consistent state.
+    const auto [next_src, next_time] = peek();
+    if (next_src != Src::kNone && next_time == now) continue;
+    if (schedule_hist != nullptr) {
+      obs::ScopedSpan pass("sim.schedule", schedule_hist);
+      schedule(now);
+    } else {
+      schedule(now);
+    }
+    if (config.timeseries) {
+      config.timeseries->observe(now, cluster.busy_fraction(), queue.size(),
+                                 active_jobs);
+    }
+  }
+
+  result.submitted = pulled;
+  {
+    const Seconds span = last_submit - first_submit;
+    result.offered_load =
+        (span <= 0.0 || base_machines == 0)
+            ? 0.0
+            : pulled_work / (static_cast<double>(base_machines) * span);
+  }
+
+  // Jobs stranded in the queue when events ran out (possible only under
+  // dynamic availability: the capacity they waited for never sufficed).
+  result.dropped_unschedulable += queue.size();
+
+  result.makespan = last_event - first_submit;
+  integrate_pools(last_event);
+  if (sharded) {
+    const auto merged = sharded->finish();
+    for (std::size_t i = 0;
+         i < merged.size() && i < pool_integrals.size(); ++i) {
+      pool_integrals[i].busy_node_seconds = merged[i].first;
+      pool_integrals[i].capacity_node_seconds = merged[i].second;
+    }
+  }
+  for (const auto& pool : pool_integrals) {
+    result.pool_utilization.push_back(
+        {pool.capacity, pool.capacity_node_seconds > 0.0
+                            ? pool.busy_node_seconds /
+                                  pool.capacity_node_seconds
+                            : 0.0});
+  }
+  capacity_integral += static_cast<double>(cluster.machine_count()) *
+                       (last_event - capacity_since);
+  const double capacity_node_seconds = capacity_integral;
+  if (capacity_node_seconds > 0.0) {
+    result.utilization = productive_node_seconds / capacity_node_seconds;
+    result.wasted_fraction = wasted_node_seconds / capacity_node_seconds;
+  }
+  result.mean_wait = wait_stats.mean();
+  result.mean_slowdown = slowdown_stats.mean();
+  result.mean_bounded_slowdown = bounded_stats.mean();
+  result.p95_slowdown = slowdown_pct.percentile(95.0);
+  if (result.makespan > 0.0) {
+    result.throughput_per_hour =
+        static_cast<double>(result.completed) / (result.makespan / 3600.0);
+  }
+  if (config.metrics) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (events_counter != nullptr) {
+      events_counter->inc(events_processed);
+    }
+    config.metrics
+        ->gauge("resmatch_sim_wall_seconds", "Wall time of the last run")
+        .set(wall);
+    config.metrics
+        ->gauge("resmatch_sim_events_per_sec",
+                "Event throughput of the last run")
+        .set(wall > 0.0 ? static_cast<double>(events_processed) / wall : 0.0);
+  }
+  return result;
+}
+
+void require_sorted(const trace::Workload& workload) {
+  const auto& jobs = workload.jobs;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].submit < jobs[i - 1].submit) {
+      throw std::invalid_argument(
+          "simulate: workload must be sorted by submit time");
+    }
+  }
+}
+
+void require_unsharded_anchor(const SimulationConfig& config) {
+  if (config.shards > 0) {
+    throw std::invalid_argument(
+        "simulate: heap_queue/baseline_loop are single-shard anchors; "
+        "shards require the default engine");
+  }
+}
+
+}  // namespace
+
+SimulationResult simulate(const trace::Workload& workload,
+                          const ClusterSpec& cluster_spec,
+                          core::Estimator& estimator,
+                          sched::SchedulingPolicy& policy,
+                          const SimulationConfig& config) {
+  require_sorted(workload);
+  if (config.baseline_loop || config.heap_queue) {
+    require_unsharded_anchor(config);
+    return run_legacy(workload, cluster_spec, estimator, policy, config);
+  }
+  trace::VectorJobStream stream(workload);
+  return run_merge(stream, cluster_spec, estimator, policy, config);
+}
+
+SimulationResult simulate(trace::JobStream& stream,
+                          const ClusterSpec& cluster_spec,
+                          core::Estimator& estimator,
+                          sched::SchedulingPolicy& policy,
+                          const SimulationConfig& config) {
+  if (config.baseline_loop || config.heap_queue) {
+    // The anchor engines want the whole vector; materialize. They exist
+    // for A/B comparison, not for cluster-scale memory budgets.
+    require_unsharded_anchor(config);
+    trace::Workload workload;
+    workload.name = stream.name();
+    workload.jobs.reserve(stream.size_hint());
+    while (auto job = stream.next()) workload.jobs.push_back(*std::move(job));
+    require_sorted(workload);
+    return run_legacy(workload, cluster_spec, estimator, policy, config);
+  }
+  return run_merge(stream, cluster_spec, estimator, policy, config);
 }
 
 }  // namespace resmatch::sim

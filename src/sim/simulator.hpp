@@ -29,6 +29,10 @@ namespace resmatch::obs {
 class Registry;
 }
 
+namespace resmatch::trace {
+class JobStream;
+}
+
 namespace resmatch::sim {
 
 /// A scheduled change in machine availability (paper §1: machines join
@@ -75,6 +79,26 @@ struct SimulationConfig {
   /// same seed (tests/perf_equiv_test enforces this) — it exists only as
   /// the A/B anchor for bench/micro_core --baseline-loop.
   bool baseline_loop = false;
+  /// Run the pre-calendar-queue engine: every event (all arrivals up
+  /// front, availability, job ends) flows through the binary-heap
+  /// EventQueue, and the trace is fully materialized. The default engine
+  /// instead merges an arrival cursor, an availability cursor, and a
+  /// calendar queue holding only job-end events — same decisions, byte
+  /// identical results (tests/scale_equiv_test enforces this) — so this
+  /// flag exists only as the A/B anchor for bench/micro_core --scale,
+  /// exactly as baseline_loop anchors the PR 4 loop optimizations.
+  /// Implied by baseline_loop. Incompatible with shards.
+  bool heap_queue = false;
+  /// Shard the per-pool occupancy bookkeeping across this many worker
+  /// threads (0 = inline, the default). Scheduling decisions are made on
+  /// the simulation thread either way — decisions are global, so they
+  /// cannot be partitioned without changing results — while the per-event
+  /// O(#pools) busy/present integration is replayed from the cluster's
+  /// delta log by workers owning pool i when i % shards == worker. Same
+  /// scenario + seed => byte-identical SimulationResult for any shard
+  /// count (CI-gated), because each pool's integral is the same sequence
+  /// of adds no matter which thread runs it.
+  std::size_t shards = 0;
 };
 
 /// Run one simulation. `workload` must be sorted by submit time (see
@@ -82,6 +106,19 @@ struct SimulationConfig {
 /// policy are mutated (they learn / keep state) — pass fresh instances for
 /// independent runs.
 [[nodiscard]] SimulationResult simulate(const trace::Workload& workload,
+                                        const ClusterSpec& cluster_spec,
+                                        core::Estimator& estimator,
+                                        sched::SchedulingPolicy& policy,
+                                        const SimulationConfig& config = {});
+
+/// Run one simulation from a job stream without materializing the trace:
+/// peak memory is O(jobs in the system), not O(trace length). The stream
+/// must yield jobs in non-decreasing submit order (checked as records are
+/// pulled). Byte-identical to materializing the same stream and calling
+/// the overload above. With config.heap_queue/baseline_loop set the
+/// anchor engines need the full vector, so the stream is materialized
+/// internally first.
+[[nodiscard]] SimulationResult simulate(trace::JobStream& stream,
                                         const ClusterSpec& cluster_spec,
                                         core::Estimator& estimator,
                                         sched::SchedulingPolicy& policy,

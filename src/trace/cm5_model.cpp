@@ -15,18 +15,7 @@ namespace resmatch::trace {
 namespace {
 
 using util::Rng;
-
-/// Internal description of one similarity group before job emission.
-struct GroupSpec {
-  UserId user = 0;
-  AppId app = 0;
-  MiB requested_mib = 32.0;
-  MiB max_used_mib = 32.0;
-  double range = 1.0;  ///< max used / min used
-  std::uint32_t nodes = 32;
-  double runtime_log_mean = 6.0;
-  std::size_t size = 1;
-};
+using GroupSpec = detail::Cm5GroupSpec;
 
 /// Sample group sizes from the truncated discrete power law and adjust so
 /// they sum exactly to job_count. The adjustment preserves the shape: a
@@ -53,11 +42,40 @@ std::vector<std::size_t> sample_group_sizes(const Cm5ModelConfig& cfg,
     ++sizes[idx];
     ++total;
   }
-  while (total > cfg.job_count) {
-    auto it = std::max_element(sizes.begin(), sizes.end());
-    if (*it <= 1) break;  // cannot trim below one job per group
-    --(*it);
-    --total;
+  // Trim the excess from the largest groups first. This reproduces, in
+  // O(n + max size), exactly what repeatedly decrementing the first
+  // maximum would do: each value level is drained in index order, so the
+  // end state caps every size at a threshold T with the first `r` groups
+  // (by index) at or above T trimmed one step further. The naive loop is
+  // O(excess * group_count) and dominates plan building at cluster scale.
+  if (total > cfg.job_count) {
+    std::size_t excess = total - cfg.job_count;
+    const std::size_t vmax = *std::max_element(sizes.begin(), sizes.end());
+    std::vector<std::size_t> cnt(vmax + 1, 0);
+    for (const auto s : sizes) ++cnt[s];
+    std::size_t level = vmax;  // current top value
+    std::size_t at_level = 0;  // groups currently sitting at `level`
+    std::size_t partial = 0;   // groups at `level` trimmed one step further
+    while (excess > 0 && level > 1) {
+      at_level += cnt[level];
+      if (excess >= at_level) {
+        excess -= at_level;  // the whole level drops to level - 1
+        --level;
+      } else {
+        partial = excess;  // first `partial` groups at `level` drop one more
+        excess = 0;
+      }
+    }
+    // `excess > 0` here means every group is down to one job — the naive
+    // loop would break with the same leftover.
+    for (auto& s : sizes) {
+      if (s < level) continue;
+      s = level;
+      if (partial > 0) {
+        --s;
+        --partial;
+      }
+    }
   }
   return sizes;
 }
@@ -95,12 +113,13 @@ double sample_range(const Cm5ModelConfig& cfg, Rng& rng) {
 
 }  // namespace
 
-Workload generate_cm5(const Cm5ModelConfig& cfg) {
+namespace detail {
+
+Cm5Plan build_cm5_plan(const Cm5ModelConfig& cfg, Rng& rng) {
   assert(cfg.job_count >= cfg.group_count);
   assert(cfg.request_mib_values.size() == cfg.request_mib_weights.size());
   assert(cfg.partition_sizes.size() == cfg.partition_weights.size());
 
-  Rng rng(cfg.seed);
   const auto sizes = sample_group_sizes(cfg, rng);
 
   // Zipf over users: a few heavy users own most submissions, as in real
@@ -127,17 +146,22 @@ Workload generate_cm5(const Cm5ModelConfig& cfg) {
     // groups stay disjoint under the full key).
     bool shared = false;
     if (rng.bernoulli(cfg.shared_app_fraction)) {
-      for (auto& [key, mems] : apps_in_use) {
-        if (key.first != spec.user) continue;
+      // Only consider the first app of this user: the map is ordered by
+      // (user, app), so that entry is the lower bound of {user, 0}. A
+      // front-to-back scan here is O(total apps) per group, which turns
+      // plan building quadratic at cluster-scale group counts.
+      const auto it =
+          apps_in_use.lower_bound(std::pair<UserId, AppId>{spec.user, 0});
+      if (it != apps_in_use.end() && it->first.first == spec.user) {
+        std::vector<double>& mems = it->second;
         const bool mem_taken =
             std::find(mems.begin(), mems.end(), spec.requested_mib) !=
             mems.end();
         if (!mem_taken) {
-          spec.app = key.second;
+          spec.app = it->first.second;
           mems.push_back(spec.requested_mib);
           shared = true;
         }
-        break;  // only consider the first app of this user
       }
     }
     if (!shared) {
@@ -175,46 +199,60 @@ Workload generate_cm5(const Cm5ModelConfig& cfg) {
     std::swap(group_of_job[i - 1], group_of_job[j]);
   }
 
+  return {std::move(groups), std::move(group_of_job)};
+}
+
+JobRecord emit_cm5_job(const Cm5ModelConfig& cfg, const Cm5GroupSpec& spec,
+                       std::size_t index, Seconds& clock, Rng& rng) {
+  JobRecord job;
+  job.id = static_cast<JobId>(index + 1);
+  clock += rng.exponential(1.0);
+  job.submit = clock;
+  job.user = spec.user;
+  job.app = spec.app;
+  job.nodes = spec.nodes;
+  job.requested_mem_mib = spec.requested_mib;
+  // Usage is log-uniform within [max_used / range, max_used], clamped so
+  // no single job exceeds the configured over-provisioning ceiling.
+  job.used_mem_mib =
+      spec.max_used_mib / std::pow(spec.range, rng.uniform());
+  job.used_mem_mib =
+      std::clamp(job.used_mem_mib, job.requested_mem_mib / cfg.max_ratio,
+                 job.requested_mem_mib);
+  job.runtime = std::clamp(
+      std::exp(spec.runtime_log_mean +
+               rng.normal(0.0, cfg.runtime_jitter_sigma)),
+      cfg.runtime_min, cfg.runtime_max);
+  job.requested_time = job.runtime * (1.0 + rng.uniform() * 3.0);
+  job.status = rng.bernoulli(cfg.intrinsic_failure_fraction)
+                   ? JobStatus::kFailed
+                   : JobStatus::kCompleted;
+  return job;
+}
+
+}  // namespace detail
+
+Workload generate_cm5(const Cm5ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  const detail::Cm5Plan plan = detail::build_cm5_plan(cfg, rng);
+
   Workload workload;
   workload.name = "cm5-synthetic";
-  workload.jobs.reserve(group_of_job.size());
+  workload.jobs.reserve(plan.group_of_job.size());
 
   // Provisional arrivals with unit mean spacing; rescaled to the nominal
   // load once total work is known.
   Seconds clock = 0.0;
-  for (std::size_t i = 0; i < group_of_job.size(); ++i) {
-    const GroupSpec& spec = groups[group_of_job[i]];
-    JobRecord job;
-    job.id = static_cast<JobId>(i + 1);
-    clock += rng.exponential(1.0);
-    job.submit = clock;
-    job.user = spec.user;
-    job.app = spec.app;
-    job.nodes = spec.nodes;
-    job.requested_mem_mib = spec.requested_mib;
-    // Usage is log-uniform within [max_used / range, max_used], clamped so
-    // no single job exceeds the configured over-provisioning ceiling.
-    job.used_mem_mib =
-        spec.max_used_mib / std::pow(spec.range, rng.uniform());
-    job.used_mem_mib =
-        std::clamp(job.used_mem_mib, job.requested_mem_mib / cfg.max_ratio,
-                   job.requested_mem_mib);
-    job.runtime = std::clamp(
-        std::exp(spec.runtime_log_mean +
-                 rng.normal(0.0, cfg.runtime_jitter_sigma)),
-        cfg.runtime_min, cfg.runtime_max);
-    job.requested_time = job.runtime * (1.0 + rng.uniform() * 3.0);
-    job.status = rng.bernoulli(cfg.intrinsic_failure_fraction)
-                     ? JobStatus::kFailed
-                     : JobStatus::kCompleted;
-    workload.jobs.push_back(job);
+  for (std::size_t i = 0; i < plan.group_of_job.size(); ++i) {
+    workload.jobs.push_back(detail::emit_cm5_job(
+        cfg, plan.groups[plan.group_of_job[i]], i, clock, rng));
   }
 
   return scale_to_load(std::move(workload), cfg.nominal_machines,
                        cfg.nominal_load);
 }
 
-Workload generate_cm5_small(std::uint64_t seed, std::size_t job_count) {
+Cm5ModelConfig cm5_small_config(std::uint64_t seed, std::size_t job_count) {
   Cm5ModelConfig cfg;
   cfg.seed = seed;
   cfg.job_count = job_count;
@@ -226,7 +264,11 @@ Workload generate_cm5_small(std::uint64_t seed, std::size_t job_count) {
   // full trace matches the 1024-node CM5.
   cfg.partition_sizes = {4, 8, 16, 32, 64};
   cfg.nominal_machines = 128;
-  return generate_cm5(cfg);
+  return cfg;
+}
+
+Workload generate_cm5_small(std::uint64_t seed, std::size_t job_count) {
+  return generate_cm5(cm5_small_config(seed, job_count));
 }
 
 }  // namespace resmatch::trace

@@ -24,8 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "trace/job_record.hpp"
+
+namespace resmatch::util {
+class Rng;
+}
 
 namespace resmatch::trace {
 
@@ -103,9 +108,54 @@ struct Cm5ModelConfig {
 /// Deterministically generate a synthetic workload from the config.
 [[nodiscard]] Workload generate_cm5(const Cm5ModelConfig& config);
 
+/// The scaled-down configuration generate_cm5_small materializes: ~12.3
+/// jobs per group, partitions shrunk 8x to match the 128-machine test
+/// cluster. Exposed so streamed generation (trace::Cm5JobStream) can run
+/// the exact same model.
+[[nodiscard]] Cm5ModelConfig cm5_small_config(std::uint64_t seed,
+                                              std::size_t job_count = 4000);
+
 /// Convenience: a small trace for unit tests (a few thousand jobs),
 /// preserving the calibration's distributional shape.
 [[nodiscard]] Workload generate_cm5_small(std::uint64_t seed,
                                           std::size_t job_count = 4000);
+
+namespace detail {
+
+/// One similarity group with all of its pre-emission randomness spent.
+struct Cm5GroupSpec {
+  UserId user = 0;
+  AppId app = 0;
+  MiB requested_mib = 32.0;
+  MiB max_used_mib = 32.0;
+  double range = 1.0;  ///< max used / min used within the group
+  std::uint32_t nodes = 32;
+  double runtime_log_mean = 6.0;
+  std::size_t size = 1;
+};
+
+/// The deterministic prefix of CM5 generation: the group population and
+/// the shuffled job -> group assignment. Building it consumes exactly the
+/// RNG draws generate_cm5 spends before its emission loop, so a caller
+/// holding the RNG afterwards can emit jobs one at a time and reproduce
+/// the materialized trace bit for bit.
+struct Cm5Plan {
+  std::vector<Cm5GroupSpec> groups;
+  std::vector<std::size_t> group_of_job;
+};
+
+[[nodiscard]] Cm5Plan build_cm5_plan(const Cm5ModelConfig& cfg,
+                                     util::Rng& rng);
+
+/// Emit job `index` (0-based) of the plan: advances `clock` by the arrival
+/// gap and spends exactly the per-job RNG draws of generate_cm5's loop.
+/// The submit time is pre-scale — callers apply the load factor the same
+/// way trace::scale_to_load does.
+[[nodiscard]] JobRecord emit_cm5_job(const Cm5ModelConfig& cfg,
+                                     const Cm5GroupSpec& spec,
+                                     std::size_t index, Seconds& clock,
+                                     util::Rng& rng);
+
+}  // namespace detail
 
 }  // namespace resmatch::trace

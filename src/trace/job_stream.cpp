@@ -1,0 +1,93 @@
+#include "trace/job_stream.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "trace/swf.hpp"
+#include "util/strings.hpp"
+
+namespace resmatch::trace {
+
+Cm5JobStream::Cm5JobStream(Cm5ModelConfig config)
+    : cfg_(std::move(config)), emit_start_(cfg_.seed), rng_(cfg_.seed) {
+  util::Rng rng(cfg_.seed);
+  plan_ = detail::build_cm5_plan(cfg_, rng);
+  emit_start_ = rng;
+
+  // Dry-run emission: offered load needs total work and submit span, which
+  // the materialized path reads off the finished vector. Sum in emission
+  // order and take first/last submit (the clock is non-decreasing), so the
+  // factor below is bit-identical to scale_to_load's.
+  double total_work = 0.0;
+  Seconds first = 0.0;
+  Seconds last = 0.0;
+  Seconds clock = 0.0;
+  const std::size_t n = plan_.group_of_job.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRecord job = detail::emit_cm5_job(
+        cfg_, plan_.groups[plan_.group_of_job[i]], i, clock, rng);
+    total_work += job.work();
+    if (i == 0) first = job.submit;
+    last = job.submit;
+  }
+  const Seconds span = last - first;
+  double current = 0.0;
+  if (span > 0.0 && cfg_.nominal_machines > 0 && n > 0) {
+    current =
+        total_work / (static_cast<double>(cfg_.nominal_machines) * span);
+  }
+  if (current > 0.0 && cfg_.nominal_load > 0.0) {
+    time_factor_ = current / cfg_.nominal_load;
+  }
+  reset();
+}
+
+std::optional<JobRecord> Cm5JobStream::next() {
+  if (pos_ >= plan_.group_of_job.size()) return std::nullopt;
+  JobRecord job = detail::emit_cm5_job(
+      cfg_, plan_.groups[plan_.group_of_job[pos_]], pos_, clock_, rng_);
+  // Same per-record multiply scale_arrivals applies to the vector.
+  job.submit *= time_factor_;
+  ++pos_;
+  return job;
+}
+
+void Cm5JobStream::reset() {
+  rng_ = emit_start_;
+  clock_ = 0.0;
+  pos_ = 0;
+}
+
+SwfJobStream::SwfJobStream(std::string path) : path_(std::move(path)) {
+  in_.open(path_);
+  if (!in_) throw std::runtime_error("cannot open " + path_);
+}
+
+std::optional<JobRecord> SwfJobStream::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    auto job = parse_swf_line(trimmed);
+    if (!job) {
+      ++skipped_;
+      continue;
+    }
+    if (job.value().runtime <= 0.0 || job.value().nodes == 0) {
+      ++skipped_;
+      continue;
+    }
+    return std::move(job).value();
+  }
+  return std::nullopt;
+}
+
+void SwfJobStream::reset() {
+  in_.close();
+  in_.clear();
+  in_.open(path_);
+  if (!in_) throw std::runtime_error("cannot reopen " + path_);
+  skipped_ = 0;
+}
+
+}  // namespace resmatch::trace

@@ -1,0 +1,126 @@
+// Streamed trace access: jobs in arrival order, O(active jobs) memory.
+//
+// A materialized trace::Workload holds every JobRecord at once — fine at
+// 122k jobs, prohibitive at the 10M-job cluster-scale runs the ROADMAP
+// targets (~1 GB of records before the simulator does anything). A
+// JobStream yields the same records one at a time in submit order with a
+// bounded lookahead, so the simulator's peak footprint tracks the number
+// of jobs *in the system*, not the trace length.
+//
+// Equivalence contract: a stream and its materialized counterpart yield
+// byte-identical JobRecord sequences (tests/job_stream_test enforces
+// this), which is what lets the streamed simulation engine make decisions
+// bit-for-bit identical to the materialized one.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "trace/cm5_model.hpp"
+#include "trace/job_record.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::trace {
+
+/// Pull-based trace source. Records come back in non-decreasing submit
+/// order (the simulator rejects violations); streams are rewindable and
+/// the replayed sequence is byte-identical.
+class JobStream {
+ public:
+  virtual ~JobStream() = default;
+
+  /// The next job, or nullopt at end of trace.
+  [[nodiscard]] virtual std::optional<JobRecord> next() = 0;
+
+  /// Rewind to the first job.
+  virtual void reset() = 0;
+
+  /// Number of jobs the stream will yield when known up front; 0 when the
+  /// source cannot know without consuming itself (file streams).
+  [[nodiscard]] virtual std::size_t size_hint() const = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Adapter over an existing materialized workload (not owned; must
+/// outlive the stream). The bridge that lets one simulation engine serve
+/// both the simulate(Workload) and simulate(JobStream) entry points.
+class VectorJobStream final : public JobStream {
+ public:
+  explicit VectorJobStream(const Workload& workload)
+      : workload_(&workload) {}
+
+  [[nodiscard]] std::optional<JobRecord> next() override {
+    if (pos_ >= workload_->jobs.size()) return std::nullopt;
+    return workload_->jobs[pos_++];
+  }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return workload_->jobs.size();
+  }
+  [[nodiscard]] const std::string& name() const override {
+    return workload_->name;
+  }
+
+ private:
+  const Workload* workload_;
+  std::size_t pos_ = 0;
+};
+
+/// On-the-fly CM5 synthetic generation: byte-identical to
+/// generate_cm5(config) without ever materializing the trace.
+///
+/// Construction runs the model twice over the RNG stream: pass 1 builds
+/// the group plan and dry-runs emission to learn total work and span —
+/// exactly the numbers scale_to_load derives from the materialized
+/// vector — then emission restarts from a snapshot of the post-plan RNG
+/// and applies the load factor per job. Cost: generation happens twice;
+/// memory: O(groups), not O(jobs).
+class Cm5JobStream final : public JobStream {
+ public:
+  explicit Cm5JobStream(Cm5ModelConfig config);
+
+  [[nodiscard]] std::optional<JobRecord> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t size_hint() const override {
+    return plan_.group_of_job.size();
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  Cm5ModelConfig cfg_;
+  detail::Cm5Plan plan_;
+  util::Rng emit_start_;  ///< RNG state right after the plan was built
+  double time_factor_ = 1.0;  ///< scale_to_load's submit-time factor
+  std::string name_ = "cm5-synthetic";
+
+  // Emission cursor.
+  util::Rng rng_;
+  Seconds clock_ = 0.0;
+  std::size_t pos_ = 0;
+};
+
+/// Line-at-a-time SWF file reader: same parse/skip semantics as
+/// trace::read_swf (comments and structurally broken lines are skipped
+/// and counted), without holding more than one record.
+class SwfJobStream final : public JobStream {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit SwfJobStream(std::string path);
+
+  [[nodiscard]] std::optional<JobRecord> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t size_hint() const override { return 0; }
+  [[nodiscard]] const std::string& name() const override { return path_; }
+
+  /// Structurally unusable lines seen so far (grows as the file is read).
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace resmatch::trace

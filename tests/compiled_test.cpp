@@ -43,7 +43,10 @@ TEST(CompiledMatcher, MatchesTreeOnSimplePopulation) {
   const auto tree = rank_matches(job, machines);
   EXPECT_EQ(compiled, tree);
   EXPECT_EQ(stats.fallback_rows, 0u);
-  EXPECT_EQ(stats.compiled_rows, machines.size());
+  // memory >= 16 lowers to a prefilter term: the 4- and 8-MiB rows are
+  // rejected by the vector scan, the rest by bytecode.
+  EXPECT_EQ(stats.prefiltered_rows, 2u);
+  EXPECT_EQ(stats.compiled_rows + stats.prefiltered_rows, machines.size());
 }
 
 TEST(CompiledMatcher, MachineRequirementsGroupsAreHonored) {
@@ -190,7 +193,168 @@ TEST(CompiledMatcher, UncompilableProgramFallsBackWholesale) {
   EXPECT_EQ(rank_matches_compiled(job, table, &stats),
             rank_matches(job, machines));
   EXPECT_EQ(stats.compiled_rows, 0u);
-  EXPECT_EQ(stats.fallback_rows, machines.size());
+  // The `other.memory >= 8` conjunct still prefilters the 4-MiB row —
+  // sound even though the whole program is uncompilable, because a FALSE
+  // conjunct caps the tri-state && at non-TRUE no matter how the rest of
+  // the chain evaluates. Only the surviving row pays the tree walk.
+  EXPECT_EQ(stats.prefiltered_rows, 1u);
+  EXPECT_EQ(stats.fallback_rows, machines.size() - 1);
+}
+
+TEST(CompiledMatcher, PrefilterExtractsNumericConjuncts) {
+  ClassAd job;
+  job.set("req_memory", 16.0);
+  // Three conjuncts: two numeric (prefilterable — the first via the
+  // request-side inline of my.req_memory), one string (left for full
+  // evaluation).
+  job.set_expr("requirements",
+               "other.memory >= my.req_memory && other.cpus >= 2 && "
+               "other.arch == \"x86_64\"");
+  job.set_expr("rank", "other.memory");
+
+  std::vector<ClassAd> machines;
+  for (double mem : {4.0, 64.0, 8.0, 32.0, 16.0, 2.0}) {
+    machines.push_back(machine(mem, mem >= 16.0 ? 4.0 : 1.0, "x86_64"));
+  }
+  const MachineTable table = MachineTable::build(machines);
+  CompiledMatcher matcher(job, table);
+  EXPECT_EQ(matcher.prefilter_term_count(), 2u);
+
+  const auto ranked = matcher.rank_all();
+  EXPECT_EQ(ranked, rank_matches(job, machines));
+  const CompiledMatcher::Stats& stats = matcher.stats();
+  // memory < 16 or cpus < 2 rows never reach per-row evaluation.
+  EXPECT_EQ(stats.prefiltered_rows, 3u);
+  EXPECT_EQ(stats.compiled_rows + stats.fallback_rows +
+                stats.prefiltered_rows,
+            machines.size());
+}
+
+TEST(CompiledMatcher, PrefilterNormalizesLiteralOnLeft) {
+  ClassAd job;
+  job.set_expr("requirements", "16 <= other.memory && 8.0 > other.cpus");
+
+  std::vector<ClassAd> machines;
+  machines.push_back(machine(32.0, 4.0, "x86_64"));   // match
+  machines.push_back(machine(8.0, 4.0, "x86_64"));    // memory too small
+  machines.push_back(machine(32.0, 12.0, "x86_64"));  // cpus too large
+  const MachineTable table = MachineTable::build(machines);
+  CompiledMatcher matcher(job, table);
+  EXPECT_EQ(matcher.prefilter_term_count(), 2u);
+  EXPECT_EQ(matcher.rank_all(), rank_matches(job, machines));
+  EXPECT_EQ(matcher.stats().prefiltered_rows, 2u);
+}
+
+TEST(CompiledMatcher, PrefilterNeverRejectsNonNumericCells) {
+  // The scanned column holds an impure cell (value depends on the
+  // request and is TRUE-worthy inside the match), a string cell, and a
+  // missing cell: none may be prefilter-rejected, and the results must
+  // still equal the tree's.
+  ClassAd job;
+  job.set("req_memory", 16.0);
+  job.set_expr("requirements", "other.memory >= 16");
+
+  std::vector<ClassAd> machines;
+  {
+    ClassAd m;  // memory = 64 inside the match, but impure -> fallback
+    m.set_expr("memory", "other.req_memory * 4");
+    m.set("cpus", 4.0);
+    machines.push_back(m);
+  }
+  {
+    ClassAd m;  // memory is a string: requirements UNDEFINED, no match
+    m.set("memory", Value(std::string("lots")));
+    machines.push_back(m);
+  }
+  {
+    ClassAd m;  // no memory at all: UNDEFINED, no match
+    m.set("cpus", 2.0);
+    machines.push_back(m);
+  }
+  machines.push_back(machine(8.0, 1.0, "x86_64"));  // numeric, too small
+
+  const MachineTable table = MachineTable::build(machines);
+  CompiledMatcher matcher(job, table);
+  ASSERT_EQ(matcher.prefilter_term_count(), 1u);
+  EXPECT_EQ(matcher.rank_all(), rank_matches(job, machines));
+  // Only the pure-numeric-false row was prefiltered; the impure row went
+  // through the tree fallback and matched.
+  EXPECT_EQ(matcher.stats().prefiltered_rows, 1u);
+  EXPECT_EQ(matcher.stats().fallback_rows, 1u);
+}
+
+TEST(CompiledMatcher, CompleteNumericRequirementsDecidedByScan) {
+  // Every conjunct lowers to a term: the scan both rejects and ACCEPTS.
+  // Rows with non-numeric / impure / missing cells stay undecided and go
+  // through full evaluation; everything must still equal the tree.
+  ClassAd job;
+  job.set_expr("requirements", "other.memory >= 16 && other.cpus >= 2");
+  job.set_expr("rank", "other.memory");
+
+  std::vector<ClassAd> machines;
+  machines.push_back(machine(32.0, 4.0, "x86_64"));  // accepted by scan
+  machines.push_back(machine(8.0, 4.0, "x86_64"));   // rejected by scan
+  {
+    ClassAd m;  // memory impure (TRUE inside the match): undecided row
+    m.set_expr("memory", "other.min_memory + 48");
+    m.set("cpus", 8.0);
+    machines.push_back(m);
+  }
+  {
+    ClassAd m;  // cpus is a string: undecided, requirements UNDEFINED
+    m.set("memory", 64.0);
+    m.set("cpus", Value(std::string("four")));
+    machines.push_back(m);
+  }
+  job.set("min_memory", 16.0);
+
+  const MachineTable table = MachineTable::build(machines);
+  CompiledMatcher matcher(job, table);
+  ASSERT_EQ(matcher.prefilter_term_count(), 2u);
+  EXPECT_EQ(matcher.rank_all(), rank_matches(job, machines));
+  EXPECT_EQ(matcher.stats().prefiltered_rows, 1u);
+  EXPECT_EQ(matcher.stats().fallback_rows, 1u);  // the impure row
+}
+
+TEST(CompiledMatcher, PrefilterScalarKernelAgreesWithSimd) {
+  util::Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    ClassAd job;
+    job.set_expr("requirements",
+                 "other.memory >= 16 && other.cpus < 6 && other.load != "
+                 "0.5");
+    job.set_expr("rank", "other.memory - other.load");
+    // Odd population size exercises the AVX2 tail; random non-numeric
+    // holes exercise the mask.
+    std::vector<ClassAd> machines(
+        static_cast<std::size_t>(rng.uniform_int(1, 70)));
+    for (ClassAd& m : machines) {
+      if (rng.bernoulli(0.9)) {
+        m.set("memory", static_cast<double>(rng.uniform_int(1, 64)));
+      }
+      if (rng.bernoulli(0.8)) {
+        m.set("cpus", static_cast<double>(rng.uniform_int(1, 16)));
+      } else if (rng.bernoulli(0.5)) {
+        m.set("cpus", Value(std::string("many")));
+      }
+      m.set("load", static_cast<double>(rng.uniform_int(0, 10)) / 10.0);
+    }
+    // All three columns must exist for all three terms to extract.
+    machines.front().set("memory", 32.0);
+    machines.front().set("cpus", 4.0);
+    const MachineTable table = MachineTable::build(machines);
+    const auto tree = rank_matches(job, machines);
+
+    CompiledMatcher simd(job, table);
+    ASSERT_EQ(simd.prefilter_term_count(), 3u);
+    CompiledMatcher scalar(job, table);
+    scalar.set_simd_enabled(false);
+
+    EXPECT_EQ(simd.rank_all(), tree) << "round " << round;
+    EXPECT_EQ(scalar.rank_all(), tree) << "round " << round;
+    EXPECT_EQ(simd.stats().prefiltered_rows,
+              scalar.stats().prefiltered_rows);
+  }
 }
 
 /// Random well-formed expression source over a shared attribute
@@ -303,6 +467,14 @@ TEST_P(CompiledDifferential, RankingsAreBitIdenticalToTree) {
     const auto tree = rank_matches(job, machines);
     const auto compiled = rank_matches_compiled(job, table);
     ASSERT_EQ(compiled, tree)
+        << "seed=" << GetParam() << " round=" << round
+        << " requirements=" << to_string(*(*job.find("requirements")));
+    // Same with the prefilter's scalar kernel: the fuzz's random `&&`
+    // chains of numeric comparisons exercise term extraction, and both
+    // kernels must agree with the tree (and each other) everywhere.
+    CompiledMatcher scalar(job, table);
+    scalar.set_simd_enabled(false);
+    ASSERT_EQ(scalar.rank_all(), tree)
         << "seed=" << GetParam() << " round=" << round
         << " requirements=" << to_string(*(*job.find("requirements")));
   }

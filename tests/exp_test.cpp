@@ -56,6 +56,29 @@ TEST(RunOnceTest, RuntimePredictionFlagAttachesPredictor) {
             result.submitted);
 }
 
+TEST(RunOnceTest, StreamedRunMatchesMaterialized) {
+  const std::uint64_t seed = 99;
+  const std::size_t jobs = 1200;
+  RunSpec spec;
+  const trace::Workload workload = standard_workload(seed, jobs);
+  const auto materialized = run_once(workload, small_cluster(), spec);
+
+  trace::Cm5JobStream stream = standard_stream(seed, jobs);
+  const auto streamed = run_once(stream, small_cluster(), spec);
+
+  // The JobStream equivalence contract, surfaced at the experiment layer:
+  // same seed, same decisions, same metrics to the last bit.
+  EXPECT_EQ(streamed.submitted, materialized.submitted);
+  EXPECT_EQ(streamed.completed, materialized.completed);
+  EXPECT_EQ(streamed.attempts, materialized.attempts);
+  EXPECT_EQ(streamed.resource_failures, materialized.resource_failures);
+  EXPECT_EQ(streamed.makespan, materialized.makespan);
+  EXPECT_EQ(streamed.utilization, materialized.utilization);
+  EXPECT_EQ(streamed.mean_slowdown, materialized.mean_slowdown);
+  EXPECT_EQ(streamed.granted_mib_nodes, materialized.granted_mib_nodes);
+  EXPECT_EQ(streamed.used_mib_nodes, materialized.used_mib_nodes);
+}
+
 TEST(LoadSweepTest, RescalesEachPointToItsLoad) {
   RunSpec spec;
   const auto result =

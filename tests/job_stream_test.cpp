@@ -1,0 +1,182 @@
+// Streamed-vs-materialized trace equivalence (tests the JobStream
+// contract the streamed simulation engine depends on).
+//
+// Property: a stream and its materialized counterpart yield byte-identical
+// JobRecord sequences — every field, exact doubles, across seeds and
+// configurations — and replay identically after reset(). Field-exact
+// equality is what licenses the stronger claim tested in
+// scale_equiv_test: streamed simulation DECISIONS match materialized ones
+// bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/cm5_model.hpp"
+#include "trace/job_stream.hpp"
+#include "trace/swf.hpp"
+
+namespace resmatch {
+namespace {
+
+void expect_record_equal(const trace::JobRecord& a, const trace::JobRecord& b,
+                         std::size_t index) {
+  SCOPED_TRACE("record " + std::to_string(index));
+  EXPECT_EQ(a.id, b.id);
+  // Exact double comparison is deliberate: both sides run the same
+  // arithmetic in this process, so any difference is a real divergence.
+  EXPECT_EQ(a.submit, b.submit);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.requested_time, b.requested_time);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.requested_mem_mib, b.requested_mem_mib);
+  EXPECT_EQ(a.used_mem_mib, b.used_mem_mib);
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.status, b.status);
+}
+
+void expect_stream_matches(trace::JobStream& stream,
+                           const trace::Workload& materialized) {
+  std::size_t i = 0;
+  while (auto job = stream.next()) {
+    ASSERT_LT(i, materialized.jobs.size());
+    expect_record_equal(*job, materialized.jobs[i], i);
+    ++i;
+  }
+  EXPECT_EQ(i, materialized.jobs.size());
+}
+
+TEST(Cm5JobStream, MatchesMaterializedGeneration) {
+  for (std::uint64_t seed : {7u, 11u, 42u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const trace::Cm5ModelConfig cfg = trace::cm5_small_config(seed, 1500);
+    const trace::Workload w = trace::generate_cm5(cfg);
+    trace::Cm5JobStream stream(cfg);
+    EXPECT_EQ(stream.size_hint(), w.jobs.size());
+    expect_stream_matches(stream, w);
+  }
+}
+
+TEST(Cm5JobStream, MatchesUnderIntrinsicFailuresAndSharedApps) {
+  // Non-default knobs spend extra RNG draws (status sampling, shared-app
+  // group keys); the stream must track every one of them.
+  trace::Cm5ModelConfig cfg = trace::cm5_small_config(19, 2000);
+  cfg.intrinsic_failure_fraction = 0.15;
+  cfg.shared_app_fraction = 0.5;
+  const trace::Workload w = trace::generate_cm5(cfg);
+  trace::Cm5JobStream stream(cfg);
+  expect_stream_matches(stream, w);
+}
+
+TEST(Cm5JobStream, ResetReplaysIdentically) {
+  const trace::Cm5ModelConfig cfg = trace::cm5_small_config(23, 800);
+  trace::Cm5JobStream stream(cfg);
+  std::vector<trace::JobRecord> first;
+  while (auto job = stream.next()) first.push_back(*job);
+  ASSERT_FALSE(first.empty());
+  stream.reset();
+  std::size_t i = 0;
+  while (auto job = stream.next()) {
+    ASSERT_LT(i, first.size());
+    expect_record_equal(*job, first[i], i);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(Cm5JobStream, SubmitTimesAreNonDecreasing) {
+  // The simulator's streamed entry point rejects out-of-order records;
+  // the generator must never produce them (arrivals are a Poisson clock).
+  trace::Cm5JobStream stream(trace::cm5_small_config(31, 1000));
+  double last = 0.0;
+  while (auto job = stream.next()) {
+    EXPECT_GE(job->submit, last);
+    last = job->submit;
+  }
+}
+
+TEST(VectorJobStream, RoundTripsWorkload) {
+  const trace::Workload w = trace::generate_cm5_small(13, 600);
+  trace::VectorJobStream stream(w);
+  EXPECT_EQ(stream.size_hint(), w.jobs.size());
+  EXPECT_EQ(stream.name(), w.name);
+  expect_stream_matches(stream, w);
+  stream.reset();
+  expect_stream_matches(stream, w);
+}
+
+class SwfTempFile {
+ public:
+  explicit SwfTempFile(const std::string& content) {
+    path_ = std::string(::testing::TempDir()) + "job_stream_test.swf";
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~SwfTempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string sample_swf() {
+  // Mix of comments, valid jobs, a malformed line, a zero-runtime job,
+  // and a zero-processor job — the skip paths both readers must agree on.
+  std::ostringstream out;
+  out << "; Comment: synthetic SWF sample\n"
+      << ";\n"
+      << "1 0 5 100 32 -1 2048 32 120 4096 1 3 -1 7 -1 -1 -1 -1\n"
+      << "2 10 2 200 64 -1 1024 64 250 2048 1 4 -1 8 -1 -1 -1 -1\n"
+      << "garbage line that cannot parse\n"
+      << "3 20 1 0 16 -1 512 16 50 1024 1 5 -1 9 -1 -1 -1 -1\n"
+      << "4 30 0 300 0 -1 256 0 400 512 0 6 -1 10 -1 -1 -1 -1\n"
+      << "5 40 4 150 128 -1 4096 128 180 8192 1 7 -1 11 -1 -1 -1 -1\n";
+  return out.str();
+}
+
+TEST(SwfJobStream, MatchesReadSwf) {
+  const SwfTempFile file(sample_swf());
+  const auto materialized = trace::read_swf_file(file.path());
+  ASSERT_TRUE(materialized.has_value());
+
+  const trace::SwfReadResult& ref = materialized.value();
+  trace::SwfJobStream stream(file.path());
+  std::size_t i = 0;
+  while (auto job = stream.next()) {
+    ASSERT_LT(i, ref.workload.jobs.size());
+    expect_record_equal(*job, ref.workload.jobs[i], i);
+    ++i;
+  }
+  EXPECT_EQ(i, ref.workload.jobs.size());
+  EXPECT_EQ(stream.skipped(), ref.skipped);
+}
+
+TEST(SwfJobStream, ResetRewindsAndRecounts) {
+  const SwfTempFile file(sample_swf());
+  trace::SwfJobStream stream(file.path());
+  std::vector<trace::JobRecord> first;
+  while (auto job = stream.next()) first.push_back(*job);
+  const std::size_t skipped = stream.skipped();
+  stream.reset();
+  EXPECT_EQ(stream.skipped(), 0u);
+  std::size_t i = 0;
+  while (auto job = stream.next()) {
+    ASSERT_LT(i, first.size());
+    expect_record_equal(*job, first[i], i);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+  EXPECT_EQ(stream.skipped(), skipped);
+}
+
+TEST(SwfJobStream, MissingFileThrows) {
+  EXPECT_THROW(trace::SwfJobStream("/nonexistent/path/to.swf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resmatch

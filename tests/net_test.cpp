@@ -22,6 +22,8 @@
 
 #include "core/capacity_ladder.hpp"
 #include "core/similarity.hpp"
+#include "match/classad.hpp"
+#include "match/compiled.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/router.hpp"
@@ -241,6 +243,63 @@ TEST(Codec, EmptyBodiedRequestsRoundTrip) {
   const net::Envelope c =
       one_round_trip(net::Envelope{net::MsgType::kStats, 7, net::StatsReq{}});
   EXPECT_EQ(c.type, net::MsgType::kStats);
+}
+
+TEST(Codec, MatchReqRoundTrips) {
+  net::MatchReq req;
+  req.attrs = {{"req_memory", "16"},
+               {"requirements", "other.memory >= my.req_memory"},
+               {"rank", "other.memory"}};
+  const net::Envelope out =
+      one_round_trip(net::Envelope{net::MsgType::kMatch, 11, req});
+  EXPECT_EQ(out.type, net::MsgType::kMatch);
+  const auto& body = std::get<net::MatchReq>(out.body);
+  ASSERT_EQ(body.attrs.size(), 3u);
+  EXPECT_EQ(body.attrs[0].first, "req_memory");
+  EXPECT_EQ(body.attrs[0].second, "16");
+  EXPECT_EQ(body.attrs[1].second, "other.memory >= my.req_memory");
+  EXPECT_EQ(body.attrs[2].first, "rank");
+
+  const net::Envelope empty =
+      one_round_trip(net::Envelope{net::MsgType::kMatch, 12, net::MatchReq{}});
+  EXPECT_TRUE(std::get<net::MatchReq>(empty.body).attrs.empty());
+}
+
+TEST(Codec, MatchRespRoundTrips) {
+  net::MatchResp resp;
+  resp.rows = {4, 0, 2, 0xFFFFFFFFu};
+  const net::Envelope out =
+      one_round_trip(net::Envelope{net::MsgType::kMatchResp, 13, resp});
+  EXPECT_EQ(std::get<net::MatchResp>(out.body).rows, resp.rows);
+
+  const net::Envelope empty = one_round_trip(
+      net::Envelope{net::MsgType::kMatchResp, 14, net::MatchResp{}});
+  EXPECT_TRUE(std::get<net::MatchResp>(empty.body).rows.empty());
+}
+
+TEST(Codec, HostileMatchLengthsAreRejectedNotAllocated) {
+  const auto expect_bad = [](const std::vector<char>& payload) {
+    std::vector<char> bytes;
+    util::append_frame(bytes, payload.data(), payload.size());
+    net::Decoder decoder(/*expect_magic=*/false);
+    decoder.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(decoder.next().has_value());
+  };
+
+  // An attr count claiming far more pairs than the payload could hold.
+  std::vector<char> lying_count;
+  lying_count.push_back(static_cast<char>(net::MsgType::kMatch));
+  for (int i = 0; i < 8; ++i) lying_count.push_back(0);  // request id
+  util::put_u32(lying_count, 0x00FFFFFFu);
+  expect_bad(lying_count);
+
+  // A string length word running past the end of the payload.
+  std::vector<char> lying_strlen;
+  lying_strlen.push_back(static_cast<char>(net::MsgType::kMatch));
+  for (int i = 0; i < 8; ++i) lying_strlen.push_back(0);
+  util::put_u32(lying_strlen, 1);        // one attr...
+  util::put_u32(lying_strlen, 0xFFFFu);  // ...whose name overruns
+  expect_bad(lying_strlen);
 }
 
 TEST(Codec, ResponsesRoundTrip) {
@@ -499,6 +558,91 @@ TEST(Server, ServesEveryVerbOverUds) {
   EXPECT_EQ(sstats.accepts, 1u);
   EXPECT_GE(sstats.requests, 8u);
   EXPECT_EQ(sstats.protocol_errors, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Server, MatchVerbRanksLikeLocalCompiledMatcher) {
+  const fs::path dir = fresh_dir("match");
+  svc::Matchd matchd(sync_config());
+  matchd.set_ladder(test_ladder());
+
+  // A machine population with numeric capacity, a few string-typed rows,
+  // and one machine-side requirements expression — the shapes the matcher
+  // distinguishes.
+  util::Rng rng(0x5EED);
+  std::vector<match::ClassAd> machines(64);
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    machines[i].set("memory", 4.0 * static_cast<double>(1 + rng() % 16));
+    machines[i].set("cpus", static_cast<double>(1 + rng() % 8));
+    if (i % 7 == 0) machines[i].set("arch", std::string("x86_64"));
+    if (i % 11 == 0) {
+      ASSERT_TRUE(machines[i].set_expr("requirements", "my.cpus >= 2"));
+    }
+  }
+
+  net::ServerConfig config;
+  config.uds_path = (dir / "matchd.sock").string();
+  config.machines = &machines;
+  net::Server server(matchd, config);
+  ASSERT_TRUE(server.start());
+  net::Client client;
+  ASSERT_TRUE(client.connect_uds(config.uds_path).has_value());
+
+  net::MatchReq req;
+  req.attrs = {{"req_memory", "16"},
+               {"cpus", "2"},
+               {"requirements", "other.memory >= my.req_memory"},
+               {"rank", "other.memory - my.req_memory"}};
+  auto resp = client.match(req);
+  ASSERT_TRUE(resp.has_value()) << resp.error();
+
+  // The wire answer must be exactly what the compiled matcher produces
+  // locally over the same population.
+  match::ClassAd request;
+  for (const auto& [name, source] : req.attrs) {
+    ASSERT_TRUE(request.set_expr(name, source));
+  }
+  const match::MachineTable table = match::MachineTable::build(machines);
+  const std::vector<std::size_t> expected =
+      match::rank_matches_compiled(request, table);
+  ASSERT_FALSE(expected.empty());
+  ASSERT_EQ(resp.value().rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(resp.value().rows[i], static_cast<std::uint32_t>(expected[i]))
+        << "rank position " << i;
+  }
+
+  // An unparsable attribute is a clean kBadRequest, not a dropped
+  // connection; the next request on the same socket still works.
+  net::MatchReq bad;
+  bad.attrs = {{"requirements", "other.memory >="}};
+  auto bad_resp = client.match(bad);
+  EXPECT_FALSE(bad_resp.has_value());
+  auto again = client.match(req);
+  ASSERT_TRUE(again.has_value()) << again.error();
+  EXPECT_EQ(again.value().rows, resp.value().rows);
+
+  server.stop();
+  fs::remove_all(dir);
+}
+
+TEST(Server, MatchVerbWithoutPopulationIsBadRequest) {
+  const fs::path dir = fresh_dir("match_none");
+  svc::Matchd matchd(sync_config());
+  matchd.set_ladder(test_ladder());
+  net::ServerConfig config;
+  config.uds_path = (dir / "matchd.sock").string();
+  net::Server server(matchd, config);
+  ASSERT_TRUE(server.start());
+  net::Client client;
+  ASSERT_TRUE(client.connect_uds(config.uds_path).has_value());
+
+  auto resp = client.match(net::MatchReq{});
+  EXPECT_FALSE(resp.has_value());
+  auto health = client.health();  // connection survives the error answer
+  EXPECT_TRUE(health.has_value());
+
+  server.stop();
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,250 @@
+// Cluster-scale engine equivalence gates.
+//
+// The calendar-queue merge engine (the default since the cluster-scale
+// work landed) must make EXACTLY the decisions of the pre-calendar
+// heap engine (SimulationConfig::heap_queue), and every axis of the new
+// machinery must be invisible in the results:
+//
+//   * heap engine vs merge engine — byte-identical;
+//   * materialized workload vs streamed JobStream input — byte-identical;
+//   * inline pool integration vs sharded (any worker count) —
+//     byte-identical, because each pool's integral is the same ordered
+//     sequence of adds no matter which thread runs it.
+//
+// All gates run across 3 policies x 3 estimators with dynamic
+// availability, mirroring tests/perf_equiv_test's golden grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/factory.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeseries.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/job_stream.hpp"
+#include "trace/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch {
+namespace {
+
+trace::Workload golden_workload() {
+  trace::Workload w = trace::generate_cm5_small(11, 1200);
+  w = trace::drop_wide_jobs(std::move(w), 256);
+  w = trace::scale_to_load(std::move(w), 256, 0.9);
+  return trace::sort_by_submit(std::move(w));
+}
+
+sim::ClusterSpec golden_cluster() { return sim::cm5_heterogeneous(24.0, 128); }
+
+sim::SimulationConfig golden_config(sim::TimeSeries* ts) {
+  sim::SimulationConfig cfg;
+  cfg.seed = 7;
+  cfg.explicit_feedback = true;
+  cfg.availability = {{2000.0, 24.0, -40}, {6000.0, 32.0, 24},
+                      {9000.0, 24.0, 40}};
+  cfg.timeseries = ts;
+  return cfg;
+}
+
+sim::SimulationResult run_materialized(const trace::Workload& w,
+                                       const std::string& policy,
+                                       const std::string& estimator,
+                                       sim::SimulationConfig cfg) {
+  const auto est = core::make_estimator(estimator);
+  const auto pol = sched::make_policy(policy);
+  return sim::simulate(w, golden_cluster(), *est, *pol, cfg);
+}
+
+sim::SimulationResult run_streamed(trace::JobStream& stream,
+                                   const std::string& policy,
+                                   const std::string& estimator,
+                                   sim::SimulationConfig cfg) {
+  const auto est = core::make_estimator(estimator);
+  const auto pol = sched::make_policy(policy);
+  return sim::simulate(stream, golden_cluster(), *est, *pol, cfg);
+}
+
+void expect_bitwise_equal(const sim::SimulationResult& a,
+                          const sim::SimulationResult& b,
+                          const sim::TimeSeries& ts_a,
+                          const sim::TimeSeries& ts_b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.resource_failures, b.resource_failures);
+  EXPECT_EQ(a.intrinsic_failed, b.intrinsic_failed);
+  EXPECT_EQ(a.dropped_unschedulable, b.dropped_unschedulable);
+  EXPECT_EQ(a.dropped_attempt_cap, b.dropped_attempt_cap);
+  EXPECT_EQ(a.lowered_starts, b.lowered_starts);
+  EXPECT_EQ(a.benefiting_jobs, b.benefiting_jobs);
+  EXPECT_EQ(a.benefiting_nodes, b.benefiting_nodes);
+  // Exact double comparison is deliberate: all engines run in this
+  // process, so identical decisions imply identical arithmetic.
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.wasted_fraction, b.wasted_fraction);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.mean_bounded_slowdown, b.mean_bounded_slowdown);
+  EXPECT_EQ(a.p95_slowdown, b.p95_slowdown);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.throughput_per_hour, b.throughput_per_hour);
+  EXPECT_EQ(a.granted_mib_nodes, b.granted_mib_nodes);
+  EXPECT_EQ(a.used_mib_nodes, b.used_mib_nodes);
+  ASSERT_EQ(a.pool_utilization.size(), b.pool_utilization.size());
+  for (std::size_t i = 0; i < a.pool_utilization.size(); ++i) {
+    EXPECT_EQ(a.pool_utilization[i].capacity, b.pool_utilization[i].capacity);
+    EXPECT_EQ(a.pool_utilization[i].busy_fraction,
+              b.pool_utilization[i].busy_fraction);
+  }
+  ASSERT_EQ(ts_a.points().size(), ts_b.points().size());
+  for (std::size_t i = 0; i < ts_a.points().size(); ++i) {
+    EXPECT_EQ(ts_a.points()[i].time, ts_b.points()[i].time);
+    EXPECT_EQ(ts_a.points()[i].busy_fraction, ts_b.points()[i].busy_fraction);
+    EXPECT_EQ(ts_a.points()[i].queue_length, ts_b.points()[i].queue_length);
+    EXPECT_EQ(ts_a.points()[i].running_jobs, ts_b.points()[i].running_jobs);
+  }
+}
+
+constexpr const char* kPolicies[] = {"fcfs", "sjf", "easy-backfill"};
+constexpr const char* kEstimators[] = {"none", "successive-approximation",
+                                       "last-instance"};
+
+TEST(ScaleEquivalence, HeapAndCalendarEnginesBitIdentical) {
+  const trace::Workload w = golden_workload();
+  for (const char* policy : kPolicies) {
+    for (const char* estimator : kEstimators) {
+      SCOPED_TRACE(std::string(policy) + " / " + estimator);
+      sim::TimeSeries ts_heap(50.0), ts_cal(50.0);
+      auto cfg_heap = golden_config(&ts_heap);
+      cfg_heap.heap_queue = true;
+      const auto heap = run_materialized(w, policy, estimator, cfg_heap);
+      const auto cal =
+          run_materialized(w, policy, estimator, golden_config(&ts_cal));
+      expect_bitwise_equal(heap, cal, ts_heap, ts_cal);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, StreamedInputBitIdenticalToMaterialized) {
+  const trace::Workload w = golden_workload();
+  for (const char* policy : kPolicies) {
+    for (const char* estimator : kEstimators) {
+      SCOPED_TRACE(std::string(policy) + " / " + estimator);
+      sim::TimeSeries ts_mat(50.0), ts_str(50.0);
+      const auto mat =
+          run_materialized(w, policy, estimator, golden_config(&ts_mat));
+      trace::VectorJobStream stream(w);
+      const auto str =
+          run_streamed(stream, policy, estimator, golden_config(&ts_str));
+      expect_bitwise_equal(mat, str, ts_mat, ts_str);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, ShardedIntegrationBitIdenticalForAnyWorkerCount) {
+  const trace::Workload w = golden_workload();
+  for (const char* policy : kPolicies) {
+    for (const char* estimator : kEstimators) {
+      SCOPED_TRACE(std::string(policy) + " / " + estimator);
+      sim::TimeSeries ts_inline(50.0);
+      const auto inline_run =
+          run_materialized(w, policy, estimator, golden_config(&ts_inline));
+      for (std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        sim::TimeSeries ts_sharded(50.0);
+        auto cfg = golden_config(&ts_sharded);
+        cfg.shards = shards;
+        const auto sharded = run_materialized(w, policy, estimator, cfg);
+        expect_bitwise_equal(inline_run, sharded, ts_inline, ts_sharded);
+      }
+    }
+  }
+}
+
+TEST(ScaleEquivalence, StreamedCm5GenerationBitIdenticalEndToEnd) {
+  // The full cluster-scale path: on-the-fly CM5 generation feeding the
+  // merge engine, versus materializing the same model and simulating the
+  // vector. Trace-level equality is job_stream_test's business; this
+  // holds the composed DECISION stream identical.
+  const trace::Cm5ModelConfig model = trace::cm5_small_config(11, 1000);
+  const trace::Workload w = trace::generate_cm5(model);
+  sim::TimeSeries ts_mat(50.0), ts_str(50.0);
+  const auto mat = run_materialized(
+      w, "easy-backfill", "successive-approximation", golden_config(&ts_mat));
+  trace::Cm5JobStream stream(model);
+  const auto str = run_streamed(stream, "easy-backfill",
+                                "successive-approximation",
+                                golden_config(&ts_str));
+  expect_bitwise_equal(mat, str, ts_mat, ts_str);
+}
+
+TEST(ScaleEquivalence, RandomizedAvailabilityShardProperty) {
+  // Sharded replay must survive machines joining and leaving (the delta
+  // log's remove/drain bookkeeping), not just the pinned schedule.
+  const trace::Workload w = [] {
+    trace::Workload base = trace::generate_cm5_small(29, 400);
+    base = trace::drop_wide_jobs(std::move(base), 256);
+    base = trace::scale_to_load(std::move(base), 256, 0.85);
+    return trace::sort_by_submit(std::move(base));
+  }();
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    util::Rng rng(2000 + trial);
+    sim::SimulationConfig cfg;
+    cfg.seed = 7 + trial;
+    cfg.explicit_feedback = true;
+    const int n_events = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < n_events; ++i) {
+      sim::AvailabilityEvent ev;
+      ev.time = rng.uniform(500.0, 20000.0);
+      ev.capacity = rng.bernoulli(0.5) ? 32.0 : 24.0;
+      ev.delta = rng.uniform_int(-48, 48);
+      if (ev.delta == 0) ev.delta = 8;
+      cfg.availability.push_back(ev);
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    sim::TimeSeries ts_heap(50.0), ts_sharded(50.0);
+    auto cfg_heap = cfg;
+    cfg_heap.heap_queue = true;
+    cfg_heap.timeseries = &ts_heap;
+    const auto heap = run_materialized(w, "easy-backfill",
+                                       "successive-approximation", cfg_heap);
+    auto cfg_sharded = cfg;
+    cfg_sharded.shards = 3;
+    cfg_sharded.timeseries = &ts_sharded;
+    const auto sharded = run_materialized(
+        w, "easy-backfill", "successive-approximation", cfg_sharded);
+    expect_bitwise_equal(heap, sharded, ts_heap, ts_sharded);
+  }
+}
+
+TEST(ScaleEquivalence, AnchorEnginesRejectShards) {
+  const trace::Workload w = golden_workload();
+  const auto est = core::make_estimator("none");
+  const auto pol = sched::make_policy("fcfs");
+  sim::SimulationConfig cfg;
+  cfg.heap_queue = true;
+  cfg.shards = 2;
+  EXPECT_THROW(
+      { (void)sim::simulate(w, golden_cluster(), *est, *pol, cfg); },
+      std::invalid_argument);
+}
+
+TEST(ScaleEquivalence, StreamedEntryPointRejectsUnsortedStreams) {
+  trace::Workload w = golden_workload();
+  ASSERT_GE(w.jobs.size(), 2u);
+  std::swap(w.jobs.front().submit, w.jobs.back().submit);
+  trace::VectorJobStream stream(w);
+  const auto est = core::make_estimator("none");
+  const auto pol = sched::make_policy("fcfs");
+  EXPECT_THROW(
+      { (void)sim::simulate(stream, golden_cluster(), *est, *pol, {}); },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmatch
