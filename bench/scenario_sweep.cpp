@@ -1,0 +1,323 @@
+// Scenario-diversity sweep: run every workload-catalog scenario
+// (SCENARIOS.md) through the multi-resource engine across an estimator
+// grid, and gate the engine's dims=1 path against the scalar simulator.
+//
+// Flags (util::CliArgs; unknown options are an error):
+//   --scenario=all|NAME   scenarios to run (default all synthetic models)
+//   --estimators=a,b,c    estimator arms (default none,successive-
+//                         approximation,quantile)
+//   --dims=N              resource dimensions to pack (default 3)
+//   --trace-jobs=N        jobs per generated scenario (default 2000)
+//   --jobs=N              sweep workers (0 = hardware concurrency)
+//   --seed=S --sim-seed=S workload / simulator seeds
+//   --policy=NAME         scheduling policy (default fcfs)
+//   --csv=PATH            CSV dump of the sweep rows
+//   --metrics-out=PATH    schema-v1 BENCH_scenarios.json record
+//   --swf=PATH            also replay an SWF trace through the
+//                         stream-factory sweep (one stream per arm)
+//   --gate-dims1          run ONLY the equivalence gate: for every
+//                         synthetic scenario and estimator arm, the MR
+//                         engine at dims=1 must reproduce sim::simulate()
+//                         field for field (exact doubles); exit 1 on any
+//                         mismatch
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/multi_resource.hpp"
+#include "exp/experiment.hpp"
+#include "exp/scenarios.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/metrics.hpp"
+#include "sched/factory.hpp"
+#include "sim/mr_simulator.hpp"
+#include "trace/job_stream.hpp"
+#include "trace/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace resmatch;
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : value) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Exact comparison of every SimulationResult field; prints the first
+/// mismatch. Doubles compare with == on purpose: the gate's contract is
+/// bitwise decision equivalence, not tolerance.
+bool results_equal(const char* label, const sim::SimulationResult& a,
+                   const sim::SimulationResult& b) {
+  bool ok = true;
+  auto check = [&](const char* field, double x, double y) {
+    if (x == y || (std::isnan(x) && std::isnan(y))) return;
+    std::fprintf(stderr, "GATE MISMATCH %s: %s scalar=%.17g mr=%.17g\n",
+                 label, field, x, y);
+    ok = false;
+  };
+  check("submitted", static_cast<double>(a.submitted),
+        static_cast<double>(b.submitted));
+  check("completed", static_cast<double>(a.completed),
+        static_cast<double>(b.completed));
+  check("intrinsic_failed", static_cast<double>(a.intrinsic_failed),
+        static_cast<double>(b.intrinsic_failed));
+  check("dropped_unschedulable", static_cast<double>(a.dropped_unschedulable),
+        static_cast<double>(b.dropped_unschedulable));
+  check("dropped_attempt_cap", static_cast<double>(a.dropped_attempt_cap),
+        static_cast<double>(b.dropped_attempt_cap));
+  check("attempts", static_cast<double>(a.attempts),
+        static_cast<double>(b.attempts));
+  check("resource_failures", static_cast<double>(a.resource_failures),
+        static_cast<double>(b.resource_failures));
+  check("lowered_starts", static_cast<double>(a.lowered_starts),
+        static_cast<double>(b.lowered_starts));
+  check("makespan", a.makespan, b.makespan);
+  check("offered_load", a.offered_load, b.offered_load);
+  check("utilization", a.utilization, b.utilization);
+  check("wasted_fraction", a.wasted_fraction, b.wasted_fraction);
+  check("mean_wait", a.mean_wait, b.mean_wait);
+  check("mean_slowdown", a.mean_slowdown, b.mean_slowdown);
+  check("mean_bounded_slowdown", a.mean_bounded_slowdown,
+        b.mean_bounded_slowdown);
+  check("p95_slowdown", a.p95_slowdown, b.p95_slowdown);
+  check("throughput_per_hour", a.throughput_per_hour, b.throughput_per_hour);
+  check("benefiting_jobs", static_cast<double>(a.benefiting_jobs),
+        static_cast<double>(b.benefiting_jobs));
+  check("benefiting_nodes", static_cast<double>(a.benefiting_nodes),
+        static_cast<double>(b.benefiting_nodes));
+  check("granted_mib_nodes", a.granted_mib_nodes, b.granted_mib_nodes);
+  check("used_mib_nodes", a.used_mib_nodes, b.used_mib_nodes);
+  if (a.pool_utilization.size() != b.pool_utilization.size()) {
+    std::fprintf(stderr, "GATE MISMATCH %s: pool_utilization size\n", label);
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < a.pool_utilization.size(); ++i) {
+      check("pool_utilization.capacity", a.pool_utilization[i].capacity,
+            b.pool_utilization[i].capacity);
+      check("pool_utilization.busy_fraction",
+            a.pool_utilization[i].busy_fraction,
+            b.pool_utilization[i].busy_fraction);
+    }
+  }
+  return ok;
+}
+
+/// The dims=1 A/B replay: scalar engine vs MR engine over the same base
+/// workload (flat footprints via trace::scenario_from).
+int run_gate(const std::vector<std::string>& scenarios,
+             const std::vector<std::string>& estimators,
+             const std::string& policy_name, std::uint64_t seed,
+             std::uint64_t sim_seed, std::size_t job_count) {
+  bool all_ok = true;
+  const sim::ClusterSpec cluster = exp::scenario_cluster(1);
+  for (const auto& scenario_name : scenarios) {
+    const trace::ScenarioWorkload scenario =
+        exp::make_scenario(scenario_name, seed, job_count);
+    const trace::ScenarioWorkload flat = trace::scenario_from(scenario.base);
+    for (const auto& estimator_name : estimators) {
+      sim::SimulationConfig config;
+      config.seed = sim_seed;
+      if (core::requires_explicit_feedback(estimator_name)) {
+        config.explicit_feedback = true;
+      }
+
+      auto scalar_est = core::make_estimator(estimator_name);
+      auto scalar_policy = sched::make_policy(policy_name);
+      const sim::SimulationResult scalar = sim::simulate(
+          scenario.base, cluster, *scalar_est, *scalar_policy, config);
+
+      core::VectorEstimatorConfig est_cfg;
+      est_cfg.dims = 1;
+      est_cfg.estimator = estimator_name;
+      core::VectorEstimator vec_est(est_cfg);
+      auto mr_policy = sched::make_policy(policy_name);
+      sim::MrSimulationConfig mr_cfg;
+      mr_cfg.base = config;
+      mr_cfg.dims = 1;
+      const sim::MrSimulationResult mr =
+          sim::simulate_mr(flat, cluster, vec_est, *mr_policy, mr_cfg);
+
+      const std::string label = scenario_name + "/" + estimator_name;
+      if (results_equal(label.c_str(), scalar, mr.base)) {
+        std::printf("gate OK   %-32s attempts=%zu kills=%zu\n", label.c_str(),
+                    scalar.attempts, scalar.resource_failures);
+      } else {
+        all_ok = false;
+      }
+    }
+  }
+  std::printf(all_ok ? "dims=1 equivalence gate: PASS\n"
+                     : "dims=1 equivalence gate: FAIL\n");
+  return all_ok ? 0 : 1;
+}
+
+std::string underscored(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs cli(argc, argv);
+  const std::string scenario_arg = cli.get("scenario", std::string("all"));
+  const std::vector<std::string> estimators = split_csv(cli.get(
+      "estimators", std::string("none,successive-approximation,quantile")));
+  const auto dims =
+      static_cast<std::size_t>(cli.get("dims", static_cast<std::int64_t>(3)));
+  const auto trace_jobs = static_cast<std::size_t>(
+      cli.get("trace-jobs", static_cast<std::int64_t>(2000)));
+  const auto jobs =
+      static_cast<std::size_t>(cli.get("jobs", static_cast<std::int64_t>(0)));
+  const auto seed = static_cast<std::uint64_t>(
+      cli.get("seed", static_cast<std::int64_t>(42)));
+  const auto sim_seed = static_cast<std::uint64_t>(
+      cli.get("sim-seed", static_cast<std::int64_t>(7)));
+  const std::string policy = cli.get("policy", std::string("fcfs"));
+  const std::string csv = cli.get("csv", std::string{});
+  const std::string metrics_out = cli.get("metrics-out", std::string{});
+  const std::string swf = cli.get("swf", std::string{});
+  const bool gate = cli.get("gate-dims1", false);
+  if (!cli.unused().empty()) {
+    for (const auto& key : cli.unused()) {
+      std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+    }
+    std::fprintf(stderr,
+                 "known options: --scenario --estimators --dims --trace-jobs "
+                 "--jobs --seed --sim-seed --policy --csv --metrics-out "
+                 "--swf --gate-dims1\n");
+    return 2;
+  }
+
+  std::vector<std::string> scenarios;
+  if (scenario_arg == "all") {
+    scenarios = exp::scenario_names();
+  } else {
+    scenarios = split_csv(scenario_arg);
+  }
+
+  if (gate) {
+    return run_gate(scenarios, estimators, policy, seed, sim_seed, trace_jobs);
+  }
+
+  obs::Registry registry;
+  exp::ScenarioRunConfig config;
+  config.dims = dims;
+  config.policy = policy;
+  config.sim.seed = sim_seed;
+  config.job_count = trace_jobs;
+  config.trace_seed = seed;
+
+  exp::RunnerOptions runner;
+  runner.jobs = jobs;
+  runner.metrics = &registry;
+
+  const exp::ScenarioSweep sweep =
+      exp::scenario_sweep(scenarios, estimators, config, runner);
+  for (const auto& err : sweep.errors) {
+    std::fprintf(stderr, "error: task %zu failed: %s\n", err.index,
+                 err.message.c_str());
+  }
+
+  std::printf(
+      "%-14s %-26s dims  kills(mem/cpu/gpu) midjob  kill-rate  util\n",
+      "scenario", "estimator");
+  for (const auto& row : sweep.rows) {
+    std::printf("%-14s %-26s %4zu  %6zu/%4zu/%4zu %6zu  %9.4f  %.4f\n",
+                row.scenario.c_str(), row.estimator.c_str(), row.dims,
+                row.result.kills_by_dim[kDimMem],
+                row.result.kills_by_dim[kDimCpu],
+                row.result.kills_by_dim[kDimGpu], row.result.midjob_kills,
+                row.kill_rate(), row.result.base.utilization);
+  }
+  if (!csv.empty()) exp::write_scenario_csv(csv, sweep);
+
+  // SWF replay through the stream-factory sweep: each arm gets its own
+  // file cursor, so parallel workers never interleave reads.
+  std::size_t swf_rows = 0;
+  std::size_t swf_failed = 0;
+  if (!swf.empty()) {
+    std::vector<exp::RunSpec> specs;
+    for (const auto& estimator : estimators) {
+      exp::RunSpec spec;
+      spec.estimator = estimator;
+      spec.policy = policy;
+      spec.sim.seed = sim_seed;
+      specs.push_back(spec);
+    }
+    const exp::StreamFactory factory = [&swf] {
+      return std::unique_ptr<trace::JobStream>(
+          std::make_unique<trace::SwfJobStream>(swf));
+    };
+    const auto swf_sweep =
+        exp::run_specs(factory, exp::scenario_cluster(1), specs, runner);
+    for (std::size_t i = 0; i < swf_sweep.results.size(); ++i) {
+      if (!swf_sweep.results[i]) continue;
+      ++swf_rows;
+      std::printf("swf            %-26s       util %.4f  completed %zu\n",
+                  specs[i].estimator.c_str(),
+                  swf_sweep.results[i]->utilization,
+                  swf_sweep.results[i]->completed);
+    }
+    swf_failed = swf_sweep.errors.size();
+    for (const auto& err : swf_sweep.errors) {
+      std::fprintf(stderr, "error: swf arm %zu failed: %s\n", err.index,
+                   err.message.c_str());
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    obs::BenchRecord record("scenarios");
+    record.config("scenario", scenario_arg);
+    record.config("dims", static_cast<std::int64_t>(dims));
+    record.config("trace_jobs", static_cast<std::int64_t>(trace_jobs));
+    record.config("jobs", static_cast<std::int64_t>(sweep.stats.jobs));
+    record.config("seed", static_cast<std::int64_t>(seed));
+    record.config("sim_seed", static_cast<std::int64_t>(sim_seed));
+    record.config("policy", policy);
+    record.summary("rows_total", static_cast<double>(sweep.rows.size()));
+    record.summary("failed_runs", static_cast<double>(sweep.stats.failed));
+    std::size_t midjob = 0;
+    for (const auto& row : sweep.rows) midjob += row.result.midjob_kills;
+    record.summary("midjob_kills_total", static_cast<double>(midjob));
+    if (!swf.empty()) {
+      record.summary("swf_rows", static_cast<double>(swf_rows));
+    }
+    for (const auto& scenario : scenarios) {
+      std::uint64_t attempts = 0, kills = 0;
+      for (const auto& row : sweep.rows) {
+        if (row.scenario != scenario) continue;
+        attempts += row.result.base.attempts;
+        kills += row.result.base.resource_failures;
+      }
+      record.summary("kill_rate_" + underscored(scenario),
+                     attempts > 0 ? static_cast<double>(kills) /
+                                        static_cast<double>(attempts)
+                                  : 0.0);
+    }
+    record.metrics(registry.snapshot());
+    if (!record.write(metrics_out)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return (sweep.errors.empty() && swf_failed == 0) ? 0 : 1;
+}

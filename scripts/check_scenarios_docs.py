@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Docs lint: every registered trace model must be catalogued.
+
+Parses the `kTraceModelNames[]` initializer in src/exp/scenarios.cpp (the
+single registry the sweep runner dispatches on) and fails if any model name
+is missing from SCENARIOS.md. This keeps the workload catalog complete by
+construction: registering a new trace model without documenting its
+parameters, distributions, and seed behaviour breaks CI.
+
+Usage:
+    python3 scripts/check_scenarios_docs.py [--src src/exp/scenarios.cpp]
+                                            [--docs SCENARIOS.md]
+
+Exit status: 0 when every registered model is documented, 1 otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# The registry is a braced initializer of string literals, one per line:
+#     const char* const kTraceModelNames[] = {
+#         "cm5",
+#         ...
+#     };
+REGISTRY_RE = re.compile(
+    r"kTraceModelNames\[\]\s*=\s*\{(?P<body>[^}]*)\}", re.DOTALL
+)
+NAME_RE = re.compile(r'"([a-z0-9-]+)"')
+
+
+def registered_models(src_path: pathlib.Path) -> list[str]:
+    text = src_path.read_text(encoding="utf-8", errors="replace")
+    match = REGISTRY_RE.search(text)
+    if match is None:
+        return []
+    return NAME_RE.findall(match.group("body"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--src",
+        default="src/exp/scenarios.cpp",
+        help="source file holding the kTraceModelNames registry",
+    )
+    parser.add_argument(
+        "--docs", default="SCENARIOS.md", help="catalog that must cover them"
+    )
+    args = parser.parse_args()
+
+    src_path = pathlib.Path(args.src)
+    docs_path = pathlib.Path(args.docs)
+    if not src_path.is_file():
+        print(f"check_scenarios_docs: no such source file: {src_path}")
+        return 1
+    if not docs_path.is_file():
+        print(f"check_scenarios_docs: missing docs file: {docs_path}")
+        return 1
+
+    models = registered_models(src_path)
+    if not models:
+        print(f"check_scenarios_docs: no kTraceModelNames registry found in "
+              f"{src_path} (parse pattern broken?)")
+        return 1
+
+    docs = docs_path.read_text(encoding="utf-8")
+    missing = [name for name in models if name not in docs]
+    if missing:
+        print(f"check_scenarios_docs: {len(missing)} registered trace "
+              f"model(s) missing from {docs_path}:")
+        for name in missing:
+            print(f"  {name}")
+        print(f"Add a catalog section to {docs_path} for each (generator, "
+              "parameters, distributions, seed behaviour, consumers).")
+        return 1
+
+    print(f"check_scenarios_docs: all {len(models)} registered trace models "
+          f"documented in {docs_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "core/factory.hpp"
+#include "util/rng.hpp"
 
 namespace resmatch::core {
 
@@ -58,6 +63,103 @@ std::optional<std::vector<double>> MultiResourceEstimator::last_good(
   const auto it = groups_.find(group);
   if (it == groups_.end()) return std::nullopt;
   return it->second.last_good;
+}
+
+// --- VectorEstimator -------------------------------------------------------
+
+VectorEstimator::VectorEstimator(VectorEstimatorConfig config)
+    : config_(std::move(config)) {
+  if (config_.dims < 1 || config_.dims > kMaxResourceDims) {
+    throw std::invalid_argument("VectorEstimator: dims out of range");
+  }
+  dims_est_.reserve(config_.dims);
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    dims_est_.push_back(make_estimator(config_.estimator, config_.options));
+  }
+}
+
+bool VectorEstimator::requires_explicit_feedback() const {
+  return core::requires_explicit_feedback(config_.estimator);
+}
+
+void VectorEstimator::set_ladder(std::size_t dim, CapacityLadder ladder) {
+  dims_est_.at(dim)->set_ladder(std::move(ladder));
+}
+
+trace::JobRecord VectorEstimator::shim(const trace::JobRecord& job,
+                                       const ResourceVector& requested,
+                                       std::size_t d) const {
+  // Dimension 0 must see the caller's record untouched — the dims=1
+  // transparency contract — so the caller never pays a copy there.
+  assert(d > 0);
+  trace::JobRecord copy = job;
+  copy.requested_mem_mib = requested[d];
+  copy.used_mem_mib = 0.0;  // never a learning signal; explicit fb carries it
+  return copy;
+}
+
+ResourceVector VectorEstimator::preview(const trace::JobRecord& job,
+                                        const ResourceVector& requested,
+                                        const SystemState& state) const {
+  ResourceVector out;
+  out[0] = dims_est_[0]->preview(job, state);
+  for (std::size_t d = 1; d < config_.dims; ++d) {
+    out[d] = dims_est_[d]->preview(shim(job, requested, d), state);
+  }
+  return out;
+}
+
+ResourceVector VectorEstimator::estimate(const trace::JobRecord& job,
+                                         const ResourceVector& requested,
+                                         const SystemState& state) {
+  ResourceVector out;
+  out[0] = dims_est_[0]->estimate(job, state);
+  for (std::size_t d = 1; d < config_.dims; ++d) {
+    out[d] = dims_est_[d]->estimate(shim(job, requested, d), state);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> VectorEstimator::preview_epoch(
+    const trace::JobRecord& job, const ResourceVector& requested) const {
+  const auto first = dims_est_[0]->preview_epoch(job);
+  if (!first) return std::nullopt;
+  if (config_.dims == 1) return first;  // transparency: scalar epoch as-is
+  std::uint64_t combined = util::mix64(*first);
+  for (std::size_t d = 1; d < config_.dims; ++d) {
+    const auto epoch = dims_est_[d]->preview_epoch(shim(job, requested, d));
+    if (!epoch) return std::nullopt;
+    combined = util::mix64(combined ^ (*epoch + 0x9E3779B97F4A7C15ULL * d));
+  }
+  return combined;
+}
+
+void VectorEstimator::cancel(const trace::JobRecord& job,
+                             const ResourceVector& requested,
+                             const ResourceVector& granted) {
+  dims_est_[0]->cancel(job, granted[0]);
+  for (std::size_t d = 1; d < config_.dims; ++d) {
+    dims_est_[d]->cancel(shim(job, requested, d), granted[d]);
+  }
+}
+
+void VectorEstimator::feedback(const trace::JobRecord& job,
+                               const ResourceVector& requested,
+                               const VectorFeedback& fb) {
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    Feedback f;
+    f.success = fb.success;
+    f.granted_mib = fb.granted[d];
+    if (fb.explicit_feedback) {
+      f.used_mib = fb.used[d];
+      f.resource_failure = fb.dim_failure[d];
+    }
+    if (d == 0) {
+      dims_est_[0]->feedback(job, f);
+    } else {
+      dims_est_[d]->feedback(shim(job, requested, d), f);
+    }
+  }
 }
 
 }  // namespace resmatch::core

@@ -15,11 +15,17 @@
 // experiments wrap it when needed.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/estimator.hpp"
+#include "core/factory.hpp"
+#include "util/resource_vector.hpp"
 #include "util/types.hpp"
 
 namespace resmatch::core {
@@ -64,6 +70,96 @@ class MultiResourceEstimator {
   std::size_t dims_;
   MultiResourceConfig config_;
   std::unordered_map<GroupId, GroupState> groups_;
+};
+
+// ---------------------------------------------------------------------------
+// VectorEstimator: per-dimension estimation over the scalar estimator zoo.
+//
+// Where MultiResourceEstimator (above) is the paper's round-robin probe for
+// one shared similarity group, VectorEstimator is the production shape: one
+// independent scalar Estimator per resource dimension (memory, CPU, GPU),
+// each with its own capacity ladder and learned state, driven through the
+// unmodified Estimator interface. A job's effective request is the vector
+// of per-dimension estimates; feedback is routed per dimension with that
+// dimension's own grant/usage/failure bit, so blame never smears across
+// resources (any-dimension overrun kills the job, but only the culprit
+// dimension sees resource_failure = true).
+//
+// Transparency contract (pinned by tests/mr_equiv_test.cpp): with dims == 1
+// every call passes the JobRecord through UNCHANGED to the underlying
+// estimator, so a dims=1 VectorEstimator is bit-for-bit the scalar
+// estimator it wraps. Higher dimensions see a shim record whose
+// requested/used memory fields carry that dimension's coordinates.
+// ---------------------------------------------------------------------------
+
+struct VectorEstimatorConfig {
+  std::size_t dims = 1;  ///< in [1, kMaxResourceDims]
+  /// Scalar estimator built per dimension (factory.hpp name).
+  std::string estimator = "successive-approximation";
+  EstimatorOptions options;
+};
+
+/// Outcome of one attempt, one coordinate per resource dimension.
+struct VectorFeedback {
+  bool success = false;
+  ResourceVector granted{};
+  /// Explicit feedback: `used` and `dim_failure` are meaningful.
+  bool explicit_feedback = false;
+  ResourceVector used{};
+  /// Per-dimension: did THIS dimension's overrun kill the job?
+  std::array<bool, kMaxResourceDims> dim_failure{};
+};
+
+class VectorEstimator {
+ public:
+  explicit VectorEstimator(VectorEstimatorConfig config);
+
+  [[nodiscard]] const std::string& estimator_name() const noexcept {
+    return config_.estimator;
+  }
+  [[nodiscard]] std::size_t dims() const noexcept { return config_.dims; }
+  [[nodiscard]] bool requires_explicit_feedback() const;
+
+  /// Install dimension `dim`'s capacity ladder (from
+  /// sim::Cluster::ladder_for_dim).
+  void set_ladder(std::size_t dim, CapacityLadder ladder);
+
+  /// Side-effect-free preview of the per-dimension effective request.
+  [[nodiscard]] ResourceVector preview(const trace::JobRecord& job,
+                                       const ResourceVector& requested,
+                                       const SystemState& state) const;
+
+  /// Commit an estimate in every dimension; pair with feedback()/cancel().
+  [[nodiscard]] ResourceVector estimate(const trace::JobRecord& job,
+                                        const ResourceVector& requested,
+                                        const SystemState& state);
+
+  /// Combined preview memo (see Estimator::preview_epoch): nullopt when
+  /// any dimension declines to memoize; otherwise a hash of all
+  /// per-dimension epochs, changing whenever any of them does.
+  [[nodiscard]] std::optional<std::uint64_t> preview_epoch(
+      const trace::JobRecord& job, const ResourceVector& requested) const;
+
+  /// Undo the most recent estimate() when the attempt never ran.
+  void cancel(const trace::JobRecord& job, const ResourceVector& requested,
+              const ResourceVector& granted);
+
+  /// Route per-dimension feedback to each dimension's estimator.
+  void feedback(const trace::JobRecord& job, const ResourceVector& requested,
+                const VectorFeedback& fb);
+
+  /// Direct access to one dimension's scalar estimator (tests, metrics).
+  [[nodiscard]] Estimator& dimension(std::size_t d) { return *dims_est_[d]; }
+
+ private:
+  /// JobRecord seen by dimension `d`'s estimator: unchanged for d == 0,
+  /// else a copy whose memory fields carry dimension d's coordinates.
+  [[nodiscard]] trace::JobRecord shim(const trace::JobRecord& job,
+                                      const ResourceVector& requested,
+                                      std::size_t d) const;
+
+  VectorEstimatorConfig config_;
+  std::vector<std::unique_ptr<Estimator>> dims_est_;
 };
 
 }  // namespace resmatch::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -204,6 +205,22 @@ SpecSweep run_specs(const trace::Workload& workload,
   return run_tasks(
       specs.size(),
       [&](std::size_t i) { return run_once(workload, cluster, specs[i]); },
+      runner_options);
+}
+
+SpecSweep run_specs(const StreamFactory& make_stream,
+                    const sim::ClusterSpec& cluster,
+                    const std::vector<RunSpec>& specs,
+                    const RunnerOptions& runner_options) {
+  return run_tasks(
+      specs.size(),
+      [&](std::size_t i) {
+        auto stream = make_stream();
+        if (!stream) {
+          throw std::runtime_error("run_specs: stream factory returned null");
+        }
+        return run_once(*stream, cluster, specs[i]);
+      },
       runner_options);
 }
 

@@ -6,6 +6,8 @@
 // once so each bench binary is a thin declaration of its sweep.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -151,6 +153,21 @@ struct ClusterSweep {
 using SpecSweep = TaskSweep<sim::SimulationResult>;
 
 [[nodiscard]] SpecSweep run_specs(const trace::Workload& workload,
+                                  const sim::ClusterSpec& cluster,
+                                  const std::vector<RunSpec>& specs,
+                                  const RunnerOptions& runner = {});
+
+/// Builds a fresh JobStream for one run. Parallel sweeps need one stream
+/// PER TASK: a shared stream object holds a single cursor (most acutely
+/// trace::SwfJobStream's one std::ifstream), and concurrent runs advancing
+/// it would interleave records. The factory must be callable from worker
+/// threads and every stream it returns must yield the same job sequence.
+using StreamFactory = std::function<std::unique_ptr<trace::JobStream>()>;
+
+/// Streamed run_specs: each task draws its own stream from the factory,
+/// so sweep rows are byte-identical for any worker count (the same
+/// determinism contract as the materialized overload).
+[[nodiscard]] SpecSweep run_specs(const StreamFactory& make_stream,
                                   const sim::ClusterSpec& cluster,
                                   const std::vector<RunSpec>& specs,
                                   const RunnerOptions& runner = {});

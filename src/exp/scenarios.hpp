@@ -1,0 +1,93 @@
+// Scenario registry and sweep driver (the workload-diversity experiment).
+//
+// Each entry in the catalog (SCENARIOS.md) is a deterministic workload
+// generator; the sweep runs every scenario × estimator arm through the
+// multi-resource engine (sim/mr_simulator.hpp) on the sweep runner's
+// deterministic fan-out, so `--jobs=1` and `--jobs=N` produce identical
+// rows. bench/scenario_sweep.cpp is the CLI over this module and emits
+// the schema-v1 BENCH_scenarios.json record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "sim/mr_simulator.hpp"
+#include "trace/scenario.hpp"
+
+namespace resmatch::exp {
+
+/// Every registered trace model, including the file-driven SWF reader.
+/// scripts/check_scenarios_docs.py parses this list out of scenarios.cpp
+/// and fails CI unless SCENARIOS.md documents each name.
+[[nodiscard]] const std::vector<std::string>& trace_model_names();
+
+/// The synthetic scenarios make_scenario() can build — trace_model_names()
+/// minus "swf" (SWF replay needs a trace file; see exp::StreamFactory).
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Build a named synthetic scenario deterministically. "cm5" wraps the
+/// paper's model (single-dimension, flat footprints); the others are the
+/// multi-resource generators in src/trace. Throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] trace::ScenarioWorkload make_scenario(const std::string& name,
+                                                    std::uint64_t seed,
+                                                    std::size_t job_count);
+
+/// Cluster for scenario sweeps: the paper's two-pool CM5 cluster when
+/// dims <= 1; otherwise three pools annotated with CPU cores and GPUs
+/// (a GPU-less small pool, a mid pool, and a big-memory GPU pool).
+[[nodiscard]] sim::ClusterSpec scenario_cluster(std::size_t dims);
+
+struct ScenarioRunConfig {
+  /// Dimensions to pack; each scenario is run at min(dims, scenario.dims).
+  std::size_t dims = 3;
+  std::string policy = "fcfs";
+  core::EstimatorOptions options;
+  sim::SimulationConfig sim;
+  /// Jobs per generated scenario workload.
+  std::size_t job_count = 4000;
+  /// Seed for the workload generators (separate from sim.seed).
+  std::uint64_t trace_seed = 42;
+};
+
+/// One scenario × estimator arm.
+struct ScenarioRow {
+  std::string scenario;
+  std::string estimator;
+  std::size_t dims = 1;
+  sim::MrSimulationResult result;
+
+  [[nodiscard]] double kill_rate() const noexcept {
+    return result.base.attempts > 0
+               ? static_cast<double>(result.base.resource_failures) /
+                     static_cast<double>(result.base.attempts)
+               : 0.0;
+  }
+};
+
+struct ScenarioSweep {
+  std::vector<ScenarioRow> rows;  ///< scenario-major, estimator-minor order
+  std::vector<RunError> errors;
+  SweepStats stats;
+};
+
+/// Run the scenario × estimator grid. Workloads are generated once,
+/// serially; the grid fans across runner.jobs workers with each task in
+/// an index-addressed slot. All estimator arms of one scenario share a
+/// sim seed derived from (config.sim.seed, scenario index) so they stay
+/// paired. With runner.metrics set, exports
+/// resmatch_scenario_sweeps_total, resmatch_scenario_rows, and
+/// resmatch_scenario_kill_rate.
+[[nodiscard]] ScenarioSweep scenario_sweep(
+    const std::vector<std::string>& scenarios,
+    const std::vector<std::string>& estimators,
+    const ScenarioRunConfig& config, const RunnerOptions& runner = {});
+
+/// One CSV row per sweep row (stable column order; consumed by the CI
+/// serial-vs-parallel diff).
+void write_scenario_csv(const std::string& path, const ScenarioSweep& sweep);
+
+}  // namespace resmatch::exp

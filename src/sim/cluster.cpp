@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 namespace resmatch::sim {
 
@@ -13,23 +14,32 @@ ClusterSpec cm5_heterogeneous(MiB second_pool_mib, std::size_t pool_size) {
 
 Cluster::Cluster(ClusterSpec spec, AllocationPolicy policy)
     : spec_(std::move(spec)), policy_(policy) {
-  // Merge same-capacity pools and sort ascending so eligibility queries
-  // are suffix sums.
+  // Merge identical pools and sort ascending so eligibility queries are
+  // suffix sums. The merge key is the full capacity vector: two pools
+  // with the same memory but different CPU/GPU stay distinct. Legacy
+  // specs (cpu == gpu == 0 everywhere) merge and order exactly as before.
   std::vector<PoolSpec> sorted = spec_;
   std::sort(sorted.begin(), sorted.end(),
             [](const PoolSpec& a, const PoolSpec& b) {
-              return a.capacity < b.capacity;
+              return std::tie(a.capacity, a.cpu, a.gpu) <
+                     std::tie(b.capacity, b.cpu, b.gpu);
             });
   for (const auto& p : sorted) {
     if (p.count == 0) continue;
     if (p.capacity <= 0.0) {
       throw std::invalid_argument("pool capacity must be positive");
     }
-    if (!pools_.empty() && pools_.back().capacity == p.capacity) {
+    const ResourceVector cap(p.capacity, p.cpu, p.gpu);
+    if (!pools_.empty() && pools_.back().cap == cap) {
       pools_.back().total += p.count;
       pools_.back().free += p.count;
     } else {
-      pools_.push_back({p.capacity, p.count, p.count});
+      Pool pool;
+      pool.capacity = p.capacity;
+      pool.total = p.count;
+      pool.free = p.count;
+      pool.cap = cap;
+      pools_.push_back(pool);
     }
     machines_ += p.count;
   }
@@ -45,6 +55,17 @@ core::CapacityLadder Cluster::ladder() const {
   return core::CapacityLadder(std::move(rungs));
 }
 
+core::CapacityLadder Cluster::ladder_for_dim(std::size_t dim) const {
+  std::vector<MiB> rungs;
+  rungs.reserve(pools_.size());
+  for (const auto& p : pools_) {
+    // Memory is always provisioned (constructor rejects capacity <= 0);
+    // other dimensions only contribute rungs from pools that have them.
+    if (dim == kDimMem || p.cap[dim] > 0.0) rungs.push_back(p.cap[dim]);
+  }
+  return core::CapacityLadder(std::move(rungs));
+}
+
 std::size_t Cluster::eligible_free(MiB min_capacity) const {
   std::size_t count = 0;
   for (const auto& p : pools_) {
@@ -57,6 +78,24 @@ std::size_t Cluster::eligible_total(MiB min_capacity) const {
   std::size_t count = 0;
   for (const auto& p : pools_) {
     if (p.capacity >= min_capacity) count += p.total;
+  }
+  return count;
+}
+
+std::size_t Cluster::eligible_free_vec(const ResourceVector& req,
+                                       std::size_t dims) const {
+  std::size_t count = 0;
+  for (const auto& p : pools_) {
+    if (p.cap.covers(req, dims)) count += p.free;
+  }
+  return count;
+}
+
+std::size_t Cluster::eligible_total_vec(const ResourceVector& req,
+                                        std::size_t dims) const {
+  std::size_t count = 0;
+  for (const auto& p : pools_) {
+    if (p.cap.covers(req, dims)) count += p.total;
   }
   return count;
 }
@@ -145,6 +184,46 @@ std::optional<Allocation> Cluster::allocate(std::uint32_t nodes,
   auto take_from = [&](std::size_t pool_index) {
     Pool& p = pools_[pool_index];
     if (p.capacity < min_capacity || p.free == 0) return;
+    const std::size_t take = std::min(p.free, remaining);
+    if (take == 0) return;
+    p.free -= take;
+    p.busy += take;
+    remaining -= take;
+    log_delta(pool_index, static_cast<std::int64_t>(take), 0);
+    out.pool_counts.emplace_back(pool_index, take);
+    out.min_capacity = out.min_capacity == 0.0
+                           ? p.capacity
+                           : std::min(out.min_capacity, p.capacity);
+  };
+
+  if (policy_ == AllocationPolicy::kBestFit) {
+    for (std::size_t i = 0; i < pools_.size() && remaining > 0; ++i) {
+      take_from(i);
+    }
+  } else {
+    for (std::size_t i = pools_.size(); i-- > 0 && remaining > 0;) {
+      take_from(i);
+    }
+  }
+  assert(remaining == 0);
+  busy_ += nodes;
+  return out;
+}
+
+std::optional<Allocation> Cluster::allocate_vec(std::uint32_t nodes,
+                                                const ResourceVector& req,
+                                                std::size_t dims) {
+  if (nodes == 0) return std::nullopt;
+  if (eligible_free_vec(req, dims) < nodes) return std::nullopt;
+
+  Allocation out;
+  out.nodes = nodes;
+  out.min_capacity = 0.0;
+  std::size_t remaining = nodes;
+
+  auto take_from = [&](std::size_t pool_index) {
+    Pool& p = pools_[pool_index];
+    if (!p.cap.covers(req, dims) || p.free == 0) return;
     const std::size_t take = std::min(p.free, remaining);
     if (take == 0) return;
     p.free -= take;

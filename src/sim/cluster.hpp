@@ -15,15 +15,21 @@
 
 #include "core/capacity_ladder.hpp"
 #include "sched/policy.hpp"
+#include "util/resource_vector.hpp"
 #include "util/small_vector.hpp"
 #include "util/types.hpp"
 
 namespace resmatch::sim {
 
-/// One homogeneous pool in a cluster specification.
+/// One homogeneous pool in a cluster specification. `cpu`/`gpu` describe
+/// the per-node core and accelerator counts for multi-resource packing;
+/// legacy single-dimension specs leave them 0 and behave exactly as
+/// before (every vector query with dims == 1 reads only `capacity`).
 struct PoolSpec {
   MiB capacity = 0.0;
   std::size_t count = 0;
+  double cpu = 0.0;
+  double gpu = 0.0;
 };
 
 using ClusterSpec = std::vector<PoolSpec>;
@@ -67,6 +73,11 @@ class Cluster final : public sched::ClusterView {
   /// Capacity rungs for Algorithm 1's rounding step.
   [[nodiscard]] core::CapacityLadder ladder() const;
 
+  /// Capacity rungs of one resource dimension. Dimension 0 (memory) is
+  /// exactly ladder(); higher dimensions skip pools that do not provision
+  /// the resource (capacity 0), so a GPU-less pool adds no GPU rung.
+  [[nodiscard]] core::CapacityLadder ladder_for_dim(std::size_t dim) const;
+
   // sched::ClusterView:
   [[nodiscard]] std::size_t eligible_free(MiB min_capacity) const override;
   [[nodiscard]] std::size_t eligible_total(MiB min_capacity) const override;
@@ -79,6 +90,33 @@ class Cluster final : public sched::ClusterView {
   /// the fit policy. All-or-nothing; nullopt when not enough machines.
   [[nodiscard]] std::optional<Allocation> allocate(std::uint32_t nodes,
                                                    MiB min_capacity);
+
+  // --- vector (multi-resource) queries ------------------------------------
+  //
+  // The same pool walk generalised to component-wise eligibility: a pool
+  // qualifies when its capacity vector covers `req` in the first `dims`
+  // dimensions. With dims == 1 every method below reduces bit for bit to
+  // its scalar counterpart (same comparison, same walk order), which is
+  // what the dims=1 equivalence gate in tests/mr_equiv_test.cpp pins.
+
+  /// Free machines whose capacity vector covers `req` (first `dims` dims).
+  [[nodiscard]] std::size_t eligible_free_vec(const ResourceVector& req,
+                                              std::size_t dims) const;
+
+  /// All machines (post-drain) whose capacity vector covers `req`.
+  [[nodiscard]] std::size_t eligible_total_vec(const ResourceVector& req,
+                                               std::size_t dims) const;
+
+  /// Vector allocate: take `nodes` machines each covering `req` in the
+  /// first `dims` dimensions, best/worst-fit by memory capacity (pool
+  /// order). Release with the ordinary release().
+  [[nodiscard]] std::optional<Allocation> allocate_vec(
+      std::uint32_t nodes, const ResourceVector& req, std::size_t dims);
+
+  /// Per-node capacity vector of pool `i` (memory, CPU, GPU).
+  [[nodiscard]] ResourceVector pool_capacity_vec(std::size_t i) const noexcept {
+    return pools_[i].cap;
+  }
 
   /// Return an allocation's machines. Must match a prior allocate().
   /// Machines owed to a pending removal leave the cluster instead of
@@ -174,6 +212,8 @@ class Cluster final : public sched::ClusterView {
     /// Machines currently running jobs (== total - free + draining, kept
     /// explicitly so per-event reads never re-derive or allocate).
     std::size_t busy = 0;
+    /// Full per-node capacity vector; cap[kDimMem] == capacity.
+    ResourceVector cap{};
   };
 
   Pool* find_pool(MiB capacity);

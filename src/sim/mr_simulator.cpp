@@ -1,0 +1,569 @@
+#include "sim/mr_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timeseries.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+#include "trace/footprint.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace resmatch::sim {
+
+namespace {
+
+enum class EventKind { kArrival, kJobEnd, kAvailability };
+
+struct EventPayload {
+  EventKind kind = EventKind::kArrival;
+  std::size_t index = 0;
+};
+
+enum class Outcome { kSuccess, kResourceFailure, kIntrinsicFailure };
+
+struct MrRunningRecord {
+  std::size_t trace_index = 0;
+  Allocation allocation;
+  ResourceVector granted{};
+  Seconds start = 0.0;
+  Seconds expected_end = 0.0;
+  Outcome outcome = Outcome::kSuccess;
+  /// Resource failure only: the dimension whose crossing fired first.
+  std::size_t culprit = 0;
+  /// Resource failure only: timed by a footprint crossing, not a draw.
+  bool midjob = false;
+  bool active = false;
+};
+
+struct PoolIntegral {
+  MiB capacity = 0.0;
+  double busy_node_seconds = 0.0;
+  double capacity_node_seconds = 0.0;
+};
+
+}  // namespace
+
+MrSimulationResult simulate_mr(const trace::ScenarioWorkload& scenario,
+                               const ClusterSpec& cluster_spec,
+                               core::VectorEstimator& estimator,
+                               sched::SchedulingPolicy& policy,
+                               const MrSimulationConfig& config) {
+  const auto& jobs = scenario.base.jobs;
+  const std::size_t dims = config.dims;
+  if (dims < 1 || dims > kMaxResourceDims || dims > scenario.dims) {
+    throw std::invalid_argument("simulate_mr: dims out of range");
+  }
+  if (scenario.mr.size() != jobs.size()) {
+    throw std::invalid_argument(
+        "simulate_mr: scenario.mr must parallel scenario.base.jobs");
+  }
+  if (estimator.dims() != dims) {
+    throw std::invalid_argument("simulate_mr: estimator dims mismatch");
+  }
+  if (config.base.baseline_loop || config.base.heap_queue ||
+      config.base.shards != 0 || config.base.runtime_predictor != nullptr) {
+    throw std::invalid_argument(
+        "simulate_mr: baseline/heap/shards/predictor not supported");
+  }
+
+  Cluster cluster(cluster_spec, config.base.allocation);
+  for (std::size_t d = 0; d < dims; ++d) {
+    estimator.set_ladder(d, cluster.ladder_for_dim(d));
+  }
+  util::Rng rng(config.base.seed);
+
+  MrSimulationResult mr_result;
+  SimulationResult& result = mr_result.base;
+  result.estimator_name = estimator.estimator_name();
+  result.policy_name = policy.name();
+  result.submitted = jobs.size();
+  result.offered_load = scenario.base.offered_load(cluster.machine_count());
+
+  EventQueue<EventPayload> events;
+  events.reserve(jobs.size() + config.base.availability.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    events.push(jobs[i].submit, {EventKind::kArrival, i});
+  }
+  std::size_t pending_capacity_adds = 0;
+  for (std::size_t i = 0; i < config.base.availability.size(); ++i) {
+    events.push(config.base.availability[i].time,
+                {EventKind::kAvailability, i});
+    if (config.base.availability[i].delta > 0) ++pending_capacity_adds;
+  }
+
+  std::deque<sched::QueuedJob> queue;
+  std::vector<MrRunningRecord> running;
+  std::vector<std::size_t> free_slots;
+  std::vector<std::uint32_t> attempts(jobs.size(), 0);
+  // The full preview vector behind each queue entry's scalar
+  // effective_request (policies order by memory; eligibility checks use
+  // the whole vector). Indexed by trace position — a job has at most one
+  // queue entry at a time.
+  std::vector<ResourceVector> preview_vec(jobs.size());
+
+  std::vector<std::size_t> index_slots;
+  std::vector<sched::RunningJobInfo> index_infos;
+  std::size_t active_jobs = 0;
+  auto index_insert = [&](std::size_t slot, sched::RunningJobInfo info) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.insert(it, slot);
+    index_infos.insert(index_infos.begin() + pos, info);
+  };
+  auto index_erase = [&](std::size_t slot) {
+    const auto it =
+        std::lower_bound(index_slots.begin(), index_slots.end(), slot);
+    assert(it != index_slots.end() && *it == slot);
+    const auto pos = it - index_slots.begin();
+    index_slots.erase(it);
+    index_infos.erase(index_infos.begin() + pos);
+  };
+
+  double productive_node_seconds = 0.0;
+  double wasted_node_seconds = 0.0;
+  double kill_progress_sum = 0.0;
+  stats::Summary wait_stats, slowdown_stats, bounded_stats;
+  stats::PercentileTracker slowdown_pct;
+  Seconds first_submit = jobs.empty() ? 0.0 : jobs.front().submit;
+  Seconds last_event = first_submit;
+  double capacity_integral = 0.0;
+  Seconds capacity_since = first_submit;
+
+  std::vector<PoolIntegral> pool_integrals;
+  for (const auto& snap : cluster.snapshot()) {
+    pool_integrals.push_back({snap.capacity, 0.0, 0.0});
+  }
+  Seconds pool_since = first_submit;
+  auto integrate_pools = [&](Seconds now) {
+    const Seconds dt = now - pool_since;
+    if (dt <= 0.0) return;
+    const std::size_t n = std::min(cluster.pool_count(), pool_integrals.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto counters = cluster.pool_counters(i);
+      pool_integrals[i].busy_node_seconds +=
+          static_cast<double>(counters.busy) * dt;
+      pool_integrals[i].capacity_node_seconds +=
+          static_cast<double>(counters.present) * dt;
+    }
+    pool_since = now;
+  };
+
+  // Per-dimension rounding of the RAW request, for lowered/benefiting
+  // accounting. Dimension 0's ladder is exactly Cluster::ladder().
+  std::array<core::CapacityLadder, kMaxResourceDims> ladders;
+  for (std::size_t d = 0; d < dims; ++d) {
+    ladders[d] = cluster.ladder_for_dim(d);
+  }
+  auto round_requested = [&](std::size_t trace_index) {
+    const ResourceVector& req = scenario.mr[trace_index].requested;
+    ResourceVector out;
+    for (std::size_t d = 0; d < dims; ++d) {
+      out[d] = ladders[d].round_up(req[d]);
+    }
+    return out;
+  };
+
+  obs::Counter* events_counter = nullptr;
+  obs::Histogram* schedule_hist = nullptr;
+  if (config.base.metrics) {
+    events_counter = &config.base.metrics->counter(
+        "resmatch_sim_events_total", "Discrete events processed");
+    schedule_hist = &config.base.metrics->histogram(
+        "resmatch_sim_schedule_seconds",
+        "Wall time of one scheduler decision pass", {1e-7, 2.0, 22});
+  }
+  std::uint64_t events_processed = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto system_state = [&]() {
+    core::SystemState state;
+    state.now = last_event;
+    state.busy_fraction = cluster.busy_fraction();
+    state.queue_length = queue.size();
+    return state;
+  };
+
+  auto stamp_preview_memo = [&](sched::QueuedJob& q,
+                                const trace::JobRecord& record) {
+    if (const auto epoch = estimator.preview_epoch(
+            record, scenario.mr[q.trace_index].requested)) {
+      q.preview_epoch = *epoch;
+      q.preview_memoized = true;
+    } else {
+      q.preview_memoized = false;
+    }
+  };
+
+  auto refresh_preview = [&](sched::QueuedJob& q) {
+    const trace::JobRecord& record = jobs[q.trace_index];
+    preview_vec[q.trace_index] = estimator.preview(
+        record, scenario.mr[q.trace_index].requested, system_state());
+    q.effective_request = preview_vec[q.trace_index][kDimMem];
+    stamp_preview_memo(q, record);
+  };
+
+  auto make_queued = [&](std::size_t trace_index) {
+    const trace::JobRecord& record = jobs[trace_index];
+    sched::QueuedJob q;
+    q.trace_index = trace_index;
+    q.id = record.id;
+    q.nodes = record.nodes;
+    preview_vec[trace_index] = estimator.preview(
+        record, scenario.mr[trace_index].requested, system_state());
+    q.effective_request = preview_vec[trace_index][kDimMem];
+    stamp_preview_memo(q, record);
+    q.enqueue_time = last_event;
+    q.requested_time = record.requested_time > 0.0 ? record.requested_time
+                                                   : record.runtime;
+    q.attempts = attempts[trace_index];
+    return q;
+  };
+
+  auto start_job = [&](const sched::QueuedJob& q, Seconds now) -> bool {
+    const trace::JobRecord& record = jobs[q.trace_index];
+    const trace::MrJobInfo& info = scenario.mr[q.trace_index];
+    const ResourceVector grant =
+        estimator.estimate(record, info.requested, system_state());
+    auto allocation = cluster.allocate_vec(q.nodes, grant, dims);
+    if (!allocation) {
+      estimator.cancel(record, info.requested, grant);
+      return false;
+    }
+
+    MrRunningRecord run;
+    run.trace_index = q.trace_index;
+    run.allocation = *allocation;
+    run.granted = grant;
+    run.start = now;
+    run.expected_end = now + q.requested_time;
+    run.active = true;
+
+    // Decide the attempt's fate up front (the trace knows the truth).
+    // Order matters for RNG-draw equivalence with the scalar engine:
+    // intrinsic failures draw first, flat-profile resource kills draw
+    // exactly once no matter how many dimensions overrun, and footprint
+    // crossings draw nothing (their time is deterministic).
+    Seconds end;
+    if (record.status == trace::JobStatus::kFailed) {
+      run.outcome = Outcome::kIntrinsicFailure;
+      end = now + rng.uniform() * record.runtime;
+    } else {
+      std::optional<std::size_t> first_overrun;
+      for (std::size_t d = 0; d < dims; ++d) {
+        if (info.used_peak[d] > grant[d] + 1e-9) {
+          first_overrun = d;
+          break;
+        }
+      }
+      if (!first_overrun) {
+        run.outcome = Outcome::kSuccess;
+        end = now + record.runtime;
+      } else if (info.profile.shape == trace::FootprintShape::kFlat) {
+        run.outcome = Outcome::kResourceFailure;
+        run.culprit = *first_overrun;
+        end = now + rng.uniform() * record.runtime;
+      } else {
+        // The profile crosses each overrun dimension's grant at a known
+        // time; the earliest crossing kills the job (ties: lowest dim).
+        run.outcome = Outcome::kResourceFailure;
+        run.midjob = true;
+        Seconds earliest = record.runtime;
+        std::size_t culprit = *first_overrun;
+        for (std::size_t d = *first_overrun; d < dims; ++d) {
+          if (!(info.used_peak[d] > grant[d] + 1e-9)) continue;
+          const auto crossing = info.profile.first_crossing(
+              grant[d], record.runtime, info.used_peak[d]);
+          assert(crossing.has_value());
+          if (crossing && *crossing < earliest) {
+            earliest = *crossing;
+            culprit = d;
+          }
+        }
+        run.culprit = culprit;
+        end = now + earliest;
+      }
+    }
+
+    ++result.attempts;
+    ++attempts[q.trace_index];
+    const ResourceVector rounded = round_requested(q.trace_index);
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (grant[d] + 1e-9 < rounded[d]) {
+        ++result.lowered_starts;
+        break;
+      }
+    }
+
+    const sched::RunningJobInfo run_info{run.expected_end, record.nodes,
+                                         run.granted[kDimMem]};
+    std::size_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      running[slot] = std::move(run);
+    } else {
+      slot = running.size();
+      running.push_back(std::move(run));
+    }
+    ++active_jobs;
+    index_insert(slot, run_info);
+    events.push(end, {EventKind::kJobEnd, slot});
+    return true;
+  };
+
+  auto schedule = [&](Seconds now) {
+    int failed_starts = 0;
+    for (;;) {
+      if (!queue.empty()) {
+        sched::QueuedJob& head = queue.front();
+        const auto& head_record = jobs[head.trace_index];
+        bool stale = true;
+        if (head.preview_memoized) {
+          const auto epoch = estimator.preview_epoch(
+              head_record, scenario.mr[head.trace_index].requested);
+          stale = !(epoch && *epoch == head.preview_epoch);
+        }
+        if (stale) refresh_preview(head);
+        if (pending_capacity_adds == 0 &&
+            cluster.eligible_total_vec(preview_vec[head.trace_index], dims) <
+                head.nodes) {
+          ++result.dropped_unschedulable;
+          queue.pop_front();
+          continue;
+        }
+      }
+      const auto pick = policy.pick_next(queue, cluster, index_infos, now);
+      if (!pick) return;
+      assert(*pick < queue.size());
+      if (!start_job(queue[*pick], now)) {
+        refresh_preview(queue[*pick]);
+        if (++failed_starts > 64) return;
+        continue;
+      }
+      if (*pick == 0) {
+        queue.pop_front();
+      } else {
+        queue.erase(queue.begin() + static_cast<long>(*pick));
+      }
+    }
+  };
+
+  auto enqueue = [&](std::size_t trace_index, bool retry) {
+    sched::QueuedJob q = make_queued(trace_index);
+    if (pending_capacity_adds == 0 &&
+        cluster.eligible_total_vec(preview_vec[trace_index], dims) < q.nodes) {
+      ++result.dropped_unschedulable;
+      RM_LOG(kDebug) << "dropping unschedulable job " << q.id;
+      return;
+    }
+    if (retry) {
+      queue.push_front(std::move(q));
+    } else {
+      queue.push_back(std::move(q));
+    }
+  };
+
+  while (!events.empty()) {
+    const auto event = events.pop();
+    ++events_processed;
+    last_event = std::max(last_event, event.time);
+    const Seconds now = event.time;
+    integrate_pools(now);
+
+    switch (event.payload.kind) {
+      case EventKind::kArrival: {
+        enqueue(event.payload.index, /*retry=*/false);
+        break;
+      }
+      case EventKind::kAvailability: {
+        const AvailabilityEvent& change =
+            config.base.availability[event.payload.index];
+        const Seconds effective = std::max(now, capacity_since);
+        capacity_integral += static_cast<double>(cluster.machine_count()) *
+                             (effective - capacity_since);
+        capacity_since = effective;
+        if (change.delta >= 0) {
+          cluster.add_machines(change.capacity,
+                               static_cast<std::size_t>(change.delta));
+          if (pending_capacity_adds > 0) --pending_capacity_adds;
+        } else {
+          cluster.remove_machines(change.capacity,
+                                  static_cast<std::size_t>(-change.delta));
+        }
+        break;
+      }
+      case EventKind::kJobEnd: {
+        MrRunningRecord& run = running[event.payload.index];
+        assert(run.active);
+        run.active = false;
+        cluster.release(run.allocation);
+        free_slots.push_back(event.payload.index);
+        --active_jobs;
+        index_erase(event.payload.index);
+        const trace::JobRecord& record = jobs[run.trace_index];
+        const trace::MrJobInfo& info = scenario.mr[run.trace_index];
+        const Seconds elapsed = now - run.start;
+
+        core::VectorFeedback fb;
+        fb.success = run.outcome == Outcome::kSuccess;
+        fb.granted = run.granted;
+        if (config.base.explicit_feedback) {
+          fb.explicit_feedback = true;
+          // What the usage monitor saw at the moment the attempt ended:
+          // the full peak on success (and always under flat profiles),
+          // but only the footprint-so-far on an early kill — which is
+          // exactly why early and late kills teach differently.
+          for (std::size_t d = 0; d < dims; ++d) {
+            fb.used[d] =
+                info.profile.usage_at(elapsed, record.runtime,
+                                      info.used_peak[d]);
+          }
+          if (run.outcome == Outcome::kResourceFailure) {
+            fb.dim_failure[run.culprit] = true;
+          }
+        }
+        estimator.feedback(record, info.requested, fb);
+
+        switch (run.outcome) {
+          case Outcome::kSuccess: {
+            ++result.completed;
+            productive_node_seconds += record.work();
+            result.granted_mib_nodes +=
+                run.granted[kDimMem] * static_cast<double>(record.nodes);
+            result.used_mib_nodes +=
+                record.used_mem_mib * static_cast<double>(record.nodes);
+            const Seconds response = now - record.submit;
+            const Seconds wait = response - record.runtime;
+            wait_stats.add(wait);
+            const double slowdown = response / record.runtime;
+            slowdown_stats.add(slowdown);
+            slowdown_pct.add(slowdown);
+            bounded_stats.add(std::max(
+                1.0,
+                response / std::max(record.runtime,
+                                    config.base.bounded_slowdown_tau)));
+            if (cluster.eligible_total_vec(run.granted, dims) >
+                cluster.eligible_total_vec(round_requested(run.trace_index),
+                                           dims)) {
+              ++result.benefiting_jobs;
+              result.benefiting_nodes += record.nodes;
+            }
+            break;
+          }
+          case Outcome::kResourceFailure: {
+            ++result.resource_failures;
+            ++mr_result.kills_by_dim[run.culprit];
+            if (run.midjob) ++mr_result.midjob_kills;
+            kill_progress_sum +=
+                record.runtime > 0.0 ? elapsed / record.runtime : 0.0;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * elapsed;
+            if (attempts[run.trace_index] >=
+                config.base.max_attempts_per_job) {
+              ++result.dropped_attempt_cap;
+              RM_LOG(kWarn) << "job " << record.id
+                            << " dropped after attempt cap";
+            } else {
+              enqueue(run.trace_index, /*retry=*/true);
+            }
+            break;
+          }
+          case Outcome::kIntrinsicFailure: {
+            ++result.intrinsic_failed;
+            wasted_node_seconds +=
+                static_cast<double>(record.nodes) * elapsed;
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    if (!events.empty() && events.top().time == now) continue;
+    if (schedule_hist != nullptr) {
+      obs::ScopedSpan pass("sim.schedule", schedule_hist);
+      schedule(now);
+    } else {
+      schedule(now);
+    }
+    if (config.base.timeseries) {
+      config.base.timeseries->observe(now, cluster.busy_fraction(),
+                                      queue.size(), active_jobs);
+    }
+  }
+
+  result.dropped_unschedulable += queue.size();
+
+  result.makespan = last_event - first_submit;
+  integrate_pools(last_event);
+  for (const auto& pool : pool_integrals) {
+    result.pool_utilization.push_back(
+        {pool.capacity,
+         pool.capacity_node_seconds > 0.0
+             ? pool.busy_node_seconds / pool.capacity_node_seconds
+             : 0.0});
+  }
+  capacity_integral += static_cast<double>(cluster.machine_count()) *
+                       (last_event - capacity_since);
+  if (capacity_integral > 0.0) {
+    result.utilization = productive_node_seconds / capacity_integral;
+    result.wasted_fraction = wasted_node_seconds / capacity_integral;
+  }
+  result.mean_wait = wait_stats.mean();
+  result.mean_slowdown = slowdown_stats.mean();
+  result.mean_bounded_slowdown = bounded_stats.mean();
+  result.p95_slowdown = slowdown_pct.percentile(95.0);
+  if (result.makespan > 0.0) {
+    result.throughput_per_hour =
+        static_cast<double>(result.completed) / (result.makespan / 3600.0);
+  }
+  if (result.resource_failures > 0) {
+    mr_result.mean_kill_progress =
+        kill_progress_sum / static_cast<double>(result.resource_failures);
+  }
+  if (config.base.metrics) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (events_counter != nullptr) {
+      events_counter->inc(events_processed);
+    }
+    config.base.metrics
+        ->gauge("resmatch_sim_wall_seconds", "Wall time of the last run")
+        .set(wall);
+    config.base.metrics
+        ->gauge("resmatch_sim_events_per_sec",
+                "Event throughput of the last run")
+        .set(wall > 0.0 ? static_cast<double>(events_processed) / wall : 0.0);
+    config.base.metrics
+        ->counter("resmatch_sim_kill_mem_total",
+                  "Resource kills attributed to the memory dimension")
+        .inc(mr_result.kills_by_dim[kDimMem]);
+    config.base.metrics
+        ->counter("resmatch_sim_kill_cpu_total",
+                  "Resource kills attributed to the CPU dimension")
+        .inc(mr_result.kills_by_dim[kDimCpu]);
+    config.base.metrics
+        ->counter("resmatch_sim_kill_gpu_total",
+                  "Resource kills attributed to the GPU dimension")
+        .inc(mr_result.kills_by_dim[kDimGpu]);
+    config.base.metrics
+        ->counter("resmatch_sim_midjob_kills_total",
+                  "Resource kills timed by a footprint crossing")
+        .inc(mr_result.midjob_kills);
+  }
+  return mr_result;
+}
+
+}  // namespace resmatch::sim

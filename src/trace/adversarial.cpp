@@ -1,0 +1,128 @@
+#include "trace/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resmatch::trace {
+
+namespace {
+
+struct BackgroundGroup {
+  UserId user = 0;
+  AppId app = 0;
+  ResourceVector requested{};
+  ResourceVector used_base{};
+  std::uint32_t nodes = 1;
+  double runtime_log_mean = 5.0;
+};
+
+}  // namespace
+
+ScenarioWorkload generate_adversarial(const AdversarialConfig& cfg) {
+  if (cfg.job_count == 0 || cfg.background_groups == 0 ||
+      cfg.adversary_stride == 0 || cfg.phase_length == 0) {
+    throw std::invalid_argument("generate_adversarial: empty population");
+  }
+  util::Rng rng(cfg.seed);
+
+  // User 0 / app 0 is reserved for the adversary so every one of their
+  // submissions lands in the same similarity group.
+  std::vector<BackgroundGroup> background;
+  background.reserve(cfg.background_groups);
+  for (std::size_t g = 0; g < cfg.background_groups; ++g) {
+    BackgroundGroup group;
+    group.user = static_cast<UserId>(
+        1 + rng.uniform_int(0, static_cast<std::int64_t>(cfg.user_count) - 1));
+    group.app = static_cast<AppId>(g + 1);
+    group.requested[kDimMem] =
+        cfg.request_mib_values[rng.weighted_index(cfg.request_mib_weights)];
+    group.requested[kDimCpu] =
+        cfg.request_cpu_values[rng.weighted_index(cfg.request_cpu_weights)];
+    group.requested[kDimGpu] = 0.0;
+    group.nodes = static_cast<std::uint32_t>(
+        cfg.node_counts[rng.weighted_index(cfg.node_weights)]);
+    group.runtime_log_mean =
+        rng.normal(cfg.runtime_log_mean, cfg.runtime_log_sigma);
+    for (std::size_t d = 0; d < kMaxResourceDims; ++d) {
+      double ratio = rng.uniform(1.0, 2.0);
+      if (rng.bernoulli(cfg.frac_ratio_ge2)) {
+        ratio =
+            std::min(cfg.max_ratio, 2.0 * rng.pareto(1.0, cfg.pareto_alpha));
+      }
+      group.used_base[d] =
+          group.requested[d] > 0.0 ? group.requested[d] / ratio : 0.0;
+    }
+    background.push_back(group);
+  }
+
+  ScenarioWorkload out;
+  out.dims = kMaxResourceDims;
+  out.base.name = "adversarial";
+  out.base.jobs.reserve(cfg.job_count);
+  out.mr.reserve(cfg.job_count);
+
+  Seconds clock = 0.0;
+  std::size_t adversary_jobs = 0;
+  for (std::size_t j = 0; j < cfg.job_count; ++j) {
+    clock += rng.exponential(1.0 / cfg.mean_interarrival);
+
+    JobRecord record;
+    record.id = static_cast<JobId>(j + 1);
+    record.submit = clock;
+    record.status = JobStatus::kCompleted;
+
+    MrJobInfo info;  // adversary and background both run flat footprints
+
+    if (j % cfg.adversary_stride == 0) {
+      // The adversary: constant request, alternating padded/lean phases.
+      const bool padded = (adversary_jobs / cfg.phase_length) % 2 == 0;
+      ++adversary_jobs;
+      const double frac = padded ? cfg.padded_usage_frac : cfg.lean_usage_frac;
+      record.user = 0;
+      record.app = 0;
+      record.nodes = cfg.adversary_nodes;
+      record.runtime = std::clamp(rng.lognormal(cfg.runtime_log_mean, 0.2),
+                                  cfg.runtime_min, cfg.runtime_max);
+      info.requested = ResourceVector(cfg.adversary_request_mib,
+                                      cfg.adversary_cpu, cfg.adversary_gpu);
+      for (std::size_t d = 0; d < kMaxResourceDims; ++d) {
+        const double jitter = rng.lognormal(0.0, cfg.usage_jitter);
+        info.used_peak[d] =
+            info.requested[d] > 0.0
+                ? std::clamp(info.requested[d] * frac * jitter,
+                             info.requested[d] * 0.01, info.requested[d])
+                : 0.0;
+      }
+    } else {
+      const BackgroundGroup& group =
+          background[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(background.size()) - 1))];
+      record.user = group.user;
+      record.app = group.app;
+      record.nodes = group.nodes;
+      record.runtime = std::clamp(rng.lognormal(group.runtime_log_mean, 0.25),
+                                  cfg.runtime_min, cfg.runtime_max);
+      info.requested = group.requested;
+      for (std::size_t d = 0; d < kMaxResourceDims; ++d) {
+        const double jitter = rng.lognormal(0.0, 0.05);
+        info.used_peak[d] = group.requested[d] > 0.0
+                                ? std::clamp(group.used_base[d] * jitter,
+                                             group.requested[d] * 0.01,
+                                             group.requested[d])
+                                : 0.0;
+      }
+    }
+    record.requested_time = record.runtime * rng.uniform(1.0, 3.0);
+    record.requested_mem_mib = info.requested[kDimMem];
+    record.used_mem_mib = info.used_peak[kDimMem];
+
+    out.base.jobs.push_back(record);
+    out.mr.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace resmatch::trace

@@ -1,0 +1,75 @@
+// Adversarial user model: a submitter who games the estimator from inside
+// one similarity group.
+//
+// The similarity key is (user, app, requested memory), so a user who
+// keeps the request constant funnels every submission into the same
+// group — and can then steer its learned state. The adversary alternates
+// phases: a "padded" phase of lean runs (tiny actual usage) teaches the
+// estimator to lower the grant, then a "lean" phase of heavy runs (usage
+// near the request) cashes in the lowered grant as a stream of resource
+// kills and retries. Risk-aware estimators (quantile margin controller,
+// ensemble fallback) should widen under attack and recover once the
+// attack stops — the property tests/scenario_test pins via
+// QuantileEstimator::margin().
+//
+// Background traffic keeps the cluster realistically busy so the attack's
+// cost shows up in cluster-level metrics, not just the adversary's group.
+// Deterministic from the seed; submit times are non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/scenario.hpp"
+
+namespace resmatch::trace {
+
+struct AdversarialConfig {
+  std::uint64_t seed = 42;
+
+  std::size_t job_count = 4000;
+  /// Every k-th job belongs to the adversary (the rest are background).
+  std::size_t adversary_stride = 4;
+  /// Submissions per padded/lean phase before the adversary flips.
+  std::size_t phase_length = 12;
+
+  // --- the adversary's fixed similarity group -----------------------------
+  double adversary_request_mib = 32.0;
+  double adversary_cpu = 2.0;
+  double adversary_gpu = 0.0;
+  std::uint32_t adversary_nodes = 4;
+  /// Padded phase: actual usage as a fraction of the request (lean runs
+  /// that bait the estimator into lowering the grant).
+  double padded_usage_frac = 0.10;
+  /// Lean phase: actual usage as a fraction of the request (heavy runs
+  /// that turn the lowered grant into kills).
+  double lean_usage_frac = 0.95;
+  double usage_jitter = 0.02;  ///< lognormal σ on both phases
+
+  // --- background population ----------------------------------------------
+  std::size_t background_groups = 80;
+  std::size_t user_count = 32;
+  std::vector<double> request_mib_values = {24, 16, 12, 8, 4};
+  std::vector<double> request_mib_weights = {0.25, 0.25, 0.20, 0.18, 0.12};
+  std::vector<double> request_cpu_values = {1, 2, 4};
+  std::vector<double> request_cpu_weights = {0.45, 0.35, 0.20};
+  std::vector<double> node_counts = {1, 2, 4, 8};
+  std::vector<double> node_weights = {0.50, 0.25, 0.15, 0.10};
+  double frac_ratio_ge2 = 0.30;
+  double pareto_alpha = 1.1;
+  double max_ratio = 32.0;
+
+  // --- arrivals / runtimes -------------------------------------------------
+  double mean_interarrival = 30.0;
+  double runtime_log_mean = 5.0;
+  double runtime_log_sigma = 1.0;
+  Seconds runtime_min = 5.0;
+  Seconds runtime_max = 86400.0;
+};
+
+/// Deterministically generate the adversarial scenario (dims = 3; the
+/// attack itself lives in the memory dimension).
+[[nodiscard]] ScenarioWorkload generate_adversarial(
+    const AdversarialConfig& config);
+
+}  // namespace resmatch::trace

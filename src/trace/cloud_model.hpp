@@ -1,0 +1,70 @@
+// Heavy-tailed cloud-style workload with diurnal load.
+//
+// Where the CM5 model reproduces one 1996 MPP trace, this model captures
+// the shape of modern multi-tenant clusters: lognormal runtimes with a
+// much heavier tail, small node counts, Zipf-popular users, per-dimension
+// (memory/CPU/GPU) requests with heavy-tailed over-provisioning, arrival
+// rates modulated by a day/night cycle, and within-job usage that ramps
+// or steps instead of sitting at peak (trace/footprint.hpp).
+//
+// Deterministic from the seed: the same config generates the same
+// ScenarioWorkload byte for byte, and submit times are emitted in
+// non-decreasing order (no sort needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/scenario.hpp"
+
+namespace resmatch::trace {
+
+struct CloudModelConfig {
+  std::uint64_t seed = 42;
+
+  // --- population ---------------------------------------------------------
+  std::size_t job_count = 4000;
+  std::size_t group_count = 160;  ///< (user, app, request) similarity groups
+  std::size_t user_count = 48;
+  double group_popularity_exponent = 1.2;  ///< Zipf over groups
+
+  // --- arrivals: Poisson base rate with a sinusoidal diurnal factor -------
+  double mean_interarrival = 30.0;   ///< seconds at the mean rate
+  double diurnal_amplitude = 0.6;    ///< rate swing, in [0, 1)
+  Seconds diurnal_period = 86400.0;  ///< one simulated day
+
+  // --- per-node requests (memory in MiB; CPU cores; GPUs) -----------------
+  std::vector<double> request_mib_values = {32, 24, 16, 12, 8, 4};
+  std::vector<double> request_mib_weights = {0.30, 0.15, 0.20,
+                                             0.15, 0.12, 0.08};
+  std::vector<double> request_cpu_values = {1, 2, 4, 8, 16};
+  std::vector<double> request_cpu_weights = {0.25, 0.30, 0.25, 0.15, 0.05};
+  std::vector<double> request_gpu_values = {0, 1, 2, 4};
+  std::vector<double> request_gpu_weights = {0.70, 0.15, 0.10, 0.05};
+  std::vector<double> node_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<double> node_weights = {0.40, 0.22, 0.16, 0.12, 0.07, 0.03};
+
+  // --- over-provisioning per dimension (requested / used peak) ------------
+  double frac_ratio_ge2 = 0.40;  ///< groups drawing from the Pareto tail
+  double pareto_alpha = 1.1;     ///< tail shape beyond ratio 2
+  double max_ratio = 64.0;
+  double within_group_jitter = 0.08;  ///< per-job usage spread (lognormal σ)
+
+  // --- runtimes (lognormal, heavy tail) ------------------------------------
+  double runtime_log_mean = 5.5;  ///< exp(5.5) ≈ 245 s median
+  double runtime_log_sigma = 1.6;
+  Seconds runtime_min = 5.0;
+  Seconds runtime_max = 172800.0;
+
+  // --- footprint shapes (weights over flat/ramp/step/plateau) --------------
+  std::vector<double> shape_weights = {0.40, 0.25, 0.15, 0.20};
+
+  /// Fraction of jobs failing for non-resource reasons (implicit-feedback
+  /// false positives, paper §2.1).
+  double intrinsic_failure_fraction = 0.01;
+};
+
+/// Deterministically generate the cloud scenario (dims = 3).
+[[nodiscard]] ScenarioWorkload generate_cloud(const CloudModelConfig& config);
+
+}  // namespace resmatch::trace

@@ -1,0 +1,146 @@
+#include "trace/flash_crowd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resmatch::trace {
+
+namespace {
+
+struct CrowdGroup {
+  UserId user = 0;
+  AppId app = 0;
+  ResourceVector requested{};
+  ResourceVector used_base{};
+  std::uint32_t nodes = 1;
+  double runtime_log_mean = 5.0;
+  FootprintProfile profile{};
+};
+
+CrowdGroup draw_group(util::Rng& rng, const FlashCrowdConfig& cfg,
+                      std::size_t index, bool burst) {
+  CrowdGroup group;
+  group.user = static_cast<UserId>(
+      rng.uniform_int(0, static_cast<std::int64_t>(cfg.user_count) - 1));
+  group.app = static_cast<AppId>(index);
+  group.requested[kDimMem] =
+      cfg.request_mib_values[rng.weighted_index(cfg.request_mib_weights)];
+  group.requested[kDimCpu] =
+      cfg.request_cpu_values[rng.weighted_index(cfg.request_cpu_weights)];
+  group.requested[kDimGpu] =
+      cfg.request_gpu_values[rng.weighted_index(cfg.request_gpu_weights)];
+  group.nodes = static_cast<std::uint32_t>(
+      cfg.node_counts[rng.weighted_index(cfg.node_weights)]);
+  group.runtime_log_mean =
+      rng.normal(cfg.runtime_log_mean, cfg.runtime_log_sigma) +
+      (burst ? std::log(cfg.burst_runtime_factor) : 0.0);
+  for (std::size_t d = 0; d < kMaxResourceDims; ++d) {
+    double ratio = rng.uniform(1.0, 2.0);
+    if (rng.bernoulli(cfg.frac_ratio_ge2)) {
+      ratio = std::min(cfg.max_ratio, 2.0 * rng.pareto(1.0, cfg.pareto_alpha));
+    }
+    group.used_base[d] =
+        group.requested[d] > 0.0 ? group.requested[d] / ratio : 0.0;
+  }
+  switch (rng.weighted_index(cfg.shape_weights)) {
+    case 0:
+      group.profile.shape = FootprintShape::kFlat;
+      break;
+    case 1:
+      group.profile.shape = FootprintShape::kRamp;
+      break;
+    case 2:
+      group.profile.shape = FootprintShape::kStep;
+      break;
+    default:
+      group.profile.shape = FootprintShape::kPlateau;
+      break;
+  }
+  group.profile.start_frac = rng.uniform(0.2, 0.7);
+  group.profile.knee_frac = rng.uniform(0.2, 0.8);
+  return group;
+}
+
+}  // namespace
+
+ScenarioWorkload generate_flash_crowd(const FlashCrowdConfig& cfg) {
+  if (cfg.job_count == 0 || cfg.background_groups == 0 ||
+      cfg.burst_groups == 0) {
+    throw std::invalid_argument("generate_flash_crowd: empty population");
+  }
+  util::Rng rng(cfg.seed);
+
+  std::vector<CrowdGroup> background;
+  background.reserve(cfg.background_groups);
+  for (std::size_t g = 0; g < cfg.background_groups; ++g) {
+    background.push_back(draw_group(rng, cfg, g, /*burst=*/false));
+  }
+  std::vector<CrowdGroup> burst;
+  burst.reserve(cfg.burst_groups);
+  for (std::size_t g = 0; g < cfg.burst_groups; ++g) {
+    burst.push_back(
+        draw_group(rng, cfg, cfg.background_groups + g, /*burst=*/true));
+  }
+
+  ScenarioWorkload out;
+  out.dims = kMaxResourceDims;
+  out.base.name = "flash-crowd";
+  out.base.jobs.reserve(cfg.job_count);
+  out.mr.reserve(cfg.job_count);
+
+  Seconds clock = 0.0;
+  Seconds next_burst = cfg.burst_spacing;
+  for (std::size_t j = 0; j < cfg.job_count; ++j) {
+    const bool in_burst =
+        clock >= next_burst && clock < next_burst + cfg.burst_duration;
+    if (clock >= next_burst + cfg.burst_duration) {
+      next_burst = clock + cfg.burst_spacing;
+    }
+    const double rate =
+        (in_burst ? cfg.burst_rate_factor : 1.0) / cfg.mean_interarrival;
+    clock += rng.exponential(rate);
+
+    const bool crowd = in_burst && rng.bernoulli(cfg.burst_affinity);
+    const CrowdGroup& group =
+        crowd ? burst[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(burst.size()) - 1))]
+              : background[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(background.size()) - 1))];
+
+    JobRecord record;
+    record.id = static_cast<JobId>(j + 1);
+    record.submit = clock;
+    record.runtime = std::clamp(rng.lognormal(group.runtime_log_mean, 0.25),
+                                cfg.runtime_min, cfg.runtime_max);
+    record.requested_time = record.runtime * rng.uniform(1.0, 3.0);
+    record.nodes = group.nodes;
+    record.user = group.user;
+    record.app = group.app;
+    record.status = rng.bernoulli(cfg.intrinsic_failure_fraction)
+                        ? JobStatus::kFailed
+                        : JobStatus::kCompleted;
+
+    MrJobInfo info;
+    info.requested = group.requested;
+    info.profile = group.profile;
+    for (std::size_t d = 0; d < kMaxResourceDims; ++d) {
+      const double jitter = rng.lognormal(0.0, cfg.within_group_jitter);
+      info.used_peak[d] = group.requested[d] > 0.0
+                              ? std::clamp(group.used_base[d] * jitter,
+                                           group.requested[d] * 0.01,
+                                           group.requested[d])
+                              : 0.0;
+    }
+    record.requested_mem_mib = info.requested[kDimMem];
+    record.used_mem_mib = info.used_peak[kDimMem];
+
+    out.base.jobs.push_back(record);
+    out.mr.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace resmatch::trace

@@ -1,0 +1,67 @@
+// Flash-crowd workload: a calm baseline punctuated by bursts where the
+// arrival rate multiplies and submissions concentrate on a handful of
+// similarity groups (many users hammering the same application at once).
+//
+// The burst groups are where estimation matters most under pressure: the
+// estimator has a deep history for them — lowered grants open the small
+// machines precisely when the queue explodes — but a mistake is amplified
+// across the whole crowd. Deterministic from the seed; submit times are
+// emitted in non-decreasing order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/scenario.hpp"
+
+namespace resmatch::trace {
+
+struct FlashCrowdConfig {
+  std::uint64_t seed = 42;
+
+  std::size_t job_count = 4000;
+  std::size_t background_groups = 120;
+  std::size_t burst_groups = 4;  ///< the flash crowd's few hot groups
+  std::size_t user_count = 48;
+
+  // --- arrivals -----------------------------------------------------------
+  double mean_interarrival = 30.0;  ///< seconds, outside bursts
+  double burst_rate_factor = 12.0;  ///< rate multiplier inside a burst
+  /// A burst begins whenever this many seconds of calm have elapsed since
+  /// the last one ended, and lasts burst_duration seconds.
+  Seconds burst_spacing = 43200.0;
+  Seconds burst_duration = 1800.0;
+  /// Probability an in-burst arrival belongs to a burst group.
+  double burst_affinity = 0.85;
+
+  // --- requests / runtimes -------------------------------------------------
+  std::vector<double> request_mib_values = {32, 24, 16, 8, 4};
+  std::vector<double> request_mib_weights = {0.30, 0.20, 0.25, 0.15, 0.10};
+  std::vector<double> request_cpu_values = {1, 2, 4, 8};
+  std::vector<double> request_cpu_weights = {0.35, 0.30, 0.25, 0.10};
+  std::vector<double> request_gpu_values = {0, 1, 2};
+  std::vector<double> request_gpu_weights = {0.80, 0.12, 0.08};
+  std::vector<double> node_counts = {1, 2, 4, 8};
+  std::vector<double> node_weights = {0.50, 0.25, 0.15, 0.10};
+  double frac_ratio_ge2 = 0.35;
+  double pareto_alpha = 1.1;
+  double max_ratio = 48.0;
+  double within_group_jitter = 0.06;
+  double runtime_log_mean = 5.0;
+  double runtime_log_sigma = 1.2;
+  Seconds runtime_min = 5.0;
+  Seconds runtime_max = 86400.0;
+
+  /// Burst jobs are short and uniform (the crowd runs one application):
+  /// their runtime median is scaled by this factor.
+  double burst_runtime_factor = 0.25;
+
+  std::vector<double> shape_weights = {0.45, 0.20, 0.15, 0.20};
+  double intrinsic_failure_fraction = 0.005;
+};
+
+/// Deterministically generate the flash-crowd scenario (dims = 3).
+[[nodiscard]] ScenarioWorkload generate_flash_crowd(
+    const FlashCrowdConfig& config);
+
+}  // namespace resmatch::trace

@@ -1,0 +1,72 @@
+#include "trace/footprint.hpp"
+
+#include <algorithm>
+
+namespace resmatch::trace {
+
+std::string_view to_string(FootprintShape shape) noexcept {
+  switch (shape) {
+    case FootprintShape::kFlat:
+      return "flat";
+    case FootprintShape::kRamp:
+      return "ramp";
+    case FootprintShape::kStep:
+      return "step";
+    case FootprintShape::kPlateau:
+      return "plateau";
+  }
+  return "unknown";
+}
+
+double FootprintProfile::usage_at(Seconds elapsed, Seconds runtime,
+                                  double peak) const noexcept {
+  if (shape == FootprintShape::kFlat) return peak;
+  if (runtime <= 0.0 || elapsed >= runtime) return peak;
+  const double x = std::max(0.0, elapsed / runtime);
+  const double s = std::clamp(start_frac, 0.0, 1.0);
+  const double k = std::clamp(knee_frac, 1e-9, 1.0);
+  double frac = 1.0;
+  switch (shape) {
+    case FootprintShape::kFlat:
+      frac = 1.0;
+      break;
+    case FootprintShape::kRamp:
+      frac = s + (1.0 - s) * x;
+      break;
+    case FootprintShape::kStep:
+      frac = x < k ? s : 1.0;
+      break;
+    case FootprintShape::kPlateau:
+      frac = x < k ? s + (1.0 - s) * (x / k) : 1.0;
+      break;
+  }
+  return frac * peak;
+}
+
+std::optional<Seconds> FootprintProfile::first_crossing(
+    double grant, Seconds runtime, double peak) const noexcept {
+  if (shape == FootprintShape::kFlat) return std::nullopt;
+  if (peak <= grant) return std::nullopt;  // the grant covers the peak
+  if (runtime <= 0.0 || peak <= 0.0) return 0.0;
+  const double s = std::clamp(start_frac, 0.0, 1.0);
+  const double k = std::clamp(knee_frac, 1e-9, 1.0);
+  const double g = std::max(0.0, grant / peak);  // target fraction of peak
+  if (s > g) return 0.0;  // over the grant from the first instant
+  double x = 1.0;
+  switch (shape) {
+    case FootprintShape::kRamp:
+      x = (1.0 - s) <= 0.0 ? 0.0 : (g - s) / (1.0 - s);
+      break;
+    case FootprintShape::kStep:
+      x = k;
+      break;
+    case FootprintShape::kPlateau:
+      x = (1.0 - s) <= 0.0 ? 0.0 : std::min(k, k * (g - s) / (1.0 - s));
+      break;
+    case FootprintShape::kFlat:
+      break;  // unreachable: handled above
+  }
+  return std::clamp(x, 0.0, 1.0) * runtime;
+}
+
+}  // namespace resmatch::trace

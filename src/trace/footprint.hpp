@@ -1,0 +1,58 @@
+// Time-varying within-job resource footprints.
+//
+// The scalar simulator models usage as flat: a job touches its peak from
+// the first instant, so an under-provisioned attempt is killed "after a
+// random time, drawn uniformly between zero and the execution run-time"
+// (paper §3.1 — the kill time is unknowable when usage is constant). Real
+// footprints ramp: Flex (usage != allocation) observes jobs whose demand
+// grows over the run, which makes the kill time DETERMINISTIC — the first
+// instant usage crosses the grant — and makes early kills and late kills
+// feed different observations back to the estimator.
+//
+// A FootprintProfile is normalized by the job's peak and runtime, so one
+// profile describes every resource dimension of a job: usage_at() scales
+// it by that dimension's peak.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace resmatch::trace {
+
+enum class FootprintShape : std::uint8_t {
+  kFlat,     ///< peak from the first instant (the scalar engine's model)
+  kRamp,     ///< linear climb from start_frac*peak to peak over the run
+  kStep,     ///< start_frac*peak until knee_frac of the run, then peak
+  kPlateau,  ///< linear climb reaching peak at knee_frac, hold after
+};
+
+[[nodiscard]] std::string_view to_string(FootprintShape shape) noexcept;
+
+/// Usage-over-time shape of one job, shared across its resource
+/// dimensions. Non-decreasing in time; reaches the peak by the end of the
+/// run, so a successful completion always observes the true peak.
+struct FootprintProfile {
+  FootprintShape shape = FootprintShape::kFlat;
+  /// Usage at t=0 as a fraction of peak (ignored by kFlat).
+  double start_frac = 1.0;
+  /// Step/plateau transition point as a fraction of runtime.
+  double knee_frac = 0.5;
+
+  /// Usage `elapsed` seconds into a run of `runtime` whose peak is
+  /// `peak`. Returns exactly `peak` for kFlat and for elapsed >= runtime.
+  [[nodiscard]] double usage_at(Seconds elapsed, Seconds runtime,
+                                double peak) const noexcept;
+
+  /// The first time usage reaches `grant` on its way to a `peak` above
+  /// it — the deterministic kill time of an under-provisioned attempt.
+  /// nullopt when the profile never crosses (peak fits the grant) or when
+  /// the shape is kFlat (flat overruns keep the paper's uniformly-drawn
+  /// kill time; the caller draws it).
+  [[nodiscard]] std::optional<Seconds> first_crossing(
+      double grant, Seconds runtime, double peak) const noexcept;
+};
+
+}  // namespace resmatch::trace

@@ -1,0 +1,22 @@
+#include "trace/scenario.hpp"
+
+#include <utility>
+
+namespace resmatch::trace {
+
+ScenarioWorkload scenario_from(Workload workload) {
+  ScenarioWorkload out;
+  out.dims = 1;
+  out.mr.reserve(workload.jobs.size());
+  for (const auto& job : workload.jobs) {
+    MrJobInfo info;
+    info.requested = ResourceVector(job.requested_mem_mib);
+    info.used_peak = ResourceVector(job.used_mem_mib);
+    info.profile = {};  // flat: the scalar engine's usage model
+    out.mr.push_back(info);
+  }
+  out.base = std::move(workload);
+  return out;
+}
+
+}  // namespace resmatch::trace

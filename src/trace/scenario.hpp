@@ -1,0 +1,43 @@
+// Multi-resource workload view: a Workload plus per-job resource vectors
+// and footprint profiles.
+//
+// JobRecord stays the single-resource SWF schema (the whole scalar stack
+// consumes it unchanged); scenario generators annotate each record with
+// the full requested/used vectors and a usage-over-time profile in a
+// parallel array. Invariant: the memory coordinates of mr[i] mirror
+// base.jobs[i].requested_mem_mib / used_mem_mib exactly — that mirror is
+// what makes a dims=1 multi-resource run reduce to the scalar engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/footprint.hpp"
+#include "trace/job_record.hpp"
+#include "util/resource_vector.hpp"
+
+namespace resmatch::trace {
+
+/// Per-job multi-resource annotation, parallel to Workload::jobs.
+struct MrJobInfo {
+  ResourceVector requested{};  ///< per-dimension request (mem mirrors record)
+  ResourceVector used_peak{};  ///< per-dimension actual peak (mem mirrors)
+  FootprintProfile profile{};  ///< time shape, shared across dimensions
+};
+
+/// A workload and its multi-resource view. base.jobs[i] and mr[i]
+/// describe the same job; `dims` is how many leading dimensions the
+/// scenario actually exercises (trailing coordinates are zero).
+struct ScenarioWorkload {
+  Workload base;
+  std::vector<MrJobInfo> mr;
+  std::size_t dims = 1;
+};
+
+/// Wrap an existing single-resource workload: every job gets a flat
+/// profile and a vector whose memory coordinate mirrors its record
+/// (cpu = gpu = 0). Running this at dims=1 is decision-identical to the
+/// scalar simulator — the A/B equivalence gate runs on exactly this.
+[[nodiscard]] ScenarioWorkload scenario_from(Workload workload);
+
+}  // namespace resmatch::trace

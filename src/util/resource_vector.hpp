@@ -1,0 +1,84 @@
+// Fixed-capacity resource vector: the vocabulary type of multi-resource
+// matching (memory + CPU + GPU per node).
+//
+// Lives in util rather than core because the library dependency graph
+// forbids trace -> core: trace models annotate jobs with per-dimension
+// demand, core estimates each dimension independently, and sim packs the
+// vector onto machines — all three need the same type, and util is the
+// only library all three link.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace resmatch {
+
+/// Dimension indices. Memory is dimension 0 everywhere: the scalar
+/// engine's MiB quantities ARE the memory coordinate, which is what lets
+/// the dims=1 multi-resource path reduce to the single-resource simulator
+/// bit for bit (tests/mr_equiv_test).
+inline constexpr std::size_t kDimMem = 0;
+inline constexpr std::size_t kDimCpu = 1;
+inline constexpr std::size_t kDimGpu = 2;
+inline constexpr std::size_t kMaxResourceDims = 3;
+
+[[nodiscard]] constexpr std::string_view resource_dim_name(
+    std::size_t dim) noexcept {
+  switch (dim) {
+    case kDimMem:
+      return "mem";
+    case kDimCpu:
+      return "cpu";
+    case kDimGpu:
+      return "gpu";
+    default:
+      return "dim?";
+  }
+}
+
+/// A point in resource space: memory (MiB per node), CPU cores, GPUs.
+/// Trailing dimensions beyond the active count are zero; a capacity of 0
+/// means "the machine has none of this resource", and a request of 0
+/// always fits it.
+struct ResourceVector {
+  std::array<double, kMaxResourceDims> v{};  // {mem, cpu, gpu}
+
+  constexpr ResourceVector() = default;
+  constexpr ResourceVector(double mem, double cpu = 0.0, double gpu = 0.0)
+      : v{mem, cpu, gpu} {}
+
+  [[nodiscard]] constexpr double& operator[](std::size_t d) noexcept {
+    return v[d];
+  }
+  [[nodiscard]] constexpr double operator[](std::size_t d) const noexcept {
+    return v[d];
+  }
+
+  [[nodiscard]] constexpr double mem() const noexcept { return v[kDimMem]; }
+  [[nodiscard]] constexpr double cpu() const noexcept { return v[kDimCpu]; }
+  [[nodiscard]] constexpr double gpu() const noexcept { return v[kDimGpu]; }
+
+  /// Component-wise >= over the first `dims` coordinates: does a machine
+  /// with THIS capacity vector satisfy `req`? Exact comparison, no
+  /// epsilon — the same test the scalar pool walk applies to memory, so
+  /// dims=1 eligibility is bitwise-identical to the scalar path.
+  [[nodiscard]] constexpr bool covers(const ResourceVector& req,
+                                      std::size_t dims) const noexcept {
+    for (std::size_t d = 0; d < dims && d < kMaxResourceDims; ++d) {
+      if (v[d] < req.v[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr bool operator==(
+      const ResourceVector& other) const noexcept {
+    return v == other.v;
+  }
+  [[nodiscard]] constexpr bool operator!=(
+      const ResourceVector& other) const noexcept {
+    return !(*this == other);
+  }
+};
+
+}  // namespace resmatch

@@ -1,0 +1,340 @@
+// Scenario catalog: generator determinism and invariants, the adversarial
+// margin property, sweep determinism across worker counts, and the
+// stream-factory SWF sweep (one file cursor per task).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/capacity_ladder.hpp"
+#include "core/quantile_estimator.hpp"
+#include "exp/experiment.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/cluster.hpp"
+#include "trace/adversarial.hpp"
+#include "trace/cm5_model.hpp"
+#include "trace/swf.hpp"
+#include "trace/transforms.hpp"
+
+namespace resmatch {
+namespace {
+
+void expect_scenarios_equal(const trace::ScenarioWorkload& a,
+                            const trace::ScenarioWorkload& b) {
+  EXPECT_EQ(a.dims, b.dims);
+  ASSERT_EQ(a.base.jobs.size(), b.base.jobs.size());
+  ASSERT_EQ(a.mr.size(), b.mr.size());
+  for (std::size_t i = 0; i < a.base.jobs.size(); ++i) {
+    const auto& ja = a.base.jobs[i];
+    const auto& jb = b.base.jobs[i];
+    ASSERT_EQ(ja.submit, jb.submit) << "job " << i;
+    ASSERT_EQ(ja.runtime, jb.runtime) << "job " << i;
+    ASSERT_EQ(ja.nodes, jb.nodes) << "job " << i;
+    ASSERT_EQ(ja.requested_mem_mib, jb.requested_mem_mib) << "job " << i;
+    ASSERT_EQ(ja.used_mem_mib, jb.used_mem_mib) << "job " << i;
+    ASSERT_EQ(ja.user, jb.user) << "job " << i;
+    ASSERT_EQ(ja.app, jb.app) << "job " << i;
+    ASSERT_EQ(ja.status, jb.status) << "job " << i;
+    ASSERT_EQ(a.mr[i].requested, b.mr[i].requested) << "job " << i;
+    ASSERT_EQ(a.mr[i].used_peak, b.mr[i].used_peak) << "job " << i;
+    ASSERT_EQ(a.mr[i].profile.shape, b.mr[i].profile.shape) << "job " << i;
+    ASSERT_EQ(a.mr[i].profile.start_frac, b.mr[i].profile.start_frac);
+    ASSERT_EQ(a.mr[i].profile.knee_frac, b.mr[i].profile.knee_frac);
+  }
+}
+
+TEST(ScenarioRegistry, NamesCoverEveryTraceModel) {
+  const auto& models = exp::trace_model_names();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_NE(std::find(models.begin(), models.end(), "swf"), models.end());
+  const auto synthetic = exp::scenario_names();
+  ASSERT_EQ(synthetic.size(), 4u);
+  EXPECT_EQ(std::find(synthetic.begin(), synthetic.end(), "swf"),
+            synthetic.end());
+  for (const auto& name : synthetic) {
+    EXPECT_NE(std::find(models.begin(), models.end(), name), models.end());
+  }
+}
+
+TEST(ScenarioRegistry, UnknownScenarioThrows) {
+  EXPECT_THROW((void)exp::make_scenario("no-such-model", 1, 10),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGenerators, GoldenSeedIsDeterministic) {
+  for (const auto& name : exp::scenario_names()) {
+    SCOPED_TRACE(name);
+    const auto first = exp::make_scenario(name, 42, 800);
+    const auto second = exp::make_scenario(name, 42, 800);
+    expect_scenarios_equal(first, second);
+    EXPECT_EQ(first.base.jobs.size(), 800u);
+  }
+}
+
+TEST(ScenarioGenerators, SeedsActuallyVaryTheWorkload) {
+  for (const auto& name : exp::scenario_names()) {
+    SCOPED_TRACE(name);
+    const auto a = exp::make_scenario(name, 1, 400);
+    const auto b = exp::make_scenario(name, 2, 400);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.base.jobs.size() && !differs; ++i) {
+      differs = a.base.jobs[i].submit != b.base.jobs[i].submit ||
+                a.base.jobs[i].used_mem_mib != b.base.jobs[i].used_mem_mib;
+    }
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(ScenarioGenerators, StructuralInvariantsHold) {
+  for (const auto& name : exp::scenario_names()) {
+    SCOPED_TRACE(name);
+    const auto scenario = exp::make_scenario(name, 7, 600);
+    ASSERT_EQ(scenario.mr.size(), scenario.base.jobs.size());
+    double last_submit = 0.0;
+    for (std::size_t i = 0; i < scenario.base.jobs.size(); ++i) {
+      const auto& job = scenario.base.jobs[i];
+      const auto& info = scenario.mr[i];
+      ASSERT_GE(job.submit, last_submit) << "job " << i << " out of order";
+      last_submit = job.submit;
+      ASSERT_TRUE(trace::is_simulatable(job)) << "job " << i;
+      // The memory coordinates mirror the scalar record exactly — the
+      // invariant the dims=1 equivalence gate rests on.
+      ASSERT_EQ(info.requested[kDimMem], job.requested_mem_mib);
+      ASSERT_EQ(info.used_peak[kDimMem], job.used_mem_mib);
+      for (std::size_t d = 0; d < scenario.dims; ++d) {
+        ASSERT_LE(info.used_peak[d], info.requested[d] + 1e-9)
+            << "job " << i << " dim " << d;
+        ASSERT_GE(info.used_peak[d], 0.0);
+      }
+    }
+  }
+}
+
+TEST(AdversarialScenario, QuantileMarginWidensUnderAttackThenRecovers) {
+  // Replay the adversary's similarity group through the quantile
+  // estimator: the padded phases teach a low usage quantile, the lean
+  // phases turn that into kills, and the risk-aware margin controller
+  // must widen in response — then decay once the attack stops.
+  trace::AdversarialConfig cfg;
+  cfg.seed = 42;
+  cfg.job_count = 4000;
+  const auto scenario = trace::generate_adversarial(cfg);
+
+  core::QuantileEstimatorConfig qcfg;
+  qcfg.min_observations = 50;
+  core::QuantileEstimator estimator(qcfg);
+  estimator.set_ladder(core::CapacityLadder({4.0, 8.0, 16.0, 24.0, 32.0}));
+
+  const double initial_margin = estimator.margin();
+  double peak_margin = initial_margin;
+  std::size_t kills = 0;
+  trace::JobRecord adversary_job;
+  for (const auto& job : scenario.base.jobs) {
+    if (job.user != 0 || job.app != 0) continue;  // background traffic
+    adversary_job = job;
+    const MiB grant = estimator.estimate(job, {});
+    const bool killed = grant + 1e-9 < job.used_mem_mib;
+    kills += killed ? 1 : 0;
+    core::Feedback fb;
+    fb.success = !killed;
+    fb.granted_mib = grant;
+    // Flat footprint: the monitor sees the full peak even on a kill.
+    fb.used_mib = job.used_mem_mib;
+    fb.resource_failure = killed;
+    estimator.feedback(job, fb);
+    peak_margin = std::max(peak_margin, estimator.margin());
+  }
+  EXPECT_GT(kills, 0u) << "the attack never landed";
+  EXPECT_GT(peak_margin, initial_margin + 0.01)
+      << "margin never widened under attack";
+
+  // Attack over: a long run of honest, well-covered submissions. The
+  // kill EWMA decays below target and the controller narrows again.
+  adversary_job.used_mem_mib =
+      adversary_job.requested_mem_mib * cfg.padded_usage_frac;
+  for (int i = 0; i < 1500; ++i) {
+    const MiB grant = estimator.estimate(adversary_job, {});
+    core::Feedback fb;
+    fb.success = true;
+    fb.granted_mib = grant;
+    fb.used_mib = adversary_job.used_mem_mib;
+    fb.resource_failure = false;
+    estimator.feedback(adversary_job, fb);
+  }
+  EXPECT_LT(estimator.margin(), peak_margin)
+      << "margin never recovered after the attack stopped";
+}
+
+TEST(AdversarialScenario, AdversaryJobsAlternatePhases) {
+  trace::AdversarialConfig cfg;
+  cfg.seed = 11;
+  cfg.job_count = 800;
+  const auto scenario = trace::generate_adversarial(cfg);
+  // Collect the adversary's usage fractions in submission order: the
+  // stream must contain both padded (lean usage) and lean (heavy usage)
+  // runs, all within ONE similarity group (constant request).
+  std::size_t padded = 0, heavy = 0;
+  for (const auto& job : scenario.base.jobs) {
+    if (job.user != 0 || job.app != 0) continue;
+    ASSERT_EQ(job.requested_mem_mib, cfg.adversary_request_mib);
+    const double frac = job.used_mem_mib / job.requested_mem_mib;
+    if (frac < 0.5) {
+      ++padded;
+    } else {
+      ++heavy;
+    }
+  }
+  EXPECT_GT(padded, 0u);
+  EXPECT_GT(heavy, 0u);
+}
+
+void expect_rows_equal(const exp::ScenarioSweep& a,
+                       const exp::ScenarioSweep& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(a.rows[i].scenario, b.rows[i].scenario);
+    EXPECT_EQ(a.rows[i].estimator, b.rows[i].estimator);
+    EXPECT_EQ(a.rows[i].dims, b.rows[i].dims);
+    const auto& ra = a.rows[i].result;
+    const auto& rb = b.rows[i].result;
+    EXPECT_EQ(ra.base.submitted, rb.base.submitted);
+    EXPECT_EQ(ra.base.completed, rb.base.completed);
+    EXPECT_EQ(ra.base.attempts, rb.base.attempts);
+    EXPECT_EQ(ra.base.resource_failures, rb.base.resource_failures);
+    EXPECT_EQ(ra.base.lowered_starts, rb.base.lowered_starts);
+    EXPECT_EQ(ra.base.utilization, rb.base.utilization);
+    EXPECT_EQ(ra.base.mean_slowdown, rb.base.mean_slowdown);
+    EXPECT_EQ(ra.kills_by_dim, rb.kills_by_dim);
+    EXPECT_EQ(ra.midjob_kills, rb.midjob_kills);
+    EXPECT_EQ(ra.mean_kill_progress, rb.mean_kill_progress);
+  }
+}
+
+TEST(ScenarioSweep, DeterministicAcrossWorkerCounts) {
+  const std::vector<std::string> scenarios = {"cm5", "adversarial"};
+  const std::vector<std::string> estimators = {"none",
+                                               "successive-approximation"};
+  exp::ScenarioRunConfig config;
+  config.job_count = 500;
+  config.dims = 3;
+
+  exp::RunnerOptions serial;
+  serial.jobs = 1;
+  const auto a = exp::scenario_sweep(scenarios, estimators, config, serial);
+  exp::RunnerOptions parallel;
+  parallel.jobs = 4;
+  const auto b = exp::scenario_sweep(scenarios, estimators, config, parallel);
+
+  ASSERT_TRUE(a.errors.empty());
+  ASSERT_TRUE(b.errors.empty());
+  ASSERT_EQ(a.rows.size(), scenarios.size() * estimators.size());
+  expect_rows_equal(a, b);
+  // cm5 is single-dimension, so its rows clamp to dims=1; the adversarial
+  // scenario exercises the full vector.
+  EXPECT_EQ(a.rows[0].dims, 1u);
+  EXPECT_EQ(a.rows[2].dims, 3u);
+}
+
+TEST(ScenarioSweep, RowsComeOutScenarioMajor) {
+  const std::vector<std::string> scenarios = {"cm5", "flash-crowd"};
+  const std::vector<std::string> estimators = {"none", "last-instance"};
+  exp::ScenarioRunConfig config;
+  config.job_count = 200;
+  const auto sweep = exp::scenario_sweep(scenarios, estimators, config, {});
+  ASSERT_TRUE(sweep.errors.empty());
+  ASSERT_EQ(sweep.rows.size(), 4u);
+  EXPECT_EQ(sweep.rows[0].scenario, "cm5");
+  EXPECT_EQ(sweep.rows[0].estimator, "none");
+  EXPECT_EQ(sweep.rows[1].scenario, "cm5");
+  EXPECT_EQ(sweep.rows[1].estimator, "last-instance");
+  EXPECT_EQ(sweep.rows[2].scenario, "flash-crowd");
+  EXPECT_EQ(sweep.rows[3].scenario, "flash-crowd");
+}
+
+class SwfTempFile {
+ public:
+  explicit SwfTempFile(const trace::Workload& workload) {
+    path_ = std::string(::testing::TempDir()) + "scenario_test.swf";
+    trace::write_swf_file(path_, workload);
+  }
+  ~SwfTempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(StreamFactorySweep, SwfArmsAreIndependentAndDeterministic) {
+  // The regression this pins: a single shared SwfJobStream holds ONE file
+  // cursor, so parallel sweep arms used to interleave reads. The factory
+  // overload gives each task its own stream; serial and parallel runs —
+  // and a run over the materialized read-back — must agree exactly.
+  const trace::Workload w =
+      trace::sort_by_submit(trace::generate_cm5_small(23, 400));
+  const SwfTempFile file(w);
+  const auto read_back = trace::read_swf_file(file.path());
+  ASSERT_TRUE(read_back.has_value());
+
+  const sim::ClusterSpec cluster = sim::cm5_heterogeneous(24.0, 64);
+  std::vector<exp::RunSpec> specs;
+  for (const char* estimator :
+       {"none", "successive-approximation", "last-instance"}) {
+    exp::RunSpec spec;
+    spec.estimator = estimator;
+    specs.push_back(spec);
+  }
+  const exp::StreamFactory factory = [&file] {
+    return std::unique_ptr<trace::JobStream>(
+        std::make_unique<trace::SwfJobStream>(file.path()));
+  };
+
+  exp::RunnerOptions serial;
+  serial.jobs = 1;
+  const auto streamed_serial = exp::run_specs(factory, cluster, specs, serial);
+  exp::RunnerOptions parallel;
+  parallel.jobs = 4;
+  const auto streamed_parallel =
+      exp::run_specs(factory, cluster, specs, parallel);
+  const auto materialized =
+      exp::run_specs(read_back.value().workload, cluster, specs, serial);
+
+  ASSERT_TRUE(streamed_serial.ok());
+  ASSERT_TRUE(streamed_parallel.ok());
+  ASSERT_TRUE(materialized.ok());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].estimator);
+    const auto& s = *streamed_serial.results[i];
+    const auto& p = *streamed_parallel.results[i];
+    const auto& m = *materialized.results[i];
+    for (const auto* other : {&p, &m}) {
+      EXPECT_EQ(s.submitted, other->submitted);
+      EXPECT_EQ(s.completed, other->completed);
+      EXPECT_EQ(s.attempts, other->attempts);
+      EXPECT_EQ(s.resource_failures, other->resource_failures);
+      EXPECT_EQ(s.utilization, other->utilization);
+      EXPECT_EQ(s.mean_wait, other->mean_wait);
+      EXPECT_EQ(s.mean_slowdown, other->mean_slowdown);
+      EXPECT_EQ(s.granted_mib_nodes, other->granted_mib_nodes);
+    }
+  }
+}
+
+TEST(StreamFactorySweep, NullFactoryIsAnIsolatedError) {
+  const exp::StreamFactory broken = [] {
+    return std::unique_ptr<trace::JobStream>();
+  };
+  std::vector<exp::RunSpec> specs(1);
+  const auto sweep =
+      exp::run_specs(broken, sim::cm5_heterogeneous(24.0, 16), specs, {});
+  EXPECT_FALSE(sweep.ok());
+  ASSERT_EQ(sweep.errors.size(), 1u);
+  EXPECT_NE(sweep.errors[0].message.find("stream factory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resmatch
